@@ -1,0 +1,11 @@
+// Package perpetualws is the root of the Perpetual-WS reproduction: a
+// Go implementation of "Byzantine Fault-Tolerant Web Services for n-Tier
+// and Service Oriented Architectures" (Pallemulle & Goldman,
+// WUCSE-2007-53 / ICDCS 2008).
+//
+// The implementation lives under internal/ (see DESIGN.md for the
+// module inventory); runnable entry points are cmd/perpetualctl (the
+// experiment driver), cmd/replica (a TCP replica host), and the programs
+// under examples/. bench_test.go at this level regenerates the paper's
+// evaluation figures.
+package perpetualws

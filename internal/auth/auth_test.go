@@ -1,0 +1,292 @@
+package auth
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoleString(t *testing.T) {
+	cases := []struct {
+		role Role
+		want string
+	}{
+		{RoleVoter, "voter"},
+		{RoleDriver, "driver"},
+		{RoleClient, "client"},
+		{Role(99), "role(99)"},
+	}
+	for _, c := range cases {
+		if got := c.role.String(); got != c.want {
+			t.Errorf("Role(%d).String() = %q, want %q", c.role, got, c.want)
+		}
+	}
+}
+
+func TestParseRole(t *testing.T) {
+	for _, r := range []Role{RoleVoter, RoleDriver, RoleClient} {
+		got, err := ParseRole(r.String())
+		if err != nil {
+			t.Fatalf("ParseRole(%q): %v", r.String(), err)
+		}
+		if got != r {
+			t.Errorf("ParseRole(%q) = %v, want %v", r.String(), got, r)
+		}
+	}
+	if _, err := ParseRole("bogus"); err == nil {
+		t.Error("ParseRole(bogus) succeeded, want error")
+	}
+}
+
+func TestNodeIDRoundTrip(t *testing.T) {
+	ids := []NodeID{
+		VoterID("pge", 0),
+		DriverID("bank", 9),
+		{Service: "client-7", Role: RoleClient, Index: 0},
+	}
+	for _, id := range ids {
+		got, err := ParseNodeID(id.String())
+		if err != nil {
+			t.Fatalf("ParseNodeID(%q): %v", id.String(), err)
+		}
+		if got != id {
+			t.Errorf("round trip of %v produced %v", id, got)
+		}
+	}
+}
+
+func TestParseNodeIDErrors(t *testing.T) {
+	for _, s := range []string{"", "a/b", "svc/voter/x", "svc/nope/1", "a/b/c/d"} {
+		if _, err := ParseNodeID(s); err == nil {
+			t.Errorf("ParseNodeID(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestNodeIDLessIsStrictOrder(t *testing.T) {
+	a := VoterID("a", 0)
+	b := VoterID("a", 1)
+	c := DriverID("a", 0)
+	d := VoterID("b", 0)
+	pairs := []struct{ lo, hi NodeID }{{a, b}, {a, c}, {a, d}, {c, d}}
+	for _, p := range pairs {
+		if !p.lo.Less(p.hi) {
+			t.Errorf("%v should be less than %v", p.lo, p.hi)
+		}
+		if p.hi.Less(p.lo) {
+			t.Errorf("%v should not be less than %v", p.hi, p.lo)
+		}
+	}
+	if a.Less(a) {
+		t.Error("Less must be irreflexive")
+	}
+}
+
+func TestMACVerify(t *testing.T) {
+	key := Key("0123456789abcdef")
+	msg := []byte("the quick brown fox")
+	mac := MAC(key, msg)
+	if !VerifyMAC(key, msg, mac) {
+		t.Fatal("valid MAC rejected")
+	}
+	if VerifyMAC(key, append([]byte("x"), msg...), mac) {
+		t.Error("MAC accepted for different message")
+	}
+	if VerifyMAC(Key("otherkey"), msg, mac) {
+		t.Error("MAC accepted under different key")
+	}
+	mac[0] ^= 1
+	if VerifyMAC(key, msg, mac) {
+		t.Error("corrupted MAC accepted")
+	}
+}
+
+func TestDeriveKeySymmetric(t *testing.T) {
+	master := []byte("master-secret")
+	a, b := VoterID("svc", 1), DriverID("svc", 2)
+	k1 := DeriveKey(master, a, b)
+	k2 := DeriveKey(master, b, a)
+	if !bytes.Equal(k1, k2) {
+		t.Error("DeriveKey is not symmetric in its principals")
+	}
+	k3 := DeriveKey(master, a, DriverID("svc", 3))
+	if bytes.Equal(k1, k3) {
+		t.Error("distinct pairs derived the same key")
+	}
+	k4 := DeriveKey([]byte("other-master"), a, b)
+	if bytes.Equal(k1, k4) {
+		t.Error("distinct masters derived the same key")
+	}
+}
+
+func TestKeyStoreBasics(t *testing.T) {
+	self := VoterID("svc", 0)
+	peer := VoterID("svc", 1)
+	ks := NewKeyStore(self)
+	if ks.Self() != self {
+		t.Fatalf("Self() = %v, want %v", ks.Self(), self)
+	}
+	if _, err := ks.Key(peer); err == nil {
+		t.Fatal("Key for unknown peer succeeded")
+	}
+	ks.SetKey(peer, Key("k"))
+	k, err := ks.Key(peer)
+	if err != nil {
+		t.Fatalf("Key: %v", err)
+	}
+	if string(k) != "k" {
+		t.Errorf("Key = %q, want %q", k, "k")
+	}
+	peers := ks.Peers()
+	if len(peers) != 1 || peers[0] != peer {
+		t.Errorf("Peers = %v, want [%v]", peers, peer)
+	}
+}
+
+func TestDerivedKeyStoreInterop(t *testing.T) {
+	master := []byte("m")
+	a, b := VoterID("x", 0), VoterID("x", 1)
+	all := []NodeID{a, b}
+	ksA := NewDerivedKeyStore(master, a, all)
+	ksB := NewDerivedKeyStore(master, b, all)
+	msg := []byte("hello")
+	mac, err := ksA.Sign(b, msg)
+	if err != nil {
+		t.Fatalf("Sign: %v", err)
+	}
+	if err := ksB.Verify(a, msg, mac); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if err := ksB.Verify(a, []byte("tampered"), mac); err == nil {
+		t.Error("Verify accepted tampered message")
+	}
+}
+
+func TestAuthenticatorVerifyFor(t *testing.T) {
+	master := []byte("m")
+	sender := VoterID("s", 0)
+	r1, r2 := DriverID("c", 0), DriverID("c", 1)
+	all := []NodeID{sender, r1, r2}
+	ksS := NewDerivedKeyStore(master, sender, all)
+	ks1 := NewDerivedKeyStore(master, r1, all)
+	ks2 := NewDerivedKeyStore(master, r2, all)
+
+	msg := []byte("reply payload")
+	a, err := NewAuthenticator(ksS, msg, []NodeID{r1, r2})
+	if err != nil {
+		t.Fatalf("NewAuthenticator: %v", err)
+	}
+	if len(a.Entries) != 2 {
+		t.Fatalf("got %d entries, want 2", len(a.Entries))
+	}
+	if err := a.VerifyFor(ks1, msg); err != nil {
+		t.Errorf("r1 verify: %v", err)
+	}
+	if err := a.VerifyFor(ks2, msg); err != nil {
+		t.Errorf("r2 verify: %v", err)
+	}
+	if err := a.VerifyFor(ks1, []byte("forged")); err == nil {
+		t.Error("authenticator verified forged message")
+	}
+
+	// A receiver with no entry must be rejected.
+	r3 := DriverID("c", 2)
+	ks3 := NewDerivedKeyStore(master, r3, append(all, r3))
+	if err := a.VerifyFor(ks3, msg); err == nil {
+		t.Error("authenticator verified for receiver with no entry")
+	}
+}
+
+func TestAuthenticatorSkipsSelf(t *testing.T) {
+	master := []byte("m")
+	sender := VoterID("s", 0)
+	peer := VoterID("s", 1)
+	ks := NewDerivedKeyStore(master, sender, []NodeID{sender, peer})
+	a, err := NewAuthenticator(ks, []byte("x"), []NodeID{sender, peer})
+	if err != nil {
+		t.Fatalf("NewAuthenticator: %v", err)
+	}
+	if len(a.Entries) != 1 {
+		t.Fatalf("got %d entries, want 1 (self skipped)", len(a.Entries))
+	}
+	// Self-addressed verification always succeeds.
+	if err := a.VerifyFor(ks, []byte("anything")); err == nil {
+		// a.Sender == ks.Self(), so this is trusted.
+	} else {
+		t.Errorf("self verification failed: %v", err)
+	}
+}
+
+// Property: for any message and key, the MAC verifies, and any bit flip
+// in the message invalidates it.
+func TestMACProperty(t *testing.T) {
+	f := func(key, msg []byte, flip uint) bool {
+		if len(key) == 0 {
+			key = []byte{0}
+		}
+		mac := MAC(key, msg)
+		if !VerifyMAC(key, msg, mac) {
+			return false
+		}
+		if len(msg) == 0 {
+			return true
+		}
+		tampered := append([]byte(nil), msg...)
+		tampered[int(flip%uint(len(msg)))] ^= 0x01
+		return !VerifyMAC(key, tampered, mac)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: NodeID string round-trips for arbitrary service names without
+// slashes.
+func TestNodeIDRoundTripProperty(t *testing.T) {
+	f := func(svc string, role uint8, idx uint16) bool {
+		r := Role(role%3 + 1)
+		for _, c := range svc {
+			if c == '/' || c == 0 {
+				return true // skip invalid service names
+			}
+		}
+		if svc == "" {
+			svc = "s"
+		}
+		id := NodeID{Service: svc, Role: r, Index: int(idx)}
+		got, err := ParseNodeID(id.String())
+		return err == nil && got == id
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkMAC(b *testing.B) {
+	key := Key(bytes.Repeat([]byte{7}, 32))
+	msg := bytes.Repeat([]byte{1}, 1024)
+	b.SetBytes(int64(len(msg)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		MAC(key, msg)
+	}
+}
+
+func BenchmarkAuthenticator10(b *testing.B) {
+	master := []byte("m")
+	sender := VoterID("s", 0)
+	receivers := make([]NodeID, 10)
+	all := []NodeID{sender}
+	for i := range receivers {
+		receivers[i] = DriverID("c", i)
+		all = append(all, receivers[i])
+	}
+	ks := NewDerivedKeyStore(master, sender, all)
+	msg := bytes.Repeat([]byte{1}, 1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewAuthenticator(ks, msg, receivers); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

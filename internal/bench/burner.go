@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"crypto/sha256"
+	"sync"
+	"time"
+)
+
+// CPUBurner emulates request processing cost with message digest
+// calculations, exactly the technique the paper uses for its
+// non-zero-processing-time experiments (Section 6.2: "we used message
+// digest calculations that approximately took the required length of
+// time to complete"). Burning iterations rather than sleeping keeps the
+// cost on the CPU, so the throughput effects of contention are
+// preserved.
+type CPUBurner struct {
+	itersPerMilli int
+}
+
+var (
+	calibrateOnce sync.Once
+	calibrated    int
+)
+
+// NewCPUBurner calibrates (once per process) how many digest iterations
+// one millisecond of CPU time costs.
+func NewCPUBurner() *CPUBurner {
+	calibrateOnce.Do(func() {
+		var buf [32]byte
+		// Warm up, then measure a fixed batch.
+		for i := 0; i < 2000; i++ {
+			buf = sha256.Sum256(buf[:])
+		}
+		const batch = 20000
+		start := time.Now()
+		for i := 0; i < batch; i++ {
+			buf = sha256.Sum256(buf[:])
+		}
+		elapsed := time.Since(start)
+		if elapsed <= 0 {
+			calibrated = batch
+			return
+		}
+		perMilli := float64(batch) / (float64(elapsed.Microseconds()) / 1000.0)
+		if perMilli < 1 {
+			perMilli = 1
+		}
+		calibrated = int(perMilli)
+		_ = buf
+	})
+	return &CPUBurner{itersPerMilli: calibrated}
+}
+
+// Burn consumes approximately d of CPU time.
+func (b *CPUBurner) Burn(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	iters := int(float64(b.itersPerMilli) * float64(d.Microseconds()) / 1000.0)
+	var buf [32]byte
+	for i := 0; i < iters; i++ {
+		buf = sha256.Sum256(buf[:])
+	}
+	_ = buf
+}
+
+// ItersPerMilli reports the calibration (diagnostics).
+func (b *CPUBurner) ItersPerMilli() int { return b.itersPerMilli }

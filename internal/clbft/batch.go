@@ -1,0 +1,106 @@
+package clbft
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"perpetualws/internal/wire"
+)
+
+// Request batching: when Config.MaxBatch > 1, a primary with several
+// buffered operations wraps them into a single batch request ordered
+// under one sequence number, amortizing the quadratic agreement traffic
+// across the batch. The batch is transparent above this package: each
+// inner operation is delivered (and deduplicated) individually.
+
+// batchPrefix marks batch OpIDs. Application OpIDs never collide with it
+// because batch OpIDs embed a content hash computed here.
+const batchPrefix = "\x00batch:"
+
+// isBatch reports whether a request is a batch wrapper.
+func isBatch(r *Request) bool {
+	return len(r.OpID) > len(batchPrefix) && r.OpID[:len(batchPrefix)] == batchPrefix
+}
+
+// encodeBatch wraps inner requests into one batch request.
+func encodeBatch(inner []*Request) *Request {
+	w := wire.NewWriter(64)
+	w.PutUvarint(uint64(len(inner)))
+	for _, r := range inner {
+		w.PutString(r.OpID)
+		w.PutBytes(r.Op)
+	}
+	op := w.Bytes()
+	sum := sha256.Sum256(op)
+	return &Request{OpID: batchPrefix + hex.EncodeToString(sum[:8]), Op: op}
+}
+
+// decodeBatch unwraps a batch request. It rejects malformed bodies and
+// OpIDs that do not match the content hash, so a Byzantine primary
+// cannot smuggle two different batches under one deduplication key.
+func decodeBatch(r *Request) ([]Request, error) {
+	if !isBatch(r) {
+		return nil, fmt.Errorf("clbft: not a batch request")
+	}
+	sum := sha256.Sum256(r.Op)
+	if r.OpID != batchPrefix+hex.EncodeToString(sum[:8]) {
+		return nil, fmt.Errorf("clbft: batch OpID does not match content")
+	}
+	rd := wire.NewReader(r.Op)
+	n := int(rd.Uvarint())
+	if n <= 0 || n > rd.Remaining()+1 {
+		return nil, fmt.Errorf("clbft: batch with %d entries", n)
+	}
+	out := make([]Request, 0, n)
+	for i := 0; i < n && rd.Err() == nil; i++ {
+		out = append(out, Request{OpID: rd.String(), Op: rd.BytesCopy()})
+	}
+	if err := rd.Done(); err != nil {
+		return nil, fmt.Errorf("clbft: batch body: %w", err)
+	}
+	for i := range out {
+		if out[i].IsNull() || isBatch(&out[i]) {
+			return nil, fmt.Errorf("clbft: batch entry %d is null or nested", i)
+		}
+	}
+	return out, nil
+}
+
+// validateBatch runs the application validator over every inner
+// operation.
+func (r *Replica) validateBatch(req *Request) bool {
+	inner, err := decodeBatch(req)
+	if err != nil {
+		return false
+	}
+	if r.cfg.MaxBatch > 1 && len(inner) > r.cfg.MaxBatch {
+		return false
+	}
+	if r.validate == nil {
+		return true
+	}
+	for i := range inner {
+		if !r.validate(inner[i].OpID, inner[i].Op) {
+			return false
+		}
+	}
+	return true
+}
+
+// innerOpIDs lists the deduplication keys a request carries: itself, or
+// its batch content.
+func innerOpIDs(req *Request) []string {
+	if !isBatch(req) {
+		return []string{req.OpID}
+	}
+	inner, err := decodeBatch(req)
+	if err != nil {
+		return []string{req.OpID}
+	}
+	ids := make([]string, len(inner))
+	for i := range inner {
+		ids[i] = inner[i].OpID
+	}
+	return ids
+}

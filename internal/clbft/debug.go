@@ -1,0 +1,48 @@
+package clbft
+
+// DebugState is a consistent snapshot of a replica's protocol state,
+// taken on the event-loop goroutine. It exists for tests and operational
+// introspection; production code paths do not depend on it.
+type DebugState struct {
+	View         uint64
+	InViewChange bool
+	LowWatermark uint64
+	LastExec     uint64
+	LogLen       int
+	PendingLen   int
+	StateDigest  Digest
+}
+
+type debugRequest struct {
+	reply chan DebugState
+}
+
+// DebugState returns a snapshot of internal state. It blocks until the
+// event loop services the request; on a stopped replica it returns the
+// zero value.
+func (r *Replica) DebugState() DebugState {
+	req := debugRequest{reply: make(chan DebugState, 1)}
+	select {
+	case r.inbox <- event{kind: evDebug, debug: &req}:
+	case <-r.stopped:
+		return DebugState{}
+	}
+	select {
+	case st := <-req.reply:
+		return st
+	case <-r.stopped:
+		return DebugState{}
+	}
+}
+
+func (r *Replica) onDebug(req *debugRequest) {
+	req.reply <- DebugState{
+		View:         r.view,
+		InViewChange: r.inViewChange,
+		LowWatermark: r.h,
+		LastExec:     r.lastExec,
+		LogLen:       len(r.log.entries),
+		PendingLen:   len(r.pending),
+		StateDigest:  r.stateDigest,
+	}
+}

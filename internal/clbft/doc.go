@@ -1,0 +1,31 @@
+// Package clbft implements the Castro-Liskov practical Byzantine
+// fault-tolerance algorithm (CLBFT, from "Practical Byzantine Fault
+// Tolerance", OSDI 1999) as used by Perpetual-WS voter groups.
+//
+// A group of n = 3f+1 replicas orders opaque operations so that every
+// correct replica delivers the same operations in the same sequence, as
+// long as at most f replicas are faulty. The implementation provides:
+//
+//   - the normal-case three-phase protocol (pre-prepare, prepare,
+//     commit) with piggybacked request bodies;
+//   - periodic checkpoints with quorum-certified garbage collection of
+//     the message log;
+//   - view changes with new-view certificates, so a faulty primary is
+//     replaced and prepared operations survive into the new view;
+//   - sequence-number watermarks bounding log growth.
+//
+// Operations are identified by an opaque OpID chosen by the proposer.
+// OpIDs deduplicate re-proposals (any replica may re-submit an operation
+// while it is unsure whether the primary ordered it). Deduplication
+// state is garbage-collected together with the log; layers above (the
+// Perpetual core) must tolerate redelivery of operations whose OpIDs
+// have been collected, which they do by tracking per-request state.
+//
+// The replica is a single-goroutine event loop: all protocol state is
+// confined to that goroutine, messages and local submissions enter
+// through one inbox channel, and outbound messages leave through a
+// Transport interface supplied by the embedder. Authentication is the
+// transport's concern (Perpetual-WS authenticates every link with
+// pairwise MACs in the ChannelAdapter); clbft trusts the replica index
+// the transport attributes to each message.
+package clbft

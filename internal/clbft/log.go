@@ -1,0 +1,139 @@
+package clbft
+
+// entry tracks the protocol state of one sequence number in one view.
+// Entries live in the replica's message log between the low watermark
+// and execution + checkpoint garbage collection.
+//
+// Prepare and commit votes record the digest each voter claimed: votes
+// are only counted toward certificates when they match the pre-prepared
+// digest, so a Byzantine replica cannot inflate a certificate by voting
+// early with an arbitrary digest.
+type entry struct {
+	view    uint64
+	seq     uint64
+	digest  Digest
+	request *Request
+	// innerOps caches the deduplication keys the request carries (its
+	// own OpID, or the batch's inner OpIDs), so the primary's
+	// double-assignment check does not re-decode batches.
+	innerOps []string
+
+	prePrepared bool
+	prepares    map[int]Digest // backup index -> claimed digest
+	commits     map[int]Digest // replica index -> claimed digest
+
+	prepared   bool
+	committed  bool
+	executed   bool
+	sentCommit bool
+}
+
+func newEntry(view, seq uint64) *entry {
+	return &entry{
+		view:     view,
+		seq:      seq,
+		prepares: make(map[int]Digest),
+		commits:  make(map[int]Digest),
+	}
+}
+
+// matchingPrepares counts prepare votes that match the pre-prepared
+// digest. Meaningless before the pre-prepare fixes the digest.
+func (e *entry) matchingPrepares() int {
+	n := 0
+	for _, d := range e.prepares {
+		if d == e.digest {
+			n++
+		}
+	}
+	return n
+}
+
+// matchingCommits counts commit votes that match the pre-prepared
+// digest.
+func (e *entry) matchingCommits() int {
+	n := 0
+	for _, d := range e.commits {
+		if d == e.digest {
+			n++
+		}
+	}
+	return n
+}
+
+// msgLog is the replica's bounded message log keyed by sequence number.
+// Only one entry per sequence number is tracked for the current view;
+// entries from superseded views are replaced during view changes.
+type msgLog struct {
+	entries map[uint64]*entry
+}
+
+func newMsgLog() *msgLog {
+	return &msgLog{entries: make(map[uint64]*entry)}
+}
+
+// get returns the entry for (view, seq), creating it if absent. An entry
+// recorded in an older view is replaced: its certificates are
+// meaningless in the new view.
+func (l *msgLog) get(view, seq uint64) *entry {
+	e, ok := l.entries[seq]
+	if !ok || e.view < view {
+		e = newEntry(view, seq)
+		l.entries[seq] = e
+	}
+	return e
+}
+
+// at returns the entry at seq regardless of view.
+func (l *msgLog) at(seq uint64) (*entry, bool) {
+	e, ok := l.entries[seq]
+	return e, ok
+}
+
+// truncate removes all entries with seq <= stable (covered by a stable
+// checkpoint).
+func (l *msgLog) truncate(stable uint64) {
+	for seq := range l.entries {
+		if seq <= stable {
+			delete(l.entries, seq)
+		}
+	}
+}
+
+// hasLiveOp reports whether some live log entry carries the given OpID
+// (directly or inside a batch); used by the primary to avoid assigning
+// two sequence numbers to one operation.
+func (l *msgLog) hasLiveOp(opID string) bool {
+	for _, e := range l.entries {
+		if e.request == nil || e.executed {
+			continue
+		}
+		if e.request.OpID == opID {
+			return true
+		}
+		for _, id := range e.innerOps {
+			if id == opID {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// preparedAbove collects prepared certificates with seq > stable, for
+// inclusion in a view-change message.
+func (l *msgLog) preparedAbove(stable uint64) []PreparedEntry {
+	var out []PreparedEntry
+	for seq, e := range l.entries {
+		if seq <= stable || !e.prepared || e.request == nil {
+			continue
+		}
+		out = append(out, PreparedEntry{
+			View:    e.view,
+			Seq:     seq,
+			Digest:  e.digest,
+			Request: *e.request,
+		})
+	}
+	return out
+}

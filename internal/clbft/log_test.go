@@ -1,0 +1,209 @@
+package clbft
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestMsgLogGetReplacesOlderViews(t *testing.T) {
+	l := newMsgLog()
+	e0 := l.get(0, 5)
+	e0.prePrepared = true
+	e0.prepared = true
+	// Same view returns the same entry.
+	if l.get(0, 5) != e0 {
+		t.Fatal("same-view get created a new entry")
+	}
+	// A newer view replaces it (certificates are view-specific).
+	e1 := l.get(1, 5)
+	if e1 == e0 {
+		t.Fatal("newer view did not replace the entry")
+	}
+	if e1.prepared {
+		t.Error("replacement inherited certificates")
+	}
+	// An older view must NOT replace a newer entry.
+	if l.get(0, 5) != e1 {
+		t.Error("older view replaced a newer entry")
+	}
+}
+
+func TestMsgLogTruncate(t *testing.T) {
+	l := newMsgLog()
+	for seq := uint64(1); seq <= 10; seq++ {
+		l.get(0, seq)
+	}
+	l.truncate(6)
+	for seq := uint64(1); seq <= 6; seq++ {
+		if _, ok := l.at(seq); ok {
+			t.Errorf("seq %d survived truncation", seq)
+		}
+	}
+	for seq := uint64(7); seq <= 10; seq++ {
+		if _, ok := l.at(seq); !ok {
+			t.Errorf("seq %d lost by truncation", seq)
+		}
+	}
+}
+
+func TestMsgLogPreparedAbove(t *testing.T) {
+	l := newMsgLog()
+	req := Request{OpID: "a", Op: []byte("x")}
+	for seq := uint64(1); seq <= 4; seq++ {
+		e := l.get(0, seq)
+		e.request = &req
+		e.digest = req.Digest()
+		e.prePrepared = true
+		e.prepared = seq%2 == 0 // 2 and 4 prepared
+	}
+	out := l.preparedAbove(2)
+	if len(out) != 1 || out[0].Seq != 4 {
+		t.Errorf("preparedAbove(2) = %+v", out)
+	}
+	if out[0].Request.OpID != "a" {
+		t.Error("prepared entry lost its request body")
+	}
+}
+
+func TestEntryMatchingVotes(t *testing.T) {
+	req := Request{OpID: "op"}
+	d := req.Digest()
+	var other Digest
+	other[0] = 0xFF
+	e := newEntry(0, 1)
+	e.digest = d
+	e.prePrepared = true
+	e.prepares[1] = d
+	e.prepares[2] = other // mismatching vote must not count
+	e.prepares[3] = d
+	if got := e.matchingPrepares(); got != 2 {
+		t.Errorf("matchingPrepares = %d, want 2", got)
+	}
+	e.commits[0] = d
+	e.commits[1] = other
+	if got := e.matchingCommits(); got != 1 {
+		t.Errorf("matchingCommits = %d, want 1", got)
+	}
+}
+
+func TestHasLiveOp(t *testing.T) {
+	l := newMsgLog()
+	req := Request{OpID: "live"}
+	e := l.get(0, 1)
+	e.request = &req
+	if !l.hasLiveOp("live") {
+		t.Error("live op not found")
+	}
+	e.executed = true
+	if l.hasLiveOp("live") {
+		t.Error("executed op reported live")
+	}
+	if l.hasLiveOp("other") {
+		t.Error("unknown op reported live")
+	}
+}
+
+// Property: after any sequence of get/truncate operations, no entry
+// below the truncation point survives and every surviving entry is
+// reachable at its own sequence number.
+func TestMsgLogInvariantProperty(t *testing.T) {
+	f := func(ops []uint16, truncAt uint16) bool {
+		l := newMsgLog()
+		for _, o := range ops {
+			seq := uint64(o%64) + 1
+			view := uint64(o % 3)
+			l.get(view, seq)
+		}
+		stable := uint64(truncAt % 64)
+		l.truncate(stable)
+		for seq, e := range l.entries {
+			if seq <= stable {
+				return false
+			}
+			if e.seq != seq {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: computeNewViewPrePrepares output is gap-free and every
+// pre-prepare is either a claimed prepared request (highest view wins)
+// or a null fill.
+func TestNewViewComputationProperty(t *testing.T) {
+	f := func(seqsRaw []uint8, stableRaw uint8) bool {
+		stable := uint64(stableRaw % 8)
+		vcs := []ViewChange{{NewView: 5, LastStable: stable, Replica: 0}}
+		maxSeq := stable
+		for i, s := range seqsRaw {
+			seq := stable + 1 + uint64(s%16)
+			if seq > maxSeq {
+				maxSeq = seq
+			}
+			req := Request{OpID: fmt.Sprintf("op-%d", i), Op: []byte{byte(i)}}
+			vcs[0].Prepared = append(vcs[0].Prepared, PreparedEntry{
+				View: uint64(i % 4), Seq: seq, Digest: req.Digest(), Request: req,
+			})
+		}
+		pps := computeNewViewPrePrepares(5, vcs)
+		if uint64(len(pps)) != maxSeq-stable {
+			return false
+		}
+		for i, pp := range pps {
+			if pp.Seq != stable+1+uint64(i) {
+				return false // gap or disorder
+			}
+			if pp.View != 5 {
+				return false
+			}
+			wantDigest := pp.Request.Digest()
+			if pp.Request.IsNull() {
+				wantDigest = Digest{}
+			}
+			if pp.Digest != wantDigest {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDebugStateSnapshot(t *testing.T) {
+	c := newTestCluster(t, 4)
+	c.replicas[0].Submit("dbg", []byte("x"))
+	c.waitDelivered(1)
+	st := c.replicas[0].DebugState()
+	if st.LastExec != 1 {
+		t.Errorf("LastExec = %d", st.LastExec)
+	}
+	if st.InViewChange {
+		t.Error("unexpected view change")
+	}
+	if st.View != 0 {
+		t.Errorf("View = %d", st.View)
+	}
+}
+
+func TestDebugStateOnStoppedReplica(t *testing.T) {
+	r, err := New(Config{ID: 0, N: 1}, clbftNopTransport{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Start()
+	r.Stop()
+	if st := r.DebugState(); st.View != 0 || st.LastExec != 0 {
+		t.Errorf("DebugState after stop = %+v", st)
+	}
+}
+
+type clbftNopTransport struct{}
+
+func (clbftNopTransport) Send(int, *Message) {}

@@ -1,0 +1,739 @@
+package clbft
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"log"
+	"sync/atomic"
+	"time"
+)
+
+// Delivery is one agreed operation handed to the application, in strict
+// sequence order.
+type Delivery struct {
+	Seq  uint64
+	OpID string
+	Op   []byte
+}
+
+// Transport sends protocol messages to other members of the voter group,
+// addressed by replica index. Implementations must not block for long;
+// the Perpetual ChannelAdapter satisfies this.
+type Transport interface {
+	Send(to int, m *Message)
+}
+
+// TransportFunc adapts a function to the Transport interface.
+type TransportFunc func(to int, m *Message)
+
+// Send implements Transport.
+func (f TransportFunc) Send(to int, m *Message) { f(to, m) }
+
+type eventKind uint8
+
+const (
+	evMessage eventKind = iota + 1
+	evSubmit
+	evTimer
+	evStop
+	evDebug
+)
+
+type event struct {
+	kind     eventKind
+	from     int
+	msg      *Message
+	req      *Request
+	timerGen uint64
+	debug    *debugRequest
+}
+
+// inboxDepth bounds the replica's event queue. Overflow drops protocol
+// messages (they are retransmitted or recovered by view changes) but
+// never local submissions, which block briefly instead.
+const inboxDepth = 16384
+
+// Replica is one member of a CLBFT group. All protocol state is owned by
+// a single event-loop goroutine; public methods only enqueue events and
+// read atomics, so the type is safe for concurrent use.
+type Replica struct {
+	cfg       Config
+	deliver   func(Delivery)
+	transport Transport
+	logger    *log.Logger
+	validate  func(opID string, op []byte) bool
+
+	inbox   chan event
+	stopped chan struct{}
+
+	// Event-loop-confined protocol state.
+	view        uint64
+	seqCounter  uint64
+	h           uint64 // low watermark: last stable checkpoint
+	lastExec    uint64
+	stateDigest Digest
+	log         *msgLog
+
+	pending      map[string]*Request
+	pendingOrder []string
+	executedOps  map[string]uint64
+
+	checkpoints    map[uint64]map[int]Digest
+	certifiedCkpts map[uint64]Digest
+	execCache      map[uint64]*Request
+
+	inViewChange bool
+	viewChanges  map[uint64]map[int]*ViewChange
+	vcTimeout    time.Duration
+
+	timer    *time.Timer
+	timerGen uint64
+
+	// Cross-goroutine visible state.
+	curView   atomic.Uint64
+	execCount atomic.Uint64
+	vcCount   atomic.Uint64
+}
+
+// Option configures a Replica.
+type Option func(*Replica)
+
+// WithLogger directs diagnostics to l. By default diagnostics are
+// discarded.
+func WithLogger(l *log.Logger) Option {
+	return func(r *Replica) { r.logger = l }
+}
+
+// WithValidator installs an operation validator. Replicas refuse to
+// pre-prepare or prepare operations the validator rejects, so a faulty
+// primary cannot push fabricated operations through agreement. The
+// validator must be cheap and must not call back into the replica.
+//
+// Validators may consult per-replica secrets (e.g., MAC entries
+// addressed to this replica), so acceptance can differ across replicas
+// for adversarial operations; such operations stall and are recovered by
+// a view change, a liveness (not safety) concern inherited from
+// MAC-authenticated BFT protocols.
+func WithValidator(f func(opID string, op []byte) bool) Option {
+	return func(r *Replica) { r.validate = f }
+}
+
+// New creates a replica. deliver is invoked on the event-loop goroutine,
+// exactly once per sequence number, in order; it must not call back into
+// the replica synchronously.
+func New(cfg Config, transport Transport, deliver func(Delivery), opts ...Option) (*Replica, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	r := &Replica{
+		cfg:            cfg,
+		deliver:        deliver,
+		transport:      transport,
+		inbox:          make(chan event, inboxDepth),
+		stopped:        make(chan struct{}),
+		log:            newMsgLog(),
+		pending:        make(map[string]*Request),
+		executedOps:    make(map[string]uint64),
+		checkpoints:    make(map[uint64]map[int]Digest),
+		certifiedCkpts: make(map[uint64]Digest),
+		execCache:      make(map[uint64]*Request),
+		viewChanges:    make(map[uint64]map[int]*ViewChange),
+		vcTimeout:      cfg.ViewChangeTimeout,
+	}
+	for _, o := range opts {
+		o(r)
+	}
+	return r, nil
+}
+
+// Start launches the event loop.
+func (r *Replica) Start() {
+	go r.run()
+}
+
+// Stop terminates the event loop and waits for it to exit.
+func (r *Replica) Stop() {
+	select {
+	case <-r.stopped:
+		return
+	default:
+	}
+	select {
+	case r.inbox <- event{kind: evStop}:
+	case <-r.stopped:
+		return
+	}
+	<-r.stopped
+}
+
+// Submit proposes an operation for ordering. It may be called by any
+// replica's embedder; non-primaries forward to the primary. Duplicate
+// OpIDs are ignored once executed (within the retention window).
+func (r *Replica) Submit(opID string, op []byte) {
+	select {
+	case r.inbox <- event{kind: evSubmit, req: &Request{OpID: opID, Op: op}}:
+	case <-r.stopped:
+	}
+}
+
+// Receive enqueues a protocol message attributed (by the authenticated
+// transport) to replica from. Malformed or untimely messages are safely
+// ignored by the event loop.
+func (r *Replica) Receive(from int, m *Message) {
+	if from < 0 || from >= r.cfg.N || m == nil {
+		return
+	}
+	select {
+	case r.inbox <- event{kind: evMessage, from: from, msg: m}:
+	default:
+		// Inbox overflow: drop. BFT recovers via retransmission and view
+		// changes; blocking here could deadlock the transport.
+	}
+}
+
+// View returns the replica's current view.
+func (r *Replica) View() uint64 { return r.curView.Load() }
+
+// Primary returns the index of the current view's primary.
+func (r *Replica) Primary() int { return r.cfg.PrimaryOf(r.View()) }
+
+// IsPrimary reports whether this replica currently leads the group.
+func (r *Replica) IsPrimary() bool { return r.Primary() == r.cfg.ID }
+
+// Executed returns the number of operations delivered so far.
+func (r *Replica) Executed() uint64 { return r.execCount.Load() }
+
+// ViewChanges returns the number of view changes this replica has
+// entered (diagnostic).
+func (r *Replica) ViewChanges() uint64 { return r.vcCount.Load() }
+
+// Config returns the replica's configuration.
+func (r *Replica) Config() Config { return r.cfg }
+
+func (r *Replica) logf(format string, args ...any) {
+	if r.logger != nil {
+		r.logger.Printf("clbft[%d v%d]: "+format, append([]any{r.cfg.ID, r.view}, args...)...)
+	}
+}
+
+func (r *Replica) run() {
+	defer close(r.stopped)
+	for ev := range r.inbox {
+		switch ev.kind {
+		case evStop:
+			if r.timer != nil {
+				r.timer.Stop()
+			}
+			return
+		case evSubmit:
+			r.onSubmit(ev.req)
+		case evMessage:
+			r.onMessage(ev.from, ev.msg)
+		case evTimer:
+			r.onTimer(ev.timerGen)
+		case evDebug:
+			r.onDebug(ev.debug)
+		}
+	}
+}
+
+// broadcast sends m to every other replica and processes it locally so
+// that single-replica groups (n=1, used for unreplicated endpoints) and
+// the sender's own certificates work uniformly.
+func (r *Replica) broadcast(m *Message) {
+	for i := 0; i < r.cfg.N; i++ {
+		if i == r.cfg.ID {
+			continue
+		}
+		r.transport.Send(i, m)
+	}
+	r.onMessage(r.cfg.ID, m)
+}
+
+func (r *Replica) onSubmit(req *Request) {
+	if req.IsNull() {
+		return
+	}
+	if r.validate != nil && !r.validate(req.OpID, req.Op) {
+		return // never buffer an op we would refuse to prepare
+	}
+	if _, done := r.executedOps[req.OpID]; done {
+		return
+	}
+	if _, dup := r.pending[req.OpID]; dup {
+		return
+	}
+	r.pending[req.OpID] = req
+	r.pendingOrder = append(r.pendingOrder, req.OpID)
+	if r.isPrimaryLocked() && !r.inViewChange {
+		r.proposePending()
+	} else {
+		// Forward to the primary for ordering.
+		r.transport.Send(r.cfg.PrimaryOf(r.view), &Message{Type: MsgRequest, Request: req})
+	}
+	r.armTimer()
+}
+
+func (r *Replica) isPrimaryLocked() bool { return r.cfg.PrimaryOf(r.view) == r.cfg.ID }
+
+// proposePending assigns sequence numbers to buffered requests within
+// the watermark window, batching up to MaxBatch operations per sequence
+// number. Requests stay in pending (and pendingOrder) until they
+// execute, so they survive view changes and are re-proposed by the new
+// primary if their certificates were lost.
+func (r *Replica) proposePending() {
+	if !r.isPrimaryLocked() || r.inViewChange {
+		return
+	}
+	if r.seqCounter >= r.h+r.cfg.LogWindow() {
+		return // window full; retried after the next stable checkpoint
+	}
+	maxBatch := r.cfg.MaxBatch
+	if maxBatch < 1 {
+		maxBatch = 1
+	}
+	var batch []*Request
+	flush := func() bool {
+		if len(batch) == 0 {
+			return true
+		}
+		if r.seqCounter >= r.h+r.cfg.LogWindow() {
+			return false // window filled up mid-pass; ops stay pending
+		}
+		req := batch[0]
+		if len(batch) > 1 {
+			req = encodeBatch(batch)
+		}
+		batch = batch[:0]
+		r.seqCounter++
+		pp := &PrePrepare{View: r.view, Seq: r.seqCounter, Digest: req.Digest(), Request: *req}
+		r.broadcast(&Message{Type: MsgPrePrepare, PrePrepare: pp})
+		return true
+	}
+	kept := r.pendingOrder[:0]
+	for idx, opID := range r.pendingOrder {
+		req, ok := r.pending[opID]
+		if !ok {
+			continue // executed: lazily dropped from the order
+		}
+		kept = append(kept, opID)
+		if r.log.hasLiveOp(opID) {
+			continue // already assigned a live sequence number
+		}
+		batch = append(batch, req)
+		if len(batch) >= maxBatch {
+			if !flush() {
+				// Watermark window exhausted: keep the remaining order
+				// untouched and stop scanning — under burst submission
+				// this pass must not be quadratic in the backlog.
+				kept = append(kept, r.pendingOrder[idx+1:]...)
+				r.pendingOrder = kept
+				return
+			}
+		}
+	}
+	flush()
+	r.pendingOrder = kept
+}
+
+func (r *Replica) onMessage(from int, m *Message) {
+	switch m.Type {
+	case MsgRequest:
+		r.onRequest(from, m.Request)
+	case MsgPrePrepare:
+		r.onPrePrepare(from, m.PrePrepare)
+	case MsgPrepare:
+		r.onPrepare(from, m.Prepare)
+	case MsgCommit:
+		r.onCommit(from, m.Commit)
+	case MsgCheckpoint:
+		r.onCheckpoint(from, m.Checkpoint)
+	case MsgViewChange:
+		r.onViewChange(from, m.ViewChange)
+	case MsgNewView:
+		r.onNewView(from, m.NewView)
+	case MsgFetch:
+		r.onFetch(from, m.Fetch)
+	case MsgFetchReply:
+		r.onFetchReply(from, m.FetchReply)
+	}
+}
+
+// onRequest handles an operation forwarded by another replica.
+func (r *Replica) onRequest(from int, req *Request) {
+	if req == nil || req.IsNull() {
+		return
+	}
+	if r.validate != nil && !r.validate(req.OpID, req.Op) {
+		return // see onSubmit: invalid ops must not pin the suspicion timer
+	}
+	if _, done := r.executedOps[req.OpID]; done {
+		return
+	}
+	if _, dup := r.pending[req.OpID]; !dup {
+		r.pending[req.OpID] = req
+		r.pendingOrder = append(r.pendingOrder, req.OpID)
+	}
+	if r.isPrimaryLocked() && !r.inViewChange {
+		r.proposePending()
+	}
+	r.armTimer()
+}
+
+func (r *Replica) onPrePrepare(from int, pp *PrePrepare) {
+	if pp == nil || r.inViewChange || pp.View != r.view {
+		return
+	}
+	if from != r.cfg.PrimaryOf(pp.View) {
+		return // only the primary may pre-prepare
+	}
+	if pp.Seq <= r.h || pp.Seq > r.h+r.cfg.LogWindow() {
+		return // outside watermarks
+	}
+	wantDigest := pp.Request.Digest()
+	if pp.Request.IsNull() {
+		wantDigest = Digest{}
+	}
+	if pp.Digest != wantDigest {
+		return // digest does not match piggybacked request
+	}
+	if !pp.Request.IsNull() {
+		if isBatch(&pp.Request) {
+			if !r.validateBatch(&pp.Request) {
+				return // malformed batch or an inner op was rejected
+			}
+		} else if r.validate != nil && !r.validate(pp.Request.OpID, pp.Request.Op) {
+			return // operation rejected by the application validator
+		}
+	}
+	e := r.log.get(pp.View, pp.Seq)
+	if e.prePrepared && e.digest != pp.Digest {
+		return // conflicting pre-prepare in same view: ignore (primary is faulty)
+	}
+	if e.prePrepared {
+		return // duplicate
+	}
+	e.prePrepared = true
+	e.digest = pp.Digest
+	req := pp.Request
+	e.request = &req
+	e.innerOps = innerOpIDs(&req)
+
+	if r.cfg.ID != r.cfg.PrimaryOf(pp.View) {
+		p := &Prepare{View: pp.View, Seq: pp.Seq, Digest: pp.Digest, Replica: r.cfg.ID}
+		r.broadcast(&Message{Type: MsgPrepare, Prepare: p})
+	}
+	// An accepted-but-unexecuted request is outstanding work: arm the
+	// suspicion timer so a primary that equivocates or stalls after
+	// pre-preparing still gets replaced.
+	r.armTimer()
+	r.maybePrepared(e)
+}
+
+func (r *Replica) onPrepare(from int, p *Prepare) {
+	if p == nil || p.View != r.view || r.inViewChange {
+		return
+	}
+	if from == r.cfg.PrimaryOf(p.View) {
+		return // the primary's pre-prepare is its prepare
+	}
+	if p.Seq <= r.h || p.Seq > r.h+r.cfg.LogWindow() {
+		return
+	}
+	if p.Replica != from {
+		return // claimed identity must match authenticated sender
+	}
+	e := r.log.get(p.View, p.Seq)
+	// Votes arriving before the pre-prepare are recorded with their
+	// claimed digest and only counted once the pre-prepare fixes the
+	// entry's digest.
+	e.prepares[from] = p.Digest
+	r.maybePrepared(e)
+}
+
+func (r *Replica) maybePrepared(e *entry) {
+	if e.prepared || !e.prePrepared {
+		return
+	}
+	// The pre-prepare counts as the primary's vote, so a prepared
+	// certificate needs Quorum()-1 matching prepares from backups.
+	if e.matchingPrepares() < r.cfg.Quorum()-1 {
+		return
+	}
+	e.prepared = true
+	if !e.sentCommit {
+		e.sentCommit = true
+		c := &Commit{View: e.view, Seq: e.seq, Digest: e.digest, Replica: r.cfg.ID}
+		r.broadcast(&Message{Type: MsgCommit, Commit: c})
+	}
+}
+
+func (r *Replica) onCommit(from int, c *Commit) {
+	if c == nil || c.View != r.view || r.inViewChange {
+		return
+	}
+	if c.Seq <= r.h || c.Seq > r.h+r.cfg.LogWindow() {
+		return
+	}
+	if c.Replica != from {
+		return
+	}
+	e := r.log.get(c.View, c.Seq)
+	e.commits[from] = c.Digest
+	r.maybeCommitted(e)
+}
+
+func (r *Replica) maybeCommitted(e *entry) {
+	if e.committed || !e.prepared {
+		return
+	}
+	if e.matchingCommits() < r.cfg.Quorum() {
+		return
+	}
+	e.committed = true
+	r.executeReady()
+}
+
+// executeReady delivers committed operations in sequence order.
+func (r *Replica) executeReady() {
+	for {
+		e, ok := r.log.at(r.lastExec + 1)
+		if !ok || !e.committed || e.executed {
+			return
+		}
+		e.executed = true
+		r.lastExec++
+		r.applyOp(r.lastExec, e.request)
+	}
+}
+
+// applyOp updates replica state for one executed operation and hands
+// non-null operations to the application.
+func (r *Replica) applyOp(seq uint64, req *Request) {
+	var reqDigest Digest
+	if req != nil && !req.IsNull() {
+		reqDigest = req.Digest()
+	}
+	r.stateDigest = chainDigest(r.stateDigest, seq, reqDigest)
+	if req != nil && !req.IsNull() {
+		r.executedOps[req.OpID] = seq
+		r.execCache[seq] = req
+		if inner, err := decodeBatch(req); isBatch(req) && err == nil {
+			// Deliver each batched operation individually, in batch
+			// order, skipping any that already executed under an
+			// earlier sequence number.
+			for i := range inner {
+				in := &inner[i]
+				if _, done := r.executedOps[in.OpID]; done {
+					continue
+				}
+				r.executedOps[in.OpID] = seq
+				delete(r.pending, in.OpID)
+				r.execCount.Add(1)
+				if r.deliver != nil {
+					r.deliver(Delivery{Seq: seq, OpID: in.OpID, Op: in.Op})
+				}
+			}
+		} else {
+			delete(r.pending, req.OpID)
+			r.execCount.Add(1)
+			if r.deliver != nil {
+				r.deliver(Delivery{Seq: seq, OpID: req.OpID, Op: req.Op})
+			}
+		}
+	}
+	if seq%r.cfg.CheckpointInterval == 0 {
+		ck := &Checkpoint{Seq: seq, State: r.stateDigest, Replica: r.cfg.ID}
+		r.broadcast(&Message{Type: MsgCheckpoint, Checkpoint: ck})
+	}
+	// Execution is progress: restart the suspicion timer for the
+	// remaining outstanding requests, or clear it when none remain.
+	r.progressTimer()
+}
+
+// chainDigest extends the running state digest with one executed
+// operation. The chain lets lagging replicas verify fetched history
+// against a quorum-certified checkpoint digest.
+func chainDigest(prev Digest, seq uint64, reqDigest Digest) Digest {
+	h := sha256.New()
+	h.Write(prev[:])
+	var seqb [8]byte
+	binary.BigEndian.PutUint64(seqb[:], seq)
+	h.Write(seqb[:])
+	h.Write(reqDigest[:])
+	var out Digest
+	h.Sum(out[:0])
+	return out
+}
+
+func (r *Replica) onCheckpoint(from int, c *Checkpoint) {
+	if c == nil || c.Seq == 0 || c.Replica != from {
+		return
+	}
+	if c.Seq <= r.h {
+		return // already stable
+	}
+	byReplica, ok := r.checkpoints[c.Seq]
+	if !ok {
+		byReplica = make(map[int]Digest)
+		r.checkpoints[c.Seq] = byReplica
+	}
+	byReplica[from] = c.State
+
+	count := 0
+	for _, d := range byReplica {
+		if d == c.State {
+			count++
+		}
+	}
+	if count < r.cfg.Quorum() {
+		return
+	}
+	// Quorum-certified checkpoint.
+	r.certifiedCkpts[c.Seq] = c.State
+	if r.lastExec >= c.Seq {
+		r.stabilize(c.Seq)
+	} else {
+		// We are behind: fetch missing operations from peers.
+		r.requestCatchUp(c.Seq)
+	}
+}
+
+// stabilize advances the low watermark to seq and garbage-collects.
+func (r *Replica) stabilize(seq uint64) {
+	if seq <= r.h {
+		return
+	}
+	r.h = seq
+	if r.seqCounter < seq {
+		r.seqCounter = seq
+	}
+	r.log.truncate(seq)
+	for s := range r.checkpoints {
+		if s <= seq {
+			delete(r.checkpoints, s)
+		}
+	}
+	for s := range r.certifiedCkpts {
+		if s < seq { // keep the digest at seq for catch-up serving
+			delete(r.certifiedCkpts, s)
+		}
+	}
+	// Prune deduplication state and the catch-up cache outside the
+	// retention window.
+	retain := uint64(0)
+	if seq > retentionWindows*r.cfg.LogWindow() {
+		retain = seq - retentionWindows*r.cfg.LogWindow()
+	}
+	for opID, s := range r.executedOps {
+		if s <= retain {
+			delete(r.executedOps, opID)
+		}
+	}
+	for s := range r.execCache {
+		if s <= retain {
+			delete(r.execCache, s)
+		}
+	}
+	if r.isPrimaryLocked() && !r.inViewChange {
+		r.proposePending() // window advanced; propose buffered requests
+	}
+}
+
+// retentionWindows controls how many log windows of executed operations
+// are kept for catch-up serving and deduplication after stabilization.
+const retentionWindows = 4
+
+// hasOutstanding reports whether the replica is waiting for agreement on
+// anything: buffered requests, or accepted log entries not yet executed.
+func (r *Replica) hasOutstanding() bool {
+	if len(r.pending) > 0 {
+		return true
+	}
+	for _, e := range r.log.entries {
+		if e.prePrepared && !e.executed {
+			return true
+		}
+	}
+	return false
+}
+
+// armTimer starts the suspicion timer if outstanding work needs one and
+// no timer is already running.
+func (r *Replica) armTimer() {
+	if !r.inViewChange && !r.hasOutstanding() {
+		return
+	}
+	if r.timer != nil {
+		return // already armed; progressTimer restarts it on execution
+	}
+	r.startTimer(r.vcTimeout)
+}
+
+// startTimer (re)arms the suspicion timer. Stale fires are filtered by a
+// generation counter.
+func (r *Replica) startTimer(d time.Duration) {
+	r.timerGen++
+	gen := r.timerGen
+	fire := func() {
+		select {
+		case r.inbox <- event{kind: evTimer, timerGen: gen}:
+		case <-r.stopped:
+		}
+	}
+	if r.timer != nil {
+		r.timer.Stop()
+	}
+	r.timer = time.AfterFunc(d, fire)
+}
+
+// progressTimer restarts the suspicion window after progress (an
+// execution), or clears the timer when nothing is outstanding.
+func (r *Replica) progressTimer() {
+	if r.inViewChange {
+		return // the view-change timer stays armed until new-view
+	}
+	if !r.hasOutstanding() {
+		r.stopTimer()
+		return
+	}
+	r.startTimer(r.vcTimeout)
+}
+
+func (r *Replica) stopTimer() {
+	if r.timer != nil {
+		r.timer.Stop()
+		r.timer = nil
+	}
+	r.timerGen++
+}
+
+func (r *Replica) onTimer(gen uint64) {
+	if gen != r.timerGen {
+		return // stale timer
+	}
+	r.timer = nil
+	if !r.inViewChange && !r.hasOutstanding() {
+		return // nothing outstanding
+	}
+	// Share outstanding requests with every replica first (the PBFT
+	// client-multicast step): peers that never saw them buffer the
+	// requests, arm their own timers, and join the view change, which
+	// needs a quorum to complete.
+	for _, opID := range r.pendingOrder {
+		req, ok := r.pending[opID]
+		if !ok {
+			continue
+		}
+		m := &Message{Type: MsgRequest, Request: req}
+		for i := 0; i < r.cfg.N; i++ {
+			if i != r.cfg.ID {
+				r.transport.Send(i, m)
+			}
+		}
+	}
+	// The primary did not order our pending requests (or the view change
+	// did not complete) in time: suspect it and move on.
+	r.startViewChange(r.view + 1)
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"perpetualws/internal/perpetual"
+)
+
+// ServiceDef declares one service of an in-process cluster.
+type ServiceDef struct {
+	// Name and N identify and size the replica group (N = 3f+1 for
+	// fault tolerance f; 1 for unreplicated endpoints).
+	Name string
+	N    int
+	// App is the executor run on every replica; nil deploys a node
+	// whose MessageHandler is driven externally (clients, tests).
+	App Application
+	// Options tunes the underlying Perpetual replicas.
+	Options perpetual.ServiceOptions
+	// Behaviors injects Byzantine faults per replica index (tests).
+	Behaviors map[int]perpetual.Behavior
+	// Logger receives node diagnostics.
+	Logger *log.Logger
+}
+
+// Cluster is an in-process Perpetual-WS deployment: every replica of
+// every declared service runs in this process over an in-memory
+// network. It is the programmatic equivalent of deploying each service
+// with replicas.xml on a testbed, and is what the examples, tests, and
+// benchmarks use.
+type Cluster struct {
+	dep   *perpetual.Deployment
+	defs  map[string]ServiceDef
+	nodes map[string][]*Node
+}
+
+// NewCluster builds (but does not start) a cluster.
+func NewCluster(master []byte, defs ...ServiceDef) (*Cluster, error) {
+	infos := make([]perpetual.ServiceInfo, 0, len(defs))
+	for _, d := range defs {
+		if d.Name == "" || d.N < 1 {
+			return nil, fmt.Errorf("perpetualws: invalid service definition %+v", d)
+		}
+		infos = append(infos, perpetual.ServiceInfo{Name: d.Name, N: d.N})
+	}
+	dep := perpetual.NewDeployment(master, infos...)
+	c := &Cluster{
+		dep:   dep,
+		defs:  make(map[string]ServiceDef, len(defs)),
+		nodes: make(map[string][]*Node),
+	}
+	for _, d := range defs {
+		c.defs[d.Name] = d
+		opts := d.Options
+		opts.Behaviors = d.Behaviors
+		if opts.Logger == nil {
+			opts.Logger = d.Logger
+		}
+		dep.Configure(d.Name, opts)
+	}
+	if err := dep.Build(); err != nil {
+		return nil, err
+	}
+	for _, d := range defs {
+		replicas := dep.Replicas(d.Name)
+		group := make([]*Node, len(replicas))
+		for i, r := range replicas {
+			var nodeOpts []NodeOption
+			if d.App != nil {
+				nodeOpts = append(nodeOpts, WithApplication(d.App))
+			}
+			if d.Logger != nil {
+				nodeOpts = append(nodeOpts, WithNodeLogger(d.Logger))
+			}
+			group[i] = NewNode(r, nodeOpts...)
+		}
+		c.nodes[d.Name] = group
+	}
+	return c, nil
+}
+
+// SetLinkLatency delays every in-process network frame by d, modeling a
+// real testbed's one-way link latency (the paper's cluster reported
+// 78 microsecond pairwise RTTs). Call before Start.
+func (c *Cluster) SetLinkLatency(d time.Duration) {
+	c.dep.Network.SetUniformLatency(d)
+}
+
+// Start launches every replica and node.
+func (c *Cluster) Start() {
+	c.dep.Start()
+	for _, group := range c.nodes {
+		for _, n := range group {
+			n.Start()
+		}
+	}
+}
+
+// Stop shuts the cluster down.
+func (c *Cluster) Stop() {
+	for _, group := range c.nodes {
+		for _, n := range group {
+			n.Stop()
+		}
+	}
+	c.dep.Stop()
+}
+
+// Node returns replica i of a service.
+func (c *Cluster) Node(service string, i int) *Node {
+	group := c.nodes[service]
+	if i < 0 || i >= len(group) {
+		return nil
+	}
+	return group[i]
+}
+
+// Nodes returns all replicas of a service.
+func (c *Cluster) Nodes(service string) []*Node { return c.nodes[service] }
+
+// Handler returns the MessageHandler of replica i of a service, the
+// usual way tests and clients drive an App-less node.
+func (c *Cluster) Handler(service string, i int) MessageHandler {
+	n := c.Node(service, i)
+	if n == nil {
+		return nil
+	}
+	return n.Handler()
+}
+
+// Deployment exposes the underlying Perpetual deployment (diagnostics
+// and fault injection in tests).
+func (c *Cluster) Deployment() *perpetual.Deployment { return c.dep }

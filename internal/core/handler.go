@@ -1,0 +1,347 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"perpetualws/internal/perpetual"
+	"perpetualws/internal/soap"
+	"perpetualws/internal/wsengine"
+)
+
+// Property keys the handler attaches to message contexts.
+const (
+	// PropReqID carries the Perpetual request ID of an incoming request
+	// context; SendReply uses it to route the reply.
+	PropReqID = "perpetual.reqID"
+	// PropAborted marks a reply context synthesized from a deterministic
+	// abort.
+	PropAborted = "perpetual.aborted"
+)
+
+// Errors returned by the handler.
+var (
+	ErrClosed         = errors.New("perpetualws: handler closed")
+	ErrNotARequest    = errors.New("perpetualws: context is not an incoming request")
+	ErrUnknownRequest = errors.New("perpetualws: no outstanding request for context")
+)
+
+// handler implements MessageHandler and Utils over a Perpetual driver.
+// It owns the FIFO queues between the PerpetualListener pumps and the
+// application thread (paper Figure 4).
+type handler struct {
+	node   *Node
+	driver *perpetual.Driver
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	closed bool
+
+	msgSeq   uint64
+	reqOfMsg map[string]string // wsa:MessageID -> perpetual reqID
+	msgOfReq map[string]string // perpetual reqID -> wsa:MessageID
+	// events is the merged agreed-order queue feeding every blocking
+	// accessor; filtered pops keep mixed consumption coherent.
+	events    []Event
+	repliesIn map[string]struct{}                  // reply msgIDs queued or consumed (dedup)
+	inReq     map[string]perpetual.IncomingRequest // msgID -> perpetual request
+}
+
+// EventKind discriminates handler events.
+type EventKind uint8
+
+// Handler event kinds.
+const (
+	EventRequest EventKind = iota + 1
+	EventReply
+)
+
+// Event is one agreed event: an incoming request or a reply, in the
+// voter group's agreement order.
+type Event struct {
+	Kind  EventKind
+	MC    *wsengine.MessageContext
+	msgID string // reply correlation key
+}
+
+// EventSource is implemented by MessageHandlers that expose the merged
+// agreed event stream (used by deterministic multi-threaded executors;
+// see package detsched).
+type EventSource interface {
+	// ReceiveEvent returns the next agreed event — request or reply —
+	// blocking until one is available. Mixing ReceiveEvent with the
+	// filtered accessors is allowed.
+	ReceiveEvent() (Event, error)
+}
+
+var (
+	_ MessageHandler = (*handler)(nil)
+	_ Utils          = (*handler)(nil)
+)
+
+func newHandler(node *Node, driver *perpetual.Driver) *handler {
+	h := &handler{
+		node:      node,
+		driver:    driver,
+		reqOfMsg:  make(map[string]string),
+		msgOfReq:  make(map[string]string),
+		repliesIn: make(map[string]struct{}),
+		inReq:     make(map[string]perpetual.IncomingRequest),
+	}
+	h.cond = sync.NewCond(&h.mu)
+	return h
+}
+
+// Send implements MessageHandler (stage 1 of paper Figure 4): augment
+// the MessageContext with addressing headers, run the OUT-PIPE, and pass
+// the result to the PerpetualSender.
+func (h *handler) Send(request *wsengine.MessageContext) error {
+	if request == nil {
+		return errors.New("perpetualws: nil request context")
+	}
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return ErrClosed
+	}
+	h.msgSeq++
+	msgID := fmt.Sprintf("%s:msg:%d", h.driver.ServiceName(), h.msgSeq)
+	h.mu.Unlock()
+
+	request.Envelope.Header.MessageID = msgID
+	if request.Envelope.Header.ReplyTo == nil {
+		request.Envelope.Header.ReplyTo = &soap.EndpointReference{
+			Address: soap.ServiceURI(h.driver.ServiceName()),
+		}
+	}
+	// Through the OUT-PIPE to the PerpetualSender, which performs the
+	// actual driver.Call and reports the assigned request ID back via
+	// the context property bag.
+	if err := h.node.engine.SendOut(request); err != nil {
+		return err
+	}
+	reqIDv, ok := request.Property(PropReqID)
+	if !ok {
+		return errors.New("perpetualws: transport did not record a request id")
+	}
+	reqID := reqIDv.(string)
+	h.mu.Lock()
+	h.reqOfMsg[msgID] = reqID
+	h.msgOfReq[reqID] = msgID
+	h.mu.Unlock()
+	return nil
+}
+
+// popAt removes and returns the event at index i (caller holds h.mu).
+func (h *handler) popAt(i int) Event {
+	ev := h.events[i]
+	h.events = append(h.events[:i], h.events[i+1:]...)
+	return ev
+}
+
+// ReceiveEvent implements EventSource.
+func (h *handler) ReceiveEvent() (Event, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for {
+		if h.closed {
+			return Event{}, ErrClosed
+		}
+		if len(h.events) > 0 {
+			return h.popAt(0), nil
+		}
+		h.cond.Wait()
+	}
+}
+
+// ReceiveReply implements MessageHandler.
+func (h *handler) ReceiveReply() (*wsengine.MessageContext, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for {
+		if h.closed {
+			return nil, ErrClosed
+		}
+		for i := range h.events {
+			if h.events[i].Kind == EventReply {
+				return h.popAt(i).MC, nil
+			}
+		}
+		h.cond.Wait()
+	}
+}
+
+// ReceiveReplyFor implements MessageHandler.
+func (h *handler) ReceiveReplyFor(request *wsengine.MessageContext) (*wsengine.MessageContext, error) {
+	if request == nil {
+		return nil, errors.New("perpetualws: nil request context")
+	}
+	msgID := request.Envelope.Header.MessageID
+	if msgID == "" {
+		return nil, ErrUnknownRequest
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, known := h.reqOfMsg[msgID]; !known {
+		if _, arrived := h.repliesIn[msgID]; !arrived {
+			return nil, ErrUnknownRequest
+		}
+	}
+	for {
+		if h.closed {
+			return nil, ErrClosed
+		}
+		for i := range h.events {
+			if h.events[i].Kind == EventReply && h.events[i].msgID == msgID {
+				return h.popAt(i).MC, nil
+			}
+		}
+		h.cond.Wait()
+	}
+}
+
+// SendReceive implements MessageHandler: a synchronous invocation.
+func (h *handler) SendReceive(request *wsengine.MessageContext) (*wsengine.MessageContext, error) {
+	if err := h.Send(request); err != nil {
+		return nil, err
+	}
+	return h.ReceiveReplyFor(request)
+}
+
+// ReceiveRequest implements MessageHandler.
+func (h *handler) ReceiveRequest() (*wsengine.MessageContext, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for {
+		if h.closed {
+			return nil, ErrClosed
+		}
+		for i := range h.events {
+			if h.events[i].Kind == EventRequest {
+				return h.popAt(i).MC, nil
+			}
+		}
+		h.cond.Wait()
+	}
+}
+
+// SendReply implements MessageHandler (stage 7 of paper Figure 4): the
+// reply inherits the request's addressing (wsa:RelatesTo from its
+// MessageID, destination from its ReplyTo) and flows out through the
+// OUT-PIPE.
+func (h *handler) SendReply(reply, request *wsengine.MessageContext) error {
+	if reply == nil || request == nil {
+		return errors.New("perpetualws: nil context")
+	}
+	reqMsgID := request.Envelope.Header.MessageID
+	h.mu.Lock()
+	preq, ok := h.inReq[reqMsgID]
+	if ok {
+		delete(h.inReq, reqMsgID)
+	}
+	closed := h.closed
+	h.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	if !ok {
+		return ErrNotARequest
+	}
+	reply.Envelope.Header.RelatesTo = reqMsgID
+	if request.Envelope.Header.ReplyTo != nil {
+		reply.Envelope.Header.To = request.Envelope.Header.ReplyTo.Address
+	}
+	reply.SetProperty(PropReqID, preq)
+	return h.node.engine.SendOut(reply)
+}
+
+// CurrentTimeMillis implements Utils.
+func (h *handler) CurrentTimeMillis() (int64, error) {
+	v, err := h.driver.AgreedTimeMillis()
+	if err != nil {
+		return 0, mapDriverErr(err)
+	}
+	return v, nil
+}
+
+// Timestamp implements Utils.
+func (h *handler) Timestamp() (time.Time, error) {
+	v, err := h.driver.AgreedTimestamp()
+	if err != nil {
+		return time.Time{}, mapDriverErr(err)
+	}
+	return v, nil
+}
+
+// Random implements Utils.
+func (h *handler) Random() (*rand.Rand, error) {
+	v, err := h.driver.AgreedRandom()
+	if err != nil {
+		return nil, mapDriverErr(err)
+	}
+	return v, nil
+}
+
+func mapDriverErr(err error) error {
+	if errors.Is(err, perpetual.ErrClosed) {
+		return ErrClosed
+	}
+	return err
+}
+
+// deliverIncomingRequest is called by the node's event pump after the
+// IN-PIPE accepted the message.
+func (h *handler) deliverIncomingRequest(mc *wsengine.MessageContext, preq perpetual.IncomingRequest) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.inReq[mc.Envelope.Header.MessageID] = preq
+	h.events = append(h.events, Event{Kind: EventRequest, MC: mc})
+	h.cond.Broadcast()
+}
+
+// deliverReply is called by the node's event pump.
+func (h *handler) deliverReply(reqID string, mc *wsengine.MessageContext) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	msgID, ok := h.msgOfReq[reqID]
+	if !ok {
+		// A reply for a request this handler did not issue (e.g. issued
+		// directly against the driver). Keyed by its RelatesTo if
+		// present; otherwise dropped.
+		msgID = mc.Envelope.Header.RelatesTo
+		if msgID == "" {
+			return
+		}
+	}
+	delete(h.msgOfReq, reqID)
+	delete(h.reqOfMsg, msgID)
+	if mc.Envelope.Header.RelatesTo == "" {
+		mc.Envelope.Header.RelatesTo = msgID
+	}
+	if _, dup := h.repliesIn[msgID]; dup {
+		return
+	}
+	h.repliesIn[msgID] = struct{}{}
+	if len(h.repliesIn) > 65536 {
+		h.repliesIn = make(map[string]struct{}) // bounded dedup window
+	}
+	h.events = append(h.events, Event{Kind: EventReply, MC: mc, msgID: msgID})
+	h.cond.Broadcast()
+}
+
+// close releases all blocked application calls.
+func (h *handler) close() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.closed = true
+	h.cond.Broadcast()
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"perpetualws/internal/soap"
+	"perpetualws/internal/wsengine"
+)
+
+func TestReceiveReplyForUnknownMessage(t *testing.T) {
+	c := newEchoCluster(t, 1, 1)
+	h := c.Handler("client", 0)
+	unknown := wsengine.NewMessageContext()
+	unknown.Envelope.Header.MessageID = "client:msg:999"
+	if _, err := h.ReceiveReplyFor(unknown); err == nil {
+		t.Error("ReceiveReplyFor unknown message succeeded")
+	}
+	noID := wsengine.NewMessageContext()
+	if _, err := h.ReceiveReplyFor(noID); err == nil {
+		t.Error("ReceiveReplyFor without MessageID succeeded")
+	}
+}
+
+func TestHandlerNilContexts(t *testing.T) {
+	c := newEchoCluster(t, 1, 1)
+	h := c.Handler("client", 0)
+	if err := h.Send(nil); err == nil {
+		t.Error("Send(nil) succeeded")
+	}
+	if _, err := h.ReceiveReplyFor(nil); err == nil {
+		t.Error("ReceiveReplyFor(nil) succeeded")
+	}
+	if err := h.SendReply(nil, nil); err == nil {
+		t.Error("SendReply(nil, nil) succeeded")
+	}
+}
+
+func TestClosedHandlerReturnsErrClosed(t *testing.T) {
+	c := newEchoCluster(t, 1, 1)
+	n := c.Node("client", 0)
+	n.Stop()
+	h := n.Handler()
+	if err := h.Send(newRequest("echo", "<x/>")); err != ErrClosed {
+		t.Errorf("Send after stop = %v, want ErrClosed", err)
+	}
+	if _, err := h.ReceiveReply(); err != ErrClosed {
+		t.Errorf("ReceiveReply after stop = %v", err)
+	}
+	if _, err := h.ReceiveRequest(); err != ErrClosed {
+		t.Errorf("ReceiveRequest after stop = %v", err)
+	}
+}
+
+func TestUtilsAfterClusterStop(t *testing.T) {
+	c, err := NewCluster([]byte("m"),
+		ServiceDef{Name: "client", N: 1, Options: fastOpts()},
+		ServiceDef{Name: "echo", N: 1, App: echoService, Options: fastOpts()},
+	)
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	c.Start()
+	u := c.Node("client", 0).Utils()
+	c.Stop()
+	if _, err := u.CurrentTimeMillis(); err == nil {
+		t.Error("CurrentTimeMillis after stop succeeded")
+	}
+	if _, err := u.Timestamp(); err == nil {
+		t.Error("Timestamp after stop succeeded")
+	}
+	if _, err := u.Random(); err == nil {
+		t.Error("Random after stop succeeded")
+	}
+}
+
+func TestTimestampMatchesCurrentTimeMillis(t *testing.T) {
+	c := newEchoCluster(t, 1, 1)
+	u := c.Node("client", 0).Utils()
+	ts, err := u.Timestamp()
+	if err != nil {
+		t.Fatalf("Timestamp: %v", err)
+	}
+	if d := time.Since(ts); d < 0 || d > time.Minute {
+		t.Errorf("timestamp %v is %v away from now", ts, d)
+	}
+}
+
+func TestClusterAccessors(t *testing.T) {
+	c := newEchoCluster(t, 2, 1)
+	if c.Node("client", 9) != nil {
+		t.Error("out-of-range node not nil")
+	}
+	if c.Handler("missing", 0) != nil {
+		t.Error("handler for unknown service not nil")
+	}
+	if got := len(c.Nodes("client")); got != 2 {
+		t.Errorf("Nodes = %d", got)
+	}
+	if c.Deployment() == nil {
+		t.Error("Deployment accessor nil")
+	}
+}
+
+func TestInvalidClusterDefinitions(t *testing.T) {
+	if _, err := NewCluster([]byte("m"), ServiceDef{Name: "", N: 1}); err == nil {
+		t.Error("unnamed service accepted")
+	}
+	if _, err := NewCluster([]byte("m"), ServiceDef{Name: "x", N: 0}); err == nil {
+		t.Error("zero-replica service accepted")
+	}
+}
+
+func TestSendToUnknownServiceURI(t *testing.T) {
+	c := newEchoCluster(t, 1, 1)
+	h := c.Handler("client", 0)
+	req := wsengine.NewMessageContext()
+	req.Options.To = "http://not-perpetual/svc"
+	req.Envelope.Body = []byte("<x/>")
+	if err := h.Send(req); err == nil {
+		t.Error("Send to non-perpetual URI succeeded")
+	}
+	req2 := wsengine.NewMessageContext()
+	req2.Options.To = soap.ServiceURI("ghost")
+	req2.Envelope.Body = []byte("<x/>")
+	if err := h.Send(req2); err == nil {
+		t.Error("Send to unregistered service succeeded")
+	}
+}
+
+func TestAppContextIdentity(t *testing.T) {
+	c := newEchoCluster(t, 1, 4)
+	ctx := c.Node("echo", 2).Context()
+	if ctx.ServiceName != "echo" || ctx.ReplicaIndex != 2 {
+		t.Errorf("identity = %s/%d", ctx.ServiceName, ctx.ReplicaIndex)
+	}
+	if ctx.MessageHandler == nil || ctx.Utils == nil {
+		t.Error("context missing interfaces")
+	}
+}

@@ -1,0 +1,85 @@
+package detsched
+
+import (
+	"perpetualws/internal/core"
+	"perpetualws/internal/wsengine"
+)
+
+// Channel names the adapter injects agreed events into.
+const (
+	// RequestChan receives *wsengine.MessageContext values, one per
+	// agreed incoming request.
+	RequestChan = "perpetual.requests"
+	// ReplyChan receives *wsengine.MessageContext values, one per
+	// agreed reply (including deterministic aborts, as SOAP faults).
+	ReplyChan = "perpetual.replies"
+)
+
+// AppContext is the deterministic-threading view of a Perpetual-WS
+// application context: threads receive agreed events through scheduler
+// channels instead of blocking the single executor directly, so several
+// cooperative threads can interleave deterministically.
+type AppContext struct {
+	*core.AppContext
+	Sched *Scheduler
+}
+
+// RecvRequest blocks the calling thread on the next agreed incoming
+// request.
+func (a *AppContext) RecvRequest(t *Thread) (*wsengine.MessageContext, error) {
+	v, err := a.Sched.NewChan(RequestChan, 0).Recv(t)
+	if err != nil {
+		return nil, err
+	}
+	return v.(*wsengine.MessageContext), nil
+}
+
+// RecvReply blocks the calling thread on the next agreed reply.
+func (a *AppContext) RecvReply(t *Thread) (*wsengine.MessageContext, error) {
+	v, err := a.Sched.NewChan(ReplyChan, 0).Recv(t)
+	if err != nil {
+		return nil, err
+	}
+	return v.(*wsengine.MessageContext), nil
+}
+
+// App builds a multi-threaded Perpetual-WS application: setup spawns
+// cooperative threads on the scheduler (using AppContext to receive
+// agreed events and the plain MessageHandler methods to send), and the
+// adapter runs the deterministic schedule on the replica's executor
+// goroutine.
+//
+// Determinism: whenever every thread is blocked, the scheduler pulls
+// exactly one event from the handler's merged agreed-order stream
+// (core.EventSource) — requests and replies in the voter group's
+// agreement order — so replicas interleave their threads identically.
+// This is the multi-threaded application model of the paper's future
+// work, usable today.
+//
+// Thread bodies must send (ctx.Send, ctx.SendReply) without blocking on
+// the core receive methods; all receiving goes through
+// RecvRequest/RecvReply.
+func App(setup func(ctx *AppContext)) core.Application {
+	return core.ApplicationFunc(func(coreCtx *core.AppContext) {
+		es, ok := coreCtx.MessageHandler.(core.EventSource)
+		if !ok {
+			return // not a Perpetual-WS handler; nothing to schedule
+		}
+		s := New()
+		ctx := &AppContext{AppContext: coreCtx, Sched: s}
+		// The bridge: with all threads blocked, draw the next agreed
+		// event. One consumer, one ordered stream — deterministic.
+		s.SetExternalSource(func() (string, any, error) {
+			ev, err := es.ReceiveEvent()
+			if err != nil {
+				return "", nil, err
+			}
+			if ev.Kind == core.EventRequest {
+				return RequestChan, ev.MC, nil
+			}
+			return ReplyChan, ev.MC, nil
+		})
+		setup(ctx)
+		_ = s.Run()
+	})
+}

@@ -1,0 +1,178 @@
+package detsched
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"perpetualws/internal/core"
+	"perpetualws/internal/perpetual"
+	"perpetualws/internal/soap"
+	"perpetualws/internal/wsengine"
+)
+
+// multiThreadedService is a replicated web service implemented with TWO
+// cooperative threads sharing state: a worker serving requests and a
+// bookkeeper counting them. Under the deterministic scheduler the
+// shared counter stays consistent across replicas without locks.
+func multiThreadedService() core.Application {
+	return App(func(ctx *AppContext) {
+		served := 0
+		tally := ctx.Sched.NewChan("tally", 0)
+		ctx.Sched.Spawn("worker", func(t *Thread) {
+			for {
+				req, err := ctx.RecvRequest(t)
+				if err != nil {
+					return
+				}
+				if err := tally.Send(t, 1); err != nil {
+					return
+				}
+				reply := wsengine.NewMessageContext()
+				reply.Envelope.Body = []byte(fmt.Sprintf("<served n=\"%d\">%s</served>", served, req.Envelope.Body))
+				if err := ctx.SendReply(reply, req); err != nil {
+					return
+				}
+			}
+		})
+		ctx.Sched.Spawn("bookkeeper", func(t *Thread) {
+			for {
+				if _, err := tally.Recv(t); err != nil {
+					return
+				}
+				served++
+			}
+		})
+	})
+}
+
+func TestMultiThreadedReplicatedService(t *testing.T) {
+	opts := perpetual.ServiceOptions{
+		ViewChangeTimeout:  500 * time.Millisecond,
+		RetransmitInterval: 300 * time.Millisecond,
+	}
+	cluster, err := core.NewCluster([]byte("detsched-it"),
+		core.ServiceDef{Name: "client", N: 1, Options: opts},
+		core.ServiceDef{Name: "mt", N: 4, App: multiThreadedService(), Options: opts},
+	)
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	cluster.Start()
+	t.Cleanup(cluster.Stop)
+
+	h := cluster.Handler("client", 0)
+	for i := 0; i < 5; i++ {
+		req := wsengine.NewMessageContext()
+		req.Options.To = soap.ServiceURI("mt")
+		req.Envelope.Body = []byte(fmt.Sprintf("r%d", i))
+		reply, err := h.SendReceive(req)
+		if err != nil {
+			t.Fatalf("SendReceive %d: %v", i, err)
+		}
+		// The bookkeeper increments between requests; the worker reads
+		// the count before the bookkeeper processed the current tally,
+		// so reply i carries count i. What matters is that 4 replicas
+		// agreed on one value: a nondeterministic interleaving would
+		// stall agreement (no f+1 matching reply digests).
+		want := fmt.Sprintf("<served n=\"%d\">r%d</served>", i, i)
+		if got := string(reply.Envelope.Body); got != want {
+			t.Errorf("reply %d = %q, want %q", i, got, want)
+		}
+	}
+}
+
+// multiThreadedCaller issues calls from one thread while another thread
+// consumes the replies — asynchronous messaging across cooperative
+// threads.
+func TestMultiThreadedCallerThreads(t *testing.T) {
+	opts := perpetual.ServiceOptions{
+		ViewChangeTimeout:  500 * time.Millisecond,
+		RetransmitInterval: 300 * time.Millisecond,
+	}
+	echo := core.ApplicationFunc(func(ctx *core.AppContext) {
+		for {
+			req, err := ctx.ReceiveRequest()
+			if err != nil {
+				return
+			}
+			reply := wsengine.NewMessageContext()
+			reply.Envelope.Body = req.Envelope.Body
+			if err := ctx.SendReply(reply, req); err != nil {
+				return
+			}
+		}
+	})
+
+	var mu sync.Mutex
+	collected := make(map[int][]string) // replica -> reply bodies in consumption order
+	caller := App(func(ctx *AppContext) {
+		idx := ctx.ReplicaIndex
+		ctx.Sched.Spawn("sender", func(t *Thread) {
+			for i := 0; i < 4; i++ {
+				req := wsengine.NewMessageContext()
+				req.Options.To = soap.ServiceURI("echo")
+				req.Envelope.Body = []byte(fmt.Sprintf("m%d", i))
+				if err := ctx.Send(req); err != nil {
+					return
+				}
+				t.Yield()
+			}
+		})
+		ctx.Sched.Spawn("receiver", func(t *Thread) {
+			for i := 0; i < 4; i++ {
+				reply, err := ctx.RecvReply(t)
+				if err != nil {
+					return
+				}
+				mu.Lock()
+				collected[idx] = append(collected[idx], string(reply.Envelope.Body))
+				mu.Unlock()
+			}
+		})
+	})
+
+	cluster, err := core.NewCluster([]byte("detsched-it2"),
+		core.ServiceDef{Name: "caller", N: 4, App: caller, Options: opts},
+		core.ServiceDef{Name: "echo", N: 1, App: echo, Options: opts},
+	)
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	cluster.Start()
+	t.Cleanup(cluster.Stop)
+
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		mu.Lock()
+		done := len(collected) == 4
+		for _, c := range collected {
+			if len(c) < 4 {
+				done = false
+			}
+		}
+		mu.Unlock()
+		if done {
+			break
+		}
+		if time.Now().After(deadline) {
+			mu.Lock()
+			t.Fatalf("timed out; collected = %v", collected)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Every replica's receiver thread must have consumed the replies in
+	// the same (agreed) order.
+	mu.Lock()
+	defer mu.Unlock()
+	ref := collected[0]
+	for idx := 1; idx < 4; idx++ {
+		for i := range ref {
+			if collected[idx][i] != ref[i] {
+				t.Errorf("replica %d consumed %v, replica 0 consumed %v", idx, collected[idx], ref)
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,331 @@
+// Package detsched is a deterministic cooperative thread scheduler for
+// Perpetual-WS executors — the paper's first future-work item
+// (Section 7: "a deterministic thread scheduler ... will enable
+// Perpetual-WS developers to write multi-threaded Web Service
+// applications", building on Jimenez-Peris et al. and Domaschka et
+// al.).
+//
+// The model: an application is a set of cooperative threads multiplexed
+// onto the replica's single executor goroutine. Exactly one thread runs
+// at a time; context switches happen only at explicit scheduling points
+// (Yield, channel operations, and external receives), and the scheduler
+// dispatches from a FIFO run queue (round-robin among yielders,
+// lowest-id-first among threads woken by the same event). All
+// inter-thread communication goes through the scheduler's channels, and
+// all input from the outside world enters through a single Ingest
+// function fed by the agreed event order. Replicas therefore interleave
+// their threads identically, preserving replica determinism while
+// letting applications be written as if multi-threaded.
+package detsched
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrDeadlock is returned by Run when threads remain but none is
+// runnable and no external source can wake them.
+var ErrDeadlock = errors.New("detsched: all threads blocked")
+
+// ErrStopped is returned to threads blocked on a channel when the
+// scheduler shuts down.
+var ErrStopped = errors.New("detsched: scheduler stopped")
+
+// threadState tracks where a thread is in its lifecycle.
+type threadState uint8
+
+const (
+	stateRunnable threadState = iota + 1
+	stateRunning
+	stateBlocked
+	stateDone
+)
+
+// Thread is a cooperative thread. Its methods must only be called from
+// inside the thread's own body function.
+type Thread struct {
+	id    int
+	name  string
+	sched *Scheduler
+	state threadState
+
+	// resume wakes the thread's goroutine for its next slice; pause
+	// returns control to the scheduler.
+	resume chan struct{}
+	pause  chan struct{}
+
+	// blocked-on bookkeeping.
+	recvFrom *Chan
+	sendTo   *Chan
+	sendVal  any
+	wakeErr  error
+	wakeVal  any
+}
+
+// Name returns the thread's name.
+func (t *Thread) Name() string { return t.name }
+
+// ID returns the thread's scheduler-assigned id (creation order).
+func (t *Thread) ID() int { return t.id }
+
+// Yield gives up the processor; the thread stays runnable and will be
+// rescheduled after other runnable threads have had a slice.
+func (t *Thread) Yield() {
+	t.state = stateRunnable
+	t.handoff()
+	t.state = stateRunning
+}
+
+// handoff returns control to the scheduler and waits to be resumed.
+func (t *Thread) handoff() {
+	t.pause <- struct{}{}
+	<-t.resume
+}
+
+// Chan is a deterministic unbuffered-or-buffered channel between
+// threads. External events may also be injected into a Chan via
+// Scheduler.Inject.
+type Chan struct {
+	name  string
+	buf   []any
+	cap   int // 0 = rendezvous semantics degraded to buffer-of-1 handoff
+	sched *Scheduler
+}
+
+// Recv blocks the calling thread until a value is available.
+func (c *Chan) Recv(t *Thread) (any, error) {
+	if len(c.buf) > 0 {
+		v := c.buf[0]
+		c.buf = c.buf[1:]
+		c.sched.wakeBlockedSenders(c)
+		return v, nil
+	}
+	t.state = stateBlocked
+	t.recvFrom = c
+	t.handoff()
+	t.state = stateRunning
+	t.recvFrom = nil
+	if t.wakeErr != nil {
+		return nil, t.wakeErr
+	}
+	v := t.wakeVal
+	t.wakeVal = nil
+	return v, nil
+}
+
+// Send delivers a value, blocking while the channel is at capacity.
+func (c *Chan) Send(t *Thread, v any) error {
+	for c.cap > 0 && len(c.buf) >= c.cap {
+		t.state = stateBlocked
+		t.sendTo = c
+		t.sendVal = v
+		t.handoff()
+		t.state = stateRunning
+		t.sendTo = nil
+		if t.wakeErr != nil {
+			return t.wakeErr
+		}
+	}
+	c.deliver(v)
+	return nil
+}
+
+// deliver places a value into the channel, waking the lowest-id blocked
+// receiver if any.
+func (c *Chan) deliver(v any) {
+	if t := c.sched.lowestBlockedReceiver(c); t != nil {
+		t.wakeVal = v
+		t.wakeErr = nil
+		c.sched.makeRunnable(t)
+		return
+	}
+	c.buf = append(c.buf, v)
+}
+
+// Scheduler multiplexes threads deterministically. Not safe for
+// concurrent use: everything runs on the caller's goroutine except the
+// thread bodies, which run one at a time.
+type Scheduler struct {
+	threads []*Thread
+	runq    []*Thread // FIFO dispatch queue; entries may be stale
+	chans   map[string]*Chan
+	nextID  int
+	trace   []string
+	tracing bool
+
+	// external, when set, is called with the scheduler idle (all
+	// threads blocked) and must return the name of a channel and a
+	// value to inject, or an error to stop. It is the bridge to the
+	// agreed event stream of the Perpetual driver.
+	external func() (chanName string, v any, err error)
+}
+
+// New creates an empty scheduler.
+func New() *Scheduler {
+	return &Scheduler{chans: make(map[string]*Chan)}
+}
+
+// SetExternalSource installs the agreed-event bridge used when every
+// thread is blocked.
+func (s *Scheduler) SetExternalSource(f func() (string, any, error)) { s.external = f }
+
+// EnableTrace records a scheduling trace (for determinism tests).
+func (s *Scheduler) EnableTrace() { s.tracing = true }
+
+// Trace returns the recorded scheduling decisions.
+func (s *Scheduler) Trace() []string { return s.trace }
+
+// NewChan creates (or returns) the named channel with the given buffer
+// capacity (0 behaves as capacity-unbounded delivery into the buffer).
+func (s *Scheduler) NewChan(name string, capacity int) *Chan {
+	if c, ok := s.chans[name]; ok {
+		return c
+	}
+	c := &Chan{name: name, cap: capacity, sched: s}
+	s.chans[name] = c
+	return c
+}
+
+// Spawn registers a thread. Must be called before Run (threads spawned
+// from inside threads are also allowed and join the schedule at the
+// next decision point).
+func (s *Scheduler) Spawn(name string, body func(t *Thread)) *Thread {
+	t := &Thread{
+		id:     s.nextID,
+		name:   name,
+		sched:  s,
+		state:  stateRunnable,
+		resume: make(chan struct{}),
+		pause:  make(chan struct{}),
+	}
+	s.nextID++
+	s.threads = append(s.threads, t)
+	s.runq = append(s.runq, t)
+	go func() {
+		<-t.resume
+		t.state = stateRunning
+		body(t)
+		t.state = stateDone
+		t.pause <- struct{}{}
+	}()
+	return t
+}
+
+// Inject delivers an external value into a named channel (used by the
+// external source and by tests).
+func (s *Scheduler) Inject(chanName string, v any) {
+	s.NewChan(chanName, 0).deliver(v)
+}
+
+// Run drives the schedule until every thread finishes. It returns
+// ErrDeadlock if threads remain blocked with no external source.
+func (s *Scheduler) Run() error {
+	for {
+		t := s.pickNext()
+		if t == nil {
+			if s.allDone() {
+				return nil
+			}
+			if s.external == nil {
+				return ErrDeadlock
+			}
+			name, v, err := s.external()
+			if err != nil {
+				s.stopAll()
+				return err
+			}
+			s.Inject(name, v)
+			continue
+		}
+		if s.tracing {
+			s.trace = append(s.trace, fmt.Sprintf("%d:%s", t.id, t.name))
+		}
+		t.resume <- struct{}{}
+		<-t.pause
+		if t.state == stateRunnable {
+			// The thread yielded: back of the queue (round-robin).
+			s.runq = append(s.runq, t)
+		}
+	}
+}
+
+// pickNext pops the first still-runnable thread off the run queue.
+// Stale entries (threads that blocked or finished since being queued)
+// are discarded.
+func (s *Scheduler) pickNext() *Thread {
+	for len(s.runq) > 0 {
+		t := s.runq[0]
+		s.runq = s.runq[1:]
+		if t.state == stateRunnable {
+			return t
+		}
+	}
+	return nil
+}
+
+func (s *Scheduler) allDone() bool {
+	for _, t := range s.threads {
+		if t.state != stateDone {
+			return false
+		}
+	}
+	return true
+}
+
+// lowestBlockedReceiver finds the lowest-id thread blocked receiving on
+// c (deterministic wake order).
+func (s *Scheduler) lowestBlockedReceiver(c *Chan) *Thread {
+	var best *Thread
+	for _, t := range s.threads {
+		if t.state == stateBlocked && t.recvFrom == c {
+			if best == nil || t.id < best.id {
+				best = t
+			}
+		}
+	}
+	return best
+}
+
+// wakeBlockedSenders wakes the lowest-id sender waiting for space on c.
+func (s *Scheduler) wakeBlockedSenders(c *Chan) {
+	var best *Thread
+	for _, t := range s.threads {
+		if t.state == stateBlocked && t.sendTo == c {
+			if best == nil || t.id < best.id {
+				best = t
+			}
+		}
+	}
+	if best != nil {
+		s.makeRunnable(best)
+	}
+}
+
+func (s *Scheduler) makeRunnable(t *Thread) {
+	if t.state == stateBlocked {
+		t.state = stateRunnable
+		s.runq = append(s.runq, t)
+	}
+}
+
+// stopAll unblocks every blocked thread with ErrStopped and drains the
+// runnable ones so their goroutines exit.
+func (s *Scheduler) stopAll() {
+	for {
+		progressed := false
+		for _, t := range s.threads {
+			if t.state == stateBlocked {
+				t.wakeErr = ErrStopped
+				t.state = stateRunnable
+			}
+		}
+		if t := s.pickNext(); t != nil {
+			progressed = true
+			t.resume <- struct{}{}
+			<-t.pause
+		}
+		if !progressed {
+			return
+		}
+	}
+}

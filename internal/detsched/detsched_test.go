@@ -1,0 +1,282 @@
+package detsched
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestSingleThreadRuns(t *testing.T) {
+	s := New()
+	ran := false
+	s.Spawn("only", func(th *Thread) { ran = true })
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !ran {
+		t.Error("thread body never ran")
+	}
+}
+
+func TestRoundRobinOrderIsDeterministic(t *testing.T) {
+	runOnce := func() []string {
+		s := New()
+		var order []string
+		for i := 0; i < 3; i++ {
+			name := fmt.Sprintf("t%d", i)
+			s.Spawn(name, func(th *Thread) {
+				for k := 0; k < 3; k++ {
+					order = append(order, th.Name())
+					th.Yield()
+				}
+			})
+		}
+		if err := s.Run(); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return order
+	}
+	first := runOnce()
+	for i := 0; i < 5; i++ {
+		if got := runOnce(); !reflect.DeepEqual(got, first) {
+			t.Fatalf("run %d produced %v, first produced %v", i, got, first)
+		}
+	}
+	// Lowest-id-first means a strict t0,t1,t2 rotation.
+	want := []string{"t0", "t1", "t2", "t0", "t1", "t2", "t0", "t1", "t2"}
+	if !reflect.DeepEqual(first, want) {
+		t.Errorf("order = %v, want %v", first, want)
+	}
+}
+
+func TestChannelHandoff(t *testing.T) {
+	s := New()
+	ch := s.NewChan("pipe", 0)
+	var got []any
+	s.Spawn("producer", func(th *Thread) {
+		for i := 0; i < 3; i++ {
+			if err := ch.Send(th, i); err != nil {
+				return
+			}
+			th.Yield()
+		}
+	})
+	s.Spawn("consumer", func(th *Thread) {
+		for i := 0; i < 3; i++ {
+			v, err := ch.Recv(th)
+			if err != nil {
+				return
+			}
+			got = append(got, v)
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !reflect.DeepEqual(got, []any{0, 1, 2}) {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestBoundedChannelBlocksSender(t *testing.T) {
+	s := New()
+	ch := s.NewChan("bounded", 1)
+	var trace []string
+	s.Spawn("producer", func(th *Thread) {
+		for i := 0; i < 3; i++ {
+			trace = append(trace, fmt.Sprintf("send%d", i))
+			if err := ch.Send(th, i); err != nil {
+				return
+			}
+		}
+	})
+	s.Spawn("consumer", func(th *Thread) {
+		for i := 0; i < 3; i++ {
+			v, err := ch.Recv(th)
+			if err != nil {
+				return
+			}
+			trace = append(trace, fmt.Sprintf("recv%v", v))
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// The producer can buffer one value ahead, no more: recv(i) must
+	// appear before send(i+2).
+	pos := map[string]int{}
+	for i, e := range trace {
+		pos[e] = i
+	}
+	if pos["send2"] < pos["recv0"] {
+		t.Errorf("capacity violated: %v", trace)
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	s := New()
+	ch := s.NewChan("never", 0)
+	s.Spawn("waiter", func(th *Thread) {
+		_, _ = ch.Recv(th)
+	})
+	err := s.Run()
+	if !errors.Is(err, ErrDeadlock) {
+		t.Errorf("Run = %v, want ErrDeadlock", err)
+	}
+	// Unblock the leaked goroutine for cleanliness.
+	s.stopAll()
+}
+
+func TestExternalSourceWakesBlockedThreads(t *testing.T) {
+	s := New()
+	inbox := s.NewChan("inbox", 0)
+	events := []any{"a", "b", "c"}
+	i := 0
+	s.SetExternalSource(func() (string, any, error) {
+		if i >= len(events) {
+			return "", nil, errors.New("source drained")
+		}
+		v := events[i]
+		i++
+		return "inbox", v, nil
+	})
+	var got []any
+	s.Spawn("worker", func(th *Thread) {
+		for {
+			v, err := th.sched.chans["inbox"].Recv(th)
+			if err != nil {
+				return
+			}
+			got = append(got, v)
+		}
+	})
+	_ = inbox
+	err := s.Run()
+	if err == nil || err.Error() != "source drained" {
+		t.Errorf("Run = %v", err)
+	}
+	if !reflect.DeepEqual(got, events) {
+		t.Errorf("got %v, want %v", got, events)
+	}
+}
+
+func TestMultiThreadedWorkerPoolDeterminism(t *testing.T) {
+	// The future-work scenario: a multi-threaded web service (a pool of
+	// workers consuming one request channel) that must behave
+	// identically on every replica. Run the same program twice and
+	// compare complete scheduling traces.
+	runOnce := func() ([]string, []string) {
+		s := New()
+		s.EnableTrace()
+		requests := s.NewChan("requests", 0)
+		results := s.NewChan("results", 0)
+		for w := 0; w < 3; w++ {
+			s.Spawn(fmt.Sprintf("worker%d", w), func(th *Thread) {
+				for {
+					v, err := requests.Recv(th)
+					if err != nil {
+						return
+					}
+					if v == nil {
+						return // poison pill
+					}
+					if err := results.Send(th, fmt.Sprintf("%s:%v", th.Name(), v)); err != nil {
+						return
+					}
+				}
+			})
+		}
+		var collected []string
+		s.Spawn("collector", func(th *Thread) {
+			// Feed 6 requests and 3 poison pills, then gather.
+			for i := 0; i < 6; i++ {
+				if err := requests.Send(th, i); err != nil {
+					return
+				}
+			}
+			for i := 0; i < 3; i++ {
+				if err := requests.Send(th, nil); err != nil {
+					return
+				}
+			}
+			for i := 0; i < 6; i++ {
+				v, err := results.Recv(th)
+				if err != nil {
+					return
+				}
+				collected = append(collected, v.(string))
+			}
+		})
+		if err := s.Run(); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return collected, s.Trace()
+	}
+	c1, t1 := runOnce()
+	for i := 0; i < 4; i++ {
+		c2, t2 := runOnce()
+		if !reflect.DeepEqual(c1, c2) {
+			t.Fatalf("results diverged: %v vs %v", c1, c2)
+		}
+		if !reflect.DeepEqual(t1, t2) {
+			t.Fatalf("schedules diverged:\n%v\nvs\n%v", t1, t2)
+		}
+	}
+	if len(c1) != 6 {
+		t.Errorf("collected %d results", len(c1))
+	}
+}
+
+// Property: for any split of values between two producer threads, the
+// consumer's observed sequence is a deterministic function of the
+// program (two runs agree).
+func TestTwoProducerDeterminismProperty(t *testing.T) {
+	run := func(aVals, bVals []byte) []any {
+		s := New()
+		ch := s.NewChan("c", 0)
+		s.Spawn("a", func(th *Thread) {
+			for _, v := range aVals {
+				if err := ch.Send(th, int(v)); err != nil {
+					return
+				}
+				th.Yield()
+			}
+		})
+		s.Spawn("b", func(th *Thread) {
+			for _, v := range bVals {
+				if err := ch.Send(th, int(v)+1000); err != nil {
+					return
+				}
+				th.Yield()
+			}
+		})
+		var got []any
+		s.Spawn("sink", func(th *Thread) {
+			for i := 0; i < len(aVals)+len(bVals); i++ {
+				v, err := ch.Recv(th)
+				if err != nil {
+					return
+				}
+				got = append(got, v)
+			}
+		})
+		if err := s.Run(); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return got
+	}
+	f := func(aVals, bVals []byte) bool {
+		if len(aVals) > 8 {
+			aVals = aVals[:8]
+		}
+		if len(bVals) > 8 {
+			bVals = bVals[:8]
+		}
+		return reflect.DeepEqual(run(aVals, bVals), run(aVals, bVals))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,119 @@
+// Package httpgw bridges plain HTTP clients into a Perpetual-WS
+// deployment. In the paper's TPC-W configuration the browser emulators
+// reach the bookstore over HTTP while the bookstore speaks Perpetual-WS
+// to the replicated tiers; this gateway is that edge, generalized: it
+// terminates HTTP POSTs, forwards the body as a SOAP request to a
+// mapped service through a MessageHandler, and relays the agreed reply.
+//
+// The gateway itself is a plain unreplicated web frontend (an HTTP
+// load balancer in front of several gateways covers fail-stop faults;
+// Byzantine tolerance begins at the services behind it).
+package httpgw
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"perpetualws/internal/core"
+	"perpetualws/internal/soap"
+	"perpetualws/internal/wsengine"
+)
+
+// maxBodyBytes bounds accepted HTTP request bodies.
+const maxBodyBytes = 4 << 20
+
+// Gateway routes HTTP requests to Perpetual-WS services. Create with
+// New; it implements http.Handler.
+type Gateway struct {
+	handler core.MessageHandler
+
+	mu     sync.RWMutex
+	routes map[string]string // URL path -> service name
+}
+
+// New creates a gateway that issues calls through h.
+func New(h core.MessageHandler) *Gateway {
+	return &Gateway{handler: h, routes: make(map[string]string)}
+}
+
+// Route maps an HTTP path (e.g. "/pay") to a service name.
+func (g *Gateway) Route(path, service string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.routes[path] = service
+}
+
+// lookup resolves a request path to a service.
+func (g *Gateway) lookup(path string) (string, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	svc, ok := g.routes[path]
+	return svc, ok
+}
+
+// ServeHTTP implements http.Handler: POST bodies become SOAP request
+// bodies; the agreed reply body is returned with status 200. Aborted
+// (timed-out) requests map to 504, other SOAP faults to 502.
+//
+// Headers:
+//
+//	X-Perpetual-Action    optional SOAP action
+//	X-Perpetual-Timeout   optional per-request timeout in milliseconds
+//	                      (deterministic group-wide abort)
+func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "perpetual gateway accepts POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	service, ok := g.lookup(r.URL.Path)
+	if !ok {
+		http.Error(w, "no service mapped at "+r.URL.Path, http.StatusNotFound)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes+1))
+	if err != nil {
+		http.Error(w, "reading body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(body) > maxBodyBytes {
+		http.Error(w, "body too large", http.StatusRequestEntityTooLarge)
+		return
+	}
+
+	req := wsengine.NewMessageContext()
+	req.Options.To = soap.ServiceURI(service)
+	req.Options.Action = r.Header.Get("X-Perpetual-Action")
+	if toStr := r.Header.Get("X-Perpetual-Timeout"); toStr != "" {
+		ms, err := strconv.ParseInt(toStr, 10, 64)
+		if err != nil || ms < 0 {
+			http.Error(w, "invalid X-Perpetual-Timeout", http.StatusBadRequest)
+			return
+		}
+		req.Options.TimeoutMillis = ms
+	}
+	req.Envelope.Body = body
+
+	reply, err := g.handler.SendReceive(req)
+	if err != nil {
+		http.Error(w, "gateway call failed: "+err.Error(), http.StatusBadGateway)
+		return
+	}
+	if f, isFault := soap.IsFault(reply.Envelope.Body); isFault {
+		status := http.StatusBadGateway
+		if aborted, _ := reply.Property(core.PropAborted); aborted == true ||
+			strings.Contains(f.Reason, "aborted") {
+			status = http.StatusGatewayTimeout
+		}
+		http.Error(w, fmt.Sprintf("%s: %s", f.Code, f.Reason), status)
+		return
+	}
+	w.Header().Set("Content-Type", "application/xml")
+	w.Header().Set("X-Perpetual-RelatesTo", reply.Envelope.Header.RelatesTo)
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(reply.Envelope.Body)
+}

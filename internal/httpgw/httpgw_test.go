@@ -1,0 +1,166 @@
+package httpgw
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"perpetualws/internal/core"
+	"perpetualws/internal/perpetual"
+	"perpetualws/internal/wsengine"
+)
+
+func fastOpts() perpetual.ServiceOptions {
+	return perpetual.ServiceOptions{
+		ViewChangeTimeout:  400 * time.Millisecond,
+		RetransmitInterval: 250 * time.Millisecond,
+	}
+}
+
+var echoApp = core.ApplicationFunc(func(ctx *core.AppContext) {
+	for {
+		req, err := ctx.ReceiveRequest()
+		if err != nil {
+			return
+		}
+		reply := wsengine.NewMessageContext()
+		reply.Envelope.Body = append([]byte("<via-bft>"), append(req.Envelope.Body, []byte("</via-bft>")...)...)
+		if err := ctx.SendReply(reply, req); err != nil {
+			return
+		}
+	}
+})
+
+var sinkApp = core.ApplicationFunc(func(ctx *core.AppContext) {
+	for {
+		if _, err := ctx.ReceiveRequest(); err != nil {
+			return
+		}
+	}
+})
+
+func newGatewayServer(t *testing.T) (*httptest.Server, *Gateway) {
+	t.Helper()
+	cluster, err := core.NewCluster([]byte("gw-test"),
+		core.ServiceDef{Name: "edge", N: 1, Options: fastOpts()},
+		core.ServiceDef{Name: "svc", N: 4, App: echoApp, Options: fastOpts()},
+		core.ServiceDef{Name: "hole", N: 1, App: sinkApp, Options: fastOpts()},
+	)
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	cluster.Start()
+	t.Cleanup(cluster.Stop)
+
+	gw := New(cluster.Handler("edge", 0))
+	gw.Route("/svc", "svc")
+	gw.Route("/hole", "hole")
+	srv := httptest.NewServer(gw)
+	t.Cleanup(srv.Close)
+	return srv, gw
+}
+
+func TestGatewayRoundTrip(t *testing.T) {
+	srv, _ := newGatewayServer(t)
+	resp, err := http.Post(srv.URL+"/svc", "application/xml", strings.NewReader("<hello/>"))
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if string(body) != "<via-bft><hello/></via-bft>" {
+		t.Errorf("body = %q", body)
+	}
+	if resp.Header.Get("X-Perpetual-RelatesTo") == "" {
+		t.Error("missing correlation header")
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/xml" {
+		t.Errorf("content type = %q", ct)
+	}
+}
+
+func TestGatewayRejectsNonPOST(t *testing.T) {
+	srv, _ := newGatewayServer(t)
+	resp, err := http.Get(srv.URL + "/svc")
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestGatewayUnmappedPath(t *testing.T) {
+	srv, _ := newGatewayServer(t)
+	resp, err := http.Post(srv.URL+"/nowhere", "application/xml", strings.NewReader("<x/>"))
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestGatewayTimeoutMapsTo504(t *testing.T) {
+	srv, _ := newGatewayServer(t)
+	req, _ := http.NewRequest(http.MethodPost, srv.URL+"/hole", strings.NewReader("<void/>"))
+	req.Header.Set("X-Perpetual-Timeout", "500")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		body, _ := io.ReadAll(resp.Body)
+		t.Errorf("status = %d, body = %q", resp.StatusCode, body)
+	}
+}
+
+func TestGatewayInvalidTimeoutHeader(t *testing.T) {
+	srv, _ := newGatewayServer(t)
+	req, _ := http.NewRequest(http.MethodPost, srv.URL+"/svc", strings.NewReader("<x/>"))
+	req.Header.Set("X-Perpetual-Timeout", "soon")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestGatewayConcurrentClients(t *testing.T) {
+	srv, _ := newGatewayServer(t)
+	const clients = 8
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		go func() {
+			resp, err := http.Post(srv.URL+"/svc", "application/xml", strings.NewReader("<c/>"))
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer resp.Body.Close()
+			body, _ := io.ReadAll(resp.Body)
+			if string(body) != "<via-bft><c/></via-bft>" {
+				errs <- io.ErrUnexpectedEOF
+				return
+			}
+			errs <- nil
+		}()
+	}
+	for i := 0; i < clients; i++ {
+		if err := <-errs; err != nil {
+			t.Errorf("client %d: %v", i, err)
+		}
+	}
+}

@@ -1,0 +1,308 @@
+// Package orchestra is a deterministic workflow engine for
+// Perpetual-WS: a BPEL-style orchestrator in the spirit of the paper's
+// future-work plan to execute BPEL processes on an Apache ODE engine
+// inside a replicated service (Section 7). Processes are trees of
+// activities — invoke, reply, assign, sequence, fan-out, if, while —
+// executed by the application's single deterministic thread, so a
+// replicated orchestrator reaches identical decisions on every replica.
+//
+// The engine deliberately supports the subset of BPEL that is
+// deterministic by construction: data flows through named scope
+// variables; parallel invocation is expressed as a fan-out (send all,
+// then collect all) rather than preemptive concurrency; timeouts use
+// the middleware's deterministic aborts.
+package orchestra
+
+import (
+	"errors"
+	"fmt"
+
+	"perpetualws/internal/core"
+	"perpetualws/internal/soap"
+	"perpetualws/internal/wsengine"
+)
+
+// Scope holds a process instance's variables. Variable "request" is
+// bound to the triggering request body for on-request processes.
+type Scope struct {
+	Vars map[string][]byte
+}
+
+// NewScope creates an empty scope.
+func NewScope() *Scope { return &Scope{Vars: make(map[string][]byte)} }
+
+// Get returns a variable's value (nil if unset).
+func (s *Scope) Get(name string) []byte { return s.Vars[name] }
+
+// Set assigns a variable.
+func (s *Scope) Set(name string, v []byte) { s.Vars[name] = v }
+
+// Expr computes a value from the scope: the data-flow edges of the
+// workflow. Expressions must be deterministic.
+type Expr func(s *Scope) []byte
+
+// Const returns an expression yielding a fixed value.
+func Const(v []byte) Expr { return func(*Scope) []byte { return v } }
+
+// Var returns an expression reading a scope variable.
+func Var(name string) Expr { return func(s *Scope) []byte { return s.Get(name) } }
+
+// Sprintf builds a value from a format and variable names.
+func Sprintf(format string, vars ...string) Expr {
+	return func(s *Scope) []byte {
+		args := make([]any, len(vars))
+		for i, v := range vars {
+			args[i] = string(s.Get(v))
+		}
+		return []byte(fmt.Sprintf(format, args...))
+	}
+}
+
+// Cond is a deterministic predicate over the scope.
+type Cond func(s *Scope) bool
+
+// Activity is one workflow step.
+type Activity interface {
+	// Run executes the activity against the process context.
+	Run(p *processCtx) error
+}
+
+// processCtx carries the execution state of one process instance.
+type processCtx struct {
+	app   *core.AppContext
+	scope *Scope
+	// trigger is the request that started this instance (nil for
+	// active processes); Reply answers it.
+	trigger *wsengine.MessageContext
+	replied bool
+}
+
+// ErrHalt is returned by Exit to stop the process instance cleanly.
+var ErrHalt = errors.New("orchestra: process halted")
+
+// Sequence runs activities in order.
+type Sequence []Activity
+
+// Run implements Activity.
+func (seq Sequence) Run(p *processCtx) error {
+	for _, a := range seq {
+		if err := a.Run(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Assign sets a scope variable.
+type Assign struct {
+	Var   string
+	Value Expr
+}
+
+// Run implements Activity.
+func (a Assign) Run(p *processCtx) error {
+	p.scope.Set(a.Var, a.Value(p.scope))
+	return nil
+}
+
+// Invoke performs a synchronous call to a partner service, storing the
+// reply body in OutputVar. TimeoutMillis > 0 arms a deterministic abort;
+// an aborted call surfaces the SOAP fault body in OutputVar and sets
+// "<OutputVar>.fault" to the fault reason.
+type Invoke struct {
+	Service       string
+	Action        string
+	Input         Expr
+	OutputVar     string
+	TimeoutMillis int64
+}
+
+// Run implements Activity.
+func (inv Invoke) Run(p *processCtx) error {
+	req := buildRequest(inv.Service, inv.Action, inv.Input(p.scope), inv.TimeoutMillis)
+	reply, err := p.app.SendReceive(req)
+	if err != nil {
+		return fmt.Errorf("orchestra: invoke %s: %w", inv.Service, err)
+	}
+	storeReply(p.scope, inv.OutputVar, reply)
+	return nil
+}
+
+// FanOut invokes several partners in parallel (asynchronous sends, then
+// collection by correlation), the deterministic form of a BPEL <flow>
+// of invokes.
+type FanOut []Invoke
+
+// Run implements Activity.
+func (f FanOut) Run(p *processCtx) error {
+	reqs := make([]*wsengine.MessageContext, len(f))
+	for i, inv := range f {
+		reqs[i] = buildRequest(inv.Service, inv.Action, inv.Input(p.scope), inv.TimeoutMillis)
+		if err := p.app.Send(reqs[i]); err != nil {
+			return fmt.Errorf("orchestra: fan-out send to %s: %w", inv.Service, err)
+		}
+	}
+	for i, inv := range f {
+		reply, err := p.app.ReceiveReplyFor(reqs[i])
+		if err != nil {
+			return fmt.Errorf("orchestra: fan-out reply from %s: %w", inv.Service, err)
+		}
+		storeReply(p.scope, inv.OutputVar, reply)
+	}
+	return nil
+}
+
+// Reply answers the process instance's triggering request.
+type Reply struct {
+	Body Expr
+}
+
+// Run implements Activity.
+func (r Reply) Run(p *processCtx) error {
+	if p.trigger == nil {
+		return errors.New("orchestra: Reply in a process without a trigger")
+	}
+	if p.replied {
+		return errors.New("orchestra: process replied twice")
+	}
+	out := wsengine.NewMessageContext()
+	out.Envelope.Body = r.Body(p.scope)
+	if err := p.app.SendReply(out, p.trigger); err != nil {
+		return err
+	}
+	p.replied = true
+	return nil
+}
+
+// If branches on a deterministic condition.
+type If struct {
+	Cond Cond
+	Then Activity
+	Else Activity // optional
+}
+
+// Run implements Activity.
+func (i If) Run(p *processCtx) error {
+	if i.Cond(p.scope) {
+		return i.Then.Run(p)
+	}
+	if i.Else != nil {
+		return i.Else.Run(p)
+	}
+	return nil
+}
+
+// While loops while the condition holds.
+type While struct {
+	Cond Cond
+	Body Activity
+}
+
+// Run implements Activity.
+func (w While) Run(p *processCtx) error {
+	for w.Cond(p.scope) {
+		if err := w.Body.Run(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stamp assigns the agreed current time (milliseconds) to a variable —
+// host-specific information made replica-consistent via Utils.
+type Stamp struct {
+	Var string
+}
+
+// Run implements Activity.
+func (st Stamp) Run(p *processCtx) error {
+	ms, err := p.app.CurrentTimeMillis()
+	if err != nil {
+		return err
+	}
+	p.scope.Set(st.Var, []byte(fmt.Sprintf("%d", ms)))
+	return nil
+}
+
+// Exit halts the process instance.
+type Exit struct{}
+
+// Run implements Activity.
+func (Exit) Run(*processCtx) error { return ErrHalt }
+
+// Process is a workflow definition.
+type Process struct {
+	Name string
+	// OnRequest, when set, makes the process request-triggered: one
+	// instance runs per incoming request, with the request body bound
+	// to the "request" variable. Exactly one Reply should execute per
+	// instance (unanswered callers eventually abort if they set
+	// timeouts).
+	OnRequest Activity
+	// Startup, when set, runs once when the replica starts — a
+	// long-running active thread of computation (it may loop forever
+	// with While).
+	Startup Activity
+}
+
+// App compiles the process into a Perpetual-WS application.
+func App(p Process) core.Application {
+	return core.ApplicationFunc(func(ctx *core.AppContext) {
+		if p.Startup != nil {
+			pc := &processCtx{app: ctx, scope: NewScope()}
+			if err := p.Startup.Run(pc); err != nil && !errors.Is(err, ErrHalt) {
+				return
+			}
+		}
+		if p.OnRequest == nil {
+			return
+		}
+		for {
+			req, err := ctx.ReceiveRequest()
+			if err != nil {
+				return
+			}
+			pc := &processCtx{app: ctx, scope: NewScope(), trigger: req}
+			pc.scope.Set("request", req.Envelope.Body)
+			pc.scope.Set("request.action", []byte(req.Envelope.Header.Action))
+			if err := pc.run(p.OnRequest); err != nil && !errors.Is(err, ErrHalt) {
+				// Deterministic failure: every replica fails this
+				// instance identically. Answer with a fault so the
+				// caller is not left waiting.
+				if pc.trigger != nil && !pc.replied {
+					out := wsengine.NewMessageContext()
+					out.Envelope.Body = soap.FaultBody(soap.Fault{
+						Code: "soap:Receiver", Reason: err.Error(),
+					})
+					_ = ctx.SendReply(out, pc.trigger)
+				}
+			}
+		}
+	})
+}
+
+func (p *processCtx) run(a Activity) error { return a.Run(p) }
+
+func buildRequest(service, action string, body []byte, timeoutMillis int64) *wsengine.MessageContext {
+	mc := wsengine.NewMessageContext()
+	mc.Options.To = soap.ServiceURI(service)
+	mc.Options.Action = action
+	mc.Options.TimeoutMillis = timeoutMillis
+	mc.Envelope.Body = body
+	return mc
+}
+
+func storeReply(s *Scope, name string, reply *wsengine.MessageContext) {
+	s.Set(name, reply.Envelope.Body)
+	if f, isFault := soap.IsFault(reply.Envelope.Body); isFault {
+		s.Set(name+".fault", []byte(f.Reason))
+	} else {
+		s.Set(name+".fault", nil)
+	}
+}
+
+// Faulted is a condition testing whether a previous invoke stored a
+// fault in the named output variable.
+func Faulted(outputVar string) Cond {
+	return func(s *Scope) bool { return len(s.Get(outputVar+".fault")) > 0 }
+}

@@ -1,0 +1,56 @@
+package perpetual
+
+// boundedCache is a FIFO-eviction map used for reply caches,
+// delivered-result tracking, and share collection. Perpetual state that
+// grows with traffic must be bounded: a compromised peer can replay
+// ancient request IDs forever, and an unbounded map would be a memory
+// exhaustion vector. Not safe for concurrent use; callers hold the
+// voter mutex.
+type boundedCache[V any] struct {
+	max   int
+	items map[string]V
+	order []string // insertion order; evictions pop the front
+}
+
+func newBoundedCache[V any](max int) *boundedCache[V] {
+	if max < 1 {
+		max = 1
+	}
+	return &boundedCache[V]{max: max, items: make(map[string]V, max)}
+}
+
+// Get returns the cached value for key.
+func (c *boundedCache[V]) Get(key string) (V, bool) {
+	v, ok := c.items[key]
+	return v, ok
+}
+
+// Contains reports whether key is cached.
+func (c *boundedCache[V]) Contains(key string) bool {
+	_, ok := c.items[key]
+	return ok
+}
+
+// Put inserts or replaces the value for key, evicting the oldest entry
+// if the cache is full.
+func (c *boundedCache[V]) Put(key string, v V) {
+	if _, exists := c.items[key]; exists {
+		c.items[key] = v
+		return
+	}
+	for len(c.items) >= c.max && len(c.order) > 0 {
+		oldest := c.order[0]
+		c.order = c.order[1:]
+		delete(c.items, oldest)
+	}
+	c.items[key] = v
+	c.order = append(c.order, key)
+}
+
+// Delete removes key. The order slot is reclaimed lazily on eviction.
+func (c *boundedCache[V]) Delete(key string) {
+	delete(c.items, key)
+}
+
+// Len returns the number of live entries.
+func (c *boundedCache[V]) Len() int { return len(c.items) }

@@ -1,0 +1,141 @@
+package perpetual
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"perpetualws/internal/auth"
+	"perpetualws/internal/transport"
+)
+
+// ServiceOptions tunes one service's replicas within a Deployment.
+type ServiceOptions struct {
+	CheckpointInterval uint64
+	ViewChangeTimeout  time.Duration
+	RetransmitInterval time.Duration
+	// MaxBatch enables CLBFT request batching (>1) for the service's
+	// voter group.
+	MaxBatch int
+	// Behaviors optionally assigns Byzantine behaviors to replica
+	// indices.
+	Behaviors map[int]Behavior
+	Logger    *log.Logger
+}
+
+// Deployment hosts an in-process Perpetual universe: every replica of
+// every service on one memnet Network, with pairwise MAC keys derived
+// from a deployment master secret. It is the programmatic analogue of
+// the paper's testbed plus replicas.xml, used by tests, benchmarks, and
+// examples; production deployments assemble Replicas over TCP instead.
+type Deployment struct {
+	Registry *Registry
+	Network  *transport.Network
+
+	master   []byte
+	replicas map[string][]*Replica
+	options  map[string]ServiceOptions
+	started  bool
+}
+
+// NewDeployment creates a deployment over a fresh in-process network.
+// All services must be declared up front so every principal's key store
+// covers the whole universe.
+func NewDeployment(master []byte, services ...ServiceInfo) *Deployment {
+	return &Deployment{
+		Registry: NewRegistry(services...),
+		Network:  transport.NewNetwork(),
+		master:   master,
+		replicas: make(map[string][]*Replica),
+		options:  make(map[string]ServiceOptions),
+	}
+}
+
+// Configure sets per-service options; call before Build.
+func (d *Deployment) Configure(service string, opts ServiceOptions) {
+	d.options[service] = opts
+}
+
+// Build assembles every replica of every registered service.
+func (d *Deployment) Build() error {
+	principals := d.Registry.AllPrincipals()
+	for _, svc := range d.Registry.Services() {
+		opts := d.options[svc.Name]
+		group := make([]*Replica, svc.N)
+		for i := 0; i < svc.N; i++ {
+			voterID := auth.VoterID(svc.Name, i)
+			driverID := auth.DriverID(svc.Name, i)
+			cfg := ReplicaConfig{
+				Service:            svc.Name,
+				Index:              i,
+				Registry:           d.Registry,
+				VoterConn:          d.Network.Port(voterID),
+				DriverConn:         d.Network.Port(driverID),
+				VoterKeys:          auth.NewDerivedKeyStore(d.master, voterID, principals),
+				DriverKeys:         auth.NewDerivedKeyStore(d.master, driverID, principals),
+				CheckpointInterval: opts.CheckpointInterval,
+				ViewChangeTimeout:  opts.ViewChangeTimeout,
+				RetransmitInterval: opts.RetransmitInterval,
+				MaxBatch:           opts.MaxBatch,
+				Logger:             opts.Logger,
+			}
+			if opts.Behaviors != nil {
+				cfg.Behavior = opts.Behaviors[i]
+			}
+			r, err := NewReplica(cfg)
+			if err != nil {
+				return fmt.Errorf("perpetual: building %s/%d: %w", svc.Name, i, err)
+			}
+			group[i] = r
+		}
+		d.replicas[svc.Name] = group
+	}
+	return nil
+}
+
+// Start launches every replica.
+func (d *Deployment) Start() {
+	if d.started {
+		return
+	}
+	d.started = true
+	for _, group := range d.replicas {
+		for _, r := range group {
+			r.Start()
+		}
+	}
+}
+
+// Stop shuts every replica down and closes the network.
+func (d *Deployment) Stop() {
+	for _, group := range d.replicas {
+		for _, r := range group {
+			r.Stop()
+		}
+	}
+	_ = d.Network.Close()
+}
+
+// Replicas returns the replica group of a service.
+func (d *Deployment) Replicas(service string) []*Replica {
+	return d.replicas[service]
+}
+
+// Driver returns the driver of replica i of a service.
+func (d *Deployment) Driver(service string, i int) *Driver {
+	group := d.replicas[service]
+	if i < 0 || i >= len(group) {
+		return nil
+	}
+	return group[i].Driver()
+}
+
+// Drivers returns all drivers of a service.
+func (d *Deployment) Drivers(service string) []*Driver {
+	group := d.replicas[service]
+	out := make([]*Driver, len(group))
+	for i, r := range group {
+		out[i] = r.Driver()
+	}
+	return out
+}

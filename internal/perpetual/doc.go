@@ -1,0 +1,48 @@
+// Package perpetual implements the Perpetual algorithm (Pallemulle,
+// Thorvaldsson, Goldman, WUCSE-2007-50) as used by Perpetual-WS: it
+// enables two replicated deterministic services to interact using
+// synchronous or asynchronous message exchange while preserving the
+// safety and liveness of every correct service, even when a peer service
+// is compromised (more than f faulty replicas).
+//
+// Each replica of a service is split into a voter and a driver, which
+// form two distinct replica groups (the voter and driver of a given
+// replica are co-located on one host). Voters of a service run CLBFT
+// agreement on (a) external requests sent to the service and (b) replies
+// to requests the service issued, plus internal operations (agreed
+// utility values and deterministic aborts). Drivers host the executor —
+// the application's single long-running deterministic thread — and talk
+// to the network on the request/reply fast path.
+//
+// A request flows through the nine stages of the paper's Figure 1:
+//
+//  1. calling drivers send the request to the target voter primary
+//  2. the target primary gathers f_c+1 matching copies and runs CLBFT
+//  3. target voters hand the agreed request to co-located drivers
+//  4. target drivers execute and return the result to their voters
+//  5. target voters send reply shares to the responder voter
+//  6. the responder bundles f_t+1 matching shares (with MAC
+//     authenticators) and sends the bundle to every calling driver
+//  7. calling drivers verify the bundle and forward it to their voter
+//     primary
+//  8. calling voters run CLBFT on the result
+//  9. calling voters enqueue the agreed result for their executors
+//
+// Fault handling: calling drivers retransmit unanswered requests to all
+// target voters with a rotated responder choice, so a faulty primary or
+// responder at the target cannot block a correct caller; target voters
+// serve repeat requests from a bounded reply cache. Requests with a
+// timeout are aborted deterministically: local timers merely propose an
+// abort operation through the caller's own voter group, and the CLBFT
+// delivery order decides — identically on every replica — whether the
+// abort or the reply wins.
+//
+// Reply authenticity: every target voter authenticates its reply digest
+// with MAC entries for all calling drivers and voters. A calling driver
+// accepts a bundle only with f_t+1 authenticators from distinct target
+// voters each carrying a valid entry for itself — at least one of those
+// voters is correct, so the payload is the target's unique correct
+// reply. Calling voters re-verify the same certificate before agreeing
+// (via the CLBFT operation validator), so fewer than f_c+1 faulty
+// calling replicas cannot inject a fabricated reply.
+package perpetual

@@ -1,0 +1,525 @@
+package perpetual
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+	"time"
+
+	"perpetualws/internal/auth"
+	"perpetualws/internal/transport"
+)
+
+// ErrClosed is returned by driver operations after shutdown.
+var ErrClosed = errors.New("perpetual: driver closed")
+
+// DefaultRetransmitInterval is the initial retransmission delay for
+// unanswered requests; it doubles per attempt.
+const DefaultRetransmitInterval = time.Second
+
+// IncomingRequest is an agreed external request awaiting execution.
+type IncomingRequest struct {
+	ReqID   string
+	Caller  string
+	Payload []byte
+}
+
+// Reply is the agreed outcome of a request this service issued. Aborted
+// replies are produced deterministically when a request times out.
+type Reply struct {
+	ReqID   string
+	Payload []byte
+	Aborted bool
+}
+
+// EventKind discriminates merged driver events.
+type EventKind uint8
+
+// Driver event kinds.
+const (
+	EventRequest EventKind = iota + 1
+	EventReply
+)
+
+// Event is one agreed event in the driver's merged queue: either an
+// incoming request or a reply/abort. The merged order is the voter
+// group's agreement order, identical on every replica, which is what
+// lets multi-threaded executors (package detsched) interleave
+// deterministically.
+type Event struct {
+	Kind    EventKind
+	Request IncomingRequest // when Kind == EventRequest
+	Reply   Reply           // when Kind == EventReply
+}
+
+// Driver is the active half of a Perpetual replica: it hosts the
+// application executor, issues requests on its behalf (stage 1),
+// verifies reply bundles (stage 7), and exposes the blocking accessors
+// the Perpetual-WS MessageHandler API is built on. All methods are safe
+// for use by the single executor thread plus internal goroutines.
+type Driver struct {
+	svc      ServiceInfo
+	index    int
+	registry *Registry
+	adapter  *transport.ChannelAdapter
+	ks       *auth.KeyStore
+	voter    *voter
+	logger   *log.Logger
+
+	retransmitInterval time.Duration
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	closed bool
+
+	reqSeq  uint64
+	utilSeq uint64
+
+	// events is the merged agreed-order queue; all blocking accessors
+	// consume from it, so mixed consumption (NextRequest on one code
+	// path, WaitReply on another) stays coherent and deterministic.
+	events    []Event
+	replySeen map[string]struct{} // reply ids queued or consumed (dedup)
+
+	outstanding map[string]*outstandingReq
+	utils       map[uint64]int64
+}
+
+// outstandingReq tracks a request this driver issued and is awaiting.
+type outstandingReq struct {
+	target    string
+	payload   []byte
+	responder int
+	attempt   int
+	timeout   time.Duration
+	retryTmr  *time.Timer
+	abortTmr  *time.Timer
+}
+
+func newDriver(svc ServiceInfo, index int, reg *Registry, adapter *transport.ChannelAdapter, ks *auth.KeyStore, v *voter, logger *log.Logger) *Driver {
+	d := &Driver{
+		svc:                svc,
+		index:              index,
+		registry:           reg,
+		adapter:            adapter,
+		ks:                 ks,
+		voter:              v,
+		logger:             logger,
+		retransmitInterval: DefaultRetransmitInterval,
+		replySeen:          make(map[string]struct{}),
+		outstanding:        make(map[string]*outstandingReq),
+		utils:              make(map[uint64]int64),
+	}
+	d.cond = sync.NewCond(&d.mu)
+	return d
+}
+
+func (d *Driver) logf(format string, args ...any) {
+	if d.logger != nil {
+		d.logger.Printf("driver[%s/%d]: "+format, append([]any{d.svc.Name, d.index}, args...)...)
+	}
+}
+
+// ServiceName returns the name of the service this driver belongs to.
+func (d *Driver) ServiceName() string { return d.svc.Name }
+
+// Index returns the replica index of this driver.
+func (d *Driver) Index() int { return d.index }
+
+// handleTransport dispatches inbound driver-addressed messages (reply
+// bundles from responders).
+func (d *Driver) handleTransport(from auth.NodeID, payload []byte) {
+	m, err := DecodeMessage(payload)
+	if err != nil {
+		d.logf("malformed message from %s: %v", from, err)
+		return
+	}
+	if m.Kind != KindReplyBundle || m.ReplyBundle == nil {
+		return
+	}
+	d.handleBundle(from, m.ReplyBundle)
+}
+
+// handleBundle verifies a stage-6 reply bundle and forwards it to the
+// voter group primary for agreement (stage 7).
+func (d *Driver) handleBundle(from auth.NodeID, b *ReplyBundle) {
+	target, err := d.registry.Lookup(b.Target)
+	if err != nil {
+		return
+	}
+	if from.Service != b.Target || from.Role != auth.RoleVoter {
+		return // bundles come from a voter of the target service
+	}
+	d.mu.Lock()
+	_, waiting := d.outstanding[b.ReqID]
+	d.mu.Unlock()
+	if !waiting {
+		return // unknown or already-settled request
+	}
+	if err := VerifyBundle(d.ks, target, b); err != nil {
+		d.logf("bundle for %s rejected: %v", b.ReqID, err)
+		return
+	}
+	// Forward to our group's primary voter; non-primary voters relay.
+	fw := &Message{Kind: KindResultForward, ResultForward: b}
+	primary := d.voter.bft.Primary()
+	if err := d.adapter.Send(auth.VoterID(d.svc.Name, primary), fw.Encode()); err != nil {
+		d.logf("result forward for %s: %v", b.ReqID, err)
+	}
+}
+
+// Call issues a request to a target service (stage 1) and returns its
+// request ID without blocking. A timeout of zero means never abort (the
+// paper's default); otherwise the request is deterministically aborted
+// group-wide if no reply is agreed in time.
+func (d *Driver) Call(target string, payload []byte, timeout time.Duration) (string, error) {
+	tinfo, err := d.registry.Lookup(target)
+	if err != nil {
+		return "", err
+	}
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return "", ErrClosed
+	}
+	d.reqSeq++
+	n := d.reqSeq
+	reqID := fmt.Sprintf("%s:%d", d.svc.Name, n)
+	responder := int(n % uint64(tinfo.N))
+	o := &outstandingReq{
+		target:    target,
+		payload:   payload,
+		responder: responder,
+		timeout:   timeout,
+	}
+	d.outstanding[reqID] = o
+	d.mu.Unlock()
+
+	req, err := d.buildRequest(reqID, tinfo, payload, responder, 0)
+	if err != nil {
+		return "", err
+	}
+	// First attempt goes to the believed primary (index 0 in the common
+	// case); retransmissions fan out to the whole group.
+	msg := &Message{Kind: KindRequest, Request: req}
+	if err := d.adapter.Send(auth.VoterID(target, 0), msg.Encode()); err != nil {
+		d.logf("request %s: %v", reqID, err)
+	}
+
+	d.mu.Lock()
+	if cur, ok := d.outstanding[reqID]; ok {
+		cur.retryTmr = time.AfterFunc(d.retransmitInterval, func() { d.retransmit(reqID) })
+		if timeout > 0 {
+			cur.abortTmr = time.AfterFunc(timeout, func() { d.voter.requestAbort(reqID) })
+		}
+	}
+	d.mu.Unlock()
+	return reqID, nil
+}
+
+// buildRequest assembles an authenticated request message.
+func (d *Driver) buildRequest(reqID string, tinfo ServiceInfo, payload []byte, responder, attempt int) (*Request, error) {
+	req := &Request{
+		ReqID:     reqID,
+		Caller:    d.svc.Name,
+		Target:    tinfo.Name,
+		Responder: responder,
+		Attempt:   attempt,
+		Payload:   payload,
+	}
+	a, err := auth.NewAuthenticator(d.ks, requestAuthMsg(reqID, req.Digest()), tinfo.VoterIDs())
+	if err != nil {
+		return nil, fmt.Errorf("perpetual: authenticating request: %w", err)
+	}
+	req.Auth = a
+	return req, nil
+}
+
+// retransmit re-sends an unanswered request to every target voter with a
+// rotated responder choice, with exponential backoff.
+func (d *Driver) retransmit(reqID string) {
+	d.mu.Lock()
+	o, ok := d.outstanding[reqID]
+	if !ok || d.closed {
+		d.mu.Unlock()
+		return
+	}
+	o.attempt++
+	attempt := o.attempt
+	target := o.target
+	payload := o.payload
+	tinfo, err := d.registry.Lookup(target)
+	if err != nil {
+		d.mu.Unlock()
+		return
+	}
+	o.responder = int((d.hashReq(reqID) + uint64(attempt)) % uint64(tinfo.N))
+	responder := o.responder
+	backoff := d.retransmitInterval << uint(min(attempt, 6))
+	o.retryTmr = time.AfterFunc(backoff, func() { d.retransmit(reqID) })
+	d.mu.Unlock()
+
+	req, err := d.buildRequest(reqID, tinfo, payload, responder, attempt)
+	if err != nil {
+		d.logf("retransmit %s: %v", reqID, err)
+		return
+	}
+	msg := &Message{Kind: KindRequest, Request: req}
+	enc := msg.Encode()
+	for _, id := range tinfo.VoterIDs() {
+		if err := d.adapter.Send(id, enc); err != nil {
+			d.logf("retransmit %s to %s: %v", reqID, id, err)
+		}
+	}
+	d.logf("retransmitted %s (attempt %d, responder %d)", reqID, attempt, responder)
+}
+
+func (d *Driver) hashReq(reqID string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(reqID); i++ {
+		h ^= uint64(reqID[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// deliverRequest enqueues an agreed incoming request (stage 3); called
+// by the co-located voter on the CLBFT delivery goroutine.
+func (d *Driver) deliverRequest(r IncomingRequest) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return
+	}
+	d.events = append(d.events, Event{Kind: EventRequest, Request: r})
+	d.cond.Broadcast()
+}
+
+// deliverReply records an agreed reply or abort (stage 9).
+func (d *Driver) deliverReply(r Reply) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return
+	}
+	if _, dup := d.replySeen[r.ReqID]; dup {
+		return
+	}
+	d.replySeen[r.ReqID] = struct{}{}
+	d.trimReplySeen()
+	if o, ok := d.outstanding[r.ReqID]; ok {
+		if o.retryTmr != nil {
+			o.retryTmr.Stop()
+		}
+		if o.abortTmr != nil {
+			o.abortTmr.Stop()
+		}
+		delete(d.outstanding, r.ReqID)
+	}
+	d.events = append(d.events, Event{Kind: EventReply, Reply: r})
+	d.cond.Broadcast()
+}
+
+// deliverUtil records an agreed utility value.
+func (d *Driver) deliverUtil(k uint64, v int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return
+	}
+	d.utils[k] = v
+	d.cond.Broadcast()
+}
+
+// popAt removes and returns the event at index i (caller holds d.mu).
+func (d *Driver) popAt(i int) Event {
+	ev := d.events[i]
+	d.events = append(d.events[:i], d.events[i+1:]...)
+	return ev
+}
+
+// NextEvent returns the next agreed event — request or reply — in
+// agreement order, blocking until one is available. Mixing NextEvent
+// with the filtered accessors is allowed: they all consume from the
+// same queue.
+func (d *Driver) NextEvent() (Event, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for {
+		if d.closed {
+			return Event{}, ErrClosed
+		}
+		if len(d.events) > 0 {
+			return d.popAt(0), nil
+		}
+		d.cond.Wait()
+	}
+}
+
+// NextReply returns the oldest unconsumed reply in agreement order,
+// blocking until one is available.
+func (d *Driver) NextReply() (Reply, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for {
+		if d.closed {
+			return Reply{}, ErrClosed
+		}
+		for i := range d.events {
+			if d.events[i].Kind == EventReply {
+				return d.popAt(i).Reply, nil
+			}
+		}
+		d.cond.Wait()
+	}
+}
+
+// WaitReply blocks until the reply for a specific request arrives and
+// returns it.
+func (d *Driver) WaitReply(reqID string) (Reply, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for {
+		if d.closed {
+			return Reply{}, ErrClosed
+		}
+		for i := range d.events {
+			if d.events[i].Kind == EventReply && d.events[i].Reply.ReqID == reqID {
+				return d.popAt(i).Reply, nil
+			}
+		}
+		d.cond.Wait()
+	}
+}
+
+// trimReplySeen bounds the reply dedup set.
+func (d *Driver) trimReplySeen() {
+	if len(d.replySeen) > 4*deliveredCacheSize {
+		// The voter-level delivered cache already deduplicates agreed
+		// results; this set only guards the window between queues.
+		d.replySeen = make(map[string]struct{})
+	}
+}
+
+// NextRequest returns the oldest unexecuted incoming request, blocking
+// until one is available.
+func (d *Driver) NextRequest() (IncomingRequest, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for {
+		if d.closed {
+			return IncomingRequest{}, ErrClosed
+		}
+		for i := range d.events {
+			if d.events[i].Kind == EventRequest {
+				return d.popAt(i).Request, nil
+			}
+		}
+		d.cond.Wait()
+	}
+}
+
+// TryNextRequest returns an incoming request if one is queued, without
+// blocking.
+func (d *Driver) TryNextRequest() (IncomingRequest, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return IncomingRequest{}, false
+	}
+	for i := range d.events {
+		if d.events[i].Kind == EventRequest {
+			return d.popAt(i).Request, true
+		}
+	}
+	return IncomingRequest{}, false
+}
+
+// Reply sends the executor's result for an incoming request back through
+// the voter (stage 4).
+func (d *Driver) Reply(req IncomingRequest, payload []byte) error {
+	d.mu.Lock()
+	closed := d.closed
+	d.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	d.voter.handleLocalResult(req.ReqID, payload)
+	return nil
+}
+
+// AgreedTimeMillis returns a clock reading agreed by the voter group:
+// every replica observes the same value for the same call position (the
+// Utils.currentTimeMillis of the paper's Figure 3).
+func (d *Driver) AgreedTimeMillis() (int64, error) {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return 0, ErrClosed
+	}
+	d.utilSeq++
+	k := d.utilSeq
+	d.mu.Unlock()
+
+	d.voter.requestUtil(k)
+
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for {
+		if d.closed {
+			return 0, ErrClosed
+		}
+		if v, ok := d.utils[k]; ok {
+			delete(d.utils, k)
+			return v, nil
+		}
+		d.cond.Wait()
+	}
+}
+
+// AgreedTimestamp returns an agreed wall-clock timestamp (Utils.timestamp).
+func (d *Driver) AgreedTimestamp() (time.Time, error) {
+	ms, err := d.AgreedTimeMillis()
+	if err != nil {
+		return time.Time{}, err
+	}
+	return time.UnixMilli(ms), nil
+}
+
+// AgreedRandom returns a pseudo-random generator seeded with an agreed
+// value, so every replica draws the same sequence (Utils.random).
+func (d *Driver) AgreedRandom() (*rand.Rand, error) {
+	seed, err := d.AgreedTimeMillis()
+	if err != nil {
+		return nil, err
+	}
+	return rand.New(rand.NewSource(seed)), nil
+}
+
+// Outstanding returns the number of requests awaiting replies.
+func (d *Driver) Outstanding() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.outstanding)
+}
+
+// close shuts the driver down, releasing all blocked callers.
+func (d *Driver) close() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return
+	}
+	d.closed = true
+	for _, o := range d.outstanding {
+		if o.retryTmr != nil {
+			o.retryTmr.Stop()
+		}
+		if o.abortTmr != nil {
+			o.abortTmr.Stop()
+		}
+	}
+	d.cond.Broadcast()
+}

@@ -1,0 +1,364 @@
+package perpetual
+
+import (
+	"crypto/sha256"
+	"fmt"
+
+	"perpetualws/internal/auth"
+	"perpetualws/internal/wire"
+)
+
+// Kind discriminates Perpetual transport messages.
+type Kind uint8
+
+// Transport message kinds.
+const (
+	// KindRequest carries an external request from a calling driver to a
+	// target voter (stage 1, and retransmissions to the whole group).
+	KindRequest Kind = iota + 1
+	// KindBFT wraps a CLBFT message between voters of one group.
+	KindBFT
+	// KindReplyShare carries one target voter's endorsement of a reply
+	// to the responder voter (stage 5).
+	KindReplyShare
+	// KindReplyBundle carries the responder's assembled reply bundle to
+	// a calling driver (stage 6).
+	KindReplyBundle
+	// KindResultForward carries a verified reply bundle from a calling
+	// driver to its voter group's primary (stage 7).
+	KindResultForward
+	// KindUtilForward forwards a driver's utility-value demand to the
+	// voter group primary, which proposes an agreed value.
+	KindUtilForward
+	// KindAbortForward forwards a driver's timeout abort demand to the
+	// voter group primary.
+	KindAbortForward
+)
+
+// String returns the protocol name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindRequest:
+		return "request"
+	case KindBFT:
+		return "bft"
+	case KindReplyShare:
+		return "reply-share"
+	case KindReplyBundle:
+		return "reply-bundle"
+	case KindResultForward:
+		return "result-forward"
+	case KindUtilForward:
+		return "util-forward"
+	case KindAbortForward:
+		return "abort-forward"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Request is an external request as sent by calling drivers (stage 1).
+// Retransmissions carry an incremented Attempt, which rotates the
+// responder choice at the target.
+type Request struct {
+	ReqID     string // globally unique: "<caller>:<n>"
+	Caller    string // calling service name
+	Target    string // target service name
+	Responder int    // target voter index chosen as responder
+	Attempt   int    // retransmission counter
+	Payload   []byte
+	// Auth endorses the request digest with MAC entries for every
+	// target voter, so each voter (and the agreement validator) can
+	// check that this driver really issued this request — a faulty
+	// target primary cannot fabricate requests "from" the caller.
+	Auth auth.Authenticator
+}
+
+// Digest identifies the request content for f_c+1 matching at the
+// target primary. Attempt and Responder are excluded: retransmissions
+// count toward the same request.
+func (r *Request) Digest() [sha256.Size]byte {
+	h := sha256.New()
+	w := wire.NewWriter(64)
+	w.PutString(r.ReqID)
+	w.PutString(r.Caller)
+	w.PutString(r.Target)
+	w.PutBytes(r.Payload)
+	h.Write(w.Bytes())
+	var d [sha256.Size]byte
+	h.Sum(d[:0])
+	return d
+}
+
+// ReplyDigest binds a reply payload to its request. Both reply shares
+// and agreed reply operations use it.
+func ReplyDigest(reqID string, payload []byte) [sha256.Size]byte {
+	h := sha256.New()
+	w := wire.NewWriter(64)
+	w.PutString(reqID)
+	w.PutBytes(payload)
+	h.Write(w.Bytes())
+	var d [sha256.Size]byte
+	h.Sum(d[:0])
+	return d
+}
+
+// replyAuthMsg is the byte string a target voter MACs to endorse a reply
+// digest (the authenticator covers this, not the raw payload, so shares
+// can omit the payload body).
+func replyAuthMsg(reqID string, digest [sha256.Size]byte) []byte {
+	w := wire.NewWriter(len(reqID) + len(digest) + 24)
+	w.PutString("perpetual-reply")
+	w.PutString(reqID)
+	w.PutBytes(digest[:])
+	return w.Bytes()
+}
+
+// requestAuthMsg is the byte string a calling driver MACs to endorse a
+// request digest toward the target voters.
+func requestAuthMsg(reqID string, digest [sha256.Size]byte) []byte {
+	w := wire.NewWriter(len(reqID) + len(digest) + 24)
+	w.PutString("perpetual-request")
+	w.PutString(reqID)
+	w.PutBytes(digest[:])
+	return w.Bytes()
+}
+
+// Share is one target voter's endorsement of a reply digest: the voter's
+// index within the target group and its authenticator (MAC entries for
+// every calling driver and voter).
+type Share struct {
+	Replica int
+	Auth    auth.Authenticator
+}
+
+// ReplyShare is the stage-5 message from a target voter to the
+// responder. Only the responder's own share carries the payload (other
+// voters send digests), keeping bundle assembly cheap.
+type ReplyShare struct {
+	ReqID   string
+	Caller  string
+	Digest  [sha256.Size]byte
+	Share   Share
+	Payload []byte // only present when the sender believes the responder lacks it
+}
+
+// ReplyBundle is the stage-6 message from the responder to every calling
+// driver: the reply payload plus f_t+1 shares endorsing its digest.
+type ReplyBundle struct {
+	ReqID   string
+	Target  string
+	Payload []byte
+	Shares  []Share
+}
+
+// UtilForward asks the voter primary to propose an agreed utility value
+// for slot K.
+type UtilForward struct {
+	K uint64
+}
+
+// AbortForward asks the voter primary to propose a deterministic abort
+// for an outstanding request.
+type AbortForward struct {
+	ReqID string
+}
+
+// Message is the tagged union moved by the ChannelAdapter between
+// Perpetual principals.
+type Message struct {
+	Kind          Kind
+	Request       *Request
+	BFT           []byte // encoded clbft.Message
+	ReplyShare    *ReplyShare
+	ReplyBundle   *ReplyBundle
+	ResultForward *ReplyBundle // same shape as a bundle
+	UtilForward   *UtilForward
+	AbortForward  *AbortForward
+}
+
+// Encode serializes the message.
+func (m *Message) Encode() []byte {
+	w := wire.NewWriter(256)
+	w.PutUint8(uint8(m.Kind))
+	switch m.Kind {
+	case KindRequest:
+		encodeRequest(w, m.Request)
+	case KindBFT:
+		w.PutBytes(m.BFT)
+	case KindReplyShare:
+		rs := m.ReplyShare
+		w.PutString(rs.ReqID)
+		w.PutString(rs.Caller)
+		w.PutBytes(rs.Digest[:])
+		encodeShare(w, &rs.Share)
+		w.PutBytes(rs.Payload)
+	case KindReplyBundle:
+		encodeBundle(w, m.ReplyBundle)
+	case KindResultForward:
+		encodeBundle(w, m.ResultForward)
+	case KindUtilForward:
+		w.PutUint64(m.UtilForward.K)
+	case KindAbortForward:
+		w.PutString(m.AbortForward.ReqID)
+	}
+	return w.Bytes()
+}
+
+// DecodeMessage parses a transport message. All variable-length fields
+// are copied.
+func DecodeMessage(buf []byte) (*Message, error) {
+	r := wire.NewReader(buf)
+	m := &Message{Kind: Kind(r.Uint8())}
+	switch m.Kind {
+	case KindRequest:
+		m.Request = decodeRequest(r)
+	case KindBFT:
+		m.BFT = r.BytesCopy()
+	case KindReplyShare:
+		rs := &ReplyShare{ReqID: r.String(), Caller: r.String()}
+		copy(rs.Digest[:], r.Bytes())
+		rs.Share = decodeShare(r)
+		rs.Payload = r.BytesCopy()
+		m.ReplyShare = rs
+	case KindReplyBundle:
+		m.ReplyBundle = decodeBundle(r)
+	case KindResultForward:
+		m.ResultForward = decodeBundle(r)
+	case KindUtilForward:
+		m.UtilForward = &UtilForward{K: r.Uint64()}
+	case KindAbortForward:
+		m.AbortForward = &AbortForward{ReqID: r.String()}
+	default:
+		return nil, fmt.Errorf("perpetual: unknown message kind %d", uint8(m.Kind))
+	}
+	if err := r.Done(); err != nil {
+		return nil, fmt.Errorf("perpetual: decoding %s: %w", m.Kind, err)
+	}
+	return m, nil
+}
+
+func encodeRequest(w *wire.Writer, req *Request) {
+	w.PutString(req.ReqID)
+	w.PutString(req.Caller)
+	w.PutString(req.Target)
+	w.PutUvarint(uint64(req.Responder))
+	w.PutUvarint(uint64(req.Attempt))
+	w.PutBytes(req.Payload)
+	encodeAuthenticator(w, &req.Auth)
+}
+
+func decodeRequest(r *wire.Reader) *Request {
+	req := &Request{
+		ReqID:     r.String(),
+		Caller:    r.String(),
+		Target:    r.String(),
+		Responder: int(r.Uvarint()),
+		Attempt:   int(r.Uvarint()),
+		Payload:   r.BytesCopy(),
+	}
+	req.Auth = decodeAuthenticator(r)
+	return req
+}
+
+func encodeAuthenticator(w *wire.Writer, a *auth.Authenticator) {
+	w.PutString(a.Sender.String())
+	w.PutUvarint(uint64(len(a.Entries)))
+	for _, e := range a.Entries {
+		w.PutString(e.Receiver.String())
+		w.PutBytes(e.MAC)
+	}
+}
+
+func decodeAuthenticator(r *wire.Reader) auth.Authenticator {
+	var a auth.Authenticator
+	if sender, err := auth.ParseNodeID(r.String()); err == nil {
+		a.Sender = sender
+	}
+	n := int(r.Uvarint())
+	if n > r.Remaining() {
+		return a
+	}
+	if n > 0 {
+		a.Entries = make([]auth.Entry, 0, n)
+	}
+	for i := 0; i < n && r.Err() == nil; i++ {
+		recv, err := auth.ParseNodeID(r.String())
+		mac := r.BytesCopy()
+		if err == nil && r.Err() == nil {
+			a.Entries = append(a.Entries, auth.Entry{Receiver: recv, MAC: mac})
+		}
+	}
+	return a
+}
+
+func encodeShare(w *wire.Writer, s *Share) {
+	w.PutUvarint(uint64(s.Replica))
+	encodeAuthenticator(w, &s.Auth)
+}
+
+func decodeShare(r *wire.Reader) Share {
+	return Share{Replica: int(r.Uvarint()), Auth: decodeAuthenticator(r)}
+}
+
+func encodeBundle(w *wire.Writer, b *ReplyBundle) {
+	w.PutString(b.ReqID)
+	w.PutString(b.Target)
+	w.PutBytes(b.Payload)
+	w.PutUvarint(uint64(len(b.Shares)))
+	for i := range b.Shares {
+		encodeShare(w, &b.Shares[i])
+	}
+}
+
+func decodeBundle(r *wire.Reader) *ReplyBundle {
+	b := &ReplyBundle{ReqID: r.String(), Target: r.String(), Payload: r.BytesCopy()}
+	n := int(r.Uvarint())
+	if n > r.Remaining() {
+		return b
+	}
+	if n > 0 {
+		b.Shares = make([]Share, 0, n)
+	}
+	for i := 0; i < n && r.Err() == nil; i++ {
+		b.Shares = append(b.Shares, decodeShare(r))
+	}
+	return b
+}
+
+// VerifyBundle checks a reply bundle against the verifier's key store:
+// the bundle must carry at least fTarget+1 shares from distinct target
+// voter indices, each authenticated with a valid MAC entry for the
+// verifier, endorsing the digest of the carried payload. At least one of
+// those voters is then correct, so the payload is the target service's
+// unique reply to the request.
+func VerifyBundle(ks *auth.KeyStore, target ServiceInfo, b *ReplyBundle) error {
+	if b == nil {
+		return fmt.Errorf("perpetual: nil bundle")
+	}
+	need := target.F() + 1
+	digest := ReplyDigest(b.ReqID, b.Payload)
+	msg := replyAuthMsg(b.ReqID, digest)
+	valid := make(map[int]struct{}, need)
+	for i := range b.Shares {
+		s := &b.Shares[i]
+		if s.Replica < 0 || s.Replica >= target.N {
+			continue
+		}
+		if _, dup := valid[s.Replica]; dup {
+			continue
+		}
+		want := auth.VoterID(target.Name, s.Replica)
+		if s.Auth.Sender != want {
+			continue // share must be authenticated by the claimed voter
+		}
+		if err := s.Auth.VerifyFor(ks, msg); err != nil {
+			continue
+		}
+		valid[s.Replica] = struct{}{}
+		if len(valid) >= need {
+			return nil
+		}
+	}
+	return fmt.Errorf("perpetual: bundle for %s has %d valid shares, need %d", b.ReqID, len(valid), need)
+}

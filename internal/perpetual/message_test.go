@@ -1,0 +1,274 @@
+package perpetual
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"perpetualws/internal/auth"
+)
+
+func testKeyStores(t *testing.T, master []byte, ids ...auth.NodeID) map[auth.NodeID]*auth.KeyStore {
+	t.Helper()
+	out := make(map[auth.NodeID]*auth.KeyStore, len(ids))
+	for _, id := range ids {
+		out[id] = auth.NewDerivedKeyStore(master, id, ids)
+	}
+	return out
+}
+
+func TestRequestMessageRoundTrip(t *testing.T) {
+	master := []byte("m")
+	driver := auth.DriverID("c", 1)
+	voters := []auth.NodeID{auth.VoterID("t", 0), auth.VoterID("t", 1)}
+	ks := testKeyStores(t, master, append([]auth.NodeID{driver}, voters...)...)
+
+	req := &Request{
+		ReqID: "c:7", Caller: "c", Target: "t",
+		Responder: 1, Attempt: 2, Payload: []byte("<body/>"),
+	}
+	a, err := auth.NewAuthenticator(ks[driver], requestAuthMsg(req.ReqID, req.Digest()), voters)
+	if err != nil {
+		t.Fatalf("NewAuthenticator: %v", err)
+	}
+	req.Auth = a
+
+	m := &Message{Kind: KindRequest, Request: req}
+	got, err := DecodeMessage(m.Encode())
+	if err != nil {
+		t.Fatalf("DecodeMessage: %v", err)
+	}
+	if !reflect.DeepEqual(got.Request, req) {
+		t.Errorf("got %+v\nwant %+v", got.Request, req)
+	}
+	// The decoded authenticator must still verify.
+	if err := got.Request.Auth.VerifyFor(ks[voters[0]], requestAuthMsg(req.ReqID, got.Request.Digest())); err != nil {
+		t.Errorf("decoded authenticator failed verification: %v", err)
+	}
+}
+
+func TestReplyShareAndBundleRoundTrip(t *testing.T) {
+	digest := ReplyDigest("c:9", []byte("payload"))
+	share := Share{
+		Replica: 3,
+		Auth: auth.Authenticator{
+			Sender: auth.VoterID("t", 3),
+			Entries: []auth.Entry{
+				{Receiver: auth.DriverID("c", 0), MAC: bytes.Repeat([]byte{1}, auth.MACSize)},
+				{Receiver: auth.VoterID("c", 0), MAC: bytes.Repeat([]byte{2}, auth.MACSize)},
+			},
+		},
+	}
+	rs := &Message{Kind: KindReplyShare, ReplyShare: &ReplyShare{
+		ReqID: "c:9", Caller: "c", Digest: digest, Share: share, Payload: []byte("payload"),
+	}}
+	got, err := DecodeMessage(rs.Encode())
+	if err != nil {
+		t.Fatalf("share decode: %v", err)
+	}
+	if !reflect.DeepEqual(got.ReplyShare, rs.ReplyShare) {
+		t.Errorf("share: got %+v\nwant %+v", got.ReplyShare, rs.ReplyShare)
+	}
+
+	rb := &Message{Kind: KindReplyBundle, ReplyBundle: &ReplyBundle{
+		ReqID: "c:9", Target: "t", Payload: []byte("payload"), Shares: []Share{share, share},
+	}}
+	got, err = DecodeMessage(rb.Encode())
+	if err != nil {
+		t.Fatalf("bundle decode: %v", err)
+	}
+	if !reflect.DeepEqual(got.ReplyBundle, rb.ReplyBundle) {
+		t.Errorf("bundle: got %+v\nwant %+v", got.ReplyBundle, rb.ReplyBundle)
+	}
+
+	fw := &Message{Kind: KindResultForward, ResultForward: rb.ReplyBundle}
+	got, err = DecodeMessage(fw.Encode())
+	if err != nil {
+		t.Fatalf("forward decode: %v", err)
+	}
+	if !reflect.DeepEqual(got.ResultForward, rb.ReplyBundle) {
+		t.Errorf("forward mismatch")
+	}
+}
+
+func TestControlMessagesRoundTrip(t *testing.T) {
+	bft := &Message{Kind: KindBFT, BFT: []byte{9, 8, 7}}
+	got, err := DecodeMessage(bft.Encode())
+	if err != nil || !bytes.Equal(got.BFT, bft.BFT) {
+		t.Errorf("bft round trip: %v %v", got, err)
+	}
+	uf := &Message{Kind: KindUtilForward, UtilForward: &UtilForward{K: 42}}
+	got, err = DecodeMessage(uf.Encode())
+	if err != nil || got.UtilForward.K != 42 {
+		t.Errorf("util round trip: %v %v", got, err)
+	}
+	af := &Message{Kind: KindAbortForward, AbortForward: &AbortForward{ReqID: "c:1"}}
+	got, err = DecodeMessage(af.Encode())
+	if err != nil || got.AbortForward.ReqID != "c:1" {
+		t.Errorf("abort round trip: %v %v", got, err)
+	}
+}
+
+func TestDecodeMessageRejectsGarbage(t *testing.T) {
+	if _, err := DecodeMessage(nil); err == nil {
+		t.Error("decoded empty")
+	}
+	if _, err := DecodeMessage([]byte{0xEE}); err == nil {
+		t.Error("decoded unknown kind")
+	}
+	m := &Message{Kind: KindUtilForward, UtilForward: &UtilForward{K: 1}}
+	enc := m.Encode()
+	for i := 1; i < len(enc); i++ {
+		if _, err := DecodeMessage(enc[:i]); err == nil {
+			t.Errorf("decoded truncation to %d", i)
+		}
+	}
+}
+
+func TestDecodeMessageNeverPanics(t *testing.T) {
+	f := func(input []byte) bool {
+		_, _ = DecodeMessage(input)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOpsRoundTrip(t *testing.T) {
+	share := Share{Replica: 1, Auth: auth.Authenticator{Sender: auth.VoterID("t", 1)}}
+	ops := []*Op{
+		{Kind: OpRequest, ReqID: "c:1", Caller: "c", Responder: 2, Payload: []byte("p"), Shares: []Share{share}},
+		{Kind: OpReply, ReqID: "c:1", Target: "t", Payload: []byte("r"), Shares: []Share{share, share}},
+		{Kind: OpAbort, ReqID: "c:2"},
+		{Kind: OpUtil, K: 9, Value: -12345},
+	}
+	for _, op := range ops {
+		got, err := DecodeOp(op.Encode())
+		if err != nil {
+			t.Fatalf("%s: %v", op.Kind, err)
+		}
+		if !reflect.DeepEqual(got, op) {
+			t.Errorf("%s: got %+v\nwant %+v", op.Kind, got, op)
+		}
+	}
+}
+
+func TestDecodeOpRejectsGarbage(t *testing.T) {
+	if _, err := DecodeOp(nil); err == nil {
+		t.Error("decoded empty op")
+	}
+	if _, err := DecodeOp([]byte{0xCC, 1}); err == nil {
+		t.Error("decoded unknown op kind")
+	}
+}
+
+func TestOpIDsDistinct(t *testing.T) {
+	ids := map[string]bool{
+		RequestOpID("x:1"): true,
+		ReplyOpID("x:1"):   true,
+		AbortOpID("x:1"):   true,
+		UtilOpID(1):        true,
+	}
+	if len(ids) != 4 {
+		t.Errorf("op id namespaces collide: %v", ids)
+	}
+}
+
+func TestRequestDigestExcludesRoutingFields(t *testing.T) {
+	a := Request{ReqID: "c:1", Caller: "c", Target: "t", Payload: []byte("p"), Responder: 0, Attempt: 0}
+	b := a
+	b.Responder, b.Attempt = 3, 5
+	if a.Digest() != b.Digest() {
+		t.Error("retransmission with rotated responder changed the request digest")
+	}
+	c := a
+	c.Payload = []byte("q")
+	if a.Digest() == c.Digest() {
+		t.Error("digest insensitive to payload")
+	}
+}
+
+func TestVerifyBundle(t *testing.T) {
+	master := []byte("m")
+	target := ServiceInfo{Name: "t", N: 4}
+	callerDriver := auth.DriverID("c", 0)
+	all := append(target.VoterIDs(), callerDriver)
+	ks := testKeyStores(t, master, all...)
+
+	payload := []byte("the reply")
+	reqID := "c:33"
+	digest := ReplyDigest(reqID, payload)
+	msg := replyAuthMsg(reqID, digest)
+
+	mkShare := func(i int) Share {
+		a, err := auth.NewAuthenticator(ks[auth.VoterID("t", i)], msg, []auth.NodeID{callerDriver})
+		if err != nil {
+			t.Fatalf("share %d: %v", i, err)
+		}
+		return Share{Replica: i, Auth: a}
+	}
+
+	good := &ReplyBundle{ReqID: reqID, Target: "t", Payload: payload,
+		Shares: []Share{mkShare(0), mkShare(2)}}
+	if err := VerifyBundle(ks[callerDriver], target, good); err != nil {
+		t.Errorf("valid bundle rejected: %v", err)
+	}
+
+	// f+1 = 2 needed; one share is insufficient.
+	short := &ReplyBundle{ReqID: reqID, Target: "t", Payload: payload, Shares: []Share{mkShare(0)}}
+	if err := VerifyBundle(ks[callerDriver], target, short); err == nil {
+		t.Error("bundle with 1 share accepted")
+	}
+
+	// Duplicate replica indices must count once.
+	dup := &ReplyBundle{ReqID: reqID, Target: "t", Payload: payload,
+		Shares: []Share{mkShare(1), mkShare(1)}}
+	if err := VerifyBundle(ks[callerDriver], target, dup); err == nil {
+		t.Error("bundle with duplicate shares accepted")
+	}
+
+	// Tampered payload invalidates all endorsements.
+	tampered := &ReplyBundle{ReqID: reqID, Target: "t", Payload: []byte("forged"),
+		Shares: good.Shares}
+	if err := VerifyBundle(ks[callerDriver], target, tampered); err == nil {
+		t.Error("tampered bundle accepted")
+	}
+
+	// A share claiming a voter identity it does not hold keys for.
+	forged := mkShare(0)
+	forged.Replica = 3
+	wrongID := &ReplyBundle{ReqID: reqID, Target: "t", Payload: payload,
+		Shares: []Share{forged, mkShare(1)}}
+	if err := VerifyBundle(ks[callerDriver], target, wrongID); err == nil {
+		t.Error("bundle with mismatched share identity accepted")
+	}
+
+	// Out-of-range replica index.
+	oob := mkShare(0)
+	oob.Replica = 9
+	oobBundle := &ReplyBundle{ReqID: reqID, Target: "t", Payload: payload,
+		Shares: []Share{oob, mkShare(1)}}
+	if err := VerifyBundle(ks[callerDriver], target, oobBundle); err == nil {
+		t.Error("bundle with out-of-range share accepted")
+	}
+
+	if err := VerifyBundle(ks[callerDriver], target, nil); err == nil {
+		t.Error("nil bundle accepted")
+	}
+}
+
+func TestReplyDigestBinding(t *testing.T) {
+	d1 := ReplyDigest("a", []byte("x"))
+	d2 := ReplyDigest("a", []byte("y"))
+	d3 := ReplyDigest("b", []byte("x"))
+	if d1 == d2 || d1 == d3 {
+		t.Error("ReplyDigest does not bind request and payload")
+	}
+	var zero [sha256.Size]byte
+	if d1 == zero {
+		t.Error("zero digest")
+	}
+}

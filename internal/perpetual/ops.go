@@ -1,0 +1,153 @@
+package perpetual
+
+import (
+	"fmt"
+
+	"perpetualws/internal/wire"
+)
+
+// OpKind discriminates the operations a voter group agrees on.
+type OpKind uint8
+
+// Agreement operation kinds.
+const (
+	// OpRequest orders an external request for execution by the drivers
+	// (target side, stage 2).
+	OpRequest OpKind = iota + 1
+	// OpReply orders a verified reply bundle for consumption by the
+	// executors (calling side, stage 8).
+	OpReply
+	// OpAbort orders a deterministic abort of an outstanding request.
+	OpAbort
+	// OpUtil orders an agreed utility value (clock reading / seed).
+	OpUtil
+)
+
+// String returns the name of the op kind.
+func (k OpKind) String() string {
+	switch k {
+	case OpRequest:
+		return "op-request"
+	case OpReply:
+		return "op-reply"
+	case OpAbort:
+		return "op-abort"
+	case OpUtil:
+		return "op-util"
+	default:
+		return fmt.Sprintf("opkind(%d)", uint8(k))
+	}
+}
+
+// Op is one agreed operation.
+type Op struct {
+	Kind OpKind
+
+	// OpRequest fields.
+	ReqID     string
+	Caller    string
+	Responder int
+	Payload   []byte
+
+	// OpReply reuses ReqID and Payload; Shares carries the f_t+1
+	// endorsements so every voter can re-verify the bundle.
+	Shares []Share
+	Target string
+
+	// OpUtil fields.
+	K     uint64
+	Value int64
+}
+
+// OpIDs deduplicate proposals within the voter group's CLBFT instance.
+
+// RequestOpID returns the agreement OpID for an external request.
+func RequestOpID(reqID string) string { return "req:" + reqID }
+
+// ReplyOpID returns the agreement OpID for a reply.
+func ReplyOpID(reqID string) string { return "rep:" + reqID }
+
+// AbortOpID returns the agreement OpID for an abort.
+func AbortOpID(reqID string) string { return "abt:" + reqID }
+
+// UtilOpID returns the agreement OpID for utility slot k.
+func UtilOpID(k uint64) string { return fmt.Sprintf("utl:%d", k) }
+
+// Encode serializes the operation for submission to CLBFT.
+func (o *Op) Encode() []byte {
+	w := wire.NewWriter(64 + len(o.Payload))
+	w.PutUint8(uint8(o.Kind))
+	switch o.Kind {
+	case OpRequest:
+		w.PutString(o.ReqID)
+		w.PutString(o.Caller)
+		w.PutUvarint(uint64(o.Responder))
+		w.PutBytes(o.Payload)
+		w.PutUvarint(uint64(len(o.Shares)))
+		for i := range o.Shares {
+			encodeShare(w, &o.Shares[i])
+		}
+	case OpReply:
+		w.PutString(o.ReqID)
+		w.PutString(o.Target)
+		w.PutBytes(o.Payload)
+		w.PutUvarint(uint64(len(o.Shares)))
+		for i := range o.Shares {
+			encodeShare(w, &o.Shares[i])
+		}
+	case OpAbort:
+		w.PutString(o.ReqID)
+	case OpUtil:
+		w.PutUint64(o.K)
+		w.PutInt64(o.Value)
+	}
+	return w.Bytes()
+}
+
+// DecodeOp parses an agreed operation.
+func DecodeOp(buf []byte) (*Op, error) {
+	r := wire.NewReader(buf)
+	o := &Op{Kind: OpKind(r.Uint8())}
+	switch o.Kind {
+	case OpRequest:
+		o.ReqID = r.String()
+		o.Caller = r.String()
+		o.Responder = int(r.Uvarint())
+		o.Payload = r.BytesCopy()
+		n := int(r.Uvarint())
+		if n > r.Remaining() {
+			return nil, fmt.Errorf("perpetual: request op with %d shares exceeds input", n)
+		}
+		if n > 0 {
+			o.Shares = make([]Share, 0, n)
+		}
+		for i := 0; i < n && r.Err() == nil; i++ {
+			o.Shares = append(o.Shares, decodeShare(r))
+		}
+	case OpReply:
+		o.ReqID = r.String()
+		o.Target = r.String()
+		o.Payload = r.BytesCopy()
+		n := int(r.Uvarint())
+		if n > r.Remaining() {
+			return nil, fmt.Errorf("perpetual: reply op with %d shares exceeds input", n)
+		}
+		if n > 0 {
+			o.Shares = make([]Share, 0, n)
+		}
+		for i := 0; i < n && r.Err() == nil; i++ {
+			o.Shares = append(o.Shares, decodeShare(r))
+		}
+	case OpAbort:
+		o.ReqID = r.String()
+	case OpUtil:
+		o.K = r.Uint64()
+		o.Value = r.Int64()
+	default:
+		return nil, fmt.Errorf("perpetual: unknown op kind %d", uint8(o.Kind))
+	}
+	if err := r.Done(); err != nil {
+		return nil, fmt.Errorf("perpetual: decoding %s: %w", o.Kind, err)
+	}
+	return o, nil
+}

@@ -1,0 +1,102 @@
+package perpetual
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"perpetualws/internal/auth"
+)
+
+// ServiceInfo describes one replicated service known to the deployment.
+type ServiceInfo struct {
+	// Name uniquely identifies the service across the deployment.
+	Name string
+	// N is the replica count; tolerating f faults requires N = 3f+1.
+	// Unreplicated endpoints use N = 1.
+	N int
+}
+
+// F returns the number of faults the service tolerates.
+func (s ServiceInfo) F() int { return (s.N - 1) / 3 }
+
+// VoterIDs returns the NodeIDs of the service's voter group.
+func (s ServiceInfo) VoterIDs() []auth.NodeID {
+	out := make([]auth.NodeID, s.N)
+	for i := range out {
+		out[i] = auth.VoterID(s.Name, i)
+	}
+	return out
+}
+
+// DriverIDs returns the NodeIDs of the service's driver group.
+func (s ServiceInfo) DriverIDs() []auth.NodeID {
+	out := make([]auth.NodeID, s.N)
+	for i := range out {
+		out[i] = auth.DriverID(s.Name, i)
+	}
+	return out
+}
+
+// Registry is the static service directory of a deployment — the
+// runtime form of the replicas.xml mapping the paper describes in
+// Section 5.2 (Perpetual-WS resolves endpoint references statically; a
+// UDDI-based dynamic directory is future work). It is safe for
+// concurrent use.
+type Registry struct {
+	mu       sync.RWMutex
+	services map[string]ServiceInfo
+}
+
+// NewRegistry creates a registry holding the given services.
+func NewRegistry(services ...ServiceInfo) *Registry {
+	r := &Registry{services: make(map[string]ServiceInfo, len(services))}
+	for _, s := range services {
+		r.services[s.Name] = s
+	}
+	return r
+}
+
+// Add registers (or replaces) a service.
+func (r *Registry) Add(s ServiceInfo) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.services[s.Name] = s
+}
+
+// Lookup resolves a service by name.
+func (r *Registry) Lookup(name string) (ServiceInfo, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s, ok := r.services[name]
+	if !ok {
+		return ServiceInfo{}, fmt.Errorf("perpetual: unknown service %q", name)
+	}
+	return s, nil
+}
+
+// Services returns all registered services sorted by name.
+func (r *Registry) Services() []ServiceInfo {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]ServiceInfo, 0, len(r.services))
+	for _, s := range r.services {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// AllPrincipals returns every voter and driver NodeID in the deployment,
+// used to provision pairwise MAC keys.
+func (r *Registry) AllPrincipals() []auth.NodeID {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []auth.NodeID
+	for _, s := range r.services {
+		out = append(out, s.VoterIDs()...)
+		out = append(out, s.DriverIDs()...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}

@@ -1,0 +1,156 @@
+package perpetual
+
+import (
+	"testing"
+
+	"perpetualws/internal/auth"
+)
+
+func TestServiceInfoF(t *testing.T) {
+	cases := []struct{ n, f int }{{1, 0}, {4, 1}, {7, 2}, {10, 3}}
+	for _, c := range cases {
+		if got := (ServiceInfo{N: c.n}).F(); got != c.f {
+			t.Errorf("N=%d: F=%d, want %d", c.n, got, c.f)
+		}
+	}
+}
+
+func TestServiceInfoIDs(t *testing.T) {
+	s := ServiceInfo{Name: "svc", N: 3}
+	voters := s.VoterIDs()
+	drivers := s.DriverIDs()
+	if len(voters) != 3 || len(drivers) != 3 {
+		t.Fatalf("lengths: %d voters, %d drivers", len(voters), len(drivers))
+	}
+	for i := 0; i < 3; i++ {
+		if voters[i] != auth.VoterID("svc", i) {
+			t.Errorf("voter %d = %v", i, voters[i])
+		}
+		if drivers[i] != auth.DriverID("svc", i) {
+			t.Errorf("driver %d = %v", i, drivers[i])
+		}
+	}
+}
+
+func TestRegistryLookup(t *testing.T) {
+	r := NewRegistry(ServiceInfo{Name: "a", N: 4}, ServiceInfo{Name: "b", N: 1})
+	got, err := r.Lookup("a")
+	if err != nil || got.N != 4 {
+		t.Errorf("Lookup(a) = %+v, %v", got, err)
+	}
+	if _, err := r.Lookup("missing"); err == nil {
+		t.Error("Lookup(missing) succeeded")
+	}
+	r.Add(ServiceInfo{Name: "c", N: 7})
+	if got, err := r.Lookup("c"); err != nil || got.N != 7 {
+		t.Errorf("after Add: %+v, %v", got, err)
+	}
+	services := r.Services()
+	if len(services) != 3 || services[0].Name != "a" || services[2].Name != "c" {
+		t.Errorf("Services = %+v", services)
+	}
+}
+
+func TestRegistryAllPrincipals(t *testing.T) {
+	r := NewRegistry(ServiceInfo{Name: "a", N: 2}, ServiceInfo{Name: "b", N: 1})
+	ps := r.AllPrincipals()
+	if len(ps) != 6 { // 2 services x (voters + drivers)
+		t.Fatalf("principals = %d, want 6", len(ps))
+	}
+	seen := make(map[auth.NodeID]bool)
+	for _, p := range ps {
+		if seen[p] {
+			t.Errorf("duplicate principal %v", p)
+		}
+		seen[p] = true
+	}
+	for i := 1; i < len(ps); i++ {
+		if !ps[i-1].Less(ps[i]) {
+			t.Errorf("principals not sorted at %d: %v >= %v", i, ps[i-1], ps[i])
+		}
+	}
+}
+
+func TestBoundedCacheEviction(t *testing.T) {
+	c := newBoundedCache[int](3)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Put("c", 3)
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	c.Put("d", 4) // evicts "a"
+	if c.Contains("a") {
+		t.Error("oldest entry not evicted")
+	}
+	if v, ok := c.Get("d"); !ok || v != 4 {
+		t.Errorf("Get(d) = %d, %v", v, ok)
+	}
+	// Replacement does not evict.
+	c.Put("b", 20)
+	if c.Len() != 3 {
+		t.Errorf("Len after replace = %d", c.Len())
+	}
+	if v, _ := c.Get("b"); v != 20 {
+		t.Errorf("b = %d", v)
+	}
+}
+
+func TestBoundedCacheDelete(t *testing.T) {
+	c := newBoundedCache[string](2)
+	c.Put("x", "1")
+	c.Delete("x")
+	if c.Contains("x") {
+		t.Error("deleted key present")
+	}
+	// Re-inserting a deleted key works and the cache keeps functioning.
+	c.Put("x", "2")
+	c.Put("y", "3")
+	c.Put("z", "4")
+	if c.Len() > 2 {
+		t.Errorf("Len = %d, want <= 2", c.Len())
+	}
+	if !c.Contains("z") {
+		t.Error("latest key missing")
+	}
+}
+
+func TestBoundedCacheMinimumCapacity(t *testing.T) {
+	c := newBoundedCache[int](0) // clamps to 1
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if c.Len() != 1 {
+		t.Errorf("Len = %d, want 1", c.Len())
+	}
+}
+
+func TestDedupShares(t *testing.T) {
+	in := []Share{{Replica: 1}, {Replica: 2}, {Replica: 1}, {Replica: 3}, {Replica: 2}}
+	out := dedupShares(in)
+	if len(out) != 3 {
+		t.Fatalf("dedup produced %d shares", len(out))
+	}
+	seen := map[int]bool{}
+	for _, s := range out {
+		if seen[s.Replica] {
+			t.Errorf("duplicate replica %d survived", s.Replica)
+		}
+		seen[s.Replica] = true
+	}
+}
+
+func TestKindAndOpKindStrings(t *testing.T) {
+	kinds := []Kind{KindRequest, KindBFT, KindReplyShare, KindReplyBundle,
+		KindResultForward, KindUtilForward, KindAbortForward, Kind(99)}
+	for _, k := range kinds {
+		if k.String() == "" {
+			t.Errorf("empty string for kind %d", uint8(k))
+		}
+	}
+	ops := []OpKind{OpRequest, OpReply, OpAbort, OpUtil, OpKind(99)}
+	for _, o := range ops {
+		if o.String() == "" {
+			t.Errorf("empty string for op kind %d", uint8(o))
+		}
+	}
+}

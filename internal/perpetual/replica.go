@@ -1,0 +1,162 @@
+package perpetual
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"perpetualws/internal/auth"
+	"perpetualws/internal/clbft"
+	"perpetualws/internal/transport"
+)
+
+// ReplicaConfig assembles one replica (voter + driver) of a service.
+type ReplicaConfig struct {
+	// Service names this replica's service; it must be registered in
+	// Registry.
+	Service string
+	// Index is the replica index, 0 <= Index < N.
+	Index int
+	// Registry is the deployment's service directory.
+	Registry *Registry
+	// VoterConn and DriverConn are the transport endpoints of the two
+	// co-located principals.
+	VoterConn  transport.Connection
+	DriverConn transport.Connection
+	// VoterKeys and DriverKeys hold the principals' pairwise MAC keys.
+	VoterKeys  *auth.KeyStore
+	DriverKeys *auth.KeyStore
+	// CheckpointInterval, ViewChangeTimeout, and MaxBatch tune the
+	// voter group's CLBFT instance; zero values use clbft defaults
+	// (batching disabled).
+	CheckpointInterval uint64
+	ViewChangeTimeout  time.Duration
+	MaxBatch           int
+	// RetransmitInterval tunes the driver's request retransmission
+	// backoff base; zero uses DefaultRetransmitInterval.
+	RetransmitInterval time.Duration
+	// Logger receives diagnostics; nil discards them.
+	Logger *log.Logger
+	// Behavior optionally injects Byzantine faults for testing; nil
+	// means correct behavior.
+	Behavior Behavior
+}
+
+// Replica is one member of a replicated Perpetual service: a co-located
+// voter and driver pair sharing a host.
+type Replica struct {
+	svc    ServiceInfo
+	index  int
+	voter  *voter
+	driver *Driver
+
+	voterAdapter  *transport.ChannelAdapter
+	driverAdapter *transport.ChannelAdapter
+}
+
+// NewReplica assembles a replica from its configuration. Call Start to
+// begin protocol processing.
+func NewReplica(cfg ReplicaConfig) (*Replica, error) {
+	svc, err := cfg.Registry.Lookup(cfg.Service)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Index < 0 || cfg.Index >= svc.N {
+		return nil, fmt.Errorf("perpetual: replica index %d outside %s group of %d", cfg.Index, svc.Name, svc.N)
+	}
+	if cfg.VoterConn == nil || cfg.DriverConn == nil {
+		return nil, fmt.Errorf("perpetual: replica %s/%d needs voter and driver connections", svc.Name, cfg.Index)
+	}
+
+	voterConn, driverConn := cfg.VoterConn, cfg.DriverConn
+	if cfg.Behavior != nil {
+		voterConn = cfg.Behavior.wrapVoterConn(voterConn)
+		driverConn = cfg.Behavior.wrapDriverConn(driverConn)
+	}
+	voterAdapter := transport.NewChannelAdapter(cfg.VoterKeys, voterConn)
+	driverAdapter := transport.NewChannelAdapter(cfg.DriverKeys, driverConn)
+
+	v := newVoter(svc, cfg.Index, cfg.Registry, voterAdapter, cfg.VoterKeys, cfg.Logger)
+	d := newDriver(svc, cfg.Index, cfg.Registry, driverAdapter, cfg.DriverKeys, v, cfg.Logger)
+	if cfg.RetransmitInterval > 0 {
+		d.retransmitInterval = cfg.RetransmitInterval
+	}
+	v.driver = d
+
+	bftCfg := clbft.Config{
+		ID:                 cfg.Index,
+		N:                  svc.N,
+		CheckpointInterval: cfg.CheckpointInterval,
+		ViewChangeTimeout:  cfg.ViewChangeTimeout,
+		MaxBatch:           cfg.MaxBatch,
+	}
+	opts := []clbft.Option{clbft.WithValidator(v.validateOp)}
+	if cfg.Logger != nil {
+		opts = append(opts, clbft.WithLogger(cfg.Logger))
+	}
+	bft, err := clbft.New(bftCfg, v.bftTransport(), v.onDeliver, opts...)
+	if err != nil {
+		return nil, err
+	}
+	v.bft = bft
+
+	r := &Replica{
+		svc:           svc,
+		index:         cfg.Index,
+		voter:         v,
+		driver:        d,
+		voterAdapter:  voterAdapter,
+		driverAdapter: driverAdapter,
+	}
+	if cfg.Behavior != nil {
+		cfg.Behavior.install(r)
+	}
+	return r, nil
+}
+
+// Start wires transport handlers and launches the voter group member.
+func (r *Replica) Start() {
+	r.voterAdapter.SetHandler(r.voter.handleTransport)
+	r.driverAdapter.SetHandler(r.driver.handleTransport)
+	r.voter.bft.Start()
+}
+
+// Stop shuts the replica down.
+func (r *Replica) Stop() {
+	r.driver.close()
+	r.voter.bft.Stop()
+	_ = r.voterAdapter.Close()
+	_ = r.driverAdapter.Close()
+}
+
+// Driver returns the application-facing driver API.
+func (r *Replica) Driver() *Driver { return r.driver }
+
+// Service returns the replica's service descriptor.
+func (r *Replica) Service() ServiceInfo { return r.svc }
+
+// Index returns the replica's index within its group.
+func (r *Replica) Index() int { return r.index }
+
+// VoterView returns the voter group view this replica is in
+// (diagnostic).
+func (r *Replica) VoterView() uint64 { return r.voter.bft.View() }
+
+// AgreementCount returns the number of operations this replica's voter
+// has delivered (diagnostic).
+func (r *Replica) AgreementCount() uint64 { return r.voter.bft.Executed() }
+
+// TransportStats returns the combined traffic counters of the replica's
+// voter and driver adapters (diagnostics and the message-complexity
+// ablation bench).
+func (r *Replica) TransportStats() transport.StatsSnapshot {
+	v := r.voterAdapter.Stats()
+	d := r.driverAdapter.Stats()
+	return transport.StatsSnapshot{
+		SentMsgs:     v.SentMsgs + d.SentMsgs,
+		SentBytes:    v.SentBytes + d.SentBytes,
+		RecvMsgs:     v.RecvMsgs + d.RecvMsgs,
+		RecvBytes:    v.RecvBytes + d.RecvBytes,
+		RejectedMsgs: v.RejectedMsgs + d.RejectedMsgs,
+	}
+}

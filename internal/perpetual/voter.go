@@ -1,0 +1,563 @@
+package perpetual
+
+import (
+	"crypto/sha256"
+	"log"
+	"sync"
+	"time"
+
+	"perpetualws/internal/auth"
+	"perpetualws/internal/clbft"
+	"perpetualws/internal/transport"
+)
+
+// cache bounds: tuned for long-running deployments; see boundedCache.
+const (
+	repliesCacheSize   = 8192
+	inFlightCacheSize  = 8192
+	sharesCacheSize    = 4096
+	deliveredCacheSize = 16384
+)
+
+// replyRecord is a cached executed reply, kept for retransmission
+// service after the original share was sent.
+type replyRecord struct {
+	caller  string
+	digest  [sha256.Size]byte
+	payload []byte
+	share   Share
+}
+
+// execInfo tracks an agreed request awaiting (or during) execution.
+type execInfo struct {
+	caller    string
+	responder int
+}
+
+// shareCollect accumulates reply shares at the responder.
+type shareCollect struct {
+	caller  string
+	shares  map[int]Share             // target voter index -> share
+	digests map[int][sha256.Size]byte // target voter index -> claimed digest
+	payload map[[sha256.Size]byte][]byte
+	sent    bool
+}
+
+// voter is the passive half of a Perpetual replica: a CLBFT group member
+// that orders external requests, replies, aborts, and utility values,
+// and runs the responder/share machinery of the reply path.
+type voter struct {
+	svc      ServiceInfo
+	index    int
+	registry *Registry
+	adapter  *transport.ChannelAdapter
+	ks       *auth.KeyStore
+	bft      *clbft.Replica
+	driver   *Driver // co-located; set during replica assembly
+	logger   *log.Logger
+
+	// Fault injection flags (see faults.go); set before Start.
+	corruptResults bool
+	staleResults   bool
+
+	mu sync.Mutex
+	// Target side.
+	reqVotes  map[string]*reqVote // collecting f_c+1 matching requests
+	inFlight  *boundedCache[execInfo]
+	replies   *boundedCache[replyRecord]
+	shareBuf  *boundedCache[*shareCollect]
+	delivered *boundedCache[struct{}] // reqIDs with a delivered result (reply or abort)
+}
+
+// reqVote collects request copies from distinct calling drivers, grouped
+// by content digest.
+type reqVote struct {
+	byDriver map[int][sha256.Size]byte
+	byDigest map[[sha256.Size]byte]*digestVote
+	proposed bool
+}
+
+type digestVote struct {
+	req    *Request
+	shares []Share // caller-driver authenticators endorsing the request
+}
+
+func newVoter(svc ServiceInfo, index int, reg *Registry, adapter *transport.ChannelAdapter, ks *auth.KeyStore, logger *log.Logger) *voter {
+	return &voter{
+		svc:       svc,
+		index:     index,
+		registry:  reg,
+		adapter:   adapter,
+		ks:        ks,
+		logger:    logger,
+		reqVotes:  make(map[string]*reqVote),
+		inFlight:  newBoundedCache[execInfo](inFlightCacheSize),
+		replies:   newBoundedCache[replyRecord](repliesCacheSize),
+		shareBuf:  newBoundedCache[*shareCollect](sharesCacheSize),
+		delivered: newBoundedCache[struct{}](deliveredCacheSize),
+	}
+}
+
+func (v *voter) logf(format string, args ...any) {
+	if v.logger != nil {
+		v.logger.Printf("voter[%s/%d]: "+format, append([]any{v.svc.Name, v.index}, args...)...)
+	}
+}
+
+// bftTransport adapts the voter's ChannelAdapter to clbft.Transport.
+func (v *voter) bftTransport() clbft.Transport {
+	return clbft.TransportFunc(func(to int, m *clbft.Message) {
+		msg := &Message{Kind: KindBFT, BFT: m.Encode()}
+		if err := v.adapter.Send(auth.VoterID(v.svc.Name, to), msg.Encode()); err != nil {
+			v.logf("bft send to %d: %v", to, err)
+		}
+	})
+}
+
+// validateOp is the CLBFT operation validator: it re-verifies the
+// authenticator certificates embedded in request and reply operations so
+// a faulty voter-group primary cannot push fabricated operations through
+// agreement.
+func (v *voter) validateOp(opID string, op []byte) bool {
+	o, err := DecodeOp(op)
+	if err != nil {
+		return false
+	}
+	switch o.Kind {
+	case OpRequest:
+		caller, err := v.registry.Lookup(o.Caller)
+		if err != nil {
+			return false
+		}
+		req := Request{ReqID: o.ReqID, Caller: o.Caller, Target: v.svc.Name, Payload: o.Payload}
+		msg := requestAuthMsg(o.ReqID, req.Digest())
+		need := caller.F() + 1
+		valid := make(map[int]struct{}, need)
+		for i := range o.Shares {
+			s := &o.Shares[i]
+			if s.Replica < 0 || s.Replica >= caller.N {
+				continue
+			}
+			if s.Auth.Sender != auth.DriverID(caller.Name, s.Replica) {
+				continue
+			}
+			if err := s.Auth.VerifyFor(v.ks, msg); err != nil {
+				continue
+			}
+			valid[s.Replica] = struct{}{}
+		}
+		return len(valid) >= need
+	case OpReply:
+		target, err := v.registry.Lookup(o.Target)
+		if err != nil {
+			return false
+		}
+		b := &ReplyBundle{ReqID: o.ReqID, Target: o.Target, Payload: o.Payload, Shares: o.Shares}
+		return VerifyBundle(v.ks, target, b) == nil
+	case OpAbort:
+		// Aborts carry no certificate: any single replica of the group
+		// may deterministically abort an outstanding request for
+		// liveness, and agreement order decides races against replies.
+		return o.ReqID != ""
+	case OpUtil:
+		// Utility values are the primary's suggestion by design (paper
+		// Section 4.2); agreement only makes them consistent.
+		return true
+	default:
+		return false
+	}
+}
+
+// handleTransport dispatches an authenticated inbound transport payload.
+func (v *voter) handleTransport(from auth.NodeID, payload []byte) {
+	m, err := DecodeMessage(payload)
+	if err != nil {
+		v.logf("malformed message from %s: %v", from, err)
+		return
+	}
+	switch m.Kind {
+	case KindBFT:
+		if from.Service != v.svc.Name || from.Role != auth.RoleVoter {
+			return // only group members speak CLBFT
+		}
+		bm, err := clbft.DecodeMessage(m.BFT)
+		if err != nil {
+			return
+		}
+		v.bft.Receive(from.Index, bm)
+	case KindRequest:
+		v.handleExternalRequest(from, m.Request)
+	case KindReplyShare:
+		v.handleReplyShare(from, m.ReplyShare)
+	case KindResultForward:
+		v.handleResultForward(from, m.ResultForward)
+	case KindUtilForward:
+		v.handleUtilForward(from, m.UtilForward)
+	case KindAbortForward:
+		v.handleAbortForward(from, m.AbortForward)
+	}
+}
+
+// handleExternalRequest implements stage 2: collect f_c+1 matching
+// request copies, then run agreement. Retransmissions of executed
+// requests are served from the reply cache.
+func (v *voter) handleExternalRequest(from auth.NodeID, req *Request) {
+	if req == nil || req.ReqID == "" {
+		return
+	}
+	if from.Role != auth.RoleDriver || from.Service != req.Caller || req.Target != v.svc.Name {
+		return
+	}
+	caller, err := v.registry.Lookup(req.Caller)
+	if err != nil || from.Index < 0 || from.Index >= caller.N {
+		return
+	}
+	if req.Responder < 0 || req.Responder >= v.svc.N {
+		return
+	}
+	digest := req.Digest()
+	// The embedded authenticator must endorse the request for this
+	// voter; otherwise the sender is lying about the content.
+	if err := req.Auth.VerifyFor(v.ks, requestAuthMsg(req.ReqID, digest)); err != nil {
+		v.logf("request %s from %s: bad authenticator: %v", req.ReqID, from, err)
+		return
+	}
+
+	v.mu.Lock()
+	// Already executed? Serve the cached reply toward the requested
+	// responder (and directly to the asking driver if we are it).
+	if rec, ok := v.replies.Get(req.ReqID); ok {
+		v.mu.Unlock()
+		v.sendShareTo(req.ReqID, rec, req.Responder)
+		return
+	}
+	// Already agreed and executing: update the desired responder so the
+	// eventual reply routes to where the caller is now listening.
+	if info, ok := v.inFlight.Get(req.ReqID); ok {
+		info.responder = req.Responder
+		v.inFlight.Put(req.ReqID, info)
+		v.mu.Unlock()
+		return
+	}
+	vote, ok := v.reqVotes[req.ReqID]
+	if !ok {
+		vote = &reqVote{
+			byDriver: make(map[int][sha256.Size]byte),
+			byDigest: make(map[[sha256.Size]byte]*digestVote),
+		}
+		v.reqVotes[req.ReqID] = vote
+	}
+	if prev, voted := vote.byDriver[from.Index]; voted && prev == digest {
+		// Duplicate vote; nothing new. (A changed digest replaces the
+		// driver's vote: the last copy wins, matching retransmission.)
+		v.mu.Unlock()
+		return
+	}
+	vote.byDriver[from.Index] = digest
+	dv, ok := vote.byDigest[digest]
+	if !ok {
+		dv = &digestVote{req: req}
+		vote.byDigest[digest] = dv
+	}
+	dv.shares = append(dv.shares, Share{Replica: from.Index, Auth: req.Auth})
+
+	var propose *Op
+	if !vote.proposed && v.countVotes(vote, digest) >= caller.F()+1 {
+		vote.proposed = true
+		propose = &Op{
+			Kind:      OpRequest,
+			ReqID:     req.ReqID,
+			Caller:    req.Caller,
+			Responder: req.Responder,
+			Payload:   dv.req.Payload,
+			Shares:    dedupShares(dv.shares),
+		}
+	}
+	v.mu.Unlock()
+
+	if propose != nil {
+		// Submit via our own CLBFT replica: if we are not the primary,
+		// clbft forwards the proposal, so a correct voter suffices to
+		// get the request ordered regardless of which replica the
+		// caller contacted.
+		v.bft.Submit(RequestOpID(req.ReqID), propose.Encode())
+	}
+}
+
+// countVotes counts distinct drivers whose current vote matches digest.
+func (v *voter) countVotes(vote *reqVote, digest [sha256.Size]byte) int {
+	n := 0
+	for _, d := range vote.byDriver {
+		if d == digest {
+			n++
+		}
+	}
+	return n
+}
+
+// dedupShares keeps one share per replica index.
+func dedupShares(in []Share) []Share {
+	seen := make(map[int]struct{}, len(in))
+	out := make([]Share, 0, len(in))
+	for _, s := range in {
+		if _, dup := seen[s.Replica]; dup {
+			continue
+		}
+		seen[s.Replica] = struct{}{}
+		out = append(out, s)
+	}
+	return out
+}
+
+// onDeliver consumes agreed operations in CLBFT order (stages 3 and 9).
+func (v *voter) onDeliver(d clbft.Delivery) {
+	o, err := DecodeOp(d.Op)
+	if err != nil {
+		v.logf("agreed op %s undecodable: %v", d.OpID, err)
+		return
+	}
+	switch o.Kind {
+	case OpRequest:
+		v.mu.Lock()
+		delete(v.reqVotes, o.ReqID)
+		responder := o.Responder
+		if info, ok := v.inFlight.Get(o.ReqID); ok {
+			responder = info.responder // retransmission moved it
+		}
+		v.inFlight.Put(o.ReqID, execInfo{caller: o.Caller, responder: responder})
+		v.mu.Unlock()
+		v.driver.deliverRequest(IncomingRequest{ReqID: o.ReqID, Caller: o.Caller, Payload: o.Payload})
+	case OpReply:
+		v.mu.Lock()
+		if v.delivered.Contains(o.ReqID) {
+			v.mu.Unlock()
+			return
+		}
+		v.delivered.Put(o.ReqID, struct{}{})
+		v.mu.Unlock()
+		v.driver.deliverReply(Reply{ReqID: o.ReqID, Payload: o.Payload})
+	case OpAbort:
+		v.mu.Lock()
+		if v.delivered.Contains(o.ReqID) {
+			v.mu.Unlock()
+			return // the reply won the race; the abort is a no-op
+		}
+		v.delivered.Put(o.ReqID, struct{}{})
+		v.mu.Unlock()
+		v.driver.deliverReply(Reply{ReqID: o.ReqID, Aborted: true})
+	case OpUtil:
+		v.driver.deliverUtil(o.K, o.Value)
+	}
+}
+
+// handleLocalResult implements stages 4-5: the co-located driver passes
+// an executor result; the voter authenticates it for the caller and
+// routes a share to the responder.
+func (v *voter) handleLocalResult(reqID string, payload []byte) {
+	// Fault injection: a Byzantine replica endorses a wrong result.
+	if v.corruptResults {
+		payload = append([]byte("corrupted:"), payload...)
+	}
+	if v.staleResults {
+		payload = nil
+	}
+	v.mu.Lock()
+	info, ok := v.inFlight.Get(reqID)
+	if !ok {
+		v.mu.Unlock()
+		v.logf("result for unknown request %s dropped", reqID)
+		return
+	}
+	v.inFlight.Delete(reqID)
+	v.mu.Unlock()
+
+	caller, err := v.registry.Lookup(info.caller)
+	if err != nil {
+		v.logf("result for %s: unknown caller %s", reqID, info.caller)
+		return
+	}
+	digest := ReplyDigest(reqID, payload)
+	receivers := append(caller.DriverIDs(), caller.VoterIDs()...)
+	a, err := auth.NewAuthenticator(v.ks, replyAuthMsg(reqID, digest), receivers)
+	if err != nil {
+		v.logf("result for %s: authenticator: %v", reqID, err)
+		return
+	}
+	rec := replyRecord{
+		caller:  info.caller,
+		digest:  digest,
+		payload: payload,
+		share:   Share{Replica: v.index, Auth: a},
+	}
+	v.mu.Lock()
+	v.replies.Put(reqID, rec)
+	v.mu.Unlock()
+	v.sendShareTo(reqID, rec, info.responder)
+}
+
+// sendShareTo routes this voter's reply share to the responder voter
+// (or, when this voter is the responder, feeds the local collection).
+func (v *voter) sendShareTo(reqID string, rec replyRecord, responder int) {
+	rs := &ReplyShare{
+		ReqID:   reqID,
+		Caller:  rec.caller,
+		Digest:  rec.digest,
+		Share:   rec.share,
+		Payload: rec.payload,
+	}
+	if responder == v.index {
+		v.acceptShare(v.index, rs)
+		return
+	}
+	msg := &Message{Kind: KindReplyShare, ReplyShare: rs}
+	if err := v.adapter.Send(auth.VoterID(v.svc.Name, responder), msg.Encode()); err != nil {
+		v.logf("share for %s to responder %d: %v", reqID, responder, err)
+	}
+}
+
+// handleReplyShare implements the responder's side of stage 5.
+func (v *voter) handleReplyShare(from auth.NodeID, rs *ReplyShare) {
+	if rs == nil || from.Service != v.svc.Name || from.Role != auth.RoleVoter {
+		return // shares come from this voter group only
+	}
+	if rs.Share.Replica != from.Index {
+		return
+	}
+	v.acceptShare(from.Index, rs)
+}
+
+// acceptShare records a share and assembles the bundle at f_t+1
+// matching digests (stage 6).
+func (v *voter) acceptShare(fromIndex int, rs *ReplyShare) {
+	caller, err := v.registry.Lookup(rs.Caller)
+	if err != nil {
+		return
+	}
+	v.mu.Lock()
+	sc, ok := v.shareBuf.Get(rs.ReqID)
+	if !ok {
+		sc = &shareCollect{
+			caller:  rs.Caller,
+			shares:  make(map[int]Share),
+			digests: make(map[int][sha256.Size]byte),
+			payload: make(map[[sha256.Size]byte][]byte),
+		}
+		v.shareBuf.Put(rs.ReqID, sc)
+	}
+	sc.shares[fromIndex] = rs.Share
+	sc.digests[fromIndex] = rs.Digest
+	if rs.Payload != nil || len(rs.Payload) > 0 {
+		sc.payload[rs.Digest] = rs.Payload
+	} else if _, have := sc.payload[rs.Digest]; !have {
+		sc.payload[rs.Digest] = nil
+	}
+
+	// Find a digest endorsed by f_t+1 distinct voters.
+	counts := make(map[[sha256.Size]byte]int)
+	var winner [sha256.Size]byte
+	found := false
+	for _, d := range sc.digests {
+		counts[d]++
+		if counts[d] >= v.svc.F()+1 {
+			winner = d
+			found = true
+		}
+	}
+	if !found || sc.sent {
+		v.mu.Unlock()
+		return
+	}
+	payload, have := sc.payload[winner]
+	if !have {
+		v.mu.Unlock()
+		return
+	}
+	sc.sent = true
+	shares := make([]Share, 0, len(sc.shares))
+	for idx, s := range sc.shares {
+		if sc.digests[idx] == winner {
+			shares = append(shares, s)
+		}
+	}
+	v.mu.Unlock()
+
+	bundle := &ReplyBundle{ReqID: rs.ReqID, Target: v.svc.Name, Payload: payload, Shares: shares}
+	msg := &Message{Kind: KindReplyBundle, ReplyBundle: bundle}
+	enc := msg.Encode()
+	for _, id := range caller.DriverIDs() {
+		if err := v.adapter.Send(id, enc); err != nil {
+			v.logf("bundle for %s to %s: %v", rs.ReqID, id, err)
+		}
+	}
+}
+
+// handleResultForward implements stage 7-8 on the calling side: a
+// co-located driver group member forwards a verified bundle; the voter
+// re-verifies it and proposes agreement.
+func (v *voter) handleResultForward(from auth.NodeID, b *ReplyBundle) {
+	if b == nil || from.Service != v.svc.Name {
+		return // forwards come from this service's drivers (or voters relaying)
+	}
+	target, err := v.registry.Lookup(b.Target)
+	if err != nil {
+		return
+	}
+	v.mu.Lock()
+	done := v.delivered.Contains(b.ReqID)
+	v.mu.Unlock()
+	if done {
+		return
+	}
+	if err := VerifyBundle(v.ks, target, b); err != nil {
+		v.logf("forwarded bundle for %s rejected: %v", b.ReqID, err)
+		return
+	}
+	op := &Op{Kind: OpReply, ReqID: b.ReqID, Target: b.Target, Payload: b.Payload, Shares: b.Shares}
+	v.bft.Submit(ReplyOpID(b.ReqID), op.Encode())
+}
+
+// handleUtilForward makes the primary propose an agreed utility value.
+func (v *voter) handleUtilForward(from auth.NodeID, u *UtilForward) {
+	if u == nil || from.Service != v.svc.Name {
+		return
+	}
+	v.proposeUtil(u.K)
+}
+
+// proposeUtil proposes the local clock reading for utility slot k. Only
+// the current primary's proposal is ordered first; duplicates are
+// deduplicated by OpID.
+func (v *voter) proposeUtil(k uint64) {
+	op := &Op{Kind: OpUtil, K: k, Value: time.Now().UnixMilli()}
+	v.bft.Submit(UtilOpID(k), op.Encode())
+}
+
+// handleAbortForward proposes a deterministic abort.
+func (v *voter) handleAbortForward(from auth.NodeID, a *AbortForward) {
+	if a == nil || from.Service != v.svc.Name {
+		return
+	}
+	v.proposeAbort(a.ReqID)
+}
+
+func (v *voter) proposeAbort(reqID string) {
+	v.mu.Lock()
+	done := v.delivered.Contains(reqID)
+	v.mu.Unlock()
+	if done {
+		return
+	}
+	op := &Op{Kind: OpAbort, ReqID: reqID}
+	v.bft.Submit(AbortOpID(reqID), op.Encode())
+}
+
+// requestUtil is called in-process by the co-located driver.
+func (v *voter) requestUtil(k uint64) {
+	v.proposeUtil(k)
+}
+
+// requestAbort is called in-process by the co-located driver when a
+// request's timeout expires.
+func (v *voter) requestAbort(reqID string) {
+	v.proposeAbort(reqID)
+}

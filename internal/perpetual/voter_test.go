@@ -1,0 +1,209 @@
+package perpetual
+
+import (
+	"testing"
+	"time"
+
+	"perpetualws/internal/auth"
+	"perpetualws/internal/transport"
+)
+
+// newBareVoter builds a voter with real key material but no running
+// CLBFT instance, for white-box tests of the Byzantine-input guards.
+func newBareVoter(t *testing.T) (*voter, *Registry, map[auth.NodeID]*auth.KeyStore) {
+	t.Helper()
+	reg := NewRegistry(
+		ServiceInfo{Name: "t", N: 4},
+		ServiceInfo{Name: "c", N: 4},
+	)
+	principals := reg.AllPrincipals()
+	stores := make(map[auth.NodeID]*auth.KeyStore)
+	for _, p := range principals {
+		stores[p] = auth.NewDerivedKeyStore([]byte("wb"), p, principals)
+	}
+	self := auth.VoterID("t", 0)
+	net := transport.NewNetwork()
+	t.Cleanup(func() { net.Close() })
+	adapter := transport.NewChannelAdapter(stores[self], net.Port(self))
+	v := newVoter(ServiceInfo{Name: "t", N: 4}, 0, reg, adapter, stores[self], nil)
+	return v, reg, stores
+}
+
+func signedRequest(t *testing.T, stores map[auth.NodeID]*auth.KeyStore, driverIdx int, reqID string, payload []byte, responder int) *Request {
+	t.Helper()
+	driver := auth.DriverID("c", driverIdx)
+	req := &Request{
+		ReqID: reqID, Caller: "c", Target: "t",
+		Responder: responder, Payload: payload,
+	}
+	voters := []auth.NodeID{
+		auth.VoterID("t", 0), auth.VoterID("t", 1),
+		auth.VoterID("t", 2), auth.VoterID("t", 3),
+	}
+	a, err := auth.NewAuthenticator(stores[driver], requestAuthMsg(reqID, req.Digest()), voters)
+	if err != nil {
+		t.Fatalf("authenticator: %v", err)
+	}
+	req.Auth = a
+	return req
+}
+
+func TestVoterRejectsMalformedExternalRequests(t *testing.T) {
+	v, _, stores := newBareVoter(t)
+	good := signedRequest(t, stores, 0, "c:1", []byte("p"), 1)
+	driver := auth.DriverID("c", 0)
+
+	// Wrong sender role: a voter cannot originate external requests.
+	v.handleExternalRequest(auth.VoterID("c", 0), good)
+	if len(v.reqVotes) != 0 {
+		t.Error("request from a voter principal was counted")
+	}
+	// Caller mismatch between envelope and authenticated sender.
+	bad := *good
+	bad.Caller = "someone-else"
+	v.handleExternalRequest(driver, &bad)
+	if len(v.reqVotes) != 0 {
+		t.Error("request with mismatched caller was counted")
+	}
+	// Wrong target.
+	bad = *good
+	bad.Target = "other"
+	v.handleExternalRequest(driver, &bad)
+	if len(v.reqVotes) != 0 {
+		t.Error("request for another service was counted")
+	}
+	// Out-of-range responder.
+	bad = *good
+	bad.Responder = 99
+	v.handleExternalRequest(driver, &bad)
+	if len(v.reqVotes) != 0 {
+		t.Error("request with out-of-range responder was counted")
+	}
+	// Tampered payload invalidates the authenticator.
+	bad = *good
+	bad.Payload = []byte("tampered")
+	v.handleExternalRequest(driver, &bad)
+	if len(v.reqVotes) != 0 {
+		t.Error("request with tampered payload was counted")
+	}
+	// Empty request id.
+	bad = *good
+	bad.ReqID = ""
+	v.handleExternalRequest(driver, &bad)
+	if len(v.reqVotes) != 0 {
+		t.Error("request without id was counted")
+	}
+	// The genuine request is counted (once per driver).
+	v.handleExternalRequest(driver, good)
+	if len(v.reqVotes) != 1 {
+		t.Fatalf("genuine request not counted: %d", len(v.reqVotes))
+	}
+	v.handleExternalRequest(driver, good)
+	vote := v.reqVotes["c:1"]
+	if len(vote.byDriver) != 1 {
+		t.Errorf("duplicate vote counted: %d", len(vote.byDriver))
+	}
+}
+
+func TestVoterRejectsForeignShares(t *testing.T) {
+	v, _, _ := newBareVoter(t)
+	// Shares must come from this voter group.
+	rs := &ReplyShare{ReqID: "c:9", Caller: "c", Share: Share{Replica: 1}}
+	v.handleReplyShare(auth.VoterID("other", 1), rs)
+	if v.shareBuf.Len() != 0 {
+		t.Error("share from foreign service accepted")
+	}
+	v.handleReplyShare(auth.DriverID("t", 1), rs)
+	if v.shareBuf.Len() != 0 {
+		t.Error("share from a driver principal accepted")
+	}
+	// Share claiming a different replica index than its sender.
+	v.handleReplyShare(auth.VoterID("t", 2), rs)
+	if v.shareBuf.Len() != 0 {
+		t.Error("share with mismatched replica index accepted")
+	}
+}
+
+func TestVoterValidateOpRejectsGarbage(t *testing.T) {
+	v, _, stores := newBareVoter(t)
+	if v.validateOp("x", []byte{0xFF, 0x01}) {
+		t.Error("undecodable op validated")
+	}
+	// OpRequest with no shares.
+	op := &Op{Kind: OpRequest, ReqID: "c:1", Caller: "c", Payload: []byte("p")}
+	if v.validateOp(RequestOpID("c:1"), op.Encode()) {
+		t.Error("request op without endorsements validated")
+	}
+	// OpRequest from an unknown caller service.
+	op = &Op{Kind: OpRequest, ReqID: "x:1", Caller: "ghost", Payload: []byte("p")}
+	if v.validateOp(RequestOpID("x:1"), op.Encode()) {
+		t.Error("request op from unknown caller validated")
+	}
+	// A properly endorsed OpRequest validates (caller f=1 needs 2
+	// driver endorsements).
+	reqA := signedRequest(t, stores, 0, "c:7", []byte("q"), 0)
+	reqB := signedRequest(t, stores, 1, "c:7", []byte("q"), 0)
+	op = &Op{
+		Kind: OpRequest, ReqID: "c:7", Caller: "c", Payload: []byte("q"),
+		Shares: []Share{{Replica: 0, Auth: reqA.Auth}, {Replica: 1, Auth: reqB.Auth}},
+	}
+	if !v.validateOp(RequestOpID("c:7"), op.Encode()) {
+		t.Error("genuine request op rejected")
+	}
+	// One endorsement is not enough for f=1.
+	op.Shares = op.Shares[:1]
+	if v.validateOp(RequestOpID("c:7"), op.Encode()) {
+		t.Error("under-endorsed request op validated")
+	}
+	// Abort and util ops.
+	if !v.validateOp(AbortOpID("c:7"), (&Op{Kind: OpAbort, ReqID: "c:7"}).Encode()) {
+		t.Error("abort op rejected")
+	}
+	if v.validateOp(AbortOpID(""), (&Op{Kind: OpAbort}).Encode()) {
+		t.Error("abort op without id validated")
+	}
+	if !v.validateOp(UtilOpID(1), (&Op{Kind: OpUtil, K: 1, Value: 5}).Encode()) {
+		t.Error("util op rejected")
+	}
+}
+
+func TestVoterResultForwardGuards(t *testing.T) {
+	v, _, _ := newBareVoter(t)
+	// Forward from a foreign service is ignored (would panic on nil bft
+	// if accepted, so reaching here without a crash is the assertion).
+	b := &ReplyBundle{ReqID: "c:1", Target: "t", Payload: []byte("r")}
+	v.handleResultForward(auth.DriverID("other", 0), b)
+	// Unknown target service.
+	b2 := &ReplyBundle{ReqID: "c:1", Target: "ghost", Payload: []byte("r")}
+	v.handleResultForward(auth.DriverID("t", 0), b2)
+	// Invalid bundle (no shares) from own driver.
+	v.handleResultForward(auth.DriverID("t", 0), b)
+}
+
+func TestVoterLocalResultForUnknownRequestDropped(t *testing.T) {
+	v, _, _ := newBareVoter(t)
+	// No in-flight record: the result is dropped without touching the
+	// network or the reply cache.
+	v.handleLocalResult("never-agreed", []byte("x"))
+	if v.replies.Len() != 0 {
+		t.Error("orphan result cached")
+	}
+}
+
+func TestUpdateResponderViaRetransmission(t *testing.T) {
+	v, _, stores := newBareVoter(t)
+	v.mu.Lock()
+	v.inFlight.Put("c:5", execInfo{caller: "c", responder: 1})
+	v.mu.Unlock()
+	// A retransmission asking for responder 3 moves the routing.
+	req := signedRequest(t, stores, 0, "c:5", []byte("p"), 3)
+	req.Attempt = 2
+	v.handleExternalRequest(auth.DriverID("c", 0), req)
+	v.mu.Lock()
+	info, ok := v.inFlight.Get("c:5")
+	v.mu.Unlock()
+	if !ok || info.responder != 3 {
+		t.Errorf("responder = %+v, want 3", info)
+	}
+	_ = time.Now()
+}

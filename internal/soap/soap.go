@@ -1,0 +1,204 @@
+// Package soap implements the subset of SOAP 1.2 and WS-Addressing 1.0
+// that Perpetual-WS relies on: envelopes with header blocks carrying
+// wsa:To, wsa:Action, wsa:MessageID, wsa:RelatesTo, and wsa:ReplyTo, and
+// an opaque XML body. The paper's prototype delegated this to Apache
+// Axis2; this package is the corresponding seam in the Go
+// reimplementation (see DESIGN.md, substitutions).
+package soap
+
+import (
+	"bytes"
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// XML namespaces used by the envelope.
+const (
+	NSEnvelope   = "http://www.w3.org/2003/05/soap-envelope"
+	NSAddressing = "http://www.w3.org/2005/08/addressing"
+)
+
+// AnonymousAddress is the WS-Addressing anonymous endpoint, used as
+// ReplyTo for synchronous (back-channel) replies.
+const AnonymousAddress = NSAddressing + "/anonymous"
+
+// Errors returned by envelope parsing.
+var (
+	ErrNotEnvelope = errors.New("soap: document is not a SOAP envelope")
+	ErrNoBody      = errors.New("soap: envelope has no body")
+)
+
+// EndpointReference is a WS-Addressing endpoint reference. Perpetual-WS
+// resolves the Address URI ("perpetual://<service>") against the static
+// replica mapping.
+type EndpointReference struct {
+	Address string `xml:"Address"`
+}
+
+// Header carries the WS-Addressing message-addressing properties.
+type Header struct {
+	To        string             `xml:"To,omitempty"`
+	Action    string             `xml:"Action,omitempty"`
+	MessageID string             `xml:"MessageID,omitempty"`
+	RelatesTo string             `xml:"RelatesTo,omitempty"`
+	ReplyTo   *EndpointReference `xml:"ReplyTo,omitempty"`
+}
+
+// Envelope is a SOAP 1.2 envelope with WS-Addressing headers and an
+// opaque body (the application payload, itself XML).
+type Envelope struct {
+	Header Header
+	Body   []byte // inner XML of the soap:Body element
+}
+
+// xmlEnvelope is the marshalling shape.
+type xmlEnvelope struct {
+	XMLName xml.Name  `xml:"soap:Envelope"`
+	XMLNSs  string    `xml:"xmlns:soap,attr"`
+	WSA     string    `xml:"xmlns:wsa,attr"`
+	Header  xmlHeader `xml:"soap:Header"`
+	Body    xmlBody   `xml:"soap:Body"`
+}
+
+type xmlHeader struct {
+	To        string      `xml:"wsa:To,omitempty"`
+	Action    string      `xml:"wsa:Action,omitempty"`
+	MessageID string      `xml:"wsa:MessageID,omitempty"`
+	RelatesTo string      `xml:"wsa:RelatesTo,omitempty"`
+	ReplyTo   *xmlReplyTo `xml:"wsa:ReplyTo"`
+}
+
+type xmlReplyTo struct {
+	Address string `xml:"wsa:Address"`
+}
+
+type xmlBody struct {
+	Inner []byte `xml:",innerxml"`
+}
+
+// Marshal renders the envelope as XML.
+func (e *Envelope) Marshal() ([]byte, error) {
+	xe := xmlEnvelope{
+		XMLNSs: NSEnvelope,
+		WSA:    NSAddressing,
+		Header: xmlHeader{
+			To:        e.Header.To,
+			Action:    e.Header.Action,
+			MessageID: e.Header.MessageID,
+			RelatesTo: e.Header.RelatesTo,
+		},
+		Body: xmlBody{Inner: e.Body},
+	}
+	if e.Header.ReplyTo != nil {
+		xe.Header.ReplyTo = &xmlReplyTo{Address: e.Header.ReplyTo.Address}
+	}
+	var buf bytes.Buffer
+	buf.WriteString(xml.Header)
+	enc := xml.NewEncoder(&buf)
+	if err := enc.Encode(xe); err != nil {
+		return nil, fmt.Errorf("soap: marshal: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// parsedEnvelope is the unmarshalling shape; namespace-qualified so any
+// prefix parses.
+type parsedEnvelope struct {
+	XMLName xml.Name     `xml:"Envelope"`
+	Header  parsedHeader `xml:"Header"`
+	Body    *xmlBody     `xml:"Body"`
+}
+
+type parsedHeader struct {
+	To        string             `xml:"To"`
+	Action    string             `xml:"Action"`
+	MessageID string             `xml:"MessageID"`
+	RelatesTo string             `xml:"RelatesTo"`
+	ReplyTo   *EndpointReference `xml:"ReplyTo"`
+}
+
+// Parse decodes a SOAP envelope from XML.
+func Parse(data []byte) (*Envelope, error) {
+	var pe parsedEnvelope
+	if err := xml.Unmarshal(data, &pe); err != nil {
+		return nil, fmt.Errorf("soap: parse: %w", err)
+	}
+	if pe.XMLName.Local != "Envelope" {
+		return nil, ErrNotEnvelope
+	}
+	if pe.Body == nil {
+		return nil, ErrNoBody
+	}
+	e := &Envelope{
+		Header: Header{
+			To:        strings.TrimSpace(pe.Header.To),
+			Action:    strings.TrimSpace(pe.Header.Action),
+			MessageID: strings.TrimSpace(pe.Header.MessageID),
+			RelatesTo: strings.TrimSpace(pe.Header.RelatesTo),
+		},
+		Body: bytes.TrimSpace(pe.Body.Inner),
+	}
+	if pe.Header.ReplyTo != nil {
+		addr := strings.TrimSpace(pe.Header.ReplyTo.Address)
+		e.Header.ReplyTo = &EndpointReference{Address: addr}
+	}
+	return e, nil
+}
+
+// ServiceURI builds the Perpetual-WS endpoint URI for a service name.
+func ServiceURI(service string) string { return "perpetual://" + service }
+
+// ServiceFromURI extracts the service name from a Perpetual-WS endpoint
+// URI.
+func ServiceFromURI(uri string) (string, error) {
+	const prefix = "perpetual://"
+	if !strings.HasPrefix(uri, prefix) {
+		return "", fmt.Errorf("soap: %q is not a perpetual endpoint URI", uri)
+	}
+	svc := strings.TrimPrefix(uri, prefix)
+	if svc == "" {
+		return "", fmt.Errorf("soap: empty service in endpoint URI %q", uri)
+	}
+	return svc, nil
+}
+
+// Fault is a minimal SOAP fault body.
+type Fault struct {
+	Code   string
+	Reason string
+}
+
+// FaultBody renders a SOAP 1.2 fault as body XML.
+func FaultBody(f Fault) []byte {
+	var buf bytes.Buffer
+	buf.WriteString("<soap:Fault><soap:Code><soap:Value>")
+	xml.EscapeText(&buf, []byte(f.Code))
+	buf.WriteString("</soap:Value></soap:Code><soap:Reason><soap:Text>")
+	xml.EscapeText(&buf, []byte(f.Reason))
+	buf.WriteString("</soap:Text></soap:Reason></soap:Fault>")
+	return buf.Bytes()
+}
+
+// IsFault reports whether a body is a SOAP fault and extracts the
+// reason.
+func IsFault(body []byte) (Fault, bool) {
+	if !bytes.Contains(body, []byte("Fault>")) {
+		return Fault{}, false
+	}
+	type faultXML struct {
+		XMLName xml.Name `xml:"Fault"`
+		Code    struct {
+			Value string `xml:"Value"`
+		} `xml:"Code"`
+		Reason struct {
+			Text string `xml:"Text"`
+		} `xml:"Reason"`
+	}
+	var f faultXML
+	if err := xml.Unmarshal(body, &f); err != nil {
+		return Fault{}, false
+	}
+	return Fault{Code: strings.TrimSpace(f.Code.Value), Reason: strings.TrimSpace(f.Reason.Text)}, true
+}

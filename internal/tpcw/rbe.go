@@ -1,0 +1,183 @@
+package tpcw
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Mix is a browser transition model: the stationary probability of each
+// interaction. The paper's configuration sends 5-10% of total traffic to
+// the payment gateway; ShoppingMix yields ~7% buy confirmations.
+type Mix [NumInteractions]float64
+
+// ShoppingMix approximates the TPC-W shopping profile, rebalanced so
+// buy confirmations make up ~7% of interactions (the paper reports
+// 5-10% of bookstore traffic reaching the PGE).
+func ShoppingMix() Mix {
+	return Mix{
+		Home:                 0.16,
+		NewProducts:          0.10,
+		BestSellers:          0.10,
+		ProductDetail:        0.17,
+		SearchRequest:        0.10,
+		SearchResults:        0.10,
+		ShoppingCart:         0.08,
+		CustomerRegistration: 0.03,
+		BuyRequest:           0.07,
+		BuyConfirm:           0.07,
+		OrderInquiry:         0.01,
+		OrderDisplay:         0.01,
+	}
+}
+
+// BrowsingMix approximates the TPC-W browsing profile (fewer orders).
+func BrowsingMix() Mix {
+	return Mix{
+		Home:                 0.23,
+		NewProducts:          0.14,
+		BestSellers:          0.14,
+		ProductDetail:        0.20,
+		SearchRequest:        0.11,
+		SearchResults:        0.11,
+		ShoppingCart:         0.02,
+		CustomerRegistration: 0.01,
+		BuyRequest:           0.015,
+		BuyConfirm:           0.015,
+		OrderInquiry:         0.01,
+		OrderDisplay:         0.01,
+	}
+}
+
+// Pick draws an interaction according to the mix.
+func (m Mix) Pick(rng *rand.Rand) Interaction {
+	x := rng.Float64() * m.total()
+	acc := 0.0
+	for i := Interaction(0); i < NumInteractions; i++ {
+		acc += m[i]
+		if x < acc {
+			return i
+		}
+	}
+	return Home
+}
+
+func (m Mix) total() float64 {
+	t := 0.0
+	for _, p := range m {
+		t += p
+	}
+	return t
+}
+
+// RBEConfig parameterizes a Remote Browser Emulator fleet.
+type RBEConfig struct {
+	// Count is the number of concurrent emulated browsers.
+	Count int
+	// ThinkTime is the mean of the exponential think-time distribution
+	// between interactions. TPC-W specifies seconds; benchmark runs use
+	// scaled-down values to keep wall-clock time manageable (the WIPS
+	// scale changes, the curve shape does not).
+	ThinkTime time.Duration
+	// MaxThink caps a single think pause (TPC-W caps at 10x the mean).
+	MaxThink time.Duration
+	// Mix is the traffic profile; zero value uses ShoppingMix.
+	Mix Mix
+	// Seed makes the fleet deterministic.
+	Seed int64
+}
+
+// RBEFleet drives a Bookstore with emulated browsers and measures WIPS
+// (web interactions per second), the TPC-W figure of merit.
+type RBEFleet struct {
+	cfg   RBEConfig
+	store *Bookstore
+
+	interactions atomic.Uint64
+	errors       atomic.Uint64
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewRBEFleet creates a fleet over the store.
+func NewRBEFleet(cfg RBEConfig, store *Bookstore) *RBEFleet {
+	if cfg.Count <= 0 {
+		cfg.Count = 1
+	}
+	if cfg.Mix.total() == 0 {
+		cfg.Mix = ShoppingMix()
+	}
+	if cfg.MaxThink == 0 {
+		cfg.MaxThink = 10 * cfg.ThinkTime
+	}
+	return &RBEFleet{cfg: cfg, store: store, stop: make(chan struct{})}
+}
+
+// Start launches the browsers.
+func (f *RBEFleet) Start() {
+	for i := 0; i < f.cfg.Count; i++ {
+		f.wg.Add(1)
+		go f.browser(i)
+	}
+}
+
+// Stop halts the browsers and waits for them to finish.
+func (f *RBEFleet) Stop() {
+	select {
+	case <-f.stop:
+	default:
+		close(f.stop)
+	}
+	f.wg.Wait()
+}
+
+// Interactions returns the number of completed web interactions.
+func (f *RBEFleet) Interactions() uint64 { return f.interactions.Load() }
+
+// Errors returns the number of failed interactions.
+func (f *RBEFleet) Errors() uint64 { return f.errors.Load() }
+
+// MeasureWIPS runs the fleet for the given duration and returns web
+// interactions per second.
+func (f *RBEFleet) MeasureWIPS(d time.Duration) float64 {
+	f.Start()
+	start := time.Now()
+	before := f.Interactions()
+	time.Sleep(d)
+	after := f.Interactions()
+	elapsed := time.Since(start)
+	f.Stop()
+	return float64(after-before) / elapsed.Seconds()
+}
+
+func (f *RBEFleet) browser(id int) {
+	defer f.wg.Done()
+	rng := rand.New(rand.NewSource(f.cfg.Seed + int64(id)*2654435761))
+	s := &Session{CustomerID: id % f.store.DB().Customers()}
+	for {
+		select {
+		case <-f.stop:
+			return
+		default:
+		}
+		if f.cfg.ThinkTime > 0 {
+			think := time.Duration(rng.ExpFloat64() * float64(f.cfg.ThinkTime))
+			if think > f.cfg.MaxThink {
+				think = f.cfg.MaxThink
+			}
+			select {
+			case <-time.After(think):
+			case <-f.stop:
+				return
+			}
+		}
+		interaction := f.cfg.Mix.Pick(rng)
+		if _, err := f.store.Execute(interaction, s, rng.Int()); err != nil {
+			f.errors.Add(1)
+			continue
+		}
+		f.interactions.Add(1)
+	}
+}

@@ -1,0 +1,95 @@
+package tpcw
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestBrowsingMixOrdersRarely(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	mix := BrowsingMix()
+	var buys int
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if mix.Pick(rng) == BuyConfirm {
+			buys++
+		}
+	}
+	frac := float64(buys) / n
+	if frac > 0.03 {
+		t.Errorf("browsing mix buy fraction = %.3f, want <= 0.03", frac)
+	}
+}
+
+func TestMixPickDeterministicForSeed(t *testing.T) {
+	mix := ShoppingMix()
+	draw := func(seed int64) []Interaction {
+		rng := rand.New(rand.NewSource(seed))
+		out := make([]Interaction, 50)
+		for i := range out {
+			out[i] = mix.Pick(rng)
+		}
+		return out
+	}
+	a, b := draw(42), draw(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestRBEFleetStopIsPrompt(t *testing.T) {
+	db := NewDB(50, 4)
+	store := NewBookstore(db, PaymentAuthorizerFunc(approveAll))
+	fleet := NewRBEFleet(RBEConfig{Count: 4, ThinkTime: 50 * time.Millisecond, Seed: 1}, store)
+	fleet.Start()
+	time.Sleep(30 * time.Millisecond)
+	done := make(chan struct{})
+	go func() {
+		fleet.Stop()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("fleet did not stop promptly")
+	}
+	// Stop is idempotent.
+	fleet.Stop()
+}
+
+func TestRBEFleetDefaults(t *testing.T) {
+	db := NewDB(50, 4)
+	store := NewBookstore(db, PaymentAuthorizerFunc(approveAll))
+	fleet := NewRBEFleet(RBEConfig{}, store) // zero config: 1 browser, shopping mix
+	fleet.Start()
+	deadline := time.Now().Add(5 * time.Second)
+	for fleet.Interactions() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	fleet.Stop()
+	if fleet.Interactions() == 0 {
+		t.Error("default fleet made no progress")
+	}
+}
+
+func TestInteractionStrings(t *testing.T) {
+	for i := Interaction(0); i < NumInteractions; i++ {
+		if s := i.String(); s == "" || s[0] == 'i' && s != "interaction(0)" && i != 0 {
+			// All twelve must have proper names.
+			if len(s) > 11 && s[:11] == "interaction" {
+				t.Errorf("interaction %d has no name", int(i))
+			}
+		}
+	}
+	if Interaction(99).String() != "interaction(99)" {
+		t.Errorf("out-of-range name = %q", Interaction(99).String())
+	}
+	for _, st := range []OrderStatus{OrderPending, OrderAuthorized, OrderDeclined, OrderStatus(9)} {
+		if st.String() == "" {
+			t.Errorf("empty status name for %d", int(st))
+		}
+	}
+}

@@ -1,0 +1,278 @@
+package transport
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"perpetualws/internal/auth"
+)
+
+// Network is an in-process message network connecting many principals.
+// It stands in for the paper's SSL/TCP testbed in tests and benchmarks:
+// it preserves message counts, ordering per link, and quorum-wait
+// behaviour while allowing deterministic injection of latency, loss, and
+// partitions.
+type Network struct {
+	mu      sync.RWMutex
+	ports   map[auth.NodeID]*Port
+	closed  bool
+	latency func(from, to auth.NodeID) time.Duration
+	drop    func(from, to auth.NodeID) bool
+
+	// partitioned holds the current partition assignment; principals in
+	// different partitions cannot communicate. Empty means no partition.
+	partition map[auth.NodeID]int
+}
+
+// NetworkOption configures a Network.
+type NetworkOption func(*Network)
+
+// WithLatency installs a per-link latency function. Frames are delivered
+// after the returned delay. A nil function or zero duration delivers
+// immediately (still asynchronously).
+func WithLatency(f func(from, to auth.NodeID) time.Duration) NetworkOption {
+	return func(n *Network) { n.latency = f }
+}
+
+// WithUniformLatency delays every frame by d.
+func WithUniformLatency(d time.Duration) NetworkOption {
+	return WithLatency(func(_, _ auth.NodeID) time.Duration { return d })
+}
+
+// WithDrop installs a frame-drop predicate, evaluated per frame.
+func WithDrop(f func(from, to auth.NodeID) bool) NetworkOption {
+	return func(n *Network) { n.drop = f }
+}
+
+// WithLossRate drops each frame independently with probability p using
+// the given source (deterministic across runs for a fixed seed).
+func WithLossRate(p float64, rng *rand.Rand) NetworkOption {
+	var mu sync.Mutex
+	return WithDrop(func(_, _ auth.NodeID) bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return rng.Float64() < p
+	})
+}
+
+// NewNetwork creates an empty in-process network.
+func NewNetwork(opts ...NetworkOption) *Network {
+	n := &Network{ports: make(map[auth.NodeID]*Port)}
+	for _, o := range opts {
+		o(n)
+	}
+	return n
+}
+
+// portQueueDepth bounds each port's inbound queue. BFT protocols
+// retransmit, so dropping under overload is safe; blocking the sender
+// would couple replica speeds and can deadlock in-process tests.
+const portQueueDepth = 8192
+
+// Port creates (or returns) the connection endpoint for id.
+func (n *Network) Port(id auth.NodeID) *Port {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if p, ok := n.ports[id]; ok {
+		return p
+	}
+	p := &Port{
+		net:   n,
+		id:    id,
+		inbox: make(chan []byte, portQueueDepth),
+		done:  make(chan struct{}),
+	}
+	p.ready = make(chan struct{})
+	go p.pump()
+	n.ports[id] = p
+	return p
+}
+
+// SetLatency replaces the per-link latency function at runtime (e.g. to
+// model a testbed's RTT for benchmarks).
+func (n *Network) SetLatency(f func(from, to auth.NodeID) time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.latency = f
+}
+
+// SetUniformLatency delays every frame by d.
+func (n *Network) SetUniformLatency(d time.Duration) {
+	if d <= 0 {
+		n.SetLatency(nil)
+		return
+	}
+	n.SetLatency(func(_, _ auth.NodeID) time.Duration { return d })
+}
+
+// SetPartition assigns principals to numbered partitions. Principals not
+// listed stay in partition 0. Passing nil heals all partitions.
+func (n *Network) SetPartition(assignment map[auth.NodeID]int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.partition = assignment
+}
+
+// Isolate places the given principals in their own partition, cut off
+// from everyone else (including each other if isolateEachOther).
+func (n *Network) Isolate(ids ...auth.NodeID) {
+	assignment := make(map[auth.NodeID]int, len(ids))
+	for i, id := range ids {
+		assignment[id] = i + 1
+	}
+	n.SetPartition(assignment)
+}
+
+// Heal removes all partitions.
+func (n *Network) Heal() { n.SetPartition(nil) }
+
+// Close shuts down every port.
+func (n *Network) Close() error {
+	n.mu.Lock()
+	ports := make([]*Port, 0, len(n.ports))
+	for _, p := range n.ports {
+		ports = append(ports, p)
+	}
+	n.closed = true
+	n.mu.Unlock()
+	for _, p := range ports {
+		_ = p.Close()
+	}
+	return nil
+}
+
+func (n *Network) deliver(from, to auth.NodeID, frame []byte) error {
+	n.mu.RLock()
+	dst, ok := n.ports[to]
+	if ok {
+		if n.partition != nil && n.partition[from] != n.partition[to] {
+			ok = false // partitioned: silently drop, like a real partition
+			dst = nil
+		}
+	}
+	drop := n.drop
+	latency := n.latency
+	closed := n.closed
+	n.mu.RUnlock()
+
+	if closed {
+		return ErrClosed
+	}
+	if dst == nil {
+		if !ok {
+			// Unknown or partitioned destination: drop silently. BFT layers
+			// treat this as message loss.
+			return nil
+		}
+	}
+	if drop != nil && drop(from, to) {
+		return nil
+	}
+	var delay time.Duration
+	if latency != nil {
+		delay = latency(from, to)
+	}
+	if delay > 0 {
+		time.AfterFunc(delay, func() { dst.enqueue(frame) })
+		return nil
+	}
+	dst.enqueue(frame)
+	return nil
+}
+
+// Port is one principal's endpoint on a Network. It implements
+// Connection.
+type Port struct {
+	net   *Network
+	id    auth.NodeID
+	inbox chan []byte
+
+	mu      sync.Mutex
+	handler func(frame []byte)
+	ready   chan struct{} // closed once handler is set
+	closed  bool
+	done    chan struct{}
+}
+
+var _ Connection = (*Port)(nil)
+
+// LocalID returns the port's principal.
+func (p *Port) LocalID() auth.NodeID { return p.id }
+
+// Send transmits a frame to another principal on the same Network.
+func (p *Port) Send(to auth.NodeID, frame []byte) error {
+	p.mu.Lock()
+	closed := p.closed
+	p.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	return p.net.deliver(p.id, to, frame)
+}
+
+// SetHandler installs the inbound handler and starts delivery.
+func (p *Port) SetHandler(h func(frame []byte)) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.handler != nil {
+		p.handler = h
+		return
+	}
+	p.handler = h
+	close(p.ready)
+}
+
+// Close shuts the port down. Pending frames are discarded.
+func (p *Port) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	if p.handler == nil {
+		close(p.ready) // release the pump
+	}
+	p.mu.Unlock()
+	close(p.done)
+	return nil
+}
+
+func (p *Port) enqueue(frame []byte) {
+	select {
+	case p.inbox <- frame:
+	case <-p.done:
+	default:
+		// Queue full: drop. See portQueueDepth.
+	}
+}
+
+func (p *Port) pump() {
+	select {
+	case <-p.ready:
+	case <-p.done:
+		return
+	}
+	for {
+		select {
+		case frame := <-p.inbox:
+			p.mu.Lock()
+			h := p.handler
+			closed := p.closed
+			p.mu.Unlock()
+			if closed {
+				return
+			}
+			if h != nil {
+				h(frame)
+			}
+		case <-p.done:
+			return
+		}
+	}
+}
+
+// String implements fmt.Stringer for diagnostics.
+func (p *Port) String() string { return fmt.Sprintf("memnet.Port(%s)", p.id) }

@@ -1,0 +1,119 @@
+package transport
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"perpetualws/internal/auth"
+)
+
+func TestSetLatencyAtRuntime(t *testing.T) {
+	master := []byte("m")
+	idA, idB := auth.VoterID("x", 0), auth.VoterID("x", 1)
+	all := []auth.NodeID{idA, idB}
+	net := NewNetwork()
+	defer net.Close()
+	a := NewChannelAdapter(auth.NewDerivedKeyStore(master, idA, all), net.Port(idA))
+	b := NewChannelAdapter(auth.NewDerivedKeyStore(master, idB, all), net.Port(idB))
+	got := make(chan time.Time, 4)
+	b.SetHandler(func(auth.NodeID, []byte) { got <- time.Now() })
+
+	// Fast path first.
+	start := time.Now()
+	if err := a.Send(idB, []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-got:
+	case <-time.After(2 * time.Second):
+		t.Fatal("no delivery without latency")
+	}
+
+	// Install latency at runtime.
+	const delay = 40 * time.Millisecond
+	net.SetUniformLatency(delay)
+	start = time.Now()
+	if err := a.Send(idB, []byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case at := <-got:
+		if d := at.Sub(start); d < delay/2 {
+			t.Errorf("delivered after %v with %v latency", d, delay)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no delivery with latency")
+	}
+
+	// Remove it again.
+	net.SetUniformLatency(0)
+	start = time.Now()
+	if err := a.Send(idB, []byte("3")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case at := <-got:
+		if d := at.Sub(start); d > delay {
+			t.Errorf("latency persisted after removal: %v", d)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no delivery after latency removal")
+	}
+}
+
+func TestLossRateDropsSome(t *testing.T) {
+	master := []byte("m")
+	idA, idB := auth.VoterID("x", 0), auth.VoterID("x", 1)
+	all := []auth.NodeID{idA, idB}
+	net := NewNetwork(WithLossRate(0.5, rand.New(rand.NewSource(7))))
+	defer net.Close()
+	a := NewChannelAdapter(auth.NewDerivedKeyStore(master, idA, all), net.Port(idA))
+	b := NewChannelAdapter(auth.NewDerivedKeyStore(master, idB, all), net.Port(idB))
+	count := make(chan struct{}, 256)
+	b.SetHandler(func(auth.NodeID, []byte) { count <- struct{}{} })
+	const sent = 200
+	for i := 0; i < sent; i++ {
+		if err := a.Send(idB, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(200 * time.Millisecond)
+	received := len(count)
+	if received == 0 || received == sent {
+		t.Errorf("received %d of %d with 50%% loss", received, sent)
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	a, b, _ := newTestPair(t)
+	done := make(chan struct{}, 2)
+	b.SetHandler(func(auth.NodeID, []byte) { done <- struct{}{} })
+	if err := a.Send(b.LocalID(), []byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(b.LocalID(), []byte("defg")); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	<-done
+	sa, sb := a.Stats(), b.Stats()
+	if sa.SentMsgs != 2 || sa.SentBytes != 7 {
+		t.Errorf("sender stats = %+v", sa)
+	}
+	if sb.RecvMsgs != 2 || sb.RecvBytes != 7 {
+		t.Errorf("receiver stats = %+v", sb)
+	}
+	if sb.RejectedMsgs != 0 {
+		t.Errorf("unexpected rejects: %+v", sb)
+	}
+}
+
+func TestPortString(t *testing.T) {
+	net := NewNetwork()
+	defer net.Close()
+	p := net.Port(auth.VoterID("svc", 2))
+	if s := p.String(); s == "" {
+		t.Error("empty Port string")
+	}
+}

@@ -1,0 +1,43 @@
+package transport
+
+import "sync/atomic"
+
+// Stats tracks adapter traffic counters. The zero value is ready to use.
+type Stats struct {
+	sentMsgs     atomic.Uint64
+	sentBytes    atomic.Uint64
+	recvMsgs     atomic.Uint64
+	recvBytes    atomic.Uint64
+	rejectedMsgs atomic.Uint64
+}
+
+func (s *Stats) addSent(n int) {
+	s.sentMsgs.Add(1)
+	s.sentBytes.Add(uint64(n))
+}
+
+func (s *Stats) addReceived(n int) {
+	s.recvMsgs.Add(1)
+	s.recvBytes.Add(uint64(n))
+}
+
+func (s *Stats) addRejected() { s.rejectedMsgs.Add(1) }
+
+func (s *Stats) snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		SentMsgs:     s.sentMsgs.Load(),
+		SentBytes:    s.sentBytes.Load(),
+		RecvMsgs:     s.recvMsgs.Load(),
+		RecvBytes:    s.recvBytes.Load(),
+		RejectedMsgs: s.rejectedMsgs.Load(),
+	}
+}
+
+// StatsSnapshot is a point-in-time copy of adapter counters.
+type StatsSnapshot struct {
+	SentMsgs     uint64
+	SentBytes    uint64
+	RecvMsgs     uint64
+	RecvBytes    uint64
+	RejectedMsgs uint64
+}

@@ -1,0 +1,270 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"perpetualws/internal/auth"
+)
+
+// AddressBook maps principals to dialable addresses. It is the runtime
+// form of the paper's replicas.xml static endpoint mapping (Section 5.2):
+// Perpetual-WS does not provide dynamic UDDI-style resolution, so
+// deployments ship a static map.
+type AddressBook struct {
+	mu    sync.RWMutex
+	addrs map[auth.NodeID]string
+}
+
+// NewAddressBook creates an empty address book.
+func NewAddressBook() *AddressBook {
+	return &AddressBook{addrs: make(map[auth.NodeID]string)}
+}
+
+// Set registers the address of a principal.
+func (ab *AddressBook) Set(id auth.NodeID, addr string) {
+	ab.mu.Lock()
+	defer ab.mu.Unlock()
+	ab.addrs[id] = addr
+}
+
+// Lookup resolves a principal to an address.
+func (ab *AddressBook) Lookup(id auth.NodeID) (string, bool) {
+	ab.mu.RLock()
+	defer ab.mu.RUnlock()
+	a, ok := ab.addrs[id]
+	return a, ok
+}
+
+// TCPConn is a Connection over TCP with length-prefixed frames. Outbound
+// links are dialed lazily and cached; failed links are redialed on the
+// next send. Inbound connections are accepted on the local listener.
+//
+// The prototype's Connection module used SSL/TCP; MAC authentication at
+// the ChannelAdapter provides integrity here, and deployments that need
+// confidentiality can wrap the dialer/listener in TLS without changing
+// this type's callers.
+type TCPConn struct {
+	id    auth.NodeID
+	book  *AddressBook
+	ln    net.Listener
+	dialT time.Duration
+
+	mu       sync.Mutex
+	handler  func(frame []byte)
+	links    map[auth.NodeID]net.Conn
+	accepted map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+var _ Connection = (*TCPConn)(nil)
+
+// tcpMaxFrame bounds a framed message on the wire, slightly above
+// MaxFrameSize to account for the frame header.
+const tcpMaxFrame = MaxFrameSize + 4096
+
+// ListenTCP starts a TCP connection endpoint for id at addr
+// (host:port; use port 0 for an ephemeral port). The effective address is
+// available via Addr and should be registered in the address book.
+func ListenTCP(id auth.NodeID, addr string, book *AddressBook) (*TCPConn, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	c := &TCPConn{
+		id:       id,
+		book:     book,
+		ln:       ln,
+		dialT:    5 * time.Second,
+		links:    make(map[auth.NodeID]net.Conn),
+		accepted: make(map[net.Conn]struct{}),
+	}
+	c.wg.Add(1)
+	go c.acceptLoop()
+	return c, nil
+}
+
+// Addr returns the listener's effective address.
+func (c *TCPConn) Addr() string { return c.ln.Addr().String() }
+
+// LocalID returns the connection's principal.
+func (c *TCPConn) LocalID() auth.NodeID { return c.id }
+
+// SetHandler installs the inbound frame handler.
+func (c *TCPConn) SetHandler(h func(frame []byte)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.handler = h
+}
+
+// Send frames and transmits payload to the principal to, dialing a link
+// if none is cached.
+func (c *TCPConn) Send(to auth.NodeID, frame []byte) error {
+	if to == c.id {
+		// Loopback without touching the network stack.
+		c.mu.Lock()
+		h := c.handler
+		closed := c.closed
+		c.mu.Unlock()
+		if closed {
+			return ErrClosed
+		}
+		if h != nil {
+			h(frame)
+		}
+		return nil
+	}
+	conn, err := c.link(to)
+	if err != nil {
+		return err
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(frame)))
+	c.mu.Lock()
+	_, werr := conn.Write(hdr[:])
+	if werr == nil {
+		_, werr = conn.Write(frame)
+	}
+	if werr != nil {
+		// Drop the broken link; the next Send will redial.
+		if cur, ok := c.links[to]; ok && cur == conn {
+			delete(c.links, to)
+		}
+		conn.Close()
+	}
+	c.mu.Unlock()
+	if werr != nil {
+		return fmt.Errorf("transport: send to %s: %w", to, werr)
+	}
+	return nil
+}
+
+func (c *TCPConn) link(to auth.NodeID) (net.Conn, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if conn, ok := c.links[to]; ok {
+		c.mu.Unlock()
+		return conn, nil
+	}
+	c.mu.Unlock()
+
+	addr, ok := c.book.Lookup(to)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownDest, to)
+	}
+	conn, err := net.DialTimeout("tcp", addr, c.dialT)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s (%s): %w", to, addr, err)
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		_ = tc.SetNoDelay(true)
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		conn.Close()
+		return nil, ErrClosed
+	}
+	if existing, ok := c.links[to]; ok {
+		conn.Close()
+		return existing, nil
+	}
+	c.links[to] = conn
+	return conn, nil
+}
+
+func (c *TCPConn) acceptLoop() {
+	defer c.wg.Done()
+	for {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		if tc, ok := conn.(*net.TCPConn); ok {
+			_ = tc.SetNoDelay(true)
+		}
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			conn.Close()
+			return
+		}
+		c.accepted[conn] = struct{}{}
+		c.mu.Unlock()
+		c.wg.Add(1)
+		go c.readLoop(conn)
+	}
+}
+
+func (c *TCPConn) readLoop(conn net.Conn) {
+	defer c.wg.Done()
+	defer func() {
+		conn.Close()
+		c.mu.Lock()
+		delete(c.accepted, conn)
+		c.mu.Unlock()
+	}()
+	var hdr [4]byte
+	for {
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			return
+		}
+		n := binary.BigEndian.Uint32(hdr[:])
+		if n > tcpMaxFrame {
+			return // protocol violation: sever the link
+		}
+		frame := make([]byte, n)
+		if _, err := io.ReadFull(conn, frame); err != nil {
+			return
+		}
+		c.mu.Lock()
+		h := c.handler
+		closed := c.closed
+		c.mu.Unlock()
+		if closed {
+			return
+		}
+		if h != nil {
+			h(frame)
+		}
+	}
+}
+
+// Close shuts down the listener and all links.
+func (c *TCPConn) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	links := make([]net.Conn, 0, len(c.links)+len(c.accepted))
+	for _, l := range c.links {
+		links = append(links, l)
+	}
+	for conn := range c.accepted {
+		links = append(links, conn)
+	}
+	c.links = make(map[auth.NodeID]net.Conn)
+	c.mu.Unlock()
+
+	err := c.ln.Close()
+	for _, l := range links {
+		_ = l.Close()
+	}
+	c.wg.Wait()
+	if err != nil && !errors.Is(err, net.ErrClosed) {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,182 @@
+// Package transport provides the communication substrate of Perpetual-WS.
+//
+// It mirrors the module decomposition of the Perpetual prototype (paper
+// Section 2.1.2): the CLBFT and Perpetual Core modules abstract away
+// transport, authentication, and encryption details, which are provided
+// by a ChannelAdapter. The ChannelAdapter itself achieves transport
+// independence by encapsulating transport-oriented details within
+// Connection modules. This package supplies two Connection
+// implementations: an in-process network (memnet.go) with configurable
+// latency, loss, and partitions for tests and benchmarks, and a TCP
+// connection (tcpnet.go) with length-prefixed framing for real
+// deployments.
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"perpetualws/internal/auth"
+)
+
+// Handler consumes an authenticated inbound payload.
+type Handler func(from auth.NodeID, payload []byte)
+
+// Connection moves raw frames between principals. Implementations must be
+// safe for concurrent use by multiple goroutines.
+type Connection interface {
+	// Send delivers a frame to the principal identified by to. Send must
+	// not block indefinitely on slow receivers; implementations may drop
+	// frames under sustained overload (the BFT layers above tolerate and
+	// recover from message loss via retransmission).
+	Send(to auth.NodeID, frame []byte) error
+	// SetHandler installs the inbound frame handler. It must be called
+	// before the first frame arrives.
+	SetHandler(h func(frame []byte))
+	// LocalID returns the principal this connection belongs to.
+	LocalID() auth.NodeID
+	// Close releases the connection's resources.
+	Close() error
+}
+
+// Errors returned by the transport layer.
+var (
+	ErrClosed         = errors.New("transport: connection closed")
+	ErrUnknownDest    = errors.New("transport: unknown destination")
+	ErrFrameTooLarge  = errors.New("transport: frame exceeds maximum size")
+	ErrMalformedFrame = errors.New("transport: malformed frame")
+)
+
+// MaxFrameSize bounds a single frame (16 MiB). Larger application
+// payloads must be chunked by the caller; in practice SOAP payloads are
+// far smaller.
+const MaxFrameSize = 16 << 20
+
+// frame layout:
+//
+//	u16 fromLen | from | u16 macLen | mac | u32 payloadLen | payload
+//
+// The MAC covers the payload and is keyed by the (from, to) pair, so the
+// destination identity does not need to appear on the wire.
+
+func encodeFrame(from auth.NodeID, mac, payload []byte) []byte {
+	fromStr := from.String()
+	n := 2 + len(fromStr) + 2 + len(mac) + 4 + len(payload)
+	buf := make([]byte, 0, n)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(fromStr)))
+	buf = append(buf, fromStr...)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(mac)))
+	buf = append(buf, mac...)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = append(buf, payload...)
+	return buf
+}
+
+func decodeFrame(buf []byte) (from auth.NodeID, mac, payload []byte, err error) {
+	bad := func(what string) (auth.NodeID, []byte, []byte, error) {
+		return auth.NodeID{}, nil, nil, fmt.Errorf("%w: %s", ErrMalformedFrame, what)
+	}
+	if len(buf) < 2 {
+		return bad("short from length")
+	}
+	fl := int(binary.BigEndian.Uint16(buf))
+	buf = buf[2:]
+	if len(buf) < fl {
+		return bad("short from")
+	}
+	from, err = auth.ParseNodeID(string(buf[:fl]))
+	if err != nil {
+		return bad(err.Error())
+	}
+	buf = buf[fl:]
+	if len(buf) < 2 {
+		return bad("short mac length")
+	}
+	ml := int(binary.BigEndian.Uint16(buf))
+	buf = buf[2:]
+	if len(buf) < ml {
+		return bad("short mac")
+	}
+	mac = buf[:ml]
+	buf = buf[ml:]
+	if len(buf) < 4 {
+		return bad("short payload length")
+	}
+	pl := int(binary.BigEndian.Uint32(buf))
+	buf = buf[4:]
+	if pl > MaxFrameSize {
+		return auth.NodeID{}, nil, nil, ErrFrameTooLarge
+	}
+	if len(buf) != pl {
+		return bad("payload length mismatch")
+	}
+	return from, mac, buf, nil
+}
+
+// ChannelAdapter authenticates all traffic through a Connection with
+// point-to-point MACs. It is the seam between the BFT protocol layers and
+// the transport: protocol modules hand it destination + payload and
+// receive verified (from, payload) pairs back.
+type ChannelAdapter struct {
+	ks   *auth.KeyStore
+	conn Connection
+
+	// Stats counters are updated atomically via the methods below; they
+	// are advisory (used by tests and the benchmark harness).
+	stats Stats
+}
+
+// NewChannelAdapter wraps conn with MAC authentication using ks. The
+// adapter installs itself as conn's handler; the caller must then call
+// SetHandler to receive verified payloads.
+func NewChannelAdapter(ks *auth.KeyStore, conn Connection) *ChannelAdapter {
+	return &ChannelAdapter{ks: ks, conn: conn}
+}
+
+// LocalID returns the identity of the adapter's owner.
+func (ca *ChannelAdapter) LocalID() auth.NodeID { return ca.conn.LocalID() }
+
+// Send MACs payload for the destination and transmits it.
+func (ca *ChannelAdapter) Send(to auth.NodeID, payload []byte) error {
+	if len(payload) > MaxFrameSize {
+		return ErrFrameTooLarge
+	}
+	var mac []byte
+	if to != ca.ks.Self() {
+		var err error
+		mac, err = ca.ks.Sign(to, payload)
+		if err != nil {
+			return fmt.Errorf("transport: signing for %s: %w", to, err)
+		}
+	}
+	ca.stats.addSent(len(payload))
+	return ca.conn.Send(to, encodeFrame(ca.ks.Self(), mac, payload))
+}
+
+// SetHandler installs the verified-payload handler. Frames that fail MAC
+// verification or arrive from unknown principals are counted and dropped;
+// a Byzantine sender must not be able to crash or wedge the receiver.
+func (ca *ChannelAdapter) SetHandler(h Handler) {
+	ca.conn.SetHandler(func(frame []byte) {
+		from, mac, payload, err := decodeFrame(frame)
+		if err != nil {
+			ca.stats.addRejected()
+			return
+		}
+		if from != ca.ks.Self() {
+			if err := ca.ks.Verify(from, payload, mac); err != nil {
+				ca.stats.addRejected()
+				return
+			}
+		}
+		ca.stats.addReceived(len(payload))
+		h(from, payload)
+	})
+}
+
+// Close closes the underlying connection.
+func (ca *ChannelAdapter) Close() error { return ca.conn.Close() }
+
+// Stats returns a snapshot of the adapter's traffic counters.
+func (ca *ChannelAdapter) Stats() StatsSnapshot { return ca.stats.snapshot() }
