@@ -134,6 +134,56 @@ func lastPoint(f bench.Figure, label string) (float64, bool) {
 	return 0, false
 }
 
+// BenchmarkShardScalability sweeps the shard count of one logical
+// service (1/2/4 independent CLBFT voter groups of N=4 replicas each)
+// over three workloads: pure null requests, null requests with the
+// paper's database-access processing cost, and the customer-sharded
+// TPC-W store. A replica group's executor is a single deterministic
+// thread, so one group's capacity is hard-capped at 1/processing-time
+// regardless of hardware — the db and tpcw cells show sharding lifting
+// that cap near-linearly even on one core. The pure-null cell is bound
+// by CPU parallelism instead and only scales on multi-core hosts.
+func BenchmarkShardScalability(b *testing.B) {
+	for _, shards := range []int{1, 2, 4} {
+		shards := shards
+		b.Run(fmt.Sprintf("null/shards=%d", shards), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tput, err := bench.MeasureShardedNull(bench.ShardConfig{
+					Shards: shards, N: 4, Calls: 480, Window: 32, Callers: 8,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(tput, "req/s")
+			}
+		})
+		b.Run(fmt.Sprintf("db/shards=%d", shards), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tput, err := bench.MeasureShardedNull(bench.ShardConfig{
+					Shards: shards, N: 4, Calls: 480, Window: 32, Callers: 8,
+					Processing: bench.ShardDBTime,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(tput, "req/s")
+			}
+		})
+		b.Run(fmt.Sprintf("tpcw/shards=%d", shards), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				wips, err := bench.MeasureShardedTPCW(bench.ShardedTPCWConfig{
+					Shards: shards, N: 4, RBEs: 32, Measure: 1500 * time.Millisecond,
+					DBTime: bench.ShardDBTime,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(wips, "WIPS")
+			}
+		})
+	}
+}
+
 // BenchmarkSyncCall measures one synchronous replicated call end to end
 // (1x1 and 4x4), the unit underlying Figures 7-9.
 func BenchmarkSyncCall(b *testing.B) {

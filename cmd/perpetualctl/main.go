@@ -9,6 +9,7 @@
 //	perpetualctl fig7 [-quick] [-calls 1000] [-runs 3]
 //	perpetualctl fig8 [-quick] [-calls 200] [-runs 3]
 //	perpetualctl fig9 [-quick] [-calls 300] [-runs 3]
+//	perpetualctl shards [-quick] [-n 4] [-calls 1920] [-measure 3s]
 //	perpetualctl all  [-quick]
 //
 // -quick shrinks the parameter grids so a full pass finishes in a couple
@@ -19,6 +20,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -27,12 +29,16 @@ import (
 
 func main() {
 	if len(os.Args) < 2 {
-		usage()
+		usage(os.Stderr)
 		os.Exit(2)
 	}
 	cmd, args := os.Args[1], os.Args[2:]
 	var err error
 	switch cmd {
+	case "-h", "-help", "--help", "help":
+		// Explicitly requested help goes to stdout and exits 0; only
+		// unknown commands and missing arguments are usage errors.
+		usage(os.Stdout)
 	case "properties":
 		printProperties()
 	case "fig6":
@@ -43,6 +49,8 @@ func main() {
 		err = runFig8(args)
 	case "fig9":
 		err = runFig9(args)
+	case "shards":
+		err = runShards(args)
 	case "all":
 		for _, sub := range []func([]string) error{runFig7, runFig8, runFig9, runFig6} {
 			if err = sub(args); err != nil {
@@ -50,7 +58,7 @@ func main() {
 			}
 		}
 	default:
-		usage()
+		usage(os.Stderr)
 		os.Exit(2)
 	}
 	if err != nil {
@@ -59,15 +67,40 @@ func main() {
 	}
 }
 
-func usage() {
-	fmt.Fprintln(os.Stderr, `usage: perpetualctl <properties|fig6|fig7|fig8|fig9|all> [flags]
+func usage(w io.Writer) {
+	fmt.Fprintln(w, `usage: perpetualctl <properties|fig6|fig7|fig8|fig9|shards|all> [flags]
   properties  print the paper's Figure 2 property matrix
   fig6        TPC-W WIPS vs RBE count (payment-tier replication sweep)
   fig7        replica scalability, null requests
   fig8        effect of non-zero processing time
   fig9        effect of asynchronous messaging
+  shards      aggregate throughput vs shard count (sharded services)
   all         fig7, fig8, fig9, then fig6
 common flags: -quick (reduced grids), plus per-figure tuning flags`)
+}
+
+func runShards(args []string) error {
+	fs := flag.NewFlagSet("shards", flag.ExitOnError)
+	quick := fs.Bool("quick", false, "reduced grid")
+	n := fs.Int("n", 4, "replicas per shard group (N = 3f+1)")
+	calls := fs.Int("calls", 1920, "null/db requests per cell")
+	measure := fs.Duration("measure", 3*time.Second, "TPC-W sampling window per cell")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	counts := []int{1, 2, 4, 8}
+	if *quick {
+		counts = []int{1, 2, 4}
+		*calls = 480
+		*measure = 1500 * time.Millisecond
+	}
+	fmt.Println("running shard scalability sweep...")
+	fmt.Printf("%-8s %14s %14s %10s\n", "shards", "null (req/s)", "db (req/s)", "WIPS")
+	rows, err := bench.RunShardScalability(counts, *n, *calls, *measure)
+	for _, row := range rows {
+		fmt.Printf("%-8d %14.0f %14.0f %10.0f\n", row.Shards, row.NullTput, row.ProcTput, row.StoreWIPS)
+	}
+	return err
 }
 
 func runFig6(args []string) error {

@@ -1,0 +1,3 @@
+module perpetualws
+
+go 1.24

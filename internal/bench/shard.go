@@ -1,0 +1,238 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"perpetualws/internal/core"
+	"perpetualws/internal/soap"
+	"perpetualws/internal/tpcw"
+	"perpetualws/internal/wsengine"
+)
+
+// Shard-scalability sweep: aggregate throughput of one logical service
+// deployed as 1, 2, 4, ... independent CLBFT voter groups. A single
+// group orders every request through one agreement instance — the
+// paper's throughput ceiling; sharding multiplies agreement (and
+// executor) capacity as long as the key space spreads.
+
+// ShardConfig parameterizes one shard-scalability cell.
+type ShardConfig struct {
+	// Shards is the number of independent voter groups (1 = the paper's
+	// single-group configuration).
+	Shards int
+	// N is the replica count per group (per shard).
+	N int
+	// Calls is the total number of null requests measured.
+	Calls int
+	// Window is the number of concurrent client workers, each running
+	// synchronous round trips over its own key set.
+	Window int
+	// Keys is the number of distinct routing keys cycled through.
+	Keys int
+	// Callers is the number of independent (unreplicated) client
+	// services the workers are spread over. One client replica's driver
+	// port serializes all of its reply traffic, so measuring aggregate
+	// target capacity requires several independent callers — just as a
+	// production deployment has many front-end clients.
+	Callers int
+	// Processing is the per-request cost at the target executor (the
+	// paper's Figure 8 sweep; 6 ms is its typical database access).
+	// Because a replica group's executor is a single deterministic
+	// thread, processing time — not CPU — is the single-group capacity
+	// ceiling (1/Processing req/s), and precisely what sharding lifts:
+	// shards multiply executor capacity even on one core. Zero runs the
+	// pure null request, whose scaling is CPU-parallelism-bound instead.
+	Processing time.Duration
+}
+
+func (c *ShardConfig) defaults() {
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
+	if c.N <= 0 {
+		c.N = 4
+	}
+	if c.Calls <= 0 {
+		c.Calls = 200
+	}
+	if c.Window <= 0 {
+		c.Window = 16
+	}
+	if c.Keys <= 0 {
+		c.Keys = 64 * c.Shards
+	}
+	if c.Callers <= 0 {
+		c.Callers = 4
+	}
+}
+
+// MeasureShardedNull measures aggregate null-request throughput against
+// a sharded increment service: Window concurrent workers issue
+// synchronous keyed requests, cycling the key space so every shard sees
+// traffic.
+func MeasureShardedNull(cfg ShardConfig) (reqsPerSec float64, err error) {
+	cfg.defaults()
+	defs := []core.ServiceDef{
+		{Name: "target", N: cfg.N, Shards: cfg.Shards, App: IncrementApp(cfg.Processing), Options: benchOpts()},
+	}
+	for c := 0; c < cfg.Callers; c++ {
+		defs = append(defs, core.ServiceDef{Name: fmt.Sprintf("caller%d", c), N: 1, Options: benchOpts()})
+	}
+	cluster, err := core.NewCluster([]byte("bench-shard"), defs...)
+	if err != nil {
+		return 0, err
+	}
+	cluster.Start()
+	defer cluster.Stop()
+
+	newReq := func(key int) *wsengine.MessageContext {
+		mc := wsengine.NewMessageContext()
+		mc.Options.To = soap.ServiceURI("target")
+		mc.Options.Action = "urn:bench:increment"
+		mc.Options.RoutingKey = fmt.Sprintf("key-%d", key%cfg.Keys)
+		mc.Envelope.Body = []byte("<inc/>")
+		return mc
+	}
+	run := func(calls int) error {
+		var wg sync.WaitGroup
+		errs := make(chan error, cfg.Window)
+		for w := 0; w < cfg.Window; w++ {
+			w := w
+			h := cluster.Handler(fmt.Sprintf("caller%d", w%cfg.Callers), 0)
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				n := calls / cfg.Window
+				if w < calls%cfg.Window {
+					n++
+				}
+				for k := 0; k < n; k++ {
+					if _, err := h.SendReceive(newReq(w + k*cfg.Window)); err != nil {
+						errs <- err
+						return
+					}
+				}
+				errs <- nil
+			}()
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// Warm every shard's first-agreement path out of the measurement.
+	if err := run(cfg.Window); err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	if err := run(cfg.Calls); err != nil {
+		return 0, err
+	}
+	return Throughput(cfg.Calls, time.Since(start)), nil
+}
+
+// ShardedTPCWConfig parameterizes the sharded-store TPC-W cell.
+type ShardedTPCWConfig struct {
+	// Shards and N size the store deployment (Shards voter groups of N
+	// replicas, customer-sharded).
+	Shards int
+	N      int
+	// RBEs is the emulated browser count.
+	RBEs int
+	// ThinkTime and Measure mirror Figure6Config.
+	ThinkTime time.Duration
+	Measure   time.Duration
+	// DBTime is the emulated per-interaction database cost at the store
+	// (tpcw.StoreConfig.DBTime); it is what makes the store-tier
+	// executor the capacity bottleneck sharding lifts.
+	DBTime time.Duration
+}
+
+// MeasureShardedTPCW measures WIPS of the TPC-W bookstore deployed as a
+// customer-sharded Perpetual-WS service (local payment authorization, so
+// the measured path is the store tier itself).
+func MeasureShardedTPCW(cfg ShardedTPCWConfig) (wips float64, err error) {
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
+	}
+	if cfg.N <= 0 {
+		cfg.N = 4
+	}
+	if cfg.RBEs <= 0 {
+		cfg.RBEs = 32
+	}
+	if cfg.Measure == 0 {
+		cfg.Measure = 2 * time.Second
+	}
+	cluster, err := core.NewCluster([]byte("bench-shard-tpcw"),
+		core.ServiceDef{Name: "client", N: 1, Options: benchOpts()},
+		core.ServiceDef{
+			Name: "store", N: cfg.N, Shards: cfg.Shards,
+			App:     tpcw.StoreApp(tpcw.StoreConfig{Items: 1000, Customers: 288, DBTime: cfg.DBTime}),
+			Options: benchOpts(),
+		},
+	)
+	if err != nil {
+		return 0, err
+	}
+	cluster.Start()
+	defer cluster.Stop()
+
+	client := &tpcw.StoreClient{
+		Handler:      cluster.Handler("client", 0),
+		Service:      "store",
+		NumCustomers: 288,
+	}
+	fleet := tpcw.NewRBEFleet(tpcw.RBEConfig{
+		Count:     cfg.RBEs,
+		ThinkTime: cfg.ThinkTime,
+		Seed:      1,
+	}, client)
+	return fleet.MeasureWIPS(cfg.Measure), nil
+}
+
+// ShardDBTime is the emulated per-request database cost of the sweep's
+// processing cells (the paper's Figure 8 uses 6 ms as a typical
+// database access; 2 ms keeps the reduced grids fast while still
+// dominating protocol cost).
+const ShardDBTime = 2 * time.Millisecond
+
+// ShardScalabilityRow is one cell of the shard sweep.
+type ShardScalabilityRow struct {
+	Shards    int
+	NullTput  float64 // pure null requests/sec (CPU-parallelism-bound)
+	ProcTput  float64 // ShardDBTime-processing requests/sec (executor-bound)
+	StoreWIPS float64 // TPC-W web interactions/sec at ShardDBTime DB cost
+}
+
+// RunShardScalability sweeps shard counts over the three workloads and
+// returns one row per count, aborting on the first failing cell (each
+// cell costs seconds of measurement). Used by perpetualctl shards.
+func RunShardScalability(shardCounts []int, n int, calls int, measure time.Duration) ([]ShardScalabilityRow, error) {
+	if len(shardCounts) == 0 {
+		shardCounts = []int{1, 2, 4}
+	}
+	rows := make([]ShardScalabilityRow, 0, len(shardCounts))
+	for _, s := range shardCounts {
+		row := ShardScalabilityRow{Shards: s}
+		var err error
+		if row.NullTput, err = MeasureShardedNull(ShardConfig{Shards: s, N: n, Calls: calls}); err != nil {
+			return rows, fmt.Errorf("bench: shard sweep null cell shards=%d: %w", s, err)
+		}
+		if row.ProcTput, err = MeasureShardedNull(ShardConfig{Shards: s, N: n, Calls: calls, Processing: ShardDBTime}); err != nil {
+			return rows, fmt.Errorf("bench: shard sweep db cell shards=%d: %w", s, err)
+		}
+		if row.StoreWIPS, err = MeasureShardedTPCW(ShardedTPCWConfig{Shards: s, N: n, Measure: measure, DBTime: ShardDBTime}); err != nil {
+			return rows, fmt.Errorf("bench: shard sweep tpcw cell shards=%d: %w", s, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"perpetualws/internal/perpetual"
+	"perpetualws/internal/wsengine"
+)
+
+// shardStamper answers every request with its own group name, so the
+// client can verify which shard executed.
+var shardStamper = ApplicationFunc(func(ctx *AppContext) {
+	for {
+		req, err := ctx.ReceiveRequest()
+		if err != nil {
+			return
+		}
+		reply := wsengine.NewMessageContext()
+		reply.Envelope.Body = []byte("<served-by>" + ctx.ServiceName + "</served-by>")
+		if err := ctx.SendReply(reply, req); err != nil {
+			return
+		}
+	}
+})
+
+func TestShardedClusterRoutesByOptionKey(t *testing.T) {
+	const shards = 3
+	c, err := NewCluster([]byte("shard-core-test"),
+		ServiceDef{Name: "client", N: 1, Options: fastOpts()},
+		ServiceDef{Name: "kv", N: 1, Shards: shards, App: shardStamper, Options: fastOpts()},
+	)
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	c.Start()
+	t.Cleanup(c.Stop)
+
+	h := c.Handler("client", 0)
+	for i := 0; i < 6; i++ {
+		key := fmt.Sprintf("user-%d", i)
+		req := newRequest("kv", "<get/>")
+		req.Options.RoutingKey = key
+		reply, err := h.SendReceive(req)
+		if err != nil {
+			t.Fatalf("SendReceive(key=%s): %v", key, err)
+		}
+		want := fmt.Sprintf("<served-by>kv#%d</served-by>",
+			perpetual.ShardFor([]byte(key), shards))
+		if string(reply.Envelope.Body) != want {
+			t.Errorf("key %s served by %s, want %s", key, reply.Envelope.Body, want)
+		}
+	}
+}
+
+func TestShardedClusterAccessors(t *testing.T) {
+	c, err := NewCluster([]byte("shard-acc-test"),
+		ServiceDef{Name: "kv", N: 1, Shards: 2, App: shardStamper, Options: fastOpts()},
+	)
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	c.Start()
+	t.Cleanup(c.Stop)
+	for k := 0; k < 2; k++ {
+		if c.ShardNode("kv", k, 0) == nil || c.ShardHandler("kv", k, 0) == nil {
+			t.Errorf("shard %d accessors returned nil", k)
+		}
+	}
+	if c.ShardNode("kv", 2, 0) != nil {
+		t.Error("out-of-range shard accessor returned a node")
+	}
+	if c.Node("kv#1", 0) == nil {
+		t.Error("group-name addressing returned nil")
+	}
+}

@@ -221,7 +221,7 @@ func (s *perpetualSender) Send(mc *wsengine.MessageContext) error {
 	if err != nil {
 		return fmt.Errorf("perpetualws: marshal request: %w", err)
 	}
-	reqID, err := drv.Call(target, payload, mc.Options.Timeout())
+	reqID, err := drv.CallKey(target, []byte(mc.Options.RoutingKey), payload, mc.Options.Timeout())
 	if err != nil {
 		return err
 	}

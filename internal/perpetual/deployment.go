@@ -56,39 +56,47 @@ func (d *Deployment) Configure(service string, opts ServiceOptions) {
 	d.options[service] = opts
 }
 
-// Build assembles every replica of every registered service.
+// Build assembles every replica of every registered service: for a
+// sharded service, one full replica group per shard. Per-service options
+// (including Behaviors) apply to each of its shard groups identically.
 func (d *Deployment) Build() error {
 	principals := d.Registry.AllPrincipals()
 	for _, svc := range d.Registry.Services() {
-		opts := d.options[svc.Name]
-		group := make([]*Replica, svc.N)
-		for i := 0; i < svc.N; i++ {
-			voterID := auth.VoterID(svc.Name, i)
-			driverID := auth.DriverID(svc.Name, i)
-			cfg := ReplicaConfig{
-				Service:            svc.Name,
-				Index:              i,
-				Registry:           d.Registry,
-				VoterConn:          d.Network.Port(voterID),
-				DriverConn:         d.Network.Port(driverID),
-				VoterKeys:          auth.NewDerivedKeyStore(d.master, voterID, principals),
-				DriverKeys:         auth.NewDerivedKeyStore(d.master, driverID, principals),
-				CheckpointInterval: opts.CheckpointInterval,
-				ViewChangeTimeout:  opts.ViewChangeTimeout,
-				RetransmitInterval: opts.RetransmitInterval,
-				MaxBatch:           opts.MaxBatch,
-				Logger:             opts.Logger,
-			}
-			if opts.Behaviors != nil {
-				cfg.Behavior = opts.Behaviors[i]
-			}
-			r, err := NewReplica(cfg)
-			if err != nil {
-				return fmt.Errorf("perpetual: building %s/%d: %w", svc.Name, i, err)
-			}
-			group[i] = r
+		if err := validateServiceName(svc.Name); err != nil {
+			return err
 		}
-		d.replicas[svc.Name] = group
+		opts := d.options[svc.Name]
+		for k := 0; k < svc.ShardCount(); k++ {
+			g := svc.Shard(k)
+			group := make([]*Replica, g.N)
+			for i := 0; i < g.N; i++ {
+				voterID := auth.VoterID(g.Name, i)
+				driverID := auth.DriverID(g.Name, i)
+				cfg := ReplicaConfig{
+					Service:            g.Name,
+					Index:              i,
+					Registry:           d.Registry,
+					VoterConn:          d.Network.Port(voterID),
+					DriverConn:         d.Network.Port(driverID),
+					VoterKeys:          auth.NewDerivedKeyStore(d.master, voterID, principals),
+					DriverKeys:         auth.NewDerivedKeyStore(d.master, driverID, principals),
+					CheckpointInterval: opts.CheckpointInterval,
+					ViewChangeTimeout:  opts.ViewChangeTimeout,
+					RetransmitInterval: opts.RetransmitInterval,
+					MaxBatch:           opts.MaxBatch,
+					Logger:             opts.Logger,
+				}
+				if opts.Behaviors != nil {
+					cfg.Behavior = opts.Behaviors[i]
+				}
+				r, err := NewReplica(cfg)
+				if err != nil {
+					return fmt.Errorf("perpetual: building %s/%d: %w", g.Name, i, err)
+				}
+				group[i] = r
+			}
+			d.replicas[g.Name] = group
+		}
 	}
 	return nil
 }
@@ -116,9 +124,31 @@ func (d *Deployment) Stop() {
 	_ = d.Network.Close()
 }
 
-// Replicas returns the replica group of a service.
+// Replicas returns the replica group of a service (or of one shard
+// group, when addressed by its "name#k" wire name). For the parent name
+// of a sharded service use ShardReplicas.
 func (d *Deployment) Replicas(service string) []*Replica {
 	return d.replicas[service]
+}
+
+// ShardReplicas returns the replica group of shard k of a service. For
+// an unsharded service, shard 0 is the service's only group.
+func (d *Deployment) ShardReplicas(service string, k int) []*Replica {
+	svc, err := d.Registry.Lookup(service)
+	if err != nil || k < 0 || k >= svc.ShardCount() {
+		return nil
+	}
+	return d.replicas[svc.Shard(k).Name]
+}
+
+// ShardDrivers returns all drivers of shard k of a service.
+func (d *Deployment) ShardDrivers(service string, k int) []*Driver {
+	group := d.ShardReplicas(service, k)
+	out := make([]*Driver, len(group))
+	for i, r := range group {
+		out[i] = r.Driver()
+	}
+	return out
 }
 
 // Driver returns the driver of replica i of a service.

@@ -1,6 +1,7 @@
 package perpetual
 
 import (
+	"crypto/sha256"
 	"errors"
 	"fmt"
 	"log"
@@ -173,12 +174,57 @@ func (d *Driver) handleBundle(from auth.NodeID, b *ReplyBundle) {
 // Call issues a request to a target service (stage 1) and returns its
 // request ID without blocking. A timeout of zero means never abort (the
 // paper's default); otherwise the request is deterministically aborted
-// group-wide if no reply is agreed in time.
+// group-wide if no reply is agreed in time. A sharded target is routed
+// by the request's payload digest; use CallKey to route by an explicit
+// key (e.g. a customer ID) so related requests share a shard.
 func (d *Driver) Call(target string, payload []byte, timeout time.Duration) (string, error) {
+	return d.CallKey(target, nil, payload, timeout)
+}
+
+// CallKey issues a request routed by an explicit routing key: for a
+// sharded target, every driver replica maps the same key to the same
+// shard group (ShardFor is replica-consistent), so state partitioned by
+// key stays on one shard across calls. A nil/empty key falls back to
+// the payload digest. For an unsharded target the key is ignored.
+func (d *Driver) CallKey(target string, key, payload []byte, timeout time.Duration) (string, error) {
 	tinfo, err := d.registry.Lookup(target)
 	if err != nil {
 		return "", err
 	}
+	if tinfo.IsSharded() {
+		if len(key) == 0 {
+			digest := sha256.Sum256(payload)
+			key = digest[:]
+		}
+		tinfo = tinfo.Shard(ShardFor(key, tinfo.Shards))
+	}
+	return d.call(tinfo, payload, timeout)
+}
+
+// CallAllShards fans a broadcast-style request out to every shard of a
+// sharded target (one independent request per shard, in shard order) and
+// returns the per-shard request IDs. On an unsharded target it degrades
+// to a single Call. The caller collects replies with WaitReply per ID;
+// aggregation across shards is application policy.
+func (d *Driver) CallAllShards(target string, payload []byte, timeout time.Duration) ([]string, error) {
+	tinfo, err := d.registry.Lookup(target)
+	if err != nil {
+		return nil, err
+	}
+	ids := make([]string, tinfo.ShardCount())
+	for k := range ids {
+		id, err := d.call(tinfo.Shard(k), payload, timeout)
+		if err != nil {
+			return ids[:k], err
+		}
+		ids[k] = id
+	}
+	return ids, nil
+}
+
+// call issues a request to one concrete replica group.
+func (d *Driver) call(tinfo ServiceInfo, payload []byte, timeout time.Duration) (string, error) {
+	target := tinfo.Name
 	d.mu.Lock()
 	if d.closed {
 		d.mu.Unlock()
@@ -255,7 +301,7 @@ func (d *Driver) retransmit(reqID string) {
 		d.mu.Unlock()
 		return
 	}
-	o.responder = int((d.hashReq(reqID) + uint64(attempt)) % uint64(tinfo.N))
+	o.responder = int((fnv64a([]byte(reqID)) + uint64(attempt)) % uint64(tinfo.N))
 	responder := o.responder
 	backoff := d.retransmitInterval << uint(min(attempt, 6))
 	o.retryTmr = time.AfterFunc(backoff, func() { d.retransmit(reqID) })
@@ -274,15 +320,6 @@ func (d *Driver) retransmit(reqID string) {
 		}
 	}
 	d.logf("retransmitted %s (attempt %d, responder %d)", reqID, attempt, responder)
-}
-
-func (d *Driver) hashReq(reqID string) uint64 {
-	var h uint64 = 14695981039346656037
-	for i := 0; i < len(reqID); i++ {
-		h ^= uint64(reqID[i])
-		h *= 1099511628211
-	}
-	return h
 }
 
 // deliverRequest enqueues an agreed incoming request (stage 3); called

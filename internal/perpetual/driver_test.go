@@ -54,15 +54,14 @@ func TestDriverOutstandingDropsOnReply(t *testing.T) {
 }
 
 func TestHashReqIsStable(t *testing.T) {
-	d := &Driver{}
-	a := d.hashReq("c:1")
-	b := d.hashReq("c:1")
-	c := d.hashReq("c:2")
+	a := fnv64a([]byte("c:1"))
+	b := fnv64a([]byte("c:1"))
+	c := fnv64a([]byte("c:2"))
 	if a != b {
-		t.Error("hashReq not deterministic")
+		t.Error("fnv64a not deterministic")
 	}
 	if a == c {
-		t.Error("hashReq collides on adjacent ids")
+		t.Error("fnv64a collides on adjacent ids")
 	}
 }
 

@@ -10,15 +10,45 @@ import (
 
 // ServiceInfo describes one replicated service known to the deployment.
 type ServiceInfo struct {
-	// Name uniquely identifies the service across the deployment.
+	// Name uniquely identifies the service across the deployment. Names
+	// must not contain "#", which is reserved for shard group names.
 	Name string
 	// N is the replica count; tolerating f faults requires N = 3f+1.
 	// Unreplicated endpoints use N = 1.
 	N int
+	// Shards splits the service into that many independent voter groups
+	// of N replicas each, with requests routed to exactly one shard by a
+	// deterministic hash of their routing key (see ShardFor). 0 or 1
+	// deploys the paper's single-group configuration. Each shard
+	// individually tolerates f = (N-1)/3 Byzantine replicas.
+	Shards int
 }
 
-// F returns the number of faults the service tolerates.
+// F returns the number of faults the service (each shard, if sharded)
+// tolerates.
 func (s ServiceInfo) F() int { return (s.N - 1) / 3 }
+
+// IsSharded reports whether the service deploys more than one voter
+// group.
+func (s ServiceInfo) IsSharded() bool { return s.Shards > 1 }
+
+// ShardCount returns the number of voter groups the service deploys.
+func (s ServiceInfo) ShardCount() int {
+	if s.Shards > 1 {
+		return s.Shards
+	}
+	return 1
+}
+
+// Shard returns the concrete group descriptor of shard k: the
+// ServiceInfo under which the shard's replicas are deployed and
+// addressed. An unsharded service is its own (only) shard.
+func (s ServiceInfo) Shard(k int) ServiceInfo {
+	if !s.IsSharded() {
+		return s
+	}
+	return ServiceInfo{Name: ShardGroupName(s.Name, k), N: s.N}
+}
 
 // VoterIDs returns the NodeIDs of the service's voter group.
 func (s ServiceInfo) VoterIDs() []auth.NodeID {
@@ -64,15 +94,21 @@ func (r *Registry) Add(s ServiceInfo) {
 	r.services[s.Name] = s
 }
 
-// Lookup resolves a service by name.
+// Lookup resolves a service or shard group by name: "store" yields the
+// declared (possibly sharded) service; "store#2" yields the concrete
+// group descriptor of its third shard.
 func (r *Registry) Lookup(name string) (ServiceInfo, error) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	s, ok := r.services[name]
-	if !ok {
-		return ServiceInfo{}, fmt.Errorf("perpetual: unknown service %q", name)
+	if s, ok := r.services[name]; ok {
+		return s, nil
 	}
-	return s, nil
+	if base, k, ok := splitShardGroupName(name); ok {
+		if s, found := r.services[base]; found && s.IsSharded() && k < s.Shards {
+			return s.Shard(k), nil
+		}
+	}
+	return ServiceInfo{}, fmt.Errorf("perpetual: unknown service %q", name)
 }
 
 // Services returns all registered services sorted by name.
@@ -87,15 +123,29 @@ func (r *Registry) Services() []ServiceInfo {
 	return out
 }
 
-// AllPrincipals returns every voter and driver NodeID in the deployment,
-// used to provision pairwise MAC keys.
-func (r *Registry) AllPrincipals() []auth.NodeID {
+// Groups returns every concrete replica group of the deployment sorted
+// by name: one per unsharded service plus one per shard of each sharded
+// service. This is what Deployment.Build materializes.
+func (r *Registry) Groups() []ServiceInfo {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	var out []auth.NodeID
+	var out []ServiceInfo
 	for _, s := range r.services {
-		out = append(out, s.VoterIDs()...)
-		out = append(out, s.DriverIDs()...)
+		for k := 0; k < s.ShardCount(); k++ {
+			out = append(out, s.Shard(k))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// AllPrincipals returns every voter and driver NodeID in the deployment
+// (every shard of every service), used to provision pairwise MAC keys.
+func (r *Registry) AllPrincipals() []auth.NodeID {
+	var out []auth.NodeID
+	for _, g := range r.Groups() {
+		out = append(out, g.VoterIDs()...)
+		out = append(out, g.DriverIDs()...)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
 	return out

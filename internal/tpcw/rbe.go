@@ -88,11 +88,11 @@ type RBEConfig struct {
 	Seed int64
 }
 
-// RBEFleet drives a Bookstore with emulated browsers and measures WIPS
+// RBEFleet drives a Storefront with emulated browsers and measures WIPS
 // (web interactions per second), the TPC-W figure of merit.
 type RBEFleet struct {
 	cfg   RBEConfig
-	store *Bookstore
+	store Storefront
 
 	interactions atomic.Uint64
 	errors       atomic.Uint64
@@ -102,7 +102,7 @@ type RBEFleet struct {
 }
 
 // NewRBEFleet creates a fleet over the store.
-func NewRBEFleet(cfg RBEConfig, store *Bookstore) *RBEFleet {
+func NewRBEFleet(cfg RBEConfig, store Storefront) *RBEFleet {
 	if cfg.Count <= 0 {
 		cfg.Count = 1
 	}
@@ -155,7 +155,7 @@ func (f *RBEFleet) MeasureWIPS(d time.Duration) float64 {
 func (f *RBEFleet) browser(id int) {
 	defer f.wg.Done()
 	rng := rand.New(rand.NewSource(f.cfg.Seed + int64(id)*2654435761))
-	s := &Session{CustomerID: id % f.store.DB().Customers()}
+	s := &Session{CustomerID: id % f.store.Customers()}
 	for {
 		select {
 		case <-f.stop:

@@ -56,6 +56,14 @@ func (f PaymentAuthorizerFunc) Authorize(card string, amountCts int64) (bool, st
 	return f(card, amountCts)
 }
 
+// Storefront is the RBE-facing surface of the bookstore: either the
+// in-process Bookstore or a StoreClient invoking a replicated (possibly
+// customer-sharded) store service through Perpetual-WS.
+type Storefront interface {
+	Execute(i Interaction, s *Session, arg int) (Page, error)
+	Customers() int
+}
+
 // Bookstore serves the twelve TPC-W interactions over the in-memory DB,
 // calling the payment tier on buy confirmations. It is safe for
 // concurrent use by many RBEs.
@@ -74,6 +82,9 @@ func NewBookstore(db *DB, pay PaymentAuthorizer) *Bookstore {
 
 // DB exposes the underlying database.
 func (b *Bookstore) DB() *DB { return b.db }
+
+// Customers implements Storefront.
+func (b *Bookstore) Customers() int { return b.db.Customers() }
 
 // Page is a rendered interaction result; Size approximates the page
 // weight the servlet implementation would emit.

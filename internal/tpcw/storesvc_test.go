@@ -1,0 +1,119 @@
+package tpcw
+
+import (
+	"testing"
+	"time"
+
+	"perpetualws/internal/core"
+	"perpetualws/internal/perpetual"
+)
+
+func TestInteractionCodecRoundTrip(t *testing.T) {
+	body := EncodeInteraction(17, BuyConfirm, 42)
+	cust, kind, arg, err := DecodeInteraction(body)
+	if err != nil || cust != 17 || kind != BuyConfirm || arg != 42 {
+		t.Fatalf("round trip = (%d, %v, %d, %v)", cust, kind, arg, err)
+	}
+	page, err := DecodePage(EncodePage(Page{Interaction: Home, Size: 4000, Detail: "home"}))
+	if err != nil || page.Interaction != Home || page.Size != 4000 || page.Detail != "home" {
+		t.Fatalf("page round trip = (%+v, %v)", page, err)
+	}
+	if _, _, _, err := DecodeInteraction([]byte("<interaction kind=\"99\"/>")); err == nil {
+		t.Error("decoded out-of-range interaction kind")
+	}
+}
+
+// newShardedStoreCluster deploys client -> store (shards × n replicas)
+// with local payment authorization.
+func newShardedStoreCluster(t *testing.T, n, shards int) (*core.Cluster, *StoreClient) {
+	t.Helper()
+	cluster, err := core.NewCluster([]byte("tpcw-shard-test"),
+		core.ServiceDef{Name: "client", N: 1, Options: fastOpts()},
+		core.ServiceDef{
+			Name: "store", N: n, Shards: shards,
+			App:     StoreApp(StoreConfig{Items: 100, Customers: 64}),
+			Options: fastOpts(),
+		},
+	)
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	cluster.Start()
+	t.Cleanup(cluster.Stop)
+	client := &StoreClient{
+		Handler:      cluster.Handler("client", 0),
+		Service:      "store",
+		NumCustomers: 64,
+	}
+	return cluster, client
+}
+
+func TestShardedStoreServesAllShards(t *testing.T) {
+	const shards = 2
+	_, client := newShardedStoreCluster(t, 1, shards)
+	served := make(map[int]bool)
+	for cust := 0; cust < 8; cust++ {
+		s := &Session{CustomerID: cust}
+		page, err := client.Execute(Home, s, 0)
+		if err != nil {
+			t.Fatalf("Home for customer %d: %v", cust, err)
+		}
+		if page.Interaction != Home || page.Size == 0 {
+			t.Errorf("customer %d: page %+v", cust, page)
+		}
+		served[perpetual.ShardFor([]byte(CustomerKey(cust)), shards)] = true
+	}
+	if len(served) != shards {
+		t.Errorf("8 customers exercised %d shards, want %d", len(served), shards)
+	}
+}
+
+func TestShardedStoreCartStaysOnCustomerShard(t *testing.T) {
+	// A customer's cart must survive across interactions: add to cart,
+	// then buy — both must land on the same shard for the order to see
+	// the cart. Run the full flow for customers on every shard.
+	_, client := newShardedStoreCluster(t, 1, 4)
+	for cust := 0; cust < 8; cust++ {
+		s := &Session{CustomerID: cust}
+		if _, err := client.Execute(ProductDetail, s, cust*3+1); err != nil {
+			t.Fatalf("ProductDetail for %d: %v", cust, err)
+		}
+		if _, err := client.Execute(ShoppingCart, s, 1); err != nil {
+			t.Fatalf("ShoppingCart for %d: %v", cust, err)
+		}
+		page, err := client.Execute(BuyConfirm, s, 0)
+		if err != nil {
+			t.Fatalf("BuyConfirm for %d: %v", cust, err)
+		}
+		if page.Detail != "approved" && page.Detail != "declined" {
+			t.Errorf("customer %d: buy confirm outcome %q", cust, page.Detail)
+		}
+	}
+}
+
+func TestShardedStoreWithReplicatedShards(t *testing.T) {
+	// Shards of N=4: each shard is a full BFT group; the page flow still
+	// works end to end.
+	_, client := newShardedStoreCluster(t, 4, 2)
+	s := &Session{CustomerID: 5}
+	if _, err := client.Execute(Home, s, 0); err != nil {
+		t.Fatalf("Home: %v", err)
+	}
+	if _, err := client.Execute(BestSellers, s, 2); err != nil {
+		t.Fatalf("BestSellers: %v", err)
+	}
+}
+
+func TestRBEFleetOverShardedStore(t *testing.T) {
+	// The RBE fleet (the paper's load generator) drives the sharded
+	// store through the Storefront seam.
+	_, client := newShardedStoreCluster(t, 1, 2)
+	fleet := NewRBEFleet(RBEConfig{Count: 4, ThinkTime: time.Millisecond, Seed: 9}, client)
+	wips := fleet.MeasureWIPS(400 * time.Millisecond)
+	if fleet.Errors() > 0 {
+		t.Errorf("fleet saw %d errors", fleet.Errors())
+	}
+	if wips <= 0 {
+		t.Errorf("WIPS = %v, want > 0", wips)
+	}
+}
