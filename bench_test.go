@@ -184,6 +184,38 @@ func BenchmarkShardScalability(b *testing.B) {
 	}
 }
 
+// BenchmarkCrossShardTxn compares the cross-shard atomic transaction
+// (CallTxn: per-shard PREPARE, agreed decision, outcome fan-out) with
+// the single-shard keyed call it generalizes. A two-participant
+// transaction costs ~5 agreed rounds against the baseline's 1, so the
+// reported ratio is the price of atomicity — the interesting result is
+// that it stays a small constant factor rather than growing with load,
+// because every round rides the same pipelined agreement path.
+func BenchmarkCrossShardTxn(b *testing.B) {
+	for _, cfg := range []struct {
+		name string
+		c    bench.TxnConfig
+	}{
+		{"shards=2/n=1", bench.TxnConfig{Shards: 2, N: 1, Calls: 100}},
+		{"shards=2/n=4", bench.TxnConfig{Shards: 2, N: 4, Calls: 60}},
+	} {
+		cfg := cfg
+		b.Run(cfg.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				base, txns, err := bench.MeasureCrossShardTxn(cfg.c)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(base, "baseline-req/s")
+				b.ReportMetric(txns, "txn/s")
+				if txns > 0 {
+					b.ReportMetric(base/txns, "x-overhead")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkSyncCall measures one synchronous replicated call end to end
 // (1x1 and 4x4), the unit underlying Figures 7-9.
 func BenchmarkSyncCall(b *testing.B) {

@@ -10,6 +10,7 @@
 //	perpetualctl fig8 [-quick] [-calls 200] [-runs 3]
 //	perpetualctl fig9 [-quick] [-calls 300] [-runs 3]
 //	perpetualctl shards [-quick] [-n 4] [-calls 1920] [-measure 3s]
+//	perpetualctl txn [-quick] [-n 4] [-calls 200]
 //	perpetualctl all  [-quick]
 //
 // -quick shrinks the parameter grids so a full pass finishes in a couple
@@ -51,6 +52,8 @@ func main() {
 		err = runFig9(args)
 	case "shards":
 		err = runShards(args)
+	case "txn":
+		err = runTxn(args)
 	case "all":
 		for _, sub := range []func([]string) error{runFig7, runFig8, runFig9, runFig6} {
 			if err = sub(args); err != nil {
@@ -68,13 +71,14 @@ func main() {
 }
 
 func usage(w io.Writer) {
-	fmt.Fprintln(w, `usage: perpetualctl <properties|fig6|fig7|fig8|fig9|shards|all> [flags]
+	fmt.Fprintln(w, `usage: perpetualctl <properties|fig6|fig7|fig8|fig9|shards|txn|all> [flags]
   properties  print the paper's Figure 2 property matrix
   fig6        TPC-W WIPS vs RBE count (payment-tier replication sweep)
   fig7        replica scalability, null requests
   fig8        effect of non-zero processing time
   fig9        effect of asynchronous messaging
   shards      aggregate throughput vs shard count (sharded services)
+  txn         cross-shard atomic transactions vs single-shard baseline
   all         fig7, fig8, fig9, then fig6
 common flags: -quick (reduced grids), plus per-figure tuning flags`)
 }
@@ -99,6 +103,32 @@ func runShards(args []string) error {
 	rows, err := bench.RunShardScalability(counts, *n, *calls, *measure)
 	for _, row := range rows {
 		fmt.Printf("%-8d %14.0f %14.0f %10.0f\n", row.Shards, row.NullTput, row.ProcTput, row.StoreWIPS)
+	}
+	return err
+}
+
+func runTxn(args []string) error {
+	fs := flag.NewFlagSet("txn", flag.ExitOnError)
+	quick := fs.Bool("quick", false, "reduced grid")
+	n := fs.Int("n", 4, "replicas per shard group (N = 3f+1)")
+	calls := fs.Int("calls", 200, "operations per cell per workload")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	counts := []int{2, 4, 8}
+	if *quick {
+		counts = []int{2, 4}
+		*calls = 60
+	}
+	fmt.Println("running cross-shard transaction sweep...")
+	fmt.Printf("%-8s %16s %10s %12s\n", "shards", "baseline (req/s)", "txn/s", "overhead")
+	rows, err := bench.RunTxnScalability(counts, *n, *calls)
+	for _, row := range rows {
+		overhead := 0.0
+		if row.Txns > 0 {
+			overhead = row.Baseline / row.Txns
+		}
+		fmt.Printf("%-8d %16.0f %10.0f %11.1fx\n", row.Shards, row.Baseline, row.Txns, overhead)
 	}
 	return err
 }

@@ -23,9 +23,13 @@ import (
 
 // kvApp is a deterministic replicated key-value store. Each shard's
 // replicas hold only the keys routed to that shard, so the four groups
-// together form one horizontally partitioned service.
+// together form one horizontally partitioned service. Puts arriving as
+// cross-shard transaction PREPAREs are staged and only applied when the
+// coordinator's agreed COMMIT arrives, so multi-key writes spanning
+// shards are atomic.
 var kvApp = core.ApplicationFunc(func(ctx *core.AppContext) {
 	store := make(map[string]string)
+	staged := make(map[string][][2]string) // txn id -> prepared puts
 	for {
 		req, err := ctx.ReceiveRequest()
 		if err != nil {
@@ -33,9 +37,28 @@ var kvApp = core.ApplicationFunc(func(ctx *core.AppContext) {
 		}
 		reply := wsengine.NewMessageContext()
 		body := string(req.Envelope.Body)
+		_, genuineOutcome := req.Property(core.PropTxnOutcome)
+		if txnID, commit, ok := core.DecodeTxnOutcome(req.Envelope.Body); ok && genuineOutcome {
+			if commit {
+				for _, kv := range staged[txnID] {
+					store[kv[0]] = kv[1]
+				}
+			}
+			delete(staged, txnID)
+			reply.Envelope.Body = []byte(fmt.Sprintf("<ack shard=%q/>", ctx.ServiceName))
+			if err := ctx.SendReply(reply, req); err != nil {
+				return
+			}
+			continue
+		}
 		switch {
 		case strings.HasPrefix(body, "put:"):
 			kv := strings.SplitN(strings.TrimPrefix(body, "put:"), "=", 2)
+			if txnID, inTxn := req.Property(core.PropTxnID); inTxn {
+				staged[txnID.(string)] = append(staged[txnID.(string)], [2]string{kv[0], kv[1]})
+				reply.Envelope.Body = []byte(fmt.Sprintf("<staged shard=%q/>", ctx.ServiceName))
+				break
+			}
 			store[kv[0]] = kv[1]
 			reply.Envelope.Body = []byte(fmt.Sprintf("<ok shard=%q/>", ctx.ServiceName))
 		case strings.HasPrefix(body, "get:"):
@@ -116,6 +139,33 @@ func main() {
 		total += n
 	}
 	fmt.Printf("total keys across shards: %d\n", total)
+
+	// Cross-shard atomic transaction: two keys on two different voter
+	// groups are written together or not at all. The client service's
+	// own voter group acts as the replicated 2PC coordinator: each
+	// shard's vote is a BFT-agreed reply and the commit decision is
+	// agreed in the client group's CLBFT log.
+	fmt.Println("== atomic cross-shard put (2PC over voter groups) ==")
+	ts := h.(core.TxnSender)
+	// Pick two of the demo keys living on different voter groups.
+	a, b := "user-0", "user-1"
+	for i := 1; i < 16; i++ {
+		b = fmt.Sprintf("user-%d", i)
+		if perpetual.ShardFor([]byte(b), shards) != perpetual.ShardFor([]byte(a), shards) {
+			break
+		}
+	}
+	res, err := ts.SendTxn("kv", []string{a, b},
+		[][]byte{[]byte("put:" + a + "=paid"), []byte("put:" + b + "=paid")}, 5000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("txn %s committed=%v across shards %d and %d\n",
+		res.TxnID, res.Committed,
+		perpetual.ShardFor([]byte(a), shards), perpetual.ShardFor([]byte(b), shards))
+	for _, key := range []string{a, b} {
+		fmt.Printf("get %s -> %s\n", key, call(key, "get:"+key))
+	}
 }
 
 func tuning() perpetual.ServiceOptions {

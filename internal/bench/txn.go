@@ -1,0 +1,198 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"perpetualws/internal/perpetual"
+)
+
+// Cross-shard transaction cost: a CallTxn is two agreed round trips per
+// participant shard (PREPARE and COMMIT/ABORT) plus one agreement in
+// the coordinator's own group for the decision, so a two-shard
+// transaction costs roughly 5 agreements against the single agreed
+// round trip of a plain keyed call. MeasureCrossShardTxn quantifies
+// that multiple so the sweep (perpetualctl txn) shows what atomicity
+// buys and costs at each shard count.
+
+// TxnConfig parameterizes one cross-shard transaction cell.
+type TxnConfig struct {
+	// Shards is the participant service's shard count (each key pair of
+	// a transaction lands on two distinct shards when Shards > 1).
+	Shards int
+	// N is the replica count per group.
+	N int
+	// Calls is the number of measured operations per workload.
+	Calls int
+}
+
+func (c *TxnConfig) defaults() {
+	if c.Shards <= 0 {
+		c.Shards = 2
+	}
+	if c.N <= 0 {
+		c.N = 1
+	}
+	if c.Calls <= 0 {
+		c.Calls = 100
+	}
+}
+
+// txnParticipantApp runs a staging executor on every replica of every
+// shard: PREPAREs stage their payload and vote commit, COMMIT applies,
+// ordinary requests echo (the single-shard baseline).
+func txnParticipantApp(dep *perpetual.Deployment, service string) error {
+	svc, err := dep.Registry.Lookup(service)
+	if err != nil {
+		return err
+	}
+	for k := 0; k < svc.ShardCount(); k++ {
+		for _, drv := range dep.ShardDrivers(service, k) {
+			drv := drv
+			go func() {
+				staged := make(map[string]int)
+				applied := 0
+				for {
+					req, err := drv.NextRequest()
+					if err != nil {
+						return
+					}
+					f, ok := perpetual.DecodeTxnFrameFrom(req)
+					if !ok {
+						if err := drv.Reply(req, req.Payload); err != nil {
+							return
+						}
+						continue
+					}
+					var reply []byte
+					switch f.Phase {
+					case perpetual.TxnPrepare:
+						staged[f.TxnID]++
+						reply = perpetual.EncodeTxnVote(f, true, nil)
+					case perpetual.TxnCommit:
+						applied += staged[f.TxnID]
+						delete(staged, f.TxnID)
+						reply = perpetual.EncodeTxnVote(f, true, nil)
+					case perpetual.TxnAbort:
+						delete(staged, f.TxnID)
+						reply = perpetual.EncodeTxnVote(f, true, nil)
+					}
+					if err := drv.Reply(req, reply); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}
+	return nil
+}
+
+// shardPinnedKeys returns one routing key per shard of the target.
+func shardPinnedKeys(shards int) [][]byte {
+	keys := make([][]byte, shards)
+	for k := range keys {
+		for i := 0; ; i++ {
+			cand := []byte(fmt.Sprintf("txn-bench-%d-%d", k, i))
+			if perpetual.ShardFor(cand, shards) == k {
+				keys[k] = cand
+				break
+			}
+		}
+	}
+	return keys
+}
+
+// MeasureCrossShardTxn measures two workloads against one deployment:
+// the plain single-shard keyed call (the baseline every other figure
+// uses) and the two-key cross-shard atomic transaction, pairing
+// adjacent shards. Both are synchronous round trips from one
+// coordinator driver, so the returned rates divide into the atomicity
+// overhead factor directly.
+func MeasureCrossShardTxn(cfg TxnConfig) (baselineReqsPerSec, txnsPerSec float64, err error) {
+	cfg.defaults()
+	dep := perpetual.NewDeployment([]byte("bench-txn"),
+		perpetual.ServiceInfo{Name: "coord", N: 1},
+		perpetual.ServiceInfo{Name: "part", N: cfg.N, Shards: cfg.Shards},
+	)
+	dep.Configure("coord", benchOpts())
+	dep.Configure("part", benchOpts())
+	if err := dep.Build(); err != nil {
+		return 0, 0, err
+	}
+	dep.Start()
+	defer dep.Stop()
+	if err := txnParticipantApp(dep, "part"); err != nil {
+		return 0, 0, err
+	}
+	drv := dep.Driver("coord", 0)
+	keys := shardPinnedKeys(cfg.Shards)
+	payload := []byte("op")
+
+	// Warm both paths (first agreement per group is slow), then measure.
+	if _, err := drv.CallKey("part", keys[0], payload, 0); err != nil {
+		return 0, 0, err
+	}
+	if r, err := drv.NextReply(); err != nil || r.Aborted {
+		return 0, 0, fmt.Errorf("bench: warm call failed: %+v, %v", r, err)
+	}
+	if res, err := warmTxn(drv, keys); err != nil || !res.Committed {
+		return 0, 0, fmt.Errorf("bench: warm txn failed: %+v, %v", res, err)
+	}
+
+	start := time.Now()
+	for i := 0; i < cfg.Calls; i++ {
+		id, err := drv.CallKey("part", keys[i%cfg.Shards], payload, 0)
+		if err != nil {
+			return 0, 0, err
+		}
+		if r, err := drv.WaitReply(id); err != nil || r.Aborted {
+			return 0, 0, fmt.Errorf("bench: baseline call %d failed: %+v, %v", i, r, err)
+		}
+	}
+	baselineReqsPerSec = Throughput(cfg.Calls, time.Since(start))
+
+	start = time.Now()
+	for i := 0; i < cfg.Calls; i++ {
+		a := keys[i%cfg.Shards]
+		b := keys[(i+1)%cfg.Shards]
+		res, err := drv.CallTxn("part", [][]byte{a, b}, [][]byte{payload, payload}, 0)
+		if err != nil {
+			return 0, 0, err
+		}
+		if !res.Committed {
+			return 0, 0, fmt.Errorf("bench: txn %d aborted: %+v", i, res)
+		}
+	}
+	txnsPerSec = Throughput(cfg.Calls, time.Since(start))
+	return baselineReqsPerSec, txnsPerSec, nil
+}
+
+func warmTxn(drv *perpetual.Driver, keys [][]byte) (*perpetual.TxnResult, error) {
+	a := keys[0]
+	b := keys[len(keys)-1]
+	return drv.CallTxn("part", [][]byte{a, b}, [][]byte{[]byte("warm"), []byte("warm")}, 0)
+}
+
+// TxnScalabilityRow is one cell of the transaction sweep.
+type TxnScalabilityRow struct {
+	Shards   int
+	Baseline float64 // single-shard keyed calls/sec
+	Txns     float64 // two-shard transactions/sec
+}
+
+// RunTxnScalability sweeps shard counts over the transaction workload
+// (used by perpetualctl txn).
+func RunTxnScalability(shardCounts []int, n, calls int) ([]TxnScalabilityRow, error) {
+	if len(shardCounts) == 0 {
+		shardCounts = []int{2, 4}
+	}
+	rows := make([]TxnScalabilityRow, 0, len(shardCounts))
+	for _, s := range shardCounts {
+		base, txns, err := MeasureCrossShardTxn(TxnConfig{Shards: s, N: n, Calls: calls})
+		if err != nil {
+			return rows, fmt.Errorf("bench: txn sweep cell shards=%d: %w", s, err)
+		}
+		rows = append(rows, TxnScalabilityRow{Shards: s, Baseline: base, Txns: txns})
+	}
+	return rows, nil
+}

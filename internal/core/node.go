@@ -133,13 +133,60 @@ func (n *Node) eventPump() {
 }
 
 func (n *Node) pumpRequest(preq perpetual.IncomingRequest) {
-	env, err := soap.Parse(preq.Payload)
+	payload := preq.Payload
+	var txnID string
+	if _, isFrame := perpetual.DecodeTxnFrame(payload); isFrame {
+		// Only a transaction's own coordinator may drive its phases:
+		// DecodeTxnFrameFrom checks the frame's TxnID was minted by the
+		// (transport-authenticated) calling service, so no third party
+		// can forge the COMMIT/ABORT of someone else's transaction.
+		f, ok := perpetual.DecodeTxnFrameFrom(preq)
+		if !ok {
+			n.logf("agreed request %s carries a txn frame not owned by caller %s", preq.ReqID, preq.Caller)
+			return
+		}
+		switch f.Phase {
+		case perpetual.TxnPrepare:
+			// The PREPARE's inner envelope becomes an ordinary-looking
+			// request tagged with the transaction id; the application's
+			// reply (fault = abort) is its vote.
+			payload, txnID = f.Payload, f.TxnID
+		default:
+			// COMMIT/ABORT: synthesize the outcome request the
+			// application consumes to apply or release its prepared
+			// state. The acknowledgement reply routes back normally.
+			mc := wsengine.NewMessageContext()
+			mc.Envelope = soap.Envelope{
+				Header: soap.Header{
+					MessageID: "txn-outcome:" + preq.ReqID,
+					Action:    ActionTxnOutcome,
+					ReplyTo:   &soap.EndpointReference{Address: soap.ServiceURI(preq.Caller)},
+				},
+				Body: TxnOutcomeBody(f.TxnID, f.Phase == perpetual.TxnCommit),
+			}
+			// PropTxnOutcome marks the context as a genuine agreed
+			// outcome; applications must require it before acting on a
+			// txnOutcome body, since any client could send a lookalike
+			// body as an ordinary request.
+			mc.SetProperty(PropTxnOutcome, true)
+			mc.SetProperty(propInKind, inKindRequest)
+			mc.SetProperty(propInReq, preq)
+			if err := n.engine.ReceiveIn(mc); err != nil {
+				n.logf("IN-PIPE rejected txn outcome %s: %v", preq.ReqID, err)
+			}
+			return
+		}
+	}
+	env, err := soap.Parse(payload)
 	if err != nil {
 		n.logf("agreed request %s has malformed envelope: %v", preq.ReqID, err)
 		return
 	}
 	mc := wsengine.NewMessageContext()
 	mc.Envelope = *env
+	if txnID != "" {
+		mc.SetProperty(PropTxnID, txnID)
+	}
 	mc.SetProperty(propInKind, inKindRequest)
 	mc.SetProperty(propInReq, preq)
 	if err := n.engine.ReceiveIn(mc); err != nil {
@@ -205,6 +252,21 @@ func (s *perpetualSender) Send(mc *wsengine.MessageContext) error {
 			payload, err := mc.Envelope.Marshal()
 			if err != nil {
 				return fmt.Errorf("perpetualws: marshal reply: %w", err)
+			}
+			if f, isTxn := perpetual.DecodeTxnFrame(preq.Payload); isTxn {
+				// Replies to transaction requests carry the vote wrapper
+				// the coordinator's decision protocol consumes: a SOAP
+				// fault answering a PREPARE is an abort vote; outcome
+				// acknowledgements always "vote" commit. The wrapper
+				// echoes the frame's TxnID and participant set, turning
+				// the f_t+1-endorsed reply into a certificate for
+				// exactly this transaction.
+				commit := true
+				if f.Phase == perpetual.TxnPrepare {
+					_, isFault := soap.IsFault(mc.Envelope.Body)
+					commit = !isFault
+				}
+				payload = perpetual.EncodeTxnVote(f, commit, payload)
 			}
 			return drv.Reply(preq, payload)
 		}

@@ -77,15 +77,25 @@ type Driver struct {
 
 	reqSeq  uint64
 	utilSeq uint64
+	txnSeq  uint64
 
 	// events is the merged agreed-order queue; all blocking accessors
 	// consume from it, so mixed consumption (NextRequest on one code
 	// path, WaitReply on another) stays coherent and deterministic.
-	events    []Event
-	replySeen map[string]struct{} // reply ids queued or consumed (dedup)
+	events []Event
+	// replySeen deduplicates reply ids queued or consumed. FIFO eviction
+	// (like the voter's delivered cache) only ever reopens the window
+	// for the oldest ids, never for every in-flight request at once.
+	replySeen *boundedCache[struct{}]
 
 	outstanding map[string]*outstandingReq
 	utils       map[uint64]int64
+
+	// txnReplies and txnDecided feed CallTxn: replies to transaction
+	// requests bypass the application event queue (see deliverReply),
+	// and agreed OpTxnDecision outcomes land here.
+	txnReplies *boundedCache[txnReply]
+	txnDecided *boundedCache[bool]
 }
 
 // outstandingReq tracks a request this driver issued and is awaiting.
@@ -97,7 +107,21 @@ type outstandingReq struct {
 	timeout   time.Duration
 	retryTmr  *time.Timer
 	abortTmr  *time.Timer
+	// txn marks a 2PC protocol request (see txn.go): its agreed reply is
+	// routed to the txn wait table instead of the event queue, with the
+	// reply bundle's shares retained as the vote certificate.
+	txn bool
 }
+
+// txnReply is the agreed outcome of a transaction request, with the
+// endorsement shares retained for the coordinator's decision proposal.
+type txnReply struct {
+	reply  Reply
+	bundle *ReplyBundle // nil for aborts
+}
+
+// replySeenCacheSize bounds the driver's reply dedup window.
+const replySeenCacheSize = 4 * deliveredCacheSize
 
 func newDriver(svc ServiceInfo, index int, reg *Registry, adapter *transport.ChannelAdapter, ks *auth.KeyStore, v *voter, logger *log.Logger) *Driver {
 	d := &Driver{
@@ -109,9 +133,11 @@ func newDriver(svc ServiceInfo, index int, reg *Registry, adapter *transport.Cha
 		voter:              v,
 		logger:             logger,
 		retransmitInterval: DefaultRetransmitInterval,
-		replySeen:          make(map[string]struct{}),
+		replySeen:          newBoundedCache[struct{}](replySeenCacheSize),
 		outstanding:        make(map[string]*outstandingReq),
 		utils:              make(map[uint64]int64),
+		txnReplies:         newBoundedCache[txnReply](inFlightCacheSize),
+		txnDecided:         newBoundedCache[bool](sharesCacheSize),
 	}
 	d.cond = sync.NewCond(&d.mu)
 	return d
@@ -198,32 +224,41 @@ func (d *Driver) CallKey(target string, key, payload []byte, timeout time.Durati
 		}
 		tinfo = tinfo.Shard(ShardFor(key, tinfo.Shards))
 	}
-	return d.call(tinfo, payload, timeout)
+	return d.call(tinfo, payload, timeout, false)
 }
 
 // CallAllShards fans a broadcast-style request out to every shard of a
 // sharded target (one independent request per shard, in shard order) and
 // returns the per-shard request IDs. On an unsharded target it degrades
 // to a single Call. The caller collects replies with WaitReply per ID;
-// aggregation across shards is application policy.
+// aggregation across shards is application policy; fan-outs that must
+// succeed or fail together belong in CallTxn instead.
+//
+// A mid-fan-out error settles the already-issued requests with
+// deterministic aborts (every replica fails the same shard the same
+// way), so no request is left outstanding with timers running.
 func (d *Driver) CallAllShards(target string, payload []byte, timeout time.Duration) ([]string, error) {
 	tinfo, err := d.registry.Lookup(target)
 	if err != nil {
 		return nil, err
 	}
-	ids := make([]string, tinfo.ShardCount())
-	for k := range ids {
-		id, err := d.call(tinfo.Shard(k), payload, timeout)
+	ids := make([]string, 0, tinfo.ShardCount())
+	for k := 0; k < tinfo.ShardCount(); k++ {
+		id, err := d.call(tinfo.Shard(k), payload, timeout, false)
 		if err != nil {
-			return ids[:k], err
+			for _, issued := range ids {
+				d.voter.requestAbort(issued)
+			}
+			return nil, err
 		}
-		ids[k] = id
+		ids = append(ids, id)
 	}
 	return ids, nil
 }
 
-// call issues a request to one concrete replica group.
-func (d *Driver) call(tinfo ServiceInfo, payload []byte, timeout time.Duration) (string, error) {
+// call issues a request to one concrete replica group. txn marks a 2PC
+// protocol request whose reply is routed to the transaction wait table.
+func (d *Driver) call(tinfo ServiceInfo, payload []byte, timeout time.Duration, txn bool) (string, error) {
 	target := tinfo.Name
 	d.mu.Lock()
 	if d.closed {
@@ -239,12 +274,18 @@ func (d *Driver) call(tinfo ServiceInfo, payload []byte, timeout time.Duration) 
 		payload:   payload,
 		responder: responder,
 		timeout:   timeout,
+		txn:       txn,
 	}
 	d.outstanding[reqID] = o
 	d.mu.Unlock()
 
 	req, err := d.buildRequest(reqID, tinfo, payload, responder, 0)
 	if err != nil {
+		// The entry has no timers yet; without this removal it would
+		// never be reaped and Outstanding() would over-count forever.
+		d.mu.Lock()
+		delete(d.outstanding, reqID)
+		d.mu.Unlock()
 		return "", err
 	}
 	// First attempt goes to the believed primary (index 0 in the common
@@ -334,19 +375,21 @@ func (d *Driver) deliverRequest(r IncomingRequest) {
 	d.cond.Broadcast()
 }
 
-// deliverReply records an agreed reply or abort (stage 9).
-func (d *Driver) deliverReply(r Reply) {
+// deliverReply records an agreed reply or abort (stage 9). shares
+// carries the agreed reply bundle's endorsements, retained as the vote
+// certificate when the request belongs to a transaction.
+func (d *Driver) deliverReply(r Reply, shares []Share) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.closed {
 		return
 	}
-	if _, dup := d.replySeen[r.ReqID]; dup {
+	if d.replySeen.Contains(r.ReqID) {
 		return
 	}
-	d.replySeen[r.ReqID] = struct{}{}
-	d.trimReplySeen()
-	if o, ok := d.outstanding[r.ReqID]; ok {
+	d.replySeen.Put(r.ReqID, struct{}{})
+	o, ok := d.outstanding[r.ReqID]
+	if ok {
 		if o.retryTmr != nil {
 			o.retryTmr.Stop()
 		}
@@ -354,6 +397,17 @@ func (d *Driver) deliverReply(r Reply) {
 			o.abortTmr.Stop()
 		}
 		delete(d.outstanding, r.ReqID)
+	}
+	if ok && o.txn {
+		// Transaction replies feed CallTxn, not the application event
+		// queue; agreement order still decided the content.
+		tr := txnReply{reply: r}
+		if !r.Aborted && len(shares) > 0 {
+			tr.bundle = &ReplyBundle{ReqID: r.ReqID, Target: o.target, Payload: r.Payload, Shares: shares}
+		}
+		d.txnReplies.Put(r.ReqID, tr)
+		d.cond.Broadcast()
+		return
 	}
 	d.events = append(d.events, Event{Kind: EventReply, Reply: r})
 	d.cond.Broadcast()
@@ -428,15 +482,6 @@ func (d *Driver) WaitReply(reqID string) (Reply, error) {
 			}
 		}
 		d.cond.Wait()
-	}
-}
-
-// trimReplySeen bounds the reply dedup set.
-func (d *Driver) trimReplySeen() {
-	if len(d.replySeen) > 4*deliveredCacheSize {
-		// The voter-level delivered cache already deduplicates agreed
-		// results; this set only guards the window between queues.
-		d.replySeen = make(map[string]struct{})
 	}
 }
 

@@ -53,6 +53,92 @@ func TestDriverOutstandingDropsOnReply(t *testing.T) {
 	}
 }
 
+func TestCallAuthenticatorFailureLeavesNothingOutstanding(t *testing.T) {
+	// Regression: `call` registers the outstanding entry before building
+	// the authenticated request; a registry entry whose pairwise keys are
+	// missing from this driver's key store makes buildRequest fail, and
+	// the entry used to leak forever (no timers, never reaped).
+	dep := buildPair(t, 1, 1, nil)
+	drv := dep.Driver("c", 0)
+	// "ghost" is registered after key provisioning, so no driver holds
+	// keys for its voters.
+	dep.Registry.Add(ServiceInfo{Name: "ghost", N: 1})
+	if _, err := drv.Call("ghost", []byte("x"), 0); err == nil {
+		t.Fatal("Call to keyless service succeeded")
+	}
+	if got := drv.Outstanding(); got != 0 {
+		t.Errorf("Outstanding after failed Call = %d, want 0", got)
+	}
+}
+
+func TestCallAllShardsAbortsIssuedOnMidFanOutError(t *testing.T) {
+	// Regression: a mid-fan-out error used to return partial IDs and
+	// leave the earlier shards' requests outstanding with retransmit
+	// timers running. Now the issued requests are settled with
+	// deterministic aborts and the error is returned alone.
+	dep := NewDeployment([]byte("fanout-master"),
+		ServiceInfo{Name: "c", N: 1},
+		ServiceInfo{Name: "t", N: 1, Shards: 2},
+	)
+	dep.Configure("c", fastOpts())
+	dep.Configure("t", fastOpts())
+	if err := dep.Build(); err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	dep.Start()
+	t.Cleanup(dep.Stop)
+	// No executor runs on the target, so only the aborts can settle the
+	// issued requests. Grow the registry's shard count past what was
+	// deployed: shard 2 has no provisioned keys and fails buildRequest.
+	dep.Registry.Add(ServiceInfo{Name: "t", N: 1, Shards: 3})
+
+	drv := dep.Driver("c", 0)
+	ids, err := drv.CallAllShards("t", []byte("bcast"), 0)
+	if err == nil {
+		t.Fatal("CallAllShards against keyless shard succeeded")
+	}
+	if ids != nil {
+		t.Errorf("partial ids returned alongside error: %v", ids)
+	}
+	// Both issued requests settle as deterministic aborts.
+	for i := 0; i < 2; i++ {
+		r, err := drv.NextReply()
+		if err != nil {
+			t.Fatalf("NextReply %d: %v", i, err)
+		}
+		if !r.Aborted {
+			t.Errorf("reply %d = %+v, want abort", i, r)
+		}
+	}
+	if got := drv.Outstanding(); got != 0 {
+		t.Errorf("Outstanding after aborted fan-out = %d, want 0", got)
+	}
+}
+
+func TestReplySeenWindowSurvivesOverflow(t *testing.T) {
+	// Regression: the reply dedup set used to be wholesale-reset when it
+	// grew past its bound, reopening the duplicate window for every
+	// in-flight request at once. With FIFO eviction, only the oldest ids
+	// ever leave the window: a recent reply stays deduplicated even
+	// right after the cache turns over its capacity.
+	dep := buildPair(t, 1, 1, nil)
+	drv := dep.Driver("c", 0)
+	for i := 0; i <= replySeenCacheSize; i++ {
+		drv.deliverReply(Reply{ReqID: fmt.Sprintf("c:%d", i)}, nil)
+	}
+	recent := fmt.Sprintf("c:%d", replySeenCacheSize)
+	drv.mu.Lock()
+	before := len(drv.events)
+	drv.mu.Unlock()
+	drv.deliverReply(Reply{ReqID: recent}, nil) // duplicate of the newest id
+	drv.mu.Lock()
+	after := len(drv.events)
+	drv.mu.Unlock()
+	if after != before {
+		t.Errorf("duplicate recent reply re-queued: %d -> %d events", before, after)
+	}
+}
+
 func TestHashReqIsStable(t *testing.T) {
 	a := fnv64a([]byte("c:1"))
 	b := fnv64a([]byte("c:1"))

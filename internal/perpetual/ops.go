@@ -21,6 +21,11 @@ const (
 	OpAbort
 	// OpUtil orders an agreed utility value (clock reading / seed).
 	OpUtil
+	// OpTxnDecision orders the commit/abort decision of a cross-shard
+	// transaction in the coordinator group's log, so every coordinator
+	// replica decides identically (see txn.go). Commit decisions carry
+	// the f_t+1-endorsed per-shard PREPARE votes as certificates.
+	OpTxnDecision
 )
 
 // String returns the name of the op kind.
@@ -34,6 +39,8 @@ func (k OpKind) String() string {
 		return "op-abort"
 	case OpUtil:
 		return "op-util"
+	case OpTxnDecision:
+		return "op-txn-decision"
 	default:
 		return fmt.Sprintf("opkind(%d)", uint8(k))
 	}
@@ -57,6 +64,14 @@ type Op struct {
 	// OpUtil fields.
 	K     uint64
 	Value int64
+
+	// OpTxnDecision fields. TxnVotes carries, for commit decisions, the
+	// verified reply bundle of every PREPARE vote so the agreement
+	// validator can re-check that each participant shard really voted
+	// commit with f_t+1 endorsements.
+	TxnID    string
+	Commit   bool
+	TxnVotes []ReplyBundle
 }
 
 // OpIDs deduplicate proposals within the voter group's CLBFT instance.
@@ -72,6 +87,9 @@ func AbortOpID(reqID string) string { return "abt:" + reqID }
 
 // UtilOpID returns the agreement OpID for utility slot k.
 func UtilOpID(k uint64) string { return fmt.Sprintf("utl:%d", k) }
+
+// TxnOpID returns the agreement OpID for a transaction decision.
+func TxnOpID(txnID string) string { return "txn:" + txnID }
 
 // Encode serializes the operation for submission to CLBFT.
 func (o *Op) Encode() []byte {
@@ -100,6 +118,13 @@ func (o *Op) Encode() []byte {
 	case OpUtil:
 		w.PutUint64(o.K)
 		w.PutInt64(o.Value)
+	case OpTxnDecision:
+		w.PutString(o.TxnID)
+		w.PutBool(o.Commit)
+		w.PutUvarint(uint64(len(o.TxnVotes)))
+		for i := range o.TxnVotes {
+			encodeBundle(w, &o.TxnVotes[i])
+		}
 	}
 	return w.Bytes()
 }
@@ -143,6 +168,19 @@ func DecodeOp(buf []byte) (*Op, error) {
 	case OpUtil:
 		o.K = r.Uint64()
 		o.Value = r.Int64()
+	case OpTxnDecision:
+		o.TxnID = r.String()
+		o.Commit = r.Bool()
+		n := int(r.Uvarint())
+		if n > r.Remaining() {
+			return nil, fmt.Errorf("perpetual: txn decision op with %d votes exceeds input", n)
+		}
+		if n > 0 {
+			o.TxnVotes = make([]ReplyBundle, 0, n)
+		}
+		for i := 0; i < n && r.Err() == nil; i++ {
+			o.TxnVotes = append(o.TxnVotes, *decodeBundle(r))
+		}
 	default:
 		return nil, fmt.Errorf("perpetual: unknown op kind %d", uint8(o.Kind))
 	}

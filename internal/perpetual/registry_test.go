@@ -51,6 +51,64 @@ func TestRegistryLookup(t *testing.T) {
 	}
 }
 
+func TestRegistryLookupShardEdgeCases(t *testing.T) {
+	r := NewRegistry(
+		ServiceInfo{Name: "store", N: 4, Shards: 4},
+		ServiceInfo{Name: "plain", N: 1},
+	)
+	for _, tc := range []struct {
+		name     string
+		ok       bool
+		wantName string
+	}{
+		{"store", true, "store"},
+		{"store#0", true, "store#0"},
+		{"store#3", true, "store#3"},
+		{"store#99", false, ""},       // out of range
+		{"store#-1", false, ""},       // negative index never parses
+		{"store#", false, ""},         // trailing separator
+		{"#2", false, ""},             // empty base
+		{"a#b#2", false, ""},          // nested separator: base "a#b" unknown
+		{"plain#0", false, ""},        // shard of an unsharded service
+		{"store#01", true, "store#1"}, // Atoi accepts leading zero; canonical shard 1
+		{"store#x", false, ""},
+		{"", false, ""},
+	} {
+		got, err := r.Lookup(tc.name)
+		if tc.ok != (err == nil) {
+			t.Errorf("Lookup(%q) err = %v, want ok=%v", tc.name, err, tc.ok)
+			continue
+		}
+		if tc.ok && got.Name != tc.wantName {
+			t.Errorf("Lookup(%q) = %q, want %q", tc.name, got.Name, tc.wantName)
+		}
+	}
+}
+
+func TestSplitShardGroupNameEdgeCases(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		base string
+		k    int
+		ok   bool
+	}{
+		{"a#b#2", "a#b", 2, true}, // splits at the LAST separator
+		{"store#99", "store", 99, true},
+		{"store#-1", "", 0, false},
+		{"store#", "", 0, false},
+		{"#", "", 0, false},
+		{"##", "", 0, false},
+		{"store#1#", "", 0, false},
+		{"store#+1", "store", 1, true}, // Atoi accepts an explicit sign
+	} {
+		base, k, ok := splitShardGroupName(tc.name)
+		if base != tc.base || k != tc.k || ok != tc.ok {
+			t.Errorf("splitShardGroupName(%q) = (%q, %d, %v), want (%q, %d, %v)",
+				tc.name, base, k, ok, tc.base, tc.k, tc.ok)
+		}
+	}
+}
+
 func TestRegistryAllPrincipals(t *testing.T) {
 	r := NewRegistry(ServiceInfo{Name: "a", N: 2}, ServiceInfo{Name: "b", N: 1})
 	ps := r.AllPrincipals()

@@ -1,0 +1,455 @@
+package perpetual
+
+// Cross-shard atomic transactions. PR 1 sharded services into
+// independent CLBFT voter groups, which made multi-key operations
+// non-atomic: CallAllShards issues one independent request per shard
+// with no way to make them succeed or fail together. This file adds a
+// two-phase commit layer in which the *calling service's voter group*
+// is the replicated coordinator, following Zhao's "A Byzantine Fault
+// Tolerant Distributed Commit Protocol": each participant's vote is the
+// shard's BFT-agreed reply to a PREPARE request (f_t+1-endorsed reply
+// bundle), and the coordinator's commit/abort decision is itself agreed
+// as an OpTxnDecision in the coordinator's CLBFT log — so all correct
+// coordinator replicas decide identically and no single coordinator
+// replica is trusted with the decision (the XFT argument for keeping
+// commit inside the replicated groups).
+//
+// Wire framing: PREPARE/COMMIT/ABORT ride the existing request path as
+// TxnFrame-encoded payloads; participants answer PREPAREs with
+// TxnVote-encoded payloads. Both encodings start with a reserved
+// leading NUL byte, so they can never collide with XML/SOAP application
+// payloads (package core unwraps them transparently for SOAP-level
+// applications).
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"time"
+
+	"perpetualws/internal/wire"
+)
+
+// TxnPhase discriminates the three 2PC messages a participant shard
+// receives.
+type TxnPhase uint8
+
+// Transaction phases.
+const (
+	// TxnPrepare asks a participant to validate and reserve the effects
+	// of the carried payload, then vote commit or abort.
+	TxnPrepare TxnPhase = iota + 1
+	// TxnCommit orders a participant to apply every effect it prepared
+	// under the transaction.
+	TxnCommit
+	// TxnAbort orders a participant to release every reservation it
+	// holds under the transaction.
+	TxnAbort
+)
+
+// String names the phase.
+func (p TxnPhase) String() string {
+	switch p {
+	case TxnPrepare:
+		return "prepare"
+	case TxnCommit:
+		return "commit"
+	case TxnAbort:
+		return "abort"
+	default:
+		return fmt.Sprintf("txn-phase(%d)", uint8(p))
+	}
+}
+
+// Frame and vote magics: a leading NUL guarantees no collision with XML
+// application payloads.
+var (
+	txnFrameMagic = []byte{0x00, 'p', 't', 'x', 'n'}
+	txnVoteMagic  = []byte{0x00, 'p', 'v', 't', 'e'}
+)
+
+// TxnFrame is the payload of a 2PC protocol request: a PREPARE carries
+// the application payload destined for the participant shard;
+// COMMIT/ABORT carry only the transaction identity. Participants holds
+// the wire names of every participant shard group of the transaction;
+// it is echoed back inside each vote, which is what lets the
+// coordinator-side agreement validator check that a proposed commit
+// certifies the *complete* participant set of this very transaction.
+type TxnFrame struct {
+	Phase        TxnPhase
+	TxnID        string
+	Participants []string
+	Payload      []byte
+}
+
+// EncodeTxnFrame serializes a transaction protocol frame.
+func EncodeTxnFrame(f *TxnFrame) []byte {
+	w := wire.NewWriter(len(txnFrameMagic) + 24 + len(f.TxnID) + len(f.Payload))
+	for _, b := range txnFrameMagic {
+		w.PutUint8(b)
+	}
+	w.PutUint8(uint8(f.Phase))
+	w.PutString(f.TxnID)
+	w.PutUvarint(uint64(len(f.Participants)))
+	for _, p := range f.Participants {
+		w.PutString(p)
+	}
+	w.PutBytes(f.Payload)
+	return w.Bytes()
+}
+
+// DecodeTxnFrame parses a transaction protocol frame. The second return
+// is false for any non-frame payload (ordinary application bytes).
+func DecodeTxnFrame(buf []byte) (*TxnFrame, bool) {
+	if len(buf) < len(txnFrameMagic) || !bytes.Equal(buf[:len(txnFrameMagic)], txnFrameMagic) {
+		return nil, false
+	}
+	r := wire.NewReader(buf[len(txnFrameMagic):])
+	f := &TxnFrame{Phase: TxnPhase(r.Uint8()), TxnID: r.String()}
+	n := int(r.Uvarint())
+	if n > r.Remaining() {
+		return nil, false
+	}
+	for i := 0; i < n && r.Err() == nil; i++ {
+		f.Participants = append(f.Participants, r.String())
+	}
+	f.Payload = r.BytesCopy()
+	if r.Done() != nil || f.TxnID == "" {
+		return nil, false
+	}
+	switch f.Phase {
+	case TxnPrepare, TxnCommit, TxnAbort:
+		return f, true
+	default:
+		return nil, false
+	}
+}
+
+// DecodeTxnFrameFrom decodes a transaction frame and authenticates its
+// coordinator: CallTxn mints ids of the form "<caller>:txn:<n>", so a
+// frame whose TxnID was not minted by the (transport-authenticated)
+// calling service is rejected. Without this check any service able to
+// reach a shard could forge the COMMIT/ABORT of someone else's
+// transaction and release or apply its prepared state. Participant
+// executors must use this form, not DecodeTxnFrame, on incoming
+// requests.
+func DecodeTxnFrameFrom(req IncomingRequest) (*TxnFrame, bool) {
+	f, ok := DecodeTxnFrame(req.Payload)
+	if !ok || !strings.HasPrefix(f.TxnID, req.Caller+":txn:") {
+		return nil, false
+	}
+	return f, true
+}
+
+// TxnVoteInfo is the decoded wire form of a participant's reply to a
+// transaction request: the vote, the transaction identity it binds to,
+// and an opaque application payload (the participant's rendered result,
+// or the reason it refused).
+type TxnVoteInfo struct {
+	TxnID        string
+	Participants []string
+	Commit       bool
+	Payload      []byte
+}
+
+// EncodeTxnVote serializes a participant's reply to a transaction
+// request. The frame is the request being answered: echoing its TxnID
+// and participant set into the (f_t+1-endorsed) vote is what makes the
+// vote a certificate for exactly this transaction — a commit vote
+// replayed from another transaction, or a partial participant set,
+// fails the coordinator's OpTxnDecision validation.
+func EncodeTxnVote(f *TxnFrame, commit bool, payload []byte) []byte {
+	w := wire.NewWriter(len(txnVoteMagic) + 24 + len(f.TxnID) + len(payload))
+	for _, b := range txnVoteMagic {
+		w.PutUint8(b)
+	}
+	w.PutString(f.TxnID)
+	w.PutUvarint(uint64(len(f.Participants)))
+	for _, p := range f.Participants {
+		w.PutString(p)
+	}
+	w.PutBool(commit)
+	w.PutBytes(payload)
+	return w.Bytes()
+}
+
+// DecodeTxnVote parses a participant vote. The second return is false
+// for any non-vote payload.
+func DecodeTxnVote(buf []byte) (TxnVoteInfo, bool) {
+	if len(buf) < len(txnVoteMagic) || !bytes.Equal(buf[:len(txnVoteMagic)], txnVoteMagic) {
+		return TxnVoteInfo{}, false
+	}
+	r := wire.NewReader(buf[len(txnVoteMagic):])
+	v := TxnVoteInfo{TxnID: r.String()}
+	n := int(r.Uvarint())
+	if n > r.Remaining() {
+		return TxnVoteInfo{}, false
+	}
+	for i := 0; i < n && r.Err() == nil; i++ {
+		v.Participants = append(v.Participants, r.String())
+	}
+	v.Commit = r.Bool()
+	v.Payload = r.BytesCopy()
+	if r.Done() != nil || v.TxnID == "" {
+		return TxnVoteInfo{}, false
+	}
+	return v, true
+}
+
+// TxnVote is one participant's agreed vote as observed by the
+// coordinator, in key order.
+type TxnVote struct {
+	// Shard is the participant group's wire name ("store#1").
+	Shard string
+	// ReqID is the PREPARE request id.
+	ReqID string
+	// Commit is the participant's vote; false also when the vote payload
+	// was malformed.
+	Commit bool
+	// Aborted reports that the PREPARE was deterministically aborted
+	// (timeout) instead of answered; an abort vote.
+	Aborted bool
+	// Payload is the application payload the participant attached to its
+	// vote.
+	Payload []byte
+}
+
+// TxnResult is the outcome of a cross-shard transaction.
+type TxnResult struct {
+	TxnID     string
+	Committed bool
+	// Votes holds one entry per key, in argument order.
+	Votes []TxnVote
+}
+
+// CallTxn runs a cross-shard atomic transaction against a (sharded)
+// target: payload i is delivered as a PREPARE to the shard key i routes
+// to, the per-shard votes are collected as BFT-agreed replies, the
+// commit/abort decision (commit iff every vote is commit) is agreed in
+// this service's own CLBFT log as an OpTxnDecision, and the agreed
+// outcome is fanned out as COMMIT/ABORT to every participant shard.
+// CallTxn returns after all participants have acknowledged the outcome,
+// so prepared state is settled on return.
+//
+// Like Call, CallTxn must be invoked from the application's
+// deterministic executor thread: every replica of this service issues
+// the same transaction and arrives at the same agreed decision,
+// tolerating f faulty coordinator replicas. A non-zero timeout bounds
+// each phase per request (an unresponsive shard then yields an abort
+// vote deterministically); a zero timeout waits forever, so use a
+// timeout whenever a participant shard may be compromised.
+func (d *Driver) CallTxn(target string, keys [][]byte, payloads [][]byte, timeout time.Duration) (*TxnResult, error) {
+	if len(keys) == 0 || len(keys) != len(payloads) {
+		return nil, fmt.Errorf("perpetual: CallTxn needs matching non-empty keys and payloads (%d keys, %d payloads)", len(keys), len(payloads))
+	}
+	tinfo, err := d.registry.Lookup(target)
+	if err != nil {
+		return nil, err
+	}
+
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil, ErrClosed
+	}
+	d.txnSeq++
+	txnID := fmt.Sprintf("%s:txn:%d", d.svc.Name, d.txnSeq)
+	d.mu.Unlock()
+
+	// Resolve the participant set up front: each key's shard, with the
+	// distinct shards in first-appearance order (deterministic across
+	// replicas: ShardFor is pure). The participant list travels inside
+	// every frame and is echoed in every vote, binding the commit
+	// certificates to this transaction's full membership.
+	keyShards := make([]ServiceInfo, len(keys))
+	var shards []ServiceInfo
+	var participants []string
+	seen := make(map[string]bool)
+	for i := range keys {
+		sh := tinfo.Shard(ShardFor(keys[i], tinfo.Shards))
+		keyShards[i] = sh
+		if !seen[sh.Name] {
+			seen[sh.Name] = true
+			shards = append(shards, sh)
+			participants = append(participants, sh.Name)
+		}
+	}
+
+	// Phase 1: one PREPARE per key, routed to the key's shard.
+	votes := make([]TxnVote, len(keys))
+	prepIDs := make([]string, len(keys))
+	for i := range keys {
+		frame := EncodeTxnFrame(&TxnFrame{
+			Phase: TxnPrepare, TxnID: txnID, Participants: participants, Payload: payloads[i],
+		})
+		id, err := d.call(keyShards[i], frame, timeout, true)
+		if err != nil {
+			// Settle the prepares already issued: deterministic aborts
+			// on the coordinator side, plus TxnAbort frames so the
+			// shards that already received a PREPARE release their
+			// reservations (every replica fails identically, keeping
+			// the fan-out deterministic).
+			for _, issued := range prepIDs[:i] {
+				d.voter.requestAbort(issued)
+			}
+			d.releaseParticipants(txnID, participants, coveredShards(keyShards[:i]), timeout)
+			return nil, fmt.Errorf("perpetual: txn %s prepare to %s: %w", txnID, keyShards[i].Name, err)
+		}
+		prepIDs[i] = id
+		votes[i] = TxnVote{Shard: keyShards[i].Name, ReqID: id}
+	}
+
+	// Collect the agreed votes. Replies to transaction requests bypass
+	// the application event queue (deliverReply routes them to the txn
+	// wait table), so CallTxn composes with executors that consume
+	// NextEvent concurrently — including the core event pump.
+	commit := true
+	certs := make([]ReplyBundle, 0, len(keys))
+	for i := range prepIDs {
+		tr, err := d.waitTxnReply(prepIDs[i])
+		if err != nil {
+			return nil, err
+		}
+		if tr.reply.Aborted {
+			votes[i].Aborted = true
+			commit = false
+			continue
+		}
+		v, ok := DecodeTxnVote(tr.reply.Payload)
+		votes[i].Commit = ok && v.Commit && v.TxnID == txnID
+		votes[i].Payload = v.Payload
+		switch {
+		case !votes[i].Commit:
+			commit = false
+		case tr.bundle == nil:
+			// No retained certificate (cannot happen for an agreed,
+			// non-aborted reply); a commit we cannot certify must not be
+			// proposed.
+			votes[i].Commit = false
+			commit = false
+		default:
+			certs = append(certs, *tr.bundle)
+		}
+	}
+
+	// Agree the decision in this group's log. Every correct replica
+	// proposes identical bytes (votes are agreed state); the validator
+	// re-verifies the commit certificates, so a faulty primary cannot
+	// push a commit the participants never voted for.
+	op := &Op{Kind: OpTxnDecision, TxnID: txnID, Commit: commit}
+	if commit {
+		op.TxnVotes = certs
+	}
+	d.voter.proposeTxnDecision(op)
+	decided, err := d.waitTxnDecision(txnID)
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 2: fan the agreed outcome out once per participant shard and
+	// wait for the acknowledgements. A failing leg must not starve the
+	// remaining shards of the outcome, so the fan-out continues past
+	// errors and reports the first one afterwards.
+	phase := TxnAbort
+	if decided {
+		phase = TxnCommit
+	}
+	res := &TxnResult{TxnID: txnID, Committed: decided, Votes: votes}
+	var fanErr error
+	ackIDs := make([]string, 0, len(shards))
+	for _, sh := range shards {
+		frame := EncodeTxnFrame(&TxnFrame{Phase: phase, TxnID: txnID, Participants: participants})
+		id, err := d.call(sh, frame, timeout, true)
+		if err != nil {
+			if fanErr == nil {
+				fanErr = fmt.Errorf("perpetual: txn %s %s to %s: %w", txnID, phase, sh.Name, err)
+			}
+			continue
+		}
+		ackIDs = append(ackIDs, id)
+	}
+	for _, id := range ackIDs {
+		// Ack content is irrelevant; a deterministic abort of the ack
+		// (dead shard) is tolerated — the decision is already agreed and
+		// retransmission will re-deliver the outcome when the shard
+		// recovers within the retransmission window.
+		if _, err := d.waitTxnReply(id); err != nil {
+			return res, err
+		}
+	}
+	return res, fanErr
+}
+
+// coveredShards returns the distinct shards among the given per-key
+// shards, in first-appearance order.
+func coveredShards(keyShards []ServiceInfo) []ServiceInfo {
+	var out []ServiceInfo
+	seen := make(map[string]bool)
+	for _, sh := range keyShards {
+		if !seen[sh.Name] {
+			seen[sh.Name] = true
+			out = append(out, sh)
+		}
+	}
+	return out
+}
+
+// releaseParticipants fires TxnAbort frames at shards that received a
+// PREPARE of a transaction that will never reach a decision (prepare
+// fan-out failed), so their reservations are released. The acks are not
+// awaited: the caller is already on an error path, and the abort
+// replies settle in the bounded txn wait table.
+func (d *Driver) releaseParticipants(txnID string, participants []string, shards []ServiceInfo, timeout time.Duration) {
+	for _, sh := range shards {
+		frame := EncodeTxnFrame(&TxnFrame{Phase: TxnAbort, TxnID: txnID, Participants: participants})
+		if _, err := d.call(sh, frame, timeout, true); err != nil {
+			d.logf("txn %s release to %s: %v", txnID, sh.Name, err)
+		}
+	}
+}
+
+// waitTxnReply blocks until the agreed reply for a transaction request
+// arrives and consumes it.
+func (d *Driver) waitTxnReply(reqID string) (txnReply, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for {
+		if d.closed {
+			return txnReply{}, ErrClosed
+		}
+		if tr, ok := d.txnReplies.Get(reqID); ok {
+			d.txnReplies.Delete(reqID)
+			return tr, nil
+		}
+		d.cond.Wait()
+	}
+}
+
+// waitTxnDecision blocks until the group-agreed decision for a
+// transaction is delivered and consumes it.
+func (d *Driver) waitTxnDecision(txnID string) (bool, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for {
+		if d.closed {
+			return false, ErrClosed
+		}
+		if commit, ok := d.txnDecided.Get(txnID); ok {
+			d.txnDecided.Delete(txnID)
+			return commit, nil
+		}
+		d.cond.Wait()
+	}
+}
+
+// deliverTxnDecision records an agreed transaction decision (called by
+// the co-located voter on the CLBFT delivery goroutine).
+func (d *Driver) deliverTxnDecision(txnID string, commit bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return
+	}
+	d.txnDecided.Put(txnID, commit)
+	d.cond.Broadcast()
+}

@@ -163,6 +163,56 @@ func (v *voter) validateOp(opID string, op []byte) bool {
 		// Utility values are the primary's suggestion by design (paper
 		// Section 4.2); agreement only makes them consistent.
 		return true
+	case OpTxnDecision:
+		if o.TxnID == "" {
+			return false
+		}
+		if !o.Commit {
+			// Like OpAbort, aborting a transaction is always safe: any
+			// replica may propose it for liveness.
+			return true
+		}
+		// A commit must certify every participant's vote: each carried
+		// bundle is an f_t+1-endorsed PREPARE reply whose payload votes
+		// commit *for this very transaction* — the vote echoes the
+		// TxnID and the full participant set from the PREPARE frame, so
+		// a faulty coordinator primary can neither replay commit votes
+		// from another transaction nor certify a partial membership
+		// (omitting the shard that voted abort).
+		if len(o.TxnVotes) == 0 {
+			return false
+		}
+		covered := make(map[string]bool, len(o.TxnVotes))
+		var participants []string
+		for i := range o.TxnVotes {
+			b := &o.TxnVotes[i]
+			target, err := v.registry.Lookup(b.Target)
+			if err != nil {
+				return false
+			}
+			if VerifyBundle(v.ks, target, b) != nil {
+				return false
+			}
+			vote, ok := DecodeTxnVote(b.Payload)
+			if !ok || !vote.Commit || vote.TxnID != o.TxnID {
+				return false
+			}
+			if i == 0 {
+				participants = vote.Participants
+			} else if !equalStrings(vote.Participants, participants) {
+				return false // votes disagree on the membership
+			}
+			covered[b.Target] = true
+		}
+		if len(participants) == 0 {
+			return false
+		}
+		for _, p := range participants {
+			if !covered[p] {
+				return false // a participant's commit vote is missing
+			}
+		}
+		return true
 	default:
 		return false
 	}
@@ -295,6 +345,19 @@ func (v *voter) countVotes(vote *reqVote, digest [sha256.Size]byte) int {
 	return n
 }
 
+// equalStrings reports element-wise equality of two string slices.
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // dedupShares keeps one share per replica index.
 func dedupShares(in []Share) []Share {
 	seen := make(map[int]struct{}, len(in))
@@ -335,7 +398,7 @@ func (v *voter) onDeliver(d clbft.Delivery) {
 		}
 		v.delivered.Put(o.ReqID, struct{}{})
 		v.mu.Unlock()
-		v.driver.deliverReply(Reply{ReqID: o.ReqID, Payload: o.Payload})
+		v.driver.deliverReply(Reply{ReqID: o.ReqID, Payload: o.Payload}, o.Shares)
 	case OpAbort:
 		v.mu.Lock()
 		if v.delivered.Contains(o.ReqID) {
@@ -344,9 +407,11 @@ func (v *voter) onDeliver(d clbft.Delivery) {
 		}
 		v.delivered.Put(o.ReqID, struct{}{})
 		v.mu.Unlock()
-		v.driver.deliverReply(Reply{ReqID: o.ReqID, Aborted: true})
+		v.driver.deliverReply(Reply{ReqID: o.ReqID, Aborted: true}, nil)
 	case OpUtil:
 		v.driver.deliverUtil(o.K, o.Value)
+	case OpTxnDecision:
+		v.driver.deliverTxnDecision(o.TxnID, o.Commit)
 	}
 }
 
@@ -446,10 +511,12 @@ func (v *voter) acceptShare(fromIndex int, rs *ReplyShare) {
 	}
 	sc.shares[fromIndex] = rs.Share
 	sc.digests[fromIndex] = rs.Digest
-	if rs.Payload != nil || len(rs.Payload) > 0 {
+	// Bind a payload to a digest only when it actually hashes to it: a
+	// faulty voter must not attach garbage bytes to a digest it never
+	// computed, or the assembled bundle would fail VerifyBundle at every
+	// caller and stall the reply until retransmission.
+	if ReplyDigest(rs.ReqID, rs.Payload) == rs.Digest {
 		sc.payload[rs.Digest] = rs.Payload
-	} else if _, have := sc.payload[rs.Digest]; !have {
-		sc.payload[rs.Digest] = nil
 	}
 
 	// Find a digest endorsed by f_t+1 distinct voters.
@@ -549,6 +616,13 @@ func (v *voter) proposeAbort(reqID string) {
 	}
 	op := &Op{Kind: OpAbort, ReqID: reqID}
 	v.bft.Submit(AbortOpID(reqID), op.Encode())
+}
+
+// proposeTxnDecision submits the co-located driver's transaction
+// decision for agreement; every correct replica of the coordinator
+// group proposes identical bytes, deduplicated by OpID.
+func (v *voter) proposeTxnDecision(op *Op) {
+	v.bft.Submit(TxnOpID(op.TxnID), op.Encode())
 }
 
 // requestUtil is called in-process by the co-located driver.

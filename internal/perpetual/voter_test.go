@@ -124,6 +124,69 @@ func TestVoterRejectsForeignShares(t *testing.T) {
 	}
 }
 
+func TestAcceptShareRejectsForgedPayloads(t *testing.T) {
+	// Regression: a share whose payload does not hash to its claimed
+	// digest used to overwrite the stored payload for that digest
+	// (`rs.Payload != nil || len(rs.Payload) > 0` was a tautology), so a
+	// single faulty voter could poison the assembled bundle and stall
+	// the reply at every caller. Payloads now bind only to digests they
+	// actually hash to.
+	v, _, _ := newBareVoter(t)
+	truth := []byte("ok")
+	digest := ReplyDigest("c:9", truth)
+
+	// Faulty voter 2 claims the honest digest but ships garbage bytes.
+	v.acceptShare(2, &ReplyShare{
+		ReqID: "c:9", Caller: "c", Digest: digest,
+		Share: Share{Replica: 2}, Payload: []byte("poison"),
+	})
+	v.mu.Lock()
+	sc, ok := v.shareBuf.Get("c:9")
+	if !ok {
+		v.mu.Unlock()
+		t.Fatal("share not collected")
+	}
+	if p, have := sc.payload[digest]; have {
+		v.mu.Unlock()
+		t.Fatalf("forged payload %q bound to digest it does not hash to", p)
+	}
+	v.mu.Unlock()
+
+	// An honest share (payload hashes to the digest) is stored, reaches
+	// the f_t+1 threshold together with the faulty voter's digest vote,
+	// and the assembled bundle carries the honest bytes.
+	v.acceptShare(1, &ReplyShare{
+		ReqID: "c:9", Caller: "c", Digest: digest,
+		Share: Share{Replica: 1}, Payload: truth,
+	})
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if p, have := sc.payload[digest]; !have || string(p) != "ok" {
+		t.Errorf("honest payload not stored: %q (have=%v)", p, have)
+	}
+	if !sc.sent {
+		t.Error("bundle not assembled at f+1 matching digests")
+	}
+}
+
+func TestAcceptShareStoresLegitimateNilPayload(t *testing.T) {
+	// A genuinely empty reply still assembles: nil hashes to its own
+	// digest, so the digest check must not block it.
+	v, _, _ := newBareVoter(t)
+	digest := ReplyDigest("c:10", nil)
+	v.acceptShare(0, &ReplyShare{ReqID: "c:10", Caller: "c", Digest: digest, Share: Share{Replica: 0}})
+	v.acceptShare(1, &ReplyShare{ReqID: "c:10", Caller: "c", Digest: digest, Share: Share{Replica: 1}})
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	sc, ok := v.shareBuf.Get("c:10")
+	if !ok || !sc.sent {
+		t.Fatalf("empty reply did not assemble (ok=%v)", ok)
+	}
+	if p, have := sc.payload[digest]; !have || len(p) != 0 {
+		t.Errorf("nil payload not stored: %q (have=%v)", p, have)
+	}
+}
+
 func TestVoterValidateOpRejectsGarbage(t *testing.T) {
 	v, _, stores := newBareVoter(t)
 	if v.validateOp("x", []byte{0xFF, 0x01}) {

@@ -126,12 +126,22 @@ func StoreApp(cfg StoreConfig) core.Application {
 		}
 		store := NewBookstore(NewDB(cfg.Items, cfg.Customers), pay)
 		sessions := make(map[int]*Session)
+		txns := newStoreTxns(store)
 		for {
 			req, err := ctx.ReceiveRequest()
 			if err != nil {
 				return
 			}
 			reply := wsengine.NewMessageContext()
+			// Cross-shard transaction traffic (TransferOrder PREPAREs and
+			// agreed outcomes) diverts before interaction decoding.
+			if body := handleStoreTxn(txns, req); body != nil {
+				reply.Envelope.Body = body
+				if err := ctx.SendReply(reply, req); err != nil {
+					return
+				}
+				continue
+			}
 			customer, kind, arg, perr := DecodeInteraction(req.Envelope.Body)
 			if perr != nil {
 				reply.Envelope.Body = soap.FaultBody(soap.Fault{Code: "soap:Sender", Reason: perr.Error()})

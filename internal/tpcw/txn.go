@@ -1,0 +1,171 @@
+package tpcw
+
+// Cross-customer order transfer: the store's first cross-shard atomic
+// operation. With the store sharded by customer ID, two customers'
+// carts generally live in different CLBFT voter groups; TransferOrder
+// moves units of an order-in-progress (the cart) from one customer to
+// the other atomically via the Perpetual-WS transaction layer — either
+// both shards apply (units leave the source cart and appear in the
+// destination cart) or neither does. The calling service's voter group
+// is the replicated 2PC coordinator (see internal/perpetual/txn.go).
+
+import (
+	"encoding/xml"
+	"fmt"
+	"strconv"
+
+	"perpetualws/internal/core"
+	"perpetualws/internal/perpetual"
+	"perpetualws/internal/soap"
+	"perpetualws/internal/wsengine"
+)
+
+// Transfer sides: the source shard releases units, the destination
+// shard receives them.
+const (
+	TransferOut = "out"
+	TransferIn  = "in"
+)
+
+// transferRequest is the wire form of one side of a cart transfer; it
+// arrives at a store shard as the body of a transaction PREPARE.
+type transferRequest struct {
+	XMLName  xml.Name `xml:"transfer"`
+	Side     string   `xml:"side,attr"`
+	Customer int      `xml:"customer,attr"`
+	Item     int      `xml:"item,attr"`
+	Qty      int      `xml:"qty,attr"`
+}
+
+// transferReady is the wire form of a shard's commit vote on a
+// transfer PREPARE.
+type transferReady struct {
+	XMLName xml.Name `xml:"transferReady"`
+	Side    string   `xml:"side,attr"`
+}
+
+// EncodeTransfer builds one side of a transfer PREPARE body.
+func EncodeTransfer(side string, customerID, itemID, qty int) []byte {
+	b, _ := xml.Marshal(transferRequest{Side: side, Customer: customerID, Item: itemID, Qty: qty})
+	return b
+}
+
+// DecodeTransfer parses a transfer PREPARE body; ok is false for any
+// other body.
+func DecodeTransfer(body []byte) (side string, customerID, itemID, qty int, ok bool) {
+	var r transferRequest
+	if err := xml.Unmarshal(body, &r); err != nil || r.XMLName.Local != "transfer" {
+		return "", 0, 0, 0, false
+	}
+	return r.Side, r.Customer, r.Item, r.Qty, true
+}
+
+// transferLeg is one prepared transfer side awaiting the transaction
+// outcome at a store shard.
+type transferLeg struct {
+	side     string
+	customer int
+	item     int
+	qty      int
+	holdRef  string // CartReserve reference for TransferOut legs
+}
+
+// storeTxns tracks a store replica's prepared transfer legs by
+// transaction id. It is executor-thread state, like the session table.
+type storeTxns struct {
+	db      *Bookstore
+	pending map[string][]transferLeg
+}
+
+func newStoreTxns(store *Bookstore) *storeTxns {
+	return &storeTxns{db: store, pending: make(map[string][]transferLeg)}
+}
+
+// prepare validates and reserves one transfer side, returning the reply
+// body (a fault body is the shard's abort vote).
+func (st *storeTxns) prepare(txnID string, body []byte) []byte {
+	side, customer, item, qty, ok := DecodeTransfer(body)
+	if !ok {
+		return soap.FaultBody(soap.Fault{Code: "soap:Sender", Reason: "tpcw: transaction PREPARE carries no transfer body"})
+	}
+	db := st.db.DB()
+	customer %= st.db.Customers()
+	leg := transferLeg{side: side, customer: customer, item: item, qty: qty}
+	switch side {
+	case TransferOut:
+		leg.holdRef = txnID + "#out#" + strconv.Itoa(customer)
+		if err := db.CartReserve(customer, item, qty, leg.holdRef); err != nil {
+			return soap.FaultBody(soap.Fault{Code: "soap:Receiver", Reason: err.Error()})
+		}
+	case TransferIn:
+		if item < 0 || item >= db.Items() {
+			return soap.FaultBody(soap.Fault{Code: "soap:Receiver", Reason: fmt.Sprintf("tpcw: unknown item %d", item)})
+		}
+		if qty <= 0 {
+			return soap.FaultBody(soap.Fault{Code: "soap:Receiver", Reason: fmt.Sprintf("tpcw: non-positive quantity %d", qty)})
+		}
+	default:
+		return soap.FaultBody(soap.Fault{Code: "soap:Sender", Reason: fmt.Sprintf("tpcw: unknown transfer side %q", side)})
+	}
+	st.pending[txnID] = append(st.pending[txnID], leg)
+	b, _ := xml.Marshal(transferReady{Side: side})
+	return b
+}
+
+// outcome applies or releases every leg prepared under a transaction
+// and returns the acknowledgement body.
+func (st *storeTxns) outcome(txnID string, commit bool) []byte {
+	db := st.db.DB()
+	for _, leg := range st.pending[txnID] {
+		switch {
+		case leg.side == TransferOut && commit:
+			_ = db.CommitHold(leg.holdRef)
+		case leg.side == TransferOut:
+			_ = db.ReleaseHold(leg.holdRef)
+		case leg.side == TransferIn && commit:
+			_ = db.CartAdd(leg.customer, leg.item, leg.qty)
+		}
+	}
+	delete(st.pending, txnID)
+	return []byte(`<transferDone/>`)
+}
+
+// TransferOrder atomically moves qty units of an item from one
+// customer's cart to another's, across store shards: both sides
+// prepare (the source reserves the units, the destination validates),
+// the caller's voter group agrees the decision, and both shards apply
+// or release together. The result reports the agreed decision and the
+// per-shard votes; a source cart lacking the units yields an abort
+// with no observable effect on either shard.
+func (c *StoreClient) TransferOrder(fromCustomer, toCustomer, itemID, qty int) (*perpetual.TxnResult, error) {
+	ts, ok := c.Handler.(core.TxnSender)
+	if !ok {
+		return nil, fmt.Errorf("tpcw: message handler does not support transactions")
+	}
+	keys := []string{CustomerKey(fromCustomer), CustomerKey(toCustomer)}
+	bodies := [][]byte{
+		EncodeTransfer(TransferOut, fromCustomer, itemID, qty),
+		EncodeTransfer(TransferIn, toCustomer, itemID, qty),
+	}
+	return ts.SendTxn(c.Service, keys, bodies, c.TimeoutMillis)
+}
+
+// handleStoreTxn lets the StoreApp executor divert transaction traffic
+// (PREPAREs tagged with core.PropTxnID and synthesized outcome
+// requests tagged with core.PropTxnOutcome) away from the interaction
+// path. It returns the reply to send, or nil when the request is
+// ordinary interaction traffic. Outcome bodies are only honored when
+// the node marked the context as a genuine agreed outcome — a client
+// mailing a lookalike <txnOutcome> body as an ordinary interaction
+// cannot release or commit other transactions' holds.
+func handleStoreTxn(st *storeTxns, req *wsengine.MessageContext) []byte {
+	if _, genuine := req.Property(core.PropTxnOutcome); genuine {
+		if txnID, commit, ok := core.DecodeTxnOutcome(req.Envelope.Body); ok {
+			return st.outcome(txnID, commit)
+		}
+	}
+	if txnIDv, ok := req.Property(core.PropTxnID); ok {
+		return st.prepare(txnIDv.(string), req.Envelope.Body)
+	}
+	return nil
+}
