@@ -438,3 +438,65 @@ func TestFaultIsolationAcrossTiers(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+func TestUndeliverableRequestGetsFaultReply(t *testing.T) {
+	// Regression: a request the node could not hand to the application —
+	// an agreed payload failing soap.Parse, or a transaction frame
+	// failing the coordinator-ownership check — was dropped with no
+	// reply at all, stalling the caller until its timeout fired, and
+	// forever at the paper-default zero timeout. The node now settles
+	// such requests with a deterministic SOAP fault.
+	c := newEchoCluster(t, 1, 1)
+	drv := c.Node("client", 0).Replica().Driver()
+
+	// The review scenario: a PREPARE whose inner payload is not a SOAP
+	// envelope. The participant's fault becomes its abort vote, so the
+	// zero-timeout transaction below settles instead of wedging the
+	// coordinator forever.
+	type out struct {
+		res *perpetual.TxnResult
+		err error
+	}
+	done := make(chan out, 1)
+	go func() {
+		res, err := drv.CallTxn("echo", [][]byte{[]byte("k")}, [][]byte{[]byte("\x01garbage")}, 0)
+		done <- out{res, err}
+	}()
+	select {
+	case o := <-done:
+		if o.err != nil {
+			t.Fatalf("CallTxn: %v", o.err)
+		}
+		if o.res.Committed {
+			t.Fatalf("committed a PREPARE the participant could not parse: %+v", o.res)
+		}
+		env, err := soap.Parse(o.res.Votes[0].Payload)
+		if err != nil {
+			t.Fatalf("abort vote payload is not an envelope: %v", err)
+		}
+		if _, isFault := soap.IsFault(env.Body); !isFault {
+			t.Errorf("abort vote payload = %q, want fault", env.Body)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("CallTxn with unparseable PREPARE payload wedged (no vote reply)")
+	}
+
+	// Plain garbage and forged frames are likewise answered: the
+	// caller's outstanding entries settle instead of dangling forever.
+	if _, err := drv.Call("echo", []byte("\x01garbage"), 0); err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	forged := perpetual.EncodeTxnFrame(&perpetual.TxnFrame{
+		Phase: perpetual.TxnAbort, TxnID: "intruder:txn:1", Participants: []string{"echo"},
+	})
+	if _, err := drv.Call("echo", forged, 0); err != nil {
+		t.Fatalf("Call forged frame: %v", err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for drv.Outstanding() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("Outstanding = %d, want 0: undeliverable requests were dropped without a reply", drv.Outstanding())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -135,6 +135,7 @@ func (n *Node) eventPump() {
 func (n *Node) pumpRequest(preq perpetual.IncomingRequest) {
 	payload := preq.Payload
 	var txnID string
+	var frame *perpetual.TxnFrame
 	if _, isFrame := perpetual.DecodeTxnFrame(payload); isFrame {
 		// Only a transaction's own coordinator may drive its phases:
 		// DecodeTxnFrameFrom checks the frame's TxnID was minted by the
@@ -143,6 +144,7 @@ func (n *Node) pumpRequest(preq perpetual.IncomingRequest) {
 		f, ok := perpetual.DecodeTxnFrameFrom(preq)
 		if !ok {
 			n.logf("agreed request %s carries a txn frame not owned by caller %s", preq.ReqID, preq.Caller)
+			n.replyFault(preq, nil, "soap:Sender", "transaction frame not owned by the calling service")
 			return
 		}
 		switch f.Phase {
@@ -150,7 +152,7 @@ func (n *Node) pumpRequest(preq perpetual.IncomingRequest) {
 			// The PREPARE's inner envelope becomes an ordinary-looking
 			// request tagged with the transaction id; the application's
 			// reply (fault = abort) is its vote.
-			payload, txnID = f.Payload, f.TxnID
+			payload, txnID, frame = f.Payload, f.TxnID, f
 		default:
 			// COMMIT/ABORT: synthesize the outcome request the
 			// application consumes to apply or release its prepared
@@ -173,6 +175,7 @@ func (n *Node) pumpRequest(preq perpetual.IncomingRequest) {
 			mc.SetProperty(propInReq, preq)
 			if err := n.engine.ReceiveIn(mc); err != nil {
 				n.logf("IN-PIPE rejected txn outcome %s: %v", preq.ReqID, err)
+				n.replyFault(preq, nil, "soap:Receiver", fmt.Sprintf("IN-PIPE rejected txn outcome: %v", err))
 			}
 			return
 		}
@@ -180,6 +183,7 @@ func (n *Node) pumpRequest(preq perpetual.IncomingRequest) {
 	env, err := soap.Parse(payload)
 	if err != nil {
 		n.logf("agreed request %s has malformed envelope: %v", preq.ReqID, err)
+		n.replyFault(preq, frame, "soap:Sender", fmt.Sprintf("request is not a SOAP envelope: %v", err))
 		return
 	}
 	mc := wsengine.NewMessageContext()
@@ -191,6 +195,30 @@ func (n *Node) pumpRequest(preq perpetual.IncomingRequest) {
 	mc.SetProperty(propInReq, preq)
 	if err := n.engine.ReceiveIn(mc); err != nil {
 		n.logf("IN-PIPE rejected request %s: %v", preq.ReqID, err)
+		n.replyFault(preq, frame, "soap:Receiver", fmt.Sprintf("IN-PIPE rejected request: %v", err))
+	}
+}
+
+// replyFault settles an agreed incoming request the node cannot hand to
+// the application — an unowned transaction frame, an unparseable
+// envelope, an IN-PIPE rejection — with a SOAP fault instead of staying
+// silent: the caller is blocked on this request, and with a zero
+// timeout a dropped request would stall it forever. Every correct
+// replica sees the same agreed bytes and produces the same fault, so
+// the reply is deterministic. For a transaction PREPARE the fault is
+// wrapped as the shard's abort vote.
+func (n *Node) replyFault(preq perpetual.IncomingRequest, frame *perpetual.TxnFrame, code, reason string) {
+	env := soap.Envelope{Body: soap.FaultBody(soap.Fault{Code: code, Reason: reason})}
+	payload, err := env.Marshal()
+	if err != nil {
+		n.logf("fault reply for %s: %v", preq.ReqID, err)
+		return
+	}
+	if frame != nil && frame.Phase == perpetual.TxnPrepare {
+		payload = perpetual.EncodeTxnVote(frame, false, payload)
+	}
+	if err := n.replica.Driver().Reply(preq, payload); err != nil {
+		n.logf("fault reply for %s: %v", preq.ReqID, err)
 	}
 }
 

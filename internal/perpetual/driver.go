@@ -91,11 +91,22 @@ type Driver struct {
 	outstanding map[string]*outstandingReq
 	utils       map[uint64]int64
 
-	// txnReplies and txnDecided feed CallTxn: replies to transaction
-	// requests bypass the application event queue (see deliverReply),
-	// and agreed OpTxnDecision outcomes land here.
+	// txnReplies feeds CallTxn: replies to transaction requests bypass
+	// the application event queue (see deliverReply).
 	txnReplies *boundedCache[txnReply]
-	txnDecided *boundedCache[bool]
+	// txnPending holds one decision slot per transaction this replica's
+	// CallTxn is driving; registered slots are never evicted (see
+	// registerTxnLocked). txnEarly buffers agreed decisions that arrive
+	// before the local executor reaches the transaction — coordinator
+	// replicas run the same deterministic schedule but not in lockstep.
+	txnPending map[string]*txnDecision
+	txnEarly   *boundedCache[bool]
+}
+
+// txnDecision is a registered transaction's decision slot.
+type txnDecision struct {
+	done   bool
+	commit bool
 }
 
 // outstandingReq tracks a request this driver issued and is awaiting.
@@ -111,6 +122,10 @@ type outstandingReq struct {
 	// routed to the txn wait table instead of the event queue, with the
 	// reply bundle's shares retained as the vote certificate.
 	txn bool
+	// suppressReply marks a request settled internally (aborted by a
+	// failed CallAllShards fan-out): the application never learned its
+	// id, so the agreed abort/reply must not surface as an event.
+	suppressReply bool
 }
 
 // txnReply is the agreed outcome of a transaction request, with the
@@ -137,7 +152,8 @@ func newDriver(svc ServiceInfo, index int, reg *Registry, adapter *transport.Cha
 		outstanding:        make(map[string]*outstandingReq),
 		utils:              make(map[uint64]int64),
 		txnReplies:         newBoundedCache[txnReply](inFlightCacheSize),
-		txnDecided:         newBoundedCache[bool](sharesCacheSize),
+		txnPending:         make(map[string]*txnDecision),
+		txnEarly:           newBoundedCache[bool](deliveredCacheSize),
 	}
 	d.cond = sync.NewCond(&d.mu)
 	return d
@@ -236,7 +252,10 @@ func (d *Driver) CallKey(target string, key, payload []byte, timeout time.Durati
 //
 // A mid-fan-out error settles the already-issued requests with
 // deterministic aborts (every replica fails the same shard the same
-// way), so no request is left outstanding with timers running.
+// way), so no request is left outstanding with timers running. The
+// aborts never surface as application events: the application only
+// receives the error, so replies to ids it never learned would sit in
+// the event queue unconsumable.
 func (d *Driver) CallAllShards(target string, payload []byte, timeout time.Duration) ([]string, error) {
 	tinfo, err := d.registry.Lookup(target)
 	if err != nil {
@@ -246,6 +265,7 @@ func (d *Driver) CallAllShards(target string, payload []byte, timeout time.Durat
 	for k := 0; k < tinfo.ShardCount(); k++ {
 		id, err := d.call(tinfo.Shard(k), payload, timeout, false)
 		if err != nil {
+			d.suppressReplies(ids)
 			for _, issued := range ids {
 				d.voter.requestAbort(issued)
 			}
@@ -254,6 +274,26 @@ func (d *Driver) CallAllShards(target string, payload []byte, timeout time.Durat
 		ids = append(ids, id)
 	}
 	return ids, nil
+}
+
+// suppressReplies marks requests settled internally so their agreed
+// replies (typically the aborts just proposed) never surface as
+// application events. A reply that already raced into the event queue
+// is removed from it.
+func (d *Driver) suppressReplies(ids []string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, id := range ids {
+		if o, ok := d.outstanding[id]; ok {
+			o.suppressReply = true
+			continue
+		}
+		for i := len(d.events) - 1; i >= 0; i-- {
+			if d.events[i].Kind == EventReply && d.events[i].Reply.ReqID == id {
+				d.events = append(d.events[:i], d.events[i+1:]...)
+			}
+		}
+	}
 }
 
 // call issues a request to one concrete replica group. txn marks a 2PC
@@ -397,6 +437,11 @@ func (d *Driver) deliverReply(r Reply, shares []Share) {
 			o.abortTmr.Stop()
 		}
 		delete(d.outstanding, r.ReqID)
+	}
+	if ok && o.suppressReply {
+		// Settled internally (failed fan-out): the application never
+		// learned this id, so nothing may surface.
+		return
 	}
 	if ok && o.txn {
 		// Transaction replies feed CallTxn, not the application event

@@ -75,7 +75,10 @@ func TestCallAllShardsAbortsIssuedOnMidFanOutError(t *testing.T) {
 	// Regression: a mid-fan-out error used to return partial IDs and
 	// leave the earlier shards' requests outstanding with retransmit
 	// timers running. Now the issued requests are settled with
-	// deterministic aborts and the error is returned alone.
+	// deterministic aborts and the error is returned alone — and the
+	// aborts never surface as application events: the application only
+	// learns the error, not the per-shard ids, so replies for those ids
+	// would sit in the event queue unconsumable.
 	dep := NewDeployment([]byte("fanout-master"),
 		ServiceInfo{Name: "c", N: 1},
 		ServiceInfo{Name: "t", N: 1, Shards: 2},
@@ -87,9 +90,25 @@ func TestCallAllShardsAbortsIssuedOnMidFanOutError(t *testing.T) {
 	}
 	dep.Start()
 	t.Cleanup(dep.Stop)
-	// No executor runs on the target, so only the aborts can settle the
-	// issued requests. Grow the registry's shard count past what was
-	// deployed: shard 2 has no provisioned keys and fails buildRequest.
+	// Echo executors on the deployed shards answer the later probe.
+	for k := 0; k < 2; k++ {
+		for _, sdrv := range dep.ShardDrivers("t", k) {
+			sdrv := sdrv
+			go func() {
+				for {
+					req, err := sdrv.NextRequest()
+					if err != nil {
+						return
+					}
+					if err := sdrv.Reply(req, append([]byte("echo:"), req.Payload...)); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}
+	// Grow the registry's shard count past what was deployed: shard 2
+	// has no provisioned keys and fails buildRequest mid-fan-out.
 	dep.Registry.Add(ServiceInfo{Name: "t", N: 1, Shards: 3})
 
 	drv := dep.Driver("c", 0)
@@ -100,18 +119,36 @@ func TestCallAllShardsAbortsIssuedOnMidFanOutError(t *testing.T) {
 	if ids != nil {
 		t.Errorf("partial ids returned alongside error: %v", ids)
 	}
-	// Both issued requests settle as deterministic aborts.
-	for i := 0; i < 2; i++ {
-		r, err := drv.NextReply()
-		if err != nil {
-			t.Fatalf("NextReply %d: %v", i, err)
+	// Both issued requests settle internally as deterministic aborts.
+	deadline := time.Now().Add(10 * time.Second)
+	for drv.Outstanding() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("Outstanding after aborted fan-out = %d, want 0", drv.Outstanding())
 		}
-		if !r.Aborted {
-			t.Errorf("reply %d = %+v, want abort", i, r)
+		time.Sleep(10 * time.Millisecond)
+	}
+	// The suppressed aborts must not surface: the next reply the
+	// application sees is the probe's echo, not a stray abort. (The
+	// echo replies to "bcast" were suppressed with their requests; only
+	// the probe below reaches the shards as an application request.)
+	var probeKey []byte
+	for i := 0; ; i++ {
+		cand := []byte(fmt.Sprintf("probe-%d", i))
+		if ShardFor(cand, 3) == 0 {
+			probeKey = cand
+			break
 		}
 	}
-	if got := drv.Outstanding(); got != 0 {
-		t.Errorf("Outstanding after aborted fan-out = %d, want 0", got)
+	probeID, err := drv.CallKey("t", probeKey, []byte("probe"), 0)
+	if err != nil {
+		t.Fatalf("probe CallKey: %v", err)
+	}
+	r, err := drv.NextReply()
+	if err != nil {
+		t.Fatalf("NextReply: %v", err)
+	}
+	if r.ReqID != probeID || r.Aborted || string(r.Payload) != "echo:probe" {
+		t.Errorf("first visible reply = %+v, want probe echo %s", r, probeID)
 	}
 }
 

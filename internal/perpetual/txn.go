@@ -79,7 +79,14 @@ type TxnFrame struct {
 	Phase        TxnPhase
 	TxnID        string
 	Participants []string
-	Payload      []byte
+	// Prepares is the total number of PREPARE requests the transaction
+	// issues (one per key — two keys routing to the same shard yield two
+	// PREPAREs). Echoed into every vote, it lets the coordinator-side
+	// agreement validator demand one distinct commit vote per PREPARE: a
+	// shard-level count would let a faulty primary omit the abort vote
+	// of one key when another key of the same shard voted commit.
+	Prepares int
+	Payload  []byte
 }
 
 // EncodeTxnFrame serializes a transaction protocol frame.
@@ -94,6 +101,7 @@ func EncodeTxnFrame(f *TxnFrame) []byte {
 	for _, p := range f.Participants {
 		w.PutString(p)
 	}
+	w.PutUvarint(uint64(f.Prepares))
 	w.PutBytes(f.Payload)
 	return w.Bytes()
 }
@@ -113,6 +121,7 @@ func DecodeTxnFrame(buf []byte) (*TxnFrame, bool) {
 	for i := 0; i < n && r.Err() == nil; i++ {
 		f.Participants = append(f.Participants, r.String())
 	}
+	f.Prepares = int(r.Uvarint())
 	f.Payload = r.BytesCopy()
 	if r.Done() != nil || f.TxnID == "" {
 		return nil, false
@@ -144,30 +153,38 @@ func DecodeTxnFrameFrom(req IncomingRequest) (*TxnFrame, bool) {
 // TxnVoteInfo is the decoded wire form of a participant's reply to a
 // transaction request: the vote, the transaction identity it binds to,
 // and an opaque application payload (the participant's rendered result,
-// or the reason it refused).
+// or the reason it refused). Phase and Prepares echo the answered
+// frame, so the coordinator's validator can tell a genuine PREPARE vote
+// from an outcome acknowledgement and knows how many votes a complete
+// commit certificate needs.
 type TxnVoteInfo struct {
 	TxnID        string
+	Phase        TxnPhase
 	Participants []string
+	Prepares     int
 	Commit       bool
 	Payload      []byte
 }
 
 // EncodeTxnVote serializes a participant's reply to a transaction
-// request. The frame is the request being answered: echoing its TxnID
-// and participant set into the (f_t+1-endorsed) vote is what makes the
-// vote a certificate for exactly this transaction — a commit vote
-// replayed from another transaction, or a partial participant set,
-// fails the coordinator's OpTxnDecision validation.
+// request. The frame is the request being answered: echoing its TxnID,
+// phase, participant set, and PREPARE count into the (f_t+1-endorsed)
+// vote is what makes the vote a certificate for exactly this
+// transaction — a commit vote replayed from another transaction, an
+// outcome acknowledgement posing as a PREPARE vote, or a partial vote
+// set fails the coordinator's OpTxnDecision validation.
 func EncodeTxnVote(f *TxnFrame, commit bool, payload []byte) []byte {
 	w := wire.NewWriter(len(txnVoteMagic) + 24 + len(f.TxnID) + len(payload))
 	for _, b := range txnVoteMagic {
 		w.PutUint8(b)
 	}
 	w.PutString(f.TxnID)
+	w.PutUint8(uint8(f.Phase))
 	w.PutUvarint(uint64(len(f.Participants)))
 	for _, p := range f.Participants {
 		w.PutString(p)
 	}
+	w.PutUvarint(uint64(f.Prepares))
 	w.PutBool(commit)
 	w.PutBytes(payload)
 	return w.Bytes()
@@ -180,7 +197,7 @@ func DecodeTxnVote(buf []byte) (TxnVoteInfo, bool) {
 		return TxnVoteInfo{}, false
 	}
 	r := wire.NewReader(buf[len(txnVoteMagic):])
-	v := TxnVoteInfo{TxnID: r.String()}
+	v := TxnVoteInfo{TxnID: r.String(), Phase: TxnPhase(r.Uint8())}
 	n := int(r.Uvarint())
 	if n > r.Remaining() {
 		return TxnVoteInfo{}, false
@@ -188,6 +205,7 @@ func DecodeTxnVote(buf []byte) (TxnVoteInfo, bool) {
 	for i := 0; i < n && r.Err() == nil; i++ {
 		v.Participants = append(v.Participants, r.String())
 	}
+	v.Prepares = int(r.Uvarint())
 	v.Commit = r.Bool()
 	v.Payload = r.BytesCopy()
 	if r.Done() != nil || v.TxnID == "" {
@@ -254,7 +272,13 @@ func (d *Driver) CallTxn(target string, keys [][]byte, payloads [][]byte, timeou
 	}
 	d.txnSeq++
 	txnID := fmt.Sprintf("%s:txn:%d", d.svc.Name, d.txnSeq)
+	// Register the decision slot up front: a registered slot can never be
+	// evicted, so agreed decisions for other (even hostile) txn ids
+	// cannot wedge this transaction, and a decision agreed before this
+	// replica catches up (buffered in txnEarly) is picked up here.
+	d.registerTxnLocked(txnID)
 	d.mu.Unlock()
+	defer d.forgetTxn(txnID)
 
 	// Resolve the participant set up front: each key's shard, with the
 	// distinct shards in first-appearance order (deterministic across
@@ -262,17 +286,13 @@ func (d *Driver) CallTxn(target string, keys [][]byte, payloads [][]byte, timeou
 	// every frame and is echoed in every vote, binding the commit
 	// certificates to this transaction's full membership.
 	keyShards := make([]ServiceInfo, len(keys))
-	var shards []ServiceInfo
-	var participants []string
-	seen := make(map[string]bool)
 	for i := range keys {
-		sh := tinfo.Shard(ShardFor(keys[i], tinfo.Shards))
-		keyShards[i] = sh
-		if !seen[sh.Name] {
-			seen[sh.Name] = true
-			shards = append(shards, sh)
-			participants = append(participants, sh.Name)
-		}
+		keyShards[i] = tinfo.Shard(ShardFor(keys[i], tinfo.Shards))
+	}
+	shards := coveredShards(keyShards)
+	participants := make([]string, len(shards))
+	for i, sh := range shards {
+		participants[i] = sh.Name
 	}
 
 	// Phase 1: one PREPARE per key, routed to the key's shard.
@@ -280,7 +300,8 @@ func (d *Driver) CallTxn(target string, keys [][]byte, payloads [][]byte, timeou
 	prepIDs := make([]string, len(keys))
 	for i := range keys {
 		frame := EncodeTxnFrame(&TxnFrame{
-			Phase: TxnPrepare, TxnID: txnID, Participants: participants, Payload: payloads[i],
+			Phase: TxnPrepare, TxnID: txnID, Participants: participants,
+			Prepares: len(keys), Payload: payloads[i],
 		})
 		id, err := d.call(keyShards[i], frame, timeout, true)
 		if err != nil {
@@ -292,7 +313,7 @@ func (d *Driver) CallTxn(target string, keys [][]byte, payloads [][]byte, timeou
 			for _, issued := range prepIDs[:i] {
 				d.voter.requestAbort(issued)
 			}
-			d.releaseParticipants(txnID, participants, coveredShards(keyShards[:i]), timeout)
+			d.releaseParticipants(txnID, participants, len(keys), coveredShards(keyShards[:i]), timeout)
 			return nil, fmt.Errorf("perpetual: txn %s prepare to %s: %w", txnID, keyShards[i].Name, err)
 		}
 		prepIDs[i] = id
@@ -316,7 +337,7 @@ func (d *Driver) CallTxn(target string, keys [][]byte, payloads [][]byte, timeou
 			continue
 		}
 		v, ok := DecodeTxnVote(tr.reply.Payload)
-		votes[i].Commit = ok && v.Commit && v.TxnID == txnID
+		votes[i].Commit = ok && v.Commit && v.TxnID == txnID && v.Phase == TxnPrepare
 		votes[i].Payload = v.Payload
 		switch {
 		case !votes[i].Commit:
@@ -358,7 +379,7 @@ func (d *Driver) CallTxn(target string, keys [][]byte, payloads [][]byte, timeou
 	var fanErr error
 	ackIDs := make([]string, 0, len(shards))
 	for _, sh := range shards {
-		frame := EncodeTxnFrame(&TxnFrame{Phase: phase, TxnID: txnID, Participants: participants})
+		frame := EncodeTxnFrame(&TxnFrame{Phase: phase, TxnID: txnID, Participants: participants, Prepares: len(keys)})
 		id, err := d.call(sh, frame, timeout, true)
 		if err != nil {
 			if fanErr == nil {
@@ -399,9 +420,9 @@ func coveredShards(keyShards []ServiceInfo) []ServiceInfo {
 // fan-out failed), so their reservations are released. The acks are not
 // awaited: the caller is already on an error path, and the abort
 // replies settle in the bounded txn wait table.
-func (d *Driver) releaseParticipants(txnID string, participants []string, shards []ServiceInfo, timeout time.Duration) {
+func (d *Driver) releaseParticipants(txnID string, participants []string, prepares int, shards []ServiceInfo, timeout time.Duration) {
 	for _, sh := range shards {
-		frame := EncodeTxnFrame(&TxnFrame{Phase: TxnAbort, TxnID: txnID, Participants: participants})
+		frame := EncodeTxnFrame(&TxnFrame{Phase: TxnAbort, TxnID: txnID, Participants: participants, Prepares: prepares})
 		if _, err := d.call(sh, frame, timeout, true); err != nil {
 			d.logf("txn %s release to %s: %v", txnID, sh.Name, err)
 		}
@@ -425,8 +446,31 @@ func (d *Driver) waitTxnReply(reqID string) (txnReply, error) {
 	}
 }
 
+// registerTxnLocked opens the decision slot for a transaction this
+// replica is about to drive (caller holds d.mu). A decision already
+// agreed and buffered in txnEarly (other replicas can run ahead of this
+// one) is consumed into the slot immediately. Unlike a bounded cache, a
+// registered slot is never evicted: agreed decisions for other txn ids
+// — including ids a faulty replica mints just to churn the table —
+// cannot displace it, so waitTxnDecision cannot wedge.
+func (d *Driver) registerTxnLocked(txnID string) {
+	p := &txnDecision{}
+	if commit, ok := d.txnEarly.Get(txnID); ok {
+		d.txnEarly.Delete(txnID)
+		p.done, p.commit = true, commit
+	}
+	d.txnPending[txnID] = p
+}
+
+// forgetTxn closes a transaction's decision slot.
+func (d *Driver) forgetTxn(txnID string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.txnPending, txnID)
+}
+
 // waitTxnDecision blocks until the group-agreed decision for a
-// transaction is delivered and consumes it.
+// registered transaction is delivered.
 func (d *Driver) waitTxnDecision(txnID string) (bool, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -434,22 +478,30 @@ func (d *Driver) waitTxnDecision(txnID string) (bool, error) {
 		if d.closed {
 			return false, ErrClosed
 		}
-		if commit, ok := d.txnDecided.Get(txnID); ok {
-			d.txnDecided.Delete(txnID)
-			return commit, nil
+		if p, ok := d.txnPending[txnID]; ok && p.done {
+			return p.commit, nil
 		}
 		d.cond.Wait()
 	}
 }
 
 // deliverTxnDecision records an agreed transaction decision (called by
-// the co-located voter on the CLBFT delivery goroutine).
+// the co-located voter on the CLBFT delivery goroutine). A decision for
+// a registered transaction fills its slot; anything else — a decision
+// this replica has not reached yet, or one it will never drive — is
+// buffered in the bounded early table.
 func (d *Driver) deliverTxnDecision(txnID string, commit bool) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.closed {
 		return
 	}
-	d.txnDecided.Put(txnID, commit)
+	if p, ok := d.txnPending[txnID]; ok {
+		if !p.done {
+			p.done, p.commit = true, commit
+		}
+	} else {
+		d.txnEarly.Put(txnID, commit)
+	}
 	d.cond.Broadcast()
 }

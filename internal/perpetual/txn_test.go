@@ -3,6 +3,7 @@ package perpetual
 import (
 	"bytes"
 	"fmt"
+	"slices"
 	"strings"
 	"sync"
 	"testing"
@@ -148,12 +149,12 @@ func keysOnDistinctShards(t *testing.T, shards int) [][]byte {
 
 func TestTxnFrameCodecRoundTrip(t *testing.T) {
 	for _, f := range []*TxnFrame{
-		{Phase: TxnPrepare, TxnID: "c:txn:1", Participants: []string{"t#0", "t#1"}, Payload: []byte("body")},
-		{Phase: TxnCommit, TxnID: "c:txn:2", Participants: []string{"t"}},
+		{Phase: TxnPrepare, TxnID: "c:txn:1", Participants: []string{"t#0", "t#1"}, Prepares: 3, Payload: []byte("body")},
+		{Phase: TxnCommit, TxnID: "c:txn:2", Participants: []string{"t"}, Prepares: 1},
 		{Phase: TxnAbort, TxnID: "x:txn:9", Payload: nil},
 	} {
 		got, ok := DecodeTxnFrame(EncodeTxnFrame(f))
-		if !ok || got.Phase != f.Phase || got.TxnID != f.TxnID || !bytes.Equal(got.Payload, f.Payload) {
+		if !ok || got.Phase != f.Phase || got.TxnID != f.TxnID || got.Prepares != f.Prepares || !bytes.Equal(got.Payload, f.Payload) {
 			t.Errorf("frame round trip: %+v -> %+v (ok=%v)", f, got, ok)
 		}
 		if got != nil && len(got.Participants) != len(f.Participants) {
@@ -177,7 +178,7 @@ func TestTxnFrameCodecRoundTrip(t *testing.T) {
 }
 
 func TestTxnVoteCodecRoundTrip(t *testing.T) {
-	frame := &TxnFrame{Phase: TxnPrepare, TxnID: "c:txn:4", Participants: []string{"t#0", "t#1"}}
+	frame := &TxnFrame{Phase: TxnPrepare, TxnID: "c:txn:4", Participants: []string{"t#0", "t#1"}, Prepares: 2}
 	for _, tc := range []struct {
 		commit  bool
 		payload []byte
@@ -186,8 +187,10 @@ func TestTxnVoteCodecRoundTrip(t *testing.T) {
 		if !ok || v.Commit != tc.commit || !bytes.Equal(v.Payload, tc.payload) {
 			t.Errorf("vote round trip (%v, %q) -> %+v (ok=%v)", tc.commit, tc.payload, v, ok)
 		}
-		// The vote binds to the frame's transaction identity.
-		if v.TxnID != frame.TxnID || !equalStrings(v.Participants, frame.Participants) {
+		// The vote binds to the frame's transaction identity, phase, and
+		// PREPARE count.
+		if v.TxnID != frame.TxnID || v.Phase != frame.Phase || v.Prepares != frame.Prepares ||
+			!slices.Equal(v.Participants, frame.Participants) {
 			t.Errorf("vote lost its binding: %+v", v)
 		}
 	}
@@ -551,7 +554,7 @@ func TestTxnDecisionValidation(t *testing.T) {
 		}
 		return bundle
 	}
-	frame := &TxnFrame{Phase: TxnPrepare, TxnID: "t:txn:2", Participants: []string{"c"}}
+	frame := &TxnFrame{Phase: TxnPrepare, TxnID: "t:txn:2", Participants: []string{"c"}, Prepares: 1}
 
 	// A commit carrying a complete, properly endorsed vote set
 	// validates.
@@ -567,7 +570,7 @@ func TestTxnDecisionValidation(t *testing.T) {
 	}
 	// Replay: a genuine commit vote from ANOTHER transaction must not
 	// certify this one (the vote's embedded TxnID disagrees).
-	otherFrame := &TxnFrame{Phase: TxnPrepare, TxnID: "t:txn:1", Participants: []string{"c"}}
+	otherFrame := &TxnFrame{Phase: TxnPrepare, TxnID: "t:txn:1", Participants: []string{"c"}, Prepares: 1}
 	replay := *commit
 	replay.TxnVotes = []ReplyBundle{certify("t:8", otherFrame, true)}
 	if v.validateOp(TxnOpID("t:txn:2"), replay.Encode()) {
@@ -576,7 +579,7 @@ func TestTxnDecisionValidation(t *testing.T) {
 	// Partial membership: a vote naming more participants than the
 	// decision covers must not certify (the missing shard may have
 	// voted abort).
-	wideFrame := &TxnFrame{Phase: TxnPrepare, TxnID: "t:txn:2", Participants: []string{"c", "t"}}
+	wideFrame := &TxnFrame{Phase: TxnPrepare, TxnID: "t:txn:2", Participants: []string{"c", "t"}, Prepares: 2}
 	partial := *commit
 	partial.TxnVotes = []ReplyBundle{certify("t:9", wideFrame, true)}
 	if v.validateOp(TxnOpID("t:txn:2"), partial.Encode()) {
@@ -589,5 +592,115 @@ func TestTxnDecisionValidation(t *testing.T) {
 	ghost.TxnVotes = []ReplyBundle{ghostBundle}
 	if v.validateOp(TxnOpID("t:txn:2"), ghost.Encode()) {
 		t.Error("commit decision naming unknown participant validated")
+	}
+	// An outcome acknowledgement (also a vote-encoded commit reply, but
+	// for a COMMIT frame) must not pass as a PREPARE vote.
+	ackFrame := &TxnFrame{Phase: TxnCommit, TxnID: "t:txn:2", Participants: []string{"c"}, Prepares: 1}
+	ack := *commit
+	ack.TxnVotes = []ReplyBundle{certify("t:9", ackFrame, true)}
+	if v.validateOp(TxnOpID("t:txn:2"), ack.Encode()) {
+		t.Error("commit decision certified by an outcome acknowledgement validated")
+	}
+}
+
+func TestTxnDecisionValidationRejectsForeignTxnID(t *testing.T) {
+	// Decisions agree in the coordinator's own log, so a txn id not
+	// minted by this service ("t") is never legitimate — without this
+	// check a faulty replica could push decisions for other services'
+	// transactions (or arbitrary garbage ids) through agreement.
+	v, _, _ := newBareVoter(t)
+	for _, id := range []string{"c:txn:1", "x:txn:9", "t:1", "txn:t:1"} {
+		abort := &Op{Kind: OpTxnDecision, TxnID: id}
+		if v.validateOp(TxnOpID(id), abort.Encode()) {
+			t.Errorf("abort decision for foreign txn id %q validated", id)
+		}
+	}
+}
+
+func TestTxnDecisionValidationIsPerVoteNotPerShard(t *testing.T) {
+	// Two keys of the same transaction can route to the same shard: the
+	// transaction then has two PREPAREs but one participant. A faulty
+	// coordinator primary holding a commit vote for only ONE of them
+	// (the other voted abort) must not be able to certify a commit —
+	// a per-shard coverage check would accept it, breaking atomicity.
+	v, _, stores := newBareVoter(t)
+	frame := &TxnFrame{Phase: TxnPrepare, TxnID: "t:txn:5", Participants: []string{"c"}, Prepares: 2}
+	certify := func(reqID string) ReplyBundle {
+		votePayload := EncodeTxnVote(frame, true, []byte("ready"))
+		digest := ReplyDigest(reqID, votePayload)
+		msg := replyAuthMsg(reqID, digest)
+		bundle := ReplyBundle{ReqID: reqID, Target: "c", Payload: votePayload}
+		for _, idx := range []int{0, 1} {
+			a, err := auth.NewAuthenticator(stores[auth.VoterID("c", idx)], msg, []auth.NodeID{auth.VoterID("t", 0)})
+			if err != nil {
+				t.Fatalf("authenticator: %v", err)
+			}
+			bundle.Shares = append(bundle.Shares, Share{Replica: idx, Auth: a})
+		}
+		return bundle
+	}
+
+	// Both PREPAREs' commit votes present: validates.
+	full := &Op{Kind: OpTxnDecision, TxnID: "t:txn:5", Commit: true,
+		TxnVotes: []ReplyBundle{certify("t:20"), certify("t:21")}}
+	if !v.validateOp(TxnOpID("t:txn:5"), full.Encode()) {
+		t.Error("complete two-vote commit decision rejected")
+	}
+	// One vote omitted: the shard is still covered, but the second
+	// PREPARE's vote is missing — must be rejected.
+	omit := &Op{Kind: OpTxnDecision, TxnID: "t:txn:5", Commit: true,
+		TxnVotes: []ReplyBundle{certify("t:20")}}
+	if v.validateOp(TxnOpID("t:txn:5"), omit.Encode()) {
+		t.Error("commit decision omitting one PREPARE's vote validated")
+	}
+	// The same vote duplicated cannot stand in for the missing one.
+	dup := &Op{Kind: OpTxnDecision, TxnID: "t:txn:5", Commit: true,
+		TxnVotes: []ReplyBundle{certify("t:20"), certify("t:20")}}
+	if v.validateOp(TxnOpID("t:txn:5"), dup.Encode()) {
+		t.Error("commit decision with a duplicated vote validated")
+	}
+}
+
+func TestTxnDecisionFloodDoesNotWedgeRegisteredTxn(t *testing.T) {
+	// Regression: decisions used to land in a bounded FIFO cache, so a
+	// faulty replica pushing agreed abort decisions for fresh txn ids
+	// could evict a real pending decision before the executor consumed
+	// it, wedging CallTxn forever. Registered decision slots are now
+	// immune to eviction, and a decision agreed before this replica
+	// reaches the transaction is buffered and picked up at registration.
+	d := newDriver(ServiceInfo{Name: "c", N: 1}, 0, nil, nil, nil, nil, nil)
+
+	// A decision delivered before registration (this replica lags its
+	// peers) is buffered and consumed when the executor catches up.
+	d.deliverTxnDecision("c:txn:1", true)
+	d.mu.Lock()
+	d.registerTxnLocked("c:txn:1")
+	d.mu.Unlock()
+
+	// A registered decision survives an arbitrary flood of decisions
+	// for other ids delivered after it.
+	d.mu.Lock()
+	d.registerTxnLocked("c:txn:2")
+	d.mu.Unlock()
+	d.deliverTxnDecision("c:txn:2", true)
+	for i := 0; i < 3*deliveredCacheSize; i++ {
+		d.deliverTxnDecision(fmt.Sprintf("c:txn:%d", 1000+i), false)
+	}
+
+	for _, id := range []string{"c:txn:1", "c:txn:2"} {
+		done := make(chan bool, 1)
+		go func(id string) {
+			commit, err := d.waitTxnDecision(id)
+			done <- err == nil && commit
+		}(id)
+		select {
+		case ok := <-done:
+			if !ok {
+				t.Errorf("decision for %s lost", id)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("waitTxnDecision(%s) wedged", id)
+		}
+		d.forgetTxn(id)
 	}
 }

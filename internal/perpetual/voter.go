@@ -3,6 +3,8 @@ package perpetual
 import (
 	"crypto/sha256"
 	"log"
+	"slices"
+	"strings"
 	"sync"
 	"time"
 
@@ -164,7 +166,11 @@ func (v *voter) validateOp(opID string, op []byte) bool {
 		// Section 4.2); agreement only makes them consistent.
 		return true
 	case OpTxnDecision:
-		if o.TxnID == "" {
+		// Decisions are agreed in the coordinator's own log, so a valid
+		// TxnID is always one this service minted ("<svc>:txn:<n>").
+		// Without the ownership check a faulty replica could push
+		// decisions for arbitrary foreign ids through agreement.
+		if o.TxnID == "" || !strings.HasPrefix(o.TxnID, v.svc.Name+":txn:") {
 			return false
 		}
 		if !o.Commit {
@@ -172,18 +178,24 @@ func (v *voter) validateOp(opID string, op []byte) bool {
 			// replica may propose it for liveness.
 			return true
 		}
-		// A commit must certify every participant's vote: each carried
+		// A commit must certify every PREPARE's vote: each carried
 		// bundle is an f_t+1-endorsed PREPARE reply whose payload votes
 		// commit *for this very transaction* — the vote echoes the
-		// TxnID and the full participant set from the PREPARE frame, so
-		// a faulty coordinator primary can neither replay commit votes
-		// from another transaction nor certify a partial membership
-		// (omitting the shard that voted abort).
+		// TxnID, phase, participant set, and PREPARE count from the
+		// PREPARE frame, so a faulty coordinator primary can neither
+		// replay commit votes from another transaction, nor pass an
+		// outcome acknowledgement off as a PREPARE vote, nor certify a
+		// partial vote set. Coverage is checked per vote (distinct
+		// request ids, one per PREPARE), not per shard: when two keys
+		// route to the same shard, a shard-level check would accept a
+		// commit that omits the abort vote of one of them.
 		if len(o.TxnVotes) == 0 {
 			return false
 		}
 		covered := make(map[string]bool, len(o.TxnVotes))
+		reqIDs := make(map[string]bool, len(o.TxnVotes))
 		var participants []string
+		prepares := 0
 		for i := range o.TxnVotes {
 			b := &o.TxnVotes[i]
 			target, err := v.registry.Lookup(b.Target)
@@ -194,18 +206,23 @@ func (v *voter) validateOp(opID string, op []byte) bool {
 				return false
 			}
 			vote, ok := DecodeTxnVote(b.Payload)
-			if !ok || !vote.Commit || vote.TxnID != o.TxnID {
+			if !ok || !vote.Commit || vote.TxnID != o.TxnID || vote.Phase != TxnPrepare {
 				return false
 			}
 			if i == 0 {
 				participants = vote.Participants
-			} else if !equalStrings(vote.Participants, participants) {
-				return false // votes disagree on the membership
+				prepares = vote.Prepares
+			} else if !slices.Equal(vote.Participants, participants) || vote.Prepares != prepares {
+				return false // votes disagree on the membership or size
 			}
+			if reqIDs[b.ReqID] {
+				return false // the same vote cannot certify two PREPAREs
+			}
+			reqIDs[b.ReqID] = true
 			covered[b.Target] = true
 		}
-		if len(participants) == 0 {
-			return false
+		if len(participants) == 0 || len(o.TxnVotes) != prepares {
+			return false // a PREPARE's commit vote is missing
 		}
 		for _, p := range participants {
 			if !covered[p] {
@@ -343,19 +360,6 @@ func (v *voter) countVotes(vote *reqVote, digest [sha256.Size]byte) int {
 		}
 	}
 	return n
-}
-
-// equalStrings reports element-wise equality of two string slices.
-func equalStrings(a, b []string) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := range a {
-		if a[i] != b[i] {
-			return false
-		}
-	}
-	return true
 }
 
 // dedupShares keeps one share per replica index.

@@ -13,6 +13,7 @@ import (
 	"encoding/xml"
 	"fmt"
 	"strconv"
+	"strings"
 
 	"perpetualws/internal/core"
 	"perpetualws/internal/perpetual"
@@ -70,15 +71,30 @@ type transferLeg struct {
 	holdRef  string // CartReserve reference for TransferOut legs
 }
 
+// decidedWindow bounds the per-replica memory of decided transactions.
+const decidedWindow = 4096
+
 // storeTxns tracks a store replica's prepared transfer legs by
 // transaction id. It is executor-thread state, like the session table.
+// decided remembers (a bounded FIFO window of) transactions whose
+// outcome this replica already executed: the coordinator settles a
+// timed-out PREPARE on its own side only, so a PREPARE withheld by a
+// faulty shard primary can be agreed *after* the transaction's abort
+// outcome — reserving it then would hold the units forever, since no
+// further outcome will arrive to release them.
 type storeTxns struct {
-	db      *Bookstore
-	pending map[string][]transferLeg
+	db          *Bookstore
+	pending     map[string][]transferLeg
+	decided     map[string]struct{}
+	decidedFIFO []string
 }
 
 func newStoreTxns(store *Bookstore) *storeTxns {
-	return &storeTxns{db: store, pending: make(map[string][]transferLeg)}
+	return &storeTxns{
+		db:      store,
+		pending: make(map[string][]transferLeg),
+		decided: make(map[string]struct{}),
+	}
 }
 
 // prepare validates and reserves one transfer side, returning the reply
@@ -87,6 +103,20 @@ func (st *storeTxns) prepare(txnID string, body []byte) []byte {
 	side, customer, item, qty, ok := DecodeTransfer(body)
 	if !ok {
 		return soap.FaultBody(soap.Fault{Code: "soap:Sender", Reason: "tpcw: transaction PREPARE carries no transfer body"})
+	}
+	if _, done := st.decided[txnID]; done {
+		// The outcome already executed here (the coordinator settled a
+		// timed-out PREPARE on its side and fanned the decision out
+		// before this PREPARE was agreed). Reserving now would leak the
+		// hold forever; refuse instead.
+		return soap.FaultBody(soap.Fault{Code: "soap:Receiver", Reason: fmt.Sprintf("tpcw: transaction %s already decided", txnID)})
+	}
+	if customer < 0 {
+		// Go's % keeps the sign, so a negative id would survive the wrap
+		// below and make the commit-time CartAdd/CartReserve fail after
+		// the transaction already decided — a non-atomic outcome. Refuse
+		// at prepare time instead, which becomes this shard's abort vote.
+		return soap.FaultBody(soap.Fault{Code: "soap:Sender", Reason: fmt.Sprintf("tpcw: negative customer %d", customer)})
 	}
 	db := st.db.DB()
 	customer %= st.db.Customers()
@@ -113,20 +143,43 @@ func (st *storeTxns) prepare(txnID string, body []byte) []byte {
 }
 
 // outcome applies or releases every leg prepared under a transaction
-// and returns the acknowledgement body.
+// and returns the acknowledgement body. prepare validated every leg, so
+// applying cannot fail on correct replicas; should it anyway, the
+// failure is surfaced in the acknowledgement as a fault instead of
+// being discarded — a silently half-applied commit is exactly the
+// non-atomicity this layer exists to prevent.
 func (st *storeTxns) outcome(txnID string, commit bool) []byte {
 	db := st.db.DB()
+	var errs []string
 	for _, leg := range st.pending[txnID] {
+		var err error
 		switch {
 		case leg.side == TransferOut && commit:
-			_ = db.CommitHold(leg.holdRef)
+			err = db.CommitHold(leg.holdRef)
 		case leg.side == TransferOut:
-			_ = db.ReleaseHold(leg.holdRef)
+			err = db.ReleaseHold(leg.holdRef)
 		case leg.side == TransferIn && commit:
-			_ = db.CartAdd(leg.customer, leg.item, leg.qty)
+			err = db.CartAdd(leg.customer, leg.item, leg.qty)
+		}
+		if err != nil {
+			errs = append(errs, fmt.Sprintf("%s leg (customer %d, item %d): %v", leg.side, leg.customer, leg.item, err))
 		}
 	}
 	delete(st.pending, txnID)
+	if _, dup := st.decided[txnID]; !dup {
+		st.decided[txnID] = struct{}{}
+		st.decidedFIFO = append(st.decidedFIFO, txnID)
+		if len(st.decidedFIFO) > decidedWindow {
+			delete(st.decided, st.decidedFIFO[0])
+			st.decidedFIFO = st.decidedFIFO[1:]
+		}
+	}
+	if len(errs) > 0 {
+		return soap.FaultBody(soap.Fault{
+			Code:   "soap:Receiver",
+			Reason: fmt.Sprintf("tpcw: txn %s outcome: %s", txnID, strings.Join(errs, "; ")),
+		})
+	}
 	return []byte(`<transferDone/>`)
 }
 

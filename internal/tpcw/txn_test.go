@@ -120,6 +120,34 @@ func TestTransferOrderAbortLeavesNoResidue(t *testing.T) {
 	}
 }
 
+func TestTransferOrderRejectsNegativeDestination(t *testing.T) {
+	// Regression: a negative destination id survives the customer-range
+	// wrap (Go's % keeps the sign), so the TransferIn leg used to vote
+	// commit and then fail CartAdd silently at commit time — the source
+	// dropped its hold and the units vanished. The destination shard now
+	// refuses at prepare (an abort vote), keeping the transfer atomic.
+	const shards = 2
+	_, client := newShardedStoreCluster(t, 1, shards)
+	custs := customersOnShards(t, shards, 64)
+	from := custs[0]
+	const item = 5
+	stockCart(t, client, from, item, 1)
+
+	res, err := client.TransferOrder(from, -3, item, 1)
+	if err != nil {
+		t.Fatalf("TransferOrder: %v", err)
+	}
+	if res.Committed {
+		t.Fatal("transfer to a negative customer committed")
+	}
+	// The source kept its units: the same unit still transfers to a
+	// valid destination.
+	res, err = client.TransferOrder(from, custs[1], item, 1)
+	if err != nil || !res.Committed {
+		t.Fatalf("follow-up transfer = %+v, %v", res, err)
+	}
+}
+
 func TestTransferOrderSameShardDegenerates(t *testing.T) {
 	// Both customers on one shard: the transaction has a single
 	// participant group receiving both legs; atomicity still holds.
@@ -241,6 +269,40 @@ func wsengineOutcomeRequest(customer int, txnID string) *wsengine.MessageContext
 	req.Options.RoutingKey = CustomerKey(customer)
 	req.Envelope.Body = core.TxnOutcomeBody(txnID, true)
 	return req
+}
+
+func TestPrepareAfterOutcomeIsRefused(t *testing.T) {
+	// A PREPARE withheld by a faulty shard primary can be agreed after
+	// the coordinator (having settled the timed-out PREPARE on its own
+	// side) already fanned out the transaction's abort. Reserving at
+	// that point would hold the units forever — no further outcome will
+	// arrive to release them — so the late PREPARE must be refused.
+	db := NewDB(10, 4)
+	st := newStoreTxns(NewBookstore(db, nil))
+	if err := db.CartAdd(1, 2, 3); err != nil {
+		t.Fatal(err)
+	}
+
+	const txn = "c:txn:1"
+	if body := st.outcome(txn, false); string(body) != "<transferDone/>" {
+		t.Fatalf("abort outcome ack = %q", body)
+	}
+	late := st.prepare(txn, EncodeTransfer(TransferOut, 1, 2, 1))
+	if _, isFault := soap.IsFault(late); !isFault {
+		t.Fatalf("late PREPARE after outcome = %q, want fault (abort vote)", late)
+	}
+	if db.Holds() != 0 {
+		t.Fatalf("late PREPARE leaked %d holds", db.Holds())
+	}
+	if got := db.Cart(1); len(got) != 1 || got[0].Qty != 3 {
+		t.Errorf("cart disturbed by refused PREPARE: %+v", got)
+	}
+
+	// A fresh transaction on the same replica is unaffected.
+	ready := st.prepare("c:txn:2", EncodeTransfer(TransferOut, 1, 2, 1))
+	if _, isFault := soap.IsFault(ready); isFault {
+		t.Fatalf("fresh PREPARE refused: %q", ready)
+	}
 }
 
 func TestTransferCodecRoundTrip(t *testing.T) {
