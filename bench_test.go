@@ -388,3 +388,28 @@ func BenchmarkPerpetualMessageCodec(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkBroadcastEncode measures serializing one CLBFT broadcast for
+// the n-1 = 3 receivers of an n=4 group: the legacy per-receiver
+// re-encode against the encode-once multicast path (encode once, MAC
+// per receiver). Bodies live in internal/bench so `perpetualctl bench
+// -json` publishes numbers from identical code.
+func BenchmarkBroadcastEncode(b *testing.B) {
+	b.Run("per-receiver", bench.MicroBroadcastEncodePerReceiver)
+	b.Run("multicast", bench.MicroBroadcastEncodeMulticast)
+}
+
+// BenchmarkReplyShare measures encoding and sending one stage-5 reply
+// share for a 1 KiB reply: the legacy payload-carrying share against
+// the digest-only share the responder now receives.
+func BenchmarkReplyShare(b *testing.B) {
+	b.Run("with-payload", bench.MicroReplyShareWithPayload)
+	b.Run("digest-only", bench.MicroReplyShareDigestOnly)
+}
+
+// BenchmarkAuthenticatorBuild measures building a reply authenticator
+// (MAC vector) for the 8 receivers of an n=4 calling service, the
+// stage-4 cost every executed request pays at every target voter.
+func BenchmarkAuthenticatorBuild(b *testing.B) {
+	bench.MicroAuthenticatorBuild(b)
+}

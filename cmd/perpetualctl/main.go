@@ -11,6 +11,7 @@
 //	perpetualctl fig9 [-quick] [-calls 300] [-runs 3]
 //	perpetualctl shards [-quick] [-n 4] [-calls 1920] [-measure 3s]
 //	perpetualctl txn [-quick] [-n 4] [-calls 200]
+//	perpetualctl bench [-quick] [-json] [-out FILE]
 //	perpetualctl all  [-quick]
 //
 // -quick shrinks the parameter grids so a full pass finishes in a couple
@@ -19,10 +20,12 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
 	"perpetualws/internal/bench"
@@ -54,6 +57,8 @@ func main() {
 		err = runShards(args)
 	case "txn":
 		err = runTxn(args)
+	case "bench":
+		err = runBench(args)
 	case "all":
 		for _, sub := range []func([]string) error{runFig7, runFig8, runFig9, runFig6} {
 			if err = sub(args); err != nil {
@@ -71,7 +76,7 @@ func main() {
 }
 
 func usage(w io.Writer) {
-	fmt.Fprintln(w, `usage: perpetualctl <properties|fig6|fig7|fig8|fig9|shards|txn|all> [flags]
+	fmt.Fprintln(w, `usage: perpetualctl <properties|fig6|fig7|fig8|fig9|shards|txn|bench|all> [flags]
   properties  print the paper's Figure 2 property matrix
   fig6        TPC-W WIPS vs RBE count (payment-tier replication sweep)
   fig7        replica scalability, null requests
@@ -79,8 +84,54 @@ func usage(w io.Writer) {
   fig9        effect of asynchronous messaging
   shards      aggregate throughput vs shard count (sharded services)
   txn         cross-shard atomic transactions vs single-shard baseline
+  bench       headline figure summary; -json emits the machine-readable
+              report (use -out FILE to write e.g. BENCH_pr3.json)
   all         fig7, fig8, fig9, then fig6
 common flags: -quick (reduced grids), plus per-figure tuning flags`)
+}
+
+func runBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	quick := fs.Bool("quick", false, "reduced measurement sizes")
+	asJSON := fs.Bool("json", false, "emit the machine-readable JSON report")
+	out := fs.String("out", "", "write the report to this file instead of stdout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "running bench report (null throughput, WIPS, txn, reply path, micro)...")
+	rep, err := bench.RunReport(bench.ReportConfig{Quick: *quick})
+	if err != nil {
+		return err
+	}
+	var payload []byte
+	if *asJSON {
+		payload, err = json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		payload = append(payload, '\n')
+	} else {
+		var b strings.Builder
+		fmt.Fprintf(&b, "headline WIPS (n=4, 42 RBEs):   %.1f\n", rep.HeadlineWIPS)
+		fmt.Fprintf(&b, "null requests  n=1: %8.0f req/s   n=4: %8.0f req/s\n",
+			rep.NullReqPerSec["n=1"], rep.NullReqPerSec["n=4"])
+		fmt.Fprintf(&b, "cross-shard txn: %.0f txn/s (baseline %.0f req/s, %.1fx overhead)\n",
+			rep.TxnPerSec, rep.TxnBaselineReqPerSec, rep.TxnOverheadX)
+		fmt.Fprintf(&b, "reply-share bytes/request (1 KiB reply, n=4): %.0f\n", rep.ReplyShareBytesPerReq)
+		for _, name := range []string{
+			"broadcast_encode_per_receiver", "broadcast_encode_multicast",
+			"reply_share_with_payload", "reply_share_digest_only", "authenticator_build",
+		} {
+			m := rep.Micro[name]
+			fmt.Fprintf(&b, "%-30s %10.0f ns/op %8d B/op %5d allocs/op\n", name, m.NsPerOp, m.BytesPerOp, m.AllocsPerOp)
+		}
+		payload = []byte(b.String())
+	}
+	if *out != "" {
+		return os.WriteFile(*out, payload, 0o644)
+	}
+	_, err = os.Stdout.Write(payload)
+	return err
 }
 
 func runShards(args []string) error {

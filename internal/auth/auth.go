@@ -16,8 +16,10 @@ package auth
 import (
 	"crypto/hmac"
 	"crypto/sha256"
+	"encoding"
 	"errors"
 	"fmt"
+	"hash"
 	"sort"
 	"strconv"
 	"strings"
@@ -85,20 +87,74 @@ func (id NodeID) String() string {
 }
 
 // ParseNodeID parses the "service/role/index" form produced by String.
+// It is called once per decoded frame and per authenticator entry, so
+// it avoids the allocations of strings.Split.
 func ParseNodeID(s string) (NodeID, error) {
-	parts := strings.Split(s, "/")
-	if len(parts) != 3 {
+	i := strings.IndexByte(s, '/')
+	if i < 0 {
 		return NodeID{}, fmt.Errorf("auth: malformed node id %q", s)
 	}
-	role, err := ParseRole(parts[1])
+	j := strings.IndexByte(s[i+1:], '/')
+	if j < 0 {
+		return NodeID{}, fmt.Errorf("auth: malformed node id %q", s)
+	}
+	j += i + 1
+	if strings.IndexByte(s[j+1:], '/') >= 0 {
+		return NodeID{}, fmt.Errorf("auth: malformed node id %q", s)
+	}
+	role, err := ParseRole(s[i+1 : j])
 	if err != nil {
 		return NodeID{}, err
 	}
-	idx, err := strconv.Atoi(parts[2])
+	idx, err := strconv.Atoi(s[j+1:])
 	if err != nil {
 		return NodeID{}, fmt.Errorf("auth: malformed node index in %q: %w", s, err)
 	}
-	return NodeID{Service: parts[0], Role: role, Index: idx}, nil
+	return NodeID{Service: s[:i], Role: role, Index: idx}, nil
+}
+
+// NodeID interning: the wire carries node ids as strings, and the hot
+// paths (frame decoding, authenticator entries) parse the same handful
+// of principals over and over. A bounded cache maps the wire bytes to
+// their parsed NodeID without allocating on hits. The wire bytes are
+// unauthenticated at intern time (frame decoding runs before MAC
+// verification), so the cache bounds both the entry count and the
+// per-entry size: a peer spraying fabricated ids can pin at most
+// internLimit × internMaxIDLen bytes, and oversized ids are parsed
+// without ever touching the cache. Legitimate deployments have orders
+// of magnitude fewer, far shorter principals.
+const (
+	internLimit    = 4096
+	internMaxIDLen = 256
+)
+
+var (
+	internMu sync.RWMutex
+	interned = make(map[string]NodeID)
+)
+
+// InternNodeID parses the "service/role/index" wire form from raw
+// bytes, serving repeat principals from a cache without allocation.
+func InternNodeID(b []byte) (NodeID, error) {
+	internMu.RLock()
+	id, ok := interned[string(b)] // compiler avoids the conversion alloc
+	internMu.RUnlock()
+	if ok {
+		return id, nil
+	}
+	s := string(b)
+	id, err := ParseNodeID(s)
+	if err != nil {
+		return NodeID{}, err
+	}
+	if len(s) <= internMaxIDLen {
+		internMu.Lock()
+		if len(interned) < internLimit {
+			interned[s] = id
+		}
+		internMu.Unlock()
+	}
+	return id, nil
 }
 
 // Less orders NodeIDs lexicographically; used to derive pairwise keys
@@ -125,6 +181,111 @@ func MAC(key Key, msg []byte) []byte {
 	m.Write(msg)
 	return m.Sum(nil)
 }
+
+// macState holds the serialized SHA-256 states of an HMAC key's inner
+// and outer pads, precomputed once per pairwise key — one inner state
+// per MAC domain (the domain byte is absorbed into the precomputed
+// state, so domain-tagged MACs cost no extra hashing or allocation at
+// MAC time). Resuming from these states skips the two key-schedule
+// compressions and the pad buffers hmac.New pays on every call — the
+// dominant crypto cost on the hot path, where every protocol message is
+// MACed per receiver. The output is bit-identical to crypto/hmac's
+// HMAC-SHA256 (of domain||msg for tagged domains).
+type macState struct {
+	inner [numDomains][]byte // indexed by domain; 0 = untagged
+	outer []byte
+}
+
+// newMACState precomputes the pad states for key.
+func newMACState(key Key) macState {
+	k := []byte(key)
+	if len(k) > sha256.BlockSize {
+		d := sha256.Sum256(k)
+		k = d[:]
+	}
+	var pad [sha256.BlockSize]byte
+	absorb := func(b byte, extra ...byte) []byte {
+		for i := range pad {
+			pad[i] = b
+		}
+		for i, kb := range k {
+			pad[i] ^= kb
+		}
+		h := sha256.New()
+		h.Write(pad[:])
+		h.Write(extra)
+		st, err := h.(encoding.BinaryMarshaler).MarshalBinary()
+		if err != nil {
+			return nil
+		}
+		return st
+	}
+	var st macState
+	st.outer = absorb(0x5c)
+	st.inner[0] = absorb(0x36)
+	for d := byte(1); d < numDomains; d++ {
+		st.inner[d] = absorb(0x36, d)
+	}
+	return st
+}
+
+// shaPool recycles SHA-256 digest objects for macState.mac: two fresh
+// digests per MAC would otherwise be the hot path's largest allocation
+// source.
+var shaPool = sync.Pool{New: func() any { return sha256.New() }}
+
+// MAC domains separate the contexts a pairwise key authenticates.
+// Without them, a MAC harvested in one context verifies in another
+// under the same key: a transport MAC over a large payload's digest
+// would double as a valid MAC for a small frame whose payload IS that
+// digest, and an authenticator entry (also a MAC over a message
+// digest) would double as a transport-frame MAC. Every domain-tagged
+// MAC covers the domain byte followed by its message, so the contexts
+// can never collide with each other (or with legacy domainless MACs,
+// which remain plain HMAC over the message alone).
+const (
+	// DomainFrameRaw authenticates a transport frame by its raw
+	// payload (payloads below the digest-MAC threshold).
+	DomainFrameRaw byte = 0x01
+	// DomainFrameDigest authenticates a transport frame by its
+	// payload's SHA-256 digest (payloads at/above the threshold).
+	DomainFrameDigest byte = 0x02
+	// domainAuthenticator authenticates an Authenticator entry by the
+	// message's SHA-256 digest.
+	domainAuthenticator byte = 0x03
+
+	// numDomains bounds the domain space (0 = untagged legacy MACs).
+	numDomains = 4
+)
+
+// mac computes HMAC-SHA256 over domain||msg by resuming the
+// precomputed pad states. A zero domain reproduces plain HMAC(msg).
+func (st macState) mac(domain byte, msg []byte) []byte {
+	if domain >= numDomains {
+		return nil
+	}
+	h := shaPool.Get().(hash.Hash)
+	defer shaPool.Put(h)
+	resume := func(state []byte) bool {
+		u, ok := h.(encoding.BinaryUnmarshaler)
+		return ok && u.UnmarshalBinary(state) == nil
+	}
+	if !resume(st.inner[domain]) {
+		return nil
+	}
+	h.Write(msg)
+	var sum [sha256.Size]byte
+	h.Sum(sum[:0])
+	if !resume(st.outer) {
+		return nil
+	}
+	h.Write(sum[:])
+	return h.Sum(nil)
+}
+
+// valid reports whether precomputation succeeded (it can only fail if
+// the hash implementation stops supporting state marshaling).
+func (st macState) valid() bool { return st.inner[0] != nil && st.outer != nil }
 
 // VerifyMAC reports whether mac is a valid MAC for msg under key, in
 // constant time.
@@ -158,18 +319,24 @@ var (
 	ErrNoEntry          = errors.New("auth: authenticator has no entry for receiver")
 )
 
-// KeyStore holds the pairwise keys of one principal. It is safe for
+// KeyStore holds the pairwise keys of one principal, with the HMAC pad
+// states of each key precomputed (see macState). It is safe for
 // concurrent use.
 type KeyStore struct {
 	self NodeID
 
-	mu   sync.RWMutex
-	keys map[NodeID]Key
+	mu     sync.RWMutex
+	keys   map[NodeID]Key
+	states map[NodeID]macState
 }
 
 // NewKeyStore creates an empty key store for principal self.
 func NewKeyStore(self NodeID) *KeyStore {
-	return &KeyStore{self: self, keys: make(map[NodeID]Key)}
+	return &KeyStore{
+		self:   self,
+		keys:   make(map[NodeID]Key),
+		states: make(map[NodeID]macState),
+	}
 }
 
 // NewDerivedKeyStore creates a key store for self with pairwise keys,
@@ -193,6 +360,7 @@ func (ks *KeyStore) SetKey(peer NodeID, key Key) {
 	ks.mu.Lock()
 	defer ks.mu.Unlock()
 	ks.keys[peer] = key
+	ks.states[peer] = newMACState(key)
 }
 
 // Key returns the pairwise key shared with peer.
@@ -218,22 +386,47 @@ func (ks *KeyStore) Peers() []NodeID {
 	return out
 }
 
-// Sign computes the MAC of msg for a single receiver.
+// Sign computes the MAC of msg for a single receiver (no domain tag).
 func (ks *KeyStore) Sign(receiver NodeID, msg []byte) ([]byte, error) {
+	return ks.SignDomain(receiver, 0, msg)
+}
+
+// SignDomain computes the MAC of domain||msg for a single receiver
+// (see the Domain constants for why contexts are separated).
+func (ks *KeyStore) SignDomain(receiver NodeID, domain byte, msg []byte) ([]byte, error) {
+	ks.mu.RLock()
+	st, ok := ks.states[receiver]
+	ks.mu.RUnlock()
+	if ok && st.valid() {
+		if m := st.mac(domain, msg); m != nil {
+			return m, nil
+		}
+	}
 	k, err := ks.Key(receiver)
 	if err != nil {
 		return nil, err
 	}
-	return MAC(k, msg), nil
+	if domain == 0 {
+		return MAC(k, msg), nil
+	}
+	m := hmac.New(sha256.New, k)
+	m.Write([]byte{domain})
+	m.Write(msg)
+	return m.Sum(nil), nil
 }
 
 // Verify checks a single MAC allegedly produced by sender over msg.
 func (ks *KeyStore) Verify(sender NodeID, msg, mac []byte) error {
-	k, err := ks.Key(sender)
+	return ks.VerifyDomain(sender, 0, msg, mac)
+}
+
+// VerifyDomain checks a domain-tagged MAC allegedly produced by sender.
+func (ks *KeyStore) VerifyDomain(sender NodeID, domain byte, msg, mac []byte) error {
+	want, err := ks.SignDomain(sender, domain, msg)
 	if err != nil {
 		return err
 	}
-	if !VerifyMAC(k, msg, mac) {
+	if !hmac.Equal(want, mac) {
 		return fmt.Errorf("%w: from %s", ErrBadMAC, sender)
 	}
 	return nil
@@ -257,13 +450,21 @@ type Authenticator struct {
 // NewAuthenticator computes an authenticator over msg for the given
 // receivers using the sender's key store. Receivers equal to the sender
 // are skipped (a principal trusts itself).
+//
+// The message is hashed exactly once: each receiver's entry is a MAC
+// over the shared SHA-256 digest, not over the raw message, so building
+// an authenticator for n receivers costs one long hash plus n
+// constant-size MACs instead of n long hashes (the vector-of-MACs
+// optimization the paper's cryptographic-overhead argument rests on).
+// VerifyFor recomputes the same digest, so the two sides agree.
 func NewAuthenticator(ks *KeyStore, msg []byte, receivers []NodeID) (Authenticator, error) {
 	a := Authenticator{Sender: ks.Self(), Entries: make([]Entry, 0, len(receivers))}
+	digest := sha256.Sum256(msg)
 	for _, r := range receivers {
 		if r == ks.Self() {
 			continue
 		}
-		mac, err := ks.Sign(r, msg)
+		mac, err := ks.SignDomain(r, domainAuthenticator, digest[:])
 		if err != nil {
 			return Authenticator{}, err
 		}
@@ -283,8 +484,9 @@ func (a Authenticator) EntryFor(receiver NodeID) ([]byte, bool) {
 }
 
 // VerifyFor checks the authenticator entry destined for the owner of ks.
-// The message is accepted if the entry's MAC verifies under the pairwise
-// key shared with the authenticator's sender.
+// The message is accepted if the entry's MAC — computed over the
+// message's SHA-256 digest, matching NewAuthenticator — verifies under
+// the pairwise key shared with the authenticator's sender.
 func (a Authenticator) VerifyFor(ks *KeyStore, msg []byte) error {
 	if a.Sender == ks.Self() {
 		return nil // self-addressed messages are implicitly trusted
@@ -293,5 +495,6 @@ func (a Authenticator) VerifyFor(ks *KeyStore, msg []byte) error {
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNoEntry, ks.Self())
 	}
-	return ks.Verify(a.Sender, msg, mac)
+	digest := sha256.Sum256(msg)
+	return ks.VerifyDomain(a.Sender, domainAuthenticator, digest[:], mac)
 }

@@ -290,3 +290,69 @@ func BenchmarkAuthenticator10(b *testing.B) {
 		}
 	}
 }
+
+// The precomputed-pad-state MAC fast path must produce bit-identical
+// HMAC-SHA256, including for keys longer than the hash block size.
+func TestMACStateMatchesHMAC(t *testing.T) {
+	for _, keyLen := range []int{1, 32, 64, 65, 200} {
+		key := Key(bytes.Repeat([]byte{0xA5}, keyLen))
+		st := newMACState(key)
+		if !st.valid() {
+			t.Fatalf("keyLen %d: state precompute failed", keyLen)
+		}
+		for _, msgLen := range []int{0, 1, 63, 64, 65, 1000} {
+			msg := bytes.Repeat([]byte{7}, msgLen)
+			if !bytes.Equal(st.mac(0, msg), MAC(key, msg)) {
+				t.Errorf("keyLen %d msgLen %d: fast-path MAC diverges from HMAC-SHA256", keyLen, msgLen)
+			}
+			// Domain-tagged MACs are HMAC over domain||msg.
+			if !bytes.Equal(st.mac(DomainFrameRaw, msg), MAC(key, append([]byte{DomainFrameRaw}, msg...))) {
+				t.Errorf("keyLen %d msgLen %d: domain-tagged fast path diverges", keyLen, msgLen)
+			}
+			if bytes.Equal(st.mac(DomainFrameRaw, msg), st.mac(DomainFrameDigest, msg)) {
+				t.Errorf("keyLen %d msgLen %d: distinct domains produced identical MACs", keyLen, msgLen)
+			}
+		}
+	}
+}
+
+func TestInternNodeID(t *testing.T) {
+	id, err := InternNodeID([]byte("svc/voter/3"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != VoterID("svc", 3) {
+		t.Errorf("interned %+v", id)
+	}
+	// Hits must return the identical value.
+	again, err := InternNodeID([]byte("svc/voter/3"))
+	if err != nil || again != id {
+		t.Errorf("intern hit mismatch: %+v, %v", again, err)
+	}
+	if _, err := InternNodeID([]byte("garbage")); err == nil {
+		t.Error("interned malformed id")
+	}
+	if _, err := InternNodeID([]byte("a/voter/1/extra")); err == nil {
+		t.Error("interned id with extra separator")
+	}
+}
+
+func TestAuthenticatorDigestBinding(t *testing.T) {
+	// The authenticator MACs the message digest; two messages with the
+	// same digest input rules are still distinguished.
+	master := []byte("m")
+	s, r := VoterID("s", 0), DriverID("c", 0)
+	all := []NodeID{s, r}
+	ksS := NewDerivedKeyStore(master, s, all)
+	ksR := NewDerivedKeyStore(master, r, all)
+	a, err := NewAuthenticator(ksS, []byte("msg-1"), []NodeID{r})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.VerifyFor(ksR, []byte("msg-1")); err != nil {
+		t.Errorf("verify: %v", err)
+	}
+	if err := a.VerifyFor(ksR, []byte("msg-2")); err == nil {
+		t.Error("authenticator verified a different message")
+	}
+}

@@ -1,0 +1,175 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"perpetualws/internal/core"
+	"perpetualws/internal/perpetual"
+	"perpetualws/internal/wsengine"
+)
+
+// MicroResult is one micro-benchmark's measured cost.
+type MicroResult struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// Report is the machine-readable figure summary `perpetualctl bench
+// -json` emits. It seeds the performance trajectory future changes are
+// compared against (BENCH_pr<k>.json at the repo root): headline TPC-W
+// WIPS, null-request throughput, cross-shard transaction overhead,
+// reply-path bandwidth, and the hot-loop micro costs.
+type Report struct {
+	GeneratedBy string `json:"generated_by"`
+	GoVersion   string `json:"go_version"`
+	NumCPU      int    `json:"num_cpu"`
+
+	// HeadlineWIPS is the Figure 6 cell at n_pge = n_bank = 4.
+	HeadlineWIPS float64 `json:"headline_wips_n4"`
+	// NullReqPerSec is Figure 7's null-request throughput per group size
+	// (nc = nt = n), averaged over Runs.
+	NullReqPerSec map[string]float64 `json:"null_req_per_sec"`
+	// Txn compares cross-shard transactions against the single-shard
+	// keyed calls they generalize (2 shards of n=4).
+	TxnBaselineReqPerSec float64 `json:"txn_baseline_req_per_sec"`
+	TxnPerSec            float64 `json:"txn_per_sec"`
+	TxnOverheadX         float64 `json:"txn_overhead_x"`
+	// ReplyShareBytesPerReq is the reply-share traffic one request with
+	// a 1 KiB reply moves across an n=4 target voter group (digest-only
+	// shares; the payload-carrying protocol moved >= 3 KiB).
+	ReplyShareBytesPerReq float64 `json:"reply_share_bytes_per_req_1k"`
+
+	Micro map[string]MicroResult `json:"micro"`
+}
+
+// ReportConfig tunes RunReport's measurement sizes.
+type ReportConfig struct {
+	Quick bool // smaller grids for smoke runs
+}
+
+// RunReport measures the report's figures.
+func RunReport(cfg ReportConfig) (*Report, error) {
+	r := &Report{
+		GeneratedBy:   "perpetualctl bench -json",
+		GoVersion:     runtime.Version(),
+		NumCPU:        runtime.NumCPU(),
+		NullReqPerSec: make(map[string]float64),
+		Micro:         make(map[string]MicroResult),
+	}
+
+	calls, runs := 200, 3
+	measure := 2 * time.Second
+	if cfg.Quick {
+		calls, runs = 60, 1
+		measure = 1 * time.Second
+	}
+
+	for _, n := range []int{1, 4} {
+		var total float64
+		for i := 0; i < runs; i++ {
+			tput, _, err := MeasurePair(PairConfig{NC: n, NT: n, Calls: calls})
+			if err != nil {
+				return nil, fmt.Errorf("bench: null cell n=%d: %w", n, err)
+			}
+			total += tput
+		}
+		r.NullReqPerSec[fmt.Sprintf("n=%d", n)] = total / float64(runs)
+	}
+
+	wips, err := measureTPCW(4, 42, Figure6Config{ThinkTime: 400 * time.Millisecond, Measure: measure})
+	if err != nil {
+		return nil, fmt.Errorf("bench: headline WIPS: %w", err)
+	}
+	r.HeadlineWIPS = wips
+
+	txnCalls := 60
+	if cfg.Quick {
+		txnCalls = 30
+	}
+	base, txns, err := MeasureCrossShardTxn(TxnConfig{Shards: 2, N: 4, Calls: txnCalls})
+	if err != nil {
+		return nil, fmt.Errorf("bench: txn cell: %w", err)
+	}
+	r.TxnBaselineReqPerSec, r.TxnPerSec = base, txns
+	if txns > 0 {
+		r.TxnOverheadX = base / txns
+	}
+
+	shareBytes, err := MeasureReplyPathBytes(1024, 8)
+	if err != nil {
+		return nil, fmt.Errorf("bench: reply-path bytes: %w", err)
+	}
+	r.ReplyShareBytesPerReq = shareBytes
+
+	micros := map[string]func(*testing.B){
+		"broadcast_encode_per_receiver": MicroBroadcastEncodePerReceiver,
+		"broadcast_encode_multicast":    MicroBroadcastEncodeMulticast,
+		"reply_share_with_payload":      MicroReplyShareWithPayload,
+		"reply_share_digest_only":       MicroReplyShareDigestOnly,
+		"authenticator_build":           MicroAuthenticatorBuild,
+	}
+	for name, fn := range micros {
+		res := testing.Benchmark(fn)
+		r.Micro[name] = MicroResult{
+			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+		}
+	}
+	return r, nil
+}
+
+// MeasureReplyPathBytes runs requests with payloadSize-byte replies
+// through a 1-caller / 4-voter pair and returns the reply-share bytes
+// one request moves across the target voter group (the digest-only
+// reply-path bandwidth claim, measured rather than asserted).
+func MeasureReplyPathBytes(payloadSize, requests int) (float64, error) {
+	body := make([]byte, payloadSize)
+	for i := range body {
+		body[i] = 'p'
+	}
+	app := core.ApplicationFunc(func(ctx *core.AppContext) {
+		for {
+			req, err := ctx.ReceiveRequest()
+			if err != nil {
+				return
+			}
+			reply := wsengine.NewMessageContext()
+			reply.Envelope.Body = body
+			if err := ctx.SendReply(reply, req); err != nil {
+				return
+			}
+		}
+	})
+	cluster, err := core.NewCluster([]byte("bench-replypath"),
+		core.ServiceDef{Name: "caller", N: 1, Options: benchOpts()},
+		core.ServiceDef{Name: "target", N: 4, App: app, Options: benchOpts()},
+	)
+	if err != nil {
+		return 0, err
+	}
+	cluster.Start()
+	defer cluster.Stop()
+
+	if err := runWorkload(cluster, 1, 1, 1); err != nil {
+		return 0, err
+	}
+	before := replyShareBytes(cluster.Deployment(), "target")
+	if err := runWorkload(cluster, 1, requests, 1); err != nil {
+		return 0, err
+	}
+	after := replyShareBytes(cluster.Deployment(), "target")
+	return float64(after-before) / float64(requests), nil
+}
+
+func replyShareBytes(dep *perpetual.Deployment, service string) uint64 {
+	var total uint64
+	for _, r := range dep.Replicas(service) {
+		total += r.VoterStats().Class(uint8(perpetual.KindReplyShare)).SentBytes
+	}
+	return total
+}

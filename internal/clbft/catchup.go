@@ -41,14 +41,11 @@ func (r *Replica) requestCatchUp(seq uint64) {
 	}
 	f := &Fetch{From: r.lastExec, To: seq, Replica: r.cfg.ID}
 	m := &Message{Type: MsgFetch, Fetch: f}
-	sent := 0
-	for i := 0; i < r.cfg.N && sent < r.cfg.WeakQuorum(); i++ {
-		if i == r.cfg.ID {
-			continue
-		}
-		r.transport.Send(i, m)
-		sent++
+	tos := r.others
+	if len(tos) > r.cfg.WeakQuorum() {
+		tos = tos[:r.cfg.WeakQuorum()]
 	}
+	r.multicastTo(tos, m)
 }
 
 // onFetch serves history from the retention cache. Sequence numbers the
@@ -116,7 +113,7 @@ func (r *Replica) onFetchReply(from int, fr *FetchReply) {
 	for i := range fr.Ops {
 		op := &fr.Ops[i]
 		if e, ok := r.log.at(op.Seq); ok {
-			e.executed = true
+			r.log.markExecuted(e)
 		}
 		r.lastExec = op.Seq
 		req := op.Request

@@ -1,5 +1,14 @@
 package clbft
 
+// vote records one replica's prepare or commit vote: the digest it
+// claimed. Votes are kept in fixed slices indexed by replica — group
+// sizes are small and known, so per-entry maps would only feed the
+// garbage collector.
+type vote struct {
+	set bool
+	d   Digest
+}
+
 // entry tracks the protocol state of one sequence number in one view.
 // Entries live in the replica's message log between the low watermark
 // and execution + checkpoint garbage collection.
@@ -19,8 +28,8 @@ type entry struct {
 	innerOps []string
 
 	prePrepared bool
-	prepares    map[int]Digest // backup index -> claimed digest
-	commits     map[int]Digest // replica index -> claimed digest
+	prepares    []vote // indexed by backup replica
+	commits     []vote // indexed by replica
 
 	prepared   bool
 	committed  bool
@@ -28,21 +37,27 @@ type entry struct {
 	sentCommit bool
 }
 
-func newEntry(view, seq uint64) *entry {
+func newEntry(view, seq uint64, n int) *entry {
 	return &entry{
 		view:     view,
 		seq:      seq,
-		prepares: make(map[int]Digest),
-		commits:  make(map[int]Digest),
+		prepares: make([]vote, n),
+		commits:  make([]vote, n),
 	}
 }
+
+// setPrepare records replica from's prepare vote for digest d.
+func (e *entry) setPrepare(from int, d Digest) { e.prepares[from] = vote{set: true, d: d} }
+
+// setCommit records replica from's commit vote for digest d.
+func (e *entry) setCommit(from int, d Digest) { e.commits[from] = vote{set: true, d: d} }
 
 // matchingPrepares counts prepare votes that match the pre-prepared
 // digest. Meaningless before the pre-prepare fixes the digest.
 func (e *entry) matchingPrepares() int {
 	n := 0
-	for _, d := range e.prepares {
-		if d == e.digest {
+	for i := range e.prepares {
+		if e.prepares[i].set && e.prepares[i].d == e.digest {
 			n++
 		}
 	}
@@ -53,23 +68,34 @@ func (e *entry) matchingPrepares() int {
 // digest.
 func (e *entry) matchingCommits() int {
 	n := 0
-	for _, d := range e.commits {
-		if d == e.digest {
+	for i := range e.commits {
+		if e.commits[i].set && e.commits[i].d == e.digest {
 			n++
 		}
 	}
 	return n
 }
 
+// live reports whether the entry represents accepted-but-unexecuted
+// work (the replica is waiting for its agreement or execution).
+func (e *entry) live() bool { return e.prePrepared && !e.executed }
+
 // msgLog is the replica's bounded message log keyed by sequence number.
 // Only one entry per sequence number is tracked for the current view;
 // entries from superseded views are replaced during view changes.
+//
+// liveCount incrementally tracks the number of live entries
+// (pre-prepared, not yet executed): the suspicion timer consults it on
+// every execution, so a full scan here would turn the hot execute loop
+// quadratic in the log window.
 type msgLog struct {
-	entries map[uint64]*entry
+	n         int
+	entries   map[uint64]*entry
+	liveCount int
 }
 
-func newMsgLog() *msgLog {
-	return &msgLog{entries: make(map[uint64]*entry)}
+func newMsgLog(n int) *msgLog {
+	return &msgLog{n: n, entries: make(map[uint64]*entry)}
 }
 
 // get returns the entry for (view, seq), creating it if absent. An entry
@@ -78,10 +104,34 @@ func newMsgLog() *msgLog {
 func (l *msgLog) get(view, seq uint64) *entry {
 	e, ok := l.entries[seq]
 	if !ok || e.view < view {
-		e = newEntry(view, seq)
+		if ok && e.live() {
+			l.liveCount--
+		}
+		e = newEntry(view, seq, l.n)
 		l.entries[seq] = e
 	}
 	return e
+}
+
+// markPrePrepared transitions an entry to pre-prepared, keeping the
+// live count consistent.
+func (l *msgLog) markPrePrepared(e *entry) {
+	if !e.prePrepared {
+		e.prePrepared = true
+		if e.live() {
+			l.liveCount++
+		}
+	}
+}
+
+// markExecuted transitions an entry to executed.
+func (l *msgLog) markExecuted(e *entry) {
+	if !e.executed {
+		if e.live() {
+			l.liveCount--
+		}
+		e.executed = true
+	}
 }
 
 // at returns the entry at seq regardless of view.
@@ -93,12 +143,18 @@ func (l *msgLog) at(seq uint64) (*entry, bool) {
 // truncate removes all entries with seq <= stable (covered by a stable
 // checkpoint).
 func (l *msgLog) truncate(stable uint64) {
-	for seq := range l.entries {
+	for seq, e := range l.entries {
 		if seq <= stable {
+			if e.live() {
+				l.liveCount--
+			}
 			delete(l.entries, seq)
 		}
 	}
 }
+
+// hasLive reports whether any entry is pre-prepared but unexecuted.
+func (l *msgLog) hasLive() bool { return l.liveCount > 0 }
 
 // hasLiveOp reports whether some live log entry carries the given OpID
 // (directly or inside a batch); used by the primary to avoid assigning

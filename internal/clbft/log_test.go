@@ -7,7 +7,7 @@ import (
 )
 
 func TestMsgLogGetReplacesOlderViews(t *testing.T) {
-	l := newMsgLog()
+	l := newMsgLog(4)
 	e0 := l.get(0, 5)
 	e0.prePrepared = true
 	e0.prepared = true
@@ -30,7 +30,7 @@ func TestMsgLogGetReplacesOlderViews(t *testing.T) {
 }
 
 func TestMsgLogTruncate(t *testing.T) {
-	l := newMsgLog()
+	l := newMsgLog(4)
 	for seq := uint64(1); seq <= 10; seq++ {
 		l.get(0, seq)
 	}
@@ -48,7 +48,7 @@ func TestMsgLogTruncate(t *testing.T) {
 }
 
 func TestMsgLogPreparedAbove(t *testing.T) {
-	l := newMsgLog()
+	l := newMsgLog(4)
 	req := Request{OpID: "a", Op: []byte("x")}
 	for seq := uint64(1); seq <= 4; seq++ {
 		e := l.get(0, seq)
@@ -71,24 +71,24 @@ func TestEntryMatchingVotes(t *testing.T) {
 	d := req.Digest()
 	var other Digest
 	other[0] = 0xFF
-	e := newEntry(0, 1)
+	e := newEntry(0, 1, 4)
 	e.digest = d
 	e.prePrepared = true
-	e.prepares[1] = d
-	e.prepares[2] = other // mismatching vote must not count
-	e.prepares[3] = d
+	e.setPrepare(1, d)
+	e.setPrepare(2, other) // mismatching vote must not count
+	e.setPrepare(3, d)
 	if got := e.matchingPrepares(); got != 2 {
 		t.Errorf("matchingPrepares = %d, want 2", got)
 	}
-	e.commits[0] = d
-	e.commits[1] = other
+	e.setCommit(0, d)
+	e.setCommit(1, other)
 	if got := e.matchingCommits(); got != 1 {
 		t.Errorf("matchingCommits = %d, want 1", got)
 	}
 }
 
 func TestHasLiveOp(t *testing.T) {
-	l := newMsgLog()
+	l := newMsgLog(4)
 	req := Request{OpID: "live"}
 	e := l.get(0, 1)
 	e.request = &req
@@ -109,7 +109,7 @@ func TestHasLiveOp(t *testing.T) {
 // reachable at its own sequence number.
 func TestMsgLogInvariantProperty(t *testing.T) {
 	f := func(ops []uint16, truncAt uint16) bool {
-		l := newMsgLog()
+		l := newMsgLog(4)
 		for _, o := range ops {
 			seq := uint64(o%64) + 1
 			view := uint64(o % 3)

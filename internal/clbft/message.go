@@ -195,6 +195,13 @@ func (m *Message) String() string {
 // Encode serializes the message with the wire codec.
 func (m *Message) Encode() []byte {
 	w := wire.NewWriter(128)
+	m.EncodeTo(w)
+	return w.Bytes()
+}
+
+// EncodeTo serializes the message into w (hot paths pass a pooled
+// writer so broadcast encoding allocates nothing in steady state).
+func (m *Message) EncodeTo(w *wire.Writer) {
 	w.PutUint8(uint8(m.Type))
 	switch m.Type {
 	case MsgRequest:
@@ -236,7 +243,6 @@ func (m *Message) Encode() []byte {
 			encodeRequest(w, &fr.Ops[i].Request)
 		}
 	}
-	return w.Bytes()
 }
 
 // DecodeMessage parses a message, copying all variable-length fields so

@@ -23,6 +23,15 @@ type Transport interface {
 	Send(to int, m *Message)
 }
 
+// Multicaster is an optional Transport extension: a transport that can
+// deliver one message to several receivers more cheaply than repeated
+// Sends (typically by serializing it once and varying only per-receiver
+// authentication). Replica broadcasts use it when available and fall
+// back to a Send loop otherwise.
+type Multicaster interface {
+	Multicast(tos []int, m *Message)
+}
+
 // TransportFunc adapts a function to the Transport interface.
 type TransportFunc func(to int, m *Message)
 
@@ -89,6 +98,15 @@ type Replica struct {
 	timer    *time.Timer
 	timerGen uint64
 
+	// others lists every replica index but this one (broadcast
+	// destinations), computed once.
+	others []int
+
+	// bcastDepth and sendQ implement local-first broadcasting with
+	// causal wire order: see broadcast.
+	bcastDepth int
+	sendQ      []*Message
+
 	// Cross-goroutine visible state.
 	curView   atomic.Uint64
 	execCount atomic.Uint64
@@ -132,7 +150,7 @@ func New(cfg Config, transport Transport, deliver func(Delivery), opts ...Option
 		transport:      transport,
 		inbox:          make(chan event, inboxDepth),
 		stopped:        make(chan struct{}),
-		log:            newMsgLog(),
+		log:            newMsgLog(cfg.N),
 		pending:        make(map[string]*Request),
 		executedOps:    make(map[string]uint64),
 		checkpoints:    make(map[uint64]map[int]Digest),
@@ -140,6 +158,11 @@ func New(cfg Config, transport Transport, deliver func(Delivery), opts ...Option
 		execCache:      make(map[uint64]*Request),
 		viewChanges:    make(map[uint64]map[int]*ViewChange),
 		vcTimeout:      cfg.ViewChangeTimeout,
+	}
+	for i := 0; i < cfg.N; i++ {
+		if i != cfg.ID {
+			r.others = append(r.others, i)
+		}
 	}
 	for _, o := range opts {
 		o(r)
@@ -238,17 +261,58 @@ func (r *Replica) run() {
 	}
 }
 
-// broadcast sends m to every other replica and processes it locally so
-// that single-replica groups (n=1, used for unreplicated endpoints) and
-// the sender's own certificates work uniformly.
+// broadcast processes m locally — so that single-replica groups (n=1,
+// used for unreplicated endpoints) and the sender's own certificates
+// work uniformly — and then sends it to every other replica. The local
+// copy is processed first: transport sends may be arbitrarily slow (a
+// congested TCP link, a dead peer with backpressure), and the sender's
+// own vote must never wait on the network — otherwise a single slow
+// link delays the primary's own prepare and with it the whole group.
+//
+// Local processing can itself broadcast (a prepare completing a
+// certificate broadcasts the commit; assembling a new-view replays
+// pre-prepares). Those nested messages must not hit the wire before the
+// message that caused them — a pre-prepare of view v+1 arriving before
+// the new-view that installs v+1 is dropped by every peer, which would
+// stall the new view until the next timeout. So sends are queued in
+// broadcast-call (causal) order and flushed by the outermost broadcast
+// once all local processing is done.
 func (r *Replica) broadcast(m *Message) {
-	for i := 0; i < r.cfg.N; i++ {
-		if i == r.cfg.ID {
-			continue
+	r.sendQ = append(r.sendQ, m) // reserve the wire slot in causal order
+	r.bcastDepth++
+	r.onMessage(r.cfg.ID, m)
+	r.bcastDepth--
+	if r.bcastDepth == 0 {
+		q := r.sendQ
+		r.sendQ = r.sendQ[:0]
+		for _, qm := range q {
+			r.multicastOthers(qm)
 		}
+	}
+}
+
+// multicastOthers sends m to every group member but this one, through
+// the transport's encode-once path when it has one.
+func (r *Replica) multicastOthers(m *Message) {
+	if r.cfg.N <= 1 {
+		return
+	}
+	r.multicastTo(r.others, m)
+}
+
+// multicastTo sends m to the given replica indices, preferring the
+// transport's encode-once Multicast over a Send loop.
+func (r *Replica) multicastTo(tos []int, m *Message) {
+	if len(tos) == 0 {
+		return
+	}
+	if mc, ok := r.transport.(Multicaster); ok {
+		mc.Multicast(tos, m)
+		return
+	}
+	for _, i := range tos {
 		r.transport.Send(i, m)
 	}
-	r.onMessage(r.cfg.ID, m)
 }
 
 func (r *Replica) onSubmit(req *Request) {
@@ -414,7 +478,7 @@ func (r *Replica) onPrePrepare(from int, pp *PrePrepare) {
 	if e.prePrepared {
 		return // duplicate
 	}
-	e.prePrepared = true
+	r.log.markPrePrepared(e)
 	e.digest = pp.Digest
 	req := pp.Request
 	e.request = &req
@@ -448,7 +512,7 @@ func (r *Replica) onPrepare(from int, p *Prepare) {
 	// Votes arriving before the pre-prepare are recorded with their
 	// claimed digest and only counted once the pre-prepare fixes the
 	// entry's digest.
-	e.prepares[from] = p.Digest
+	e.setPrepare(from, p.Digest)
 	r.maybePrepared(e)
 }
 
@@ -480,7 +544,7 @@ func (r *Replica) onCommit(from int, c *Commit) {
 		return
 	}
 	e := r.log.get(c.View, c.Seq)
-	e.commits[from] = c.Digest
+	e.setCommit(from, c.Digest)
 	r.maybeCommitted(e)
 }
 
@@ -502,7 +566,7 @@ func (r *Replica) executeReady() {
 		if !ok || !e.committed || e.executed {
 			return
 		}
-		e.executed = true
+		r.log.markExecuted(e)
 		r.lastExec++
 		r.applyOp(r.lastExec, e.request)
 	}
@@ -648,15 +712,7 @@ const retentionWindows = 4
 // hasOutstanding reports whether the replica is waiting for agreement on
 // anything: buffered requests, or accepted log entries not yet executed.
 func (r *Replica) hasOutstanding() bool {
-	if len(r.pending) > 0 {
-		return true
-	}
-	for _, e := range r.log.entries {
-		if e.prePrepared && !e.executed {
-			return true
-		}
-	}
-	return false
+	return len(r.pending) > 0 || r.log.hasLive()
 }
 
 // armTimer starts the suspicion timer if outstanding work needs one and
@@ -726,12 +782,7 @@ func (r *Replica) onTimer(gen uint64) {
 		if !ok {
 			continue
 		}
-		m := &Message{Type: MsgRequest, Request: req}
-		for i := 0; i < r.cfg.N; i++ {
-			if i != r.cfg.ID {
-				r.transport.Send(i, m)
-			}
-		}
+		r.multicastOthers(&Message{Type: MsgRequest, Request: req})
 	}
 	// The primary did not order our pending requests (or the view change
 	// did not complete) in time: suspect it and move on.

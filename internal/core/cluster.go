@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"perpetualws/internal/perpetual"
+	"perpetualws/internal/transport"
 )
 
 // ServiceDef declares one service of an in-process cluster.
@@ -168,3 +169,10 @@ func (c *Cluster) Handler(service string, i int) MessageHandler {
 // Deployment exposes the underlying Perpetual deployment (diagnostics
 // and fault injection in tests).
 func (c *Cluster) Deployment() *perpetual.Deployment { return c.dep }
+
+// TransportStats aggregates the traffic counters of every replica in
+// the cluster, including the per-message-kind breakdown — what the
+// bandwidth ablations and the bench harness report against.
+func (c *Cluster) TransportStats() transport.StatsSnapshot {
+	return c.dep.TransportStats()
+}

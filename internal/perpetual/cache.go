@@ -16,7 +16,10 @@ func newBoundedCache[V any](max int) *boundedCache[V] {
 	if max < 1 {
 		max = 1
 	}
-	return &boundedCache[V]{max: max, items: make(map[string]V, max)}
+	// The map starts empty and grows with use: max is an abuse bound,
+	// not an expected size, and preallocating it for every cache of
+	// every replica wastes megabytes per deployment.
+	return &boundedCache[V]{max: max, items: make(map[string]V)}
 }
 
 // Get returns the cached value for key.
@@ -45,6 +48,31 @@ func (c *boundedCache[V]) Put(key string, v V) {
 	}
 	c.items[key] = v
 	c.order = append(c.order, key)
+	// Deletes leave stale slots in order; without compaction a workload
+	// that deletes most entries (the txn wait tables) grows order — and
+	// the evicted backing array behind it — without bound.
+	if len(c.order) >= 2*c.max && len(c.order) > 2*len(c.items) {
+		c.compact()
+	}
+}
+
+// compact rewrites order to the live keys, keeping FIFO order (first
+// live occurrence wins; re-inserted keys keep their newest slot only if
+// no older slot survives, an acceptable approximation for eviction).
+func (c *boundedCache[V]) compact() {
+	seen := make(map[string]struct{}, len(c.items))
+	kept := make([]string, 0, len(c.items))
+	for _, k := range c.order {
+		if _, live := c.items[k]; !live {
+			continue
+		}
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		kept = append(kept, k)
+	}
+	c.order = kept
 }
 
 // Delete removes key. The order slot is reclaimed lazily on eviction.

@@ -151,6 +151,20 @@ func (d *Deployment) ShardDrivers(service string, k int) []*Driver {
 	return out
 }
 
+// TransportStats aggregates the traffic counters of every replica of
+// every group in the deployment, per-message-kind breakdown included —
+// the whole-deployment view the bandwidth ablations and the bench
+// harness report.
+func (d *Deployment) TransportStats() transport.StatsSnapshot {
+	var total transport.StatsSnapshot
+	for _, group := range d.replicas {
+		for _, r := range group {
+			total.Add(r.TransportStats())
+		}
+	}
+	return total
+}
+
 // Driver returns the driver of replica i of a service.
 func (d *Deployment) Driver(service string, i int) *Driver {
 	group := d.replicas[service]

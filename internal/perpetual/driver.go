@@ -11,6 +11,7 @@ import (
 
 	"perpetualws/internal/auth"
 	"perpetualws/internal/transport"
+	"perpetualws/internal/wire"
 )
 
 // ErrClosed is returned by driver operations after shutdown.
@@ -207,10 +208,13 @@ func (d *Driver) handleBundle(from auth.NodeID, b *ReplyBundle) {
 	}
 	// Forward to our group's primary voter; non-primary voters relay.
 	fw := &Message{Kind: KindResultForward, ResultForward: b}
+	w := wire.GetWriter(fw.SizeHint())
+	fw.EncodeTo(w)
 	primary := d.voter.bft.Primary()
-	if err := d.adapter.Send(auth.VoterID(d.svc.Name, primary), fw.Encode()); err != nil {
+	if err := d.adapter.Send(auth.VoterID(d.svc.Name, primary), w.Bytes()); err != nil {
 		d.logf("result forward for %s: %v", b.ReqID, err)
 	}
+	w.Free()
 }
 
 // Call issues a request to a target service (stage 1) and returns its
@@ -330,8 +334,7 @@ func (d *Driver) call(tinfo ServiceInfo, payload []byte, timeout time.Duration, 
 	}
 	// First attempt goes to the believed primary (index 0 in the common
 	// case); retransmissions fan out to the whole group.
-	msg := &Message{Kind: KindRequest, Request: req}
-	if err := d.adapter.Send(auth.VoterID(target, 0), msg.Encode()); err != nil {
+	if err := d.sendRequest(req, []auth.NodeID{auth.VoterID(target, 0)}, txn); err != nil {
 		d.logf("request %s: %v", reqID, err)
 	}
 
@@ -344,6 +347,24 @@ func (d *Driver) call(tinfo ServiceInfo, payload []byte, timeout time.Duration, 
 	}
 	d.mu.Unlock()
 	return reqID, nil
+}
+
+// sendRequest encodes a request message once and transmits it to the
+// given target voters (one for first attempts, the whole group for
+// retransmissions) through the adapter's encode-once multicast path.
+// Transaction-protocol requests are tagged with the reserved txn stats
+// class so 2PC bandwidth is separable from ordinary request traffic.
+func (d *Driver) sendRequest(req *Request, tos []auth.NodeID, txn bool) error {
+	msg := &Message{Kind: KindRequest, Request: req}
+	w := wire.GetWriter(msg.SizeHint())
+	msg.EncodeTo(w)
+	class := transport.ClassOf(w.Bytes())
+	if txn {
+		class = transport.ClassTxn
+	}
+	err := d.adapter.SendMultiTagged(tos, w.Bytes(), class)
+	w.Free()
+	return err
 }
 
 // buildRequest assembles an authenticated request message.
@@ -384,6 +405,7 @@ func (d *Driver) retransmit(reqID string) {
 	}
 	o.responder = int((fnv64a([]byte(reqID)) + uint64(attempt)) % uint64(tinfo.N))
 	responder := o.responder
+	txn := o.txn
 	backoff := d.retransmitInterval << uint(min(attempt, 6))
 	o.retryTmr = time.AfterFunc(backoff, func() { d.retransmit(reqID) })
 	d.mu.Unlock()
@@ -393,12 +415,8 @@ func (d *Driver) retransmit(reqID string) {
 		d.logf("retransmit %s: %v", reqID, err)
 		return
 	}
-	msg := &Message{Kind: KindRequest, Request: req}
-	enc := msg.Encode()
-	for _, id := range tinfo.VoterIDs() {
-		if err := d.adapter.Send(id, enc); err != nil {
-			d.logf("retransmit %s to %s: %v", reqID, id, err)
-		}
+	if err := d.sendRequest(req, tinfo.VoterIDs(), txn); err != nil {
+		d.logf("retransmit %s: %v", reqID, err)
 	}
 	d.logf("retransmitted %s (attempt %d, responder %d)", reqID, attempt, responder)
 }

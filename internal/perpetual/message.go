@@ -33,6 +33,13 @@ const (
 	// KindAbortForward forwards a driver's timeout abort demand to the
 	// voter group primary.
 	KindAbortForward
+	// KindPayloadFetch is the responder's pull of a reply payload it
+	// lacks: reply shares carry only digests (stage 5 is digest-only),
+	// and the responder normally bundles its own locally-executed
+	// payload; when its local execution diverged from the f_t+1-endorsed
+	// digest (a faulty or stale responder), it fetches the winning
+	// payload from a voter that endorsed it.
+	KindPayloadFetch
 )
 
 // String returns the protocol name of the kind.
@@ -52,6 +59,8 @@ func (k Kind) String() string {
 		return "util-forward"
 	case KindAbortForward:
 		return "abort-forward"
+	case KindPayloadFetch:
+		return "payload-fetch"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -79,12 +88,13 @@ type Request struct {
 // count toward the same request.
 func (r *Request) Digest() [sha256.Size]byte {
 	h := sha256.New()
-	w := wire.NewWriter(64)
+	w := wire.GetWriter(64 + len(r.ReqID) + len(r.Caller) + len(r.Target) + len(r.Payload))
 	w.PutString(r.ReqID)
 	w.PutString(r.Caller)
 	w.PutString(r.Target)
 	w.PutBytes(r.Payload)
 	h.Write(w.Bytes())
+	w.Free()
 	var d [sha256.Size]byte
 	h.Sum(d[:0])
 	return d
@@ -94,10 +104,11 @@ func (r *Request) Digest() [sha256.Size]byte {
 // and agreed reply operations use it.
 func ReplyDigest(reqID string, payload []byte) [sha256.Size]byte {
 	h := sha256.New()
-	w := wire.NewWriter(64)
+	w := wire.GetWriter(32 + len(reqID) + len(payload))
 	w.PutString(reqID)
 	w.PutBytes(payload)
 	h.Write(w.Bytes())
+	w.Free()
 	var d [sha256.Size]byte
 	h.Sum(d[:0])
 	return d
@@ -133,14 +144,25 @@ type Share struct {
 }
 
 // ReplyShare is the stage-5 message from a target voter to the
-// responder. Only the responder's own share carries the payload (other
-// voters send digests), keeping bundle assembly cheap.
+// responder: the voter's endorsement of a reply digest. Shares are
+// digest-only on the wire — the responder executed the same agreed
+// request and bundles its own payload — which keeps per-request reply
+// traffic O(|reply|) instead of O(n·|reply|). Payload is non-empty only
+// on answers to a PayloadFetch (the divergent-responder fallback).
 type ReplyShare struct {
 	ReqID   string
 	Caller  string
 	Digest  [sha256.Size]byte
 	Share   Share
-	Payload []byte // only present when the sender believes the responder lacks it
+	Payload []byte // empty except on payload-fetch answers
+}
+
+// PayloadFetch asks a voter that endorsed Digest for the matching reply
+// payload of ReqID (see KindPayloadFetch). The answer is a ReplyShare
+// carrying the payload.
+type PayloadFetch struct {
+	ReqID  string
+	Digest [sha256.Size]byte
 }
 
 // ReplyBundle is the stage-6 message from the responder to every calling
@@ -175,11 +197,21 @@ type Message struct {
 	ResultForward *ReplyBundle // same shape as a bundle
 	UtilForward   *UtilForward
 	AbortForward  *AbortForward
+	PayloadFetch  *PayloadFetch
 }
 
 // Encode serializes the message.
 func (m *Message) Encode() []byte {
-	w := wire.NewWriter(256)
+	w := wire.NewWriter(m.SizeHint())
+	m.EncodeTo(w)
+	return w.Bytes()
+}
+
+// EncodeTo serializes the message into w. Hot paths pass a pooled
+// writer whose bytes are consumed (copied into a transport frame)
+// before the writer is freed, so steady-state encoding allocates
+// nothing.
+func (m *Message) EncodeTo(w *wire.Writer) {
 	w.PutUint8(uint8(m.Kind))
 	switch m.Kind {
 	case KindRequest:
@@ -201,8 +233,54 @@ func (m *Message) Encode() []byte {
 		w.PutUint64(m.UtilForward.K)
 	case KindAbortForward:
 		w.PutString(m.AbortForward.ReqID)
+	case KindPayloadFetch:
+		w.PutString(m.PayloadFetch.ReqID)
+		w.PutBytes(m.PayloadFetch.Digest[:])
 	}
-	return w.Bytes()
+}
+
+// SizeHint estimates the encoded size from the actual message content,
+// so writers are allocated (or grown) once instead of doubling through
+// appends.
+func (m *Message) SizeHint() int {
+	const base = 16
+	switch m.Kind {
+	case KindRequest:
+		r := m.Request
+		return base + len(r.ReqID) + len(r.Caller) + len(r.Target) + len(r.Payload) + authSize(&r.Auth)
+	case KindBFT:
+		return base + len(m.BFT)
+	case KindReplyShare:
+		rs := m.ReplyShare
+		return base + len(rs.ReqID) + len(rs.Caller) + sha256.Size + shareSize(&rs.Share) + len(rs.Payload)
+	case KindReplyBundle:
+		return base + bundleSize(m.ReplyBundle)
+	case KindResultForward:
+		return base + bundleSize(m.ResultForward)
+	case KindPayloadFetch:
+		return base + len(m.PayloadFetch.ReqID) + sha256.Size
+	default:
+		return 64
+	}
+}
+
+func authSize(a *auth.Authenticator) int {
+	n := len(a.Sender.Service) + 16
+	for i := range a.Entries {
+		e := &a.Entries[i]
+		n += len(e.Receiver.Service) + 16 + len(e.MAC) + 2
+	}
+	return n
+}
+
+func shareSize(s *Share) int { return 4 + authSize(&s.Auth) }
+
+func bundleSize(b *ReplyBundle) int {
+	n := len(b.ReqID) + len(b.Target) + len(b.Payload) + 16
+	for i := range b.Shares {
+		n += shareSize(&b.Shares[i])
+	}
+	return n
 }
 
 // DecodeMessage parses a transport message. All variable-length fields
@@ -214,7 +292,10 @@ func DecodeMessage(buf []byte) (*Message, error) {
 	case KindRequest:
 		m.Request = decodeRequest(r)
 	case KindBFT:
-		m.BFT = r.BytesCopy()
+		// Aliases the input: the wrapped CLBFT message is decoded (with
+		// its own copies of retained fields) and discarded within the
+		// transport handler, so the copy would be pure garbage.
+		m.BFT = r.Bytes()
 	case KindReplyShare:
 		rs := &ReplyShare{ReqID: r.String(), Caller: r.String()}
 		copy(rs.Digest[:], r.Bytes())
@@ -229,6 +310,10 @@ func DecodeMessage(buf []byte) (*Message, error) {
 		m.UtilForward = &UtilForward{K: r.Uint64()}
 	case KindAbortForward:
 		m.AbortForward = &AbortForward{ReqID: r.String()}
+	case KindPayloadFetch:
+		pf := &PayloadFetch{ReqID: r.String()}
+		copy(pf.Digest[:], r.Bytes())
+		m.PayloadFetch = pf
 	default:
 		return nil, fmt.Errorf("perpetual: unknown message kind %d", uint8(m.Kind))
 	}
@@ -272,7 +357,7 @@ func encodeAuthenticator(w *wire.Writer, a *auth.Authenticator) {
 
 func decodeAuthenticator(r *wire.Reader) auth.Authenticator {
 	var a auth.Authenticator
-	if sender, err := auth.ParseNodeID(r.String()); err == nil {
+	if sender, err := auth.InternNodeID(r.Bytes()); err == nil {
 		a.Sender = sender
 	}
 	n := int(r.Uvarint())
@@ -283,7 +368,7 @@ func decodeAuthenticator(r *wire.Reader) auth.Authenticator {
 		a.Entries = make([]auth.Entry, 0, n)
 	}
 	for i := 0; i < n && r.Err() == nil; i++ {
-		recv, err := auth.ParseNodeID(r.String())
+		recv, err := auth.InternNodeID(r.Bytes())
 		mac := r.BytesCopy()
 		if err == nil && r.Err() == nil {
 			a.Entries = append(a.Entries, auth.Entry{Receiver: recv, MAC: mac})

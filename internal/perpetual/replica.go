@@ -148,15 +148,14 @@ func (r *Replica) AgreementCount() uint64 { return r.voter.bft.Executed() }
 
 // TransportStats returns the combined traffic counters of the replica's
 // voter and driver adapters (diagnostics and the message-complexity
-// ablation bench).
+// ablation bench), including the per-message-kind breakdown.
 func (r *Replica) TransportStats() transport.StatsSnapshot {
-	v := r.voterAdapter.Stats()
-	d := r.driverAdapter.Stats()
-	return transport.StatsSnapshot{
-		SentMsgs:     v.SentMsgs + d.SentMsgs,
-		SentBytes:    v.SentBytes + d.SentBytes,
-		RecvMsgs:     v.RecvMsgs + d.RecvMsgs,
-		RecvBytes:    v.RecvBytes + d.RecvBytes,
-		RejectedMsgs: v.RejectedMsgs + d.RejectedMsgs,
-	}
+	s := r.voterAdapter.Stats()
+	s.Add(r.driverAdapter.Stats())
+	return s
 }
+
+// VoterStats returns the voter adapter's traffic counters alone, so
+// tests can assert bandwidth properties of voter-to-voter protocol
+// stages (reply shares, BFT traffic) without driver noise.
+func (r *Replica) VoterStats() transport.StatsSnapshot { return r.voterAdapter.Stats() }

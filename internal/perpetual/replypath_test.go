@@ -1,0 +1,124 @@
+package perpetual
+
+import (
+	"bytes"
+	"testing"
+
+	"perpetualws/internal/transport"
+)
+
+// replyShareSentBytes sums the reply-share bytes sent by every voter of
+// a service.
+func replyShareSentBytes(dep *Deployment, service string) uint64 {
+	var total uint64
+	for _, r := range dep.Replicas(service) {
+		total += r.VoterStats().Class(uint8(KindReplyShare)).SentBytes
+	}
+	return total
+}
+
+func payloadFetchMsgs(dep *Deployment, service string) uint64 {
+	var total uint64
+	for _, r := range dep.Replicas(service) {
+		total += r.VoterStats().Class(uint8(KindPayloadFetch)).SentMsgs
+	}
+	return total
+}
+
+// TestReplySharesAreDigestOnly proves the digest-only reply-share claim
+// with transport counters: on a 1 KiB reply, the n−1 non-responder
+// voters ship only digests and MAC shares, so the reply path moves
+// O(|reply|) bytes per request instead of O(n·|reply|) — the full
+// payload crosses the voter group zero times, where it previously
+// crossed it n−1 times.
+func TestReplySharesAreDigestOnly(t *testing.T) {
+	const payloadSize = 1024
+	const requests = 8
+	dep := buildPair(t, 1, 4, nil)
+	echoApp(t, dep, "t")
+
+	payload := bytes.Repeat([]byte("p"), payloadSize)
+	// Warm up one request so steady-state measurement excludes setup.
+	warm := callAll(t, dep, "c", "t", payload, 0)
+	awaitAll(t, dep, "c", warm)
+
+	before := replyShareSentBytes(dep, "t")
+	for i := 0; i < requests; i++ {
+		id := callAll(t, dep, "c", "t", payload, 0)
+		r := awaitAll(t, dep, "c", id)
+		if r.Aborted || len(r.Payload) != payloadSize+len("echo:") {
+			t.Fatalf("request %d: reply %+v", i, r)
+		}
+	}
+	perReq := (replyShareSentBytes(dep, "t") - before) / requests
+
+	// The pre-digest-only protocol shipped the full payload in each of
+	// the n−1 = 3 remote shares: >= 3 KiB per request. Digest-only
+	// shares carry a request id, a digest, and a MAC vector — all 3
+	// together must now fit well under a single payload.
+	if perReq >= payloadSize {
+		t.Errorf("reply-share path sent %d bytes/request; digest-only shares must total < %d", perReq, payloadSize)
+	}
+	oldLowerBound := uint64(3 * payloadSize)
+	if perReq*2 >= oldLowerBound {
+		t.Errorf("reply-share bytes/request = %d, not a ~(n-1)x drop from the >= %d the payload-carrying protocol moved", perReq, oldLowerBound)
+	}
+	if fetches := payloadFetchMsgs(dep, "t"); fetches != 0 {
+		t.Errorf("healthy run triggered %d payload fetches, want 0", fetches)
+	}
+}
+
+// TestCorruptResponderFetchesPayload covers the digest-mismatch
+// fallback: the responder's own execution is corrupted, so its local
+// payload does not hash to the f_t+1-endorsed digest. It must pull the
+// winning payload from an endorsing voter (KindPayloadFetch) and the
+// caller must still receive the correct, fully endorsed reply.
+func TestCorruptResponderFetchesPayload(t *testing.T) {
+	dep := buildPair(t, 1, 4, func(dep *Deployment) {
+		opts := fastOpts()
+		// The single caller driver's first request picks responder
+		// 1 % 4 = 1, so the corrupt replica assembles the bundle.
+		opts.Behaviors = map[int]Behavior{1: CorruptResultFault{}}
+		dep.Configure("t", opts)
+	})
+	echoApp(t, dep, "t")
+
+	id := callAll(t, dep, "c", "t", []byte("x"), 0)
+	r := awaitAll(t, dep, "c", id)
+	if r.Aborted || string(r.Payload) != "echo:x" {
+		t.Fatalf("reply = %+v, want echo:x", r)
+	}
+	if fetches := payloadFetchMsgs(dep, "t"); fetches == 0 {
+		t.Error("corrupt responder never took the payload-fetch path")
+	}
+}
+
+// TestDeploymentStatsAggregate sanity-checks the deployment-level
+// aggregate: per-kind counters must sum to the totals the legacy
+// counters report.
+func TestDeploymentStatsAggregate(t *testing.T) {
+	dep := buildPair(t, 1, 4, nil)
+	echoApp(t, dep, "t")
+	id := callAll(t, dep, "c", "t", []byte("x"), 0)
+	awaitAll(t, dep, "c", id)
+
+	s := dep.TransportStats()
+	if s.SentMsgs == 0 || s.RecvMsgs == 0 {
+		t.Fatalf("aggregate counters empty: %+v", s)
+	}
+	var sentMsgs, sentBytes uint64
+	for c := 0; c < transport.NumMsgClasses; c++ {
+		sentMsgs += s.ByClass[c].SentMsgs
+		sentBytes += s.ByClass[c].SentBytes
+	}
+	if sentMsgs != s.SentMsgs || sentBytes != s.SentBytes {
+		t.Errorf("per-kind sums (%d msgs, %d bytes) != totals (%d msgs, %d bytes)",
+			sentMsgs, sentBytes, s.SentMsgs, s.SentBytes)
+	}
+	if s.ByClass[uint8(KindBFT)].SentMsgs == 0 {
+		t.Error("no BFT traffic counted")
+	}
+	if s.ByClass[uint8(KindRequest)].SentMsgs == 0 {
+		t.Error("no request traffic counted")
+	}
+}

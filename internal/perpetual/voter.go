@@ -11,6 +11,7 @@ import (
 	"perpetualws/internal/auth"
 	"perpetualws/internal/clbft"
 	"perpetualws/internal/transport"
+	"perpetualws/internal/wire"
 )
 
 // cache bounds: tuned for long-running deployments; see boundedCache.
@@ -36,13 +37,16 @@ type execInfo struct {
 	responder int
 }
 
-// shareCollect accumulates reply shares at the responder.
+// shareCollect accumulates reply shares at the responder. Shares are
+// digest-only; the payload map is fed by the responder's own execution
+// (the common case) and by payload-fetch answers (the divergent case).
 type shareCollect struct {
 	caller  string
 	shares  map[int]Share             // target voter index -> share
 	digests map[int][sha256.Size]byte // target voter index -> claimed digest
 	payload map[[sha256.Size]byte][]byte
 	sent    bool
+	fetched bool // payload-fetch fired for the winning digest
 }
 
 // voter is the passive half of a Perpetual replica: a CLBFT group member
@@ -106,20 +110,52 @@ func (v *voter) logf(format string, args ...any) {
 	}
 }
 
-// bftTransport adapts the voter's ChannelAdapter to clbft.Transport.
+// bftTransport adapts the voter's ChannelAdapter to clbft.Transport,
+// including the encode-once Multicast extension: a CLBFT broadcast to
+// n−1 peers serializes the message (and its transport wrapper) exactly
+// once and computes only the per-receiver pairwise MAC per destination,
+// instead of re-encoding everything n−1 times.
 func (v *voter) bftTransport() clbft.Transport {
-	return clbft.TransportFunc(func(to int, m *clbft.Message) {
-		msg := &Message{Kind: KindBFT, BFT: m.Encode()}
-		if err := v.adapter.Send(auth.VoterID(v.svc.Name, to), msg.Encode()); err != nil {
-			v.logf("bft send to %d: %v", to, err)
+	return &bftTransport{v: v}
+}
+
+type bftTransport struct{ v *voter }
+
+var _ clbft.Multicaster = (*bftTransport)(nil)
+
+func (t *bftTransport) Send(to int, m *clbft.Message) {
+	t.Multicast([]int{to}, m)
+}
+
+func (t *bftTransport) Multicast(tos []int, m *clbft.Message) {
+	v := t.v
+	inner := wire.GetWriter(256)
+	m.EncodeTo(inner)
+	outer := wire.GetWriter(inner.Len() + 8)
+	(&Message{Kind: KindBFT, BFT: inner.Bytes()}).EncodeTo(outer)
+	if len(tos) == 1 {
+		if err := v.adapter.Send(auth.VoterID(v.svc.Name, tos[0]), outer.Bytes()); err != nil {
+			v.logf("bft send to %d: %v", tos[0], err)
 		}
-	})
+	} else {
+		ids := make([]auth.NodeID, len(tos))
+		for i, to := range tos {
+			ids[i] = auth.VoterID(v.svc.Name, to)
+		}
+		if err := v.adapter.SendMulti(ids, outer.Bytes()); err != nil {
+			v.logf("bft multicast: %v", err)
+		}
+	}
+	outer.Free()
+	inner.Free()
 }
 
 // validateOp is the CLBFT operation validator: it re-verifies the
 // authenticator certificates embedded in request and reply operations so
 // a faulty voter-group primary cannot push fabricated operations through
-// agreement.
+// agreement. (Memoizing verdicts per OpID was tried and measured
+// slower: with precomputed HMAC pad states the re-verification is
+// cheaper than hashing the operation for the memo key.)
 func (v *voter) validateOp(opID string, op []byte) bool {
 	o, err := DecodeOp(op)
 	if err != nil {
@@ -256,6 +292,8 @@ func (v *voter) handleTransport(from auth.NodeID, payload []byte) {
 		v.handleExternalRequest(from, m.Request)
 	case KindReplyShare:
 		v.handleReplyShare(from, m.ReplyShare)
+	case KindPayloadFetch:
+		v.handlePayloadFetch(from, m.PayloadFetch)
 	case KindResultForward:
 		v.handleResultForward(from, m.ResultForward)
 	case KindUtilForward:
@@ -466,22 +504,43 @@ func (v *voter) handleLocalResult(reqID string, payload []byte) {
 
 // sendShareTo routes this voter's reply share to the responder voter
 // (or, when this voter is the responder, feeds the local collection).
+// Remote shares are digest-only: the responder executed the same agreed
+// request and bundles its own payload, so shipping the payload n−1
+// times would multiply reply bandwidth by the replication degree for
+// nothing (the divergent-responder case is covered by PayloadFetch).
 func (v *voter) sendShareTo(reqID string, rec replyRecord, responder int) {
-	rs := &ReplyShare{
-		ReqID:   reqID,
-		Caller:  rec.caller,
-		Digest:  rec.digest,
-		Share:   rec.share,
-		Payload: rec.payload,
-	}
 	if responder == v.index {
-		v.acceptShare(v.index, rs)
+		v.acceptShare(v.index, &ReplyShare{
+			ReqID:   reqID,
+			Caller:  rec.caller,
+			Digest:  rec.digest,
+			Share:   rec.share,
+			Payload: rec.payload,
+		})
 		return
 	}
-	msg := &Message{Kind: KindReplyShare, ReplyShare: rs}
-	if err := v.adapter.Send(auth.VoterID(v.svc.Name, responder), msg.Encode()); err != nil {
-		v.logf("share for %s to responder %d: %v", reqID, responder, err)
+	v.sendShare(reqID, rec, responder, false)
+}
+
+// sendShare transmits this voter's share for reqID to another group
+// member, with the payload attached only for payload-fetch answers.
+func (v *voter) sendShare(reqID string, rec replyRecord, to int, withPayload bool) {
+	rs := &ReplyShare{
+		ReqID:  reqID,
+		Caller: rec.caller,
+		Digest: rec.digest,
+		Share:  rec.share,
 	}
+	if withPayload {
+		rs.Payload = rec.payload
+	}
+	msg := &Message{Kind: KindReplyShare, ReplyShare: rs}
+	w := wire.GetWriter(msg.SizeHint())
+	msg.EncodeTo(w)
+	if err := v.adapter.Send(auth.VoterID(v.svc.Name, to), w.Bytes()); err != nil {
+		v.logf("share for %s to voter %d: %v", reqID, to, err)
+	}
+	w.Free()
 }
 
 // handleReplyShare implements the responder's side of stage 5.
@@ -495,8 +554,31 @@ func (v *voter) handleReplyShare(from auth.NodeID, rs *ReplyShare) {
 	v.acceptShare(from.Index, rs)
 }
 
+// handlePayloadFetch serves a responder that lacks (or diverged from)
+// the f_t+1-endorsed reply payload: if this voter's cached reply
+// matches the requested digest, it re-sends its share with the payload
+// attached.
+func (v *voter) handlePayloadFetch(from auth.NodeID, pf *PayloadFetch) {
+	if pf == nil || from.Service != v.svc.Name || from.Role != auth.RoleVoter {
+		return // only group members assemble bundles
+	}
+	v.mu.Lock()
+	rec, ok := v.replies.Get(pf.ReqID)
+	v.mu.Unlock()
+	if !ok || rec.digest != pf.Digest {
+		return // we never endorsed that digest; nothing to serve
+	}
+	v.sendShare(pf.ReqID, rec, from.Index, true)
+}
+
 // acceptShare records a share and assembles the bundle at f_t+1
-// matching digests (stage 6).
+// matching digests (stage 6). Shares are digest-only: the winning
+// payload normally comes from this responder's own execution of the
+// same agreed request; when the local result diverged from the
+// f_t+1-endorsed digest (this replica is faulty or stale), the payload
+// is pulled from an endorsing voter via PayloadFetch, so safety is
+// unchanged — the bundle the callers verify still needs f_t+1 matching
+// MAC shares, the payload merely has to hash to the endorsed digest.
 func (v *voter) acceptShare(fromIndex int, rs *ReplyShare) {
 	caller, err := v.registry.Lookup(rs.Caller)
 	if err != nil {
@@ -518,7 +600,9 @@ func (v *voter) acceptShare(fromIndex int, rs *ReplyShare) {
 	// Bind a payload to a digest only when it actually hashes to it: a
 	// faulty voter must not attach garbage bytes to a digest it never
 	// computed, or the assembled bundle would fail VerifyBundle at every
-	// caller and stall the reply until retransmission.
+	// caller and stall the reply until retransmission. (Digest-only
+	// shares bind here exactly when the reply payload is empty, which is
+	// then the correct binding.)
 	if ReplyDigest(rs.ReqID, rs.Payload) == rs.Digest {
 		sc.payload[rs.Digest] = rs.Payload
 	}
@@ -540,7 +624,33 @@ func (v *voter) acceptShare(fromIndex int, rs *ReplyShare) {
 	}
 	payload, have := sc.payload[winner]
 	if !have {
+		// Common case: our own execution has not finished yet — its share
+		// (with payload) will re-enter acceptShare shortly. Divergent
+		// case: our local result exists but hashes elsewhere; pull the
+		// winning payload from the voters that endorsed it.
+		localD, executed := sc.digests[v.index]
+		if !executed || localD == winner || sc.fetched {
+			v.mu.Unlock()
+			return
+		}
+		sc.fetched = true
+		var fetchFrom []int
+		for idx, d := range sc.digests {
+			if idx != v.index && d == winner {
+				fetchFrom = append(fetchFrom, idx)
+			}
+		}
 		v.mu.Unlock()
+		v.logf("reply %s: local result diverged from endorsed digest; fetching payload", rs.ReqID)
+		pf := &Message{Kind: KindPayloadFetch, PayloadFetch: &PayloadFetch{ReqID: rs.ReqID, Digest: winner}}
+		w := wire.GetWriter(pf.SizeHint())
+		pf.EncodeTo(w)
+		for _, idx := range fetchFrom {
+			if err := v.adapter.Send(auth.VoterID(v.svc.Name, idx), w.Bytes()); err != nil {
+				v.logf("payload fetch for %s to %d: %v", rs.ReqID, idx, err)
+			}
+		}
+		w.Free()
 		return
 	}
 	sc.sent = true
@@ -554,12 +664,12 @@ func (v *voter) acceptShare(fromIndex int, rs *ReplyShare) {
 
 	bundle := &ReplyBundle{ReqID: rs.ReqID, Target: v.svc.Name, Payload: payload, Shares: shares}
 	msg := &Message{Kind: KindReplyBundle, ReplyBundle: bundle}
-	enc := msg.Encode()
-	for _, id := range caller.DriverIDs() {
-		if err := v.adapter.Send(id, enc); err != nil {
-			v.logf("bundle for %s to %s: %v", rs.ReqID, id, err)
-		}
+	w := wire.GetWriter(msg.SizeHint())
+	msg.EncodeTo(w)
+	if err := v.adapter.SendMulti(caller.DriverIDs(), w.Bytes()); err != nil {
+		v.logf("bundle for %s: %v", rs.ReqID, err)
 	}
+	w.Free()
 }
 
 // handleResultForward implements stage 7-8 on the calling side: a

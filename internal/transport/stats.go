@@ -2,6 +2,31 @@ package transport
 
 import "sync/atomic"
 
+// NumMsgClasses is the number of per-message-class counter slots a
+// Stats tracks. A payload's class is its leading byte (the perpetual
+// message kind discriminant: request, BFT, reply-share, ...), clamped
+// into this range; senders may override it with SendTagged (the driver
+// tags transaction-protocol requests with ClassTxn so 2PC bandwidth is
+// separable from ordinary request traffic).
+const NumMsgClasses = 16
+
+// ClassTxn is the reserved out-of-band class senders use to tag
+// transaction-protocol frames, which would otherwise be counted as
+// plain requests. The tag exists only at the sender (it is not on the
+// wire), so 2PC bandwidth is separable in *sent* counters; receivers
+// classify by the payload's leading byte and count those same frames
+// under the request class.
+const ClassTxn = NumMsgClasses - 1
+
+// ClassOf returns the stats class of a payload: its leading byte,
+// clamped to the counter range (class 0 doubles as "unclassified").
+func ClassOf(payload []byte) uint8 {
+	if len(payload) == 0 || payload[0] >= NumMsgClasses {
+		return 0
+	}
+	return payload[0]
+}
+
 // Stats tracks adapter traffic counters. The zero value is ready to use.
 type Stats struct {
 	sentMsgs     atomic.Uint64
@@ -9,28 +34,54 @@ type Stats struct {
 	recvMsgs     atomic.Uint64
 	recvBytes    atomic.Uint64
 	rejectedMsgs atomic.Uint64
+
+	sentMsgsByClass  [NumMsgClasses]atomic.Uint64
+	sentBytesByClass [NumMsgClasses]atomic.Uint64
+	recvMsgsByClass  [NumMsgClasses]atomic.Uint64
+	recvBytesByClass [NumMsgClasses]atomic.Uint64
 }
 
-func (s *Stats) addSent(n int) {
+func (s *Stats) addSent(n int, class uint8) {
 	s.sentMsgs.Add(1)
 	s.sentBytes.Add(uint64(n))
+	s.sentMsgsByClass[class].Add(1)
+	s.sentBytesByClass[class].Add(uint64(n))
 }
 
-func (s *Stats) addReceived(n int) {
+func (s *Stats) addReceived(n int, class uint8) {
 	s.recvMsgs.Add(1)
 	s.recvBytes.Add(uint64(n))
+	s.recvMsgsByClass[class].Add(1)
+	s.recvBytesByClass[class].Add(uint64(n))
 }
 
 func (s *Stats) addRejected() { s.rejectedMsgs.Add(1) }
 
 func (s *Stats) snapshot() StatsSnapshot {
-	return StatsSnapshot{
+	snap := StatsSnapshot{
 		SentMsgs:     s.sentMsgs.Load(),
 		SentBytes:    s.sentBytes.Load(),
 		RecvMsgs:     s.recvMsgs.Load(),
 		RecvBytes:    s.recvBytes.Load(),
 		RejectedMsgs: s.rejectedMsgs.Load(),
 	}
+	for c := 0; c < NumMsgClasses; c++ {
+		snap.ByClass[c] = ClassCounters{
+			SentMsgs:  s.sentMsgsByClass[c].Load(),
+			SentBytes: s.sentBytesByClass[c].Load(),
+			RecvMsgs:  s.recvMsgsByClass[c].Load(),
+			RecvBytes: s.recvBytesByClass[c].Load(),
+		}
+	}
+	return snap
+}
+
+// ClassCounters is one message class's traffic totals.
+type ClassCounters struct {
+	SentMsgs  uint64
+	SentBytes uint64
+	RecvMsgs  uint64
+	RecvBytes uint64
 }
 
 // StatsSnapshot is a point-in-time copy of adapter counters.
@@ -40,4 +91,35 @@ type StatsSnapshot struct {
 	RecvMsgs     uint64
 	RecvBytes    uint64
 	RejectedMsgs uint64
+
+	// ByClass breaks traffic down per message class (see ClassOf), so
+	// tests can assert bandwidth properties of individual protocol
+	// stages: reply-share bytes, BFT agreement traffic, 2PC overhead.
+	ByClass [NumMsgClasses]ClassCounters
+}
+
+// Class returns the counters of one message class (e.g. a
+// perpetual.Kind converted to uint8). Out-of-range classes return the
+// "unclassified" slot 0.
+func (s StatsSnapshot) Class(class uint8) ClassCounters {
+	if class >= NumMsgClasses {
+		class = 0
+	}
+	return s.ByClass[class]
+}
+
+// Add accumulates another snapshot into s (aggregation across
+// adapters/replicas/clusters).
+func (s *StatsSnapshot) Add(o StatsSnapshot) {
+	s.SentMsgs += o.SentMsgs
+	s.SentBytes += o.SentBytes
+	s.RecvMsgs += o.RecvMsgs
+	s.RecvBytes += o.RecvBytes
+	s.RejectedMsgs += o.RejectedMsgs
+	for c := range s.ByClass {
+		s.ByClass[c].SentMsgs += o.ByClass[c].SentMsgs
+		s.ByClass[c].SentBytes += o.ByClass[c].SentBytes
+		s.ByClass[c].RecvMsgs += o.ByClass[c].RecvMsgs
+		s.ByClass[c].RecvBytes += o.ByClass[c].RecvBytes
+	}
 }

@@ -13,6 +13,9 @@
 package transport
 
 import (
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -57,11 +60,39 @@ const MaxFrameSize = 16 << 20
 //
 //	u16 fromLen | from | u16 macLen | mac | u32 payloadLen | payload
 //
-// The MAC covers the payload and is keyed by the (from, to) pair, so the
-// destination identity does not need to appear on the wire.
+// The MAC is keyed by the (from, to) pair, so the destination identity
+// does not need to appear on the wire. Payloads of at least
+// digestMACThreshold bytes are MACed via their SHA-256 digest rather
+// than directly, so a multicast of one large payload to n receivers
+// hashes it once and computes only n constant-size MACs; below the
+// threshold (the bulk of agreement control traffic) the extra digest
+// pass costs more than it saves and the MAC covers the payload
+// directly. Sender and receiver apply the same size rule, so the wire
+// format needs no mode flag.
+
+// digestMACThreshold is the payload size at and above which transport
+// MACs cover the payload's SHA-256 digest instead of the raw payload.
+const digestMACThreshold = 256
+
+// macInput returns the MAC domain and covered bytes for payload: the
+// payload itself when small, its SHA-256 digest when large. The domain
+// tag keeps the two frame modes — and the authenticator MACs sharing
+// the same pairwise keys — from ever validating in each other's
+// context (a digest-mode MAC must not verify a small frame whose
+// payload is that digest). scratch avoids heap-allocating the digest.
+func macInput(payload []byte, scratch *[sha256.Size]byte) (byte, []byte) {
+	if len(payload) < digestMACThreshold {
+		return auth.DomainFrameRaw, payload
+	}
+	*scratch = sha256.Sum256(payload)
+	return auth.DomainFrameDigest, scratch[:]
+}
 
 func encodeFrame(from auth.NodeID, mac, payload []byte) []byte {
-	fromStr := from.String()
+	return encodeFrameStr(from.String(), mac, payload)
+}
+
+func encodeFrameStr(fromStr string, mac, payload []byte) []byte {
 	n := 2 + len(fromStr) + 2 + len(mac) + 4 + len(payload)
 	buf := make([]byte, 0, n)
 	buf = binary.BigEndian.AppendUint16(buf, uint16(len(fromStr)))
@@ -85,7 +116,7 @@ func decodeFrame(buf []byte) (from auth.NodeID, mac, payload []byte, err error) 
 	if len(buf) < fl {
 		return bad("short from")
 	}
-	from, err = auth.ParseNodeID(string(buf[:fl]))
+	from, err = auth.InternNodeID(buf[:fl])
 	if err != nil {
 		return bad(err.Error())
 	}
@@ -119,8 +150,17 @@ func decodeFrame(buf []byte) (from auth.NodeID, mac, payload []byte, err error) 
 // the transport: protocol modules hand it destination + payload and
 // receive verified (from, payload) pairs back.
 type ChannelAdapter struct {
-	ks   *auth.KeyStore
-	conn Connection
+	ks      *auth.KeyStore
+	conn    Connection
+	selfStr string // cached ks.Self().String(), written into every frame
+
+	// selfKey authenticates loopback frames. Principals share no
+	// pairwise key with themselves, but the frame's "from" field is
+	// attacker-controlled: without a MAC, any peer could claim to be
+	// the receiver itself and bypass verification entirely. The key is
+	// random per adapter and never leaves the process, so only frames
+	// this adapter sent to itself can carry a valid self-MAC.
+	selfKey auth.Key
 
 	// Stats counters are updated atomically via the methods below; they
 	// are advisory (used by tests and the benchmark harness).
@@ -131,27 +171,95 @@ type ChannelAdapter struct {
 // adapter installs itself as conn's handler; the caller must then call
 // SetHandler to receive verified payloads.
 func NewChannelAdapter(ks *auth.KeyStore, conn Connection) *ChannelAdapter {
-	return &ChannelAdapter{ks: ks, conn: conn}
+	selfKey := make([]byte, 32)
+	_, _ = rand.Read(selfKey) // never fails (crypto/rand)
+	return &ChannelAdapter{ks: ks, conn: conn, selfStr: ks.Self().String(), selfKey: selfKey}
+}
+
+// selfMAC MACs a loopback frame's covered bytes under the adapter's
+// process-local key.
+func (ca *ChannelAdapter) selfMAC(input []byte) []byte {
+	return auth.MAC(ca.selfKey, input)
 }
 
 // LocalID returns the identity of the adapter's owner.
 func (ca *ChannelAdapter) LocalID() auth.NodeID { return ca.conn.LocalID() }
 
-// Send MACs payload for the destination and transmits it.
+// Send MACs payload for the destination and transmits it. The payload's
+// stats class is its leading byte (see ClassOf).
 func (ca *ChannelAdapter) Send(to auth.NodeID, payload []byte) error {
+	return ca.SendTagged(to, payload, ClassOf(payload))
+}
+
+// SendTagged is Send with an explicit stats class overriding the
+// payload's leading byte (e.g. ClassTxn for 2PC frames that ride the
+// request path).
+func (ca *ChannelAdapter) SendTagged(to auth.NodeID, payload []byte, class uint8) error {
 	if len(payload) > MaxFrameSize {
 		return ErrFrameTooLarge
 	}
+	if class >= NumMsgClasses {
+		class = 0
+	}
+	var scratch [sha256.Size]byte
+	domain, input := macInput(payload, &scratch)
 	var mac []byte
 	if to != ca.ks.Self() {
 		var err error
-		mac, err = ca.ks.Sign(to, payload)
+		mac, err = ca.ks.SignDomain(to, domain, input)
 		if err != nil {
 			return fmt.Errorf("transport: signing for %s: %w", to, err)
 		}
+	} else {
+		mac = ca.selfMAC(input)
 	}
-	ca.stats.addSent(len(payload))
-	return ca.conn.Send(to, encodeFrame(ca.ks.Self(), mac, payload))
+	ca.stats.addSent(len(payload), class)
+	return ca.conn.Send(to, encodeFrameStr(ca.selfStr, mac, payload))
+}
+
+// SendMulti transmits one payload to several destinations, serializing
+// it exactly once: the payload is encoded and (when large) hashed a
+// single time, and only the pairwise MAC differs per receiver. This is
+// the encode-once seam the CLBFT broadcast, reply-share fan-out, and
+// request retransmission paths sit on. The first error is returned
+// after all destinations were attempted (BFT fan-outs must not starve
+// later receivers because an earlier link failed).
+func (ca *ChannelAdapter) SendMulti(tos []auth.NodeID, payload []byte) error {
+	return ca.SendMultiTagged(tos, payload, ClassOf(payload))
+}
+
+// SendMultiTagged is SendMulti with an explicit stats class.
+func (ca *ChannelAdapter) SendMultiTagged(tos []auth.NodeID, payload []byte, class uint8) error {
+	if len(payload) > MaxFrameSize {
+		return ErrFrameTooLarge
+	}
+	if class >= NumMsgClasses {
+		class = 0
+	}
+	var scratch [sha256.Size]byte
+	domain, input := macInput(payload, &scratch) // hash large payloads once for all receivers
+
+	var firstErr error
+	for _, to := range tos {
+		var mac []byte
+		if to != ca.ks.Self() {
+			var err error
+			mac, err = ca.ks.SignDomain(to, domain, input)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("transport: signing for %s: %w", to, err)
+				}
+				continue
+			}
+		} else {
+			mac = ca.selfMAC(input)
+		}
+		ca.stats.addSent(len(payload), class)
+		if err := ca.conn.Send(to, encodeFrameStr(ca.selfStr, mac, payload)); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
 }
 
 // SetHandler installs the verified-payload handler. Frames that fail MAC
@@ -164,13 +272,21 @@ func (ca *ChannelAdapter) SetHandler(h Handler) {
 			ca.stats.addRejected()
 			return
 		}
+		var scratch [sha256.Size]byte
+		domain, input := macInput(payload, &scratch)
 		if from != ca.ks.Self() {
-			if err := ca.ks.Verify(from, payload, mac); err != nil {
+			if err := ca.ks.VerifyDomain(from, domain, input, mac); err != nil {
 				ca.stats.addRejected()
 				return
 			}
+		} else if !hmac.Equal(ca.selfMAC(input), mac) {
+			// A frame claiming to be from this very principal must carry
+			// the process-local self-MAC; otherwise any peer could forge
+			// "self" traffic past verification.
+			ca.stats.addRejected()
+			return
 		}
-		ca.stats.addReceived(len(payload))
+		ca.stats.addReceived(len(payload), ClassOf(payload))
 		h(from, payload)
 	})
 }

@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 )
 
 // ErrTruncated indicates the buffer ended before a complete field.
@@ -29,6 +30,36 @@ type Writer struct {
 // NewWriter returns a writer with the given capacity hint.
 func NewWriter(capacity int) *Writer {
 	return &Writer{buf: make([]byte, 0, capacity)}
+}
+
+// writerPool recycles encode buffers across messages. Encoding is the
+// hottest allocation site in the system (every agreement message of
+// every replica passes through a Writer), so hot paths borrow pooled
+// writers instead of allocating fresh ones.
+var writerPool = sync.Pool{New: func() any { return new(Writer) }}
+
+// maxPooledCap bounds the buffers the pool retains: a rare huge message
+// (checkpoint transfer, view change) must not pin megabytes forever.
+const maxPooledCap = 64 << 10
+
+// GetWriter returns a pooled writer, reset and grown to at least the
+// given capacity hint. Callers must not let the writer's Bytes escape
+// past the matching Free.
+func GetWriter(capacity int) *Writer {
+	w := writerPool.Get().(*Writer)
+	w.buf = w.buf[:0]
+	if cap(w.buf) < capacity {
+		w.buf = make([]byte, 0, capacity)
+	}
+	return w
+}
+
+// Free returns the writer to the pool. The writer and any slice
+// obtained from Bytes must not be used afterwards.
+func (w *Writer) Free() {
+	if cap(w.buf) <= maxPooledCap {
+		writerPool.Put(w)
+	}
 }
 
 // Bytes returns the encoded buffer. The buffer is owned by the writer

@@ -163,3 +163,39 @@ func TestDecoderNeverPanics(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestWriterPoolReuse(t *testing.T) {
+	w := GetWriter(32)
+	w.PutString("hello")
+	if got := w.Len(); got == 0 {
+		t.Fatal("pooled writer did not accept writes")
+	}
+	buf := w.Bytes()
+	r := NewReader(buf)
+	if r.String() != "hello" {
+		t.Fatal("pooled writer round-trip failed")
+	}
+	w.Free()
+
+	// A re-acquired writer must come back empty regardless of history.
+	w2 := GetWriter(8)
+	if w2.Len() != 0 {
+		t.Errorf("recycled writer not reset: %d bytes", w2.Len())
+	}
+	w2.PutUint64(42)
+	r2 := NewReader(w2.Bytes())
+	if r2.Uint64() != 42 {
+		t.Error("recycled writer wrote wrong bytes")
+	}
+	w2.Free()
+}
+
+func TestWriterPoolDropsOversizedBuffers(t *testing.T) {
+	w := GetWriter(maxPooledCap + 1)
+	w.Free() // must not retain > maxPooledCap buffers
+	w = GetWriter(16)
+	if cap(w.buf) > maxPooledCap {
+		t.Errorf("pool retained %d-byte buffer beyond cap %d", cap(w.buf), maxPooledCap)
+	}
+	w.Free()
+}
