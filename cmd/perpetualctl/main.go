@@ -11,7 +11,9 @@
 //	perpetualctl fig9 [-quick] [-calls 300] [-runs 3]
 //	perpetualctl shards [-quick] [-n 4] [-calls 1920] [-measure 3s]
 //	perpetualctl txn [-quick] [-n 4] [-calls 200]
-//	perpetualctl bench [-quick] [-json] [-out FILE]
+//	perpetualctl reshard [-quick] [-n 4] [-from 2] [-to 4] [-customers 96]
+//	perpetualctl bench [-quick] [-json] [-out FILE] [-commit REV]
+//	perpetualctl benchgate -old FILE -new FILE [-max-regress 15]
 //	perpetualctl all  [-quick]
 //
 // -quick shrinks the parameter grids so a full pass finishes in a couple
@@ -57,8 +59,12 @@ func main() {
 		err = runShards(args)
 	case "txn":
 		err = runTxn(args)
+	case "reshard":
+		err = runReshard(args)
 	case "bench":
 		err = runBench(args)
+	case "benchgate":
+		err = runBenchGate(args)
 	case "all":
 		for _, sub := range []func([]string) error{runFig7, runFig8, runFig9, runFig6} {
 			if err = sub(args); err != nil {
@@ -76,7 +82,7 @@ func main() {
 }
 
 func usage(w io.Writer) {
-	fmt.Fprintln(w, `usage: perpetualctl <properties|fig6|fig7|fig8|fig9|shards|txn|bench|all> [flags]
+	fmt.Fprintln(w, `usage: perpetualctl <properties|fig6|fig7|fig8|fig9|shards|txn|reshard|bench|benchgate|all> [flags]
   properties  print the paper's Figure 2 property matrix
   fig6        TPC-W WIPS vs RBE count (payment-tier replication sweep)
   fig7        replica scalability, null requests
@@ -84,8 +90,12 @@ func usage(w io.Writer) {
   fig9        effect of asynchronous messaging
   shards      aggregate throughput vs shard count (sharded services)
   txn         cross-shard atomic transactions vs single-shard baseline
+  reshard     live shard rebalancing under load (BFT state handoff)
   bench       headline figure summary; -json emits the machine-readable
-              report (use -out FILE to write e.g. BENCH_pr3.json)
+              report (use -out FILE to write e.g. BENCH_pr4.json and
+              -commit REV to stamp the measured revision)
+  benchgate   compare two 'go test -bench' outputs and fail on a
+              throughput regression beyond -max-regress percent
   all         fig7, fig8, fig9, then fig6
 common flags: -quick (reduced grids), plus per-figure tuning flags`)
 }
@@ -95,11 +105,12 @@ func runBench(args []string) error {
 	quick := fs.Bool("quick", false, "reduced measurement sizes")
 	asJSON := fs.Bool("json", false, "emit the machine-readable JSON report")
 	out := fs.String("out", "", "write the report to this file instead of stdout")
+	commit := fs.String("commit", "", "git revision to stamp into the report")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	fmt.Fprintln(os.Stderr, "running bench report (null throughput, WIPS, txn, reply path, micro)...")
-	rep, err := bench.RunReport(bench.ReportConfig{Quick: *quick})
+	rep, err := bench.RunReport(bench.ReportConfig{Quick: *quick, Commit: *commit})
 	if err != nil {
 		return err
 	}
@@ -182,6 +193,74 @@ func runTxn(args []string) error {
 		fmt.Printf("%-8d %16.0f %10.0f %11.1fx\n", row.Shards, row.Baseline, row.Txns, overhead)
 	}
 	return err
+}
+
+func runBenchGate(args []string) error {
+	fs := flag.NewFlagSet("benchgate", flag.ExitOnError)
+	oldPath := fs.String("old", "", "baseline 'go test -bench' output file")
+	newPath := fs.String("new", "", "candidate 'go test -bench' output file")
+	maxRegress := fs.Float64("max-regress", 15, "max tolerated throughput regression in percent")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *oldPath == "" || *newPath == "" {
+		fs.Usage()
+		os.Exit(2)
+	}
+	oldData, err := os.ReadFile(*oldPath)
+	if err != nil {
+		return err
+	}
+	newData, err := os.ReadFile(*newPath)
+	if err != nil {
+		return err
+	}
+	rep, err := bench.CompareBenchOutputs(oldData, newData, *maxRegress)
+	if err != nil {
+		return err
+	}
+	fmt.Print(rep.Format())
+	if rep.Failed {
+		return fmt.Errorf("throughput regression beyond %.0f%%", *maxRegress)
+	}
+	return nil
+}
+
+func runReshard(args []string) error {
+	fs := flag.NewFlagSet("reshard", flag.ExitOnError)
+	quick := fs.Bool("quick", false, "reduced load windows")
+	n := fs.Int("n", 4, "replicas per shard group (N = 3f+1)")
+	from := fs.Int("from", 2, "shard count before the reshard")
+	to := fs.Int("to", 4, "shard count after the reshard")
+	customers := fs.Int("customers", 96, "TPC-W customers (keys)")
+	workers := fs.Int("workers", 4, "concurrent closed-loop clients")
+	phase := fs.Duration("phase", 2*time.Second, "steady-state window before and after")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *quick {
+		*phase = 800 * time.Millisecond
+		*customers = 48
+	}
+	fmt.Printf("running live reshard %d -> %d shards (n=%d, %d customers, %d workers)...\n",
+		*from, *to, *n, *customers, *workers)
+	res, err := bench.RunReshardDemo(bench.ReshardDemoConfig{
+		N: *n, OldShards: *from, NewShards: *to,
+		Customers: *customers, Workers: *workers, Phase: *phase,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("throughput before:  %8.0f interactions/s\n", res.BeforeTput)
+	fmt.Printf("throughput during:  %8.0f interactions/s\n", res.DuringTput)
+	fmt.Printf("throughput after:   %8.0f interactions/s\n", res.AfterTput)
+	fmt.Printf("migration latency:  %v (epoch %d, %d key ranges, %d/%d customers moved)\n",
+		res.ReshardLatency.Round(time.Millisecond), res.Reshard.NewEpoch, res.Reshard.Ranges, res.MovedCustomers, *customers)
+	fmt.Printf("interactions:       %d total, %d failed\n", res.Interactions, res.Failures)
+	if res.Failures > 0 {
+		return fmt.Errorf("%d interactions failed during the reshard", res.Failures)
+	}
+	return nil
 }
 
 func runFig6(args []string) error {

@@ -8,4 +8,16 @@
 // experiment driver), cmd/replica (a TCP replica host), and the programs
 // under examples/. bench_test.go at this level regenerates the paper's
 // evaluation figures.
+//
+// Beyond the paper, services shard across independent voter groups
+// (rendezvous-hash key routing), commit cross-shard transactions via
+// BFT two-phase commit, and rebalance online: `perpetualctl reshard`
+// live-migrates a sharded service between shard counts with BFT state
+// handoff (certified exports, epoch-stamped routing, deterministic
+// RETRY-AT-EPOCH re-routing; see examples/resharding). CI enforces the
+// measured performance with a benchstat-style throughput gate
+// (`perpetualctl benchgate`, >15% Figure-7 regression fails), a
+// fault/soak job, and pinned staticcheck/govulncheck steps; the
+// checked-in BENCH_pr<k>.json reports carry a schema and commit stamp
+// so artifacts stay comparable across PRs.
 package perpetualws

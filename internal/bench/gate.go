@@ -1,0 +1,177 @@
+package bench
+
+// The CI throughput-regression gate. PR 3 bought ~48% Figure-7
+// throughput that nothing defended: a regression would land silently as
+// long as the benchmarks still *ran*. The gate compares two `go test
+// -bench` outputs — the merge base's and the candidate's, each run
+// -count=N on the same machine so the comparison is paired — and fails
+// when a throughput metric regresses beyond a threshold. It is a
+// self-contained benchstat analogue (median aggregation over runs,
+// per-(benchmark, unit) series) so the gate needs no tooling the
+// repository cannot vendor; CI additionally prints benchstat output for
+// humans when available.
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// benchSeries holds the measured values of one (benchmark, unit) pair
+// across -count runs.
+type benchSeries map[string]map[string][]float64
+
+// ParseBenchOutput extracts benchmark result lines from `go test -bench`
+// output: per benchmark name (GOMAXPROCS suffix stripped) and metric
+// unit, the values across runs.
+func ParseBenchOutput(data []byte) benchSeries {
+	out := make(benchSeries)
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		if _, err := strconv.Atoi(fields[1]); err != nil {
+			continue // not an iteration count: not a result line
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			unit := fields[i+1]
+			if out[name] == nil {
+				out[name] = make(map[string][]float64)
+			}
+			out[name][unit] = append(out[name][unit], v)
+		}
+	}
+	return out
+}
+
+// median aggregates a series like benchstat does, robust to one noisy
+// run.
+func median(vs []float64) float64 {
+	s := append([]float64(nil), vs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// throughputUnit reports whether a metric unit is higher-is-better
+// throughput (the gated kind): requests/transactions per second and
+// TPC-W WIPS. Time- and allocation-shaped units are reported but not
+// gated — wall-clock ns/op of a whole figure sweep is dominated by the
+// fixed measurement grid, not the hot path.
+func throughputUnit(unit string) bool {
+	return strings.Contains(unit, "req/s") || strings.Contains(unit, "txn/s") ||
+		strings.Contains(unit, "WIPS") || strings.Contains(unit, "wips")
+}
+
+// GateFinding is one (benchmark, unit) comparison.
+type GateFinding struct {
+	Benchmark, Unit string
+	Old, New        float64
+	// DeltaPct is the relative change in percent, signed so that
+	// negative means "got worse" for gated (throughput) units.
+	DeltaPct float64
+	Gated    bool
+	Failed   bool
+}
+
+// GateReport is the outcome of comparing two bench outputs.
+type GateReport struct {
+	Findings      []GateFinding
+	MaxRegressPct float64
+	Failed        bool
+}
+
+// Format renders the report for CI logs.
+func (g *GateReport) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-40s %-14s %12s %12s %8s\n", "benchmark", "unit", "old", "new", "delta")
+	for _, f := range g.Findings {
+		mark := ""
+		if f.Failed {
+			mark = "  << REGRESSION"
+		} else if !f.Gated {
+			mark = "  (informational)"
+		}
+		fmt.Fprintf(&b, "%-40s %-14s %12.2f %12.2f %7.1f%%%s\n", f.Benchmark, f.Unit, f.Old, f.New, f.DeltaPct, mark)
+	}
+	if g.Failed {
+		fmt.Fprintf(&b, "FAIL: throughput regressed more than %.0f%%\n", g.MaxRegressPct)
+	} else {
+		fmt.Fprintf(&b, "ok: no throughput regression beyond %.0f%%\n", g.MaxRegressPct)
+	}
+	return b.String()
+}
+
+// CompareBenchOutputs parses two `go test -bench` outputs and gates the
+// throughput metrics they share: the gate fails when any common
+// throughput metric's median drops by more than maxRegressPct percent.
+// It errors (rather than passing vacuously) when the outputs share no
+// throughput metric — a renamed benchmark must update the gate, not
+// disable it.
+func CompareBenchOutputs(oldData, newData []byte, maxRegressPct float64) (*GateReport, error) {
+	oldS, newS := ParseBenchOutput(oldData), ParseBenchOutput(newData)
+	rep := &GateReport{MaxRegressPct: maxRegressPct}
+	gatedSeen := 0
+	var names []string
+	for name := range oldS {
+		if _, ok := newS[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		var units []string
+		for unit := range oldS[name] {
+			if _, ok := newS[name][unit]; ok {
+				units = append(units, unit)
+			}
+		}
+		sort.Strings(units)
+		for _, unit := range units {
+			oldV, newV := median(oldS[name][unit]), median(newS[name][unit])
+			if oldV == 0 {
+				continue
+			}
+			f := GateFinding{Benchmark: name, Unit: unit, Old: oldV, New: newV, Gated: throughputUnit(unit)}
+			if f.Gated {
+				gatedSeen++
+				f.DeltaPct = (newV - oldV) / oldV * 100
+				if f.DeltaPct < -maxRegressPct {
+					f.Failed = true
+					rep.Failed = true
+				}
+			} else {
+				// Lower-is-better shape: sign the delta so negative still
+				// reads "got worse".
+				f.DeltaPct = (oldV - newV) / oldV * 100
+			}
+			rep.Findings = append(rep.Findings, f)
+		}
+	}
+	if gatedSeen == 0 {
+		return nil, fmt.Errorf("bench: outputs share no throughput metric to gate (old has %d benchmarks, new has %d)", len(oldS), len(newS))
+	}
+	return rep, nil
+}

@@ -1,0 +1,108 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// benchLines renders a synthetic -count=3 Figure-7 bench output with
+// the given req/s values (scaled per run to exercise the median).
+func benchLines(base1, base7 float64) []byte {
+	var b strings.Builder
+	b.WriteString("goos: linux\ngoarch: amd64\npkg: perpetualws\n")
+	for run := 0; run < 3; run++ {
+		jitter := 1 + 0.01*float64(run)
+		fmt.Fprintf(&b, "BenchmarkFigure7Scalability-2 \t 1\t%d ns/op\t%10.1f req/s@1x1\t%10.1f req/s@7x7\n",
+			1500000000+run, base1*jitter, base7*jitter)
+	}
+	b.WriteString("PASS\nok  \tperpetualws\t12.3s\n")
+	return []byte(b.String())
+}
+
+func TestGateParsesBenchOutput(t *testing.T) {
+	s := ParseBenchOutput(benchLines(930, 260))
+	series, ok := s["BenchmarkFigure7Scalability"]
+	if !ok {
+		t.Fatalf("benchmark name not parsed: %v", s)
+	}
+	if got := len(series["req/s@1x1"]); got != 3 {
+		t.Errorf("parsed %d runs for req/s@1x1, want 3", got)
+	}
+	if got := len(series["ns/op"]); got != 3 {
+		t.Errorf("parsed %d runs for ns/op, want 3", got)
+	}
+	if m := median(series["req/s@1x1"]); m < 930 || m > 940 {
+		t.Errorf("median req/s@1x1 = %.1f", m)
+	}
+}
+
+func TestGatePassesWithinThreshold(t *testing.T) {
+	old, new := benchLines(930, 260), benchLines(870, 245) // ~6% down
+	rep, err := CompareBenchOutputs(old, new, 15)
+	if err != nil {
+		t.Fatalf("CompareBenchOutputs: %v", err)
+	}
+	if rep.Failed {
+		t.Fatalf("gate failed on a ~6%% dip:\n%s", rep.Format())
+	}
+}
+
+// TestGateFailsOnInjectedSlowdown is the acceptance check for the CI
+// gate: an injected >15% throughput drop must fail it.
+func TestGateFailsOnInjectedSlowdown(t *testing.T) {
+	old, new := benchLines(930, 260), benchLines(930*0.80, 260*0.80)
+	rep, err := CompareBenchOutputs(old, new, 15)
+	if err != nil {
+		t.Fatalf("CompareBenchOutputs: %v", err)
+	}
+	if !rep.Failed {
+		t.Fatalf("gate passed a 20%% injected slowdown:\n%s", rep.Format())
+	}
+	failed := 0
+	for _, f := range rep.Findings {
+		if f.Failed {
+			failed++
+			if !f.Gated {
+				t.Errorf("non-gated metric flagged: %+v", f)
+			}
+		}
+	}
+	if failed != 2 {
+		t.Errorf("%d findings failed, want the 2 throughput metrics:\n%s", failed, rep.Format())
+	}
+}
+
+func TestGateImprovementsAndNsOpIgnored(t *testing.T) {
+	// Throughput up 30%, ns/op up 10x: must pass (ns/op is
+	// informational — figure sweeps measure a fixed grid).
+	var slow strings.Builder
+	for run := 0; run < 3; run++ {
+		fmt.Fprintf(&slow, "BenchmarkFigure7Scalability-2 \t 1\t%d ns/op\t%10.1f req/s@1x1\t%10.1f req/s@7x7\n",
+			15000000000, 1200.0, 340.0)
+	}
+	rep, err := CompareBenchOutputs(benchLines(930, 260), []byte(slow.String()), 15)
+	if err != nil {
+		t.Fatalf("CompareBenchOutputs: %v", err)
+	}
+	if rep.Failed {
+		t.Fatalf("gate failed on improved throughput:\n%s", rep.Format())
+	}
+}
+
+func TestGateErrorsWithoutCommonThroughputMetric(t *testing.T) {
+	renamed := strings.ReplaceAll(string(benchLines(930, 260)), "BenchmarkFigure7Scalability", "BenchmarkSomethingElse")
+	if _, err := CompareBenchOutputs(benchLines(930, 260), []byte(renamed), 15); err == nil {
+		t.Fatal("gate passed vacuously with no shared throughput metric")
+	}
+}
+
+func TestMicroResultSurfacesFailedBenchmarks(t *testing.T) {
+	if _, err := microResult("broken", testing.BenchmarkResult{}); err == nil {
+		t.Fatal("zero-iteration benchmark result accepted; a partial report would ship as healthy")
+	}
+	m, err := microResult("ok", testing.BenchmarkResult{N: 4, T: 4e6})
+	if err != nil || m.NsPerOp != 1e6 {
+		t.Fatalf("microResult = %+v, %v", m, err)
+	}
+}

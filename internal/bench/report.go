@@ -23,7 +23,18 @@ type MicroResult struct {
 // compared against (BENCH_pr<k>.json at the repo root): headline TPC-W
 // WIPS, null-request throughput, cross-shard transaction overhead,
 // reply-path bandwidth, and the hot-loop micro costs.
+// ReportSchema versions the report's JSON shape, so BENCH_pr<k>.json
+// artifacts from different PRs are comparable only when they claim the
+// same schema. Bump when fields change meaning; adding fields is
+// backward compatible.
+const ReportSchema = 2
+
 type Report struct {
+	// Schema and Commit make checked-in artifacts comparable across
+	// PRs: the schema versions the field semantics, the commit pins the
+	// tree the numbers were measured at.
+	Schema      int    `json:"schema"`
+	Commit      string `json:"commit,omitempty"`
 	GeneratedBy string `json:"generated_by"`
 	GoVersion   string `json:"go_version"`
 	NumCPU      int    `json:"num_cpu"`
@@ -48,12 +59,15 @@ type Report struct {
 
 // ReportConfig tunes RunReport's measurement sizes.
 type ReportConfig struct {
-	Quick bool // smaller grids for smoke runs
+	Quick  bool   // smaller grids for smoke runs
+	Commit string // git revision to stamp into the report
 }
 
 // RunReport measures the report's figures.
 func RunReport(cfg ReportConfig) (*Report, error) {
 	r := &Report{
+		Schema:        ReportSchema,
+		Commit:        cfg.Commit,
 		GeneratedBy:   "perpetualctl bench -json",
 		GoVersion:     runtime.Version(),
 		NumCPU:        runtime.NumCPU(),
@@ -114,13 +128,29 @@ func RunReport(cfg ReportConfig) (*Report, error) {
 	}
 	for name, fn := range micros {
 		res := testing.Benchmark(fn)
-		r.Micro[name] = MicroResult{
-			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
-			AllocsPerOp: res.AllocsPerOp(),
-			BytesPerOp:  res.AllocedBytesPerOp(),
+		m, err := microResult(name, res)
+		if err != nil {
+			return nil, err
 		}
+		r.Micro[name] = m
 	}
 	return r, nil
+}
+
+// microResult converts a testing.Benchmark result, surfacing failure as
+// an error: a benchmark function that calls b.Fatal yields a zero-value
+// result (N == 0) rather than an error, which would otherwise turn into
+// a partial report with silently-zero micro numbers — emitted with exit
+// code 0 and uploaded by CI as if healthy.
+func microResult(name string, res testing.BenchmarkResult) (MicroResult, error) {
+	if res.N <= 0 {
+		return MicroResult{}, fmt.Errorf("bench: micro benchmark %s failed (0 iterations)", name)
+	}
+	return MicroResult{
+		NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+		AllocsPerOp: res.AllocsPerOp(),
+		BytesPerOp:  res.AllocedBytesPerOp(),
+	}, nil
 }
 
 // MeasureReplyPathBytes runs requests with payloadSize-byte replies

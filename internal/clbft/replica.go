@@ -71,6 +71,7 @@ type Replica struct {
 	transport Transport
 	logger    *log.Logger
 	validate  func(opID string, op []byte) bool
+	ckptHook  func(seq uint64, state Digest)
 
 	inbox   chan event
 	stopped chan struct{}
@@ -134,6 +135,17 @@ func WithLogger(l *log.Logger) Option {
 // MAC-authenticated BFT protocols.
 func WithValidator(f func(opID string, op []byte) bool) Option {
 	return func(r *Replica) { r.validate = f }
+}
+
+// WithCheckpointHook installs an observer invoked whenever a checkpoint
+// becomes stable (quorum-certified and locally executed): the hook
+// receives the checkpoint's sequence number and chained state digest.
+// The export side of the perpetual state-handoff protocol uses it to
+// surface the group's stable log position; diagnostics and external
+// snapshotting can hang off it too. The hook runs on the event-loop
+// goroutine and must not call back into the replica.
+func WithCheckpointHook(f func(seq uint64, state Digest)) Option {
+	return func(r *Replica) { r.ckptHook = f }
 }
 
 // New creates a replica. deliver is invoked on the event-loop goroutine,
@@ -670,6 +682,9 @@ func (r *Replica) stabilize(seq uint64) {
 		return
 	}
 	r.h = seq
+	if r.ckptHook != nil {
+		r.ckptHook(seq, r.certifiedCkpts[seq])
+	}
 	if r.seqCounter < seq {
 		r.seqCounter = seq
 	}

@@ -1,0 +1,158 @@
+package core
+
+// State handoff (live resharding) at the Perpetual-WS layer. The
+// perpetual driver's Reshard (internal/perpetual/handoff.go) moves
+// opaque payloads; this file maps its protocol onto the SOAP world so
+// applications participate through ordinary-looking agreed requests:
+//
+//   - An EXPORT arrives as a synthesized request whose body
+//     DecodeHandoff parses; the application gathers the state of every
+//     key moving (Source -> Dest), freezes those keys (subsequent
+//     requests for them answer soap.RetryAtEpochFault), and replies
+//     with its state as the body. perpetualSender wraps the reply into
+//     the handoff certificate the destination verifies.
+//   - An INSTALL arrives the same way with the *certified* exported
+//     state in HandoffInfo.State — the node has already verified the
+//     f_s+1 source-group certificate before delivery, so an install
+//     request reaching the application is genuine. The application
+//     imports and acknowledges.
+//   - DROP / CANCEL arrive after the epoch flip (or an abort): the
+//     application discards moved state, or unfreezes and keeps it.
+//
+// Clients observing soap.FaultCodeRetryAtEpoch re-resolve the key and
+// retry (RetryAtEpoch / SendRerouted).
+
+import (
+	"encoding/xml"
+	"fmt"
+	"time"
+
+	"perpetualws/internal/perpetual"
+	"perpetualws/internal/soap"
+	"perpetualws/internal/wsengine"
+)
+
+// Handoff-related context properties and actions.
+const (
+	// ActionHandoff is the wsa:Action of synthesized state-handoff
+	// requests.
+	ActionHandoff = "urn:perpetual:handoff"
+	// PropHandoff marks a request context as a genuine agreed handoff
+	// phase synthesized by the node (install phases additionally had
+	// their certificate verified). The value is the decoded
+	// *perpetual.HandoffFrame. Applications MUST require this property
+	// before acting on a handoff-shaped body: properties are
+	// process-local, so an external client sending a lookalike body as
+	// an ordinary request cannot carry it.
+	PropHandoff = "perpetual.handoff"
+)
+
+// HandoffInfo is the application-facing form of one handoff phase.
+type HandoffInfo struct {
+	// Phase is the protocol phase (export, install, drop, cancel).
+	Phase perpetual.HandoffPhase
+	// Service, shard counts, epochs, and the moving range identify the
+	// reshard (see perpetual.HandoffFrame).
+	Service              string
+	OldShards, NewShards int
+	OldEpoch, NewEpoch   uint64
+	Source, Dest         int
+	// State is the exported application state body (install only): the
+	// body XML the source application replied to the export with,
+	// extracted from the verified certificate.
+	State []byte
+}
+
+// handoffXML is the wire form of a synthesized handoff request body.
+type handoffXML struct {
+	XMLName   xml.Name `xml:"handoff"`
+	Phase     string   `xml:"phase,attr"`
+	Service   string   `xml:"service,attr"`
+	OldShards int      `xml:"oldShards,attr"`
+	NewShards int      `xml:"newShards,attr"`
+	OldEpoch  uint64   `xml:"oldEpoch,attr"`
+	NewEpoch  uint64   `xml:"newEpoch,attr"`
+	Source    int      `xml:"source,attr"`
+	Dest      int      `xml:"dest,attr"`
+	State     []byte   `xml:"state,omitempty"`
+}
+
+// HandoffBody renders the body of a synthesized handoff request.
+func HandoffBody(f *perpetual.HandoffFrame, state []byte) []byte {
+	b, _ := xml.Marshal(handoffXML{
+		Phase: f.Phase.String(), Service: f.Service,
+		OldShards: f.OldShards, NewShards: f.NewShards,
+		OldEpoch: f.OldEpoch, NewEpoch: f.NewEpoch,
+		Source: f.Source, Dest: f.Dest, State: state,
+	})
+	return b
+}
+
+// DecodeHandoff parses a handoff request body; ok is false for any
+// other body, so applications can probe with it cheaply. Remember to
+// require PropHandoff on the context before acting on the result.
+func DecodeHandoff(body []byte) (HandoffInfo, bool) {
+	var h handoffXML
+	if err := xml.Unmarshal(body, &h); err != nil || h.XMLName.Local != "handoff" || h.Service == "" {
+		return HandoffInfo{}, false
+	}
+	var phase perpetual.HandoffPhase
+	for _, p := range []perpetual.HandoffPhase{
+		perpetual.HandoffExport, perpetual.HandoffInstall,
+		perpetual.HandoffDrop, perpetual.HandoffCancel,
+	} {
+		if h.Phase == p.String() {
+			phase = p
+		}
+	}
+	if phase == 0 {
+		return HandoffInfo{}, false
+	}
+	return HandoffInfo{
+		Phase: phase, Service: h.Service,
+		OldShards: h.OldShards, NewShards: h.NewShards,
+		OldEpoch: h.OldEpoch, NewEpoch: h.NewEpoch,
+		Source: h.Source, Dest: h.Dest, State: h.State,
+	}, true
+}
+
+// RetryAtEpoch reports whether a reply context carries the
+// deterministic moved-key fault, and the routing epoch to retry under.
+func RetryAtEpoch(mc *wsengine.MessageContext) (uint64, bool) {
+	f, isFault := soap.IsFault(mc.Envelope.Body)
+	if !isFault {
+		return 0, false
+	}
+	return soap.DecodeRetryAtEpoch(f)
+}
+
+// SendRerouted performs a synchronous invocation that survives a live
+// reshard: build constructs a fresh request context per attempt (routing
+// is resolved at send time, so a rebuilt request follows the current
+// epoch's table), and moved-key faults are retried until the routing
+// flip lands — clients observe only success, or RETRY-AT-EPOCH followed
+// by success. Any other outcome (including a non-retry fault) is
+// returned as-is. attempts bounds the retries; backoff separates them
+// (the window between a key freezing and the epoch flipping is the
+// install latency of the reshard).
+func SendRerouted(h MessageHandler, build func() *wsengine.MessageContext, attempts int, backoff time.Duration) (*wsengine.MessageContext, error) {
+	if attempts < 1 {
+		attempts = 1
+	}
+	var last *wsengine.MessageContext
+	for i := 0; i < attempts; i++ {
+		req := build()
+		reply, err := h.SendReceive(req)
+		if err != nil {
+			return nil, err
+		}
+		if _, retry := RetryAtEpoch(reply); !retry {
+			return reply, nil
+		}
+		last = reply
+		if backoff > 0 {
+			time.Sleep(backoff)
+		}
+	}
+	return last, fmt.Errorf("perpetualws: request still rerouting after %d attempts", attempts)
+}

@@ -1,0 +1,34 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"perpetualws/internal/perpetual"
+)
+
+func TestHandoffBodyRoundTrip(t *testing.T) {
+	f := &perpetual.HandoffFrame{
+		Phase: perpetual.HandoffInstall, Service: "store",
+		OldShards: 2, NewShards: 4, OldEpoch: 3, NewEpoch: 4,
+		Source: 1, Dest: 3,
+	}
+	state := []byte(`<storeState><customer id="7"/></storeState>`)
+	body := HandoffBody(f, state)
+	h, ok := DecodeHandoff(body)
+	if !ok {
+		t.Fatalf("DecodeHandoff failed on %s", body)
+	}
+	if h.Phase != perpetual.HandoffInstall || h.Service != "store" ||
+		h.OldShards != 2 || h.NewShards != 4 ||
+		h.OldEpoch != 3 || h.NewEpoch != 4 ||
+		h.Source != 1 || h.Dest != 3 || !bytes.Equal(h.State, state) {
+		t.Errorf("DecodeHandoff = %+v", h)
+	}
+	if _, ok := DecodeHandoff([]byte(`<interaction customer="1"/>`)); ok {
+		t.Error("non-handoff body decoded as handoff")
+	}
+	if _, ok := DecodeHandoff([]byte(`<handoff phase="steal" service="store"/>`)); ok {
+		t.Error("unknown phase decoded as handoff")
+	}
+}

@@ -3,6 +3,7 @@ package perpetual
 import (
 	"fmt"
 	"log"
+	"sync"
 	"time"
 
 	"perpetualws/internal/auth"
@@ -32,7 +33,12 @@ type Deployment struct {
 	Registry *Registry
 	Network  *transport.Network
 
-	master   []byte
+	master []byte
+	// mu guards replicas and started: before live resharding the
+	// replica map was immutable after Build, but ProvisionShards and
+	// RetireShards now mutate it while accessor goroutines (stats
+	// polling, tests) read it.
+	mu       sync.RWMutex
 	replicas map[string][]*Replica
 	options  map[string]ServiceOptions
 	started  bool
@@ -68,41 +74,149 @@ func (d *Deployment) Build() error {
 		opts := d.options[svc.Name]
 		for k := 0; k < svc.ShardCount(); k++ {
 			g := svc.Shard(k)
-			group := make([]*Replica, g.N)
-			for i := 0; i < g.N; i++ {
-				voterID := auth.VoterID(g.Name, i)
-				driverID := auth.DriverID(g.Name, i)
-				cfg := ReplicaConfig{
-					Service:            g.Name,
-					Index:              i,
-					Registry:           d.Registry,
-					VoterConn:          d.Network.Port(voterID),
-					DriverConn:         d.Network.Port(driverID),
-					VoterKeys:          auth.NewDerivedKeyStore(d.master, voterID, principals),
-					DriverKeys:         auth.NewDerivedKeyStore(d.master, driverID, principals),
-					CheckpointInterval: opts.CheckpointInterval,
-					ViewChangeTimeout:  opts.ViewChangeTimeout,
-					RetransmitInterval: opts.RetransmitInterval,
-					MaxBatch:           opts.MaxBatch,
-					Logger:             opts.Logger,
-				}
-				if opts.Behaviors != nil {
-					cfg.Behavior = opts.Behaviors[i]
-				}
-				r, err := NewReplica(cfg)
-				if err != nil {
-					return fmt.Errorf("perpetual: building %s/%d: %w", g.Name, i, err)
-				}
-				group[i] = r
+			group, err := d.buildGroup(g, opts, principals)
+			if err != nil {
+				return err
 			}
+			d.mu.Lock()
 			d.replicas[g.Name] = group
+			d.mu.Unlock()
 		}
 	}
 	return nil
 }
 
+// buildGroup assembles one concrete replica group.
+func (d *Deployment) buildGroup(g ServiceInfo, opts ServiceOptions, principals []auth.NodeID) ([]*Replica, error) {
+	group := make([]*Replica, g.N)
+	for i := 0; i < g.N; i++ {
+		voterID := auth.VoterID(g.Name, i)
+		driverID := auth.DriverID(g.Name, i)
+		cfg := ReplicaConfig{
+			Service:            g.Name,
+			Index:              i,
+			Registry:           d.Registry,
+			VoterConn:          d.Network.Port(voterID),
+			DriverConn:         d.Network.Port(driverID),
+			VoterKeys:          auth.NewDerivedKeyStore(d.master, voterID, principals),
+			DriverKeys:         auth.NewDerivedKeyStore(d.master, driverID, principals),
+			CheckpointInterval: opts.CheckpointInterval,
+			ViewChangeTimeout:  opts.ViewChangeTimeout,
+			RetransmitInterval: opts.RetransmitInterval,
+			MaxBatch:           opts.MaxBatch,
+			Logger:             opts.Logger,
+		}
+		if opts.Behaviors != nil {
+			cfg.Behavior = opts.Behaviors[i]
+		}
+		r, err := NewReplica(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("perpetual: building %s/%d: %w", g.Name, i, err)
+		}
+		group[i] = r
+	}
+	return group, nil
+}
+
+// ProvisionShards materializes the replica groups a reshard to n shards
+// needs before Driver.Reshard can run: it registers the transitional
+// shard-group namespace, derives pairwise keys between every existing
+// principal and the joining groups' principals, builds the new groups
+// (with the service's configured options), and starts them if the
+// deployment is running. Growing from the current deployed count builds
+// groups [cur, n); shrinking needs no new groups (the old ones stay
+// addressable until the reshard retires them). Idempotent.
+func (d *Deployment) ProvisionShards(service string, n int) error {
+	svc, err := d.Registry.Lookup(service)
+	if err != nil {
+		return err
+	}
+	if !svc.IsSharded() || n < 2 {
+		return fmt.Errorf("perpetual: ProvisionShards needs a sharded service and n >= 2 (have %d -> %d)", svc.ShardCount(), n)
+	}
+	cur := d.Registry.DeployedShards(service)
+	if n <= cur {
+		d.Registry.SetDeployedShards(service, max(n, svc.ShardCount()))
+		return nil
+	}
+	var joining []auth.NodeID
+	for k := cur; k < n; k++ {
+		g := svc.Shard(k)
+		joining = append(joining, g.VoterIDs()...)
+		joining = append(joining, g.DriverIDs()...)
+	}
+	// Existing replicas learn the joining principals' keys; the joining
+	// replicas' key stores are derived over the full (post-grow)
+	// principal set.
+	d.mu.RLock()
+	existing := make([]*Replica, 0, len(d.replicas))
+	for _, group := range d.replicas {
+		existing = append(existing, group...)
+	}
+	d.mu.RUnlock()
+	for _, r := range existing {
+		r.provisionPeers(d.master, joining)
+	}
+	d.Registry.SetDeployedShards(service, n)
+	principals := d.Registry.AllPrincipals()
+	opts := d.options[service]
+	// Byzantine behaviors configured for the base service apply to built
+	// groups only at Build time; joining groups start correct (grow-time
+	// fault injection would make every reshard test implicitly faulty).
+	opts.Behaviors = nil
+	for k := cur; k < n; k++ {
+		g := svc.Shard(k)
+		d.mu.Lock()
+		if _, exists := d.replicas[g.Name]; exists {
+			d.mu.Unlock()
+			continue
+		}
+		d.mu.Unlock()
+		group, err := d.buildGroup(g, opts, principals)
+		if err != nil {
+			return err
+		}
+		d.mu.Lock()
+		d.replicas[g.Name] = group
+		start := d.started
+		d.mu.Unlock()
+		if start {
+			for _, r := range group {
+				r.Start()
+			}
+		}
+	}
+	return nil
+}
+
+// RetireShards stops and removes the replica groups of shards [n, ...)
+// of a service — the groups a completed shrink reshard drained. Call
+// only after Driver.Reshard returned successfully.
+func (d *Deployment) RetireShards(service string, n int) {
+	svc, err := d.Registry.Lookup(service)
+	if err != nil {
+		return
+	}
+	for k := n; ; k++ {
+		g := svc.Shard(k)
+		d.mu.Lock()
+		group, ok := d.replicas[g.Name]
+		delete(d.replicas, g.Name)
+		d.mu.Unlock()
+		if !ok {
+			break
+		}
+		for _, r := range group {
+			r.Stop()
+		}
+	}
+	d.Registry.EndReshard(service)
+}
+
 // Start launches every replica.
 func (d *Deployment) Start() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if d.started {
 		return
 	}
@@ -116,11 +230,13 @@ func (d *Deployment) Start() {
 
 // Stop shuts every replica down and closes the network.
 func (d *Deployment) Stop() {
+	d.mu.Lock()
 	for _, group := range d.replicas {
 		for _, r := range group {
 			r.Stop()
 		}
 	}
+	d.mu.Unlock()
 	_ = d.Network.Close()
 }
 
@@ -128,17 +244,21 @@ func (d *Deployment) Stop() {
 // group, when addressed by its "name#k" wire name). For the parent name
 // of a sharded service use ShardReplicas.
 func (d *Deployment) Replicas(service string) []*Replica {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	return d.replicas[service]
 }
 
 // ShardReplicas returns the replica group of shard k of a service. For
-// an unsharded service, shard 0 is the service's only group.
+// an unsharded service, shard 0 is the service's only group. During a
+// reshard, transitional groups beyond the routing table's shard count
+// (joining or draining) are addressable too.
 func (d *Deployment) ShardReplicas(service string, k int) []*Replica {
 	svc, err := d.Registry.Lookup(service)
-	if err != nil || k < 0 || k >= svc.ShardCount() {
+	if err != nil || k < 0 || k >= d.Registry.DeployedShards(service) {
 		return nil
 	}
-	return d.replicas[svc.Shard(k).Name]
+	return d.Replicas(svc.Shard(k).Name)
 }
 
 // ShardDrivers returns all drivers of shard k of a service.
@@ -156,6 +276,8 @@ func (d *Deployment) ShardDrivers(service string, k int) []*Driver {
 // the whole-deployment view the bandwidth ablations and the bench
 // harness report.
 func (d *Deployment) TransportStats() transport.StatsSnapshot {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	var total transport.StatsSnapshot
 	for _, group := range d.replicas {
 		for _, r := range group {
@@ -167,7 +289,7 @@ func (d *Deployment) TransportStats() transport.StatsSnapshot {
 
 // Driver returns the driver of replica i of a service.
 func (d *Deployment) Driver(service string, i int) *Driver {
-	group := d.replicas[service]
+	group := d.Replicas(service)
 	if i < 0 || i >= len(group) {
 		return nil
 	}
@@ -176,7 +298,7 @@ func (d *Deployment) Driver(service string, i int) *Driver {
 
 // Drivers returns all drivers of a service.
 func (d *Deployment) Drivers(service string) []*Driver {
-	group := d.replicas[service]
+	group := d.Replicas(service)
 	out := make([]*Driver, len(group))
 	for i, r := range group {
 		out[i] = r.Driver()

@@ -26,6 +26,12 @@ type IncomingRequest struct {
 	ReqID   string
 	Caller  string
 	Payload []byte
+	// Seq is the CLBFT agreement sequence the request was ordered at —
+	// identical on every replica of the group, so it can safely enter
+	// deterministic replies. The state-handoff protocol stamps it into
+	// export certificates, binding a handoff to a checkpoint position in
+	// the source group's log.
+	Seq uint64
 }
 
 // Reply is the agreed outcome of a request this service issued. Aborted
@@ -119,10 +125,15 @@ type outstandingReq struct {
 	timeout   time.Duration
 	retryTmr  *time.Timer
 	abortTmr  *time.Timer
-	// txn marks a 2PC protocol request (see txn.go): its agreed reply is
-	// routed to the txn wait table instead of the event queue, with the
-	// reply bundle's shares retained as the vote certificate.
+	// txn marks a protocol-internal request (2PC, see txn.go; state
+	// handoff, see handoff.go): its agreed reply is routed to the txn
+	// wait table instead of the event queue, with the reply bundle's
+	// shares retained as the vote/handoff certificate.
 	txn bool
+	// class optionally overrides the transport stats class of the
+	// request's frames (ClassTxn for 2PC, ClassHandoff for resharding);
+	// zero derives the class from the payload as usual.
+	class uint8
 	// suppressReply marks a request settled internally (aborted by a
 	// failed CallAllShards fan-out): the application never learned its
 	// id, so the agreed abort/reply must not surface as an event.
@@ -244,7 +255,7 @@ func (d *Driver) CallKey(target string, key, payload []byte, timeout time.Durati
 		}
 		tinfo = tinfo.Shard(ShardFor(key, tinfo.Shards))
 	}
-	return d.call(tinfo, payload, timeout, false)
+	return d.call(tinfo, payload, timeout, false, 0)
 }
 
 // CallAllShards fans a broadcast-style request out to every shard of a
@@ -267,7 +278,7 @@ func (d *Driver) CallAllShards(target string, payload []byte, timeout time.Durat
 	}
 	ids := make([]string, 0, tinfo.ShardCount())
 	for k := 0; k < tinfo.ShardCount(); k++ {
-		id, err := d.call(tinfo.Shard(k), payload, timeout, false)
+		id, err := d.call(tinfo.Shard(k), payload, timeout, false, 0)
 		if err != nil {
 			d.suppressReplies(ids)
 			for _, issued := range ids {
@@ -300,9 +311,11 @@ func (d *Driver) suppressReplies(ids []string) {
 	}
 }
 
-// call issues a request to one concrete replica group. txn marks a 2PC
-// protocol request whose reply is routed to the transaction wait table.
-func (d *Driver) call(tinfo ServiceInfo, payload []byte, timeout time.Duration, txn bool) (string, error) {
+// call issues a request to one concrete replica group. txn marks a
+// protocol-internal request (2PC vote or handoff step) whose reply is
+// routed to the transaction wait table; class optionally overrides the
+// transport stats class of its frames.
+func (d *Driver) call(tinfo ServiceInfo, payload []byte, timeout time.Duration, txn bool, class uint8) (string, error) {
 	target := tinfo.Name
 	d.mu.Lock()
 	if d.closed {
@@ -319,6 +332,7 @@ func (d *Driver) call(tinfo ServiceInfo, payload []byte, timeout time.Duration, 
 		responder: responder,
 		timeout:   timeout,
 		txn:       txn,
+		class:     class,
 	}
 	d.outstanding[reqID] = o
 	d.mu.Unlock()
@@ -334,7 +348,7 @@ func (d *Driver) call(tinfo ServiceInfo, payload []byte, timeout time.Duration, 
 	}
 	// First attempt goes to the believed primary (index 0 in the common
 	// case); retransmissions fan out to the whole group.
-	if err := d.sendRequest(req, []auth.NodeID{auth.VoterID(target, 0)}, txn); err != nil {
+	if err := d.sendRequest(req, []auth.NodeID{auth.VoterID(target, 0)}, class); err != nil {
 		d.logf("request %s: %v", reqID, err)
 	}
 
@@ -352,15 +366,15 @@ func (d *Driver) call(tinfo ServiceInfo, payload []byte, timeout time.Duration, 
 // sendRequest encodes a request message once and transmits it to the
 // given target voters (one for first attempts, the whole group for
 // retransmissions) through the adapter's encode-once multicast path.
-// Transaction-protocol requests are tagged with the reserved txn stats
-// class so 2PC bandwidth is separable from ordinary request traffic.
-func (d *Driver) sendRequest(req *Request, tos []auth.NodeID, txn bool) error {
+// Protocol-internal requests carry a reserved stats class (ClassTxn,
+// ClassHandoff) so 2PC and migration bandwidth are separable from
+// ordinary request traffic; class zero derives from the payload.
+func (d *Driver) sendRequest(req *Request, tos []auth.NodeID, class uint8) error {
 	msg := &Message{Kind: KindRequest, Request: req}
 	w := wire.GetWriter(msg.SizeHint())
 	msg.EncodeTo(w)
-	class := transport.ClassOf(w.Bytes())
-	if txn {
-		class = transport.ClassTxn
+	if class == 0 {
+		class = transport.ClassOf(w.Bytes())
 	}
 	err := d.adapter.SendMultiTagged(tos, w.Bytes(), class)
 	w.Free()
@@ -405,7 +419,7 @@ func (d *Driver) retransmit(reqID string) {
 	}
 	o.responder = int((fnv64a([]byte(reqID)) + uint64(attempt)) % uint64(tinfo.N))
 	responder := o.responder
-	txn := o.txn
+	class := o.class
 	backoff := d.retransmitInterval << uint(min(attempt, 6))
 	o.retryTmr = time.AfterFunc(backoff, func() { d.retransmit(reqID) })
 	d.mu.Unlock()
@@ -415,7 +429,7 @@ func (d *Driver) retransmit(reqID string) {
 		d.logf("retransmit %s: %v", reqID, err)
 		return
 	}
-	if err := d.sendRequest(req, tinfo.VoterIDs(), txn); err != nil {
+	if err := d.sendRequest(req, tinfo.VoterIDs(), class); err != nil {
 		d.logf("retransmit %s: %v", reqID, err)
 	}
 	d.logf("retransmitted %s (attempt %d, responder %d)", reqID, attempt, responder)

@@ -22,6 +22,14 @@ type ServiceInfo struct {
 	// deploys the paper's single-group configuration. Each shard
 	// individually tolerates f = (N-1)/3 Byzantine replicas.
 	Shards int
+	// Epoch versions the service's routing table. It increments exactly
+	// once per completed reshard (Driver.Reshard), when the registry flips
+	// Shards atomically; callers that route a key under a stale epoch are
+	// answered by the old owner with a deterministic RETRY-AT-EPOCH fault
+	// and re-resolve. The epoch does not enter the rendezvous hash — that
+	// would move every key on a flip — it only names which (Shards) value
+	// a route was computed against.
+	Epoch uint64
 }
 
 // F returns the number of faults the service (each shard, if sharded)
@@ -76,11 +84,21 @@ func (s ServiceInfo) DriverIDs() []auth.NodeID {
 type Registry struct {
 	mu       sync.RWMutex
 	services map[string]ServiceInfo
+	// deployed tracks, per sharded service, how many shard groups are
+	// materialized (deployed replicas, resolvable by wire name). Outside a
+	// reshard it equals ShardCount; during one it is max(old, new), so
+	// both the groups still draining under the old epoch and the groups
+	// warming up for the new one can be addressed while only Shards (the
+	// routing table) decides where fresh keys go.
+	deployed map[string]int
 }
 
 // NewRegistry creates a registry holding the given services.
 func NewRegistry(services ...ServiceInfo) *Registry {
-	r := &Registry{services: make(map[string]ServiceInfo, len(services))}
+	r := &Registry{
+		services: make(map[string]ServiceInfo, len(services)),
+		deployed: make(map[string]int),
+	}
 	for _, s := range services {
 		r.services[s.Name] = s
 	}
@@ -96,7 +114,9 @@ func (r *Registry) Add(s ServiceInfo) {
 
 // Lookup resolves a service or shard group by name: "store" yields the
 // declared (possibly sharded) service; "store#2" yields the concrete
-// group descriptor of its third shard.
+// group descriptor of its third shard. During a reshard, shard groups
+// beyond the routing table's Shards (new groups warming up, or old
+// groups draining) remain resolvable until the transition ends.
 func (r *Registry) Lookup(name string) (ServiceInfo, error) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
@@ -104,11 +124,89 @@ func (r *Registry) Lookup(name string) (ServiceInfo, error) {
 		return s, nil
 	}
 	if base, k, ok := splitShardGroupName(name); ok {
-		if s, found := r.services[base]; found && s.IsSharded() && k < s.Shards {
+		if s, found := r.services[base]; found && s.IsSharded() && k < r.deployedLocked(s) {
 			return s.Shard(k), nil
 		}
 	}
 	return ServiceInfo{}, fmt.Errorf("perpetual: unknown service %q", name)
+}
+
+// deployedLocked returns the number of addressable shard groups of a
+// service (caller holds r.mu).
+func (r *Registry) deployedLocked(s ServiceInfo) int {
+	if d := r.deployed[s.Name]; d > s.ShardCount() {
+		return d
+	}
+	return s.ShardCount()
+}
+
+// DeployedShards returns the number of addressable shard groups of a
+// service: ShardCount outside a reshard, max(old, new) during one.
+func (r *Registry) DeployedShards(service string) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s, ok := r.services[service]
+	if !ok {
+		return 0
+	}
+	return r.deployedLocked(s)
+}
+
+// SetDeployedShards marks n shard groups of a service as materialized
+// (resolvable by wire name), without touching the routing table. Called
+// by Deployment.ProvisionShards before a reshard starts.
+func (r *Registry) SetDeployedShards(service string, n int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.services[service]; ok && n > 0 {
+		r.deployed[service] = n
+	}
+}
+
+// CommitEpoch atomically flips a service's routing table to (newShards,
+// newEpoch): the single point at which fresh routes start using the new
+// shard count. It is idempotent per epoch — every replica of a
+// replicated reshard coordinator commits the same flip — and refuses to
+// move the epoch backwards.
+func (r *Registry) CommitEpoch(service string, newShards int, newEpoch uint64) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.services[service]
+	if !ok {
+		return fmt.Errorf("perpetual: unknown service %q", service)
+	}
+	if s.Epoch >= newEpoch {
+		// Re-commit of the same flip by another replica of the reshard
+		// coordinator is idempotent; the same epoch claimed for a
+		// *different* shard count means a concurrent reshard won the
+		// epoch — succeeding silently would let the loser run its drop
+		// phase against a topology that never flipped, losing keys.
+		if s.Epoch == newEpoch && s.Shards == newShards {
+			return nil
+		}
+		return fmt.Errorf("perpetual: epoch %d of %s already committed with %d shards (concurrent reshard?)", s.Epoch, service, s.Shards)
+	}
+	if newEpoch != s.Epoch+1 {
+		return fmt.Errorf("perpetual: epoch flip %d -> %d skips epochs", s.Epoch, newEpoch)
+	}
+	if d := r.deployedLocked(s); newShards > d {
+		return fmt.Errorf("perpetual: cannot flip %s to %d shards, only %d deployed", service, newShards, d)
+	}
+	s.Shards = newShards
+	s.Epoch = newEpoch
+	r.services[service] = s
+	return nil
+}
+
+// EndReshard retires the transitional shard-group namespace: addressable
+// groups shrink back to the routing table's ShardCount (drained old
+// groups on a shrink stop resolving). Idempotent.
+func (r *Registry) EndReshard(service string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s, ok := r.services[service]; ok {
+		r.deployed[service] = s.ShardCount()
+	}
 }
 
 // Services returns all registered services sorted by name.
@@ -124,14 +222,15 @@ func (r *Registry) Services() []ServiceInfo {
 }
 
 // Groups returns every concrete replica group of the deployment sorted
-// by name: one per unsharded service plus one per shard of each sharded
-// service. This is what Deployment.Build materializes.
+// by name: one per unsharded service plus one per deployed shard of each
+// sharded service (including transitional groups mid-reshard). This is
+// what Deployment.Build materializes.
 func (r *Registry) Groups() []ServiceInfo {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	var out []ServiceInfo
 	for _, s := range r.services {
-		for k := 0; k < s.ShardCount(); k++ {
+		for k := 0; k < r.deployedLocked(s); k++ {
 			out = append(out, s.Shard(k))
 		}
 	}

@@ -50,6 +50,9 @@ type Replica struct {
 	voter  *voter
 	driver *Driver
 
+	voterKeys  *auth.KeyStore
+	driverKeys *auth.KeyStore
+
 	voterAdapter  *transport.ChannelAdapter
 	driverAdapter *transport.ChannelAdapter
 }
@@ -90,7 +93,10 @@ func NewReplica(cfg ReplicaConfig) (*Replica, error) {
 		ViewChangeTimeout:  cfg.ViewChangeTimeout,
 		MaxBatch:           cfg.MaxBatch,
 	}
-	opts := []clbft.Option{clbft.WithValidator(v.validateOp)}
+	opts := []clbft.Option{
+		clbft.WithValidator(v.validateOp),
+		clbft.WithCheckpointHook(v.onStableCheckpoint),
+	}
 	if cfg.Logger != nil {
 		opts = append(opts, clbft.WithLogger(cfg.Logger))
 	}
@@ -105,6 +111,8 @@ func NewReplica(cfg ReplicaConfig) (*Replica, error) {
 		index:         cfg.Index,
 		voter:         v,
 		driver:        d,
+		voterKeys:     cfg.VoterKeys,
+		driverKeys:    cfg.DriverKeys,
 		voterAdapter:  voterAdapter,
 		driverAdapter: driverAdapter,
 	}
@@ -145,6 +153,36 @@ func (r *Replica) VoterView() uint64 { return r.voter.bft.View() }
 // AgreementCount returns the number of operations this replica's voter
 // has delivered (diagnostic).
 func (r *Replica) AgreementCount() uint64 { return r.voter.bft.Executed() }
+
+// StableCheckpointSeq returns the agreement sequence of the voter
+// group's last stable (quorum-certified, locally executed) checkpoint,
+// as observed by this replica via the CLBFT checkpoint hook. A handoff
+// export agreed at sequence s is durably below the group's log horizon
+// once StableCheckpointSeq >= s on a correct replica.
+func (r *Replica) StableCheckpointSeq() uint64 { return r.voter.stableCkpt.Load() }
+
+// VerifyHandoffCert verifies a handoff-install frame's state
+// certificate against this replica's driver key store: the f_s+1 source
+// voter shares must endorse the carried state (see VerifyHandoffCert,
+// the package-level form, for the checks). Destination-group nodes call
+// it on agreed install requests before importing state.
+func (r *Replica) VerifyHandoffCert(f *HandoffFrame) (*HandoffState, error) {
+	return VerifyHandoffCert(r.driverKeys, r.driver.registry, f)
+}
+
+// provisionPeers installs pairwise keys, derived from the deployment
+// master secret, for principals that joined after this replica was
+// built (shard groups deployed by ProvisionShards ahead of a reshard).
+func (r *Replica) provisionPeers(master []byte, peers []auth.NodeID) {
+	for _, p := range peers {
+		if p != r.voterKeys.Self() {
+			r.voterKeys.SetKey(p, auth.DeriveKey(master, r.voterKeys.Self(), p))
+		}
+		if p != r.driverKeys.Self() {
+			r.driverKeys.SetKey(p, auth.DeriveKey(master, r.driverKeys.Self(), p))
+		}
+	}
+}
 
 // TransportStats returns the combined traffic counters of the replica's
 // voter and driver adapters (diagnostics and the message-complexity

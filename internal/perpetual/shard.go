@@ -32,6 +32,15 @@ func ShardGroupName(service string, k int) string {
 	return service + shardSep + strconv.Itoa(k)
 }
 
+// SplitShardGroupName parses a shard group name back into its parent
+// service name and shard index: "store#2" yields ("store", 2, true).
+// Applications deployed per shard use it to learn their own shard index
+// (from core.AppContext.ServiceName), which the state-handoff protocol
+// needs to evaluate key-movement predicates.
+func SplitShardGroupName(name string) (base string, k int, ok bool) {
+	return splitShardGroupName(name)
+}
+
 // splitShardGroupName parses a shard group name back into its parent
 // service name and shard index.
 func splitShardGroupName(name string) (base string, k int, ok bool) {
@@ -79,6 +88,19 @@ func ShardFor(key []byte, shards int) int {
 		}
 	}
 	return best
+}
+
+// KeyMoves evaluates the resharding movement predicate for one key: the
+// shard that owns it under oldShards, the shard that owns it under
+// newShards, and whether those differ. Rendezvous hashing guarantees
+// that on a grow every move lands on a new shard (from < oldShards <=
+// to) and on a shrink every move leaves a removed shard (newShards <=
+// from), so the moved fraction is (|new−old|)/max(new, old) in
+// expectation — the minimum any consistent scheme can achieve.
+func KeyMoves(key []byte, oldShards, newShards int) (from, to int, moved bool) {
+	from = ShardFor(key, oldShards)
+	to = ShardFor(key, newShards)
+	return from, to, from != to
 }
 
 // fnv64a is the 64-bit FNV-1a hash, shared by shard routing and the

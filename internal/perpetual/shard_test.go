@@ -65,9 +65,11 @@ func TestShardForConsistency(t *testing.T) {
 			moved++
 		}
 	}
-	// Expect roughly 1/5 of the keys to move to the new shard.
-	if moved < n/10 || moved > n/2 {
-		t.Errorf("moved %d/%d keys on 4→5 reshard, want ~%d", moved, n, n/5)
+	// Expect 1/5 of the keys to move to the new shard; with n=1000 the
+	// binomial 3-sigma band is ~±38, so [150, 250] is tight without
+	// being flaky. TestKeyMovesFraction covers the general table.
+	if moved < 150 || moved > 250 {
+		t.Errorf("moved %d/%d keys on 4→5 reshard, want %d ± 50", moved, n, n/5)
 	}
 }
 

@@ -27,6 +27,7 @@ import (
 	"strings"
 	"time"
 
+	"perpetualws/internal/transport"
 	"perpetualws/internal/wire"
 )
 
@@ -303,7 +304,7 @@ func (d *Driver) CallTxn(target string, keys [][]byte, payloads [][]byte, timeou
 			Phase: TxnPrepare, TxnID: txnID, Participants: participants,
 			Prepares: len(keys), Payload: payloads[i],
 		})
-		id, err := d.call(keyShards[i], frame, timeout, true)
+		id, err := d.call(keyShards[i], frame, timeout, true, transport.ClassTxn)
 		if err != nil {
 			// Settle the prepares already issued: deterministic aborts
 			// on the coordinator side, plus TxnAbort frames so the
@@ -380,7 +381,7 @@ func (d *Driver) CallTxn(target string, keys [][]byte, payloads [][]byte, timeou
 	ackIDs := make([]string, 0, len(shards))
 	for _, sh := range shards {
 		frame := EncodeTxnFrame(&TxnFrame{Phase: phase, TxnID: txnID, Participants: participants, Prepares: len(keys)})
-		id, err := d.call(sh, frame, timeout, true)
+		id, err := d.call(sh, frame, timeout, true, transport.ClassTxn)
 		if err != nil {
 			if fanErr == nil {
 				fanErr = fmt.Errorf("perpetual: txn %s %s to %s: %w", txnID, phase, sh.Name, err)
@@ -423,7 +424,7 @@ func coveredShards(keyShards []ServiceInfo) []ServiceInfo {
 func (d *Driver) releaseParticipants(txnID string, participants []string, prepares int, shards []ServiceInfo, timeout time.Duration) {
 	for _, sh := range shards {
 		frame := EncodeTxnFrame(&TxnFrame{Phase: TxnAbort, TxnID: txnID, Participants: participants, Prepares: prepares})
-		if _, err := d.call(sh, frame, timeout, true); err != nil {
+		if _, err := d.call(sh, frame, timeout, true, transport.ClassTxn); err != nil {
 			d.logf("txn %s release to %s: %v", txnID, sh.Name, err)
 		}
 	}

@@ -6,6 +6,7 @@ import (
 	"slices"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"perpetualws/internal/auth"
@@ -65,6 +66,10 @@ type voter struct {
 	// Fault injection flags (see faults.go); set before Start.
 	corruptResults bool
 	staleResults   bool
+
+	// stableCkpt mirrors the CLBFT group's last stable checkpoint
+	// sequence (fed by the checkpoint hook; see StableCheckpointSeq).
+	stableCkpt atomic.Uint64
 
 	mu sync.Mutex
 	// Target side.
@@ -431,7 +436,7 @@ func (v *voter) onDeliver(d clbft.Delivery) {
 		}
 		v.inFlight.Put(o.ReqID, execInfo{caller: o.Caller, responder: responder})
 		v.mu.Unlock()
-		v.driver.deliverRequest(IncomingRequest{ReqID: o.ReqID, Caller: o.Caller, Payload: o.Payload})
+		v.driver.deliverRequest(IncomingRequest{ReqID: o.ReqID, Caller: o.Caller, Payload: o.Payload, Seq: d.Seq})
 	case OpReply:
 		v.mu.Lock()
 		if v.delivered.Contains(o.ReqID) {
@@ -485,6 +490,18 @@ func (v *voter) handleLocalResult(reqID string, payload []byte) {
 	}
 	digest := ReplyDigest(reqID, payload)
 	receivers := append(caller.DriverIDs(), caller.VoterIDs()...)
+	// A handoff-export reply doubles as the state-handoff certificate the
+	// *destination* group must verify, and MAC authenticators are only
+	// verifiable by their addressed receivers — so the share additionally
+	// MACs toward every principal of the destination shard group. The
+	// coordinator's reply path is unchanged; the destination verifies the
+	// very same f_t+1 shares the coordinator's agreement endorsed.
+	if hs, ok := DecodeHandoffState(payload); ok && hs.Commit {
+		if dg, err := v.registry.Lookup(ShardGroupName(hs.Service, hs.Dest)); err == nil {
+			receivers = append(receivers, dg.VoterIDs()...)
+			receivers = append(receivers, dg.DriverIDs()...)
+		}
+	}
 	a, err := auth.NewAuthenticator(v.ks, replyAuthMsg(reqID, digest), receivers)
 	if err != nil {
 		v.logf("result for %s: authenticator: %v", reqID, err)
@@ -737,6 +754,12 @@ func (v *voter) proposeAbort(reqID string) {
 // group proposes identical bytes, deduplicated by OpID.
 func (v *voter) proposeTxnDecision(op *Op) {
 	v.bft.Submit(TxnOpID(op.TxnID), op.Encode())
+}
+
+// onStableCheckpoint records the group's latest stable checkpoint
+// sequence (clbft checkpoint hook; runs on the CLBFT event loop).
+func (v *voter) onStableCheckpoint(seq uint64, _ clbft.Digest) {
+	v.stableCkpt.Store(seq)
 }
 
 // requestUtil is called in-process by the co-located driver.

@@ -1,0 +1,211 @@
+package tpcw
+
+// Live resharding of the customer-sharded store: the StoreApp side of
+// the BFT state-handoff protocol (internal/perpetual/handoff.go,
+// internal/core/handoff.go). A reshard moves every customer whose
+// routing key changes owner; per moving customer the shard exports the
+// cart, order history, and browser session, freezes the key (further
+// interactions answer the deterministic RETRY-AT-EPOCH fault until the
+// client re-routes), and the destination installs the certified state
+// before the routing epoch flips.
+
+import (
+	"encoding/xml"
+	"fmt"
+
+	"perpetualws/internal/core"
+	"perpetualws/internal/perpetual"
+	"perpetualws/internal/soap"
+	"perpetualws/internal/wsengine"
+)
+
+// storeStateXML is the wire form of a shard's exported customer state.
+type storeStateXML struct {
+	XMLName   xml.Name        `xml:"storeState"`
+	Customers []storeCustomer `xml:"customer"`
+}
+
+type storeCustomer struct {
+	ID          int          `xml:"id,attr"`
+	HasSession  bool         `xml:"hasSession,attr"`
+	LastItem    int          `xml:"lastItem,attr"`
+	LastSubject string       `xml:"lastSubject,attr,omitempty"`
+	LastOrder   int          `xml:"lastOrder,attr"`
+	Cart        []storeLine  `xml:"line"`
+	Orders      []storeOrder `xml:"order"`
+}
+
+type storeLine struct {
+	Item int `xml:"item,attr"`
+	Qty  int `xml:"qty,attr"`
+}
+
+type storeOrder struct {
+	Total  int64       `xml:"total,attr"`
+	Status int         `xml:"status,attr"`
+	Txn    string      `xml:"txn,attr,omitempty"`
+	Lines  []storeLine `xml:"line"`
+}
+
+// storeHandoff is the executor-thread resharding state of one store
+// shard replica: its own shard index and the frozen (moved or moving)
+// customer keys, mapped to the epoch clients should retry at.
+type storeHandoff struct {
+	store    *Bookstore
+	sessions map[int]*Session
+	shard    int
+	frozen   map[int]uint64 // normalized customer id -> retry epoch
+}
+
+func newStoreHandoff(store *Bookstore, sessions map[int]*Session, serviceName string) *storeHandoff {
+	h := &storeHandoff{store: store, sessions: sessions, shard: -1, frozen: make(map[int]uint64)}
+	if _, k, ok := perpetual.SplitShardGroupName(serviceName); ok {
+		h.shard = k
+	}
+	return h
+}
+
+// frozenEpoch reports whether a customer's key is frozen (handed off,
+// or mid-handoff) and the epoch to retry at.
+func (h *storeHandoff) frozenEpoch(customer int) (uint64, bool) {
+	e, ok := h.frozen[customer]
+	return e, ok
+}
+
+// movingCustomers evaluates the handoff frame's key-movement predicate
+// over the customer table: customers whose routing key is owned by
+// frame.Source under the old shard count and frame.Dest under the new.
+func (h *storeHandoff) movingCustomers(f core.HandoffInfo) []int {
+	var out []int
+	for id := 0; id < h.store.Customers(); id++ {
+		from, to, moved := perpetual.KeyMoves([]byte(CustomerKey(id)), f.OldShards, f.NewShards)
+		if moved && from == f.Source && to == f.Dest {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// handleStoreHandoff lets the StoreApp executor divert state-handoff
+// traffic away from the interaction path. It returns the reply body to
+// send, or nil when the request is ordinary traffic. Handoff bodies are
+// only honored when the node marked the context as a genuine agreed
+// (and, for installs, certificate-verified) handoff frame.
+func handleStoreHandoff(h *storeHandoff, req *wsengine.MessageContext) []byte {
+	if _, genuine := req.Property(core.PropHandoff); !genuine {
+		return nil
+	}
+	f, ok := core.DecodeHandoff(req.Envelope.Body)
+	if !ok {
+		return soap.FaultBody(soap.Fault{Code: "soap:Sender", Reason: "tpcw: handoff request carries no handoff body"})
+	}
+	switch f.Phase {
+	case perpetual.HandoffExport:
+		if f.Source != h.shard {
+			return soap.FaultBody(soap.Fault{Code: "soap:Sender", Reason: fmt.Sprintf("tpcw: export for shard %d routed to shard %d", f.Source, h.shard)})
+		}
+		return h.export(f)
+	case perpetual.HandoffInstall:
+		if f.Dest != h.shard {
+			return soap.FaultBody(soap.Fault{Code: "soap:Sender", Reason: fmt.Sprintf("tpcw: install for shard %d routed to shard %d", f.Dest, h.shard)})
+		}
+		return h.install(f)
+	case perpetual.HandoffDrop:
+		if f.Source != h.shard {
+			return soap.FaultBody(soap.Fault{Code: "soap:Sender", Reason: fmt.Sprintf("tpcw: drop for shard %d routed to shard %d", f.Source, h.shard)})
+		}
+		ids := h.movingCustomers(f)
+		for _, id := range ids {
+			delete(h.sessions, id)
+		}
+		h.store.DB().DropCustomerState(ids)
+		// The keys stay frozen: this shard no longer owns them, and any
+		// straggler routed here under the old epoch must still be told
+		// to re-resolve rather than be served empty state.
+		return []byte(`<handoffAck phase="drop"/>`)
+	case perpetual.HandoffCancel:
+		ids := h.movingCustomers(f)
+		if f.Source == h.shard {
+			for _, id := range ids {
+				delete(h.frozen, id)
+			}
+		}
+		if f.Dest == h.shard {
+			// Discard anything installed for the aborted reshard; the
+			// epoch never flipped, so this shard never served the keys.
+			h.store.DB().DropCustomerState(ids)
+			for _, id := range ids {
+				delete(h.sessions, id)
+			}
+		}
+		return []byte(`<handoffAck phase="cancel"/>`)
+	default:
+		return soap.FaultBody(soap.Fault{Code: "soap:Sender", Reason: "tpcw: unknown handoff phase"})
+	}
+}
+
+// export snapshots and freezes the moving customers.
+func (h *storeHandoff) export(f core.HandoffInfo) []byte {
+	ids := h.movingCustomers(f)
+	state := storeStateXML{}
+	for _, cs := range h.store.DB().ExportCustomerState(ids) {
+		sc := storeCustomer{ID: cs.ID}
+		for _, l := range cs.Cart {
+			sc.Cart = append(sc.Cart, storeLine{Item: l.ItemID, Qty: l.Qty})
+		}
+		for _, o := range cs.Orders {
+			so := storeOrder{Total: o.TotalCts, Status: int(o.Status), Txn: o.AuthTxn}
+			for _, l := range o.Lines {
+				so.Lines = append(so.Lines, storeLine{Item: l.ItemID, Qty: l.Qty})
+			}
+			sc.Orders = append(sc.Orders, so)
+		}
+		if s, ok := h.sessions[cs.ID]; ok {
+			sc.HasSession = true
+			sc.LastItem, sc.LastSubject, sc.LastOrder = s.LastItem, s.LastSubject, s.LastOrder
+		}
+		state.Customers = append(state.Customers, sc)
+	}
+	for _, id := range ids {
+		h.frozen[id] = f.NewEpoch
+	}
+	b, err := xml.Marshal(state)
+	if err != nil {
+		return soap.FaultBody(soap.Fault{Code: "soap:Receiver", Reason: fmt.Sprintf("tpcw: export marshal: %v", err)})
+	}
+	return b
+}
+
+// install imports certified migrated state.
+func (h *storeHandoff) install(f core.HandoffInfo) []byte {
+	var state storeStateXML
+	if err := xml.Unmarshal(f.State, &state); err != nil {
+		return soap.FaultBody(soap.Fault{Code: "soap:Sender", Reason: fmt.Sprintf("tpcw: install state unmarshal: %v", err)})
+	}
+	var imports []CustomerState
+	for _, sc := range state.Customers {
+		cs := CustomerState{ID: sc.ID}
+		for _, l := range sc.Cart {
+			cs.Cart = append(cs.Cart, OrderLine{ItemID: l.Item, Qty: l.Qty})
+		}
+		for _, so := range sc.Orders {
+			o := Order{CustomerID: sc.ID, TotalCts: so.Total, Status: OrderStatus(so.Status), AuthTxn: so.Txn}
+			for _, l := range so.Lines {
+				o.Lines = append(o.Lines, OrderLine{ItemID: l.Item, Qty: l.Qty})
+			}
+			cs.Orders = append(cs.Orders, o)
+		}
+		imports = append(imports, cs)
+		if sc.HasSession {
+			h.sessions[sc.ID] = &Session{
+				CustomerID: sc.ID, LastItem: sc.LastItem,
+				LastSubject: sc.LastSubject, LastOrder: sc.LastOrder,
+			}
+		}
+		// The key now lives here under the new epoch; it must not stay
+		// frozen from an earlier reshard that moved it away.
+		delete(h.frozen, sc.ID)
+	}
+	h.store.DB().ImportCustomerState(imports)
+	return []byte(`<handoffAck phase="install"/>`)
+}

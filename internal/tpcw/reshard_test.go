@@ -1,0 +1,214 @@
+package tpcw
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"perpetualws/internal/core"
+	"perpetualws/internal/perpetual"
+	"perpetualws/internal/soap"
+	"perpetualws/internal/wsengine"
+)
+
+func reshardClusterOpts() perpetual.ServiceOptions {
+	return perpetual.ServiceOptions{
+		CheckpointInterval: 16,
+		ViewChangeTimeout:  400 * time.Millisecond,
+		RetransmitInterval: 250 * time.Millisecond,
+	}
+}
+
+// TestStoreLiveReshardPreservesCustomerState grows the customer-sharded
+// store 2 -> 4 shard groups under concurrent interaction load: carts,
+// order history, and sessions survive the migration, clients observe
+// only success (re-routes included), and the new epoch routes customers
+// to their new owners.
+func TestStoreLiveReshardPreservesCustomerState(t *testing.T) {
+	const customers = 48
+	cluster, err := core.NewCluster([]byte("store-reshard-master"),
+		core.ServiceDef{
+			Name: "store", N: 4, Shards: 2,
+			App:     StoreApp(StoreConfig{Items: 64, Customers: customers}),
+			Options: reshardClusterOpts(),
+		},
+		core.ServiceDef{Name: "client", N: 1, Options: reshardClusterOpts()},
+		core.ServiceDef{Name: "admin", N: 1, Options: reshardClusterOpts()},
+	)
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	cluster.Start()
+	t.Cleanup(cluster.Stop)
+
+	sc := &StoreClient{
+		Handler:       cluster.Handler("client", 0),
+		Service:       "store",
+		NumCustomers:  customers,
+		TimeoutMillis: 20000,
+	}
+	session := func(id int) *Session { return &Session{CustomerID: id} }
+
+	// Seed state that must survive: customers 0..4 hold carts (via a
+	// product-detail + shopping-cart pair), customers 5..9 additionally
+	// place authorized/declined orders.
+	sessions := make(map[int]*Session)
+	cartTotals := make(map[int]string)
+	orderOutcome := make(map[int]string)
+	for id := 0; id < 10; id++ {
+		s := session(id)
+		sessions[id] = s
+		if _, err := sc.Execute(ProductDetail, s, id+3); err != nil {
+			t.Fatalf("ProductDetail(%d): %v", id, err)
+		}
+		if _, err := sc.Execute(ShoppingCart, s, 1); err != nil {
+			t.Fatalf("ShoppingCart(%d): %v", id, err)
+		}
+	}
+	for id := 0; id < 5; id++ {
+		p, err := sc.Execute(BuyRequest, sessions[id], 0)
+		if err != nil {
+			t.Fatalf("BuyRequest(%d): %v", id, err)
+		}
+		cartTotals[id] = p.Detail
+	}
+	for id := 5; id < 10; id++ {
+		p, err := sc.Execute(BuyConfirm, sessions[id], 0)
+		if err != nil {
+			t.Fatalf("BuyConfirm(%d): %v", id, err)
+		}
+		// BuyConfirm reports the authorization verdict; OrderDisplay
+		// renders the resulting order status.
+		orderOutcome[id] = "declined"
+		if p.Detail == "approved" {
+			orderOutcome[id] = OrderAuthorized.String()
+		}
+	}
+
+	// Concurrent browse load across many customers while the reshard
+	// runs; every interaction must succeed (re-routed or not).
+	stop := make(chan struct{})
+	var loadErrs atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s := session((w*13 + i) % customers)
+				if _, err := sc.Execute(Home, s, 0); err != nil {
+					loadErrs.Add(1)
+					t.Errorf("load worker %d: %v", w, err)
+					return
+				}
+			}
+		}()
+	}
+
+	res, err := cluster.Reshard("store", 4, "admin", 20000)
+	close(stop)
+	wg.Wait()
+	if err != nil {
+		t.Fatalf("Reshard: %v", err)
+	}
+	if res.OldShards != 2 || res.NewShards != 4 || res.NewEpoch != 1 {
+		t.Fatalf("ReshardResult = %+v", res)
+	}
+	if n := loadErrs.Load(); n != 0 {
+		t.Fatalf("%d interactions failed during the reshard", n)
+	}
+
+	moved := 0
+	for id := 0; id < 10; id++ {
+		if _, _, m := perpetual.KeyMoves([]byte(CustomerKey(id)), 2, 4); m {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no seeded customer moved in the 2->4 reshard; the test exercised nothing")
+	}
+
+	// Carts survived: the buy-request total is unchanged.
+	for id := 0; id < 5; id++ {
+		p, err := sc.Execute(BuyRequest, sessions[id], 0)
+		if err != nil {
+			t.Fatalf("BuyRequest(%d) after reshard: %v", id, err)
+		}
+		if p.Detail != cartTotals[id] {
+			t.Errorf("customer %d cart total after reshard = %q, want %q", id, p.Detail, cartTotals[id])
+		}
+	}
+	// Order history survived with statuses intact.
+	for id := 5; id < 10; id++ {
+		p, err := sc.Execute(OrderDisplay, sessions[id], 0)
+		if err != nil {
+			t.Fatalf("OrderDisplay(%d) after reshard: %v", id, err)
+		}
+		if p.Detail != orderOutcome[id] {
+			t.Errorf("customer %d order status after reshard = %q, want %q", id, p.Detail, orderOutcome[id])
+		}
+	}
+	// And fresh mutations land on the new owners.
+	for id := 0; id < 10; id++ {
+		if _, err := sc.Execute(ShoppingCart, sessions[id], 1); err != nil {
+			t.Errorf("ShoppingCart(%d) after reshard: %v", id, err)
+		}
+	}
+	t.Logf("reshard 2->4 moved %d/10 seeded customers", moved)
+}
+
+// TestStoreRejectsSpoofedHandoffBody ensures a client mailing a
+// lookalike <handoff> body as an ordinary interaction cannot trigger an
+// export (and with it a key freeze): handoff bodies are honored only on
+// contexts the node marked with core.PropHandoff.
+func TestStoreRejectsSpoofedHandoffBody(t *testing.T) {
+	const customers = 16
+	cluster, err := core.NewCluster([]byte("store-spoof-master"),
+		core.ServiceDef{
+			Name: "store", N: 1, Shards: 2,
+			App:     StoreApp(StoreConfig{Items: 16, Customers: customers}),
+			Options: reshardClusterOpts(),
+		},
+		core.ServiceDef{Name: "client", N: 1, Options: reshardClusterOpts()},
+	)
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	cluster.Start()
+	t.Cleanup(cluster.Stop)
+
+	h := cluster.Handler("client", 0)
+	spoof := core.HandoffBody(&perpetual.HandoffFrame{
+		Phase: perpetual.HandoffExport, Service: "store",
+		OldShards: 2, NewShards: 4, OldEpoch: 0, NewEpoch: 1,
+		Source: 0, Dest: 2,
+	}, nil)
+	req := wsengine.NewMessageContext()
+	req.Options.To = soap.ServiceURI("store")
+	req.Options.RoutingKey = CustomerKey(3)
+	req.Options.TimeoutMillis = 20000
+	req.Envelope.Body = spoof
+	reply, err := h.SendReceive(req)
+	if err != nil {
+		t.Fatalf("SendReceive: %v", err)
+	}
+	f, isFault := soap.IsFault(reply.Envelope.Body)
+	if !isFault {
+		t.Fatalf("spoofed handoff body answered %q, want a fault", reply.Envelope.Body)
+	}
+	if f.Code == soap.FaultCodeRetryAtEpoch {
+		t.Fatalf("spoofed handoff body froze a key: %v", f)
+	}
+	// The store still serves the routed customer — nothing froze.
+	sc := &StoreClient{Handler: h, Service: "store", NumCustomers: customers, TimeoutMillis: 20000}
+	if _, err := sc.Execute(Home, &Session{CustomerID: 3}, 0); err != nil {
+		t.Fatalf("Home after spoof: %v", err)
+	}
+}

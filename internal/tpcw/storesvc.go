@@ -126,15 +126,25 @@ func StoreApp(cfg StoreConfig) core.Application {
 		}
 		store := NewBookstore(NewDB(cfg.Items, cfg.Customers), pay)
 		sessions := make(map[int]*Session)
+		handoff := newStoreHandoff(store, sessions, ctx.ServiceName)
 		txns := newStoreTxns(store)
+		txns.handoff = handoff
 		for {
 			req, err := ctx.ReceiveRequest()
 			if err != nil {
 				return
 			}
 			reply := wsengine.NewMessageContext()
-			// Cross-shard transaction traffic (TransferOrder PREPAREs and
-			// agreed outcomes) diverts before interaction decoding.
+			// State-handoff traffic (live resharding) diverts first, then
+			// cross-shard transaction traffic (TransferOrder PREPAREs and
+			// agreed outcomes), before interaction decoding.
+			if body := handleStoreHandoff(handoff, req); body != nil {
+				reply.Envelope.Body = body
+				if err := ctx.SendReply(reply, req); err != nil {
+					return
+				}
+				continue
+			}
 			if body := handleStoreTxn(txns, req); body != nil {
 				reply.Envelope.Body = body
 				if err := ctx.SendReply(reply, req); err != nil {
@@ -145,6 +155,12 @@ func StoreApp(cfg StoreConfig) core.Application {
 			customer, kind, arg, perr := DecodeInteraction(req.Envelope.Body)
 			if perr != nil {
 				reply.Envelope.Body = soap.FaultBody(soap.Fault{Code: "soap:Sender", Reason: perr.Error()})
+			} else if epoch, moved := handoff.frozenEpoch(customer % store.Customers()); moved {
+				// The customer's key was (or is being) handed to another
+				// shard: answer the deterministic moved-key fault so the
+				// client re-resolves under the flipped routing table
+				// instead of stalling or reading stale state.
+				reply.Envelope.Body = soap.FaultBody(soap.RetryAtEpochFault(epoch))
 			} else {
 				s, ok := sessions[customer]
 				if !ok {
@@ -191,19 +207,20 @@ func (c *StoreClient) Customers() int {
 	return c.NumCustomers
 }
 
-// Execute implements Storefront: one round trip to the customer's shard.
+// Execute implements Storefront: one round trip to the customer's
+// shard. The shard is re-resolved per attempt, so a live reshard moving
+// the customer mid-interaction surfaces only as RETRY-AT-EPOCH faults
+// followed by success against the new owner — never as a failure.
 func (c *StoreClient) Execute(i Interaction, s *Session, arg int) (Page, error) {
-	req := wsengine.NewMessageContext()
-	req.Options.To = soap.ServiceURI(c.Service)
-	req.Options.Action = ActionInteraction
-	req.Options.TimeoutMillis = c.TimeoutMillis
-	req.Options.RoutingKey = CustomerKey(s.CustomerID)
-	req.Envelope.Body = EncodeInteraction(s.CustomerID, i, arg)
-
-	if err := c.Handler.Send(req); err != nil {
-		return Page{}, err
-	}
-	reply, err := c.Handler.ReceiveReplyFor(req)
+	reply, err := core.SendRerouted(c.Handler, func() *wsengine.MessageContext {
+		req := wsengine.NewMessageContext()
+		req.Options.To = soap.ServiceURI(c.Service)
+		req.Options.Action = ActionInteraction
+		req.Options.TimeoutMillis = c.TimeoutMillis
+		req.Options.RoutingKey = CustomerKey(s.CustomerID)
+		req.Envelope.Body = EncodeInteraction(s.CustomerID, i, arg)
+		return req
+	}, rerouteAttempts, rerouteBackoff)
 	if err != nil {
 		return Page{}, err
 	}
@@ -212,3 +229,11 @@ func (c *StoreClient) Execute(i Interaction, s *Session, arg int) (Page, error) 
 	}
 	return DecodePage(reply.Envelope.Body)
 }
+
+// Re-route policy for interactions crossing a live reshard: the retry
+// window has to outlast the export->install->flip latency of a
+// migration, which is a handful of agreement round trips.
+const (
+	rerouteAttempts = 200
+	rerouteBackoff  = 20 * time.Millisecond
+)

@@ -87,6 +87,11 @@ type storeTxns struct {
 	pending     map[string][]transferLeg
 	decided     map[string]struct{}
 	decidedFIFO []string
+	// handoff, when set, vetoes PREPAREs touching customers whose keys
+	// are frozen mid-reshard: reserving units of state that is about to
+	// be dropped (or already exported) would strand the hold. The abort
+	// vote doubles as the moved-key fault so coordinators re-route.
+	handoff *storeHandoff
 }
 
 func newStoreTxns(store *Bookstore) *storeTxns {
@@ -120,6 +125,11 @@ func (st *storeTxns) prepare(txnID string, body []byte) []byte {
 	}
 	db := st.db.DB()
 	customer %= st.db.Customers()
+	if st.handoff != nil {
+		if epoch, moved := st.handoff.frozenEpoch(customer); moved {
+			return soap.FaultBody(soap.RetryAtEpochFault(epoch))
+		}
+	}
 	leg := transferLeg{side: side, customer: customer, item: item, qty: qty}
 	switch side {
 	case TransferOut:

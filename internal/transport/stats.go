@@ -18,6 +18,12 @@ const NumMsgClasses = 16
 // under the request class.
 const ClassTxn = NumMsgClasses - 1
 
+// ClassHandoff is the reserved out-of-band class senders use to tag
+// state-handoff (resharding) frames, so migration bandwidth is
+// separable from ordinary request traffic in sent counters. Like
+// ClassTxn the tag exists only at the sender.
+const ClassHandoff = NumMsgClasses - 2
+
 // ClassOf returns the stats class of a payload: its leading byte,
 // clamped to the counter range (class 0 doubles as "unclassified").
 func ClassOf(payload []byte) uint8 {
