@@ -72,6 +72,27 @@ func BenchmarkFigure7Scalability(b *testing.B) {
 	}
 }
 
+// BenchmarkFigure7TCP is the deployment-mode Figure 7: the same
+// null-request cells over loopback TCP — real framing, per-link
+// bounded queues, background dial — instead of the in-process channel.
+// First measured in PR 5 (the transport rewrite); the reported req/s
+// metrics give CI a throughput trajectory for the production wire
+// path. The memnet BenchmarkFigure7Scalability stays the benchgate's
+// comparison key.
+func BenchmarkFigure7TCP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, n := range []int{1, 4} {
+			tput, err := bench.MeasureNullThroughput(bench.NullConfig{
+				N: n, Calls: 60, Transport: perpetual.TransportTCP,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(tput, fmt.Sprintf("tcp-req/s@%dx%d", n, n))
+		}
+	}
+}
+
 // BenchmarkFigure8Processing regenerates Figure 8: completion time and
 // relative overhead as per-request processing cost grows.
 func BenchmarkFigure8Processing(b *testing.B) {

@@ -6,13 +6,13 @@
 //
 //	perpetualctl properties
 //	perpetualctl fig6 [-quick] [-sync] [-think 700ms] [-measure 2s]
-//	perpetualctl fig7 [-quick] [-calls 1000] [-runs 3]
+//	perpetualctl fig7 [-quick] [-calls 1000] [-runs 3] [-transport mem|tcp] [-batch N]
 //	perpetualctl fig8 [-quick] [-calls 200] [-runs 3]
 //	perpetualctl fig9 [-quick] [-calls 300] [-runs 3]
 //	perpetualctl shards [-quick] [-n 4] [-calls 1920] [-measure 3s]
 //	perpetualctl txn [-quick] [-n 4] [-calls 200]
 //	perpetualctl reshard [-quick] [-n 4] [-from 2] [-to 4] [-customers 96]
-//	perpetualctl bench [-quick] [-json] [-out FILE] [-commit REV]
+//	perpetualctl bench [-quick] [-json] [-out FILE] [-commit REV] [-transport mem,tcp] [-batch N]
 //	perpetualctl benchgate -old FILE -new FILE [-max-regress 15]
 //	perpetualctl all  [-quick]
 //
@@ -85,15 +85,17 @@ func usage(w io.Writer) {
 	fmt.Fprintln(w, `usage: perpetualctl <properties|fig6|fig7|fig8|fig9|shards|txn|reshard|bench|benchgate|all> [flags]
   properties  print the paper's Figure 2 property matrix
   fig6        TPC-W WIPS vs RBE count (payment-tier replication sweep)
-  fig7        replica scalability, null requests
+  fig7        replica scalability, null requests (-transport tcp runs the
+              sweep over loopback sockets)
   fig8        effect of non-zero processing time
   fig9        effect of asynchronous messaging
   shards      aggregate throughput vs shard count (sharded services)
   txn         cross-shard atomic transactions vs single-shard baseline
   reshard     live shard rebalancing under load (BFT state handoff)
   bench       headline figure summary; -json emits the machine-readable
-              report (use -out FILE to write e.g. BENCH_pr4.json and
-              -commit REV to stamp the measured revision)
+              report (use -out FILE to write e.g. BENCH_pr5.json and
+              -commit REV to stamp the measured revision); -transport
+              selects the null-cell wires, -batch the batched variant
   benchgate   compare two 'go test -bench' outputs and fail on a
               throughput regression beyond -max-regress percent
   all         fig7, fig8, fig9, then fig6
@@ -106,11 +108,16 @@ func runBench(args []string) error {
 	asJSON := fs.Bool("json", false, "emit the machine-readable JSON report")
 	out := fs.String("out", "", "write the report to this file instead of stdout")
 	commit := fs.String("commit", "", "git revision to stamp into the report")
+	transports := fs.String("transport", "mem,tcp", "comma-separated transports for the null cells: mem, tcp")
+	batch := fs.Int("batch", 8, "CLBFT batch size of the batched Figure-7 variant (<=1 disables it)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	fmt.Fprintln(os.Stderr, "running bench report (null throughput, WIPS, txn, reply path, micro)...")
-	rep, err := bench.RunReport(bench.ReportConfig{Quick: *quick, Commit: *commit})
+	fmt.Fprintln(os.Stderr, "running bench report (null throughput mem+tcp, WIPS, txn, reply path, micro)...")
+	rep, err := bench.RunReport(bench.ReportConfig{
+		Quick: *quick, Commit: *commit,
+		Transports: splitList(*transports), Batch: *batch,
+	})
 	if err != nil {
 		return err
 	}
@@ -124,8 +131,19 @@ func runBench(args []string) error {
 	} else {
 		var b strings.Builder
 		fmt.Fprintf(&b, "headline WIPS (n=4, 42 RBEs):   %.1f\n", rep.HeadlineWIPS)
-		fmt.Fprintf(&b, "null requests  n=1: %8.0f req/s   n=4: %8.0f req/s\n",
-			rep.NullReqPerSec["n=1"], rep.NullReqPerSec["n=4"])
+		if len(rep.NullReqPerSec) > 0 {
+			fmt.Fprintf(&b, "null requests  n=1: %8.0f req/s   n=4: %8.0f req/s\n",
+				rep.NullReqPerSec["n=1"], rep.NullReqPerSec["n=4"])
+		}
+		if len(rep.NullReqPerSecTCP) > 0 {
+			fmt.Fprintf(&b, "null over TCP  n=1: %8.0f req/s   n=4: %8.0f req/s   (%.0f frames, %.0f B per req at n=4)\n",
+				rep.NullReqPerSecTCP["n=1"], rep.NullReqPerSecTCP["n=4"], rep.TCPFramesPerReq, rep.TCPBytesPerReq)
+		}
+		for _, cell := range []string{"mem/n=4", "tcp/n=4"} {
+			if v, ok := rep.NullReqPerSecBatched[cell]; ok {
+				fmt.Fprintf(&b, "batched (x%d)  %s: %8.0f req/s\n", rep.BatchMax, cell, v)
+			}
+		}
 		fmt.Fprintf(&b, "cross-shard txn: %.0f txn/s (baseline %.0f req/s, %.1fx overhead)\n",
 			rep.TxnPerSec, rep.TxnBaselineReqPerSec, rep.TxnOverheadX)
 		fmt.Fprintf(&b, "reply-share bytes/request (1 KiB reply, n=4): %.0f\n", rep.ReplyShareBytesPerReq)
@@ -292,22 +310,39 @@ func runFig7(args []string) error {
 	quick := fs.Bool("quick", false, "reduced grid")
 	calls := fs.Int("calls", 1000, "requests per cell (paper: 1000)")
 	runs := fs.Int("runs", 3, "runs averaged per cell (paper: 3)")
+	transport := fs.String("transport", "mem", "transport the sweep runs over: mem or tcp")
+	batch := fs.Int("batch", 0, "CLBFT request batching (0/1 off, the paper-faithful default)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	cfg := bench.Figure7Config{Calls: *calls, Runs: *runs}
+	kind, err := bench.TransportKindOf(*transport)
+	if err != nil {
+		return err
+	}
+	cfg := bench.Figure7Config{Calls: *calls, Runs: *runs, Transport: kind, MaxBatch: *batch}
 	if *quick {
 		cfg.Degrees = []int{1, 4, 7}
 		cfg.Calls = 80
 		cfg.Runs = 1
 	}
-	fmt.Println("running figure 7 (replica scalability)...")
+	fmt.Printf("running figure 7 (replica scalability, transport=%s)...\n", *transport)
 	fig, err := bench.RunFigure7(cfg)
 	if err != nil {
 		return err
 	}
 	fmt.Println(fig.Format())
 	return nil
+}
+
+// splitList parses a comma-separated selector list.
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 func runFig8(args []string) error {

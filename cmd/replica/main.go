@@ -41,6 +41,7 @@ func main() {
 		bank       = flag.String("bank", "bank", "bank service name (for -app pge)")
 		verbose    = flag.Bool("v", false, "log protocol diagnostics")
 		vcTimeout  = flag.Duration("vc-timeout", 2*time.Second, "view-change timeout")
+		statsEvery = flag.Duration("stats-every", 0, "log transport + TCP wire stats at this interval (0 disables)")
 	)
 	flag.Parse()
 	if *service == "" {
@@ -99,9 +100,35 @@ func main() {
 	}
 	log.Printf("replica %s/%d up (app=%s)", *service, *index, *app)
 
+	stopStats := make(chan struct{})
+	if *statsEvery > 0 {
+		go func() {
+			tick := time.NewTicker(*statsEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tick.C:
+					ts, ns := node.TransportStats(), node.NetStats()
+					log.Printf("replica %s/%d stats: sent=%d/%dB recv=%d/%dB rejected=%d | wire out=%d/%dB in=%d/%dB drops=%d redials=%d severed=%d",
+						*service, *index,
+						ts.SentMsgs, ts.SentBytes, ts.RecvMsgs, ts.RecvBytes, ts.RejectedMsgs,
+						ns.FramesOut, ns.BytesOut, ns.FramesIn, ns.BytesIn,
+						ns.QueueDrops, ns.Redials, ns.LinksSevered)
+				case <-stopStats:
+					return
+				}
+			}
+		}()
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
+	close(stopStats)
 	log.Printf("replica %s/%d shutting down", *service, *index)
 	node.Stop()
+	ns := node.NetStats()
+	log.Printf("replica %s/%d final wire stats: out=%d frames/%dB in=%d frames/%dB drops=%d redials=%d severed=%d",
+		*service, *index, ns.FramesOut, ns.BytesOut, ns.FramesIn, ns.BytesIn,
+		ns.QueueDrops, ns.Redials, ns.LinksSevered)
 }

@@ -14,10 +14,18 @@
 // BFT two-phase commit, and rebalance online: `perpetualctl reshard`
 // live-migrates a sharded service between shard counts with BFT state
 // handoff (certified exports, epoch-stamped routing, deterministic
-// RETRY-AT-EPOCH re-routing; see examples/resharding). CI enforces the
+// RETRY-AT-EPOCH re-routing; see examples/resharding). The TCP
+// transport is a production-grade asynchronous per-link pipeline
+// (bounded per-peer queues with link-local drops, background
+// dial/redial, pooled frame buffers, encode-once multicast on the
+// wire) and a first-class benchmarked deployment mode: Figure 7 runs
+// over loopback TCP (`perpetualctl bench -transport tcp`,
+// `perpetualctl fig7 -transport tcp`), and examples/tcpcluster drives
+// a real multi-process voter group over sockets. CI enforces the
 // measured performance with a benchstat-style throughput gate
-// (`perpetualctl benchgate`, >15% Figure-7 regression fails), a
-// fault/soak job, and pinned staticcheck/govulncheck steps; the
-// checked-in BENCH_pr<k>.json reports carry a schema and commit stamp
-// so artifacts stay comparable across PRs.
+// (`perpetualctl benchgate`, >15% Figure-7 regression fails), a TCP
+// bench-smoke step, a fault/soak job, and pinned
+// staticcheck/govulncheck steps; the checked-in BENCH_pr<k>.json
+// reports carry a schema and commit stamp so artifacts stay
+// comparable across PRs.
 package perpetualws

@@ -24,6 +24,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Role distinguishes the two halves of a Perpetual replica plus external
@@ -128,19 +129,22 @@ const (
 	internMaxIDLen = 256
 )
 
+// The intern cache is copy-on-write: readers load an immutable map via
+// one atomic (no lock on the per-frame hot path — RWMutex read locking
+// was measurable there), writers clone under the mutex. The principal
+// set stabilizes after bring-up, so clones are rare.
 var (
-	internMu sync.RWMutex
-	interned = make(map[string]NodeID)
+	internMu sync.Mutex // serializes writers
+	interned atomic.Pointer[map[string]NodeID]
 )
 
 // InternNodeID parses the "service/role/index" wire form from raw
 // bytes, serving repeat principals from a cache without allocation.
 func InternNodeID(b []byte) (NodeID, error) {
-	internMu.RLock()
-	id, ok := interned[string(b)] // compiler avoids the conversion alloc
-	internMu.RUnlock()
-	if ok {
-		return id, nil
+	if m := interned.Load(); m != nil {
+		if id, ok := (*m)[string(b)]; ok { // compiler avoids the conversion alloc
+			return id, nil
+		}
 	}
 	s := string(b)
 	id, err := ParseNodeID(s)
@@ -149,8 +153,16 @@ func InternNodeID(b []byte) (NodeID, error) {
 	}
 	if len(s) <= internMaxIDLen {
 		internMu.Lock()
-		if len(interned) < internLimit {
-			interned[s] = id
+		cur := interned.Load()
+		if cur == nil || len(*cur) < internLimit {
+			next := make(map[string]NodeID, 16)
+			if cur != nil {
+				for k, v := range *cur {
+					next[k] = v
+				}
+			}
+			next[s] = id
+			interned.Store(&next)
 		}
 		internMu.Unlock()
 	}
@@ -261,26 +273,30 @@ const (
 // mac computes HMAC-SHA256 over domain||msg by resuming the
 // precomputed pad states. A zero domain reproduces plain HMAC(msg).
 func (st macState) mac(domain byte, msg []byte) []byte {
+	return st.appendMAC(nil, domain, msg)
+}
+
+// appendMAC is mac appending the result to dst, so callers assembling
+// wire frames write the MAC in place instead of allocating a 32-byte
+// result per signature (the busiest allocation on the send path).
+func (st macState) appendMAC(dst []byte, domain byte, msg []byte) []byte {
 	if domain >= numDomains {
 		return nil
 	}
 	h := shaPool.Get().(hash.Hash)
 	defer shaPool.Put(h)
-	resume := func(state []byte) bool {
-		u, ok := h.(encoding.BinaryUnmarshaler)
-		return ok && u.UnmarshalBinary(state) == nil
-	}
-	if !resume(st.inner[domain]) {
+	u, ok := h.(encoding.BinaryUnmarshaler)
+	if !ok || u.UnmarshalBinary(st.inner[domain]) != nil {
 		return nil
 	}
 	h.Write(msg)
 	var sum [sha256.Size]byte
 	h.Sum(sum[:0])
-	if !resume(st.outer) {
+	if u.UnmarshalBinary(st.outer) != nil {
 		return nil
 	}
 	h.Write(sum[:])
-	return h.Sum(nil)
+	return h.Sum(dst)
 }
 
 // valid reports whether precomputation succeeded (it can only fail if
@@ -394,11 +410,17 @@ func (ks *KeyStore) Sign(receiver NodeID, msg []byte) ([]byte, error) {
 // SignDomain computes the MAC of domain||msg for a single receiver
 // (see the Domain constants for why contexts are separated).
 func (ks *KeyStore) SignDomain(receiver NodeID, domain byte, msg []byte) ([]byte, error) {
+	return ks.AppendSignDomain(nil, receiver, domain, msg)
+}
+
+// AppendSignDomain is SignDomain appending the MAC to dst, letting
+// frame encoders write signatures in place (always MACSize bytes).
+func (ks *KeyStore) AppendSignDomain(dst []byte, receiver NodeID, domain byte, msg []byte) ([]byte, error) {
 	ks.mu.RLock()
 	st, ok := ks.states[receiver]
 	ks.mu.RUnlock()
 	if ok && st.valid() {
-		if m := st.mac(domain, msg); m != nil {
+		if m := st.appendMAC(dst, domain, msg); m != nil {
 			return m, nil
 		}
 	}
@@ -407,12 +429,12 @@ func (ks *KeyStore) SignDomain(receiver NodeID, domain byte, msg []byte) ([]byte
 		return nil, err
 	}
 	if domain == 0 {
-		return MAC(k, msg), nil
+		return append(dst, MAC(k, msg)...), nil
 	}
 	m := hmac.New(sha256.New, k)
 	m.Write([]byte{domain})
 	m.Write(msg)
-	return m.Sum(nil), nil
+	return m.Sum(dst), nil
 }
 
 // Verify checks a single MAC allegedly produced by sender over msg.
@@ -422,7 +444,8 @@ func (ks *KeyStore) Verify(sender NodeID, msg, mac []byte) error {
 
 // VerifyDomain checks a domain-tagged MAC allegedly produced by sender.
 func (ks *KeyStore) VerifyDomain(sender NodeID, domain byte, msg, mac []byte) error {
-	want, err := ks.SignDomain(sender, domain, msg)
+	var buf [MACSize]byte
+	want, err := ks.AppendSignDomain(buf[:0], sender, domain, msg)
 	if err != nil {
 		return err
 	}

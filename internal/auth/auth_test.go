@@ -356,3 +356,34 @@ func TestAuthenticatorDigestBinding(t *testing.T) {
 		t.Error("authenticator verified a different message")
 	}
 }
+
+// TestAppendSignDomainMatchesSignDomain: in-place signing must be
+// bit-identical to the allocating form for every domain, append after
+// a non-empty prefix without disturbing it, and verify.
+func TestAppendSignDomainMatchesSignDomain(t *testing.T) {
+	master := []byte("append-sign-master")
+	a, b := VoterID("s", 0), VoterID("s", 1)
+	ks := NewDerivedKeyStore(master, a, []NodeID{a, b})
+	msg := []byte("the covered bytes")
+	for _, domain := range []byte{0, DomainFrameRaw, DomainFrameDigest} {
+		want, err := ks.SignDomain(b, domain, msg)
+		if err != nil {
+			t.Fatalf("SignDomain(%d): %v", domain, err)
+		}
+		prefix := []byte("prefix-")
+		got, err := ks.AppendSignDomain(append([]byte(nil), prefix...), b, domain, msg)
+		if err != nil {
+			t.Fatalf("AppendSignDomain(%d): %v", domain, err)
+		}
+		if string(got[:len(prefix)]) != string(prefix) {
+			t.Fatalf("domain %d: prefix disturbed: %q", domain, got[:len(prefix)])
+		}
+		if string(got[len(prefix):]) != string(want) {
+			t.Fatalf("domain %d: appended MAC differs from SignDomain result", domain)
+		}
+		peer := NewDerivedKeyStore(master, b, []NodeID{a, b})
+		if err := peer.VerifyDomain(a, domain, msg, got[len(prefix):]); err != nil {
+			t.Fatalf("domain %d: verify: %v", domain, err)
+		}
+	}
+}

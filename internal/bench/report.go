@@ -42,8 +42,24 @@ type Report struct {
 	// HeadlineWIPS is the Figure 6 cell at n_pge = n_bank = 4.
 	HeadlineWIPS float64 `json:"headline_wips_n4"`
 	// NullReqPerSec is Figure 7's null-request throughput per group size
-	// (nc = nt = n), averaged over Runs.
+	// (nc = nt = n), averaged over Runs, on the in-process memnet
+	// channel — the benchgate's comparison key, kept unbatched.
 	NullReqPerSec map[string]float64 `json:"null_req_per_sec"`
+	// NullReqPerSecTCP is the same cell over loopback TCP — the
+	// deployment-mode Figure 7 through the real framing, per-link
+	// queueing, and socket path. First recorded in BENCH_pr5.json
+	// (the transport-rewrite PR); earlier reports predate the field.
+	NullReqPerSecTCP map[string]float64 `json:"null_req_per_sec_tcp,omitempty"`
+	// NullReqPerSecBatched is the batched Figure-7 variant (CLBFT
+	// request batching at BatchMax), keyed "mem/n=4" / "tcp/n=4". It is
+	// informational: the gate compares only the unbatched memnet cell.
+	NullReqPerSecBatched map[string]float64 `json:"null_req_per_sec_batched,omitempty"`
+	BatchMax             int                `json:"batch_max,omitempty"`
+	// TCPFramesPerReq / TCPBytesPerReq are the wire cost of one null
+	// request at n=4 over TCP (frames and payload bytes on sockets,
+	// deployment-wide).
+	TCPFramesPerReq float64 `json:"tcp_frames_per_req_n4,omitempty"`
+	TCPBytesPerReq  float64 `json:"tcp_bytes_per_req_n4,omitempty"`
 	// Txn compares cross-shard transactions against the single-shard
 	// keyed calls they generalize (2 shards of n=4).
 	TxnBaselineReqPerSec float64 `json:"txn_baseline_req_per_sec"`
@@ -61,6 +77,25 @@ type Report struct {
 type ReportConfig struct {
 	Quick  bool   // smaller grids for smoke runs
 	Commit string // git revision to stamp into the report
+	// Transports selects the wires the null-throughput cells run over
+	// ("mem", "tcp"); nil measures both.
+	Transports []string
+	// Batch sets the CLBFT batch size of the batched Figure-7 variant;
+	// 0 uses 8. The unbatched cells are always measured (gate key).
+	Batch int
+}
+
+// TransportKindOf maps a -transport selector word to the deployment
+// transport.
+func TransportKindOf(name string) (perpetual.TransportKind, error) {
+	switch name {
+	case "mem", "memnet":
+		return perpetual.TransportMem, nil
+	case "tcp":
+		return perpetual.TransportTCP, nil
+	default:
+		return 0, fmt.Errorf("bench: unknown transport %q (want mem or tcp)", name)
+	}
 }
 
 // RunReport measures the report's figures.
@@ -81,17 +116,59 @@ func RunReport(cfg ReportConfig) (*Report, error) {
 		calls, runs = 60, 1
 		measure = 1 * time.Second
 	}
+	if cfg.Batch == 0 {
+		cfg.Batch = 8
+	}
+	// Batch 1 (or negative) explicitly disables the batched variant —
+	// batching off is the paper-faithful configuration, so there is no
+	// distinct cell to record.
+	measureBatched := cfg.Batch > 1
+	if measureBatched {
+		r.BatchMax = cfg.Batch
+	}
+	transports := cfg.Transports
+	if len(transports) == 0 {
+		transports = []string{"mem", "tcp"}
+	}
 
-	for _, n := range []int{1, 4} {
-		var total float64
-		for i := 0; i < runs; i++ {
-			tput, _, err := MeasurePair(PairConfig{NC: n, NT: n, Calls: calls})
-			if err != nil {
-				return nil, fmt.Errorf("bench: null cell n=%d: %w", n, err)
-			}
-			total += tput
+	for _, tr := range transports {
+		kind, err := TransportKindOf(tr)
+		if err != nil {
+			return nil, err
 		}
-		r.NullReqPerSec[fmt.Sprintf("n=%d", n)] = total / float64(runs)
+		cells := r.NullReqPerSec
+		if kind == perpetual.TransportTCP {
+			cells = make(map[string]float64)
+			r.NullReqPerSecTCP = cells
+		}
+		for _, n := range []int{1, 4} {
+			tput, wire, err := MeasureNullThroughputStats(NullConfig{
+				N: n, Calls: calls, Runs: runs, Transport: kind,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("bench: over %s: %w", tr, err)
+			}
+			cells[fmt.Sprintf("n=%d", n)] = tput
+			if kind == perpetual.TransportTCP && n == 4 {
+				r.TCPFramesPerReq = float64(wire.FramesOut) / float64(calls)
+				r.TCPBytesPerReq = float64(wire.BytesOut) / float64(calls)
+			}
+		}
+		if !measureBatched {
+			continue
+		}
+		// The batched Figure-7 variant (informational; the gate's key
+		// stays the unbatched memnet cell above).
+		tput, err := MeasureNullThroughput(NullConfig{
+			N: 4, Calls: calls, Runs: runs, Transport: kind, MaxBatch: cfg.Batch,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("bench: batched over %s: %w", tr, err)
+		}
+		if r.NullReqPerSecBatched == nil {
+			r.NullReqPerSecBatched = make(map[string]float64)
+		}
+		r.NullReqPerSecBatched[tr+"/n=4"] = tput
 	}
 
 	wips, err := measureTPCW(4, 42, Figure6Config{ThinkTime: 400 * time.Millisecond, Measure: measure})

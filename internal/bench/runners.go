@@ -9,6 +9,7 @@ import (
 	"perpetualws/internal/perpetual"
 	"perpetualws/internal/soap"
 	"perpetualws/internal/tpcw"
+	"perpetualws/internal/transport"
 	"perpetualws/internal/wsengine"
 )
 
@@ -73,6 +74,12 @@ type PairConfig struct {
 	// batching ablation); 0/1 disables it, matching the paper's
 	// prototype.
 	MaxBatch int
+	// Transport selects the wire the cell runs over:
+	// perpetual.TransportMem (default, the in-process channel every
+	// pre-PR-5 number was measured on) or perpetual.TransportTCP
+	// (loopback sockets through the real framing/queueing path — the
+	// deployment-mode Figure 7). LinkLatency only applies to memnet.
+	Transport perpetual.TransportKind
 }
 
 // AsyncLinkLatency is the per-hop latency injected for the Figure 9
@@ -94,7 +101,7 @@ func MeasurePair(cfg PairConfig) (reqsPerSec, msPerReq float64, err error) {
 	}
 	opts := benchOpts()
 	opts.MaxBatch = cfg.MaxBatch
-	cluster, err := core.NewCluster([]byte("bench"),
+	cluster, err := core.NewClusterOver([]byte("bench"), cfg.Transport,
 		core.ServiceDef{Name: "caller", N: cfg.NC, Options: opts},
 		core.ServiceDef{Name: "target", N: cfg.NT, App: IncrementApp(cfg.Processing), Options: opts},
 	)
@@ -192,11 +199,95 @@ func replicaWorkload(h core.MessageHandler, calls, window int) error {
 // ReplicationDegrees are the replica-group sizes of the paper's sweeps.
 var ReplicationDegrees = []int{1, 4, 7, 10}
 
+// NullConfig parameterizes one Figure-7 null-request throughput cell
+// (nc = nt = N callers invoking a same-sized target group).
+type NullConfig struct {
+	N         int
+	Calls     int // requests per calling replica; default 100
+	Runs      int // averaged runs; default 1
+	MaxBatch  int // CLBFT request batching; 0/1 off (the gate's cell)
+	Transport perpetual.TransportKind
+}
+
+// MeasureNullThroughput runs one Figure-7 cell over the selected
+// transport and returns the mean throughput across runs. It is the
+// unit the report's null_req_per_sec* fields and the TCP A/B
+// comparison are built from.
+func MeasureNullThroughput(cfg NullConfig) (float64, error) {
+	tput, _, err := MeasureNullThroughputStats(cfg)
+	return tput, err
+}
+
+// MeasureNullThroughputStats is MeasureNullThroughput also returning
+// the aggregate wire-level TCP counters of the final run (zero over
+// memnet) — frames/bytes per request on real sockets are part of the
+// TCP benchmark's observability story.
+func MeasureNullThroughputStats(cfg NullConfig) (float64, transport.TCPStatsSnapshot, error) {
+	if cfg.Runs <= 0 {
+		cfg.Runs = 1
+	}
+	var total float64
+	var wire transport.TCPStatsSnapshot
+	for r := 0; r < cfg.Runs; r++ {
+		tput, st, err := measureNullOnce(cfg)
+		if err != nil {
+			return 0, wire, fmt.Errorf("bench: null cell n=%d: %w", cfg.N, err)
+		}
+		total += tput
+		wire = st
+	}
+	return total / float64(cfg.Runs), wire, nil
+}
+
+// measureNullOnce is one warm measured run of the nc = nt = N null
+// cell, with wire counters deltad across the measured window only.
+func measureNullOnce(cfg NullConfig) (float64, transport.TCPStatsSnapshot, error) {
+	if cfg.Calls <= 0 {
+		cfg.Calls = 100
+	}
+	opts := benchOpts()
+	opts.MaxBatch = cfg.MaxBatch
+	cluster, err := core.NewClusterOver([]byte("bench"), cfg.Transport,
+		core.ServiceDef{Name: "caller", N: cfg.N, Options: opts},
+		core.ServiceDef{Name: "target", N: cfg.N, App: IncrementApp(0), Options: opts},
+	)
+	if err != nil {
+		return 0, transport.TCPStatsSnapshot{}, err
+	}
+	cluster.Start()
+	defer cluster.Stop()
+	if err := runWorkload(cluster, cfg.N, 1, 1); err != nil {
+		return 0, transport.TCPStatsSnapshot{}, err
+	}
+	before := cluster.NetStats()
+	start := time.Now()
+	if err := runWorkload(cluster, cfg.N, cfg.Calls, 1); err != nil {
+		return 0, transport.TCPStatsSnapshot{}, err
+	}
+	elapsed := time.Since(start)
+	after := cluster.NetStats()
+	after.FramesOut -= before.FramesOut
+	after.BytesOut -= before.BytesOut
+	after.FramesIn -= before.FramesIn
+	after.BytesIn -= before.BytesIn
+	after.Flushes -= before.Flushes
+	after.QueueDrops -= before.QueueDrops
+	after.Redials -= before.Redials
+	after.DialFailures -= before.DialFailures
+	after.LinksSevered -= before.LinksSevered
+	return Throughput(cfg.Calls, elapsed), after, nil
+}
+
 // Figure7Config parameterizes the replica-scalability experiment.
 type Figure7Config struct {
 	Degrees []int // calling and target group sizes; default {1,4,7,10}
 	Calls   int   // per cell; paper used 1000
 	Runs    int   // averaged runs per cell; paper used 3
+	// MaxBatch turns CLBFT request batching on for every cell (0/1 off,
+	// the paper-faithful configuration and the benchgate's key).
+	MaxBatch int
+	// Transport selects memnet (default) or loopback TCP.
+	Transport perpetual.TransportKind
 }
 
 // RunFigure7 reproduces Figure 7: request throughput of null operations
@@ -219,7 +310,10 @@ func RunFigure7(cfg Figure7Config) (Figure, error) {
 		for _, nc := range cfg.Degrees {
 			var total float64
 			for r := 0; r < cfg.Runs; r++ {
-				tput, _, err := MeasurePair(PairConfig{NC: nc, NT: nt, Calls: cfg.Calls})
+				tput, _, err := MeasurePair(PairConfig{
+					NC: nc, NT: nt, Calls: cfg.Calls,
+					MaxBatch: cfg.MaxBatch, Transport: cfg.Transport,
+				})
 				if err != nil {
 					return fig, fmt.Errorf("bench: figure 7 cell nc=%d nt=%d: %w", nc, nt, err)
 				}

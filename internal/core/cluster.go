@@ -39,9 +39,9 @@ type ServiceDef struct {
 
 // Cluster is an in-process Perpetual-WS deployment: every replica of
 // every declared service runs in this process over an in-memory
-// network. It is the programmatic equivalent of deploying each service
-// with replicas.xml on a testbed, and is what the examples, tests, and
-// benchmarks use.
+// network (or loopback TCP with NewClusterOver). It is the
+// programmatic equivalent of deploying each service with replicas.xml
+// on a testbed, and is what the examples, tests, and benchmarks use.
 type Cluster struct {
 	dep  *perpetual.Deployment
 	defs map[string]ServiceDef
@@ -51,8 +51,18 @@ type Cluster struct {
 	nodes map[string][]*Node
 }
 
-// NewCluster builds (but does not start) a cluster.
+// NewCluster builds (but does not start) a cluster over the in-memory
+// network.
 func NewCluster(master []byte, defs ...ServiceDef) (*Cluster, error) {
+	return NewClusterOver(master, perpetual.TransportMem, defs...)
+}
+
+// NewClusterOver builds (but does not start) a cluster over the chosen
+// transport. perpetual.TransportTCP wires every replica over real
+// loopback sockets — the single-process form of a replicas.xml TCP
+// deployment, used by the TCP benchmarks and transport-integration
+// tests.
+func NewClusterOver(master []byte, kind perpetual.TransportKind, defs ...ServiceDef) (*Cluster, error) {
 	infos := make([]perpetual.ServiceInfo, 0, len(defs))
 	for _, d := range defs {
 		if d.Name == "" || d.N < 1 || d.Shards < 0 {
@@ -60,7 +70,7 @@ func NewCluster(master []byte, defs ...ServiceDef) (*Cluster, error) {
 		}
 		infos = append(infos, perpetual.ServiceInfo{Name: d.Name, N: d.N, Shards: d.Shards, Epoch: d.Epoch})
 	}
-	dep := perpetual.NewDeployment(master, infos...)
+	dep := perpetual.NewDeploymentOver(master, kind, infos...)
 	c := &Cluster{
 		dep:   dep,
 		defs:  make(map[string]ServiceDef, len(defs)),
@@ -314,4 +324,11 @@ func (c *Cluster) Deployment() *perpetual.Deployment { return c.dep }
 // bandwidth ablations and the bench harness report against.
 func (c *Cluster) TransportStats() transport.StatsSnapshot {
 	return c.dep.TransportStats()
+}
+
+// NetStats aggregates the wire-level TCP counters of every endpoint in
+// the cluster (zero over the in-memory network): frames/bytes on the
+// sockets, link-local queue drops, redials.
+func (c *Cluster) NetStats() transport.TCPStatsSnapshot {
+	return c.dep.NetStats()
 }

@@ -230,3 +230,19 @@ func (n *TCPNode) Stop() {
 	n.Node.Stop()
 	n.replica.Stop()
 }
+
+// TransportStats returns the node's adapter-level traffic counters
+// (what the protocol sent/received, per message kind).
+func (n *TCPNode) TransportStats() transport.StatsSnapshot {
+	return n.replica.TransportStats()
+}
+
+// NetStats returns the node's wire-level TCP counters across its voter
+// and driver endpoints: frames/bytes on the sockets, link-local queue
+// drops, redials, severed links. The gap between TransportStats and
+// NetStats is where Byzantine-slow peers show up.
+func (n *TCPNode) NetStats() transport.TCPStatsSnapshot {
+	s := n.voterC.NetStats()
+	s.Add(n.driverC.NetStats())
+	return s
+}

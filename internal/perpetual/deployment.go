@@ -24,22 +24,44 @@ type ServiceOptions struct {
 	Logger    *log.Logger
 }
 
+// TransportKind selects the Connection implementation a Deployment
+// wires its replicas over.
+type TransportKind int
+
+// Deployment transports.
+const (
+	// TransportMem is the in-process memnet Network (default): fastest,
+	// with injectable latency/loss/partitions for tests.
+	TransportMem TransportKind = iota
+	// TransportTCP gives every principal a real TCP listener on a
+	// loopback ephemeral port, exercising the production wire path
+	// (framing, per-link queues, dial/redial) inside one process. It is
+	// the single-machine form of the paper's SSL/TCP testbed deployment
+	// and what the TCP Figure-7 benchmark runs over.
+	TransportTCP
+)
+
 // Deployment hosts an in-process Perpetual universe: every replica of
-// every service on one memnet Network, with pairwise MAC keys derived
-// from a deployment master secret. It is the programmatic analogue of
-// the paper's testbed plus replicas.xml, used by tests, benchmarks, and
-// examples; production deployments assemble Replicas over TCP instead.
+// every service on one shared transport (memnet by default, loopback
+// TCP with NewDeploymentOver), with pairwise MAC keys derived from a
+// deployment master secret. It is the programmatic analogue of the
+// paper's testbed plus replicas.xml, used by tests, benchmarks, and
+// examples; multi-host deployments assemble Replicas via
+// core.StartTCPNode instead.
 type Deployment struct {
 	Registry *Registry
 	Network  *transport.Network
 
 	master []byte
-	// mu guards replicas and started: before live resharding the
-	// replica map was immutable after Build, but ProvisionShards and
+	kind   TransportKind
+	book   *transport.AddressBook
+	// mu guards replicas, tcpConns, and started: before live resharding
+	// the replica map was immutable after Build, but ProvisionShards and
 	// RetireShards now mutate it while accessor goroutines (stats
 	// polling, tests) read it.
 	mu       sync.RWMutex
 	replicas map[string][]*Replica
+	tcpConns map[auth.NodeID]*transport.TCPConn
 	options  map[string]ServiceOptions
 	started  bool
 }
@@ -48,13 +70,40 @@ type Deployment struct {
 // All services must be declared up front so every principal's key store
 // covers the whole universe.
 func NewDeployment(master []byte, services ...ServiceInfo) *Deployment {
+	return NewDeploymentOver(master, TransportMem, services...)
+}
+
+// NewDeploymentOver creates a deployment over the chosen transport.
+// The memnet Network is always constructed (SetLinkLatency etc. stay
+// callable) but carries traffic only under TransportMem.
+func NewDeploymentOver(master []byte, kind TransportKind, services ...ServiceInfo) *Deployment {
 	return &Deployment{
 		Registry: NewRegistry(services...),
 		Network:  transport.NewNetwork(),
 		master:   master,
+		kind:     kind,
+		book:     transport.NewAddressBook(),
 		replicas: make(map[string][]*Replica),
+		tcpConns: make(map[auth.NodeID]*transport.TCPConn),
 		options:  make(map[string]ServiceOptions),
 	}
+}
+
+// newConn creates the transport endpoint of one principal per the
+// deployment's transport kind.
+func (d *Deployment) newConn(id auth.NodeID) (transport.Connection, error) {
+	if d.kind != TransportTCP {
+		return d.Network.Port(id), nil
+	}
+	conn, err := transport.ListenTCP(id, "127.0.0.1:0", d.book)
+	if err != nil {
+		return nil, err
+	}
+	d.book.Set(id, conn.Addr())
+	d.mu.Lock()
+	d.tcpConns[id] = conn
+	d.mu.Unlock()
+	return conn, nil
 }
 
 // Configure sets per-service options; call before Build.
@@ -92,12 +141,21 @@ func (d *Deployment) buildGroup(g ServiceInfo, opts ServiceOptions, principals [
 	for i := 0; i < g.N; i++ {
 		voterID := auth.VoterID(g.Name, i)
 		driverID := auth.DriverID(g.Name, i)
+		voterConn, err := d.newConn(voterID)
+		if err != nil {
+			return nil, fmt.Errorf("perpetual: transport for %s: %w", voterID, err)
+		}
+		driverConn, err := d.newConn(driverID)
+		if err != nil {
+			_ = voterConn.Close()
+			return nil, fmt.Errorf("perpetual: transport for %s: %w", driverID, err)
+		}
 		cfg := ReplicaConfig{
 			Service:            g.Name,
 			Index:              i,
 			Registry:           d.Registry,
-			VoterConn:          d.Network.Port(voterID),
-			DriverConn:         d.Network.Port(driverID),
+			VoterConn:          voterConn,
+			DriverConn:         driverConn,
 			VoterKeys:          auth.NewDerivedKeyStore(d.master, voterID, principals),
 			DriverKeys:         auth.NewDerivedKeyStore(d.master, driverID, principals),
 			CheckpointInterval: opts.CheckpointInterval,
@@ -228,7 +286,10 @@ func (d *Deployment) Start() {
 	}
 }
 
-// Stop shuts every replica down and closes the network.
+// Stop shuts every replica down and closes the network. Under
+// TransportTCP the replicas' adapters own (and close) their TCP
+// connections; closing the remainder here covers conns built but never
+// wrapped by a started replica.
 func (d *Deployment) Stop() {
 	d.mu.Lock()
 	for _, group := range d.replicas {
@@ -236,8 +297,30 @@ func (d *Deployment) Stop() {
 			r.Stop()
 		}
 	}
+	conns := make([]*transport.TCPConn, 0, len(d.tcpConns))
+	for _, c := range d.tcpConns {
+		conns = append(conns, c)
+	}
 	d.mu.Unlock()
+	for _, c := range conns {
+		_ = c.Close()
+	}
 	_ = d.Network.Close()
+}
+
+// NetStats aggregates the wire-level counters of every TCP endpoint in
+// the deployment (zero under TransportMem): queued/flushed frames and
+// bytes, link-local drops, redials. The adapter-level TransportStats
+// counts what the protocol sent; NetStats counts what actually hit the
+// sockets, so a Byzantine-slow peer shows up as the gap between them.
+func (d *Deployment) NetStats() transport.TCPStatsSnapshot {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	var total transport.TCPStatsSnapshot
+	for _, c := range d.tcpConns {
+		total.Add(c.NetStats())
+	}
+	return total
 }
 
 // Replicas returns the replica group of a service (or of one shard

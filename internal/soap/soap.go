@@ -145,8 +145,102 @@ type parsedHeader struct {
 	ReplyTo   *EndpointReference `xml:"ReplyTo"`
 }
 
-// Parse decodes a SOAP envelope from XML.
+// Canonical-form literals emitted by Marshal, matched byte-for-byte by
+// the fast parser.
+var (
+	canonPrefix  = []byte(xml.Header + `<soap:Envelope xmlns:soap="` + NSEnvelope + `" xmlns:wsa="` + NSAddressing + `">` + "<soap:Header>")
+	canonHdrEnd  = []byte("</soap:Header><soap:Body>")
+	canonTail    = []byte("</soap:Envelope>")
+	canonBodyEnd = []byte("</soap:Body>")
+)
+
+// parseCanonical decodes the exact envelope shape Marshal renders
+// without the reflective XML decoder. Envelope parsing sits on the
+// delivery path of every replica of every request, and in steady state
+// nearly every envelope in the system was rendered by Marshal; anything
+// that deviates from the canonical byte shape (foreign producers,
+// escaped characters, reordered headers, Byzantine garbage) reports
+// !ok and takes the general parser, so the fast path never reads a
+// document differently from the slow path — ambiguity always falls
+// back. One intentional looseness: the body is treated as opaque bytes
+// (as the rest of the system treats it), so a canonical envelope whose
+// body is not well-formed XML parses here where the reflective decoder
+// would reject it; all replicas run the same parser, so determinism is
+// unaffected.
+func parseCanonical(data []byte) (*Envelope, bool) {
+	rest, ok := bytes.CutPrefix(data, canonPrefix)
+	if !ok {
+		return nil, false
+	}
+	e := &Envelope{}
+	for {
+		if r, done := bytes.CutPrefix(rest, canonHdrEnd); done {
+			rest = r
+			break
+		}
+		var target *string
+		switch {
+		case bytes.HasPrefix(rest, []byte("<wsa:To>")):
+			target = &e.Header.To
+			rest, ok = canonText(rest[len("<wsa:To>"):], "</wsa:To>", target)
+		case bytes.HasPrefix(rest, []byte("<wsa:Action>")):
+			target = &e.Header.Action
+			rest, ok = canonText(rest[len("<wsa:Action>"):], "</wsa:Action>", target)
+		case bytes.HasPrefix(rest, []byte("<wsa:MessageID>")):
+			target = &e.Header.MessageID
+			rest, ok = canonText(rest[len("<wsa:MessageID>"):], "</wsa:MessageID>", target)
+		case bytes.HasPrefix(rest, []byte("<wsa:RelatesTo>")):
+			target = &e.Header.RelatesTo
+			rest, ok = canonText(rest[len("<wsa:RelatesTo>"):], "</wsa:RelatesTo>", target)
+		case bytes.HasPrefix(rest, []byte("<wsa:ReplyTo><wsa:Address>")):
+			e.Header.ReplyTo = &EndpointReference{}
+			rest, ok = canonText(rest[len("<wsa:ReplyTo><wsa:Address>"):], "</wsa:Address></wsa:ReplyTo>", &e.Header.ReplyTo.Address)
+		default:
+			return nil, false
+		}
+		if !ok {
+			return nil, false
+		}
+	}
+	// The body is raw inner XML running to the envelope's closing tags.
+	// Requiring the first body close tag to be immediately followed by
+	// exactly the envelope close keeps this unambiguous: a body that
+	// itself contains the close sequence fails the check and falls back.
+	i := bytes.Index(rest, canonBodyEnd)
+	if i < 0 || !bytes.Equal(rest[i+len(canonBodyEnd):], canonTail) {
+		return nil, false
+	}
+	// Copy the body: the general parser materializes it off the token
+	// stream, so Parse's result must never alias the (possibly pooled)
+	// input buffer.
+	e.Body = append([]byte(nil), bytes.TrimSpace(rest[:i])...)
+	return e, true
+}
+
+// canonText extracts an unescaped text value up to the literal closing
+// tag. Values containing markup or entities (anything Marshal would
+// have escaped) force the fallback parser.
+func canonText(rest []byte, close string, out *string) ([]byte, bool) {
+	i := bytes.Index(rest, []byte(close))
+	if i < 0 {
+		return nil, false
+	}
+	v := rest[:i]
+	for _, c := range v {
+		if c == '&' || c == '<' {
+			return nil, false
+		}
+	}
+	*out = string(bytes.TrimSpace(v))
+	return rest[i+len(close):], true
+}
+
+// Parse decodes a SOAP envelope from XML. The returned envelope never
+// aliases data (callers may hand in pooled transport buffers).
 func Parse(data []byte) (*Envelope, error) {
+	if e, ok := parseCanonical(data); ok {
+		return e, nil
+	}
 	var pe parsedEnvelope
 	if err := xml.Unmarshal(data, &pe); err != nil {
 		return nil, fmt.Errorf("soap: parse: %w", err)

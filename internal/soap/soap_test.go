@@ -1,6 +1,8 @@
 package soap
 
 import (
+	"bytes"
+	"encoding/xml"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -181,5 +183,79 @@ func TestRetryAtEpochFaultRoundTrip(t *testing.T) {
 	}
 	if _, retry := DecodeRetryAtEpoch(Fault{Code: "soap:Sender", Reason: "retry at epoch 7"}); retry {
 		t.Error("non-retry fault decoded as retry")
+	}
+}
+
+// TestParseCanonicalMatchesGeneral cross-checks the canonical-form fast
+// parser against the reflective fallback on a spread of envelopes: for
+// every Marshal output the two must agree exactly, and inputs the fast
+// path cannot handle must fall back (escapes, foreign shapes, bodies
+// containing the close sequence).
+func TestParseCanonicalMatchesGeneral(t *testing.T) {
+	cases := []Envelope{
+		{Header: Header{To: "perpetual://target", Action: "urn:a", MessageID: "m-1", RelatesTo: "m-0",
+			ReplyTo: &EndpointReference{Address: AnonymousAddress}}, Body: []byte("<inc/>")},
+		{Header: Header{To: "perpetual://t"}, Body: []byte("<x>1</x>")},
+		{Body: []byte("<only-body/>")},
+		{Header: Header{MessageID: "id with spaces"}, Body: nil},
+		{Header: Header{Action: "needs &amp; escaping <>"}, Body: []byte("<b/>")},           // forces escaped render
+		{Header: Header{To: "t"}, Body: []byte("nested <soap:Body>inner</soap:Body> tail")}, // fast path must fall back
+	}
+	for i, env := range cases {
+		data, err := env.Marshal()
+		if err != nil {
+			t.Fatalf("case %d: Marshal: %v", i, err)
+		}
+		fast, fastOK := parseCanonical(data)
+		var pe parsedEnvelope
+		if err := xml.Unmarshal(data, &pe); err != nil {
+			t.Fatalf("case %d: general parse: %v", i, err)
+		}
+		got, err := Parse(data)
+		if err != nil {
+			t.Fatalf("case %d: Parse: %v", i, err)
+		}
+		if fastOK {
+			if got.Header != fast.Header && (got.Header.ReplyTo == nil) != (fast.Header.ReplyTo == nil) {
+				t.Errorf("case %d: fast path header mismatch", i)
+			}
+		}
+		// Whatever route Parse took, it must agree with the general
+		// parser's view of the document.
+		want := Header{
+			To:        strings.TrimSpace(pe.Header.To),
+			Action:    strings.TrimSpace(pe.Header.Action),
+			MessageID: strings.TrimSpace(pe.Header.MessageID),
+			RelatesTo: strings.TrimSpace(pe.Header.RelatesTo),
+		}
+		if got.Header.To != want.To || got.Header.Action != want.Action ||
+			got.Header.MessageID != want.MessageID || got.Header.RelatesTo != want.RelatesTo {
+			t.Errorf("case %d: header = %+v, want %+v", i, got.Header, want)
+		}
+		wantBody := bytes.TrimSpace(pe.Body.Inner)
+		if !bytes.Equal(got.Body, append([]byte(nil), wantBody...)) {
+			t.Errorf("case %d: body = %q, want %q", i, got.Body, wantBody)
+		}
+	}
+}
+
+// TestParseDoesNotAliasInput: the parsed body must survive the caller
+// scribbling over the input buffer (inbound transport frames are
+// pooled and reused).
+func TestParseDoesNotAliasInput(t *testing.T) {
+	env := Envelope{Header: Header{To: "perpetual://t", Action: "urn:x"}, Body: []byte("<payload>keep</payload>")}
+	data, err := env.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		data[i] = 0xAA
+	}
+	if string(got.Body) != "<payload>keep</payload>" {
+		t.Fatalf("parsed body aliased the input buffer: %q", got.Body)
 	}
 }

@@ -1,0 +1,223 @@
+package transport
+
+// The pre-rewrite synchronous TCP transport, preserved verbatim (modulo
+// renames) as the baseline of BenchmarkTCPLinkPipeline's interleaved
+// A/B and of the wedged-peer regression story: one global mutex
+// serialized every write to every peer, each frame cost two write
+// syscalls (header, then payload — two segments under TCP_NODELAY),
+// links were dialed lazily inside Send (blocking the caller for up to
+// the dial timeout), and inbound frames allocated fresh buffers. It is
+// test-only code: nothing outside the benchmark and tests may use it.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"perpetualws/internal/auth"
+)
+
+type legacyTCPConn struct {
+	id    auth.NodeID
+	book  *AddressBook
+	ln    net.Listener
+	dialT time.Duration
+
+	mu       sync.Mutex
+	handler  func(frame []byte)
+	links    map[auth.NodeID]net.Conn
+	accepted map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+func listenLegacyTCP(id auth.NodeID, addr string, book *AddressBook) (*legacyTCPConn, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	c := &legacyTCPConn{
+		id:       id,
+		book:     book,
+		ln:       ln,
+		dialT:    5 * time.Second,
+		links:    make(map[auth.NodeID]net.Conn),
+		accepted: make(map[net.Conn]struct{}),
+	}
+	c.wg.Add(1)
+	go c.acceptLoop()
+	return c, nil
+}
+
+func (c *legacyTCPConn) Addr() string { return c.ln.Addr().String() }
+
+func (c *legacyTCPConn) SetHandler(h func(frame []byte)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.handler = h
+}
+
+func (c *legacyTCPConn) Send(to auth.NodeID, frame []byte) error {
+	if to == c.id {
+		c.mu.Lock()
+		h := c.handler
+		closed := c.closed
+		c.mu.Unlock()
+		if closed {
+			return ErrClosed
+		}
+		if h != nil {
+			h(frame)
+		}
+		return nil
+	}
+	conn, err := c.link(to)
+	if err != nil {
+		return err
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(frame)))
+	c.mu.Lock()
+	_, werr := conn.Write(hdr[:])
+	if werr == nil {
+		_, werr = conn.Write(frame)
+	}
+	if werr != nil {
+		if cur, ok := c.links[to]; ok && cur == conn {
+			delete(c.links, to)
+		}
+		conn.Close()
+	}
+	c.mu.Unlock()
+	if werr != nil {
+		return fmt.Errorf("transport: send to %s: %w", to, werr)
+	}
+	return nil
+}
+
+func (c *legacyTCPConn) link(to auth.NodeID) (net.Conn, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if conn, ok := c.links[to]; ok {
+		c.mu.Unlock()
+		return conn, nil
+	}
+	c.mu.Unlock()
+
+	addr, ok := c.book.Lookup(to)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownDest, to)
+	}
+	conn, err := net.DialTimeout("tcp", addr, c.dialT)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s (%s): %w", to, addr, err)
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		_ = tc.SetNoDelay(true)
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		conn.Close()
+		return nil, ErrClosed
+	}
+	if existing, ok := c.links[to]; ok {
+		conn.Close()
+		return existing, nil
+	}
+	c.links[to] = conn
+	return conn, nil
+}
+
+func (c *legacyTCPConn) acceptLoop() {
+	defer c.wg.Done()
+	for {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			return
+		}
+		if tc, ok := conn.(*net.TCPConn); ok {
+			_ = tc.SetNoDelay(true)
+		}
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			conn.Close()
+			return
+		}
+		c.accepted[conn] = struct{}{}
+		c.mu.Unlock()
+		c.wg.Add(1)
+		go c.readLoop(conn)
+	}
+}
+
+func (c *legacyTCPConn) readLoop(conn net.Conn) {
+	defer c.wg.Done()
+	defer func() {
+		conn.Close()
+		c.mu.Lock()
+		delete(c.accepted, conn)
+		c.mu.Unlock()
+	}()
+	var hdr [4]byte
+	for {
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			return
+		}
+		n := binary.BigEndian.Uint32(hdr[:])
+		if n > tcpMaxFrame {
+			return
+		}
+		frame := make([]byte, n)
+		if _, err := io.ReadFull(conn, frame); err != nil {
+			return
+		}
+		c.mu.Lock()
+		h := c.handler
+		closed := c.closed
+		c.mu.Unlock()
+		if closed {
+			return
+		}
+		if h != nil {
+			h(frame)
+		}
+	}
+}
+
+func (c *legacyTCPConn) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	links := make([]net.Conn, 0, len(c.links)+len(c.accepted))
+	for _, l := range c.links {
+		links = append(links, l)
+	}
+	for conn := range c.accepted {
+		links = append(links, conn)
+	}
+	c.links = make(map[auth.NodeID]net.Conn)
+	c.mu.Unlock()
+
+	err := c.ln.Close()
+	for _, l := range links {
+		_ = l.Close()
+	}
+	c.wg.Wait()
+	if err != nil && !errors.Is(err, net.ErrClosed) {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,76 @@
+package transport
+
+import "sync/atomic"
+
+// tcpStats tracks wire-level counters of one TCPConn across all of its
+// links. The adapter-level Stats count what the protocol layers sent;
+// these count what actually reached (or was refused by) the sockets, so
+// Byzantine-slow peers are observable as the gap between the two.
+type tcpStats struct {
+	framesOut  atomic.Uint64
+	bytesOut   atomic.Uint64
+	framesIn   atomic.Uint64
+	bytesIn    atomic.Uint64
+	flushes    atomic.Uint64
+	queueDrops atomic.Uint64
+	redials    atomic.Uint64
+	dialFails  atomic.Uint64
+	severed    atomic.Uint64
+}
+
+func (s *tcpStats) snapshot() TCPStatsSnapshot {
+	return TCPStatsSnapshot{
+		FramesOut:    s.framesOut.Load(),
+		BytesOut:     s.bytesOut.Load(),
+		FramesIn:     s.framesIn.Load(),
+		BytesIn:      s.bytesIn.Load(),
+		Flushes:      s.flushes.Load(),
+		QueueDrops:   s.queueDrops.Load(),
+		Redials:      s.redials.Load(),
+		DialFailures: s.dialFails.Load(),
+		LinksSevered: s.severed.Load(),
+	}
+}
+
+// TCPStatsSnapshot is a point-in-time copy of one TCP endpoint's
+// wire-level counters.
+type TCPStatsSnapshot struct {
+	// FramesOut and BytesOut count frames flushed onto sockets
+	// (excluding the 4-byte length headers in BytesOut).
+	FramesOut uint64
+	BytesOut  uint64
+	// FramesIn and BytesIn count complete frames read off sockets.
+	FramesIn uint64
+	BytesIn  uint64
+	// Flushes counts coalesced write bursts: FramesOut/Flushes is the
+	// outbound coalescing ratio (frames per write syscall).
+	Flushes uint64
+	// QueueDrops counts frames dropped link-locally: the destination
+	// link's bounded outbound queue was full (the cost a wedged or
+	// Byzantine-slow peer pays without stalling anyone else), the frame
+	// was oversized, or the link was severed mid-write by Close.
+	QueueDrops uint64
+	// Redials counts link re-establishments past a link's first
+	// successful dial (redial after a severed or failed connection).
+	Redials uint64
+	// DialFailures counts failed dial attempts (the background dialer
+	// retries with backoff; Send never waits on it).
+	DialFailures uint64
+	// LinksSevered counts connections torn down on read/write errors,
+	// write timeouts, or protocol violations (oversized frames).
+	LinksSevered uint64
+}
+
+// Add accumulates another snapshot into s (aggregation across
+// endpoints/replicas/deployments).
+func (s *TCPStatsSnapshot) Add(o TCPStatsSnapshot) {
+	s.FramesOut += o.FramesOut
+	s.BytesOut += o.BytesOut
+	s.FramesIn += o.FramesIn
+	s.BytesIn += o.BytesIn
+	s.Flushes += o.Flushes
+	s.QueueDrops += o.QueueDrops
+	s.Redials += o.Redials
+	s.DialFailures += o.DialFailures
+	s.LinksSevered += o.LinksSevered
+}

@@ -23,7 +23,11 @@ import (
 	"perpetualws/internal/auth"
 )
 
-// Handler consumes an authenticated inbound payload.
+// Handler consumes an authenticated inbound payload. The payload slice
+// is only valid for the duration of the call (it aliases a transport
+// frame buffer that may be pooled); handlers must copy any bytes they
+// retain. The message codecs' decode paths deep-copy every retained
+// field, so handlers that decode-and-dispatch satisfy this naturally.
 type Handler func(from auth.NodeID, payload []byte)
 
 // Connection moves raw frames between principals. Implementations must be
@@ -32,15 +36,33 @@ type Connection interface {
 	// Send delivers a frame to the principal identified by to. Send must
 	// not block indefinitely on slow receivers; implementations may drop
 	// frames under sustained overload (the BFT layers above tolerate and
-	// recover from message loss via retransmission).
+	// recover from message loss via retransmission). The frame may be
+	// retained until transmitted; callers must not mutate it after the
+	// call (resending the same immutable buffer is fine).
 	Send(to auth.NodeID, frame []byte) error
 	// SetHandler installs the inbound frame handler. It must be called
-	// before the first frame arrives.
+	// before the first frame arrives. The frame is only valid for the
+	// duration of the handler call — implementations may pool and reuse
+	// inbound buffers — so handlers must copy any bytes they retain.
 	SetHandler(h func(frame []byte))
 	// LocalID returns the principal this connection belongs to.
 	LocalID() auth.NodeID
 	// Close releases the connection's resources.
 	Close() error
+}
+
+// FramePartsSender is an optional Connection extension for transports
+// that can transmit a frame supplied as two parts — a small
+// per-receiver head and a shared body — without joining them into one
+// buffer first. It is how the adapter's encode-once SendMulti reaches
+// the wire: one immutable body is enqueued on every destination link
+// while only the MAC-bearing heads differ, so an n-way multicast costs
+// one payload copy instead of n. Ownership of the head transfers to the
+// connection; the body is shared across links and must not be mutated
+// by anyone after the call (links may hold it until their frame is
+// flushed or dropped).
+type FramePartsSender interface {
+	SendFrameParts(to auth.NodeID, head, body []byte) error
 }
 
 // Errors returned by the transport layer.
@@ -92,16 +114,29 @@ func encodeFrame(from auth.NodeID, mac, payload []byte) []byte {
 	return encodeFrameStr(from.String(), mac, payload)
 }
 
-func encodeFrameStr(fromStr string, mac, payload []byte) []byte {
-	n := 2 + len(fromStr) + 2 + len(mac) + 4 + len(payload)
-	buf := make([]byte, 0, n)
+// frameHeadSize is the encoded size of a frame's head (everything up to
+// and including the payload length prefix) for a MAC of macLen bytes.
+// It is the single size formula for the head layout; every head encoder
+// (appendFrameHead, appendSignedHead) must produce exactly this many
+// bytes, and decodeFrame consumes them.
+func frameHeadSize(fromStr string, macLen int) int {
+	return 2 + len(fromStr) + 2 + macLen + 4
+}
+
+// appendFrameHead appends a frame head to buf.
+func appendFrameHead(buf []byte, fromStr string, mac []byte, payloadLen int) []byte {
 	buf = binary.BigEndian.AppendUint16(buf, uint16(len(fromStr)))
 	buf = append(buf, fromStr...)
 	buf = binary.BigEndian.AppendUint16(buf, uint16(len(mac)))
 	buf = append(buf, mac...)
-	buf = binary.BigEndian.AppendUint32(buf, uint32(len(payload)))
-	buf = append(buf, payload...)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(payloadLen))
 	return buf
+}
+
+func encodeFrameStr(fromStr string, mac, payload []byte) []byte {
+	buf := make([]byte, 0, frameHeadSize(fromStr, len(mac))+len(payload))
+	buf = appendFrameHead(buf, fromStr, mac, len(payload))
+	return append(buf, payload...)
 }
 
 func decodeFrame(buf []byte) (from auth.NodeID, mac, payload []byte, err error) {
@@ -153,6 +188,11 @@ type ChannelAdapter struct {
 	ks      *auth.KeyStore
 	conn    Connection
 	selfStr string // cached ks.Self().String(), written into every frame
+	// parts is conn's FramePartsSender interface when it has one. A
+	// parts-capable connection recycles frame buffers once flushed or
+	// dropped, so the adapter both shares multicast bodies through it
+	// and allocates outbound frames from the shared pool.
+	parts FramePartsSender
 
 	// selfKey authenticates loopback frames. Principals share no
 	// pairwise key with themselves, but the frame's "from" field is
@@ -173,7 +213,9 @@ type ChannelAdapter struct {
 func NewChannelAdapter(ks *auth.KeyStore, conn Connection) *ChannelAdapter {
 	selfKey := make([]byte, 32)
 	_, _ = rand.Read(selfKey) // never fails (crypto/rand)
-	return &ChannelAdapter{ks: ks, conn: conn, selfStr: ks.Self().String(), selfKey: selfKey}
+	ca := &ChannelAdapter{ks: ks, conn: conn, selfStr: ks.Self().String(), selfKey: selfKey}
+	ca.parts, _ = conn.(FramePartsSender)
+	return ca
 }
 
 // selfMAC MACs a loopback frame's covered bytes under the adapter's
@@ -203,18 +245,51 @@ func (ca *ChannelAdapter) SendTagged(to auth.NodeID, payload []byte, class uint8
 	}
 	var scratch [sha256.Size]byte
 	domain, input := macInput(payload, &scratch)
-	var mac []byte
-	if to != ca.ks.Self() {
-		var err error
-		mac, err = ca.ks.SignDomain(to, domain, input)
-		if err != nil {
-			return fmt.Errorf("transport: signing for %s: %w", to, err)
-		}
-	} else {
-		mac = ca.selfMAC(input)
+	buf, err := ca.appendSignedHead(ca.newFrameBuf(len(payload)), to, domain, input, len(payload))
+	if err != nil {
+		return err
 	}
 	ca.stats.addSent(len(payload), class)
-	return ca.conn.Send(to, encodeFrameStr(ca.selfStr, mac, payload))
+	frame := append(buf, payload...)
+	if ca.parts != nil {
+		// Hand ownership over so the link recycles the buffer after the
+		// flush (the parts path with a nil body is a whole frame).
+		return ca.parts.SendFrameParts(to, frame, nil)
+	}
+	return ca.conn.Send(to, frame)
+}
+
+// newFrameBuf allocates an empty frame buffer sized for a payload:
+// from the shared pool when the connection recycles frames (a
+// FramePartsSender does, once they are flushed or dropped), plainly
+// otherwise.
+func (ca *ChannelAdapter) newFrameBuf(payloadLen int) []byte {
+	n := frameHeadSize(ca.selfStr, auth.MACSize) + payloadLen
+	if ca.parts != nil {
+		return getFrameBuf(n)[:0]
+	}
+	return make([]byte, 0, n)
+}
+
+// appendSignedHead appends a frame head for to, computing the MAC in
+// place (every MAC this adapter produces is MACSize bytes). It must
+// mirror appendFrameHead's layout exactly — the in-place signing is
+// why it cannot simply call it.
+func (ca *ChannelAdapter) appendSignedHead(buf []byte, to auth.NodeID, domain byte, input []byte, payloadLen int) ([]byte, error) {
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(ca.selfStr)))
+	buf = append(buf, ca.selfStr...)
+	buf = binary.BigEndian.AppendUint16(buf, auth.MACSize)
+	if to != ca.ks.Self() {
+		signed, err := ca.ks.AppendSignDomain(buf, to, domain, input)
+		if err != nil {
+			putFrameBuf(buf) // the signer returns nil on error; reclaim the original
+			return nil, fmt.Errorf("transport: signing for %s: %w", to, err)
+		}
+		buf = signed
+	} else {
+		buf = append(buf, ca.selfMAC(input)...)
+	}
+	return binary.BigEndian.AppendUint32(buf, uint32(payloadLen)), nil
 }
 
 // SendMulti transmits one payload to several destinations, serializing
@@ -239,23 +314,43 @@ func (ca *ChannelAdapter) SendMultiTagged(tos []auth.NodeID, payload []byte, cla
 	var scratch [sha256.Size]byte
 	domain, input := macInput(payload, &scratch) // hash large payloads once for all receivers
 
+	// Over a parts-capable connection (TCP), copy the payload into one
+	// shared immutable body all links reference; each receiver gets only
+	// its own small MAC-bearing head. Callers may reuse the payload
+	// buffer the moment this returns (pooled writers do), which is why
+	// the single defensive copy is needed — it replaces the n
+	// per-receiver frame copies of the fallback path.
+	var body []byte
+	if ca.parts != nil && len(tos) > 1 {
+		body = make([]byte, len(payload))
+		copy(body, payload)
+	}
+
 	var firstErr error
 	for _, to := range tos {
-		var mac []byte
-		if to != ca.ks.Self() {
-			var err error
-			mac, err = ca.ks.SignDomain(to, domain, input)
-			if err != nil {
-				if firstErr == nil {
-					firstErr = fmt.Errorf("transport: signing for %s: %w", to, err)
-				}
-				continue
-			}
+		var buf []byte
+		var err error
+		if body != nil {
+			buf, err = ca.appendSignedHead(ca.newFrameBuf(0), to, domain, input, len(payload))
 		} else {
-			mac = ca.selfMAC(input)
+			buf, err = ca.appendSignedHead(ca.newFrameBuf(len(payload)), to, domain, input, len(payload))
+		}
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
 		}
 		ca.stats.addSent(len(payload), class)
-		if err := ca.conn.Send(to, encodeFrameStr(ca.selfStr, mac, payload)); err != nil && firstErr == nil {
+		switch {
+		case body != nil:
+			err = ca.parts.SendFrameParts(to, buf, body)
+		case ca.parts != nil:
+			err = ca.parts.SendFrameParts(to, append(buf, payload...), nil)
+		default:
+			err = ca.conn.Send(to, append(buf, payload...))
+		}
+		if err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}

@@ -315,7 +315,8 @@ func TestTCPConnSelfLoopback(t *testing.T) {
 	}
 	defer conn.Close()
 	got := make(chan []byte, 1)
-	conn.SetHandler(func(frame []byte) { got <- frame })
+	// Frames are call-scoped (pooled buffers): copy before retaining.
+	conn.SetHandler(func(frame []byte) { got <- append([]byte(nil), frame...) })
 	if err := conn.Send(id, []byte("self")); err != nil {
 		t.Fatalf("Send: %v", err)
 	}
