@@ -93,6 +93,52 @@ func BenchmarkFigure7TCP(b *testing.B) {
 	}
 }
 
+// BenchmarkReadMix is the two-tier request path's Figure-7-style cell:
+// a browse-heavy TPC-W mix (95% reads / 5% cart commits) against a
+// 4-way replicated store, once with reads on the session fast path
+// (speculative execution, f_t+1 digest certification, no agreement) and
+// once with every interaction forced through full agreement. The
+// speedup-x metric is the read path's headline number; CI smoke gates
+// it staying above zero, and perpetualctl readmix runs the full cell.
+func BenchmarkReadMix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fast, err := bench.MeasureReadMix(bench.ReadMixConfig{
+			N: 4, Calls: 200, Transport: perpetual.TransportMem,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		forced, err := bench.MeasureReadMix(bench.ReadMixConfig{
+			N: 4, Calls: 200, Transport: perpetual.TransportMem, ForceAgreement: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(fast.ReqPerSec, "read-req/s@4x95r")
+		b.ReportMetric(forced.ReqPerSec, "agreed-req/s@4x95r")
+		if forced.ReqPerSec > 0 {
+			b.ReportMetric(fast.ReqPerSec/forced.ReqPerSec, "speedup-x")
+		}
+		b.ReportMetric(float64(fast.Stats.Certified), "certified")
+		b.ReportMetric(float64(fast.Stats.Fallbacks), "fallbacks")
+	}
+}
+
+// BenchmarkReadMixTCP runs the fast-path side of the read-mix cell over
+// loopback TCP, giving the wire path the same throughput trajectory in
+// CI that BenchmarkFigure7TCP gives the agreement path.
+func BenchmarkReadMixTCP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fast, err := bench.MeasureReadMix(bench.ReadMixConfig{
+			N: 4, Calls: 200, Transport: perpetual.TransportTCP,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(fast.ReqPerSec, "tcp-read-req/s@4x95r")
+	}
+}
+
 // BenchmarkFigure8Processing regenerates Figure 8: completion time and
 // relative overhead as per-request processing cost grows.
 func BenchmarkFigure8Processing(b *testing.B) {

@@ -12,7 +12,8 @@
 //	perpetualctl shards [-quick] [-n 4] [-calls 1920] [-measure 3s]
 //	perpetualctl txn [-quick] [-n 4] [-calls 200]
 //	perpetualctl reshard [-quick] [-n 4] [-from 2] [-to 4] [-customers 96]
-//	perpetualctl bench [-quick] [-json] [-out FILE] [-commit REV] [-transport mem,tcp] [-batch N]
+//	perpetualctl readmix [-quick] [-n 4] [-calls 400] [-sessions 4] [-readpct 95] [-transport mem|tcp]
+//	perpetualctl bench [-quick] [-json] [-out FILE] [-commit REV] [-transport mem,tcp] [-batch N] [-readmix]
 //	perpetualctl benchgate -old FILE -new FILE [-max-regress 15]
 //	perpetualctl all  [-quick]
 //
@@ -61,6 +62,8 @@ func main() {
 		err = runTxn(args)
 	case "reshard":
 		err = runReshard(args)
+	case "readmix":
+		err = runReadMix(args)
 	case "bench":
 		err = runBench(args)
 	case "benchgate":
@@ -82,7 +85,7 @@ func main() {
 }
 
 func usage(w io.Writer) {
-	fmt.Fprintln(w, `usage: perpetualctl <properties|fig6|fig7|fig8|fig9|shards|txn|reshard|bench|benchgate|all> [flags]
+	fmt.Fprintln(w, `usage: perpetualctl <properties|fig6|fig7|fig8|fig9|shards|txn|reshard|readmix|bench|benchgate|all> [flags]
   properties  print the paper's Figure 2 property matrix
   fig6        TPC-W WIPS vs RBE count (payment-tier replication sweep)
   fig7        replica scalability, null requests (-transport tcp runs the
@@ -92,10 +95,14 @@ func usage(w io.Writer) {
   shards      aggregate throughput vs shard count (sharded services)
   txn         cross-shard atomic transactions vs single-shard baseline
   reshard     live shard rebalancing under load (BFT state handoff)
+  readmix     browse-heavy TPC-W mix through the session-tier read fast
+              path vs the same mix forced through agreement (-transport
+              mem|tcp, -sessions N concurrent emulated browsers)
   bench       headline figure summary; -json emits the machine-readable
-              report (use -out FILE to write e.g. BENCH_pr5.json and
+              report (use -out FILE to write e.g. BENCH_pr6.json and
               -commit REV to stamp the measured revision); -transport
-              selects the null-cell wires, -batch the batched variant
+              selects the null-cell wires, -batch the batched variant,
+              -readmix=false skips the two-tier read-mix cells
   benchgate   compare two 'go test -bench' outputs and fail on a
               throughput regression beyond -max-regress percent
   all         fig7, fig8, fig9, then fig6
@@ -110,13 +117,15 @@ func runBench(args []string) error {
 	commit := fs.String("commit", "", "git revision to stamp into the report")
 	transports := fs.String("transport", "mem,tcp", "comma-separated transports for the null cells: mem, tcp")
 	batch := fs.Int("batch", 8, "CLBFT batch size of the batched Figure-7 variant (<=1 disables it)")
+	readmix := fs.Bool("readmix", true, "measure the two-tier read-mix cells (fast path vs agreement)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	fmt.Fprintln(os.Stderr, "running bench report (null throughput mem+tcp, WIPS, txn, reply path, micro)...")
+	fmt.Fprintln(os.Stderr, "running bench report (null throughput mem+tcp, WIPS, txn, reply path, read mix, micro)...")
 	rep, err := bench.RunReport(bench.ReportConfig{
 		Quick: *quick, Commit: *commit,
 		Transports: splitList(*transports), Batch: *batch,
+		SkipReadMix: !*readmix,
 	})
 	if err != nil {
 		return err
@@ -147,6 +156,16 @@ func runBench(args []string) error {
 		fmt.Fprintf(&b, "cross-shard txn: %.0f txn/s (baseline %.0f req/s, %.1fx overhead)\n",
 			rep.TxnPerSec, rep.TxnBaselineReqPerSec, rep.TxnOverheadX)
 		fmt.Fprintf(&b, "reply-share bytes/request (1 KiB reply, n=4): %.0f\n", rep.ReplyShareBytesPerReq)
+		if rep.ReadReqPerSecMem > 0 {
+			fmt.Fprintf(&b, "read mix (95/5) mem: %8.0f req/s (p50 %.2f ms, p99 %.2f ms) vs agreement %8.0f req/s = %.1fx; %d certified, %d fallbacks\n",
+				rep.ReadReqPerSecMem, rep.ReadP50MsMem, rep.ReadP99MsMem,
+				rep.ReadAgreementReqPerSecMem, rep.ReadSpeedupXMem,
+				rep.ReadFastCertified, rep.ReadFallbacks)
+		}
+		if rep.ReadReqPerSecTCP > 0 {
+			fmt.Fprintf(&b, "read mix (95/5) tcp: %8.0f req/s (p50 %.2f ms, p99 %.2f ms)\n",
+				rep.ReadReqPerSecTCP, rep.ReadP50MsTCP, rep.ReadP99MsTCP)
+		}
 		for _, name := range []string{
 			"broadcast_encode_per_receiver", "broadcast_encode_multicast",
 			"reply_share_with_payload", "reply_share_digest_only", "authenticator_build",
@@ -278,6 +297,49 @@ func runReshard(args []string) error {
 	if res.Failures > 0 {
 		return fmt.Errorf("%d interactions failed during the reshard", res.Failures)
 	}
+	return nil
+}
+
+func runReadMix(args []string) error {
+	fs := flag.NewFlagSet("readmix", flag.ExitOnError)
+	quick := fs.Bool("quick", false, "reduced measurement sizes")
+	n := fs.Int("n", 4, "store replicas (N = 3f+1)")
+	calls := fs.Int("calls", 400, "interactions per cell")
+	sessions := fs.Int("sessions", 4, "concurrent emulated-browser sessions")
+	readPct := fs.Int("readpct", 95, "percentage of interactions declared read-only")
+	transport := fs.String("transport", "mem", "transport the cell runs over: mem or tcp")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	kind, err := bench.TransportKindOf(*transport)
+	if err != nil {
+		return err
+	}
+	if *quick {
+		*calls = 150
+	}
+	fmt.Printf("running read mix (%d/%d, n=%d, %d sessions, transport=%s)...\n",
+		*readPct, 100-*readPct, *n, *sessions, *transport)
+	cfg := bench.ReadMixConfig{
+		N: *n, ReadPct: *readPct, Calls: *calls, Sessions: *sessions, Transport: kind,
+	}
+	fast, err := bench.MeasureReadMix(cfg)
+	if err != nil {
+		return err
+	}
+	cfg.ForceAgreement = true
+	forced, err := bench.MeasureReadMix(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("fast path:   %8.0f req/s   read p50 %.2f ms  p99 %.2f ms\n", fast.ReqPerSec, fast.ReadP50Ms, fast.ReadP99Ms)
+	fmt.Printf("agreement:   %8.0f req/s   read p50 %.2f ms  p99 %.2f ms\n", forced.ReqPerSec, forced.ReadP50Ms, forced.ReadP99Ms)
+	if forced.ReqPerSec > 0 {
+		fmt.Printf("speedup:     %.1fx\n", fast.ReqPerSec/forced.ReqPerSec)
+	}
+	fmt.Printf("fast-path counters: %d attempts, %d certified, %d fallbacks (%d timeout, %d diverged)\n",
+		fast.Stats.Attempts, fast.Stats.Certified, fast.Stats.Fallbacks,
+		fast.Stats.FallbackTimeout, fast.Stats.FallbackDiverged)
 	return nil
 }
 

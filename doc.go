@@ -21,7 +21,18 @@
 // wire) and a first-class benchmarked deployment mode: Figure 7 runs
 // over loopback TCP (`perpetualctl bench -transport tcp`,
 // `perpetualctl fig7 -transport tcp`), and examples/tcpcluster drives
-// a real multi-process voter group over sockets. CI enforces the
+// a real multi-process voter group over sockets.
+//
+// Requests travel a two-tier path: operations declared read-only (the
+// browse pages of the TPC-W store) are multicast by the driver to the
+// owning shard's replicas, executed speculatively against last-stable
+// state, and accepted on f_t+1 matching digest endorsements with
+// per-session leases guaranteeing read-your-writes and monotonic
+// reads — no agreement rounds. Commits, and any read that fails to
+// certify (Byzantine divergence, short quorum, lagging replicas), run
+// through full agreement deterministically. `perpetualctl readmix`
+// measures the browse-heavy mix both ways (see DESIGN.md,
+// "Two-tier read path"). CI enforces the
 // measured performance with a benchstat-style throughput gate
 // (`perpetualctl benchgate`, >15% Figure-7 regression fails), a TCP
 // bench-smoke step, a fault/soak job, and pinned

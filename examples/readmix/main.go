@@ -1,0 +1,94 @@
+// Readmix: the two-tier request path on the TPC-W bookstore. A 4-way
+// replicated store serves a browse-heavy session: cart commits run
+// full BFT agreement, browse pages ride the session read fast path
+// (speculative execution + f_t+1 matching digest endorsements, no
+// agreement rounds). The driver's read counters show which tier served
+// each request; the same session is then replayed with reads forced
+// through agreement for comparison.
+//
+//	go run ./examples/readmix
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"perpetualws/internal/core"
+	"perpetualws/internal/perpetual"
+	"perpetualws/internal/tpcw"
+)
+
+func main() {
+	// One unreplicated client plus the bookstore replicated 4 ways
+	// (n = 3f+1 with f = 1). StoreApp installs both executors: the
+	// agreed one and the speculative read executor.
+	cluster, err := core.NewCluster([]byte("readmix-demo"),
+		core.ServiceDef{Name: "client", N: 1, Options: tuning()},
+		core.ServiceDef{
+			Name: "store", N: 4,
+			App:     tpcw.StoreApp(tpcw.StoreConfig{Items: 100, Customers: 8}),
+			Options: tuning(),
+		},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cluster.Start()
+	defer cluster.Stop()
+
+	drv := cluster.Deployment().Replicas("client")[0].Driver()
+
+	fmt.Println("two-tier session (reads on the fast path):")
+	fast := &tpcw.StoreClient{
+		Handler: cluster.Handler("client", 0), Service: "store", NumCustomers: 8,
+	}
+	runSession(fast)
+	st := drv.ReadStats()
+	fmt.Printf("  fast path:  %d reads attempted, %d certified (f_t+1 matching digests), %d fell back to agreement\n\n",
+		st.Attempts, st.Certified, st.Fallbacks)
+
+	fmt.Println("same session with every read forced through agreement:")
+	agreed := &tpcw.StoreClient{
+		Handler: cluster.Handler("client", 0), Service: "store", NumCustomers: 8,
+		ForceAgreement: true,
+	}
+	runSession(agreed)
+	after := drv.ReadStats()
+	fmt.Printf("  fast path:  %d new read attempts — every page ran the full six-stage agreed path\n",
+		after.Attempts-st.Attempts)
+}
+
+// runSession walks one browsing session: browse pages (reads), an
+// add-to-cart commit, and the cart read-back that must observe it.
+func runSession(store *tpcw.StoreClient) {
+	s := &tpcw.Session{CustomerID: 1}
+	steps := []struct {
+		i   tpcw.Interaction
+		arg int
+	}{
+		{tpcw.Home, 0},
+		{tpcw.BestSellers, 3},
+		{tpcw.ProductDetail, 42},
+		{tpcw.ShoppingCart, 42}, // commit: add item 42
+		{tpcw.CartView, 0},      // read-your-writes: sees the add
+	}
+	for _, step := range steps {
+		page, err := store.Execute(step.i, s, step.arg)
+		if err != nil {
+			log.Fatalf("%s: %v", step.i, err)
+		}
+		tier := "read fast path"
+		if !step.i.IsRead() || store.ForceAgreement {
+			tier = "agreement"
+		}
+		fmt.Printf("  %-15s %5d bytes  via %s\n", step.i, page.Size, tier)
+	}
+}
+
+func tuning() perpetual.ServiceOptions {
+	return perpetual.ServiceOptions{
+		ViewChangeTimeout:  time.Second,
+		RetransmitInterval: time.Second,
+	}
+}

@@ -26,8 +26,10 @@ type MicroResult struct {
 // ReportSchema versions the report's JSON shape, so BENCH_pr<k>.json
 // artifacts from different PRs are comparable only when they claim the
 // same schema. Bump when fields change meaning; adding fields is
-// backward compatible.
-const ReportSchema = 2
+// backward compatible. Schema 3 adds the two-tier read-mix cells
+// (read_req_per_sec_{mem,tcp}, read latency percentiles, and the
+// agreement-forced baseline the fast path is compared against).
+const ReportSchema = 3
 
 type Report struct {
 	// Schema and Commit make checked-in artifacts comparable across
@@ -70,6 +72,25 @@ type Report struct {
 	// shares; the payload-carrying protocol moved >= 3 KiB).
 	ReplyShareBytesPerReq float64 `json:"reply_share_bytes_per_req_1k"`
 
+	// Read-mix cells (schema 3): the browse-heavy 95/5 TPC-W mix against
+	// an n=4 store, declared reads taking the session fast path, over
+	// memnet and loopback TCP. The *_agreement_* fields force the same
+	// mix through full CLBFT agreement — the baseline the fast path's
+	// speedup claim (read_speedup_x_mem) is computed from. Latency
+	// percentiles cover the declared-read interactions only.
+	ReadReqPerSecMem          float64 `json:"read_req_per_sec_mem,omitempty"`
+	ReadReqPerSecTCP          float64 `json:"read_req_per_sec_tcp,omitempty"`
+	ReadAgreementReqPerSecMem float64 `json:"read_agreement_req_per_sec_mem,omitempty"`
+	ReadSpeedupXMem           float64 `json:"read_speedup_x_mem,omitempty"`
+	ReadP50MsMem              float64 `json:"read_p50_ms_mem,omitempty"`
+	ReadP99MsMem              float64 `json:"read_p99_ms_mem,omitempty"`
+	ReadP50MsTCP              float64 `json:"read_p50_ms_tcp,omitempty"`
+	ReadP99MsTCP              float64 `json:"read_p99_ms_tcp,omitempty"`
+	// ReadFastCertified / ReadFallbacks are the memnet cell's fast-path
+	// counters: certified answers vs deterministic agreement fallbacks.
+	ReadFastCertified uint64 `json:"read_fast_certified,omitempty"`
+	ReadFallbacks     uint64 `json:"read_fallbacks"`
+
 	Micro map[string]MicroResult `json:"micro"`
 }
 
@@ -83,6 +104,9 @@ type ReportConfig struct {
 	// Batch sets the CLBFT batch size of the batched Figure-7 variant;
 	// 0 uses 8. The unbatched cells are always measured (gate key).
 	Batch int
+	// SkipReadMix drops the schema-3 read-mix cells (perpetualctl bench
+	// -readmix=false).
+	SkipReadMix bool
 }
 
 // TransportKindOf maps a -transport selector word to the deployment
@@ -195,6 +219,46 @@ func RunReport(cfg ReportConfig) (*Report, error) {
 		return nil, fmt.Errorf("bench: reply-path bytes: %w", err)
 	}
 	r.ReplyShareBytesPerReq = shareBytes
+
+	if !cfg.SkipReadMix {
+		readCalls, readRuns := 400, 2
+		if cfg.Quick {
+			readCalls, readRuns = 150, 1
+		}
+		for _, tr := range transports {
+			kind, err := TransportKindOf(tr)
+			if err != nil {
+				return nil, err
+			}
+			fast, err := MeasureReadMix(ReadMixConfig{
+				N: 4, Calls: readCalls, Runs: readRuns, Transport: kind,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("bench: read mix over %s: %w", tr, err)
+			}
+			if kind == perpetual.TransportTCP {
+				r.ReadReqPerSecTCP = fast.ReqPerSec
+				r.ReadP50MsTCP, r.ReadP99MsTCP = fast.ReadP50Ms, fast.ReadP99Ms
+				continue
+			}
+			r.ReadReqPerSecMem = fast.ReqPerSec
+			r.ReadP50MsMem, r.ReadP99MsMem = fast.ReadP50Ms, fast.ReadP99Ms
+			r.ReadFastCertified = fast.Stats.Certified
+			r.ReadFallbacks = fast.Stats.Fallbacks
+			// The agreement-forced baseline (memnet only — the speedup
+			// claim's denominator).
+			forced, err := MeasureReadMix(ReadMixConfig{
+				N: 4, Calls: readCalls, Runs: readRuns, Transport: kind, ForceAgreement: true,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("bench: forced read mix: %w", err)
+			}
+			r.ReadAgreementReqPerSecMem = forced.ReqPerSec
+			if forced.ReqPerSec > 0 {
+				r.ReadSpeedupXMem = fast.ReqPerSec / forced.ReqPerSec
+			}
+		}
+	}
 
 	micros := map[string]func(*testing.B){
 		"broadcast_encode_per_receiver": MicroBroadcastEncodePerReceiver,

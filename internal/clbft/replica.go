@@ -111,6 +111,7 @@ type Replica struct {
 	// Cross-goroutine visible state.
 	curView   atomic.Uint64
 	execCount atomic.Uint64
+	execSeq   atomic.Uint64
 	vcCount   atomic.Uint64
 }
 
@@ -238,6 +239,12 @@ func (r *Replica) IsPrimary() bool { return r.Primary() == r.cfg.ID }
 
 // Executed returns the number of operations delivered so far.
 func (r *Replica) Executed() uint64 { return r.execCount.Load() }
+
+// LastExecutedSeq returns the agreement sequence of the last operation
+// this replica delivered (0 before any delivery). It exposes the log
+// position local state reflects, which speculative read paths stamp
+// into replies so clients can order observed states across replicas.
+func (r *Replica) LastExecutedSeq() uint64 { return r.execSeq.Load() }
 
 // ViewChanges returns the number of view changes this replica has
 // entered (diagnostic).
@@ -587,6 +594,7 @@ func (r *Replica) executeReady() {
 // applyOp updates replica state for one executed operation and hands
 // non-null operations to the application.
 func (r *Replica) applyOp(seq uint64, req *Request) {
+	r.execSeq.Store(seq)
 	var reqDigest Digest
 	if req != nil && !req.IsNull() {
 		reqDigest = req.Digest()

@@ -66,6 +66,15 @@ type Utils interface {
 	Random() (*rand.Rand, error)
 }
 
+// ReadHandler evaluates a declared-read operation against the replica's
+// current local state, returning the reply context. It must not mutate
+// application state (reads execute speculatively, outside agreement),
+// must produce byte-identical replies for identical state across
+// replicas, and must reject non-read operations with an error. It runs
+// on transport goroutines concurrently with the executor, so it must
+// synchronize with the state it reads.
+type ReadHandler func(req *wsengine.MessageContext) (*wsengine.MessageContext, error)
+
 // AppContext is what an Application's executor receives: messaging,
 // deterministic utilities, and identity.
 type AppContext struct {
@@ -77,6 +86,18 @@ type AppContext struct {
 	// not branch on ReplicaIndex.
 	ServiceName  string
 	ReplicaIndex int
+
+	node *Node
+}
+
+// ServeReads declares this service's read operations servable through
+// the session-tier fast path by installing the handler that evaluates
+// them (see Node.ServeReads). Services that never call it serve every
+// operation through full agreement, exactly as before.
+func (ctx *AppContext) ServeReads(h ReadHandler) {
+	if ctx.node != nil {
+		ctx.node.ServeReads(h)
+	}
 }
 
 // Application is a Perpetual-WS application: a deterministic,

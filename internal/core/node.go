@@ -82,11 +82,41 @@ func (n *Node) Context() *AppContext {
 		Utils:          n.handler,
 		ServiceName:    n.replica.Service().Name,
 		ReplicaIndex:   n.replica.Index(),
+		node:           n,
 	}
 }
 
 // Replica returns the underlying Perpetual replica (diagnostics).
 func (n *Node) Replica() *perpetual.Replica { return n.replica }
+
+// ServeReads installs the application's read handler for the
+// session-tier fast path: h evaluates a declared-read operation against
+// this replica's current state without mutating it, and its reply is
+// digested into a speculative endorsement (see Driver.CallRead). The
+// handler runs on transport goroutines, concurrently with the executor,
+// so it must synchronize with the state it reads, produce byte-identical
+// replies for identical state across replicas, and reject any operation
+// that would mutate state (a commit must only ever execute through
+// agreement). The reply's wsa:RelatesTo is derived from the request so
+// the caller's IN-PIPE accepts it.
+func (n *Node) ServeReads(h ReadHandler) {
+	n.replica.SetReadExecutor(func(payload []byte) ([]byte, error) {
+		env, err := soap.Parse(payload)
+		if err != nil {
+			return nil, err
+		}
+		req := wsengine.NewMessageContext()
+		req.Envelope = *env
+		rep, err := h(req)
+		if err != nil {
+			return nil, err
+		}
+		if rep.Envelope.Header.RelatesTo == "" {
+			rep.Envelope.Header.RelatesTo = env.Header.MessageID
+		}
+		return rep.Envelope.Marshal()
+	})
+}
 
 // Start launches the PerpetualListener pump and the application
 // executor. The underlying Perpetual replica must already be started.
@@ -409,7 +439,15 @@ func (s *perpetualSender) Send(mc *wsengine.MessageContext) error {
 	if err != nil {
 		return fmt.Errorf("perpetualws: marshal request: %w", err)
 	}
-	reqID, err := drv.CallKey(target, []byte(mc.Options.RoutingKey), payload, mc.Options.Timeout())
+	var reqID string
+	if mc.Options.ReadOnly {
+		// Declared reads take the session-tier fast path: multicast to
+		// the owning shard group, answered by f+1 matching speculative
+		// endorsements, with deterministic fallback to agreement.
+		reqID, err = drv.CallRead(target, []byte(mc.Options.RoutingKey), payload, mc.Options.Timeout())
+	} else {
+		reqID, err = drv.CallKey(target, []byte(mc.Options.RoutingKey), payload, mc.Options.Timeout())
+	}
 	if err != nil {
 		return err
 	}

@@ -15,6 +15,9 @@ type ServiceOptions struct {
 	CheckpointInterval uint64
 	ViewChangeTimeout  time.Duration
 	RetransmitInterval time.Duration
+	// ReadFallback tunes the drivers' read fast-path window; zero uses
+	// DefaultReadFallback.
+	ReadFallback time.Duration
 	// MaxBatch enables CLBFT request batching (>1) for the service's
 	// voter group.
 	MaxBatch int
@@ -161,6 +164,7 @@ func (d *Deployment) buildGroup(g ServiceInfo, opts ServiceOptions, principals [
 			CheckpointInterval: opts.CheckpointInterval,
 			ViewChangeTimeout:  opts.ViewChangeTimeout,
 			RetransmitInterval: opts.RetransmitInterval,
+			ReadFallback:       opts.ReadFallback,
 			MaxBatch:           opts.MaxBatch,
 			Logger:             opts.Logger,
 		}

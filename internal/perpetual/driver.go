@@ -21,6 +21,11 @@ var ErrClosed = errors.New("perpetual: driver closed")
 // unanswered requests; it doubles per attempt.
 const DefaultRetransmitInterval = time.Second
 
+// DefaultReadFallback is how long a fast-path read waits for f_t+1
+// matching speculative endorsements before deterministically re-issuing
+// the same request id through full agreement.
+const DefaultReadFallback = 150 * time.Millisecond
+
 // IncomingRequest is an agreed external request awaiting execution.
 type IncomingRequest struct {
 	ReqID   string
@@ -77,6 +82,7 @@ type Driver struct {
 	logger   *log.Logger
 
 	retransmitInterval time.Duration
+	readFallback       time.Duration
 
 	mu     sync.Mutex
 	cond   *sync.Cond
@@ -97,6 +103,16 @@ type Driver struct {
 
 	outstanding map[string]*outstandingReq
 	utils       map[uint64]int64
+
+	// Session-tier read fast path (see CallRead). readWaits collects
+	// speculative endorsements per outstanding read; readFloor is the
+	// per-target-group monotonic-reads floor (highest certified read
+	// sequence); readAfter is the per-target-group read-your-writes lease
+	// (highest completed agreement-path request number).
+	readWaits map[string]*readWait
+	readFloor map[string]uint64
+	readAfter map[string]uint64
+	readStats ReadStats
 
 	// txnReplies feeds CallTxn: replies to transaction requests bypass
 	// the application event queue (see deliverReply).
@@ -140,6 +156,49 @@ type outstandingReq struct {
 	suppressReply bool
 }
 
+// ReadStats counts session-tier read fast-path outcomes at one driver.
+// The fast path is an optimization, never a correctness lever: every
+// fallback re-issues the identical request through full agreement, so
+// Attempts == Certified + Fallbacks + still-in-flight at all times.
+type ReadStats struct {
+	// Attempts is the number of reads issued through the fast path.
+	Attempts uint64
+	// Certified is the number of reads answered by f_t+1 matching
+	// speculative digest endorsements (agreement skipped entirely).
+	Certified uint64
+	// Fallbacks is the number of reads re-issued through agreement.
+	Fallbacks uint64
+	// FallbackTimeout counts fallbacks whose fast window expired.
+	FallbackTimeout uint64
+	// FallbackDiverged counts fallbacks forced by conflicting digests,
+	// stale endorsements, behind replicas, or an unobtainable payload.
+	FallbackDiverged uint64
+}
+
+// readEndorse is one replica's speculative read endorsement.
+type readEndorse struct {
+	digest [sha256.Size]byte
+	seq    uint64
+}
+
+// readWait tracks a fast-path read awaiting f_t+1 matching speculative
+// endorsements from the target group.
+type readWait struct {
+	target    string // concrete (shard) group name
+	payload   []byte
+	timeout   time.Duration
+	responder int
+	need      int // f_t+1 matching endorsements certify
+	group     int // target group size
+	minSeq    uint64
+	settled   bool
+	tmr       *time.Timer
+
+	endorse   map[int]readEndorse // replica index -> current endorsement
+	payloads  map[[sha256.Size]byte][]byte
+	responded map[int]bool // replicas heard from, incl. Behind declines
+}
+
 // txnReply is the agreed outcome of a transaction request, with the
 // endorsement shares retained for the coordinator's decision proposal.
 type txnReply struct {
@@ -160,9 +219,13 @@ func newDriver(svc ServiceInfo, index int, reg *Registry, adapter *transport.Cha
 		voter:              v,
 		logger:             logger,
 		retransmitInterval: DefaultRetransmitInterval,
+		readFallback:       DefaultReadFallback,
 		replySeen:          newBoundedCache[struct{}](replySeenCacheSize),
 		outstanding:        make(map[string]*outstandingReq),
 		utils:              make(map[uint64]int64),
+		readWaits:          make(map[string]*readWait),
+		readFloor:          make(map[string]uint64),
+		readAfter:          make(map[string]uint64),
 		txnReplies:         newBoundedCache[txnReply](inFlightCacheSize),
 		txnPending:         make(map[string]*txnDecision),
 		txnEarly:           newBoundedCache[bool](deliveredCacheSize),
@@ -191,10 +254,14 @@ func (d *Driver) handleTransport(from auth.NodeID, payload []byte) {
 		d.logf("malformed message from %s: %v", from, err)
 		return
 	}
-	if m.Kind != KindReplyBundle || m.ReplyBundle == nil {
-		return
+	switch m.Kind {
+	case KindReplyBundle:
+		if m.ReplyBundle != nil {
+			d.handleBundle(from, m.ReplyBundle)
+		}
+	case KindReadReply:
+		d.handleReadReply(from, m.ReadReply)
 	}
-	d.handleBundle(from, m.ReplyBundle)
 }
 
 // handleBundle verifies a stage-6 reply bundle and forwards it to the
@@ -316,7 +383,6 @@ func (d *Driver) suppressReplies(ids []string) {
 // routed to the transaction wait table; class optionally overrides the
 // transport stats class of its frames.
 func (d *Driver) call(tinfo ServiceInfo, payload []byte, timeout time.Duration, txn bool, class uint8) (string, error) {
-	target := tinfo.Name
 	d.mu.Lock()
 	if d.closed {
 		d.mu.Unlock()
@@ -326,6 +392,24 @@ func (d *Driver) call(tinfo ServiceInfo, payload []byte, timeout time.Duration, 
 	n := d.reqSeq
 	reqID := fmt.Sprintf("%s:%d", d.svc.Name, n)
 	responder := int(n % uint64(tinfo.N))
+	d.mu.Unlock()
+	if err := d.startRequest(reqID, tinfo, payload, responder, timeout, txn, class); err != nil {
+		return "", err
+	}
+	return reqID, nil
+}
+
+// startRequest registers and transmits a request under an
+// already-reserved id (stage 1 proper). The read fast path re-enters
+// here on fallback, so the agreement-path reply answers the very id the
+// caller is already waiting on.
+func (d *Driver) startRequest(reqID string, tinfo ServiceInfo, payload []byte, responder int, timeout time.Duration, txn bool, class uint8) error {
+	target := tinfo.Name
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return ErrClosed
+	}
 	o := &outstandingReq{
 		target:    target,
 		payload:   payload,
@@ -344,7 +428,7 @@ func (d *Driver) call(tinfo ServiceInfo, payload []byte, timeout time.Duration, 
 		d.mu.Lock()
 		delete(d.outstanding, reqID)
 		d.mu.Unlock()
-		return "", err
+		return err
 	}
 	// First attempt goes to the believed primary (index 0 in the common
 	// case); retransmissions fan out to the whole group.
@@ -360,7 +444,215 @@ func (d *Driver) call(tinfo ServiceInfo, payload []byte, timeout time.Duration, 
 		}
 	}
 	d.mu.Unlock()
+	return nil
+}
+
+// CallRead issues a read-only request through the session-tier fast
+// path: the request is multicast directly to every replica of the
+// owning shard group, skipping agreement entirely, and is answered as
+// soon as f_t+1 replicas return matching digest endorsements at or
+// above the session's lease (the monotonic sequence floor, plus the
+// read-your-writes gate the replicas enforce against AfterReq). The
+// channel MACs already authenticate both endpoints, so the read carries
+// no application-level authenticator. Divergent digests, stale
+// endorsements, a short quorum, or an expired fast window
+// deterministically re-issue the same request id through the normal
+// agreement path — the caller observes exactly one reply either way,
+// and never an uncertified one. A replicated caller (N > 1) degrades to
+// the agreement path: fast replies arrive outside agreement and so
+// could not reach its replicas deterministically; the session tier is
+// unreplicated by design.
+func (d *Driver) CallRead(target string, key, payload []byte, timeout time.Duration) (string, error) {
+	tinfo, err := d.registry.Lookup(target)
+	if err != nil {
+		return "", err
+	}
+	if tinfo.IsSharded() {
+		if len(key) == 0 {
+			digest := sha256.Sum256(payload)
+			key = digest[:]
+		}
+		tinfo = tinfo.Shard(ShardFor(key, tinfo.Shards))
+	}
+	if d.svc.N > 1 {
+		return d.call(tinfo, payload, timeout, false, 0)
+	}
+
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return "", ErrClosed
+	}
+	d.reqSeq++
+	n := d.reqSeq
+	reqID := fmt.Sprintf("%s:%d", d.svc.Name, n)
+	responder := int(n % uint64(tinfo.N))
+	rw := &readWait{
+		target:    tinfo.Name,
+		payload:   payload,
+		timeout:   timeout,
+		responder: responder,
+		need:      tinfo.F() + 1,
+		group:     tinfo.N,
+		minSeq:    d.readFloor[tinfo.Name],
+		endorse:   make(map[int]readEndorse),
+		payloads:  make(map[[sha256.Size]byte][]byte),
+		responded: make(map[int]bool),
+	}
+	afterReq := d.readAfter[tinfo.Name]
+	d.readWaits[reqID] = rw
+	d.readStats.Attempts++
+	rw.tmr = time.AfterFunc(d.readFallback, func() { d.readFallbackFor(reqID, true) })
+	d.mu.Unlock()
+
+	rr := &ReadRequest{
+		ReqID:     reqID,
+		Caller:    d.svc.Name,
+		Target:    tinfo.Name,
+		Responder: responder,
+		MinSeq:    rw.minSeq,
+		AfterReq:  afterReq,
+		Payload:   payload,
+	}
+	msg := &Message{Kind: KindReadRequest, ReadRequest: rr}
+	w := wire.GetWriter(msg.SizeHint())
+	msg.EncodeTo(w)
+	if err := d.adapter.SendMulti(tinfo.VoterIDs(), w.Bytes()); err != nil {
+		d.logf("read %s: %v", reqID, err)
+	}
+	w.Free()
 	return reqID, nil
+}
+
+// handleReadReply collects one replica's speculative endorsement and
+// settles the read when a digest gathers f_t+1 current matching
+// endorsements with an obtainable payload (certified — delivered as the
+// reply) or when certification provably cannot happen (fall back to
+// agreement). Endorsements below the session's sequence floor never
+// count: at most f faulty replicas exist, so f_t+1 matching current
+// endorsements include a correct replica whose state satisfied the
+// lease — the certified answer is both fresh and correct.
+func (d *Driver) handleReadReply(from auth.NodeID, rp *ReadReply) {
+	if rp == nil || from.Role != auth.RoleVoter {
+		return
+	}
+	d.mu.Lock()
+	rw, ok := d.readWaits[rp.ReqID]
+	if !ok || rw.settled || from.Service != rw.target ||
+		rp.Replica != from.Index || from.Index < 0 || from.Index >= rw.group ||
+		rw.responded[from.Index] {
+		d.mu.Unlock()
+		return
+	}
+	rw.responded[from.Index] = true
+	if !rp.Behind {
+		if rp.Seq >= rw.minSeq {
+			rw.endorse[from.Index] = readEndorse{digest: rp.Digest, seq: rp.Seq}
+		}
+		// Bind a payload to a digest only when it actually hashes to it:
+		// a faulty responder cannot attach garbage to a digest the
+		// correct replicas endorsed.
+		if ReplyDigest(rp.ReqID, rp.Payload) == rp.Digest {
+			rw.payloads[rp.Digest] = rp.Payload
+		}
+	}
+
+	counts := make(map[[sha256.Size]byte]int, len(rw.endorse))
+	best := 0
+	var winner [sha256.Size]byte
+	for _, e := range rw.endorse {
+		counts[e.digest]++
+		if counts[e.digest] > best {
+			best = counts[e.digest]
+			winner = e.digest
+		}
+	}
+	if best >= rw.need {
+		if payload, have := rw.payloads[winner]; have {
+			rw.settled = true
+			if rw.tmr != nil {
+				rw.tmr.Stop()
+			}
+			delete(d.readWaits, rp.ReqID)
+			// The certified sequence is the *minimum* over the matching
+			// endorsers: at least one of them is correct, so a faulty
+			// endorser inflating its stamp cannot push the floor past
+			// state a correct replica actually reached.
+			certSeq := ^uint64(0)
+			for _, e := range rw.endorse {
+				if e.digest == winner && e.seq < certSeq {
+					certSeq = e.seq
+				}
+			}
+			if certSeq > d.readFloor[rw.target] {
+				d.readFloor[rw.target] = certSeq
+			}
+			d.readStats.Certified++
+			d.mu.Unlock()
+			d.deliverReply(Reply{ReqID: rp.ReqID, Payload: payload}, nil)
+			return
+		}
+		if rw.responded[rw.responder] {
+			// The winning digest is certified but its payload is
+			// unobtainable: the responder answered with something else.
+			d.mu.Unlock()
+			d.readFallbackFor(rp.ReqID, false)
+			return
+		}
+		// Certified but the responder's payload is still in flight.
+		d.mu.Unlock()
+		return
+	}
+	// Even if every silent replica endorsed the current best digest it
+	// could not reach f_t+1: certification is impossible, so re-issue
+	// through agreement now rather than burn the rest of the window.
+	if best+(rw.group-len(rw.responded)) < rw.need {
+		d.mu.Unlock()
+		d.readFallbackFor(rp.ReqID, false)
+		return
+	}
+	d.mu.Unlock()
+}
+
+// readFallbackFor abandons the fast path for a read and re-issues the
+// same request id through full agreement. At most one answer surfaces:
+// settling is exclusive under d.mu, and replySeen dedups a late agreed
+// duplicate of an already-certified read.
+func (d *Driver) readFallbackFor(reqID string, timedOut bool) {
+	d.mu.Lock()
+	rw, ok := d.readWaits[reqID]
+	if !ok || rw.settled || d.closed {
+		d.mu.Unlock()
+		return
+	}
+	rw.settled = true
+	if rw.tmr != nil {
+		rw.tmr.Stop()
+	}
+	delete(d.readWaits, reqID)
+	d.readStats.Fallbacks++
+	if timedOut {
+		d.readStats.FallbackTimeout++
+	} else {
+		d.readStats.FallbackDiverged++
+	}
+	d.mu.Unlock()
+
+	tinfo, err := d.registry.Lookup(rw.target)
+	if err != nil {
+		d.logf("read fallback %s: unknown target %s", reqID, rw.target)
+		return
+	}
+	if err := d.startRequest(reqID, tinfo, rw.payload, rw.responder, rw.timeout, false, 0); err != nil {
+		d.logf("read fallback %s: %v", reqID, err)
+	}
+}
+
+// ReadStats reports the driver's session-read fast-path counters.
+func (d *Driver) ReadStats() ReadStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.readStats
 }
 
 // sendRequest encodes a request message once and transmits it to the
@@ -469,6 +761,15 @@ func (d *Driver) deliverReply(r Reply, shares []Share) {
 			o.abortTmr.Stop()
 		}
 		delete(d.outstanding, r.ReqID)
+	}
+	if ok && !o.txn && !r.Aborted {
+		// Session-lease bookkeeping: a completed agreement-path request
+		// is conservatively a write this session's later fast-path reads
+		// must observe (read-your-writes), so advance the lease to its
+		// request number.
+		if n, okN := callerReqSeq(r.ReqID, d.svc.Name); okN && n > d.readAfter[o.target] {
+			d.readAfter[o.target] = n
+		}
 	}
 	if ok && o.suppressReply {
 		// Settled internally (failed fan-out): the application never
@@ -678,6 +979,11 @@ func (d *Driver) close() {
 		}
 		if o.abortTmr != nil {
 			o.abortTmr.Stop()
+		}
+	}
+	for _, rw := range d.readWaits {
+		if rw.tmr != nil {
+			rw.tmr.Stop()
 		}
 	}
 	d.cond.Broadcast()

@@ -100,3 +100,25 @@ type StaleResultFault struct{ CorrectBehavior }
 func (StaleResultFault) install(r *Replica) {
 	r.voter.staleResults = true
 }
+
+// CorruptReadFault makes the replica's speculative fast-path read
+// answers wrong: read results are prefixed with garbage before being
+// digested, so the replica endorses (and, as responder, serves) a
+// forged answer. Up to f such replicas can at worst force the client
+// back to agreement, never a wrong certified read.
+type CorruptReadFault struct{ CorrectBehavior }
+
+func (CorruptReadFault) install(r *Replica) {
+	r.voter.corruptReads = true
+}
+
+// StaleReadFault makes the replica answer fast-path reads from a stale
+// state while claiming currency: it serves an empty answer stamped with
+// sequence 0 and Behind unset, modeling a Byzantine replica lying about
+// its lease. Clients reject the endorsement once their session floor is
+// positive.
+type StaleReadFault struct{ CorrectBehavior }
+
+func (StaleReadFault) install(r *Replica) {
+	r.voter.staleReads = true
+}

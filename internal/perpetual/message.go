@@ -40,6 +40,18 @@ const (
 	// digest (a faulty or stale responder), it fetches the winning
 	// payload from a voter that endorsed it.
 	KindPayloadFetch
+	// KindReadRequest is a session-tier read multicast from a calling
+	// driver directly to every voter of the owning shard, bypassing
+	// agreement (the two-tier read fast path). Reads carry no
+	// authenticator: the pairwise channel MAC already proves the sending
+	// driver's identity, and a read cannot change replicated state.
+	KindReadRequest
+	// KindReadReply is one voter's speculative answer to a read request,
+	// sent directly back to the asking driver: a digest endorsement
+	// stamped with the agreement sequence the executed state reflects.
+	// Only the read's designated responder attaches the payload; the
+	// client accepts once f_t+1 distinct voters endorse one digest.
+	KindReadReply
 )
 
 // String returns the protocol name of the kind.
@@ -61,6 +73,10 @@ func (k Kind) String() string {
 		return "abort-forward"
 	case KindPayloadFetch:
 		return "payload-fetch"
+	case KindReadRequest:
+		return "read-request"
+	case KindReadReply:
+		return "read-reply"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -165,6 +181,40 @@ type PayloadFetch struct {
 	Digest [sha256.Size]byte
 }
 
+// ReadRequest is a session-tier read shipped around agreement: the
+// calling driver multicasts it to every voter of the owning shard, which
+// execute it speculatively against last-executed state. MinSeq and
+// AfterReq are the session's consistency gates — a replica whose state
+// reflects an older agreement sequence than MinSeq, or that has not yet
+// executed the session's AfterReq-th completed write, must answer
+// Behind instead of serving a stale view.
+type ReadRequest struct {
+	ReqID     string // reserved from the driver's ordinary id space
+	Caller    string // calling service name
+	Target    string // target (shard group) service name
+	Responder int    // target voter index whose reply carries the payload
+	MinSeq    uint64 // monotonic-reads floor: minimum agreement seq to serve at
+	AfterReq  uint64 // read-your-writes gate: the session's highest completed write
+	Payload   []byte
+}
+
+// ReadReply is one voter's speculative read answer, returned directly
+// to the asking driver. Replica echoes the sender index (cross-checked
+// against the channel-authenticated transport identity); Seq stamps the
+// agreement sequence the executed state reflects; Behind refuses the
+// read (consistency gate failed, no read executor, or execution error).
+// Payload is attached only by the designated responder — the other
+// voters endorse with Digest alone, mirroring the digest-only reply
+// shares of the agreed path.
+type ReadReply struct {
+	ReqID   string
+	Replica int
+	Seq     uint64
+	Behind  bool
+	Digest  [sha256.Size]byte
+	Payload []byte // responder only; must hash to Digest
+}
+
 // ReplyBundle is the stage-6 message from the responder to every calling
 // driver: the reply payload plus f_t+1 shares endorsing its digest.
 type ReplyBundle struct {
@@ -198,6 +248,8 @@ type Message struct {
 	UtilForward   *UtilForward
 	AbortForward  *AbortForward
 	PayloadFetch  *PayloadFetch
+	ReadRequest   *ReadRequest
+	ReadReply     *ReadReply
 }
 
 // Encode serializes the message.
@@ -236,6 +288,27 @@ func (m *Message) EncodeTo(w *wire.Writer) {
 	case KindPayloadFetch:
 		w.PutString(m.PayloadFetch.ReqID)
 		w.PutBytes(m.PayloadFetch.Digest[:])
+	case KindReadRequest:
+		rr := m.ReadRequest
+		w.PutString(rr.ReqID)
+		w.PutString(rr.Caller)
+		w.PutString(rr.Target)
+		w.PutUvarint(uint64(rr.Responder))
+		w.PutUint64(rr.MinSeq)
+		w.PutUint64(rr.AfterReq)
+		w.PutBytes(rr.Payload)
+	case KindReadReply:
+		rp := m.ReadReply
+		w.PutString(rp.ReqID)
+		w.PutUvarint(uint64(rp.Replica))
+		w.PutUint64(rp.Seq)
+		if rp.Behind {
+			w.PutUint8(1)
+		} else {
+			w.PutUint8(0)
+		}
+		w.PutBytes(rp.Digest[:])
+		w.PutBytes(rp.Payload)
 	}
 }
 
@@ -259,6 +332,12 @@ func (m *Message) SizeHint() int {
 		return base + bundleSize(m.ResultForward)
 	case KindPayloadFetch:
 		return base + len(m.PayloadFetch.ReqID) + sha256.Size
+	case KindReadRequest:
+		rr := m.ReadRequest
+		return base + len(rr.ReqID) + len(rr.Caller) + len(rr.Target) + len(rr.Payload) + 24
+	case KindReadReply:
+		rp := m.ReadReply
+		return base + len(rp.ReqID) + sha256.Size + len(rp.Payload) + 16
 	default:
 		return 64
 	}
@@ -314,6 +393,26 @@ func DecodeMessage(buf []byte) (*Message, error) {
 		pf := &PayloadFetch{ReqID: r.String()}
 		copy(pf.Digest[:], r.Bytes())
 		m.PayloadFetch = pf
+	case KindReadRequest:
+		m.ReadRequest = &ReadRequest{
+			ReqID:     r.String(),
+			Caller:    r.String(),
+			Target:    r.String(),
+			Responder: int(r.Uvarint()),
+			MinSeq:    r.Uint64(),
+			AfterReq:  r.Uint64(),
+			Payload:   r.BytesCopy(),
+		}
+	case KindReadReply:
+		rp := &ReadReply{
+			ReqID:   r.String(),
+			Replica: int(r.Uvarint()),
+			Seq:     r.Uint64(),
+			Behind:  r.Uint8() == 1,
+		}
+		copy(rp.Digest[:], r.Bytes())
+		rp.Payload = r.BytesCopy()
+		m.ReadReply = rp
 	default:
 		return nil, fmt.Errorf("perpetual: unknown message kind %d", uint8(m.Kind))
 	}

@@ -1,0 +1,275 @@
+package perpetual
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// readableEchoApp runs the echo executor on the target AND installs a
+// matching speculative read executor on every target replica, so reads
+// answer identically whether they certify on the fast path or fall back
+// through agreement.
+func readableEchoApp(t *testing.T, dep *Deployment, service string, replicas ...int) {
+	t.Helper()
+	echoApp(t, dep, service)
+	all := dep.Replicas(service)
+	if len(replicas) == 0 {
+		for i := range all {
+			replicas = append(replicas, i)
+		}
+	}
+	for _, i := range replicas {
+		all[i].SetReadExecutor(func(payload []byte) ([]byte, error) {
+			return append([]byte("echo:"), payload...), nil
+		})
+	}
+}
+
+func TestReadFastPathCertifies(t *testing.T) {
+	dep := buildPair(t, 1, 4, nil)
+	readableEchoApp(t, dep, "t")
+	drv := dep.Drivers("c")[0]
+
+	reqID, err := drv.CallRead("t", nil, []byte("ping"), time.Second)
+	if err != nil {
+		t.Fatalf("CallRead: %v", err)
+	}
+	r, err := drv.WaitReply(reqID)
+	if err != nil {
+		t.Fatalf("WaitReply: %v", err)
+	}
+	if r.Aborted || string(r.Payload) != "echo:ping" {
+		t.Fatalf("read reply = %q (aborted=%v), want echo:ping", r.Payload, r.Aborted)
+	}
+	st := drv.ReadStats()
+	if st.Attempts != 1 || st.Certified != 1 || st.Fallbacks != 0 {
+		t.Errorf("stats = %+v, want 1 attempt certified without fallback", st)
+	}
+}
+
+func TestReadAfterWriteSeesLeaseAndAdvancesFloor(t *testing.T) {
+	dep := buildPair(t, 1, 4, nil)
+	readableEchoApp(t, dep, "t")
+	drv := dep.Drivers("c")[0]
+
+	// A committed write moves the session's read-your-writes lease...
+	wid, err := drv.Call("t", []byte("write"), time.Second)
+	if err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	if _, err := drv.WaitReply(wid); err != nil {
+		t.Fatalf("WaitReply(write): %v", err)
+	}
+	drv.mu.Lock()
+	after := drv.readAfter["t"]
+	drv.mu.Unlock()
+	if after == 0 {
+		t.Fatalf("readAfter lease not advanced by completed write")
+	}
+
+	// ...and the next fast-path read both certifies (replicas hold the
+	// read until their horizons pass the lease) and raises the monotonic
+	// sequence floor for later reads.
+	rid, err := drv.CallRead("t", nil, []byte("r1"), time.Second)
+	if err != nil {
+		t.Fatalf("CallRead: %v", err)
+	}
+	r, err := drv.WaitReply(rid)
+	if err != nil {
+		t.Fatalf("WaitReply(read): %v", err)
+	}
+	if string(r.Payload) != "echo:r1" {
+		t.Fatalf("read reply = %q", r.Payload)
+	}
+	drv.mu.Lock()
+	floor := drv.readFloor["t"]
+	drv.mu.Unlock()
+	if floor == 0 {
+		t.Errorf("certified read did not advance the monotonic seq floor")
+	}
+	if st := drv.ReadStats(); st.Certified != 1 {
+		t.Errorf("stats = %+v, want the read certified on the fast path", st)
+	}
+}
+
+// TestByzantineReadDivergenceTable drives the fast path against one
+// Byzantine (or missing) read endorser per case and asserts the client
+// detects fewer than f_t+1 matching current endorsements, falls back to
+// agreement deterministically, and never surfaces a wrong or stale
+// answer.
+func TestByzantineReadDivergenceTable(t *testing.T) {
+	cases := []struct {
+		name string
+		tune func(*Deployment)
+		// install limits which replicas get a read executor.
+		install []int
+		// writeFirst establishes a nonzero sequence floor before the
+		// reads, so stale (seq 0) endorsements are rejectable.
+		writeFirst    bool
+		wantFallbacks bool
+		wantCertified bool
+	}{
+		{
+			// The corrupt replica forges result bytes (self-consistent
+			// digest). As a plain endorser it is outvoted; as the
+			// designated responder its payload does not bind to the
+			// certified digest, so the read falls back.
+			name: "forged digest",
+			tune: func(dep *Deployment) {
+				dep.Configure("t", ServiceOptions{
+					CheckpointInterval: 16,
+					ViewChangeTimeout:  400 * time.Millisecond,
+					RetransmitInterval: 250 * time.Millisecond,
+					Behaviors:          map[int]Behavior{1: CorruptReadFault{}},
+				})
+			},
+			wantFallbacks: true,
+			wantCertified: true,
+		},
+		{
+			// The stale replica claims currency while serving old state
+			// with sequence stamp 0. Once the session floor is nonzero
+			// its endorsements are rejected outright; as responder it
+			// cannot produce a bindable payload either way.
+			name: "stale sequence",
+			tune: func(dep *Deployment) {
+				dep.Configure("t", ServiceOptions{
+					CheckpointInterval: 16,
+					ViewChangeTimeout:  400 * time.Millisecond,
+					RetransmitInterval: 250 * time.Millisecond,
+					Behaviors:          map[int]Behavior{1: StaleReadFault{}},
+				})
+			},
+			writeFirst:    true,
+			wantFallbacks: true,
+			wantCertified: true,
+		},
+		{
+			// Only one replica serves reads at all: f_t+1 matching
+			// endorsements are impossible, every read falls back.
+			name:          "short quorum",
+			install:       []int{0},
+			wantFallbacks: true,
+			wantCertified: false,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dep := buildPair(t, 1, 4, tc.tune)
+			readableEchoApp(t, dep, "t", tc.install...)
+			drv := dep.Drivers("c")[0]
+
+			if tc.writeFirst {
+				wid, err := drv.Call("t", []byte("w"), time.Second)
+				if err != nil {
+					t.Fatalf("Call: %v", err)
+				}
+				if _, err := drv.WaitReply(wid); err != nil {
+					t.Fatalf("WaitReply(write): %v", err)
+				}
+			}
+			// Enough reads that the responder rotation passes through the
+			// faulty replica at least once.
+			const reads = 4
+			for k := 0; k < reads; k++ {
+				body := fmt.Sprintf("r%d", k)
+				rid, err := drv.CallRead("t", nil, []byte(body), 2*time.Second)
+				if err != nil {
+					t.Fatalf("CallRead %d: %v", k, err)
+				}
+				r, err := drv.WaitReply(rid)
+				if err != nil {
+					t.Fatalf("WaitReply %d: %v", k, err)
+				}
+				if r.Aborted {
+					t.Fatalf("read %d aborted", k)
+				}
+				if want := "echo:" + body; string(r.Payload) != want {
+					t.Fatalf("read %d answered %q, want %q — wrong answer surfaced", k, r.Payload, want)
+				}
+			}
+			st := drv.ReadStats()
+			if st.Attempts != reads {
+				t.Errorf("attempts = %d, want %d", st.Attempts, reads)
+			}
+			if st.Certified+st.Fallbacks != st.Attempts {
+				t.Errorf("stats do not reconcile: %+v", st)
+			}
+			if tc.wantFallbacks && st.Fallbacks == 0 {
+				t.Errorf("expected agreement fallbacks, got %+v", st)
+			}
+			if tc.wantCertified && st.Certified == 0 {
+				t.Errorf("expected some reads to certify, got %+v", st)
+			}
+			if !tc.wantCertified && st.Certified != 0 {
+				t.Errorf("expected no certifications with a short quorum, got %+v", st)
+			}
+		})
+	}
+}
+
+func TestReadOnUnreplicatedCallerDegradesToAgreement(t *testing.T) {
+	// Replicated callers must not take the fast path: fast replies are
+	// delivered locally without agreement, which would diverge the
+	// replicated executors. CallRead from an N>1 caller degrades to a
+	// normal agreed call.
+	dep := buildPair(t, 2, 4, nil)
+	readableEchoApp(t, dep, "t")
+
+	reqID := ""
+	for i, drv := range dep.Drivers("c") {
+		id, err := drv.CallRead("t", nil, []byte("x"), time.Second)
+		if err != nil {
+			t.Fatalf("CallRead from c/%d: %v", i, err)
+		}
+		if reqID == "" {
+			reqID = id
+		}
+	}
+	r := awaitAll(t, dep, "c", reqID)
+	if string(r.Payload) != "echo:x" {
+		t.Fatalf("reply = %q", r.Payload)
+	}
+	for i, drv := range dep.Drivers("c") {
+		if st := drv.ReadStats(); st.Attempts != 0 {
+			t.Errorf("driver c/%d took the fast path from a replicated caller: %+v", i, st)
+		}
+	}
+}
+
+func TestReadMessageCodecRoundTrip(t *testing.T) {
+	rr := &ReadRequest{
+		ReqID: "c:12", Caller: "c", Target: "t",
+		Responder: 2, MinSeq: 7, AfterReq: 11,
+		Payload: []byte("<interaction/>"),
+	}
+	m := &Message{Kind: KindReadRequest, ReadRequest: rr}
+	got, err := DecodeMessage(m.Encode())
+	if err != nil {
+		t.Fatalf("DecodeMessage(ReadRequest): %v", err)
+	}
+	if !reflect.DeepEqual(got.ReadRequest, rr) {
+		t.Errorf("ReadRequest round trip:\ngot  %+v\nwant %+v", got.ReadRequest, rr)
+	}
+
+	for _, rp := range []*ReadReply{
+		{ReqID: "c:12", Replica: 2, Seq: 9, Digest: ReplyDigest("c:12", []byte("page")), Payload: []byte("page")},
+		{ReqID: "c:13", Replica: 0, Seq: 9, Digest: ReplyDigest("c:13", []byte("page"))},
+		{ReqID: "c:14", Replica: 3, Behind: true},
+	} {
+		m := &Message{Kind: KindReadReply, ReadReply: rp}
+		got, err := DecodeMessage(m.Encode())
+		if err != nil {
+			t.Fatalf("DecodeMessage(ReadReply): %v", err)
+		}
+		if !reflect.DeepEqual(got.ReadReply, rp) {
+			t.Errorf("ReadReply round trip:\ngot  %+v\nwant %+v", got.ReadReply, rp)
+		}
+		if rp.Payload != nil && !bytes.Equal(got.ReadReply.Payload, rp.Payload) {
+			t.Errorf("payload lost in round trip")
+		}
+	}
+}

@@ -35,6 +35,10 @@ type ReplicaConfig struct {
 	// RetransmitInterval tunes the driver's request retransmission
 	// backoff base; zero uses DefaultRetransmitInterval.
 	RetransmitInterval time.Duration
+	// ReadFallback tunes how long the driver's read fast path waits for
+	// f_t+1 matching speculative endorsements before re-issuing through
+	// agreement; zero uses DefaultReadFallback.
+	ReadFallback time.Duration
 	// Logger receives diagnostics; nil discards them.
 	Logger *log.Logger
 	// Behavior optionally injects Byzantine faults for testing; nil
@@ -84,6 +88,9 @@ func NewReplica(cfg ReplicaConfig) (*Replica, error) {
 	if cfg.RetransmitInterval > 0 {
 		d.retransmitInterval = cfg.RetransmitInterval
 	}
+	if cfg.ReadFallback > 0 {
+		d.readFallback = cfg.ReadFallback
+	}
 	v.driver = d
 
 	bftCfg := clbft.Config{
@@ -132,6 +139,7 @@ func (r *Replica) Start() {
 // Stop shuts the replica down.
 func (r *Replica) Stop() {
 	r.driver.close()
+	r.voter.closeReads()
 	r.voter.bft.Stop()
 	_ = r.voterAdapter.Close()
 	_ = r.driverAdapter.Close()
@@ -139,6 +147,24 @@ func (r *Replica) Stop() {
 
 // Driver returns the application-facing driver API.
 func (r *Replica) Driver() *Driver { return r.driver }
+
+// SetReadExecutor installs the application's speculative read executor:
+// a function that evaluates a declared-read operation against the
+// replica's current local state without mutating it. Once installed,
+// this replica answers session-tier fast-path reads (see
+// Driver.CallRead) with digest endorsements stamped by the agreement
+// sequence the observed state reflects; replicas without an executor
+// decline with Behind, shrinking the fast-path quorum. The executor
+// runs on transport goroutines concurrently with the agreement
+// executor, so it must synchronize with the application state it reads.
+func (r *Replica) SetReadExecutor(fn func([]byte) ([]byte, error)) {
+	r.voter.setReadExec(fn)
+}
+
+// AgreedSeq returns the agreement sequence of the last operation this
+// replica's voter group delivered locally (the CLBFT log horizon local
+// delivery has reached; diagnostic).
+func (r *Replica) AgreedSeq() uint64 { return r.voter.bft.LastExecutedSeq() }
 
 // Service returns the replica's service descriptor.
 func (r *Replica) Service() ServiceInfo { return r.svc }

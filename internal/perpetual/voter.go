@@ -36,6 +36,7 @@ type replyRecord struct {
 type execInfo struct {
 	caller    string
 	responder int
+	seq       uint64 // agreement sequence that ordered the request
 }
 
 // shareCollect accumulates reply shares at the responder. Shares are
@@ -66,10 +67,36 @@ type voter struct {
 	// Fault injection flags (see faults.go); set before Start.
 	corruptResults bool
 	staleResults   bool
+	corruptReads   bool
+	staleReads     bool
 
 	// stableCkpt mirrors the CLBFT group's last stable checkpoint
 	// sequence (fed by the checkpoint hook; see StableCheckpointSeq).
 	stableCkpt atomic.Uint64
+
+	// execSeqHi is the highest agreement sequence whose operation the
+	// application has provably finished executing (its Reply reached
+	// handleLocalResult). Speculative reads are stamped with this value:
+	// unlike the CLBFT delivery horizon, it never runs ahead of the
+	// application state a read actually observes.
+	execSeqHi atomic.Uint64
+
+	// readMu guards the session-read state below, which is touched from
+	// transport goroutines (reads execute speculatively, off the
+	// agreement path) concurrently with the executor.
+	readMu   sync.Mutex
+	readExec func([]byte) ([]byte, error)
+	// execHi tracks, per calling service, the highest driver-local
+	// request number this replica has finished executing — the
+	// read-your-writes lease: a read gated on AfterReq=n is only served
+	// once the session's write n is reflected in local state.
+	execHi map[string]uint64
+	// parkedReads holds reads whose lease point this replica has not
+	// reached yet: instead of declining immediately (forcing the caller
+	// toward agreement fallback), the read waits until the execution
+	// horizons advance past its gates — normally microseconds after the
+	// write it trails — bounded by readParkWindow.
+	parkedReads []*parkedRead
 
 	mu sync.Mutex
 	// Target side.
@@ -101,6 +128,7 @@ func newVoter(svc ServiceInfo, index int, reg *Registry, adapter *transport.Chan
 		adapter:   adapter,
 		ks:        ks,
 		logger:    logger,
+		execHi:    make(map[string]uint64),
 		reqVotes:  make(map[string]*reqVote),
 		inFlight:  newBoundedCache[execInfo](inFlightCacheSize),
 		replies:   newBoundedCache[replyRecord](repliesCacheSize),
@@ -295,6 +323,8 @@ func (v *voter) handleTransport(from auth.NodeID, payload []byte) {
 		v.bft.Receive(from.Index, bm)
 	case KindRequest:
 		v.handleExternalRequest(from, m.Request)
+	case KindReadRequest:
+		v.handleReadRequest(from, m.ReadRequest)
 	case KindReplyShare:
 		v.handleReplyShare(from, m.ReplyShare)
 	case KindPayloadFetch:
@@ -434,7 +464,7 @@ func (v *voter) onDeliver(d clbft.Delivery) {
 		if info, ok := v.inFlight.Get(o.ReqID); ok {
 			responder = info.responder // retransmission moved it
 		}
-		v.inFlight.Put(o.ReqID, execInfo{caller: o.Caller, responder: responder})
+		v.inFlight.Put(o.ReqID, execInfo{caller: o.Caller, responder: responder, seq: d.Seq})
 		v.mu.Unlock()
 		v.driver.deliverRequest(IncomingRequest{ReqID: o.ReqID, Caller: o.Caller, Payload: o.Payload, Seq: d.Seq})
 	case OpReply:
@@ -482,6 +512,25 @@ func (v *voter) handleLocalResult(reqID string, payload []byte) {
 	}
 	v.inFlight.Delete(reqID)
 	v.mu.Unlock()
+
+	// Advance the session-read horizons: local state now provably
+	// reflects this operation, so speculative reads may be stamped with
+	// its agreement sequence and the caller's read-your-writes lease may
+	// cover its request number.
+	if n, ok := callerReqSeq(reqID, info.caller); ok {
+		v.readMu.Lock()
+		if n > v.execHi[info.caller] {
+			v.execHi[info.caller] = n
+		}
+		v.readMu.Unlock()
+	}
+	for {
+		cur := v.execSeqHi.Load()
+		if info.seq <= cur || v.execSeqHi.CompareAndSwap(cur, info.seq) {
+			break
+		}
+	}
+	v.drainParkedReads()
 
 	caller, err := v.registry.Lookup(info.caller)
 	if err != nil {
@@ -558,6 +607,201 @@ func (v *voter) sendShare(reqID string, rec replyRecord, to int, withPayload boo
 		v.logf("share for %s to voter %d: %v", reqID, to, err)
 	}
 	w.Free()
+}
+
+// callerReqSeq extracts the driver-local request number from a reqID of
+// the form "<caller>:<n>" (see Driver.reserveReqID). Transaction ids and
+// other non-numeric suffixes report false.
+func callerReqSeq(reqID, caller string) (uint64, bool) {
+	if len(reqID) <= len(caller)+1 || reqID[:len(caller)] != caller || reqID[len(caller)] != ':' {
+		return 0, false
+	}
+	var n uint64
+	for i := len(caller) + 1; i < len(reqID); i++ {
+		c := reqID[i]
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		n = n*10 + uint64(c-'0')
+	}
+	return n, true
+}
+
+// setReadExec installs the application's speculative read executor
+// (wired by the core layer via Replica.SetReadExecutor).
+func (v *voter) setReadExec(fn func([]byte) ([]byte, error)) {
+	v.readMu.Lock()
+	v.readExec = fn
+	v.readMu.Unlock()
+	// Reads that arrived before the application installed its executor
+	// sit parked as behind; serve them now instead of letting them
+	// expire into Behind declines.
+	v.drainParkedReads()
+}
+
+// readParkWindow bounds how long a behind replica holds a read waiting
+// for its execution horizons to catch up before declining. It must stay
+// well under DefaultReadFallback so a genuinely stuck replica still
+// surfaces as a Behind decline in time for the caller's impossibility
+// detection, not as a fallback timeout.
+const readParkWindow = 25 * time.Millisecond
+
+// maxParkedReads bounds the park queue; beyond it reads decline
+// immediately (a flood of unservable reads must not grow memory).
+const maxParkedReads = 1024
+
+// parkedRead is one read waiting out readParkWindow for this replica's
+// horizons to pass its lease gates.
+type parkedRead struct {
+	from auth.NodeID
+	rr   *ReadRequest
+	tmr  *time.Timer
+	// answered flips (under readMu) when either the drain or the expiry
+	// path claims the read, so exactly one reply is ever sent.
+	answered bool
+}
+
+// readBehind reports whether local state has not yet reached the read's
+// session-lease gates. Callers hold readMu (for readExec and execHi).
+func (v *voter) readBehind(rr *ReadRequest) bool {
+	return v.readExec == nil || v.execSeqHi.Load() < rr.MinSeq || v.execHi[rr.Caller] < rr.AfterReq
+}
+
+// handleReadRequest serves the session-tier read fast path: the read
+// executes speculatively against last-stable local state — no agreement,
+// no authenticator (the channel MAC already proves both endpoints) — and
+// the reply carries a digest-only endorsement stamped with the agreement
+// sequence the observed state reflects. Only the caller-designated
+// responder attaches the payload, mirroring the digest-only reply-share
+// economy of the agreement path. A replica whose state is behind the
+// caller's session lease (MinSeq / AfterReq) parks the read briefly —
+// the write it trails is normally executed microseconds later — and
+// declines with Behind only if the horizons still lag after
+// readParkWindow; the caller falls back to agreement when fewer than
+// f_t+1 current endorsements match.
+func (v *voter) handleReadRequest(from auth.NodeID, rr *ReadRequest) {
+	if rr == nil || rr.ReqID == "" || rr.Target != v.svc.Name {
+		return
+	}
+	if from.Role != auth.RoleDriver || from.Service != rr.Caller {
+		return
+	}
+	caller, err := v.registry.Lookup(rr.Caller)
+	if err != nil || from.Index < 0 || from.Index >= caller.N {
+		return
+	}
+	v.readMu.Lock()
+	if !v.staleReads && v.readBehind(rr) && len(v.parkedReads) < maxParkedReads {
+		p := &parkedRead{from: from, rr: rr}
+		p.tmr = time.AfterFunc(readParkWindow, func() { v.expireParkedRead(p) })
+		v.parkedReads = append(v.parkedReads, p)
+		v.readMu.Unlock()
+		return
+	}
+	behind := !v.staleReads && v.readBehind(rr)
+	v.readMu.Unlock()
+	v.answerRead(from, rr, behind)
+}
+
+// answerRead builds and sends this replica's read reply. With behind
+// set the reply is a Behind decline; otherwise the read executes
+// speculatively and the reply endorses the result.
+func (v *voter) answerRead(from auth.NodeID, rr *ReadRequest, behind bool) {
+	v.readMu.Lock()
+	exec := v.readExec
+	v.readMu.Unlock()
+
+	rp := &ReadReply{ReqID: rr.ReqID, Replica: v.index}
+	switch {
+	case v.staleReads:
+		// Fault injection: a Byzantine replica claims currency while
+		// serving an old (here: empty) state with a forged sequence.
+		rp.Digest = ReplyDigest(rr.ReqID, nil)
+	case behind || exec == nil:
+		rp.Behind = true
+	default:
+		// Load the sequence *before* executing: concurrent agreement may
+		// advance state mid-read, so the stamp is a safe lower bound on
+		// what the read observed.
+		seq := v.execSeqHi.Load()
+		out, err := exec(rr.Payload)
+		if err != nil {
+			rp.Behind = true
+		} else {
+			if v.corruptReads {
+				out = append([]byte("corrupted:"), out...)
+			}
+			rp.Seq = seq
+			rp.Digest = ReplyDigest(rr.ReqID, out)
+			if v.index == rr.Responder {
+				rp.Payload = out
+			}
+		}
+	}
+	msg := &Message{Kind: KindReadReply, ReadReply: rp}
+	w := wire.GetWriter(msg.SizeHint())
+	msg.EncodeTo(w)
+	if err := v.adapter.Send(from, w.Bytes()); err != nil {
+		v.logf("read reply %s to %s: %v", rr.ReqID, from, err)
+	}
+	w.Free()
+}
+
+// drainParkedReads re-evaluates parked reads after the execution
+// horizons advanced, answering every read whose gates now pass.
+func (v *voter) drainParkedReads() {
+	v.readMu.Lock()
+	if len(v.parkedReads) == 0 {
+		v.readMu.Unlock()
+		return
+	}
+	var ready []*parkedRead
+	rest := v.parkedReads[:0]
+	for _, p := range v.parkedReads {
+		if !v.readBehind(p.rr) {
+			p.answered = true
+			p.tmr.Stop()
+			ready = append(ready, p)
+		} else {
+			rest = append(rest, p)
+		}
+	}
+	v.parkedReads = rest
+	v.readMu.Unlock()
+	for _, p := range ready {
+		v.answerRead(p.from, p.rr, false)
+	}
+}
+
+// expireParkedRead fires when a parked read waited out readParkWindow
+// without the horizons catching up: decline with Behind so the caller's
+// quorum accounting (and, if needed, agreement fallback) proceeds.
+func (v *voter) expireParkedRead(p *parkedRead) {
+	v.readMu.Lock()
+	if p.answered {
+		v.readMu.Unlock()
+		return
+	}
+	p.answered = true
+	for i, q := range v.parkedReads {
+		if q == p {
+			v.parkedReads = append(v.parkedReads[:i], v.parkedReads[i+1:]...)
+			break
+		}
+	}
+	v.readMu.Unlock()
+	v.answerRead(p.from, p.rr, true)
+}
+
+// closeReads releases parked reads on shutdown.
+func (v *voter) closeReads() {
+	v.readMu.Lock()
+	for _, p := range v.parkedReads {
+		p.answered = true
+		p.tmr.Stop()
+	}
+	v.parkedReads = nil
+	v.readMu.Unlock()
 }
 
 // handleReplyShare implements the responder's side of stage 5.

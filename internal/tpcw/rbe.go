@@ -17,10 +17,10 @@ type Mix [NumInteractions]float64
 // 5-10% of bookstore traffic reaching the PGE).
 func ShoppingMix() Mix {
 	return Mix{
-		Home:                 0.16,
+		Home:                 0.14,
 		NewProducts:          0.10,
 		BestSellers:          0.10,
-		ProductDetail:        0.17,
+		ProductDetail:        0.16,
 		SearchRequest:        0.10,
 		SearchResults:        0.10,
 		ShoppingCart:         0.08,
@@ -29,13 +29,14 @@ func ShoppingMix() Mix {
 		BuyConfirm:           0.07,
 		OrderInquiry:         0.01,
 		OrderDisplay:         0.01,
+		CartView:             0.03,
 	}
 }
 
 // BrowsingMix approximates the TPC-W browsing profile (fewer orders).
 func BrowsingMix() Mix {
 	return Mix{
-		Home:                 0.23,
+		Home:                 0.21,
 		NewProducts:          0.14,
 		BestSellers:          0.14,
 		ProductDetail:        0.20,
@@ -47,6 +48,7 @@ func BrowsingMix() Mix {
 		BuyConfirm:           0.015,
 		OrderInquiry:         0.01,
 		OrderDisplay:         0.01,
+		CartView:             0.02,
 	}
 }
 

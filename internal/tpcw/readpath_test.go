@@ -1,0 +1,157 @@
+package tpcw
+
+import (
+	"sync"
+	"testing"
+
+	"perpetualws/internal/core"
+	"perpetualws/internal/perpetual"
+)
+
+// buildReadPathCluster starts a 4-way replicated store behind a
+// single-replica client over the chosen transport, with the read fast
+// path enabled (StoreClient marks browse interactions ReadOnly).
+func buildReadPathCluster(t *testing.T, kind perpetual.TransportKind) (*core.Cluster, *StoreClient) {
+	t.Helper()
+	cluster, err := core.NewClusterOver([]byte("tpcw-readpath-test"), kind,
+		core.ServiceDef{Name: "client", N: 1, Options: fastOpts()},
+		core.ServiceDef{
+			Name:    "store",
+			N:       4,
+			App:     StoreApp(StoreConfig{Items: 100, Customers: 16}),
+			Options: fastOpts(),
+		},
+	)
+	if err != nil {
+		t.Fatalf("NewClusterOver(%v): %v", kind, err)
+	}
+	cluster.Start()
+	t.Cleanup(cluster.Stop)
+	client := &StoreClient{
+		Handler:      cluster.Handler("client", 0),
+		Service:      "store",
+		NumCustomers: 16,
+	}
+	return cluster, client
+}
+
+// TestReadYourWritesUnderLoad commits cart updates and immediately
+// reads the cart back through the session fast path while other
+// sessions hammer the store concurrently. Every read-back must reflect
+// the session's own latest committed add (the read-your-writes lease),
+// and the driver must report fast-path certifications — a stale or
+// uncertified read would surface as a short page.
+func TestReadYourWritesUnderLoad(t *testing.T) {
+	transports := []struct {
+		name string
+		kind perpetual.TransportKind
+	}{
+		{"memnet", perpetual.TransportMem},
+		{"tcp", perpetual.TransportTCP},
+	}
+	for _, tr := range transports {
+		t.Run(tr.name, func(t *testing.T) {
+			cluster, client := buildReadPathCluster(t, tr.kind)
+
+			// Concurrent load: three background sessions interleave
+			// commits and fast-path reads on their own carts, so the
+			// replicas' execution horizons keep moving while the session
+			// under test issues its read-backs.
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			for w := 0; w < 3; w++ {
+				wg.Add(1)
+				go func(customer int) {
+					defer wg.Done()
+					s := &Session{CustomerID: customer}
+					for k := 0; ; k++ {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						i := CartView
+						if k%3 == 0 {
+							i = ShoppingCart
+						}
+						if _, err := client.Execute(i, s, customer*17+k); err != nil {
+							t.Errorf("background %s for customer %d: %v", i, customer, err)
+							return
+						}
+					}
+				}(10 + w)
+			}
+			// The session under test: each round commits one distinct
+			// item (the cart grows by one line) and reads the cart back
+			// on the fast path. Page sizes are 3200 + lines*80 for both
+			// interactions, so the read-back must equal the commit's own
+			// page — any lag, reordering, or stale endorsement would
+			// shrink it.
+			s := &Session{CustomerID: 1}
+			const rounds = 8
+			for k := 0; k < rounds; k++ {
+				commit, err := client.Execute(ShoppingCart, s, k)
+				if err != nil {
+					t.Fatalf("ShoppingCart round %d: %v", k, err)
+				}
+				if want := 3200 + (k+1)*80; commit.Size != want {
+					t.Fatalf("commit round %d reported %d bytes, want %d", k, commit.Size, want)
+				}
+				view, err := client.Execute(CartView, s, 0)
+				if err != nil {
+					t.Fatalf("CartView round %d: %v", k, err)
+				}
+				if view.Size != commit.Size {
+					t.Fatalf("round %d: fast-path read-back saw %d bytes, commit produced %d — stale read",
+						k, view.Size, commit.Size)
+				}
+			}
+
+			// Quiesce the background load before snapshotting stats, so
+			// no read attempt is still in flight when they must reconcile.
+			close(stop)
+			wg.Wait()
+
+			drv := cluster.Deployment().Replicas("client")[0].Driver()
+			st := drv.ReadStats()
+			if st.Certified == 0 {
+				t.Errorf("no reads certified on the fast path: %+v", st)
+			}
+			if st.Certified+st.Fallbacks != st.Attempts {
+				t.Errorf("read stats do not reconcile: %+v", st)
+			}
+			t.Logf("%s read stats: %+v", tr.name, st)
+		})
+	}
+}
+
+// TestCartViewMatchesAgreedCartView cross-checks the fast path against
+// agreement: after a commit, the speculative CartView and an agreement
+// -forced CartView must render the identical page.
+func TestCartViewMatchesAgreedCartView(t *testing.T) {
+	_, client := buildReadPathCluster(t, perpetual.TransportMem)
+	agreed := &StoreClient{
+		Handler:        client.Handler,
+		Service:        "store",
+		NumCustomers:   16,
+		ForceAgreement: true,
+	}
+
+	s := &Session{CustomerID: 2}
+	for k := 0; k < 3; k++ {
+		if _, err := client.Execute(ShoppingCart, s, 7+k); err != nil {
+			t.Fatalf("ShoppingCart %d: %v", k, err)
+		}
+		fast, err := client.Execute(CartView, s, 0)
+		if err != nil {
+			t.Fatalf("fast CartView %d: %v", k, err)
+		}
+		slow, err := agreed.Execute(CartView, s, 0)
+		if err != nil {
+			t.Fatalf("agreed CartView %d: %v", k, err)
+		}
+		if fast != slow {
+			t.Fatalf("round %d: fast path %+v diverges from agreement %+v", k, fast, slow)
+		}
+	}
+}

@@ -12,6 +12,7 @@ package tpcw
 import (
 	"encoding/xml"
 	"fmt"
+	"sync"
 
 	"perpetualws/internal/core"
 	"perpetualws/internal/perpetual"
@@ -47,14 +48,18 @@ type storeOrder struct {
 	Lines  []storeLine `xml:"line"`
 }
 
-// storeHandoff is the executor-thread resharding state of one store
-// shard replica: its own shard index and the frozen (moved or moving)
-// customer keys, mapped to the epoch clients should retry at.
+// storeHandoff is the resharding state of one store shard replica: its
+// own shard index and the frozen (moved or moving) customer keys,
+// mapped to the epoch clients should retry at. The freeze table is
+// mutated only on the executor thread but consulted by the fast-path
+// read handler on transport goroutines, so it carries its own lock.
 type storeHandoff struct {
 	store    *Bookstore
 	sessions map[int]*Session
 	shard    int
-	frozen   map[int]uint64 // normalized customer id -> retry epoch
+
+	mu     sync.Mutex
+	frozen map[int]uint64 // normalized customer id -> retry epoch
 }
 
 func newStoreHandoff(store *Bookstore, sessions map[int]*Session, serviceName string) *storeHandoff {
@@ -68,8 +73,29 @@ func newStoreHandoff(store *Bookstore, sessions map[int]*Session, serviceName st
 // frozenEpoch reports whether a customer's key is frozen (handed off,
 // or mid-handoff) and the epoch to retry at.
 func (h *storeHandoff) frozenEpoch(customer int) (uint64, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	e, ok := h.frozen[customer]
 	return e, ok
+}
+
+// freeze records the moving customers' retry epoch.
+func (h *storeHandoff) freeze(ids []int, epoch uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, id := range ids {
+		h.frozen[id] = epoch
+	}
+}
+
+// unfreeze releases frozen keys (cancelled reshard, or keys installed
+// back here under a newer epoch).
+func (h *storeHandoff) unfreeze(ids ...int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, id := range ids {
+		delete(h.frozen, id)
+	}
 }
 
 // movingCustomers evaluates the handoff frame's key-movement predicate
@@ -126,9 +152,7 @@ func handleStoreHandoff(h *storeHandoff, req *wsengine.MessageContext) []byte {
 	case perpetual.HandoffCancel:
 		ids := h.movingCustomers(f)
 		if f.Source == h.shard {
-			for _, id := range ids {
-				delete(h.frozen, id)
-			}
+			h.unfreeze(ids...)
 		}
 		if f.Dest == h.shard {
 			// Discard anything installed for the aborted reshard; the
@@ -166,9 +190,7 @@ func (h *storeHandoff) export(f core.HandoffInfo) []byte {
 		}
 		state.Customers = append(state.Customers, sc)
 	}
-	for _, id := range ids {
-		h.frozen[id] = f.NewEpoch
-	}
+	h.freeze(ids, f.NewEpoch)
 	b, err := xml.Marshal(state)
 	if err != nil {
 		return soap.FaultBody(soap.Fault{Code: "soap:Receiver", Reason: fmt.Sprintf("tpcw: export marshal: %v", err)})
@@ -204,7 +226,7 @@ func (h *storeHandoff) install(f core.HandoffInfo) []byte {
 		}
 		// The key now lives here under the new epoch; it must not stay
 		// frozen from an earlier reshard that moved it away.
-		delete(h.frozen, sc.ID)
+		h.unfreeze(sc.ID)
 	}
 	h.store.DB().ImportCustomerState(imports)
 	return []byte(`<handoffAck phase="install"/>`)

@@ -23,6 +23,11 @@ const (
 	BuyConfirm
 	OrderInquiry
 	OrderDisplay
+	// CartView renders the customer's cart without mutating it — the
+	// read-only companion of ShoppingCart (which adds an item). The
+	// browse-heavy read-mix benchmark uses it to read back cart state
+	// through the session fast path.
+	CartView
 
 	NumInteractions
 )
@@ -33,12 +38,26 @@ func (i Interaction) String() string {
 		"home", "new_products", "best_sellers", "product_detail",
 		"search_request", "search_results", "shopping_cart",
 		"customer_registration", "buy_request", "buy_confirm",
-		"order_inquiry", "order_display",
+		"order_inquiry", "order_display", "cart_view",
 	}
 	if i < 0 || int(i) >= len(names) {
 		return fmt.Sprintf("interaction(%d)", int(i))
 	}
 	return names[i]
+}
+
+// IsRead reports whether the interaction only reads database state —
+// the operation-classification seam of the two-tier request path: reads
+// may be served through the session fast path (speculative, no
+// agreement); everything else must commit through full agreement.
+// ShoppingCart adds to the cart and the two buy steps place/settle
+// orders, so they are commits; every other page renders from reads.
+func (i Interaction) IsRead() bool {
+	switch i {
+	case ShoppingCart, BuyRequest, BuyConfirm:
+		return false
+	}
+	return i >= 0 && i < NumInteractions
 }
 
 // PaymentAuthorizer is the bookstore's interface to the payment gateway
@@ -164,11 +183,20 @@ func (b *Bookstore) Execute(i Interaction, s *Session, arg int) (Page, error) {
 		}
 		return b.done(SearchResults, 3000+len(ids)*60, s.LastSubject), nil
 	case ShoppingCart:
-		qty := 1 + abs(arg)%3
-		if err := b.db.CartAdd(s.CustomerID, s.LastItem, qty); err != nil {
+		// The add-to-cart request names its item (browsers submit it with
+		// the form): with browse pages served through the stateless read
+		// fast path, the server session no longer carries LastItem between
+		// a product view and the add that follows it.
+		item := abs(arg) % b.db.Items()
+		if err := b.db.CartAdd(s.CustomerID, item, 1); err != nil {
 			return Page{}, err
 		}
+		s.LastItem = item
 		return b.done(ShoppingCart, 3200+len(b.db.Cart(s.CustomerID))*80, "cart"), nil
+	case CartView:
+		// Identical page weight formula to ShoppingCart, so a read-back
+		// reflects exactly the cart length a prior add produced.
+		return b.done(CartView, 3200+len(b.db.Cart(s.CustomerID))*80, "cart"), nil
 	case CustomerRegistration:
 		return b.done(CustomerRegistration, 2800, "registration"), nil
 	case BuyRequest:

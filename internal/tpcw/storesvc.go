@@ -44,17 +44,46 @@ type pageReply struct {
 	Detail      string   `xml:"detail,attr"`
 }
 
-// EncodeInteraction builds an interaction request body.
+// EncodeInteraction builds an interaction request body (hand-rolled,
+// byte-identical to the encoding/xml form; see xmlwire.go).
 func EncodeInteraction(customerID int, i Interaction, arg int) []byte {
-	b, _ := xml.Marshal(interactionRequest{Customer: customerID, Kind: int(i), Arg: arg})
-	return b
+	buf := make([]byte, 0, 64)
+	buf = append(buf, "<interaction"...)
+	buf = appendIntAttr(buf, "customer", customerID)
+	buf = appendIntAttr(buf, "kind", int(i))
+	buf = appendIntAttr(buf, "arg", arg)
+	return append(buf, "></interaction>"...)
 }
 
 // DecodeInteraction parses an interaction request body.
 func DecodeInteraction(body []byte) (customerID int, i Interaction, arg int, err error) {
-	var r interactionRequest
-	if err := xml.Unmarshal(body, &r); err != nil {
-		return 0, 0, 0, fmt.Errorf("tpcw: parsing interaction request: %w", err)
+	r := interactionRequest{Customer: -1 << 30, Kind: -1 << 30, Arg: -1 << 30}
+	sc := newAttrScanner(body, "interaction")
+	for sc.ok {
+		name, val, done := sc.next()
+		if done {
+			break
+		}
+		n, perr := strconv.Atoi(val)
+		if perr != nil {
+			sc.ok = false
+			break
+		}
+		switch name {
+		case "customer":
+			r.Customer = n
+		case "kind":
+			r.Kind = n
+		case "arg":
+			r.Arg = n
+		}
+	}
+	if !sc.ok || r.Customer == -1<<30 || r.Kind == -1<<30 || r.Arg == -1<<30 {
+		// Non-canonical shape: take the general XML path.
+		r = interactionRequest{}
+		if err := xml.Unmarshal(body, &r); err != nil {
+			return 0, 0, 0, fmt.Errorf("tpcw: parsing interaction request: %w", err)
+		}
 	}
 	if r.Kind < 0 || r.Kind >= int(NumInteractions) {
 		return 0, 0, 0, fmt.Errorf("tpcw: unknown interaction kind %d", r.Kind)
@@ -62,14 +91,46 @@ func DecodeInteraction(body []byte) (customerID int, i Interaction, arg int, err
 	return r.Customer, Interaction(r.Kind), r.Arg, nil
 }
 
-// EncodePage builds a page reply body.
+// EncodePage builds a page reply body (hand-rolled; see xmlwire.go).
 func EncodePage(p Page) []byte {
-	b, _ := xml.Marshal(pageReply{Interaction: int(p.Interaction), Size: p.Size, Detail: p.Detail})
-	return b
+	buf := make([]byte, 0, 64+len(p.Detail))
+	buf = append(buf, "<page"...)
+	buf = appendIntAttr(buf, "interaction", int(p.Interaction))
+	buf = appendIntAttr(buf, "size", p.Size)
+	buf = appendStrAttr(buf, "detail", p.Detail)
+	return append(buf, "></page>"...)
 }
 
 // DecodePage parses a page reply body.
 func DecodePage(body []byte) (Page, error) {
+	var p Page
+	found := 0
+	sc := newAttrScanner(body, "page")
+	for sc.ok {
+		name, val, done := sc.next()
+		if done {
+			break
+		}
+		switch name {
+		case "interaction":
+			n, perr := strconv.Atoi(val)
+			if perr != nil {
+				sc.ok = false
+			}
+			p.Interaction, found = Interaction(n), found+1
+		case "size":
+			n, perr := strconv.Atoi(val)
+			if perr != nil {
+				sc.ok = false
+			}
+			p.Size, found = n, found+1
+		case "detail":
+			p.Detail, found = unescapeXML(val), found+1
+		}
+	}
+	if sc.ok && found == 3 {
+		return p, nil
+	}
 	var r pageReply
 	if err := xml.Unmarshal(body, &r); err != nil {
 		return Page{}, fmt.Errorf("tpcw: parsing page reply: %w", err)
@@ -129,6 +190,38 @@ func StoreApp(cfg StoreConfig) core.Application {
 		handoff := newStoreHandoff(store, sessions, ctx.ServiceName)
 		txns := newStoreTxns(store)
 		txns.handoff = handoff
+		// Declare the browse pages readable through the session fast
+		// path. The handler runs on transport goroutines concurrently
+		// with the executor loop below: it only touches the DB (which is
+		// internally synchronized) and the handoff freeze table (which
+		// has its own lock) — never the executor-owned sessions map. A
+		// fresh session per read keeps speculative execution stateless,
+		// so replies are byte-identical across replicas; commits and
+		// frozen (mid-reshard) keys are refused, which surfaces as a
+		// Behind decline and falls back to agreement.
+		ctx.ServeReads(func(req *wsengine.MessageContext) (*wsengine.MessageContext, error) {
+			customer, kind, arg, err := DecodeInteraction(req.Envelope.Body)
+			if err != nil {
+				return nil, err
+			}
+			if !kind.IsRead() {
+				return nil, fmt.Errorf("tpcw: %s mutates store state; commits only execute through agreement", kind)
+			}
+			if _, moved := handoff.frozenEpoch(customer % store.Customers()); moved {
+				return nil, fmt.Errorf("tpcw: customer key frozen by a live reshard")
+			}
+			if cfg.DBTime > 0 {
+				time.Sleep(cfg.DBTime)
+			}
+			s := &Session{CustomerID: customer % store.Customers()}
+			page, err := store.Execute(kind, s, arg)
+			if err != nil {
+				return nil, err
+			}
+			reply := wsengine.NewMessageContext()
+			reply.Envelope.Body = EncodePage(page)
+			return reply, nil
+		})
 		for {
 			req, err := ctx.ReceiveRequest()
 			if err != nil {
@@ -197,6 +290,11 @@ type StoreClient struct {
 	// TimeoutMillis aborts interactions deterministically; zero never
 	// aborts.
 	TimeoutMillis int64
+	// ForceAgreement routes declared-read interactions through full
+	// agreement anyway — the benchmark baseline the fast path is
+	// measured against, and a diagnostic lever for isolating fast-path
+	// regressions.
+	ForceAgreement bool
 }
 
 // Customers implements Storefront.
@@ -218,6 +316,7 @@ func (c *StoreClient) Execute(i Interaction, s *Session, arg int) (Page, error) 
 		req.Options.Action = ActionInteraction
 		req.Options.TimeoutMillis = c.TimeoutMillis
 		req.Options.RoutingKey = CustomerKey(s.CustomerID)
+		req.Options.ReadOnly = i.IsRead() && !c.ForceAgreement
 		req.Envelope.Body = EncodeInteraction(s.CustomerID, i, arg)
 		return req
 	}, rerouteAttempts, rerouteBackoff)

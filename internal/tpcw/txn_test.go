@@ -35,12 +35,9 @@ func customersOnShards(t *testing.T, shards, limit int) []int {
 func stockCart(t *testing.T, client *StoreClient, customer, item, qty int) {
 	t.Helper()
 	s := &Session{CustomerID: customer}
-	if _, err := client.Execute(ProductDetail, s, item); err != nil {
-		t.Fatalf("ProductDetail for %d: %v", customer, err)
-	}
 	for i := 0; i < qty; i++ {
-		// arg 0 adds quantity 1 of the session's last item.
-		if _, err := client.Execute(ShoppingCart, s, 0); err != nil {
+		// The add-to-cart arg names the item; each call adds quantity 1.
+		if _, err := client.Execute(ShoppingCart, s, item); err != nil {
 			t.Fatalf("ShoppingCart for %d: %v", customer, err)
 		}
 	}

@@ -1,0 +1,112 @@
+package tpcw
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Hand-rolled codecs for the interaction wire format. The interaction
+// request and page reply are the hottest bodies in the system — every
+// store operation, fast-path read or agreed commit, encodes and decodes
+// one of each per replica — and reflection-based encoding/xml spends
+// more CPU on these three-attribute elements than the BFT protocol
+// spends agreeing on them. Encoding emits exactly the bytes
+// encoding/xml would (attribute order, full close tag), so replicas
+// stay byte-deterministic; decoding scans the canonical shape directly
+// and falls back to encoding/xml for foreign producers, mirroring
+// soap.parseCanonical.
+
+// appendIntAttr appends ` name="123"`.
+func appendIntAttr(buf []byte, name string, v int) []byte {
+	buf = append(buf, ' ')
+	buf = append(buf, name...)
+	buf = append(buf, '=', '"')
+	buf = strconv.AppendInt(buf, int64(v), 10)
+	return append(buf, '"')
+}
+
+// appendStrAttr appends ` name="escaped-value"` with the attribute
+// escaping encoding/xml applies.
+func appendStrAttr(buf []byte, name, v string) []byte {
+	buf = append(buf, ' ')
+	buf = append(buf, name...)
+	buf = append(buf, '=', '"')
+	for i := 0; i < len(v); i++ {
+		switch c := v[i]; c {
+		case '&':
+			buf = append(buf, "&amp;"...)
+		case '<':
+			buf = append(buf, "&lt;"...)
+		case '>':
+			buf = append(buf, "&gt;"...)
+		case '"':
+			buf = append(buf, "&#34;"...)
+		case '\'':
+			buf = append(buf, "&#39;"...)
+		default:
+			buf = append(buf, c)
+		}
+	}
+	return append(buf, '"')
+}
+
+// attrScanner walks the attributes of a canonical single-element body.
+type attrScanner struct {
+	s  string
+	ok bool
+}
+
+// newAttrScanner positions the scanner past `<elem`, reporting false
+// for anything but the expected element.
+func newAttrScanner(body []byte, elem string) attrScanner {
+	s := string(body)
+	if !strings.HasPrefix(s, "<") || len(s) < len(elem)+2 || s[1:1+len(elem)] != elem {
+		return attrScanner{}
+	}
+	return attrScanner{s: s[1+len(elem):], ok: true}
+}
+
+// next returns the next attribute pair; done reports end of the open
+// tag. A shape the scanner does not recognize clears ok, telling the
+// caller to fall back to the general parser.
+func (sc *attrScanner) next() (name, val string, done bool) {
+	for len(sc.s) > 0 && sc.s[0] == ' ' {
+		sc.s = sc.s[1:]
+	}
+	if len(sc.s) == 0 {
+		sc.ok = false
+		return "", "", true
+	}
+	if sc.s[0] == '>' || sc.s[0] == '/' {
+		return "", "", true
+	}
+	eq := strings.IndexByte(sc.s, '=')
+	if eq < 0 || eq+2 >= len(sc.s) || sc.s[eq+1] != '"' {
+		sc.ok = false
+		return "", "", true
+	}
+	name = sc.s[:eq]
+	rest := sc.s[eq+2:]
+	end := strings.IndexByte(rest, '"')
+	if end < 0 {
+		sc.ok = false
+		return "", "", true
+	}
+	val = rest[:end]
+	sc.s = rest[end+1:]
+	return name, val, false
+}
+
+// unescapeXML reverses the attribute escaping; values without '&' (the
+// common case: numbers, plain titles) return unchanged without
+// allocating.
+func unescapeXML(v string) string {
+	if !strings.Contains(v, "&") {
+		return v
+	}
+	r := strings.NewReplacer(
+		"&amp;", "&", "&lt;", "<", "&gt;", ">",
+		"&#34;", `"`, "&quot;", `"`, "&#39;", "'", "&apos;", "'",
+	)
+	return r.Replace(v)
+}

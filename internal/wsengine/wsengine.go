@@ -44,6 +44,13 @@ type Options struct {
 	// state partitioned by key (e.g. a customer ID) stays on one shard.
 	// Empty routes by the request digest; unsharded targets ignore it.
 	RoutingKey string
+	// ReadOnly declares the operation a read: it does not mutate the
+	// target's state, so the transport may serve it through the
+	// session-tier fast path (speculative execution at f+1 replicas,
+	// no agreement) and fall back to agreement on any divergence. A
+	// misdeclared mutating operation is rejected by the target's read
+	// executor, never silently executed.
+	ReadOnly bool
 }
 
 // Timeout converts the option to a duration.
