@@ -93,6 +93,31 @@ func BenchmarkFigure7TCP(b *testing.B) {
 	}
 }
 
+// BenchmarkFigure7Pipelined is the open-loop pipelined Figure-7 cell
+// over loopback TCP: DefaultPipelineInflight outstanding requests per
+// calling replica with deep CLBFT batching, the configuration where
+// agreement batching and the TCP writer's coalescing engage. It
+// reports throughput plus
+// per-request latency percentiles (wsa:RelatesTo-correlated), giving
+// the benchgate both a pipelined throughput key and lower-is-better
+// "-ms" latency keys on the wire path.
+func BenchmarkFigure7Pipelined(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.MeasureNull(bench.NullConfig{
+			N: 4, Calls: 120, MaxBatch: bench.DefaultPipelineBatch,
+			Inflight:  bench.DefaultPipelineInflight,
+			Transport: perpetual.TransportTCP,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.ReqPerSec, fmt.Sprintf("tcp-pipe-req/s@4x%d", bench.DefaultPipelineInflight))
+		b.ReportMetric(res.P50Ms, "tcp-pipe-p50-ms")
+		b.ReportMetric(res.P99Ms, "tcp-pipe-p99-ms")
+		b.ReportMetric(res.P999Ms, "tcp-pipe-p999-ms")
+	}
+}
+
 // BenchmarkReadMix is the two-tier request path's Figure-7-style cell:
 // a browse-heavy TPC-W mix (95% reads / 5% cart commits) against a
 // 4-way replicated store, once with reads on the session fast path

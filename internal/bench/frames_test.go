@@ -1,0 +1,63 @@
+package bench
+
+import (
+	"testing"
+
+	"perpetualws/internal/perpetual"
+)
+
+// TestTCPFramesPerRequestCeiling pins the wire-frame budget of the
+// closed-loop TCP n=4 Figure-7 cell. Before tentative execution and
+// commit piggybacking the cell cost ~63 frames per request (the commit
+// round was 12 standalone frames per group); with commit votes riding
+// pre-prepare/prepare carriers it measures ~39.5. The ceiling of 48
+// leaves room for scheduler-induced heartbeat flushes while still
+// failing hard if piggybacking regresses to standalone commit rounds.
+func TestTCPFramesPerRequestCeiling(t *testing.T) {
+	const calls = 80
+	res, err := MeasureNull(NullConfig{
+		N: 4, Calls: calls, Transport: perpetual.TransportTCP,
+	})
+	if err != nil {
+		t.Fatalf("MeasureNull: %v", err)
+	}
+	perReq := float64(res.Wire.FramesOut) / calls
+	t.Logf("closed-loop TCP n=4: %.1f frames/request (%d frames / %d calls)",
+		perReq, res.Wire.FramesOut, calls)
+	if perReq > 48 {
+		t.Errorf("%.1f frames/request exceeds the 48-frame ceiling; the commit round is going out standalone again (pre-piggyback cost: ~63)", perReq)
+	}
+	if res.ReqPerSec <= 0 {
+		t.Errorf("throughput = %.1f req/s; cell did not run", res.ReqPerSec)
+	}
+}
+
+// TestTCPPipelinedCoalescing asserts the open-loop cell actually
+// engages the two merge points the pipeline exists for: the agreement
+// batcher (frames/request falls below the closed-loop cost) and the
+// TCP writer's flush coalescing (more than one frame per writer
+// wakeup). The closed-loop cell can't test either — one request in
+// flight leaves nothing to merge.
+func TestTCPPipelinedCoalescing(t *testing.T) {
+	const calls = 300
+	res, err := MeasureNull(NullConfig{
+		N: 4, Calls: calls, Transport: perpetual.TransportTCP,
+		MaxBatch: DefaultPipelineBatch, Inflight: DefaultPipelineInflight,
+	})
+	if err != nil {
+		t.Fatalf("MeasureNull: %v", err)
+	}
+	perReq := float64(res.Wire.FramesOut) / calls
+	ratio := 0.0
+	if res.Wire.Flushes > 0 {
+		ratio = float64(res.Wire.FramesOut) / float64(res.Wire.Flushes)
+	}
+	t.Logf("pipelined TCP n=4: %.1f frames/request, %.2f frames/flush, %.0f req/s",
+		perReq, ratio, res.ReqPerSec)
+	if perReq > 35 {
+		t.Errorf("%.1f frames/request pipelined; batching is not amortizing the agreement rounds (closed-loop cost: ~39.5)", perReq)
+	}
+	if ratio < 1.15 {
+		t.Errorf("%.2f frames per flush; the writer is flushing every frame even with %d requests in the pipe", ratio, DefaultPipelineInflight)
+	}
+}

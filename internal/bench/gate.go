@@ -85,6 +85,28 @@ func throughputUnit(unit string) bool {
 		strings.Contains(unit, "WIPS") || strings.Contains(unit, "wips")
 }
 
+// latencyUnit reports whether a metric unit is a gated lower-is-better
+// per-request latency percentile. Only the explicitly "-ms"-suffixed
+// metrics the benchmarks report for that purpose qualify (pipelined
+// p50/p99/p999); the figure sweeps' ms/req stays informational, since
+// it re-measures what their req/s already gates.
+func latencyUnit(unit string) bool {
+	return strings.HasSuffix(unit, "-ms")
+}
+
+// gateTolerance returns the regression threshold for one gated unit.
+// Metrics measured over loopback TCP or the read fast path ("tcp-" /
+// "read-"-prefixed units) and latency percentiles ride real sockets
+// and scheduler timing, so runner-to-runner noise is structurally
+// higher than on the memnet agreement cells; they gate at twice the
+// base tolerance rather than staying ungated.
+func gateTolerance(unit string, base float64) float64 {
+	if strings.HasPrefix(unit, "tcp-") || strings.HasPrefix(unit, "read-") || latencyUnit(unit) {
+		return 2 * base
+	}
+	return base
+}
+
 // GateFinding is one (benchmark, unit) comparison.
 type GateFinding struct {
 	Benchmark, Unit string
@@ -125,10 +147,12 @@ func (g *GateReport) Format() string {
 }
 
 // CompareBenchOutputs parses two `go test -bench` outputs and gates the
-// throughput metrics they share: the gate fails when any common
-// throughput metric's median drops by more than maxRegressPct percent.
+// throughput and latency metrics they share: the gate fails when any
+// common throughput metric's median drops — or a "-ms" latency
+// percentile's median rises — by more than that unit's tolerance
+// (maxRegressPct, widened for TCP/read-path units; see gateTolerance).
 // It errors (rather than passing vacuously) when the outputs share no
-// throughput metric — a renamed benchmark must update the gate, not
+// gated metric — a renamed benchmark must update the gate, not
 // disable it.
 func CompareBenchOutputs(oldData, newData []byte, maxRegressPct float64) (*GateReport, error) {
 	oldS, newS := ParseBenchOutput(oldData), ParseBenchOutput(newData)
@@ -154,11 +178,18 @@ func CompareBenchOutputs(oldData, newData []byte, maxRegressPct float64) (*GateR
 			if oldV == 0 {
 				continue
 			}
-			f := GateFinding{Benchmark: name, Unit: unit, Old: oldV, New: newV, Gated: throughputUnit(unit)}
+			f := GateFinding{Benchmark: name, Unit: unit, Old: oldV, New: newV,
+				Gated: throughputUnit(unit) || latencyUnit(unit)}
 			if f.Gated {
 				gatedSeen++
-				f.DeltaPct = (newV - oldV) / oldV * 100
-				if f.DeltaPct < -maxRegressPct {
+				if throughputUnit(unit) {
+					f.DeltaPct = (newV - oldV) / oldV * 100
+				} else {
+					// Latency: lower is better; sign so negative still
+					// reads "got worse".
+					f.DeltaPct = (oldV - newV) / oldV * 100
+				}
+				if f.DeltaPct < -gateTolerance(unit, maxRegressPct) {
 					f.Failed = true
 					rep.Failed = true
 				}

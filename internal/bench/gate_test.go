@@ -90,6 +90,65 @@ func TestGateImprovementsAndNsOpIgnored(t *testing.T) {
 	}
 }
 
+// pipeLines renders a synthetic pipelined-benchmark output: one TCP
+// throughput key plus the lower-is-better latency percentiles.
+func pipeLines(tput, p50, p99 float64) []byte {
+	var b strings.Builder
+	for run := 0; run < 3; run++ {
+		fmt.Fprintf(&b, "BenchmarkFigure7Pipelined-2 \t 1\t%d ns/op\t%10.1f tcp-pipe-req/s@4x16\t%8.3f tcp-pipe-p50-ms\t%8.3f tcp-pipe-p99-ms\n",
+			1000000000+run, tput, p50, p99)
+	}
+	return []byte(b.String())
+}
+
+// TestGateLatencyRegression: "-ms" percentile units are gated
+// lower-is-better — a latency blowup fails the gate even when
+// throughput holds.
+func TestGateLatencyRegression(t *testing.T) {
+	rep, err := CompareBenchOutputs(pipeLines(2000, 1.0, 4.0), pipeLines(2000, 3.0, 4.1), 15)
+	if err != nil {
+		t.Fatalf("CompareBenchOutputs: %v", err)
+	}
+	if !rep.Failed {
+		t.Fatalf("gate passed a 3x p50 latency regression:\n%s", rep.Format())
+	}
+	for _, f := range rep.Findings {
+		switch f.Unit {
+		case "tcp-pipe-p50-ms":
+			if !f.Failed || !f.Gated {
+				t.Errorf("p50 blowup not flagged: %+v", f)
+			}
+		case "tcp-pipe-p99-ms":
+			if f.Failed {
+				t.Errorf("~2%% p99 wobble flagged at 2x tolerance: %+v", f)
+			}
+		}
+	}
+}
+
+// TestGateTCPToleranceTier: tcp-/read-prefixed units gate at twice the
+// base tolerance (wire noise), while unprefixed memnet units keep the
+// strict threshold on the identical relative drop.
+func TestGateTCPToleranceTier(t *testing.T) {
+	rep, err := CompareBenchOutputs(pipeLines(2000, 1.0, 4.0), pipeLines(2000*0.75, 1.0, 4.0), 15)
+	if err != nil {
+		t.Fatalf("CompareBenchOutputs: %v", err)
+	}
+	if rep.Failed {
+		t.Fatalf("25%% drop on a tcp- unit failed at the widened 30%% tolerance:\n%s", rep.Format())
+	}
+	rep, err = CompareBenchOutputs(pipeLines(2000, 1.0, 4.0), pipeLines(2000*0.60, 1.0, 4.0), 15)
+	if err != nil {
+		t.Fatalf("CompareBenchOutputs: %v", err)
+	}
+	if !rep.Failed {
+		t.Fatalf("40%% drop on a tcp- unit passed the widened tolerance:\n%s", rep.Format())
+	}
+	if memRep, err := CompareBenchOutputs(benchLines(930, 260), benchLines(930*0.75, 260*0.75), 15); err != nil || !memRep.Failed {
+		t.Fatalf("25%% drop on memnet units must fail at base tolerance (err=%v):\n%s", err, memRep.Format())
+	}
+}
+
 func TestGateErrorsWithoutCommonThroughputMetric(t *testing.T) {
 	renamed := strings.ReplaceAll(string(benchLines(930, 260)), "BenchmarkFigure7Scalability", "BenchmarkSomethingElse")
 	if _, err := CompareBenchOutputs(benchLines(930, 260), []byte(renamed), 15); err == nil {

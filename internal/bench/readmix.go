@@ -2,7 +2,6 @@ package bench
 
 import (
 	"fmt"
-	"sort"
 	"sync"
 	"time"
 
@@ -217,15 +216,6 @@ func readMixInteraction(k, readPct int) tpcw.Interaction {
 
 // latencyPercentiles returns the p50 and p99 of samples in milliseconds.
 func latencyPercentiles(samples []time.Duration) (p50, p99 float64) {
-	if len(samples) == 0 {
-		return 0, 0
-	}
-	sorted := make([]time.Duration, len(samples))
-	copy(sorted, samples)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	at := func(q float64) float64 {
-		idx := int(q * float64(len(sorted)-1))
-		return float64(sorted[idx].Microseconds()) / 1000.0
-	}
-	return at(0.50), at(0.99)
+	p50, p99, _ = LatencyPercentiles(samples)
+	return p50, p99
 }

@@ -29,7 +29,15 @@ type MicroResult struct {
 // backward compatible. Schema 3 adds the two-tier read-mix cells
 // (read_req_per_sec_{mem,tcp}, read latency percentiles, and the
 // agreement-forced baseline the fast path is compared against).
-const ReportSchema = 3
+// Schema 4 adds the open-loop pipelined Figure-7 cells
+// (null_req_per_sec_pipelined, pipeline_inflight, pipe_p{50,99,999}_ms_*),
+// the TCP writer's coalescing ratio (tcp_coalescing_ratio_n4), and the
+// interleaved committed-only A/B cells
+// (null_req_per_sec_committed_only, tcp_frames_per_req_n4_committed_only);
+// the tcp_frames_per_req_n4 field keeps its meaning but its expected
+// value drops with commit piggybacking, so schema-3 artifacts are not
+// frame-comparable.
+const ReportSchema = 4
 
 type Report struct {
 	// Schema and Commit make checked-in artifacts comparable across
@@ -57,11 +65,43 @@ type Report struct {
 	// informational: the gate compares only the unbatched memnet cell.
 	NullReqPerSecBatched map[string]float64 `json:"null_req_per_sec_batched,omitempty"`
 	BatchMax             int                `json:"batch_max,omitempty"`
+	// NullReqPerSecPipelined (schema 4) is the open-loop pipelined
+	// Figure-7 variant: PipelineInflight outstanding requests per
+	// calling replica with CLBFT batching at BatchMax, keyed
+	// "mem/n=4" / "tcp/n=4". This is the cell where agreement batching
+	// and the TCP writer's flush coalescing actually engage; the
+	// closed-loop cells above never offer them concurrent work.
+	NullReqPerSecPipelined map[string]float64 `json:"null_req_per_sec_pipelined,omitempty"`
+	PipelineInflight       int                `json:"pipeline_inflight,omitempty"`
+	// Pipe*Ms are the pipelined cells' per-request latency percentiles
+	// (request send to matching reply, wsa:RelatesTo-correlated).
+	PipeP50MsMem  float64 `json:"pipe_p50_ms_mem,omitempty"`
+	PipeP99MsMem  float64 `json:"pipe_p99_ms_mem,omitempty"`
+	PipeP999MsMem float64 `json:"pipe_p999_ms_mem,omitempty"`
+	PipeP50MsTCP  float64 `json:"pipe_p50_ms_tcp,omitempty"`
+	PipeP99MsTCP  float64 `json:"pipe_p99_ms_tcp,omitempty"`
+	PipeP999MsTCP float64 `json:"pipe_p999_ms_tcp,omitempty"`
+	// NullReqPerSecCommittedOnly (schema 4) is the closed-loop n=4 cell
+	// with tentative execution and commit piggybacking disabled — the
+	// pre-PR-7 protocol, re-measured on this tree. Each committed-only
+	// run is interleaved with a tentative-protocol run of the identical
+	// configuration (whose average is the n=4 entry of the maps above),
+	// so host drift hits both sides of the A/B equally.
+	NullReqPerSecCommittedOnly map[string]float64 `json:"null_req_per_sec_committed_only,omitempty"`
 	// TCPFramesPerReq / TCPBytesPerReq are the wire cost of one null
 	// request at n=4 over TCP (frames and payload bytes on sockets,
-	// deployment-wide).
-	TCPFramesPerReq float64 `json:"tcp_frames_per_req_n4,omitempty"`
-	TCPBytesPerReq  float64 `json:"tcp_bytes_per_req_n4,omitempty"`
+	// deployment-wide, closed-loop cell). The CommittedOnly variant is
+	// the same counter from the interleaved committed-only runs.
+	TCPFramesPerReq              float64 `json:"tcp_frames_per_req_n4,omitempty"`
+	TCPBytesPerReq               float64 `json:"tcp_bytes_per_req_n4,omitempty"`
+	TCPFramesPerReqCommittedOnly float64 `json:"tcp_frames_per_req_n4_committed_only,omitempty"`
+	// TCPCoalescingRatio is frames written per writer flush
+	// (FramesOut / Flushes): how many frames the per-link writer drains
+	// per wakeup. The closed-loop cell's ratio is pinned at ~1.0 by
+	// construction — one request in flight leaves nothing to merge — so
+	// the pipelined variant is the one coalescing actually shows up in.
+	TCPCoalescingRatio          float64 `json:"tcp_coalescing_ratio_n4,omitempty"`
+	TCPCoalescingRatioPipelined float64 `json:"tcp_coalescing_ratio_pipelined,omitempty"`
 	// Txn compares cross-shard transactions against the single-shard
 	// keyed calls they generalize (2 shards of n=4).
 	TxnBaselineReqPerSec float64 `json:"txn_baseline_req_per_sec"`
@@ -165,25 +205,54 @@ func RunReport(cfg ReportConfig) (*Report, error) {
 			cells = make(map[string]float64)
 			r.NullReqPerSecTCP = cells
 		}
-		for _, n := range []int{1, 4} {
-			tput, wire, err := MeasureNullThroughputStats(NullConfig{
-				N: n, Calls: calls, Runs: runs, Transport: kind,
-			})
+		tput, _, err := MeasureNullThroughputStats(NullConfig{
+			N: 1, Calls: calls, Runs: runs, Transport: kind,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("bench: over %s: %w", tr, err)
+		}
+		cells["n=1"] = tput
+		// The n=4 cell doubles as one side of the interleaved A/B:
+		// alternate a tentative-protocol run with a committed-only run of
+		// the identical configuration, so host drift lands on both sides
+		// equally. The tentative average is the gate's n=4 cell; the
+		// committed-only average is the pre-PR-7 protocol on this tree.
+		var tentSum, oldSum float64
+		var tentLast, oldLast NullResult
+		for i := 0; i < runs; i++ {
+			a, err := MeasureNull(NullConfig{N: 4, Calls: calls, Transport: kind})
 			if err != nil {
 				return nil, fmt.Errorf("bench: over %s: %w", tr, err)
 			}
-			cells[fmt.Sprintf("n=%d", n)] = tput
-			if kind == perpetual.TransportTCP && n == 4 {
-				r.TCPFramesPerReq = float64(wire.FramesOut) / float64(calls)
-				r.TCPBytesPerReq = float64(wire.BytesOut) / float64(calls)
+			b, err := MeasureNull(NullConfig{
+				N: 4, Calls: calls, Transport: kind, DisableTentative: true,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("bench: committed-only over %s: %w", tr, err)
 			}
+			tentSum, oldSum = tentSum+a.ReqPerSec, oldSum+b.ReqPerSec
+			tentLast, oldLast = a, b
+		}
+		cells["n=4"] = tentSum / float64(runs)
+		if r.NullReqPerSecCommittedOnly == nil {
+			r.NullReqPerSecCommittedOnly = make(map[string]float64)
+		}
+		r.NullReqPerSecCommittedOnly[tr+"/n=4"] = oldSum / float64(runs)
+		if kind == perpetual.TransportTCP {
+			wire := tentLast.Wire
+			r.TCPFramesPerReq = float64(wire.FramesOut) / float64(calls)
+			r.TCPBytesPerReq = float64(wire.BytesOut) / float64(calls)
+			if wire.Flushes > 0 {
+				r.TCPCoalescingRatio = float64(wire.FramesOut) / float64(wire.Flushes)
+			}
+			r.TCPFramesPerReqCommittedOnly = float64(oldLast.Wire.FramesOut) / float64(calls)
 		}
 		if !measureBatched {
 			continue
 		}
 		// The batched Figure-7 variant (informational; the gate's key
 		// stays the unbatched memnet cell above).
-		tput, err := MeasureNullThroughput(NullConfig{
+		batched, err := MeasureNullThroughput(NullConfig{
 			N: 4, Calls: calls, Runs: runs, Transport: kind, MaxBatch: cfg.Batch,
 		})
 		if err != nil {
@@ -192,7 +261,33 @@ func RunReport(cfg ReportConfig) (*Report, error) {
 		if r.NullReqPerSecBatched == nil {
 			r.NullReqPerSecBatched = make(map[string]float64)
 		}
-		r.NullReqPerSecBatched[tr+"/n=4"] = tput
+		r.NullReqPerSecBatched[tr+"/n=4"] = batched
+		// The open-loop pipelined cell (schema 4): deep batching plus
+		// PipelineInflight outstanding requests per caller, the
+		// configuration where the agreement batcher and the TCP writer's
+		// coalescing have concurrent work to merge. 3x the closed-loop
+		// call count so the measured window is many pipeline depths and
+		// ramp-up/drain amortize out.
+		pipe, err := MeasureNull(NullConfig{
+			N: 4, Calls: 3 * calls, Runs: runs, Transport: kind,
+			MaxBatch: DefaultPipelineBatch, Inflight: DefaultPipelineInflight,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("bench: pipelined over %s: %w", tr, err)
+		}
+		if r.NullReqPerSecPipelined == nil {
+			r.NullReqPerSecPipelined = make(map[string]float64)
+		}
+		r.PipelineInflight = DefaultPipelineInflight
+		r.NullReqPerSecPipelined[tr+"/n=4"] = pipe.ReqPerSec
+		if kind == perpetual.TransportTCP {
+			r.PipeP50MsTCP, r.PipeP99MsTCP, r.PipeP999MsTCP = pipe.P50Ms, pipe.P99Ms, pipe.P999Ms
+			if pipe.Wire.Flushes > 0 {
+				r.TCPCoalescingRatioPipelined = float64(pipe.Wire.FramesOut) / float64(pipe.Wire.Flushes)
+			}
+		} else {
+			r.PipeP50MsMem, r.PipeP99MsMem, r.PipeP999MsMem = pipe.P50Ms, pipe.P99Ms, pipe.P999Ms
+		}
 	}
 
 	wips, err := measureTPCW(4, 42, Figure6Config{ThinkTime: 400 * time.Millisecond, Measure: measure})

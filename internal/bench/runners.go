@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -199,6 +200,18 @@ func replicaWorkload(h core.MessageHandler, calls, window int) error {
 // ReplicationDegrees are the replica-group sizes of the paper's sweeps.
 var ReplicationDegrees = []int{1, 4, 7, 10}
 
+// DefaultPipelineInflight is the outstanding-request depth of the
+// report's pipelined Figure-7 cells, and DefaultPipelineBatch the
+// agreement batch cap paired with it. Deep enough that CLBFT request
+// batching and the TCP writer's flush coalescing both engage (batches
+// and flushes only merge work that is concurrently in the pipe) and
+// that a one-core host reaches saturation; doubling either again only
+// adds queueing latency.
+const (
+	DefaultPipelineInflight = 64
+	DefaultPipelineBatch    = 32
+)
+
 // NullConfig parameterizes one Figure-7 null-request throughput cell
 // (nc = nt = N callers invoking a same-sized target group).
 type NullConfig struct {
@@ -207,6 +220,28 @@ type NullConfig struct {
 	Runs      int // averaged runs; default 1
 	MaxBatch  int // CLBFT request batching; 0/1 off (the gate's cell)
 	Transport perpetual.TransportKind
+	// Inflight switches the cell to the open-loop pipelined client: each
+	// calling replica keeps this many requests outstanding (issuing the
+	// next as soon as any reply lands) instead of waiting out each
+	// request's full round trip. 0/1 is the classic closed-loop cell.
+	// Pipelined cells also record per-request latency, matched through
+	// the reply's wsa:RelatesTo header rather than call order, since
+	// completions may arrive out of submission order under batching.
+	Inflight int
+	// DisableTentative pins both groups to committed-only execution —
+	// the pre-tentative protocol — for interleaved A/B comparison on
+	// one tree.
+	DisableTentative bool
+}
+
+// NullResult is one null-cell measurement: throughput, per-request
+// latency percentiles (pipelined cells only — the closed-loop cell's
+// latency is just its inverse throughput), and the wire counters of the
+// final run (zero over memnet).
+type NullResult struct {
+	ReqPerSec            float64
+	P50Ms, P99Ms, P999Ms float64
+	Wire                 transport.TCPStatsSnapshot
 }
 
 // MeasureNullThroughput runs one Figure-7 cell over the selected
@@ -223,46 +258,64 @@ func MeasureNullThroughput(cfg NullConfig) (float64, error) {
 // memnet) — frames/bytes per request on real sockets are part of the
 // TCP benchmark's observability story.
 func MeasureNullThroughputStats(cfg NullConfig) (float64, transport.TCPStatsSnapshot, error) {
+	res, err := MeasureNull(cfg)
+	return res.ReqPerSec, res.Wire, err
+}
+
+// MeasureNull runs one Figure-7 cell — closed-loop, or open-loop
+// pipelined when cfg.Inflight > 1 — and returns mean throughput across
+// runs, per-request latency percentiles pooled over every run and
+// calling replica, and the final run's wire counters.
+func MeasureNull(cfg NullConfig) (NullResult, error) {
 	if cfg.Runs <= 0 {
 		cfg.Runs = 1
 	}
-	var total float64
-	var wire transport.TCPStatsSnapshot
+	var res NullResult
+	var lat []time.Duration
 	for r := 0; r < cfg.Runs; r++ {
-		tput, st, err := measureNullOnce(cfg)
+		tput, samples, st, err := measureNullOnce(cfg)
 		if err != nil {
-			return 0, wire, fmt.Errorf("bench: null cell n=%d: %w", cfg.N, err)
+			return res, fmt.Errorf("bench: null cell n=%d: %w", cfg.N, err)
 		}
-		total += tput
-		wire = st
+		res.ReqPerSec += tput
+		lat = append(lat, samples...)
+		res.Wire = st
 	}
-	return total / float64(cfg.Runs), wire, nil
+	res.ReqPerSec /= float64(cfg.Runs)
+	res.P50Ms, res.P99Ms, res.P999Ms = LatencyPercentiles(lat)
+	return res, nil
 }
 
 // measureNullOnce is one warm measured run of the nc = nt = N null
 // cell, with wire counters deltad across the measured window only.
-func measureNullOnce(cfg NullConfig) (float64, transport.TCPStatsSnapshot, error) {
+func measureNullOnce(cfg NullConfig) (float64, []time.Duration, transport.TCPStatsSnapshot, error) {
 	if cfg.Calls <= 0 {
 		cfg.Calls = 100
 	}
+	inflight := cfg.Inflight
+	if inflight <= 0 {
+		inflight = 1
+	}
 	opts := benchOpts()
 	opts.MaxBatch = cfg.MaxBatch
+	opts.DisableTentative = cfg.DisableTentative
 	cluster, err := core.NewClusterOver([]byte("bench"), cfg.Transport,
 		core.ServiceDef{Name: "caller", N: cfg.N, Options: opts},
 		core.ServiceDef{Name: "target", N: cfg.N, App: IncrementApp(0), Options: opts},
 	)
 	if err != nil {
-		return 0, transport.TCPStatsSnapshot{}, err
+		return 0, nil, transport.TCPStatsSnapshot{}, err
 	}
 	cluster.Start()
 	defer cluster.Stop()
-	if err := runWorkload(cluster, cfg.N, 1, 1); err != nil {
-		return 0, transport.TCPStatsSnapshot{}, err
+	if _, err := runWorkloadLatency(cluster, cfg.N, 1, 1); err != nil {
+		return 0, nil, transport.TCPStatsSnapshot{}, err
 	}
 	before := cluster.NetStats()
 	start := time.Now()
-	if err := runWorkload(cluster, cfg.N, cfg.Calls, 1); err != nil {
-		return 0, transport.TCPStatsSnapshot{}, err
+	samples, err := runWorkloadLatency(cluster, cfg.N, cfg.Calls, inflight)
+	if err != nil {
+		return 0, nil, transport.TCPStatsSnapshot{}, err
 	}
 	elapsed := time.Since(start)
 	after := cluster.NetStats()
@@ -275,7 +328,104 @@ func measureNullOnce(cfg NullConfig) (float64, transport.TCPStatsSnapshot, error
 	after.Redials -= before.Redials
 	after.DialFailures -= before.DialFailures
 	after.LinksSevered -= before.LinksSevered
-	return Throughput(cfg.Calls, elapsed), after, nil
+	return Throughput(cfg.Calls, elapsed), samples, after, nil
+}
+
+// runWorkloadLatency drives every calling replica through the null
+// workload keeping inflight requests outstanding, and returns the
+// per-request completion latencies pooled across replicas. inflight 1
+// is the closed-loop pattern; larger values are the open-loop pipelined
+// client (issue on any completion, never wait out a full round trip).
+func runWorkloadLatency(cluster *core.Cluster, nc, calls, inflight int) ([]time.Duration, error) {
+	var mu sync.Mutex
+	var all []time.Duration
+	var wg sync.WaitGroup
+	errs := make(chan error, nc)
+	for i := 0; i < nc; i++ {
+		h := cluster.Handler("caller", i)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			samples, err := replicaWorkloadPipelined(h, calls, inflight)
+			if err == nil {
+				mu.Lock()
+				all = append(all, samples...)
+				mu.Unlock()
+			}
+			errs <- err
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return all, nil
+}
+
+// replicaWorkloadPipelined issues calls requests keeping inflight
+// outstanding and times each one individually: send time is recorded
+// under the request's wsa:MessageID (assigned by Send before it
+// returns), and each reply is matched back through its wsa:RelatesTo
+// header — order-independent, so batched and coalesced completions
+// attribute latency to the right request.
+func replicaWorkloadPipelined(h core.MessageHandler, calls, inflight int) ([]time.Duration, error) {
+	starts := make(map[string]time.Time, inflight)
+	samples := make([]time.Duration, 0, calls)
+	send := func() error {
+		mc := wsengine.NewMessageContext()
+		mc.Options.To = soap.ServiceURI("target")
+		mc.Options.Action = "urn:bench:increment"
+		mc.Envelope.Body = []byte("<inc/>")
+		if err := h.Send(mc); err != nil {
+			return err
+		}
+		starts[mc.Envelope.Header.MessageID] = time.Now()
+		return nil
+	}
+	sent, received := 0, 0
+	for sent < inflight && sent < calls {
+		if err := send(); err != nil {
+			return nil, err
+		}
+		sent++
+	}
+	for received < calls {
+		reply, err := h.ReceiveReply()
+		if err != nil {
+			return nil, err
+		}
+		received++
+		if t0, ok := starts[reply.Envelope.Header.RelatesTo]; ok {
+			samples = append(samples, time.Since(t0))
+			delete(starts, reply.Envelope.Header.RelatesTo)
+		}
+		if sent < calls {
+			if err := send(); err != nil {
+				return nil, err
+			}
+			sent++
+		}
+	}
+	return samples, nil
+}
+
+// LatencyPercentiles returns the p50, p99, and p99.9 of samples in
+// milliseconds (zeroes for an empty slice).
+func LatencyPercentiles(samples []time.Duration) (p50, p99, p999 float64) {
+	if len(samples) == 0 {
+		return 0, 0, 0
+	}
+	sorted := make([]time.Duration, len(samples))
+	copy(sorted, samples)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	at := func(q float64) float64 {
+		idx := int(q * float64(len(sorted)-1))
+		return float64(sorted[idx].Microseconds()) / 1000.0
+	}
+	return at(0.50), at(0.99), at(0.999)
 }
 
 // Figure7Config parameterizes the replica-scalability experiment.
@@ -286,6 +436,10 @@ type Figure7Config struct {
 	// MaxBatch turns CLBFT request batching on for every cell (0/1 off,
 	// the paper-faithful configuration and the benchgate's key).
 	MaxBatch int
+	// Inflight keeps that many requests outstanding per calling replica
+	// (the open-loop pipelined client); 0/1 is the paper's synchronous
+	// closed loop.
+	Inflight int
 	// Transport selects memnet (default) or loopback TCP.
 	Transport perpetual.TransportKind
 }
@@ -311,7 +465,7 @@ func RunFigure7(cfg Figure7Config) (Figure, error) {
 			var total float64
 			for r := 0; r < cfg.Runs; r++ {
 				tput, _, err := MeasurePair(PairConfig{
-					NC: nc, NT: nt, Calls: cfg.Calls,
+					NC: nc, NT: nt, Calls: cfg.Calls, Window: cfg.Inflight,
 					MaxBatch: cfg.MaxBatch, Transport: cfg.Transport,
 				})
 				if err != nil {

@@ -117,7 +117,7 @@ func (r *Replica) onFetchReply(from int, fr *FetchReply) {
 		}
 		r.lastExec = op.Seq
 		req := op.Request
-		r.applyOp(op.Seq, &req)
+		r.applyOp(op.Seq, &req, false)
 	}
 	r.stabilize(fr.To)
 	// More history may already be certified beyond this point.

@@ -9,6 +9,7 @@ import (
 const (
 	DefaultCheckpointInterval = 64
 	DefaultViewChangeTimeout  = 500 * time.Millisecond
+	DefaultCommitFlushDelay   = 2 * time.Millisecond
 )
 
 // Config parameterizes one replica of a CLBFT group.
@@ -31,6 +32,22 @@ type Config struct {
 	// operations share their batch's sequence number but arrive in
 	// batch order.
 	MaxBatch int
+	// Tentative enables the Castro-Liskov tentative-execution and
+	// commit-piggybacking optimizations: an operation is executed
+	// (and delivered with Delivery.Tentative set) as soon as it is
+	// prepared and every lower sequence number has committed, and
+	// commit votes ride the sender's next pre-prepare or prepare
+	// instead of paying their own frame — roughly halving the
+	// per-request message count. Tentative deliveries roll back on a
+	// view change that reassigns their sequence number (see
+	// WithRollback); checkpoints and the state-digest chain certify
+	// only committed history.
+	Tentative bool
+	// CommitFlushDelay bounds how long a piggybacked commit vote may
+	// wait for a carrier message before it is flushed in a standalone
+	// commit-batch frame (the idle heartbeat). Only meaningful with
+	// Tentative; defaults to DefaultCommitFlushDelay.
+	CommitFlushDelay time.Duration
 }
 
 // withDefaults fills unset fields.
@@ -40,6 +57,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ViewChangeTimeout == 0 {
 		c.ViewChangeTimeout = DefaultViewChangeTimeout
+	}
+	if c.CommitFlushDelay == 0 {
+		c.CommitFlushDelay = DefaultCommitFlushDelay
 	}
 	return c
 }

@@ -8,6 +8,15 @@
 //
 //   - the normal-case three-phase protocol (pre-prepare, prepare,
 //     commit) with piggybacked request bodies;
+//   - tentative execution: a replica delivers an operation as soon as
+//     it is prepared (and everything below it has committed), marking
+//     the delivery Tentative; the commit certificate later confirms it,
+//     and a view change that fails to re-propose the same digest rolls
+//     the execution back through the WithRollback handler;
+//   - commit piggybacking: commit votes ride the next outbound
+//     pre-prepare or prepare instead of going out as standalone frames,
+//     with a short-delay CommitBatch heartbeat as the idle backstop —
+//     under load the commit round costs no extra wire frames;
 //   - periodic checkpoints with quorum-certified garbage collection of
 //     the message log;
 //   - view changes with new-view certificates, so a faulty primary is

@@ -31,6 +31,7 @@ const (
 	MsgNewView
 	MsgFetch
 	MsgFetchReply
+	MsgCommitBatch
 )
 
 // String returns the protocol name of the message type.
@@ -54,6 +55,8 @@ func (t MsgType) String() string {
 		return "fetch"
 	case MsgFetchReply:
 		return "fetch-reply"
+	case MsgCommitBatch:
+		return "commit-batch"
 	default:
 		return fmt.Sprintf("msgtype(%d)", uint8(t))
 	}
@@ -91,20 +94,26 @@ func (r *Request) IsNull() bool { return r.OpID == "" && len(r.Op) == 0 }
 func NullRequest() *Request { return &Request{} }
 
 // PrePrepare assigns sequence number Seq to the request with the given
-// digest in View. The request body is piggybacked.
+// digest in View. The request body is piggybacked, and in tentative
+// mode so are the sender's queued commit votes for earlier sequence
+// numbers (Piggy).
 type PrePrepare struct {
 	View    uint64
 	Seq     uint64
 	Digest  Digest
 	Request Request
+	Piggy   []Commit
 }
 
 // Prepare is a backup's agreement to the (view, seq, digest) binding.
+// In tentative mode Piggy carries the sender's queued commit votes for
+// earlier sequence numbers.
 type Prepare struct {
 	View    uint64
 	Seq     uint64
 	Digest  Digest
 	Replica int
+	Piggy   []Commit
 }
 
 // Commit asserts that the sender has prepared (view, seq, digest).
@@ -113,6 +122,15 @@ type Commit struct {
 	Seq     uint64
 	Digest  Digest
 	Replica int
+}
+
+// CommitBatch is the tentative-mode heartbeat: the sender's queued
+// commit votes, flushed standalone when no pre-prepare or prepare came
+// along to carry them within the commit flush delay. Every carried
+// vote must name the batch's (authenticated) sender.
+type CommitBatch struct {
+	Replica int
+	Commits []Commit
 }
 
 // Checkpoint advertises the sender's state digest after executing all
@@ -154,16 +172,17 @@ type NewView struct {
 
 // Message is the tagged union transported between replicas.
 type Message struct {
-	Type       MsgType
-	Request    *Request
-	PrePrepare *PrePrepare
-	Prepare    *Prepare
-	Commit     *Commit
-	Checkpoint *Checkpoint
-	ViewChange *ViewChange
-	NewView    *NewView
-	Fetch      *Fetch
-	FetchReply *FetchReply
+	Type        MsgType
+	Request     *Request
+	PrePrepare  *PrePrepare
+	Prepare     *Prepare
+	Commit      *Commit
+	Checkpoint  *Checkpoint
+	ViewChange  *ViewChange
+	NewView     *NewView
+	Fetch       *Fetch
+	FetchReply  *FetchReply
+	CommitBatch *CommitBatch
 }
 
 // String summarizes the message for logs.
@@ -187,6 +206,8 @@ func (m *Message) String() string {
 		return fmt.Sprintf("fetch(%d..%d r=%d)", m.Fetch.From, m.Fetch.To, m.Fetch.Replica)
 	case MsgFetchReply:
 		return fmt.Sprintf("fetch-reply(%d..%d %d ops)", m.FetchReply.From, m.FetchReply.To, len(m.FetchReply.Ops))
+	case MsgCommitBatch:
+		return fmt.Sprintf("commit-batch(r=%d %d commits)", m.CommitBatch.Replica, len(m.CommitBatch.Commits))
 	default:
 		return m.Type.String()
 	}
@@ -210,6 +231,7 @@ func (m *Message) EncodeTo(w *wire.Writer) {
 		encodePrePrepare(w, m.PrePrepare)
 	case MsgPrepare:
 		encodeTriple(w, m.Prepare.View, m.Prepare.Seq, m.Prepare.Digest, m.Prepare.Replica)
+		encodePiggy(w, m.Prepare.Piggy)
 	case MsgCommit:
 		encodeTriple(w, m.Commit.View, m.Commit.Seq, m.Commit.Digest, m.Commit.Replica)
 	case MsgCheckpoint:
@@ -242,6 +264,9 @@ func (m *Message) EncodeTo(w *wire.Writer) {
 			w.PutUint64(fr.Ops[i].Seq)
 			encodeRequest(w, &fr.Ops[i].Request)
 		}
+	case MsgCommitBatch:
+		w.PutUvarint(uint64(m.CommitBatch.Replica))
+		encodePiggy(w, m.CommitBatch.Commits)
 	}
 }
 
@@ -258,6 +283,7 @@ func DecodeMessage(buf []byte) (*Message, error) {
 	case MsgPrepare:
 		v, n, d, rep := decodeTriple(r)
 		m.Prepare = &Prepare{View: v, Seq: n, Digest: d, Replica: rep}
+		m.Prepare.Piggy = decodePiggy(r)
 	case MsgCommit:
 		v, n, d, rep := decodeTriple(r)
 		m.Commit = &Commit{View: v, Seq: n, Digest: d, Replica: rep}
@@ -314,6 +340,10 @@ func DecodeMessage(buf []byte) (*Message, error) {
 			fr.Ops = append(fr.Ops, op)
 		}
 		m.FetchReply = fr
+	case MsgCommitBatch:
+		cb := &CommitBatch{Replica: int(r.Uvarint())}
+		cb.Commits = decodePiggy(r)
+		m.CommitBatch = cb
 	default:
 		return nil, fmt.Errorf("clbft: unknown message type %d", uint8(m.Type))
 	}
@@ -341,6 +371,7 @@ func encodePrePrepare(w *wire.Writer, pp *PrePrepare) {
 	w.PutUint64(pp.Seq)
 	w.PutBytes(pp.Digest[:])
 	encodeRequest(w, &pp.Request)
+	encodePiggy(w, pp.Piggy)
 }
 
 func decodePrePrepare(r *wire.Reader) *PrePrepare {
@@ -348,7 +379,28 @@ func decodePrePrepare(r *wire.Reader) *PrePrepare {
 	copy(pp.Digest[:], r.Bytes())
 	req := decodeRequest(r)
 	pp.Request = *req
+	pp.Piggy = decodePiggy(r)
 	return pp
+}
+
+func encodePiggy(w *wire.Writer, piggy []Commit) {
+	w.PutUvarint(uint64(len(piggy)))
+	for i := range piggy {
+		encodeTriple(w, piggy[i].View, piggy[i].Seq, piggy[i].Digest, piggy[i].Replica)
+	}
+}
+
+func decodePiggy(r *wire.Reader) []Commit {
+	n := int(r.Uvarint())
+	if n == 0 || n > maxSliceLen(r) {
+		return nil // empty, or hostile length (sticky error rejects via Done)
+	}
+	piggy := make([]Commit, 0, n)
+	for i := 0; i < n && r.Err() == nil; i++ {
+		v, s, d, rep := decodeTriple(r)
+		piggy = append(piggy, Commit{View: v, Seq: s, Digest: d, Replica: rep})
+	}
+	return piggy
 }
 
 func encodeTriple(w *wire.Writer, view, seq uint64, d Digest, replica int) {

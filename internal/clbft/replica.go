@@ -9,11 +9,16 @@ import (
 )
 
 // Delivery is one agreed operation handed to the application, in strict
-// sequence order.
+// sequence order. Tentative marks an operation executed after its
+// prepared certificate but before its commit certificate (tentative
+// execution); a tentative delivery is revoked through the rollback
+// callback if a view change reassigns its sequence number, and is
+// final otherwise.
 type Delivery struct {
-	Seq  uint64
-	OpID string
-	Op   []byte
+	Seq       uint64
+	OpID      string
+	Op        []byte
+	Tentative bool
 }
 
 // Transport sends protocol messages to other members of the voter group,
@@ -44,6 +49,7 @@ const (
 	evMessage eventKind = iota + 1
 	evSubmit
 	evTimer
+	evFlush
 	evStop
 	evDebug
 )
@@ -72,6 +78,7 @@ type Replica struct {
 	logger    *log.Logger
 	validate  func(opID string, op []byte) bool
 	ckptHook  func(seq uint64, state Digest)
+	rollback  func(d Delivery) bool
 
 	inbox   chan event
 	stopped chan struct{}
@@ -83,6 +90,20 @@ type Replica struct {
 	lastExec    uint64
 	stateDigest Digest
 	log         *msgLog
+
+	// Tentative-execution state. lastCommitted trails lastExec by the
+	// tentatively executed suffix (at most one sequence number: an
+	// operation executes tentatively only when everything below it has
+	// committed). chainAt records the digest chain per executed
+	// sequence number so checkpoints certify committed history and
+	// rollback can rewind the chain; pendingPiggy queues this
+	// replica's commit votes until a pre-prepare/prepare carries them
+	// or the flush heartbeat fires.
+	lastCommitted uint64
+	chainAt       map[uint64]Digest
+	pendingPiggy  []Commit
+	flushTimer    *time.Timer
+	flushGen      uint64
 
 	pending      map[string]*Request
 	pendingOrder []string
@@ -109,10 +130,14 @@ type Replica struct {
 	sendQ      []*Message
 
 	// Cross-goroutine visible state.
-	curView   atomic.Uint64
-	execCount atomic.Uint64
-	execSeq   atomic.Uint64
-	vcCount   atomic.Uint64
+	curView    atomic.Uint64
+	execCount  atomic.Uint64
+	execSeq    atomic.Uint64
+	commitSeq  atomic.Uint64
+	vcCount    atomic.Uint64
+	tentExecs  atomic.Uint64
+	rollbacks  atomic.Uint64
+	piggyVotes atomic.Uint64
 }
 
 // Option configures a Replica.
@@ -149,6 +174,20 @@ func WithCheckpointHook(f func(seq uint64, state Digest)) Option {
 	return func(r *Replica) { r.ckptHook = f }
 }
 
+// WithRollback installs the application's undo handler for tentative
+// executions revoked by a view change. The handler receives each
+// revoked delivery newest-first and reports whether it undid the
+// operation's effects: if true, the operation is forgotten (and
+// re-delivered when agreement re-orders it); if false, the replica
+// keeps it marked executed so it is never delivered twice — the
+// application's state then reflects the operation at its old position,
+// which is safe for commuting operations and is surfaced through
+// Rollbacks() for ones that are not. The handler runs on the
+// event-loop goroutine and must not call back into the replica.
+func WithRollback(f func(d Delivery) bool) Option {
+	return func(r *Replica) { r.rollback = f }
+}
+
 // New creates a replica. deliver is invoked on the event-loop goroutine,
 // exactly once per sequence number, in order; it must not call back into
 // the replica synchronously.
@@ -169,6 +208,7 @@ func New(cfg Config, transport Transport, deliver func(Delivery), opts ...Option
 		checkpoints:    make(map[uint64]map[int]Digest),
 		certifiedCkpts: make(map[uint64]Digest),
 		execCache:      make(map[uint64]*Request),
+		chainAt:        make(map[uint64]Digest),
 		viewChanges:    make(map[uint64]map[int]*ViewChange),
 		vcTimeout:      cfg.ViewChangeTimeout,
 	}
@@ -244,7 +284,27 @@ func (r *Replica) Executed() uint64 { return r.execCount.Load() }
 // this replica delivered (0 before any delivery). It exposes the log
 // position local state reflects, which speculative read paths stamp
 // into replies so clients can order observed states across replicas.
+// With tentative execution it includes the tentative suffix.
 func (r *Replica) LastExecutedSeq() uint64 { return r.execSeq.Load() }
+
+// CommittedSeq returns the highest sequence number through which every
+// operation is both committed and executed: the stable horizon.
+// Deliveries at or below it are final; above it they are tentative.
+// Without tentative execution this tracks LastExecutedSeq.
+func (r *Replica) CommittedSeq() uint64 { return r.commitSeq.Load() }
+
+// TentativeExecs returns the number of operations executed tentatively
+// (before their commit certificate) so far (diagnostic).
+func (r *Replica) TentativeExecs() uint64 { return r.tentExecs.Load() }
+
+// Rollbacks returns the number of tentative executions revoked by view
+// changes (diagnostic).
+func (r *Replica) Rollbacks() uint64 { return r.rollbacks.Load() }
+
+// PiggybackedCommits returns the number of commit votes that rode
+// pre-prepare/prepare messages instead of paying their own frame
+// (diagnostic).
+func (r *Replica) PiggybackedCommits() uint64 { return r.piggyVotes.Load() }
 
 // ViewChanges returns the number of view changes this replica has
 // entered (diagnostic).
@@ -267,6 +327,9 @@ func (r *Replica) run() {
 			if r.timer != nil {
 				r.timer.Stop()
 			}
+			if r.flushTimer != nil {
+				r.flushTimer.Stop()
+			}
 			return
 		case evSubmit:
 			r.onSubmit(ev.req)
@@ -274,6 +337,8 @@ func (r *Replica) run() {
 			r.onMessage(ev.from, ev.msg)
 		case evTimer:
 			r.onTimer(ev.timerGen)
+		case evFlush:
+			r.onFlush(ev.timerGen)
 		case evDebug:
 			r.onDebug(ev.debug)
 		}
@@ -297,6 +362,7 @@ func (r *Replica) run() {
 // broadcast-call (causal) order and flushed by the outermost broadcast
 // once all local processing is done.
 func (r *Replica) broadcast(m *Message) {
+	r.attachPiggy(m)
 	r.sendQ = append(r.sendQ, m) // reserve the wire slot in causal order
 	r.bcastDepth++
 	r.onMessage(r.cfg.ID, m)
@@ -308,6 +374,80 @@ func (r *Replica) broadcast(m *Message) {
 			r.multicastOthers(qm)
 		}
 	}
+}
+
+// attachPiggy hands queued commit votes to an outgoing pre-prepare or
+// prepare: the carrier frame was being paid for anyway, so the votes
+// travel free. Votes recorded here were already counted locally (the
+// sender's own commit), so only the wire copy is deferred.
+func (r *Replica) attachPiggy(m *Message) {
+	if !r.cfg.Tentative || len(r.pendingPiggy) == 0 {
+		return
+	}
+	switch m.Type {
+	case MsgPrePrepare:
+		m.PrePrepare.Piggy = r.pendingPiggy
+	case MsgPrepare:
+		m.Prepare.Piggy = r.pendingPiggy
+	default:
+		return
+	}
+	r.piggyVotes.Add(uint64(len(r.pendingPiggy)))
+	r.pendingPiggy = nil
+	// The carrier drained the queue: disarm the heartbeat so it measures
+	// carrier-less idle time from the next queued vote, instead of firing
+	// mid-traffic and paying a standalone frame for votes the next
+	// carrier (typically under a request period away) would carry free.
+	r.disarmFlush()
+}
+
+// disarmFlush cancels a scheduled commit-batch heartbeat and
+// invalidates any fire already in the inbox.
+func (r *Replica) disarmFlush() {
+	if r.flushTimer != nil {
+		r.flushTimer.Stop()
+		r.flushTimer = nil
+	}
+	r.flushGen++
+}
+
+// armFlush schedules the commit-batch heartbeat: if no carrier message
+// picks the queued votes up within CommitFlushDelay, they go out in
+// their own frame so peers' committed horizons (and with them
+// checkpoints and reply stability) keep advancing when traffic stops.
+func (r *Replica) armFlush() {
+	if r.flushTimer != nil || r.cfg.N <= 1 {
+		return
+	}
+	r.flushGen++
+	gen := r.flushGen
+	r.flushTimer = time.AfterFunc(r.cfg.CommitFlushDelay, func() {
+		select {
+		case r.inbox <- event{kind: evFlush, timerGen: gen}:
+		case <-r.stopped:
+		}
+	})
+}
+
+func (r *Replica) onFlush(gen uint64) {
+	if gen != r.flushGen {
+		return
+	}
+	r.flushTimer = nil
+	r.flushPiggy()
+}
+
+// flushPiggy sends queued commit votes standalone. Called by the
+// heartbeat and before view-change messages (votes for the abandoned
+// view still complete peers' commit certificates there).
+func (r *Replica) flushPiggy() {
+	if len(r.pendingPiggy) == 0 {
+		return
+	}
+	cb := &CommitBatch{Replica: r.cfg.ID, Commits: r.pendingPiggy}
+	r.pendingPiggy = nil
+	r.disarmFlush()
+	r.multicastOthers(&Message{Type: MsgCommitBatch, CommitBatch: cb})
 }
 
 // multicastOthers sends m to every group member but this one, through
@@ -365,6 +505,12 @@ func (r *Replica) isPrimaryLocked() bool { return r.cfg.PrimaryOf(r.view) == r.c
 // number. Requests stay in pending (and pendingOrder) until they
 // execute, so they survive view changes and are re-proposed by the new
 // primary if their certificates were lost.
+// proposePipeline bounds the batched proposals in flight at the primary
+// (proposed but not yet locally executed): 2 lets the next batch gather
+// while the current one runs its prepare round, without letting
+// propose-on-arrival degenerate into singleton batches.
+const proposePipeline = 2
+
 func (r *Replica) proposePending() {
 	if !r.isPrimaryLocked() || r.inViewChange {
 		return
@@ -375,6 +521,17 @@ func (r *Replica) proposePending() {
 	maxBatch := r.cfg.MaxBatch
 	if maxBatch < 1 {
 		maxBatch = 1
+	}
+	// Batching only amortizes agreement traffic when concurrent requests
+	// share a sequence number, and they only can if a backlog is allowed
+	// to form: propose-on-arrival (the unbatched, paper-faithful mode)
+	// almost always proposes singleton batches because the event loop
+	// outruns the wire. With batching enabled, bound the proposals in
+	// flight (proposed but not yet locally executed); while the pipe is
+	// full, arriving requests accumulate in pending, and executeReady
+	// re-proposes them as one batch when execution advances.
+	if maxBatch > 1 && r.seqCounter >= r.lastExec+proposePipeline {
+		return
 	}
 	var batch []*Request
 	flush := func() bool {
@@ -426,10 +583,16 @@ func (r *Replica) onMessage(from int, m *Message) {
 		r.onRequest(from, m.Request)
 	case MsgPrePrepare:
 		r.onPrePrepare(from, m.PrePrepare)
+		r.onPiggy(from, m.PrePrepare.Piggy)
 	case MsgPrepare:
 		r.onPrepare(from, m.Prepare)
+		r.onPiggy(from, m.Prepare.Piggy)
 	case MsgCommit:
 		r.onCommit(from, m.Commit)
+	case MsgCommitBatch:
+		if m.CommitBatch.Replica == from {
+			r.onPiggy(from, m.CommitBatch.Commits)
+		}
 	case MsgCheckpoint:
 		r.onCheckpoint(from, m.Checkpoint)
 	case MsgViewChange:
@@ -535,6 +698,18 @@ func (r *Replica) onPrepare(from int, p *Prepare) {
 	r.maybePrepared(e)
 }
 
+// onPiggy processes commit votes carried by another message. Each vote
+// must name the authenticated sender — a replica can only piggyback
+// its own commits.
+func (r *Replica) onPiggy(from int, piggy []Commit) {
+	for i := range piggy {
+		if piggy[i].Replica != from {
+			continue
+		}
+		r.onCommit(from, &piggy[i])
+	}
+}
+
 func (r *Replica) maybePrepared(e *entry) {
 	if e.prepared || !e.prePrepared {
 		return
@@ -547,8 +722,23 @@ func (r *Replica) maybePrepared(e *entry) {
 	e.prepared = true
 	if !e.sentCommit {
 		e.sentCommit = true
-		c := &Commit{View: e.view, Seq: e.seq, Digest: e.digest, Replica: r.cfg.ID}
-		r.broadcast(&Message{Type: MsgCommit, Commit: c})
+		c := Commit{View: e.view, Seq: e.seq, Digest: e.digest, Replica: r.cfg.ID}
+		if r.cfg.Tentative {
+			// Count the own vote immediately; the wire copy rides the
+			// next pre-prepare/prepare or the flush heartbeat instead
+			// of paying its own frame.
+			e.setCommit(r.cfg.ID, e.digest)
+			if r.cfg.N > 1 {
+				r.pendingPiggy = append(r.pendingPiggy, c)
+				r.armFlush()
+			}
+			r.maybeCommitted(e)
+		} else {
+			r.broadcast(&Message{Type: MsgCommit, Commit: &c})
+		}
+	}
+	if r.cfg.Tentative && !e.committed {
+		r.executeReady() // the prepared certificate may unlock tentative execution
 	}
 }
 
@@ -578,32 +768,71 @@ func (r *Replica) maybeCommitted(e *entry) {
 	r.executeReady()
 }
 
-// executeReady delivers committed operations in sequence order.
+// executeReady delivers operations in sequence order — committed ones
+// always, prepared ones tentatively when everything below them has
+// committed (the Castro-Liskov condition bounding rollback to a single
+// sequence number) — and advances the committed horizon, emitting
+// checkpoints as it crosses checkpoint boundaries.
 func (r *Replica) executeReady() {
 	for {
-		e, ok := r.log.at(r.lastExec + 1)
-		if !ok || !e.committed || e.executed {
-			return
+		progressed := false
+		if e, ok := r.log.at(r.lastExec + 1); ok && !e.executed {
+			switch {
+			case e.committed:
+				r.log.markExecuted(e)
+				r.lastExec++
+				r.applyOp(r.lastExec, e.request, false)
+				progressed = true
+			case r.cfg.Tentative && e.prepared && r.lastCommitted == r.lastExec:
+				r.log.markExecuted(e)
+				r.lastExec++
+				r.tentExecs.Add(1)
+				r.applyOp(r.lastExec, e.request, true)
+				progressed = true
+			}
 		}
-		r.log.markExecuted(e)
-		r.lastExec++
-		r.applyOp(r.lastExec, e.request)
+		// Advance the stable horizon over entries that are both
+		// committed and executed; a commit certificate completing may
+		// in turn unlock the next tentative execution above.
+		for {
+			e, ok := r.log.at(r.lastCommitted + 1)
+			if !ok || !e.committed || !e.executed {
+				break
+			}
+			r.lastCommitted++
+			r.commitSeq.Store(r.lastCommitted)
+			progressed = true
+			if r.lastCommitted%r.cfg.CheckpointInterval == 0 {
+				ck := &Checkpoint{Seq: r.lastCommitted, State: r.chainAt[r.lastCommitted], Replica: r.cfg.ID}
+				r.broadcast(&Message{Type: MsgCheckpoint, Checkpoint: ck})
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+	// Execution advanced (or nothing was ready): with batched proposing,
+	// freed pipeline slots sweep the accumulated backlog into the next
+	// batch.
+	if r.cfg.MaxBatch > 1 && len(r.pendingOrder) > 0 && r.isPrimaryLocked() && !r.inViewChange {
+		r.proposePending()
 	}
 }
 
 // applyOp updates replica state for one executed operation and hands
 // non-null operations to the application.
-func (r *Replica) applyOp(seq uint64, req *Request) {
+func (r *Replica) applyOp(seq uint64, req *Request, tentative bool) {
 	r.execSeq.Store(seq)
 	var reqDigest Digest
 	if req != nil && !req.IsNull() {
 		reqDigest = req.Digest()
 	}
 	r.stateDigest = chainDigest(r.stateDigest, seq, reqDigest)
+	r.chainAt[seq] = r.stateDigest
 	if req != nil && !req.IsNull() {
-		r.executedOps[req.OpID] = seq
 		r.execCache[seq] = req
 		if inner, err := decodeBatch(req); isBatch(req) && err == nil {
+			r.executedOps[req.OpID] = seq
 			// Deliver each batched operation individually, in batch
 			// order, skipping any that already executed under an
 			// earlier sequence number.
@@ -616,20 +845,22 @@ func (r *Replica) applyOp(seq uint64, req *Request) {
 				delete(r.pending, in.OpID)
 				r.execCount.Add(1)
 				if r.deliver != nil {
-					r.deliver(Delivery{Seq: seq, OpID: in.OpID, Op: in.Op})
+					r.deliver(Delivery{Seq: seq, OpID: in.OpID, Op: in.Op, Tentative: tentative})
 				}
 			}
 		} else {
 			delete(r.pending, req.OpID)
-			r.execCount.Add(1)
-			if r.deliver != nil {
-				r.deliver(Delivery{Seq: seq, OpID: req.OpID, Op: req.Op})
+			// Deliver at most once: a rolled-back-but-not-undone (or
+			// double-assigned) operation keeps its original mapping so
+			// re-agreement at a new sequence number does not re-apply it.
+			if _, done := r.executedOps[req.OpID]; !done {
+				r.executedOps[req.OpID] = seq
+				r.execCount.Add(1)
+				if r.deliver != nil {
+					r.deliver(Delivery{Seq: seq, OpID: req.OpID, Op: req.Op, Tentative: tentative})
+				}
 			}
 		}
-	}
-	if seq%r.cfg.CheckpointInterval == 0 {
-		ck := &Checkpoint{Seq: seq, State: r.stateDigest, Replica: r.cfg.ID}
-		r.broadcast(&Message{Type: MsgCheckpoint, Checkpoint: ck})
 	}
 	// Execution is progress: restart the suspicion timer for the
 	// remaining outstanding requests, or clear it when none remain.
@@ -690,6 +921,13 @@ func (r *Replica) stabilize(seq uint64) {
 		return
 	}
 	r.h = seq
+	if r.lastCommitted < seq {
+		// A quorum-certified checkpoint proves the history through seq
+		// committed globally; entries about to be truncated can no
+		// longer advance the horizon entry by entry.
+		r.lastCommitted = seq
+		r.commitSeq.Store(seq)
+	}
 	if r.ckptHook != nil {
 		r.ckptHook(seq, r.certifiedCkpts[seq])
 	}
@@ -721,6 +959,11 @@ func (r *Replica) stabilize(seq uint64) {
 	for s := range r.execCache {
 		if s <= retain {
 			delete(r.execCache, s)
+		}
+	}
+	for s := range r.chainAt {
+		if s < seq { // chain digests matter only above the stable watermark
+			delete(r.chainAt, s)
 		}
 	}
 	if r.isPrimaryLocked() && !r.inViewChange {

@@ -12,6 +12,10 @@ func (r *Replica) startViewChange(newView uint64) {
 		return
 	}
 	r.logf("starting view change to %d", newView)
+	// Queued commit votes still complete peers' certificates for the
+	// abandoned view; flush them before the view-change vote so they
+	// are not lost with the view.
+	r.flushPiggy()
 	r.inViewChange = true
 	r.view = newView
 	r.curView.Store(newView)
@@ -250,16 +254,36 @@ func (r *Replica) enterNewView(nv *NewView) {
 		r.seqCounter = maxSeq
 	}
 
+	// Tentative executions the new view does not re-propose unchanged
+	// are revoked before the replay: their prepared certificates did
+	// not survive into the new view, so other replicas may order
+	// different requests at those sequence numbers.
+	r.rollbackTentative(nv)
+
 	// Replay the re-proposed pre-prepares through the normal path. Each
 	// replica (including the new primary) records them; backups emit
 	// prepares.
 	for i := range nv.PrePrepares {
 		pp := nv.PrePrepares[i]
+		if pp.Seq <= r.lastCommitted {
+			continue // committed and executed; certificates guarantee same request
+		}
 		if pp.Seq <= r.lastExec {
-			continue // already executed; certificates guarantee same request
+			// Tentatively executed with a matching digest (it survived
+			// rollbackTentative). Re-run agreement in the new view so
+			// the commit certificate can form, but suppress
+			// re-delivery: the application already saw the operation.
+			r.onPrePrepare(r.cfg.PrimaryOf(nv.View), &pp)
+			if e, ok := r.log.at(pp.Seq); ok && e.prePrepared && !e.executed {
+				r.log.markExecuted(e)
+			}
+			continue
 		}
 		r.onPrePrepare(r.cfg.PrimaryOf(nv.View), &pp)
 	}
+	// Kept tentative entries may already satisfy the committed-horizon
+	// condition (executed + committed via the replayed certificates).
+	r.executeReady()
 
 	// Re-introduce pending requests in the new view.
 	if r.isPrimaryLocked() {
@@ -273,6 +297,109 @@ func (r *Replica) enterNewView(nv *NewView) {
 	}
 	r.armTimer()
 	r.viewChangesGC()
+}
+
+// rollbackTentative revokes tentative executions the new view does not
+// re-propose with the same request. Because an operation executes
+// tentatively only when everything below it has committed, the
+// tentative suffix is at most one sequence number; committed
+// executions always survive (their commit certificate proves a quorum
+// prepared them, so every new-view certificate re-proposes them
+// unchanged).
+func (r *Replica) rollbackTentative(nv *NewView) {
+	if !r.cfg.Tentative || r.lastExec <= r.lastCommitted {
+		return
+	}
+	var minS uint64
+	for i := range nv.ViewChanges {
+		if nv.ViewChanges[i].LastStable > minS {
+			minS = nv.ViewChanges[i].LastStable
+		}
+	}
+	keep := r.lastExec
+	for seq := r.lastCommitted + 1; seq <= r.lastExec; seq++ {
+		if seq <= minS {
+			continue // globally stable history; certificates guarantee same request
+		}
+		var want Digest
+		reproposed := false
+		for i := range nv.PrePrepares {
+			if nv.PrePrepares[i].Seq == seq {
+				want = nv.PrePrepares[i].Digest
+				reproposed = true
+				break
+			}
+		}
+		var got Digest
+		if req, ok := r.execCache[seq]; ok {
+			got = req.Digest()
+		}
+		// A sequence number beyond the certificate's range is about to
+		// be reassigned to fresh proposals; it must roll back even if
+		// our execution there was a null gap fill.
+		if !reproposed || want != got {
+			keep = seq - 1
+			break
+		}
+	}
+	if keep >= r.lastExec {
+		return
+	}
+	r.logf("rolling back tentative executions %d..%d for view %d", keep+1, r.lastExec, nv.View)
+	for seq := r.lastExec; seq > keep; seq-- {
+		if req, ok := r.execCache[seq]; ok {
+			r.undoExecution(seq, req)
+			delete(r.execCache, seq)
+		}
+		delete(r.chainAt, seq)
+		r.rollbacks.Add(1)
+	}
+	r.lastExec = keep
+	r.execSeq.Store(keep)
+	if d, ok := r.chainAt[keep]; ok {
+		r.stateDigest = d
+	} else {
+		r.stateDigest = Digest{} // keep == 0: initial state
+	}
+}
+
+// undoExecution revokes the deliveries of one rolled-back sequence
+// number, newest-first within a batch.
+func (r *Replica) undoExecution(seq uint64, req *Request) {
+	if inner, err := decodeBatch(req); isBatch(req) && err == nil {
+		delete(r.executedOps, req.OpID)
+		for i := len(inner) - 1; i >= 0; i-- {
+			in := &inner[i]
+			if at, ok := r.executedOps[in.OpID]; !ok || at != seq {
+				continue // executed under an earlier sequence number: not ours to undo
+			}
+			r.undoOne(seq, in)
+		}
+	} else if at, ok := r.executedOps[req.OpID]; ok && at == seq {
+		r.undoOne(seq, req)
+	}
+}
+
+// undoOne runs the application's rollback handler for one revoked
+// delivery. If the application undid the operation it is forgotten and
+// re-buffered for re-proposal (it will be re-delivered at its new
+// position); otherwise it stays marked executed so it is never
+// delivered twice.
+func (r *Replica) undoOne(seq uint64, req *Request) {
+	undone := false
+	if r.rollback != nil {
+		undone = r.rollback(Delivery{Seq: seq, OpID: req.OpID, Op: req.Op, Tentative: true})
+	}
+	if !undone {
+		return
+	}
+	delete(r.executedOps, req.OpID)
+	r.execCount.Add(^uint64(0))
+	if _, dup := r.pending[req.OpID]; !dup {
+		cp := &Request{OpID: req.OpID, Op: req.Op}
+		r.pending[req.OpID] = cp
+		r.pendingOrder = append(r.pendingOrder, req.OpID)
+	}
 }
 
 // viewChangesGC drops vote sets for views at or below the current view.

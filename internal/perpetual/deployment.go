@@ -21,6 +21,14 @@ type ServiceOptions struct {
 	// MaxBatch enables CLBFT request batching (>1) for the service's
 	// voter group.
 	MaxBatch int
+	// DisableTentative pins the voter group to committed-only execution
+	// (see ReplicaConfig.DisableTentative); used for A/B measurement of
+	// the tentative-execution optimizations and by tests of the
+	// committed-only path.
+	DisableTentative bool
+	// CommitFlushDelay tunes the piggybacked-commit idle heartbeat; zero
+	// uses the clbft default.
+	CommitFlushDelay time.Duration
 	// Behaviors optionally assigns Byzantine behaviors to replica
 	// indices.
 	Behaviors map[int]Behavior
@@ -166,6 +174,8 @@ func (d *Deployment) buildGroup(g ServiceInfo, opts ServiceOptions, principals [
 			RetransmitInterval: opts.RetransmitInterval,
 			ReadFallback:       opts.ReadFallback,
 			MaxBatch:           opts.MaxBatch,
+			DisableTentative:   opts.DisableTentative,
+			CommitFlushDelay:   opts.CommitFlushDelay,
 			Logger:             opts.Logger,
 		}
 		if opts.Behaviors != nil {

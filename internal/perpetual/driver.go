@@ -104,6 +104,14 @@ type Driver struct {
 	outstanding map[string]*outstandingReq
 	utils       map[uint64]int64
 
+	// primaryHint tracks, per target group, the advisory CLBFT primary
+	// index learned from verified reply bundles (ReplyBundle.Primary).
+	// First request attempts unicast to the hinted voter — hitting the
+	// actual primary saves the forwarding hop through a backup — and a
+	// stale hint is repaired by the retransmission fan-out plus the next
+	// bundle. Unknown targets default to index 0 (the view-0 primary).
+	primaryHint map[string]int
+
 	// Session-tier read fast path (see CallRead). readWaits collects
 	// speculative endorsements per outstanding read; readFloor is the
 	// per-target-group monotonic-reads floor (highest certified read
@@ -223,6 +231,7 @@ func newDriver(svc ServiceInfo, index int, reg *Registry, adapter *transport.Cha
 		replySeen:          newBoundedCache[struct{}](replySeenCacheSize),
 		outstanding:        make(map[string]*outstandingReq),
 		utils:              make(map[uint64]int64),
+		primaryHint:        make(map[string]int),
 		readWaits:          make(map[string]*readWait),
 		readFloor:          make(map[string]uint64),
 		readAfter:          make(map[string]uint64),
@@ -283,6 +292,15 @@ func (d *Driver) handleBundle(from auth.NodeID, b *ReplyBundle) {
 	if err := VerifyBundle(d.ks, target, b); err != nil {
 		d.logf("bundle for %s rejected: %v", b.ReqID, err)
 		return
+	}
+	// Adopt the responder's primary hint for future first attempts. Only
+	// verified bundles update it, and a lying responder merely redirects
+	// first attempts at a voter that forwards (or the retransmission
+	// fan-out corrects it) — routing, never safety.
+	if b.Primary >= 0 && b.Primary < target.N {
+		d.mu.Lock()
+		d.primaryHint[b.Target] = b.Primary
+		d.mu.Unlock()
 	}
 	// Forward to our group's primary voter; non-primary voters relay.
 	fw := &Message{Kind: KindResultForward, ResultForward: b}
@@ -419,7 +437,11 @@ func (d *Driver) startRequest(reqID string, tinfo ServiceInfo, payload []byte, r
 		class:     class,
 	}
 	d.outstanding[reqID] = o
+	hint := d.primaryHint[target]
 	d.mu.Unlock()
+	if hint < 0 || hint >= tinfo.N {
+		hint = 0
+	}
 
 	req, err := d.buildRequest(reqID, tinfo, payload, responder, 0)
 	if err != nil {
@@ -430,9 +452,12 @@ func (d *Driver) startRequest(reqID string, tinfo ServiceInfo, payload []byte, r
 		d.mu.Unlock()
 		return err
 	}
-	// First attempt goes to the believed primary (index 0 in the common
-	// case); retransmissions fan out to the whole group.
-	if err := d.sendRequest(req, []auth.NodeID{auth.VoterID(target, 0)}, class); err != nil {
+	// First attempt goes to the believed primary — the hint learned from
+	// the target's reply bundles, index 0 before the first bundle;
+	// retransmissions fan out to the whole group, so a crashed or
+	// superseded primary costs one retransmission interval, never
+	// liveness.
+	if err := d.sendRequest(req, []auth.NodeID{auth.VoterID(target, hint)}, class); err != nil {
 		d.logf("request %s: %v", reqID, err)
 	}
 
@@ -963,6 +988,15 @@ func (d *Driver) Outstanding() int {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return len(d.outstanding)
+}
+
+// PrimaryHint returns the target group's believed CLBFT primary index —
+// the routing hint first request attempts unicast to. Index 0 until a
+// verified reply bundle from the target reports otherwise.
+func (d *Driver) PrimaryHint(target string) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.primaryHint[target]
 }
 
 // close shuts the driver down, releasing all blocked callers.

@@ -132,12 +132,20 @@ func ReplyDigest(reqID string, payload []byte) [sha256.Size]byte {
 
 // replyAuthMsg is the byte string a target voter MACs to endorse a reply
 // digest (the authenticator covers this, not the raw payload, so shares
-// can omit the payload body).
-func replyAuthMsg(reqID string, digest [sha256.Size]byte) []byte {
+// can omit the payload body). The tentative flag is part of the MAC'd
+// content: a share minted over a tentative (prepared but not yet
+// committed) execution cannot be laundered into a stable endorsement by
+// flipping the wire flag — the MAC would no longer verify.
+func replyAuthMsg(reqID string, digest [sha256.Size]byte, tentative bool) []byte {
 	w := wire.NewWriter(len(reqID) + len(digest) + 24)
 	w.PutString("perpetual-reply")
 	w.PutString(reqID)
 	w.PutBytes(digest[:])
+	if tentative {
+		w.PutUint8(1)
+	} else {
+		w.PutUint8(0)
+	}
 	return w.Bytes()
 }
 
@@ -153,10 +161,16 @@ func requestAuthMsg(reqID string, digest [sha256.Size]byte) []byte {
 
 // Share is one target voter's endorsement of a reply digest: the voter's
 // index within the target group and its authenticator (MAC entries for
-// every calling driver and voter).
+// every calling driver and voter). Tentative marks an endorsement minted
+// while the ordering agreement for the executed request was still
+// prepared-but-uncommitted at the voter (Castro-Liskov tentative
+// execution); the flag is covered by the MAC (see replyAuthMsg), and
+// VerifyBundle demands a larger quorum when only tentative shares back a
+// reply. Request shares (requestAuthMsg) never set it.
 type Share struct {
-	Replica int
-	Auth    auth.Authenticator
+	Replica   int
+	Tentative bool
+	Auth      auth.Authenticator
 }
 
 // ReplyShare is the stage-5 message from a target voter to the
@@ -216,12 +230,20 @@ type ReadReply struct {
 }
 
 // ReplyBundle is the stage-6 message from the responder to every calling
-// driver: the reply payload plus f_t+1 shares endorsing its digest.
+// driver: the reply payload plus the shares endorsing its digest —
+// either f_t+1 stable shares or a full agreement quorum of (possibly
+// tentative) shares; VerifyBundle enforces the tiers.
 type ReplyBundle struct {
 	ReqID   string
 	Target  string
 	Payload []byte
 	Shares  []Share
+	// Primary is the responder's advisory hint of the target group's
+	// current CLBFT primary index. Callers unicast first request attempts
+	// to it instead of a fixed index, saving the hop through a non-primary
+	// voter. The hint is deliberately outside the verified share content:
+	// a wrong hint costs one retransmission fan-out, never safety.
+	Primary int
 }
 
 // UtilForward asks the voter primary to propose an agreed utility value
@@ -478,16 +500,22 @@ func decodeAuthenticator(r *wire.Reader) auth.Authenticator {
 
 func encodeShare(w *wire.Writer, s *Share) {
 	w.PutUvarint(uint64(s.Replica))
+	if s.Tentative {
+		w.PutUint8(1)
+	} else {
+		w.PutUint8(0)
+	}
 	encodeAuthenticator(w, &s.Auth)
 }
 
 func decodeShare(r *wire.Reader) Share {
-	return Share{Replica: int(r.Uvarint()), Auth: decodeAuthenticator(r)}
+	return Share{Replica: int(r.Uvarint()), Tentative: r.Uint8() == 1, Auth: decodeAuthenticator(r)}
 }
 
 func encodeBundle(w *wire.Writer, b *ReplyBundle) {
 	w.PutString(b.ReqID)
 	w.PutString(b.Target)
+	w.PutUvarint(uint64(b.Primary))
 	w.PutBytes(b.Payload)
 	w.PutUvarint(uint64(len(b.Shares)))
 	for i := range b.Shares {
@@ -496,7 +524,7 @@ func encodeBundle(w *wire.Writer, b *ReplyBundle) {
 }
 
 func decodeBundle(r *wire.Reader) *ReplyBundle {
-	b := &ReplyBundle{ReqID: r.String(), Target: r.String(), Payload: r.BytesCopy()}
+	b := &ReplyBundle{ReqID: r.String(), Target: r.String(), Primary: int(r.Uvarint()), Payload: r.BytesCopy()}
 	n := int(r.Uvarint())
 	if n > r.Remaining() {
 		return b
@@ -510,20 +538,33 @@ func decodeBundle(r *wire.Reader) *ReplyBundle {
 	return b
 }
 
-// VerifyBundle checks a reply bundle against the verifier's key store:
-// the bundle must carry at least fTarget+1 shares from distinct target
-// voter indices, each authenticated with a valid MAC entry for the
-// verifier, endorsing the digest of the carried payload. At least one of
-// those voters is then correct, so the payload is the target service's
-// unique reply to the request.
+// VerifyBundle checks a reply bundle against the verifier's key store.
+// Shares from distinct target voter indices must authenticate with a
+// valid MAC entry for the verifier and endorse the digest of the carried
+// payload; the bundle certifies when either tier holds:
+//
+//   - f_t+1 stable shares: at least one correct voter executed the
+//     reply on committed agreement state, so the result is final; or
+//   - a full agreement quorum (2f_t+1 canonically) of shares, stable or
+//     tentative: at least f_t+1 correct voters tentatively executed the
+//     request on a prepared certificate, which every new-view
+//     certificate preserves, so the tentative result is guaranteed to
+//     commit unchanged (the Castro-Liskov tentative-reply rule).
+//
+// Fewer matching endorsements — in particular f_t+1 shares that are only
+// tentative — never certify: a view change could still reassign the
+// sequence numbers those executions ran at.
 func VerifyBundle(ks *auth.KeyStore, target ServiceInfo, b *ReplyBundle) error {
 	if b == nil {
 		return fmt.Errorf("perpetual: nil bundle")
 	}
-	need := target.F() + 1
+	needStable := target.F() + 1
+	needAny := target.Quorum()
 	digest := ReplyDigest(b.ReqID, b.Payload)
-	msg := replyAuthMsg(b.ReqID, digest)
-	valid := make(map[int]struct{}, need)
+	msgStable := replyAuthMsg(b.ReqID, digest, false)
+	msgTent := replyAuthMsg(b.ReqID, digest, true)
+	valid := make(map[int]struct{}, needAny)
+	stable := 0
 	for i := range b.Shares {
 		s := &b.Shares[i]
 		if s.Replica < 0 || s.Replica >= target.N {
@@ -536,13 +577,21 @@ func VerifyBundle(ks *auth.KeyStore, target ServiceInfo, b *ReplyBundle) error {
 		if s.Auth.Sender != want {
 			continue // share must be authenticated by the claimed voter
 		}
+		msg := msgStable
+		if s.Tentative {
+			msg = msgTent
+		}
 		if err := s.Auth.VerifyFor(ks, msg); err != nil {
 			continue
 		}
 		valid[s.Replica] = struct{}{}
-		if len(valid) >= need {
+		if !s.Tentative {
+			stable++
+		}
+		if stable >= needStable || len(valid) >= needAny {
 			return nil
 		}
 	}
-	return fmt.Errorf("perpetual: bundle for %s has %d valid shares, need %d", b.ReqID, len(valid), need)
+	return fmt.Errorf("perpetual: bundle for %s has %d valid shares (%d stable), need %d stable or %d total",
+		b.ReqID, len(valid), stable, needStable, needAny)
 }

@@ -36,6 +36,12 @@ type ServiceInfo struct {
 // tolerates.
 func (s ServiceInfo) F() int { return (s.N - 1) / 3 }
 
+// Quorum returns the group's agreement quorum size (2f+1 for the
+// canonical N = 3f+1), mirroring clbft.Config.Quorum. A reply backed by
+// this many endorsements — even tentative ones — is guaranteed to
+// survive any view change of the target group (see VerifyBundle).
+func (s ServiceInfo) Quorum() int { return (s.N+s.F())/2 + 1 }
+
 // IsSharded reports whether the service deploys more than one voter
 // group.
 func (s ServiceInfo) IsSharded() bool { return s.Shards > 1 }

@@ -32,6 +32,16 @@ type ReplicaConfig struct {
 	CheckpointInterval uint64
 	ViewChangeTimeout  time.Duration
 	MaxBatch           int
+	// DisableTentative turns off the CLBFT tentative-execution and
+	// commit-piggybacking optimizations (clbft.Config.Tentative), which
+	// are on by default: requests then execute only after commit, every
+	// commit vote pays its own frame, and all reply shares are stable.
+	// Intended for A/B measurement and for tests pinning the
+	// committed-only code path.
+	DisableTentative bool
+	// CommitFlushDelay tunes the piggybacked-commit idle heartbeat (see
+	// clbft.Config.CommitFlushDelay); zero uses the clbft default.
+	CommitFlushDelay time.Duration
 	// RetransmitInterval tunes the driver's request retransmission
 	// backoff base; zero uses DefaultRetransmitInterval.
 	RetransmitInterval time.Duration
@@ -99,10 +109,13 @@ func NewReplica(cfg ReplicaConfig) (*Replica, error) {
 		CheckpointInterval: cfg.CheckpointInterval,
 		ViewChangeTimeout:  cfg.ViewChangeTimeout,
 		MaxBatch:           cfg.MaxBatch,
+		Tentative:          !cfg.DisableTentative,
+		CommitFlushDelay:   cfg.CommitFlushDelay,
 	}
 	opts := []clbft.Option{
 		clbft.WithValidator(v.validateOp),
 		clbft.WithCheckpointHook(v.onStableCheckpoint),
+		clbft.WithRollback(v.onRollback),
 	}
 	if cfg.Logger != nil {
 		opts = append(opts, clbft.WithLogger(cfg.Logger))
@@ -163,8 +176,27 @@ func (r *Replica) SetReadExecutor(fn func([]byte) ([]byte, error)) {
 
 // AgreedSeq returns the agreement sequence of the last operation this
 // replica's voter group delivered locally (the CLBFT log horizon local
-// delivery has reached; diagnostic).
+// delivery has reached, including tentative deliveries; diagnostic).
 func (r *Replica) AgreedSeq() uint64 { return r.voter.bft.LastExecutedSeq() }
+
+// CommittedSeq returns the agreement sequence through which this
+// replica's voter holds commit certificates — the stable horizon behind
+// (or at) AgreedSeq. Deliveries above it are tentative and endorse
+// replies at the tentative tier (diagnostic).
+func (r *Replica) CommittedSeq() uint64 { return r.voter.bft.CommittedSeq() }
+
+// TentativeExecs returns how many operations this replica's voter
+// executed tentatively, ahead of their commit certificates (diagnostic).
+func (r *Replica) TentativeExecs() uint64 { return r.voter.bft.TentativeExecs() }
+
+// Rollbacks returns how many tentative executions were revoked by view
+// changes at this replica's voter (diagnostic).
+func (r *Replica) Rollbacks() uint64 { return r.voter.bft.Rollbacks() }
+
+// PiggybackedCommits returns how many of this voter's commit votes rode
+// a pre-prepare or prepare frame instead of paying their own
+// (diagnostic; the frames-per-request reduction is proportional).
+func (r *Replica) PiggybackedCommits() uint64 { return r.voter.bft.PiggybackedCommits() }
 
 // Service returns the replica's service descriptor.
 func (r *Replica) Service() ServiceInfo { return r.svc }

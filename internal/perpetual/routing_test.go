@@ -1,0 +1,102 @@
+package perpetual
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// buildPairOver is buildPair on an explicit transport: caller "c" (nc
+// replicas), target "t" (nt replicas), echo app wired by the caller.
+func buildPairOver(t *testing.T, kind TransportKind, nc, nt int, tune func(*Deployment)) *Deployment {
+	t.Helper()
+	dep := NewDeploymentOver([]byte("test-master"), kind,
+		ServiceInfo{Name: "c", N: nc},
+		ServiceInfo{Name: "t", N: nt},
+	)
+	dep.Configure("c", fastOpts())
+	dep.Configure("t", fastOpts())
+	if tune != nil {
+		tune(dep)
+	}
+	if err := dep.Build(); err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	dep.Start()
+	t.Cleanup(dep.Stop)
+	return dep
+}
+
+// requestFramesAt returns the KindRequest frames each target voter has
+// received so far.
+func requestFramesAt(dep *Deployment, service string) []uint64 {
+	var out []uint64
+	for _, r := range dep.Replicas(service) {
+		out = append(out, r.VoterStats().Class(uint8(KindRequest)).RecvMsgs)
+	}
+	return out
+}
+
+// TestPrimaryCrashRetransmitFanoutCompletes covers the primary-routed
+// request path's failure mode, on both transports: the driver's first
+// attempt unicasts to the believed primary; when that replica is
+// crashed, the retransmission fan-out hands the request to the
+// surviving voters, the target group view-changes away from the dead
+// primary, and the call completes through the new view. The recovered
+// bundle then teaches the driver the new primary.
+func TestPrimaryCrashRetransmitFanoutCompletes(t *testing.T) {
+	for _, kind := range []TransportKind{TransportMem, TransportTCP} {
+		kind := kind
+		t.Run(fmt.Sprintf("transport=%v", kind), func(t *testing.T) {
+			dep := buildPairOver(t, kind, 1, 4, func(dep *Deployment) {
+				opts := fastOpts()
+				opts.RetransmitInterval = 150 * time.Millisecond
+				dep.Configure("t", opts)
+			})
+			echoApp(t, dep, "t")
+			drv := dep.Driver("c", 0)
+
+			// Warm up through the healthy primary; the hint stays 0.
+			reqID := callAll(t, dep, "c", "t", []byte("warm"), 0)
+			if r := awaitAll(t, dep, "c", reqID); r.Aborted {
+				t.Fatal("warmup aborted")
+			}
+			if h := drv.PrimaryHint("t"); h != 0 {
+				t.Fatalf("hint after healthy call = %d, want 0", h)
+			}
+
+			// Crash the hinted primary mid-stream, then call again. The
+			// unicast first attempt is addressed to a dead replica, so
+			// completion requires the fan-out and a target view change.
+			dep.Replicas("t")[0].Stop()
+			reqID = callAll(t, dep, "c", "t", []byte("after-crash"), 0)
+			r := awaitAll(t, dep, "c", reqID)
+			if r.Aborted || string(r.Payload) != "echo:after-crash" {
+				t.Fatalf("post-crash reply = %+v", r)
+			}
+			hint := drv.PrimaryHint("t")
+			if hint == 0 {
+				t.Fatalf("driver still routes to the crashed primary 0 after a bundle from view >= 1")
+			}
+
+			// The learned hint routes the next first attempt: exactly one
+			// surviving voter — the hinted one — receives the request
+			// frame, with no retransmission fan-out needed.
+			before := requestFramesAt(dep, "t")
+			reqID = callAll(t, dep, "c", "t", []byte("routed"), 0)
+			if r := awaitAll(t, dep, "c", reqID); r.Aborted || string(r.Payload) != "echo:routed" {
+				t.Fatalf("routed reply = %+v", r)
+			}
+			after := requestFramesAt(dep, "t")
+			for i := range after {
+				delta := after[i] - before[i]
+				switch {
+				case i == hint && delta != 1:
+					t.Errorf("hinted primary %d received %d request frames, want 1", i, delta)
+				case i != hint && delta != 0:
+					t.Errorf("voter %d received %d request frames; first attempt must unicast to %d", i, delta, hint)
+				}
+			}
+		})
+	}
+}

@@ -24,12 +24,18 @@ const (
 )
 
 // replyRecord is a cached executed reply, kept for retransmission
-// service after the original share was sent.
+// service after the original share was sent. seq and tentative remember
+// the agreement position and endorsement tier the share was minted at:
+// once the group's commit horizon passes seq, a retransmission upgrades
+// the cached tentative share to a stable one (re-MAC'd — the tier is
+// inside the authenticated message).
 type replyRecord struct {
-	caller  string
-	digest  [sha256.Size]byte
-	payload []byte
-	share   Share
+	caller    string
+	digest    [sha256.Size]byte
+	payload   []byte
+	share     Share
+	seq       uint64
+	tentative bool
 }
 
 // execInfo tracks an agreed request awaiting (or during) execution.
@@ -365,9 +371,16 @@ func (v *voter) handleExternalRequest(from auth.NodeID, req *Request) {
 
 	v.mu.Lock()
 	// Already executed? Serve the cached reply toward the requested
-	// responder (and directly to the asking driver if we are it).
+	// responder (and directly to the asking driver if we are it). A
+	// retransmission is also the tier-upgrade point: if the share was
+	// minted tentative and the agreement has since committed past its
+	// sequence, re-mint it stable so f_t+1 upgraded shares can certify a
+	// reply that stalled below the tentative quorum tier.
 	if rec, ok := v.replies.Get(req.ReqID); ok {
 		v.mu.Unlock()
+		if rec.tentative && v.bft.CommittedSeq() >= rec.seq {
+			rec = v.upgradeShare(req.ReqID, rec)
+		}
 		v.sendShareTo(req.ReqID, rec, req.Responder)
 		return
 	}
@@ -532,12 +545,42 @@ func (v *voter) handleLocalResult(reqID string, payload []byte) {
 	}
 	v.drainParkedReads()
 
-	caller, err := v.registry.Lookup(info.caller)
-	if err != nil {
+	if _, err := v.registry.Lookup(info.caller); err != nil {
 		v.logf("result for %s: unknown caller %s", reqID, info.caller)
 		return
 	}
 	digest := ReplyDigest(reqID, payload)
+	// The endorsement tier is decided here, once, against the agreement's
+	// commit horizon: a result executed ahead of the horizon (tentative
+	// execution) is endorsed tentatively — callers then need a full
+	// quorum of matching shares instead of f_t+1 (see VerifyBundle).
+	tentative := v.bft.CommittedSeq() < info.seq
+	a, err := v.authenticateReply(reqID, info.caller, payload, digest, tentative)
+	if err != nil {
+		v.logf("result for %s: authenticator: %v", reqID, err)
+		return
+	}
+	rec := replyRecord{
+		caller:    info.caller,
+		digest:    digest,
+		payload:   payload,
+		share:     Share{Replica: v.index, Tentative: tentative, Auth: a},
+		seq:       info.seq,
+		tentative: tentative,
+	}
+	v.mu.Lock()
+	v.replies.Put(reqID, rec)
+	v.mu.Unlock()
+	v.sendShareTo(reqID, rec, info.responder)
+}
+
+// authenticateReply MACs a reply-digest endorsement toward every
+// principal that may need to verify it.
+func (v *voter) authenticateReply(reqID, callerName string, payload []byte, digest [sha256.Size]byte, tentative bool) (auth.Authenticator, error) {
+	caller, err := v.registry.Lookup(callerName)
+	if err != nil {
+		return auth.Authenticator{}, err
+	}
 	receivers := append(caller.DriverIDs(), caller.VoterIDs()...)
 	// A handoff-export reply doubles as the state-handoff certificate the
 	// *destination* group must verify, and MAC authenticators are only
@@ -551,21 +594,39 @@ func (v *voter) handleLocalResult(reqID string, payload []byte) {
 			receivers = append(receivers, dg.DriverIDs()...)
 		}
 	}
-	a, err := auth.NewAuthenticator(v.ks, replyAuthMsg(reqID, digest), receivers)
+	return auth.NewAuthenticator(v.ks, replyAuthMsg(reqID, digest, tentative), receivers)
+}
+
+// upgradeShare re-mints a cached tentative share as stable after the
+// agreement committed past its sequence, and re-caches the result.
+func (v *voter) upgradeShare(reqID string, rec replyRecord) replyRecord {
+	a, err := v.authenticateReply(reqID, rec.caller, rec.payload, rec.digest, false)
 	if err != nil {
-		v.logf("result for %s: authenticator: %v", reqID, err)
-		return
+		v.logf("upgrading share for %s: %v", reqID, err)
+		return rec
 	}
-	rec := replyRecord{
-		caller:  info.caller,
-		digest:  digest,
-		payload: payload,
-		share:   Share{Replica: v.index, Auth: a},
-	}
+	rec.share = Share{Replica: v.index, Auth: a}
+	rec.tentative = false
 	v.mu.Lock()
 	v.replies.Put(reqID, rec)
 	v.mu.Unlock()
-	v.sendShareTo(reqID, rec, info.responder)
+	return rec
+}
+
+// onRollback is the CLBFT rollback handler: a view change revoked a
+// tentative delivery. The application executor cannot un-execute — by
+// the time the revocation arrives the operation's effects may already
+// be embedded in later state and an endorsement may have left the host —
+// so the delivery stays consumed (return false: clbft keeps it marked
+// executed and never re-delivers it). Safety does not depend on undoing:
+// a tentative endorsement only certifies at callers with a full quorum
+// behind it, and a quorum of tentative executions survives every view
+// change, so any reply actually accepted by a caller is final. A replica
+// whose rolled-back suffix diverges from the re-agreed order can at
+// worst endorse minority results afterwards and is outvoted.
+func (v *voter) onRollback(d clbft.Delivery) bool {
+	v.logf("tentative delivery %s at seq %d rolled back by view change", d.OpID, d.Seq)
+	return false
 }
 
 // sendShareTo routes this voter's reply share to the responder voter
@@ -868,13 +929,22 @@ func (v *voter) acceptShare(fromIndex int, rs *ReplyShare) {
 		sc.payload[rs.Digest] = rs.Payload
 	}
 
-	// Find a digest endorsed by f_t+1 distinct voters.
+	// Find a certifiable digest: f_t+1 stable endorsements, or a full
+	// agreement quorum of endorsements in any tier (the two acceptance
+	// tiers of VerifyBundle — under tentative execution the common case
+	// is every voter endorsing tentatively, which certifies at quorum
+	// without waiting for commits; short tentative sets wait for the
+	// retransmission-driven stable upgrade).
 	counts := make(map[[sha256.Size]byte]int)
+	stables := make(map[[sha256.Size]byte]int)
 	var winner [sha256.Size]byte
 	found := false
-	for _, d := range sc.digests {
+	for idx, d := range sc.digests {
 		counts[d]++
-		if counts[d] >= v.svc.F()+1 {
+		if !sc.shares[idx].Tentative {
+			stables[d]++
+		}
+		if stables[d] >= v.svc.F()+1 || counts[d] >= v.svc.Quorum() {
 			winner = d
 			found = true
 		}
@@ -923,7 +993,17 @@ func (v *voter) acceptShare(fromIndex int, rs *ReplyShare) {
 	}
 	v.mu.Unlock()
 
-	bundle := &ReplyBundle{ReqID: rs.ReqID, Target: v.svc.Name, Payload: payload, Shares: shares}
+	primary := 0
+	if v.bft != nil {
+		primary = v.bft.Primary() // advisory routing hint for the callers
+	}
+	bundle := &ReplyBundle{
+		ReqID:   rs.ReqID,
+		Target:  v.svc.Name,
+		Payload: payload,
+		Shares:  shares,
+		Primary: primary,
+	}
 	msg := &Message{Kind: KindReplyBundle, ReplyBundle: bundle}
 	w := wire.GetWriter(msg.SizeHint())
 	msg.EncodeTo(w)
