@@ -12,8 +12,9 @@
 //	perpetualctl shards [-quick] [-n 4] [-calls 1920] [-measure 3s]
 //	perpetualctl txn [-quick] [-n 4] [-calls 200]
 //	perpetualctl reshard [-quick] [-n 4] [-from 2] [-to 4] [-customers 96]
+//	perpetualctl membership [-quick] [-n 4] [-rotations 1] [-transport mem|tcp]
 //	perpetualctl readmix [-quick] [-n 4] [-calls 400] [-sessions 4] [-readpct 95] [-transport mem|tcp]
-//	perpetualctl bench [-quick] [-json] [-out FILE] [-commit REV] [-transport mem,tcp] [-batch N] [-readmix]
+//	perpetualctl bench [-quick] [-json] [-out FILE] [-commit REV] [-transport mem,tcp] [-batch N] [-readmix] [-chaos]
 //	perpetualctl benchgate -old FILE -new FILE [-max-regress 15]
 //	perpetualctl all  [-quick]
 //
@@ -62,6 +63,8 @@ func main() {
 		err = runTxn(args)
 	case "reshard":
 		err = runReshard(args)
+	case "membership":
+		err = runMembership(args)
 	case "readmix":
 		err = runReadMix(args)
 	case "bench":
@@ -85,7 +88,7 @@ func main() {
 }
 
 func usage(w io.Writer) {
-	fmt.Fprintln(w, `usage: perpetualctl <properties|fig6|fig7|fig8|fig9|shards|txn|reshard|readmix|bench|benchgate|all> [flags]
+	fmt.Fprintln(w, `usage: perpetualctl <properties|fig6|fig7|fig8|fig9|shards|txn|reshard|membership|readmix|bench|benchgate|all> [flags]
   properties  print the paper's Figure 2 property matrix
   fig6        TPC-W WIPS vs RBE count (payment-tier replication sweep)
   fig7        replica scalability, null requests (-transport tcp runs the
@@ -95,6 +98,9 @@ func usage(w io.Writer) {
   shards      aggregate throughput vs shard count (sharded services)
   txn         cross-shard atomic transactions vs single-shard baseline
   reshard     live shard rebalancing under load (BFT state handoff)
+  membership  proactive-recovery rotation under load: crash and replace
+              every voter slot through agreement-installed membership
+              epochs, then print per-group epoch/roster status
   readmix     browse-heavy TPC-W mix through the session-tier read fast
               path vs the same mix forced through agreement (-transport
               mem|tcp, -sessions N concurrent emulated browsers)
@@ -102,7 +108,8 @@ func usage(w io.Writer) {
               report (use -out FILE to write e.g. BENCH_pr6.json and
               -commit REV to stamp the measured revision); -transport
               selects the null-cell wires, -batch the batched variant,
-              -readmix=false skips the two-tier read-mix cells
+              -readmix=false skips the two-tier read-mix cells,
+              -chaos=false the rotation-recovery cells
   benchgate   compare two 'go test -bench' outputs and fail on a
               throughput regression beyond -max-regress percent
   all         fig7, fig8, fig9, then fig6
@@ -118,14 +125,15 @@ func runBench(args []string) error {
 	transports := fs.String("transport", "mem,tcp", "comma-separated transports for the null cells: mem, tcp")
 	batch := fs.Int("batch", 8, "CLBFT batch size of the batched Figure-7 variant (<=1 disables it)")
 	readmix := fs.Bool("readmix", true, "measure the two-tier read-mix cells (fast path vs agreement)")
+	chaos := fs.Bool("chaos", true, "measure the rotation-recovery cells (crash/restart chaos soak)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	fmt.Fprintln(os.Stderr, "running bench report (null throughput mem+tcp, WIPS, txn, reply path, read mix, micro)...")
+	fmt.Fprintln(os.Stderr, "running bench report (null throughput mem+tcp, WIPS, txn, reply path, read mix, chaos, micro)...")
 	rep, err := bench.RunReport(bench.ReportConfig{
 		Quick: *quick, Commit: *commit,
 		Transports: splitList(*transports), Batch: *batch,
-		SkipReadMix: !*readmix,
+		SkipReadMix: !*readmix, SkipChaos: !*chaos,
 	})
 	if err != nil {
 		return err
@@ -165,6 +173,11 @@ func runBench(args []string) error {
 		if rep.ReadReqPerSecTCP > 0 {
 			fmt.Fprintf(&b, "read mix (95/5) tcp: %8.0f req/s (p50 %.2f ms, p99 %.2f ms)\n",
 				rep.ReadReqPerSecTCP, rep.ReadP50MsTCP, rep.ReadP99MsTCP)
+		}
+		if rep.ChaosCycles > 0 {
+			fmt.Fprintf(&b, "rotation recovery (n=4, %d cycles): p50 %.0f ms, p99 %.0f ms; min cycle tput %.1f req/s, %d stray events\n",
+				rep.ChaosCycles, rep.RotationRecoveryP50Ms, rep.RotationRecoveryP99Ms,
+				rep.ChaosMinCycleTput, rep.ChaosStrayEvents)
 		}
 		for _, name := range []string{
 			"broadcast_encode_per_receiver", "broadcast_encode_multicast",
@@ -296,6 +309,53 @@ func runReshard(args []string) error {
 	fmt.Printf("interactions:       %d total, %d failed\n", res.Interactions, res.Failures)
 	if res.Failures > 0 {
 		return fmt.Errorf("%d interactions failed during the reshard", res.Failures)
+	}
+	return nil
+}
+
+func runMembership(args []string) error {
+	fs := flag.NewFlagSet("membership", flag.ExitOnError)
+	quick := fs.Bool("quick", false, "reduced load per recovery window")
+	n := fs.Int("n", 4, "target voter group size (N = 3f+1)")
+	rotations := fs.Int("rotations", 1, "full rotations (each replaces every slot once)")
+	workers := fs.Int("workers", 2, "concurrent closed-loop clients")
+	transportName := fs.String("transport", "mem", "transport: mem or tcp")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	kind, err := bench.TransportKindOf(*transportName)
+	if err != nil {
+		return err
+	}
+	cycleCalls := 20
+	if *quick {
+		cycleCalls = 10
+	}
+	fmt.Printf("rotating all %d slots through crash + epoch-installed replacement under load (%d rotation(s), %s)...\n",
+		*n, *rotations, *transportName)
+	res, err := bench.RunChaosSoak(bench.ChaosSoakConfig{
+		N: *n, Rotations: *rotations, Workers: *workers,
+		CycleCalls: cycleCalls, Transport: kind,
+	})
+	if err != nil {
+		return err
+	}
+	for _, c := range res.Cycles {
+		fmt.Printf("  slot %d -> epoch %2d: recovered in %7.1f ms, %6.1f req/s through the cycle\n",
+			c.Slot, c.Epoch, c.RecoveryMs, c.Tput)
+	}
+	fmt.Printf("recovery p50 %.0f ms, p99 %.0f ms; %d requests completed, %d stray events\n",
+		res.RecoveryP50Ms, res.RecoveryP99Ms, res.Completed, res.StrayEvents)
+	for _, st := range res.Statuses {
+		rot := "never"
+		if !st.LastRotation.IsZero() {
+			rot = fmt.Sprintf("%s ago", time.Since(st.LastRotation).Round(time.Millisecond))
+		}
+		fmt.Printf("group %-8s epoch %2d  n=%d  catching-up %v  halted %v  last rotation %s\n",
+			st.Group, st.Epoch, st.N, st.CatchingUp, st.Halted, rot)
+	}
+	if res.StrayEvents != 0 {
+		return fmt.Errorf("%d stray events after drain (duplicated delivery)", res.StrayEvents)
 	}
 	return nil
 }

@@ -328,6 +328,36 @@ func DeriveKey(master []byte, a, b NodeID) Key {
 	return Key(h.Sum(nil))
 }
 
+// DeriveEpochKey derives the pairwise key between group members a and b
+// for one membership epoch. Epoch 0 reproduces DeriveKey exactly, so
+// deployments that never change membership keep their original keys;
+// every later epoch mixes the epoch number into the derivation context,
+// which is how membership installs rotate a voter group's internal MAC
+// keys: members re-provision at the new epoch, while a removed or
+// replaced incarnation keeps only the old-epoch keys and every MAC it
+// produces afterwards fails verification at the survivors.
+func DeriveEpochKey(master []byte, epoch uint64, a, b NodeID) Key {
+	if epoch == 0 {
+		return DeriveKey(master, a, b)
+	}
+	lo, hi := a, b
+	if hi.Less(lo) {
+		lo, hi = hi, lo
+	}
+	var eb [8]byte
+	for i := 0; i < 8; i++ {
+		eb[i] = byte(epoch >> (8 * i))
+	}
+	h := hmac.New(sha256.New, master)
+	h.Write([]byte("perpetual-epoch-key\x00"))
+	h.Write(eb[:])
+	h.Write([]byte{0})
+	h.Write([]byte(lo.String()))
+	h.Write([]byte{0})
+	h.Write([]byte(hi.String()))
+	return Key(h.Sum(nil))
+}
+
 // Errors returned by KeyStore and Authenticator verification.
 var (
 	ErrUnknownPrincipal = errors.New("auth: no key for principal")

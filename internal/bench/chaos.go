@@ -1,0 +1,234 @@
+package bench
+
+// The crash/restart chaos soak behind `perpetualctl chaos` and the
+// rotation-recovery report cells: an n=4 voter group serving
+// closed-loop echo traffic while every slot is, in turn, crashed and
+// replaced through an agreement-installed membership epoch (the
+// proactive-recovery rotation). Reported: recovery time per cycle
+// (kill to the fresh incarnation voting), throughput inside each
+// recovery window, and the tentpole invariant — zero lost and zero
+// duplicated requests across the whole soak.
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"perpetualws/internal/perpetual"
+)
+
+// ChaosSoakConfig parameterizes the crash/restart soak.
+type ChaosSoakConfig struct {
+	N         int // target group size (N = 3f+1)
+	Rotations int // full rotations; each replaces every slot once
+	Workers   int // concurrent closed-loop clients
+	// CycleCalls is the number of completions demanded inside each
+	// recovery window before the next slot is crashed (progress proof
+	// under the freshly installed epoch).
+	CycleCalls int
+	Transport  perpetual.TransportKind
+}
+
+func (c *ChaosSoakConfig) defaults() {
+	if c.N <= 0 {
+		c.N = 4
+	}
+	if c.Rotations <= 0 {
+		c.Rotations = 1
+	}
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.CycleCalls <= 0 {
+		c.CycleCalls = 20
+	}
+}
+
+// ChaosCycle is one kill+replace cycle's measurement.
+type ChaosCycle struct {
+	Slot       int
+	Epoch      uint64
+	RecoveryMs float64 // crash to the fresh incarnation caught up and voting
+	Tput       float64 // completions/s across the cycle (crash included)
+}
+
+// ChaosSoakResult is the measured outcome.
+type ChaosSoakResult struct {
+	Cycles        []ChaosCycle
+	Completed     uint64 // closed-loop completions, each exactly once
+	RecoveryP50Ms float64
+	RecoveryP99Ms float64
+	MinCycleTput  float64 // slowest cycle's completions/s (must be > 0)
+	FinalEpoch    uint64
+	// StrayEvents is the caller's undrained event count after the soak:
+	// nonzero means a reply was delivered twice (a duplicated request).
+	StrayEvents int
+	// Statuses is the deployment's final per-group membership state
+	// (the `perpetualctl membership` operator surface).
+	Statuses []perpetual.GroupStatus
+}
+
+// echoExecutor answers every incoming request on one replica's driver
+// by echoing the payload.
+func echoExecutor(r *perpetual.Replica) {
+	drv := r.Driver()
+	go func() {
+		for {
+			req, err := drv.NextRequest()
+			if err != nil {
+				return
+			}
+			if err := drv.Reply(req, req.Payload); err != nil {
+				return
+			}
+		}
+	}()
+}
+
+// RunChaosSoak builds a caller/target deployment, drives closed-loop
+// load, and rotates every target slot through crash + epoch-installed
+// replacement under that load.
+func RunChaosSoak(cfg ChaosSoakConfig) (*ChaosSoakResult, error) {
+	cfg.defaults()
+	dep := perpetual.NewDeploymentOver([]byte("bench-chaos"), cfg.Transport,
+		perpetual.ServiceInfo{Name: "c", N: 1},
+		perpetual.ServiceInfo{Name: "t", N: cfg.N},
+	)
+	opts := perpetual.ServiceOptions{
+		CheckpointInterval: 16,
+		ViewChangeTimeout:  2 * time.Second,
+		RetransmitInterval: 500 * time.Millisecond,
+	}
+	dep.Configure("c", opts)
+	dep.Configure("t", opts)
+	if err := dep.Build(); err != nil {
+		return nil, err
+	}
+	dep.Start()
+	defer dep.Stop()
+	for _, r := range dep.Replicas("t") {
+		echoExecutor(r)
+	}
+	drv := dep.Driver("c", 0)
+
+	var completed atomic.Uint64
+	var loadErr atomic.Value
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; ; k++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				payload := []byte{byte(w), byte(k), byte(k >> 8)}
+				id, err := drv.Call("t", payload, 0)
+				if err != nil {
+					loadErr.Store(fmt.Errorf("call: %w", err))
+					return
+				}
+				if _, err := drv.WaitReply(id); err != nil {
+					loadErr.Store(fmt.Errorf("reply: %w", err))
+					return
+				}
+				completed.Add(1)
+			}
+		}()
+	}
+	waitCompletions := func(target uint64, within time.Duration) error {
+		deadline := time.Now().Add(within)
+		for completed.Load() < target {
+			if err, _ := loadErr.Load().(error); err != nil {
+				return err
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("bench: chaos load stalled at %d completions (want %d)", completed.Load(), target)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		return nil
+	}
+
+	res := &ChaosSoakResult{}
+	// Warm-up: the group must be past its first checkpoint so joiners
+	// bootstrap from a donated checkpoint, not from sequence zero.
+	if err := waitCompletions(uint64(2*opts.CheckpointInterval), membershipSoakTimeout); err != nil {
+		return nil, err
+	}
+	for rot := 0; rot < cfg.Rotations; rot++ {
+		for slot := 0; slot < cfg.N; slot++ {
+			before := completed.Load()
+			t0 := time.Now()
+			if err := dep.KillReplica("t", slot); err != nil {
+				return nil, err
+			}
+			if err := dep.ReplaceReplica("t", slot); err != nil {
+				return nil, err
+			}
+			nr := dep.Replicas("t")[slot]
+			echoExecutor(nr)
+			if err := dep.WaitCaughtUp("t", slot, membershipSoakTimeout); err != nil {
+				return nil, err
+			}
+			recovery := time.Since(t0)
+			if err := waitCompletions(before+uint64(cfg.CycleCalls), membershipSoakTimeout); err != nil {
+				return nil, err
+			}
+			cycle := time.Since(t0)
+			res.Cycles = append(res.Cycles, ChaosCycle{
+				Slot:       slot,
+				Epoch:      nr.MembershipEpoch(),
+				RecoveryMs: float64(recovery.Microseconds()) / 1e3,
+				Tput:       float64(completed.Load()-before) / cycle.Seconds(),
+			})
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if err, _ := loadErr.Load().(error); err != nil {
+		return nil, err
+	}
+	// Every issued call completed exactly once (closed loop), and no
+	// reply arrived for a request nobody was waiting on.
+	res.Completed = completed.Load()
+	res.StrayEvents = drv.QueuedEvents()
+	epoch, _ := dep.Registry.GroupMembership("t")
+	res.FinalEpoch = epoch
+	res.Statuses = dep.MembershipStatuses()
+
+	recov := make([]float64, 0, len(res.Cycles))
+	res.MinCycleTput = -1
+	for _, c := range res.Cycles {
+		recov = append(recov, c.RecoveryMs)
+		if res.MinCycleTput < 0 || c.Tput < res.MinCycleTput {
+			res.MinCycleTput = c.Tput
+		}
+	}
+	sort.Float64s(recov)
+	res.RecoveryP50Ms = percentileF(recov, 50)
+	res.RecoveryP99Ms = percentileF(recov, 99)
+	return res, nil
+}
+
+// membershipSoakTimeout bounds each wait inside the soak; a stall past
+// it means the rotation lost liveness, which is a failed run.
+const membershipSoakTimeout = 60 * time.Second
+
+// percentileF returns the p-th percentile of sorted samples.
+func percentileF(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(float64(len(sorted)-1)*p/100 + 0.5)
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

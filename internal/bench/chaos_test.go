@@ -1,0 +1,31 @@
+package bench
+
+import "testing"
+
+// TestChaosSoakRotation runs one full proactive-recovery rotation: every
+// slot of an n=4 group crashed and replaced through an
+// agreement-installed membership epoch, under closed-loop load. The
+// soak's own invariants: no lost request (the closed loop would stall),
+// no duplicated delivery (stray events), nonzero throughput inside
+// every recovery window, and all four epochs installed.
+func TestChaosSoakRotation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak skipped in -short mode")
+	}
+	res, err := RunChaosSoak(ChaosSoakConfig{N: 4, Rotations: 1})
+	if err != nil {
+		t.Fatalf("chaos soak: %v", err)
+	}
+	if res.StrayEvents != 0 {
+		t.Fatalf("stray events after drain: %d (duplicated delivery)", res.StrayEvents)
+	}
+	if res.MinCycleTput <= 0 {
+		t.Fatalf("a recovery cycle made no progress")
+	}
+	if got, want := len(res.Cycles), 4; got != want {
+		t.Fatalf("cycles = %d, want %d", got, want)
+	}
+	if res.FinalEpoch != 4 {
+		t.Fatalf("final epoch = %d, want 4", res.FinalEpoch)
+	}
+}

@@ -37,7 +37,13 @@ type MicroResult struct {
 // the tcp_frames_per_req_n4 field keeps its meaning but its expected
 // value drops with commit piggybacking, so schema-3 artifacts are not
 // frame-comparable.
-const ReportSchema = 4
+// Schema 5 adds the proactive-recovery rotation cells from the
+// crash/restart chaos soak (rotation_recovery_p{50,99}_ms,
+// chaos_cycles, chaos_min_cycle_tput, chaos_completed,
+// chaos_stray_events): every slot of an n=4 group crashed and replaced
+// through an agreement-installed membership epoch under closed-loop
+// load.
+const ReportSchema = 5
 
 type Report struct {
 	// Schema and Commit make checked-in artifacts comparable across
@@ -131,6 +137,21 @@ type Report struct {
 	ReadFastCertified uint64 `json:"read_fast_certified,omitempty"`
 	ReadFallbacks     uint64 `json:"read_fallbacks"`
 
+	// Rotation-recovery cells (schema 5): the crash/restart chaos soak
+	// crashes and replaces every slot of an n=4 group in turn, under
+	// closed-loop load. RotationRecovery* is the crash-to-voting time
+	// of one cycle; ChaosMinCycleTput is the slowest cycle's
+	// completions/s (nonzero: the group served every recovery window);
+	// ChaosStrayEvents must be zero (a stray event is a duplicated
+	// delivery).
+	RotationRecoveryP50Ms float64 `json:"rotation_recovery_p50_ms,omitempty"`
+	RotationRecoveryP99Ms float64 `json:"rotation_recovery_p99_ms,omitempty"`
+	ChaosCycles           int     `json:"chaos_cycles,omitempty"`
+	ChaosCompleted        uint64  `json:"chaos_completed,omitempty"`
+	ChaosMinCycleTput     float64 `json:"chaos_min_cycle_tput,omitempty"`
+	ChaosStrayEvents      int     `json:"chaos_stray_events"`
+	ChaosFinalEpoch       uint64  `json:"chaos_final_epoch,omitempty"`
+
 	Micro map[string]MicroResult `json:"micro"`
 }
 
@@ -147,6 +168,9 @@ type ReportConfig struct {
 	// SkipReadMix drops the schema-3 read-mix cells (perpetualctl bench
 	// -readmix=false).
 	SkipReadMix bool
+	// SkipChaos drops the schema-5 rotation-recovery cells
+	// (perpetualctl bench -chaos=false).
+	SkipChaos bool
 }
 
 // TransportKindOf maps a -transport selector word to the deployment
@@ -353,6 +377,24 @@ func RunReport(cfg ReportConfig) (*Report, error) {
 				r.ReadSpeedupXMem = fast.ReqPerSec / forced.ReqPerSec
 			}
 		}
+	}
+
+	if !cfg.SkipChaos {
+		rotations := 2
+		if cfg.Quick {
+			rotations = 1
+		}
+		chaos, err := RunChaosSoak(ChaosSoakConfig{N: 4, Rotations: rotations})
+		if err != nil {
+			return nil, fmt.Errorf("bench: chaos soak: %w", err)
+		}
+		r.RotationRecoveryP50Ms = chaos.RecoveryP50Ms
+		r.RotationRecoveryP99Ms = chaos.RecoveryP99Ms
+		r.ChaosCycles = len(chaos.Cycles)
+		r.ChaosCompleted = chaos.Completed
+		r.ChaosMinCycleTput = chaos.MinCycleTput
+		r.ChaosStrayEvents = chaos.StrayEvents
+		r.ChaosFinalEpoch = chaos.FinalEpoch
 	}
 
 	micros := map[string]func(*testing.B){

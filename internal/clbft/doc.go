@@ -21,7 +21,16 @@
 //     the message log;
 //   - view changes with new-view certificates, so a faulty primary is
 //     replaced and prepared operations survive into the new view;
-//   - sequence-number watermarks bounding log growth.
+//   - sequence-number watermarks bounding log growth;
+//   - membership barriers and bootstraps: a WithBarrier predicate halts
+//     execution at an agreed membership operation's sequence number,
+//     WithHaltHook fires once that sequence commits, and the embedder
+//     rebuilds each member from an ExportBootstrap snapshot (position,
+//     digest chain value, retained history, dedup state, re-buffered
+//     pending requests) under the new group size; a joining replica
+//     starts from a JoinBootstrap and replays the gap from a donated
+//     stable checkpoint to the barrier over the fetch protocol,
+//     vote-gated until caught up.
 //
 // Operations are identified by an opaque OpID chosen by the proposer.
 // OpIDs deduplicate re-proposals (any replica may re-submit an operation

@@ -92,10 +92,24 @@ type msgLog struct {
 	n         int
 	entries   map[uint64]*entry
 	liveCount int
+	// preparedHist keeps, per sequence number, the prepared certificate
+	// from the highest view in which that sequence prepared. Entries in
+	// the log proper are replaced when a new-view replays their sequence
+	// numbers, which resets their certificates — but a view change that
+	// interrupts the replay must still advertise the old certificate, or
+	// the next new-view would drop a prepared (possibly tentatively
+	// executed) suffix and force a rollback the protocol did not require.
+	// This is the P-set retention rule of PBFT view changes. Pruned at
+	// stable checkpoints alongside the entries.
+	preparedHist map[uint64]PreparedEntry
 }
 
 func newMsgLog(n int) *msgLog {
-	return &msgLog{n: n, entries: make(map[uint64]*entry)}
+	return &msgLog{
+		n:            n,
+		entries:      make(map[uint64]*entry),
+		preparedHist: make(map[uint64]PreparedEntry),
+	}
 }
 
 // get returns the entry for (view, seq), creating it if absent. An entry
@@ -140,6 +154,24 @@ func (l *msgLog) at(seq uint64) (*entry, bool) {
 	return e, ok
 }
 
+// recordPrepared remembers an entry's prepared certificate, keeping the
+// highest-view certificate per sequence number across entry
+// replacement.
+func (l *msgLog) recordPrepared(e *entry) {
+	if e.request == nil {
+		return
+	}
+	if cur, ok := l.preparedHist[e.seq]; ok && cur.View >= e.view {
+		return
+	}
+	l.preparedHist[e.seq] = PreparedEntry{
+		View:    e.view,
+		Seq:     e.seq,
+		Digest:  e.digest,
+		Request: *e.request,
+	}
+}
+
 // truncate removes all entries with seq <= stable (covered by a stable
 // checkpoint).
 func (l *msgLog) truncate(stable uint64) {
@@ -151,17 +183,26 @@ func (l *msgLog) truncate(stable uint64) {
 			delete(l.entries, seq)
 		}
 	}
+	for seq := range l.preparedHist {
+		if seq <= stable {
+			delete(l.preparedHist, seq)
+		}
+	}
 }
 
 // hasLive reports whether any entry is pre-prepared but unexecuted.
 func (l *msgLog) hasLive() bool { return l.liveCount > 0 }
 
-// hasLiveOp reports whether some live log entry carries the given OpID
-// (directly or inside a batch); used by the primary to avoid assigning
-// two sequence numbers to one operation.
-func (l *msgLog) hasLiveOp(opID string) bool {
+// hasLiveOp reports whether some live log entry of the given view
+// carries the given OpID (directly or inside a batch); used by the
+// primary to avoid assigning two sequence numbers to one operation.
+// Entries from superseded views do not count: their agreement rounds
+// can never complete (no replica will vote in an old view again), so an
+// op stranded in one must be re-proposed at a fresh sequence number or
+// it would stay pending — and keep the suspicion timer armed — forever.
+func (l *msgLog) hasLiveOp(view uint64, opID string) bool {
 	for _, e := range l.entries {
-		if e.request == nil || e.executed {
+		if e.request == nil || e.executed || e.view != view {
 			continue
 		}
 		if e.request.OpID == opID {
@@ -177,19 +218,16 @@ func (l *msgLog) hasLiveOp(opID string) bool {
 }
 
 // preparedAbove collects prepared certificates with seq > stable, for
-// inclusion in a view-change message.
+// inclusion in a view-change message. It reads the retained history —
+// every prepared transition is recorded there — so certificates survive
+// the entry replacement done by new-view replays.
 func (l *msgLog) preparedAbove(stable uint64) []PreparedEntry {
 	var out []PreparedEntry
-	for seq, e := range l.entries {
-		if seq <= stable || !e.prepared || e.request == nil {
+	for seq, p := range l.preparedHist {
+		if seq <= stable {
 			continue
 		}
-		out = append(out, PreparedEntry{
-			View:    e.view,
-			Seq:     seq,
-			Digest:  e.digest,
-			Request: *e.request,
-		})
+		out = append(out, p)
 	}
 	return out
 }

@@ -55,7 +55,10 @@ func TestMsgLogPreparedAbove(t *testing.T) {
 		e.request = &req
 		e.digest = req.Digest()
 		e.prePrepared = true
-		e.prepared = seq%2 == 0 // 2 and 4 prepared
+		if seq%2 == 0 { // 2 and 4 prepared
+			e.prepared = true
+			l.recordPrepared(e)
+		}
 	}
 	out := l.preparedAbove(2)
 	if len(out) != 1 || out[0].Seq != 4 {
@@ -63,6 +66,28 @@ func TestMsgLogPreparedAbove(t *testing.T) {
 	}
 	if out[0].Request.OpID != "a" {
 		t.Error("prepared entry lost its request body")
+	}
+	// The certificate must survive replacement of the entry by a
+	// newer-view replay (PBFT P-set retention)...
+	l.get(3, 4)
+	out = l.preparedAbove(2)
+	if len(out) != 1 || out[0].Seq != 4 || out[0].View != 0 {
+		t.Errorf("preparedAbove(2) after replacement = %+v", out)
+	}
+	// ...be superseded by a higher-view certificate at the same seq...
+	e := l.get(3, 4)
+	e.request = &req
+	e.digest = req.Digest()
+	e.prePrepared, e.prepared = true, true
+	l.recordPrepared(e)
+	out = l.preparedAbove(2)
+	if len(out) != 1 || out[0].View != 3 {
+		t.Errorf("preparedAbove(2) after re-prepare = %+v", out)
+	}
+	// ...and be pruned by checkpoint truncation.
+	l.truncate(4)
+	if out = l.preparedAbove(2); len(out) != 0 {
+		t.Errorf("preparedAbove(2) after truncate(4) = %+v", out)
 	}
 }
 
@@ -92,14 +117,20 @@ func TestHasLiveOp(t *testing.T) {
 	req := Request{OpID: "live"}
 	e := l.get(0, 1)
 	e.request = &req
-	if !l.hasLiveOp("live") {
+	if !l.hasLiveOp(0, "live") {
 		t.Error("live op not found")
 	}
+	// An entry stranded in a superseded view no longer counts: its
+	// agreement round can never complete, so the op must be assignable
+	// to a fresh sequence number in the current view.
+	if l.hasLiveOp(1, "live") {
+		t.Error("old-view op reported live in newer view")
+	}
 	e.executed = true
-	if l.hasLiveOp("live") {
+	if l.hasLiveOp(0, "live") {
 		t.Error("executed op reported live")
 	}
-	if l.hasLiveOp("other") {
+	if l.hasLiveOp(0, "other") {
 		t.Error("unknown op reported live")
 	}
 }

@@ -52,6 +52,7 @@ const (
 	evFlush
 	evStop
 	evDebug
+	evJoinRetry
 )
 
 type event struct {
@@ -79,6 +80,8 @@ type Replica struct {
 	validate  func(opID string, op []byte) bool
 	ckptHook  func(seq uint64, state Digest)
 	rollback  func(d Delivery) bool
+	barrier   func(opID string) bool
+	haltHook  func(seq uint64, state Digest)
 
 	inbox   chan event
 	stopped chan struct{}
@@ -117,6 +120,16 @@ type Replica struct {
 	viewChanges  map[uint64]map[int]*ViewChange
 	vcTimeout    time.Duration
 
+	// Membership barrier state (see bootstrap.go): haltAt is the
+	// sequence number of an executed barrier operation — execution never
+	// advances past it, and haltHook fires once when it commits.
+	// joinTarget is the sequence number a joining replica must replay to
+	// before it votes.
+	haltAt     uint64
+	haltFired  bool
+	joinTarget uint64
+	joinTimer  *time.Timer
+
 	timer    *time.Timer
 	timerGen uint64
 
@@ -138,6 +151,8 @@ type Replica struct {
 	tentExecs  atomic.Uint64
 	rollbacks  atomic.Uint64
 	piggyVotes atomic.Uint64
+	haltA      atomic.Uint64
+	joinA      atomic.Uint64
 }
 
 // Option configures a Replica.
@@ -186,6 +201,30 @@ func WithCheckpointHook(f func(seq uint64, state Digest)) Option {
 // event-loop goroutine and must not call back into the replica.
 func WithRollback(f func(d Delivery) bool) Option {
 	return func(r *Replica) { r.rollback = f }
+}
+
+// WithBarrier installs a membership-barrier predicate. When a delivered
+// operation's ID matches, execution halts at that operation's sequence
+// number: nothing above it executes in this replica incarnation, and the
+// primary stops proposing. The halted sequence number still runs the
+// commit round, and once it commits the WithHaltHook observer fires; the
+// embedder then stops the replica, exports a Bootstrap, and restarts the
+// group with its new composition. If a view change revokes the barrier
+// operation's tentative execution, the halt lifts and the operation is
+// re-agreed. The predicate runs on the event-loop goroutine.
+func WithBarrier(f func(opID string) bool) Option {
+	return func(r *Replica) { r.barrier = f }
+}
+
+// WithHaltHook installs the observer fired exactly once per incarnation
+// when a barrier operation's sequence number commits; it receives that
+// sequence number and the chained state digest at it — the (seq, digest)
+// pair every correct member exports identically into its Bootstrap. The
+// hook runs on the event-loop goroutine and must not call back into the
+// replica (in particular it must not call Stop; hand off to another
+// goroutine).
+func WithHaltHook(f func(seq uint64, state Digest)) Option {
+	return func(r *Replica) { r.haltHook = f }
 }
 
 // New creates a replica. deliver is invoked on the event-loop goroutine,
@@ -321,6 +360,25 @@ func (r *Replica) logf(format string, args ...any) {
 
 func (r *Replica) run() {
 	defer close(r.stopped)
+	// Bootstrap preamble (no-ops for plain New): a joiner opens its
+	// catch-up fetch immediately, and requests carried across a
+	// membership boundary are re-proposed (primary) or re-forwarded.
+	if r.joining() {
+		r.requestCatchUp(r.joinTarget)
+		r.armJoinRetry()
+	}
+	if len(r.pendingOrder) > 0 {
+		if r.isPrimaryLocked() && !r.inViewChange {
+			r.proposePending()
+		} else if !r.joining() {
+			for _, opID := range r.pendingOrder {
+				if req, ok := r.pending[opID]; ok {
+					r.transport.Send(r.cfg.PrimaryOf(r.view), &Message{Type: MsgRequest, Request: req})
+				}
+			}
+		}
+		r.armTimer()
+	}
 	for ev := range r.inbox {
 		switch ev.kind {
 		case evStop:
@@ -329,6 +387,9 @@ func (r *Replica) run() {
 			}
 			if r.flushTimer != nil {
 				r.flushTimer.Stop()
+			}
+			if r.joinTimer != nil {
+				r.joinTimer.Stop()
 			}
 			return
 		case evSubmit:
@@ -341,6 +402,8 @@ func (r *Replica) run() {
 			r.onFlush(ev.timerGen)
 		case evDebug:
 			r.onDebug(ev.debug)
+		case evJoinRetry:
+			r.onJoinRetry()
 		}
 	}
 }
@@ -485,6 +548,14 @@ func (r *Replica) onSubmit(req *Request) {
 		return
 	}
 	if _, dup := r.pending[req.OpID]; dup {
+		// Adopt the re-submission in place: a retransmission may carry
+		// fresher credentials than the buffered copy — the validator
+		// accepted *these* bytes just now, while a copy carried across a
+		// membership rebuild can hold authenticators the rotated keys no
+		// longer verify, and re-proposing that copy would be rejected by
+		// every correct backup forever. Ordering identity is the OpID,
+		// so only whichever copy gets ordered executes.
+		r.pending[req.OpID] = req
 		return
 	}
 	r.pending[req.OpID] = req
@@ -514,6 +585,9 @@ const proposePipeline = 2
 func (r *Replica) proposePending() {
 	if !r.isPrimaryLocked() || r.inViewChange {
 		return
+	}
+	if r.haltAt != 0 || r.joining() {
+		return // halted at a membership barrier, or still catching up
 	}
 	if r.seqCounter >= r.h+r.cfg.LogWindow() {
 		return // window full; retried after the next stable checkpoint
@@ -558,7 +632,7 @@ func (r *Replica) proposePending() {
 			continue // executed: lazily dropped from the order
 		}
 		kept = append(kept, opID)
-		if r.log.hasLiveOp(opID) {
+		if r.log.hasLiveOp(r.view, opID) {
 			continue // already assigned a live sequence number
 		}
 		batch = append(batch, req)
@@ -666,7 +740,7 @@ func (r *Replica) onPrePrepare(from int, pp *PrePrepare) {
 	e.request = &req
 	e.innerOps = innerOpIDs(&req)
 
-	if r.cfg.ID != r.cfg.PrimaryOf(pp.View) {
+	if r.cfg.ID != r.cfg.PrimaryOf(pp.View) && !r.joining() {
 		p := &Prepare{View: pp.View, Seq: pp.Seq, Digest: pp.Digest, Replica: r.cfg.ID}
 		r.broadcast(&Message{Type: MsgPrepare, Prepare: p})
 	}
@@ -720,7 +794,11 @@ func (r *Replica) maybePrepared(e *entry) {
 		return
 	}
 	e.prepared = true
-	if !e.sentCommit {
+	r.log.recordPrepared(e)
+	// A joiner records the certificate but emits no commit vote: it must
+	// not influence agreement before it has replayed the history its
+	// quorum membership vouches for.
+	if !e.sentCommit && !r.joining() {
 		e.sentCommit = true
 		c := Commit{View: e.view, Seq: e.seq, Digest: e.digest, Replica: r.cfg.ID}
 		if r.cfg.Tentative {
@@ -776,7 +854,8 @@ func (r *Replica) maybeCommitted(e *entry) {
 func (r *Replica) executeReady() {
 	for {
 		progressed := false
-		if e, ok := r.log.at(r.lastExec + 1); ok && !e.executed {
+		canExec := r.haltAt == 0 || r.lastExec < r.haltAt
+		if e, ok := r.log.at(r.lastExec + 1); ok && !e.executed && canExec {
 			switch {
 			case e.committed:
 				r.log.markExecuted(e)
@@ -811,11 +890,26 @@ func (r *Replica) executeReady() {
 			break
 		}
 	}
+	r.maybeHalt()
 	// Execution advanced (or nothing was ready): with batched proposing,
 	// freed pipeline slots sweep the accumulated backlog into the next
 	// batch.
 	if r.cfg.MaxBatch > 1 && len(r.pendingOrder) > 0 && r.isPrimaryLocked() && !r.inViewChange {
 		r.proposePending()
+	}
+}
+
+// maybeHalt fires the membership halt hook once the barrier sequence
+// number is covered by the committed horizon: from here every correct
+// member's (seq, state digest) pair is final and identical, so the
+// embedder can rebuild the group.
+func (r *Replica) maybeHalt() {
+	if r.haltAt == 0 || r.haltFired || r.lastCommitted < r.haltAt {
+		return
+	}
+	r.haltFired = true
+	if r.haltHook != nil {
+		r.haltHook(r.haltAt, r.chainAt[r.haltAt])
 	}
 }
 
@@ -844,6 +938,10 @@ func (r *Replica) applyOp(seq uint64, req *Request, tentative bool) {
 				r.executedOps[in.OpID] = seq
 				delete(r.pending, in.OpID)
 				r.execCount.Add(1)
+				if r.barrier != nil && r.haltAt == 0 && r.barrier(in.OpID) {
+					r.haltAt = seq
+					r.haltA.Store(seq)
+				}
 				if r.deliver != nil {
 					r.deliver(Delivery{Seq: seq, OpID: in.OpID, Op: in.Op, Tentative: tentative})
 				}
@@ -856,6 +954,10 @@ func (r *Replica) applyOp(seq uint64, req *Request, tentative bool) {
 			if _, done := r.executedOps[req.OpID]; !done {
 				r.executedOps[req.OpID] = seq
 				r.execCount.Add(1)
+				if r.barrier != nil && r.haltAt == 0 && r.barrier(req.OpID) {
+					r.haltAt = seq
+					r.haltA.Store(seq)
+				}
 				if r.deliver != nil {
 					r.deliver(Delivery{Seq: seq, OpID: req.OpID, Op: req.Op, Tentative: tentative})
 				}
@@ -864,6 +966,7 @@ func (r *Replica) applyOp(seq uint64, req *Request, tentative bool) {
 	}
 	// Execution is progress: restart the suspicion timer for the
 	// remaining outstanding requests, or clear it when none remain.
+	r.joinProgress()
 	r.progressTimer()
 }
 
@@ -931,6 +1034,7 @@ func (r *Replica) stabilize(seq uint64) {
 	if r.ckptHook != nil {
 		r.ckptHook(seq, r.certifiedCkpts[seq])
 	}
+	r.maybeHalt() // the jump may have covered the membership barrier
 	if r.seqCounter < seq {
 		r.seqCounter = seq
 	}
@@ -976,9 +1080,13 @@ func (r *Replica) stabilize(seq uint64) {
 const retentionWindows = 4
 
 // hasOutstanding reports whether the replica is waiting for agreement on
-// anything: buffered requests, or accepted log entries not yet executed.
+// anything: buffered requests, accepted log entries not yet executed, or
+// tentative executions whose commit certificates have not completed —
+// commit votes are not retransmitted, so a stalled commit phase (lost
+// votes, a dead peer inside every would-be quorum) must eventually fall
+// back to a view change, whose replay re-forms the certificates.
 func (r *Replica) hasOutstanding() bool {
-	return len(r.pending) > 0 || r.log.hasLive()
+	return len(r.pending) > 0 || r.log.hasLive() || r.lastExec > r.lastCommitted
 }
 
 // armTimer starts the suspicion timer if outstanding work needs one and
@@ -1038,6 +1146,12 @@ func (r *Replica) onTimer(gen uint64) {
 	r.timer = nil
 	if !r.inViewChange && !r.hasOutstanding() {
 		return // nothing outstanding
+	}
+	if r.joining() {
+		// A joiner does not suspect the primary for backlog it cannot yet
+		// execute; catch-up has its own retry timer.
+		r.startTimer(r.vcTimeout)
+		return
 	}
 	// Share outstanding requests with every replica first (the PBFT
 	// client-multicast step): peers that never saw them buffer the

@@ -265,14 +265,17 @@ func (r *Replica) enterNewView(nv *NewView) {
 	// prepares.
 	for i := range nv.PrePrepares {
 		pp := nv.PrePrepares[i]
-		if pp.Seq <= r.lastCommitted {
-			continue // committed and executed; certificates guarantee same request
-		}
 		if pp.Seq <= r.lastExec {
-			// Tentatively executed with a matching digest (it survived
-			// rollbackTentative). Re-run agreement in the new view so
-			// the commit certificate can form, but suppress
-			// re-delivery: the application already saw the operation.
+			// Already executed here — committed, or tentatively with a
+			// matching digest (it survived rollbackTentative). Re-run
+			// agreement in the new view even for committed sequences:
+			// a lagging peer that missed the original pre-prepares can
+			// only form its certificates from the prepares the rest of
+			// the group emits during this replay (its catch-up may have
+			// no certified checkpoint to target when crashed replicas
+			// leave it inside every would-be checkpoint quorum). Only
+			// re-delivery is suppressed: the application already saw
+			// the operation.
 			r.onPrePrepare(r.cfg.PrimaryOf(nv.View), &pp)
 			if e, ok := r.log.at(pp.Seq); ok && e.prePrepared && !e.executed {
 				r.log.markExecuted(e)
@@ -356,6 +359,14 @@ func (r *Replica) rollbackTentative(nv *NewView) {
 	}
 	r.lastExec = keep
 	r.execSeq.Store(keep)
+	if r.haltAt != 0 && r.haltAt > keep {
+		// The membership barrier's tentative execution was revoked: lift
+		// the halt. If the application undid the operation it is
+		// re-buffered and the halt re-arms when it is re-agreed.
+		r.haltAt = 0
+		r.haltFired = false
+		r.haltA.Store(0)
+	}
 	if d, ok := r.chainAt[keep]; ok {
 		r.stateDigest = d
 	} else {

@@ -75,6 +75,14 @@ type Deployment struct {
 	tcpConns map[auth.NodeID]*transport.TCPConn
 	options  map[string]ServiceOptions
 	started  bool
+
+	// memMu guards the membership-install bookkeeping (see
+	// deployment_membership.go): the install dedup map, rotation
+	// timestamps, and per-epoch completion signals.
+	memMu        sync.Mutex
+	memInstalled map[string]uint64
+	lastRotation map[string]time.Time
+	memDone      map[string]chan struct{}
 }
 
 // NewDeployment creates a deployment over a fresh in-process network.
@@ -89,14 +97,17 @@ func NewDeployment(master []byte, services ...ServiceInfo) *Deployment {
 // callable) but carries traffic only under TransportMem.
 func NewDeploymentOver(master []byte, kind TransportKind, services ...ServiceInfo) *Deployment {
 	return &Deployment{
-		Registry: NewRegistry(services...),
-		Network:  transport.NewNetwork(),
-		master:   master,
-		kind:     kind,
-		book:     transport.NewAddressBook(),
-		replicas: make(map[string][]*Replica),
-		tcpConns: make(map[auth.NodeID]*transport.TCPConn),
-		options:  make(map[string]ServiceOptions),
+		Registry:     NewRegistry(services...),
+		Network:      transport.NewNetwork(),
+		master:       master,
+		kind:         kind,
+		book:         transport.NewAddressBook(),
+		replicas:     make(map[string][]*Replica),
+		tcpConns:     make(map[auth.NodeID]*transport.TCPConn),
+		options:      make(map[string]ServiceOptions),
+		memInstalled: make(map[string]uint64),
+		lastRotation: make(map[string]time.Time),
+		memDone:      make(map[string]chan struct{}),
 	}
 }
 
@@ -177,6 +188,10 @@ func (d *Deployment) buildGroup(g ServiceInfo, opts ServiceOptions, principals [
 			DisableTentative:   opts.DisableTentative,
 			CommitFlushDelay:   opts.CommitFlushDelay,
 			Logger:             opts.Logger,
+			MembershipHook:     d.onMembership,
+		}
+		if epoch, _ := d.Registry.GroupMembership(g.Name); epoch > 0 {
+			cfg.MembershipEpoch = epoch
 		}
 		if opts.Behaviors != nil {
 			cfg.Behavior = opts.Behaviors[i]

@@ -45,4 +45,19 @@
 // reply. Calling voters re-verify the same certificate before agreeing
 // (via the CLBFT operation validator), so fewer than f_c+1 faulty
 // calling replicas cannot inject a fabricated reply.
+//
+// Membership epochs: a voter group changes its own composition
+// (replace/grow/shrink, see MembershipChange) by agreeing an
+// OpMembership operation through the current epoch's quorum. The
+// operation's sequence number becomes the install point — execution
+// halts there, the deployment rotates every pairwise MAC key touching
+// the group's voters to the new epoch, survivors rebuild their CLBFT
+// instances under the new size, and a joining incarnation bootstraps
+// from a donated stable checkpoint and replays up to the install point
+// before voting. Messages are stamped with the sender's installed
+// epoch; same-group agreement traffic with a stale stamp is dropped,
+// fencing departed incarnations deterministically. Reply bundles carry
+// (Epoch, GroupN) inside the MAC'd reply message, so drivers learn
+// roster changes only from verified replies. Deployment.ReplaceReplica
+// and RotateAll expose this as the proactive-recovery loop.
 package perpetual

@@ -18,8 +18,14 @@ import (
 var ErrClosed = errors.New("perpetual: driver closed")
 
 // DefaultRetransmitInterval is the initial retransmission delay for
-// unanswered requests; it doubles per attempt.
+// unanswered requests; it doubles per attempt (with ±20% jitter, capped
+// at maxRetransmitBackoff).
 const DefaultRetransmitInterval = time.Second
+
+// maxRetransmitBackoff caps the exponential retransmission backoff so a
+// long-outstanding request still probes a recovering group within a
+// bounded interval instead of silently backing off toward minutes.
+const maxRetransmitBackoff = 30 * time.Second
 
 // DefaultReadFallback is how long a fast-path read waits for f_t+1
 // matching speculative endorsements before deterministically re-issuing
@@ -293,20 +299,37 @@ func (d *Driver) handleBundle(from auth.NodeID, b *ReplyBundle) {
 		d.logf("bundle for %s rejected: %v", b.ReqID, err)
 		return
 	}
+	// Adopt the bundle's MAC-covered roster attestation: f_t+1 matching
+	// shares include a correct target voter, so (Epoch, GroupN) is the
+	// target group's installed membership as that voter knows it. This is
+	// how drivers learn rosters without any out-of-band channel — the
+	// registry only moves forward, so a replayed old bundle cannot
+	// regress it.
+	if b.GroupN > 0 && d.registry.ObserveGroupMembership(b.Target, b.Epoch, b.GroupN) {
+		d.logf("learned %s membership epoch %d (n=%d)", b.Target, b.Epoch, b.GroupN)
+	}
+	effN := target.N
+	if _, n := d.registry.GroupMembership(b.Target); n > 0 {
+		effN = n
+	}
 	// Adopt the responder's primary hint for future first attempts. Only
 	// verified bundles update it, and a lying responder merely redirects
 	// first attempts at a voter that forwards (or the retransmission
-	// fan-out corrects it) — routing, never safety.
-	if b.Primary >= 0 && b.Primary < target.N {
-		d.mu.Lock()
+	// fan-out corrects it) — routing, never safety. Hints at or past the
+	// current roster's edge are dropped so a shrink never leaves first
+	// attempts aimed at a departed slot.
+	d.mu.Lock()
+	if b.Primary >= 0 && b.Primary < effN {
 		d.primaryHint[b.Target] = b.Primary
-		d.mu.Unlock()
+	} else if d.primaryHint[b.Target] >= effN {
+		delete(d.primaryHint, b.Target)
 	}
+	d.mu.Unlock()
 	// Forward to our group's primary voter; non-primary voters relay.
 	fw := &Message{Kind: KindResultForward, ResultForward: b}
 	w := wire.GetWriter(fw.SizeHint())
 	fw.EncodeTo(w)
-	primary := d.voter.bft.Primary()
+	primary := d.voter.bft().Primary()
 	if err := d.adapter.Send(auth.VoterID(d.svc.Name, primary), w.Bytes()); err != nil {
 		d.logf("result forward for %s: %v", b.ReqID, err)
 	}
@@ -614,7 +637,7 @@ func (d *Driver) handleReadReply(from auth.NodeID, rp *ReadReply) {
 			}
 			d.readStats.Certified++
 			d.mu.Unlock()
-			d.deliverReply(Reply{ReqID: rp.ReqID, Payload: payload}, nil)
+			d.deliverReply(Reply{ReqID: rp.ReqID, Payload: payload}, nil, 0, 0)
 			return
 		}
 		if rw.responded[rw.responder] {
@@ -738,6 +761,15 @@ func (d *Driver) retransmit(reqID string) {
 	responder := o.responder
 	class := o.class
 	backoff := d.retransmitInterval << uint(min(attempt, 6))
+	if backoff > maxRetransmitBackoff {
+		backoff = maxRetransmitBackoff
+	}
+	// ±20% jitter decorrelates retransmission fan-outs across drivers:
+	// without it, every caller that issued during the same outage
+	// retransmits to the whole group on the same beat forever.
+	if j := int64(backoff) / 5; j > 0 {
+		backoff += time.Duration(rand.Int63n(2*j+1) - j)
+	}
 	o.retryTmr = time.AfterFunc(backoff, func() { d.retransmit(reqID) })
 	d.mu.Unlock()
 
@@ -766,8 +798,10 @@ func (d *Driver) deliverRequest(r IncomingRequest) {
 
 // deliverReply records an agreed reply or abort (stage 9). shares
 // carries the agreed reply bundle's endorsements, retained as the vote
-// certificate when the request belongs to a transaction.
-func (d *Driver) deliverReply(r Reply, shares []Share) {
+// certificate when the request belongs to a transaction; epoch/groupN
+// are the bundle's roster attestation, re-carried so the rebuilt
+// certificate verifies under the roster its shares were minted for.
+func (d *Driver) deliverReply(r Reply, shares []Share, epoch uint64, groupN int) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.closed {
@@ -806,7 +840,7 @@ func (d *Driver) deliverReply(r Reply, shares []Share) {
 		// queue; agreement order still decided the content.
 		tr := txnReply{reply: r}
 		if !r.Aborted && len(shares) > 0 {
-			tr.bundle = &ReplyBundle{ReqID: r.ReqID, Target: o.target, Payload: r.Payload, Shares: shares}
+			tr.bundle = &ReplyBundle{ReqID: r.ReqID, Target: o.target, Epoch: epoch, GroupN: groupN, Payload: r.Payload, Shares: shares}
 		}
 		d.txnReplies.Put(r.ReqID, tr)
 		d.cond.Broadcast()
@@ -988,6 +1022,16 @@ func (d *Driver) Outstanding() int {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return len(d.outstanding)
+}
+
+// QueuedEvents reports how many delivered-but-unconsumed events sit in
+// the driver's queue. A drained closed-loop client should read zero: a
+// stray entry after every call completed means something was delivered
+// twice (a duplicated request) or delivered to nobody's wait.
+func (d *Driver) QueuedEvents() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.events)
 }
 
 // PrimaryHint returns the target group's believed CLBFT primary index —

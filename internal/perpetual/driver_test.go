@@ -161,13 +161,13 @@ func TestReplySeenWindowSurvivesOverflow(t *testing.T) {
 	dep := buildPair(t, 1, 1, nil)
 	drv := dep.Driver("c", 0)
 	for i := 0; i <= replySeenCacheSize; i++ {
-		drv.deliverReply(Reply{ReqID: fmt.Sprintf("c:%d", i)}, nil)
+		drv.deliverReply(Reply{ReqID: fmt.Sprintf("c:%d", i)}, nil, 0, 0)
 	}
 	recent := fmt.Sprintf("c:%d", replySeenCacheSize)
 	drv.mu.Lock()
 	before := len(drv.events)
 	drv.mu.Unlock()
-	drv.deliverReply(Reply{ReqID: recent}, nil) // duplicate of the newest id
+	drv.deliverReply(Reply{ReqID: recent}, nil, 0, 0) // duplicate of the newest id
 	drv.mu.Lock()
 	after := len(drv.events)
 	drv.mu.Unlock()

@@ -135,9 +135,14 @@ func ReplyDigest(reqID string, payload []byte) [sha256.Size]byte {
 // can omit the payload body). The tentative flag is part of the MAC'd
 // content: a share minted over a tentative (prepared but not yet
 // committed) execution cannot be laundered into a stable endorsement by
-// flipping the wire flag — the MAC would no longer verify.
-func replyAuthMsg(reqID string, digest [sha256.Size]byte, tentative bool) []byte {
-	w := wire.NewWriter(len(reqID) + len(digest) + 24)
+// flipping the wire flag — the MAC would no longer verify. The group's
+// membership epoch and size are MAC'd for the same reason: a bundle
+// advertises the roster it was minted under (ReplyBundle.Epoch/GroupN),
+// and since every correct voter only ever endorses under the roster it
+// actually runs, a responder cannot forge a roster without breaking
+// every correct share in the bundle.
+func replyAuthMsg(reqID string, digest [sha256.Size]byte, tentative bool, epoch uint64, groupN int) []byte {
+	w := wire.NewWriter(len(reqID) + len(digest) + 32)
 	w.PutString("perpetual-reply")
 	w.PutString(reqID)
 	w.PutBytes(digest[:])
@@ -146,6 +151,8 @@ func replyAuthMsg(reqID string, digest [sha256.Size]byte, tentative bool) []byte
 	} else {
 		w.PutUint8(0)
 	}
+	w.PutUint64(epoch)
+	w.PutUvarint(uint64(groupN))
 	return w.Bytes()
 }
 
@@ -244,6 +251,14 @@ type ReplyBundle struct {
 	// voter. The hint is deliberately outside the verified share content:
 	// a wrong hint costs one retransmission fan-out, never safety.
 	Primary int
+	// Epoch and GroupN advertise the target group's membership epoch and
+	// size at minting time. Unlike Primary they are covered by every
+	// share's MAC (replyAuthMsg), so a verified bundle is also a roster
+	// attestation: callers learn membership changes from replies without
+	// trusting the responder. A forged Epoch/GroupN breaks every correct
+	// voter's share and the bundle fails verification.
+	Epoch  uint64
+	GroupN int
 }
 
 // UtilForward asks the voter primary to propose an agreed utility value
@@ -261,7 +276,17 @@ type AbortForward struct {
 // Message is the tagged union moved by the ChannelAdapter between
 // Perpetual principals.
 type Message struct {
-	Kind          Kind
+	Kind Kind
+	// Epoch is the sender's membership epoch for the voter group the
+	// message concerns. Voters stamp every outbound message and drop
+	// intra-group traffic (KindBFT, KindReplyShare, KindPayloadFetch)
+	// whose stamp disagrees with their installed epoch, so stale-epoch
+	// frames from a departed or not-yet-rotated replica are rejected
+	// deterministically rather than failing somewhere inside the
+	// protocol state machines. Driver-originated kinds are accepted at
+	// any epoch: a caller with a stale view of the roster must still be
+	// able to reach the group and learn the new epoch from its reply.
+	Epoch         uint64
 	Request       *Request
 	BFT           []byte // encoded clbft.Message
 	ReplyShare    *ReplyShare
@@ -287,6 +312,7 @@ func (m *Message) Encode() []byte {
 // nothing.
 func (m *Message) EncodeTo(w *wire.Writer) {
 	w.PutUint8(uint8(m.Kind))
+	w.PutUvarint(m.Epoch)
 	switch m.Kind {
 	case KindRequest:
 		encodeRequest(w, m.Request)
@@ -388,7 +414,7 @@ func bundleSize(b *ReplyBundle) int {
 // are copied.
 func DecodeMessage(buf []byte) (*Message, error) {
 	r := wire.NewReader(buf)
-	m := &Message{Kind: Kind(r.Uint8())}
+	m := &Message{Kind: Kind(r.Uint8()), Epoch: r.Uvarint()}
 	switch m.Kind {
 	case KindRequest:
 		m.Request = decodeRequest(r)
@@ -516,6 +542,8 @@ func encodeBundle(w *wire.Writer, b *ReplyBundle) {
 	w.PutString(b.ReqID)
 	w.PutString(b.Target)
 	w.PutUvarint(uint64(b.Primary))
+	w.PutUvarint(b.Epoch)
+	w.PutUvarint(uint64(b.GroupN))
 	w.PutBytes(b.Payload)
 	w.PutUvarint(uint64(len(b.Shares)))
 	for i := range b.Shares {
@@ -524,7 +552,8 @@ func encodeBundle(w *wire.Writer, b *ReplyBundle) {
 }
 
 func decodeBundle(r *wire.Reader) *ReplyBundle {
-	b := &ReplyBundle{ReqID: r.String(), Target: r.String(), Primary: int(r.Uvarint()), Payload: r.BytesCopy()}
+	b := &ReplyBundle{ReqID: r.String(), Target: r.String(), Primary: int(r.Uvarint()),
+		Epoch: r.Uvarint(), GroupN: int(r.Uvarint()), Payload: r.BytesCopy()}
 	n := int(r.Uvarint())
 	if n > r.Remaining() {
 		return b
@@ -554,20 +583,32 @@ func decodeBundle(r *wire.Reader) *ReplyBundle {
 // Fewer matching endorsements — in particular f_t+1 shares that are only
 // tentative — never certify: a view change could still reassign the
 // sequence numbers those executions ran at.
+//
+// The bundle's claimed Epoch/GroupN are folded into the MAC'd content
+// (replyAuthMsg), so correct shares only verify against the roster they
+// were really minted under. Thresholds are computed from the larger of
+// the verifier's registry view and the bundle's claim: a faulty
+// responder that understates GroupN cannot shrink the quorum it must
+// assemble, while a verifier whose registry lags a grow still demands
+// the grown group's quorum.
 func VerifyBundle(ks *auth.KeyStore, target ServiceInfo, b *ReplyBundle) error {
 	if b == nil {
 		return fmt.Errorf("perpetual: nil bundle")
 	}
-	needStable := target.F() + 1
-	needAny := target.Quorum()
+	eff := target
+	if b.GroupN > eff.N {
+		eff.N = b.GroupN
+	}
+	needStable := eff.F() + 1
+	needAny := eff.Quorum()
 	digest := ReplyDigest(b.ReqID, b.Payload)
-	msgStable := replyAuthMsg(b.ReqID, digest, false)
-	msgTent := replyAuthMsg(b.ReqID, digest, true)
+	msgStable := replyAuthMsg(b.ReqID, digest, false, b.Epoch, b.GroupN)
+	msgTent := replyAuthMsg(b.ReqID, digest, true, b.Epoch, b.GroupN)
 	valid := make(map[int]struct{}, needAny)
 	stable := 0
 	for i := range b.Shares {
 		s := &b.Shares[i]
-		if s.Replica < 0 || s.Replica >= target.N {
+		if s.Replica < 0 || s.Replica >= eff.N {
 			continue
 		}
 		if _, dup := valid[s.Replica]; dup {

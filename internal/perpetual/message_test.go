@@ -201,7 +201,7 @@ func TestVerifyBundle(t *testing.T) {
 	payload := []byte("the reply")
 	reqID := "c:33"
 	digest := ReplyDigest(reqID, payload)
-	msg := replyAuthMsg(reqID, digest, false)
+	msg := replyAuthMsg(reqID, digest, false, 0, 0)
 
 	mkShare := func(i int) Share {
 		a, err := auth.NewAuthenticator(ks[auth.VoterID("t", i)], msg, []auth.NodeID{callerDriver})

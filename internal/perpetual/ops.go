@@ -26,6 +26,14 @@ const (
 	// replica decides identically (see txn.go). Commit decisions carry
 	// the f_t+1-endorsed per-shard PREPARE votes as certificates.
 	OpTxnDecision
+	// OpMembership orders a membership change of the agreeing group
+	// itself (see membership.go): the operation's own sequence number
+	// becomes the epoch's install point. The agreement validator rejects
+	// changes that do not advance the group's current epoch by exactly
+	// one, so a non-quorum faction can never install an epoch — the
+	// change must clear the *current* group's quorum like any other
+	// operation.
+	OpMembership
 )
 
 // String returns the name of the op kind.
@@ -41,6 +49,8 @@ func (k OpKind) String() string {
 		return "op-util"
 	case OpTxnDecision:
 		return "op-txn-decision"
+	case OpMembership:
+		return "op-membership"
 	default:
 		return fmt.Sprintf("opkind(%d)", uint8(k))
 	}
@@ -57,9 +67,14 @@ type Op struct {
 	Payload   []byte
 
 	// OpReply reuses ReqID and Payload; Shares carries the f_t+1
-	// endorsements so every voter can re-verify the bundle.
+	// endorsements so every voter can re-verify the bundle. Epoch and
+	// GroupN echo the bundle's MAC-covered roster attestation — without
+	// them the validator could not recompute the share MACs after a
+	// membership change of the target group.
 	Shares []Share
 	Target string
+	Epoch  uint64
+	GroupN int
 
 	// OpUtil fields.
 	K     uint64
@@ -91,6 +106,17 @@ func UtilOpID(k uint64) string { return fmt.Sprintf("utl:%d", k) }
 // TxnOpID returns the agreement OpID for a transaction decision.
 func TxnOpID(txnID string) string { return "txn:" + txnID }
 
+// MembershipOpPrefix marks membership-change operations; the CLBFT
+// barrier predicate halts execution at ops whose ID carries it.
+const MembershipOpPrefix = "mem:"
+
+// MembershipOpID returns the agreement OpID for a membership change:
+// one per (group, epoch), so competing proposals for the same epoch
+// deduplicate and the loser is rejected by the epoch-advance check.
+func MembershipOpID(group string, newEpoch uint64) string {
+	return fmt.Sprintf("%s%s:%d", MembershipOpPrefix, group, newEpoch)
+}
+
 // Encode serializes the operation for submission to CLBFT.
 func (o *Op) Encode() []byte {
 	w := wire.NewWriter(64 + len(o.Payload))
@@ -108,6 +134,8 @@ func (o *Op) Encode() []byte {
 	case OpReply:
 		w.PutString(o.ReqID)
 		w.PutString(o.Target)
+		w.PutUvarint(o.Epoch)
+		w.PutUvarint(uint64(o.GroupN))
 		w.PutBytes(o.Payload)
 		w.PutUvarint(uint64(len(o.Shares)))
 		for i := range o.Shares {
@@ -125,6 +153,8 @@ func (o *Op) Encode() []byte {
 		for i := range o.TxnVotes {
 			encodeBundle(w, &o.TxnVotes[i])
 		}
+	case OpMembership:
+		w.PutBytes(o.Payload) // encoded MembershipChange
 	}
 	return w.Bytes()
 }
@@ -152,6 +182,8 @@ func DecodeOp(buf []byte) (*Op, error) {
 	case OpReply:
 		o.ReqID = r.String()
 		o.Target = r.String()
+		o.Epoch = r.Uvarint()
+		o.GroupN = int(r.Uvarint())
 		o.Payload = r.BytesCopy()
 		n := int(r.Uvarint())
 		if n > r.Remaining() {
@@ -181,6 +213,8 @@ func DecodeOp(buf []byte) (*Op, error) {
 		for i := 0; i < n && r.Err() == nil; i++ {
 			o.TxnVotes = append(o.TxnVotes, *decodeBundle(r))
 		}
+	case OpMembership:
+		o.Payload = r.BytesCopy()
 	default:
 		return nil, fmt.Errorf("perpetual: unknown op kind %d", uint8(o.Kind))
 	}

@@ -97,13 +97,26 @@ type Registry struct {
 	// warming up for the new one can be addressed while only Shards (the
 	// routing table) decides where fresh keys go.
 	deployed map[string]int
+	// membership overlays, per concrete voter group, the group's
+	// installed membership epoch and current size (see membership.go).
+	// Groups absent from the map run epoch 0 at their declared N.
+	// Lookup applies the overlay, so callers resolving a group always
+	// see its post-change size.
+	membership map[string]groupMembership
+}
+
+// groupMembership is one group's installed membership state.
+type groupMembership struct {
+	epoch uint64
+	n     int
 }
 
 // NewRegistry creates a registry holding the given services.
 func NewRegistry(services ...ServiceInfo) *Registry {
 	r := &Registry{
-		services: make(map[string]ServiceInfo, len(services)),
-		deployed: make(map[string]int),
+		services:   make(map[string]ServiceInfo, len(services)),
+		deployed:   make(map[string]int),
+		membership: make(map[string]groupMembership),
 	}
 	for _, s := range services {
 		r.services[s.Name] = s
@@ -127,14 +140,95 @@ func (r *Registry) Lookup(name string) (ServiceInfo, error) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	if s, ok := r.services[name]; ok {
+		if !s.IsSharded() {
+			return r.withMembershipLocked(name, s), nil
+		}
 		return s, nil
 	}
 	if base, k, ok := splitShardGroupName(name); ok {
 		if s, found := r.services[base]; found && s.IsSharded() && k < r.deployedLocked(s) {
-			return s.Shard(k), nil
+			return r.withMembershipLocked(name, s.Shard(k)), nil
 		}
 	}
 	return ServiceInfo{}, fmt.Errorf("perpetual: unknown service %q", name)
+}
+
+// withMembershipLocked applies a concrete group's membership overlay to
+// its descriptor (caller holds r.mu).
+func (r *Registry) withMembershipLocked(name string, s ServiceInfo) ServiceInfo {
+	if gm, ok := r.membership[name]; ok {
+		s.N = gm.n
+	}
+	return s
+}
+
+// GroupMembership returns a concrete group's installed membership epoch
+// and size (epoch 0 at the declared N when no change was ever
+// installed).
+func (r *Registry) GroupMembership(group string) (epoch uint64, n int) {
+	r.mu.RLock()
+	if gm, ok := r.membership[group]; ok {
+		r.mu.RUnlock()
+		return gm.epoch, gm.n
+	}
+	r.mu.RUnlock()
+	s, err := r.Lookup(group)
+	if err != nil {
+		return 0, 0
+	}
+	return 0, s.N
+}
+
+// CommitGroupMembership installs a concrete voter group's membership
+// epoch in the directory: the point at which callers resolving the
+// group see its new size. Idempotent per epoch — every member of the
+// group commits the same flip — and refuses to move backwards or skip
+// epochs.
+func (r *Registry) CommitGroupMembership(group string, newEpoch uint64, newN int) error {
+	if newN < 1 {
+		return fmt.Errorf("perpetual: membership of %s with %d replicas", group, newN)
+	}
+	cur, curN := r.GroupMembership(group)
+	if curN == 0 {
+		return fmt.Errorf("perpetual: unknown group %q", group)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if gm, ok := r.membership[group]; ok {
+		cur, curN = gm.epoch, gm.n
+	}
+	if newEpoch <= cur {
+		if newEpoch == cur && newN == curN {
+			return nil
+		}
+		return fmt.Errorf("perpetual: membership epoch %d of %s already installed", cur, group)
+	}
+	if newEpoch != cur+1 {
+		return fmt.Errorf("perpetual: membership epoch flip %d -> %d of %s skips epochs", cur, newEpoch, group)
+	}
+	r.membership[group] = groupMembership{epoch: newEpoch, n: newN}
+	return nil
+}
+
+// ObserveGroupMembership adopts a group's membership state learned from
+// a verified reply bundle (see ReplyBundle.Epoch/GroupN): unlike
+// CommitGroupMembership it allows forward jumps — a caller that slept
+// through several epochs catches up in one step — but never moves
+// backwards. Returns true if the directory changed.
+func (r *Registry) ObserveGroupMembership(group string, epoch uint64, n int) bool {
+	if epoch == 0 || n < 1 {
+		return false
+	}
+	if _, err := r.Lookup(group); err != nil {
+		return false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if gm, ok := r.membership[group]; ok && gm.epoch >= epoch {
+		return false
+	}
+	r.membership[group] = groupMembership{epoch: epoch, n: n}
+	return true
 }
 
 // deployedLocked returns the number of addressable shard groups of a
@@ -237,7 +331,8 @@ func (r *Registry) Groups() []ServiceInfo {
 	var out []ServiceInfo
 	for _, s := range r.services {
 		for k := 0; k < r.deployedLocked(s); k++ {
-			out = append(out, s.Shard(k))
+			g := s.Shard(k)
+			out = append(out, r.withMembershipLocked(g.Name, g))
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })

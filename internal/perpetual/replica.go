@@ -3,6 +3,7 @@ package perpetual
 import (
 	"fmt"
 	"log"
+	"sync/atomic"
 	"time"
 
 	"perpetualws/internal/auth"
@@ -54,6 +55,19 @@ type ReplicaConfig struct {
 	// Behavior optionally injects Byzantine faults for testing; nil
 	// means correct behavior.
 	Behavior Behavior
+	// Bootstrap resumes (or joins) the voter's CLBFT instance from a
+	// membership-boundary snapshot instead of a fresh log (see
+	// clbft.NewFromBootstrap). Nil starts from sequence 0.
+	Bootstrap *clbft.Bootstrap
+	// MembershipEpoch is the group's installed membership epoch this
+	// replica starts under (0 for the original roster); it must match
+	// the epoch the replica's voter keys were derived for.
+	MembershipEpoch uint64
+	// MembershipHook is the deployment's membership installer: called
+	// once per agreed membership change after its install barrier
+	// commits. Replicas without a hook refuse OpMembership in agreement
+	// validation.
+	MembershipHook func(mc *MembershipChange, seq uint64, state clbft.Digest)
 }
 
 // Replica is one member of a replicated Perpetual service: a co-located
@@ -69,6 +83,13 @@ type Replica struct {
 
 	voterAdapter  *transport.ChannelAdapter
 	driverAdapter *transport.ChannelAdapter
+
+	// bftBase is the CLBFT configuration template (sans N) a membership
+	// install rebuilds the voter's instance from.
+	bftBase clbft.Config
+	// stopped makes Stop idempotent: a crash-killed incarnation is
+	// stopped again when the membership change that replaces it installs.
+	stopped atomic.Bool
 }
 
 // NewReplica assembles a replica from its configuration. Call Start to
@@ -102,6 +123,8 @@ func NewReplica(cfg ReplicaConfig) (*Replica, error) {
 		d.readFallback = cfg.ReadFallback
 	}
 	v.driver = d
+	v.membershipHook = cfg.MembershipHook
+	v.memEpoch.Store(cfg.MembershipEpoch)
 
 	bftCfg := clbft.Config{
 		ID:                 cfg.Index,
@@ -112,20 +135,6 @@ func NewReplica(cfg ReplicaConfig) (*Replica, error) {
 		Tentative:          !cfg.DisableTentative,
 		CommitFlushDelay:   cfg.CommitFlushDelay,
 	}
-	opts := []clbft.Option{
-		clbft.WithValidator(v.validateOp),
-		clbft.WithCheckpointHook(v.onStableCheckpoint),
-		clbft.WithRollback(v.onRollback),
-	}
-	if cfg.Logger != nil {
-		opts = append(opts, clbft.WithLogger(cfg.Logger))
-	}
-	bft, err := clbft.New(bftCfg, v.bftTransport(), v.onDeliver, opts...)
-	if err != nil {
-		return nil, err
-	}
-	v.bft = bft
-
 	r := &Replica{
 		svc:           svc,
 		index:         cfg.Index,
@@ -135,25 +144,106 @@ func NewReplica(cfg ReplicaConfig) (*Replica, error) {
 		driverKeys:    cfg.DriverKeys,
 		voterAdapter:  voterAdapter,
 		driverAdapter: driverAdapter,
+		bftBase:       bftCfg,
 	}
+	bft, err := clbft.NewFromBootstrap(bftCfg, v.bftTransport(), v.onDeliver, cfg.Bootstrap, r.bftOptions()...)
+	if err != nil {
+		return nil, err
+	}
+	v.bftp.Store(bft)
 	if cfg.Behavior != nil {
 		cfg.Behavior.install(r)
 	}
 	return r, nil
 }
 
+// bftOptions assembles the CLBFT options wiring the voter's hooks; a
+// membership install reuses it to rebuild the instance.
+func (r *Replica) bftOptions() []clbft.Option {
+	v := r.voter
+	opts := []clbft.Option{
+		clbft.WithValidator(v.validateOp),
+		clbft.WithCheckpointHook(v.onStableCheckpoint),
+		clbft.WithRollback(v.onRollback),
+		clbft.WithBarrier(v.membershipBarrier),
+		clbft.WithHaltHook(v.onHalt),
+	}
+	if v.logger != nil {
+		opts = append(opts, clbft.WithLogger(v.logger))
+	}
+	return opts
+}
+
+// installMembership rebuilds this replica's voter-side CLBFT instance
+// for a freshly agreed membership epoch: stop, export the snapshot at
+// the install barrier, and restart under the new group size. A member
+// that had not yet executed up to the barrier (the install fires once
+// any member commits it) restores its own position and catches the gap
+// up from its peers before voting. It returns the exported snapshot so
+// the installer can seed a joining incarnation from a surviving donor.
+// Called by the deployment installer; never from the voter's own event
+// loop (Stop would deadlock).
+func (r *Replica) installMembership(mc *MembershipChange, seq uint64, state clbft.Digest, newN int) (*clbft.Bootstrap, error) {
+	old := r.voter.bft()
+	old.Stop()
+	bs := old.ExportBootstrap()
+	if bs == nil {
+		return nil, fmt.Errorf("perpetual: %s/%d: bootstrap export from running instance", r.svc.Name, r.index)
+	}
+	if bs.Seq < seq {
+		bs.CatchUpSeq = seq
+		bs.CatchUpDigest = state
+	}
+	bs.InitialView = mc.InitialView()
+	cfg := r.bftBase
+	cfg.N = newN
+	nb, err := clbft.NewFromBootstrap(cfg, r.voter.bftTransport(), r.voter.onDeliver, bs, r.bftOptions()...)
+	if err != nil {
+		return nil, err
+	}
+	r.voter.adoptEpoch(mc.NewEpoch)
+	r.voter.bftp.Store(nb)
+	nb.Start()
+	return bs, nil
+}
+
+// rotateEpochKeys re-derives, in this replica's key stores, every
+// pairwise MAC key involving a voter of the changed group (both its own
+// principals' keys toward those voters and — when this replica IS one
+// of those voters — its keys toward everyone else). Pairwise derivation
+// is symmetric, so running this at every replica of the deployment
+// converges both ends of each affected pair.
+func (r *Replica) rotateEpochKeys(master []byte, group string, epoch uint64, groupN int, all []auth.NodeID) {
+	isGroupVoter := func(id auth.NodeID) bool {
+		return id.Service == group && id.Role == auth.RoleVoter && id.Index < groupN
+	}
+	selfV, selfD := r.voterKeys.Self(), r.driverKeys.Self()
+	selfInGroup := isGroupVoter(selfV)
+	for _, p := range all {
+		if p != selfV && (selfInGroup || isGroupVoter(p)) {
+			r.voterKeys.SetKey(p, auth.DeriveEpochKey(master, epoch, selfV, p))
+		}
+		if p != selfD && isGroupVoter(p) {
+			r.driverKeys.SetKey(p, auth.DeriveEpochKey(master, epoch, selfD, p))
+		}
+	}
+}
+
 // Start wires transport handlers and launches the voter group member.
 func (r *Replica) Start() {
 	r.voterAdapter.SetHandler(r.voter.handleTransport)
 	r.driverAdapter.SetHandler(r.driver.handleTransport)
-	r.voter.bft.Start()
+	r.voter.bft().Start()
 }
 
-// Stop shuts the replica down.
+// Stop shuts the replica down. Idempotent.
 func (r *Replica) Stop() {
+	if r.stopped.Swap(true) {
+		return
+	}
 	r.driver.close()
 	r.voter.closeReads()
-	r.voter.bft.Stop()
+	r.voter.bft().Stop()
 	_ = r.voterAdapter.Close()
 	_ = r.driverAdapter.Close()
 }
@@ -177,26 +267,43 @@ func (r *Replica) SetReadExecutor(fn func([]byte) ([]byte, error)) {
 // AgreedSeq returns the agreement sequence of the last operation this
 // replica's voter group delivered locally (the CLBFT log horizon local
 // delivery has reached, including tentative deliveries; diagnostic).
-func (r *Replica) AgreedSeq() uint64 { return r.voter.bft.LastExecutedSeq() }
+func (r *Replica) AgreedSeq() uint64 { return r.voter.bft().LastExecutedSeq() }
 
 // CommittedSeq returns the agreement sequence through which this
 // replica's voter holds commit certificates — the stable horizon behind
 // (or at) AgreedSeq. Deliveries above it are tentative and endorse
 // replies at the tentative tier (diagnostic).
-func (r *Replica) CommittedSeq() uint64 { return r.voter.bft.CommittedSeq() }
+func (r *Replica) CommittedSeq() uint64 { return r.voter.bft().CommittedSeq() }
 
 // TentativeExecs returns how many operations this replica's voter
 // executed tentatively, ahead of their commit certificates (diagnostic).
-func (r *Replica) TentativeExecs() uint64 { return r.voter.bft.TentativeExecs() }
+func (r *Replica) TentativeExecs() uint64 { return r.voter.bft().TentativeExecs() }
 
 // Rollbacks returns how many tentative executions were revoked by view
 // changes at this replica's voter (diagnostic).
-func (r *Replica) Rollbacks() uint64 { return r.voter.bft.Rollbacks() }
+func (r *Replica) Rollbacks() uint64 { return r.voter.bft().Rollbacks() }
 
 // PiggybackedCommits returns how many of this voter's commit votes rode
 // a pre-prepare or prepare frame instead of paying their own
 // (diagnostic; the frames-per-request reduction is proportional).
-func (r *Replica) PiggybackedCommits() uint64 { return r.voter.bft.PiggybackedCommits() }
+func (r *Replica) PiggybackedCommits() uint64 { return r.voter.bft().PiggybackedCommits() }
+
+// MembershipEpoch returns the voter group's installed membership epoch
+// as this replica knows it (diagnostic / operator surface).
+func (r *Replica) MembershipEpoch() uint64 { return r.voter.memEpoch.Load() }
+
+// StaleEpochDrops returns how many same-group voter frames this replica
+// discarded for carrying a non-current membership epoch (diagnostic).
+func (r *Replica) StaleEpochDrops() uint64 { return r.voter.staleEpochDrops.Load() }
+
+// CatchUpTarget returns the agreement sequence this replica must replay
+// to before its voter votes — nonzero while a joining or lagging
+// incarnation is still fetching history (diagnostic).
+func (r *Replica) CatchUpTarget() uint64 { return r.voter.bft().JoinTarget() }
+
+// HaltedSeq returns the membership-barrier sequence the voter's
+// execution is halted at, or 0 when not halted (diagnostic).
+func (r *Replica) HaltedSeq() uint64 { return r.voter.bft().HaltedAt() }
 
 // Service returns the replica's service descriptor.
 func (r *Replica) Service() ServiceInfo { return r.svc }
@@ -206,11 +313,11 @@ func (r *Replica) Index() int { return r.index }
 
 // VoterView returns the voter group view this replica is in
 // (diagnostic).
-func (r *Replica) VoterView() uint64 { return r.voter.bft.View() }
+func (r *Replica) VoterView() uint64 { return r.voter.bft().View() }
 
 // AgreementCount returns the number of operations this replica's voter
 // has delivered (diagnostic).
-func (r *Replica) AgreementCount() uint64 { return r.voter.bft.Executed() }
+func (r *Replica) AgreementCount() uint64 { return r.voter.bft().Executed() }
 
 // StableCheckpointSeq returns the agreement sequence of the voter
 // group's last stable (quorum-certified, locally executed) checkpoint,

@@ -63,7 +63,7 @@ func TestSustainedLoadKeepsStateBounded(t *testing.T) {
 	time.Sleep(300 * time.Millisecond)
 	for _, svc := range []string{"c", "t"} {
 		for i, r := range dep.Replicas(svc) {
-			st := r.voter.bft.DebugState()
+			st := r.voter.bft().DebugState()
 			window := 2 * opts.CheckpointInterval
 			if st.LogLen > int(4*window) {
 				t.Errorf("%s/%d: log has %d entries (window %d): GC not keeping up",
@@ -79,9 +79,9 @@ func TestSustainedLoadKeepsStateBounded(t *testing.T) {
 	}
 	// All target replicas must have executed the same number of
 	// requests and hold identical state digests at the same watermark.
-	ref := dep.Replicas("t")[0].voter.bft.DebugState()
+	ref := dep.Replicas("t")[0].voter.bft().DebugState()
 	for i, r := range dep.Replicas("t")[1:] {
-		st := r.voter.bft.DebugState()
+		st := r.voter.bft().DebugState()
 		if st.LowWatermark == ref.LowWatermark && st.StateDigest != ref.StateDigest {
 			t.Errorf("t/%d: state digest diverged at watermark %d", i+1, st.LowWatermark)
 		}

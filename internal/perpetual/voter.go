@@ -36,6 +36,10 @@ type replyRecord struct {
 	share     Share
 	seq       uint64
 	tentative bool
+	// epoch is the membership epoch the share was minted under; a
+	// retransmission served after an epoch flip re-mints the share so
+	// its MAC matches the roster the new bundle will advertise.
+	epoch uint64
 }
 
 // execInfo tracks an agreed request awaiting (or during) execution.
@@ -66,9 +70,30 @@ type voter struct {
 	registry *Registry
 	adapter  *transport.ChannelAdapter
 	ks       *auth.KeyStore
-	bft      *clbft.Replica
-	driver   *Driver // co-located; set during replica assembly
-	logger   *log.Logger
+	// bftp holds the current CLBFT instance. It is a swappable pointer
+	// because a membership install rebuilds the instance under the new
+	// roster while the transport keeps delivering: readers always see
+	// either the old (stopped, inert) or the new instance, never nil.
+	bftp   atomic.Pointer[clbft.Replica]
+	driver *Driver // co-located; set during replica assembly
+	logger *log.Logger
+
+	// memEpoch is the installed membership epoch of this voter's group
+	// (see membership.go). Outbound messages are stamped with it;
+	// intra-group traffic carrying any other stamp is dropped.
+	memEpoch atomic.Uint64
+	// staleEpochDrops counts intra-group messages rejected for a stale
+	// (or future) epoch stamp — the deterministic observable that a
+	// departed incarnation's traffic is being refused.
+	staleEpochDrops atomic.Uint64
+	// membershipHook is the deployment's install callback: invoked (on a
+	// fresh goroutine) once an agreed membership change's barrier
+	// sequence commits. Voters without a hook reject OpMembership in
+	// validation — a group nobody can rebuild must not halt itself.
+	membershipHook func(mc *MembershipChange, seq uint64, state clbft.Digest)
+	// pendingMC (guarded by mu) is the delivered-but-not-yet-installed
+	// membership change; cleared if a view change rolls the barrier back.
+	pendingMC *MembershipChange
 
 	// Fault injection flags (see faults.go); set before Start.
 	corruptResults bool
@@ -149,6 +174,37 @@ func (v *voter) logf(format string, args ...any) {
 	}
 }
 
+// bft returns the current CLBFT instance (see bftp).
+func (v *voter) bft() *clbft.Replica { return v.bftp.Load() }
+
+// curInfo returns this voter's group descriptor at its current
+// membership size: the registry overlay is the authority once an epoch
+// has been installed, the static descriptor before.
+func (v *voter) curInfo() ServiceInfo {
+	s := v.svc
+	if _, n := v.registry.GroupMembership(v.svc.Name); n > 0 {
+		s.N = n
+	}
+	return s
+}
+
+// adoptEpoch flips the voter's perpetual-level state to a freshly
+// installed membership epoch. Share collections restart clean (mixed-
+// epoch shares can never certify), and every pending request vote is
+// re-armed for proposing: agreement work above the install barrier was
+// abandoned, so requests whose proposal died with the old instance must
+// be re-proposed when the callers' retransmissions arrive.
+func (v *voter) adoptEpoch(epoch uint64) {
+	v.memEpoch.Store(epoch)
+	v.mu.Lock()
+	v.pendingMC = nil
+	v.shareBuf = newBoundedCache[*shareCollect](sharesCacheSize)
+	for _, vote := range v.reqVotes {
+		vote.proposed = false
+	}
+	v.mu.Unlock()
+}
+
 // bftTransport adapts the voter's ChannelAdapter to clbft.Transport,
 // including the encode-once Multicast extension: a CLBFT broadcast to
 // n−1 peers serializes the message (and its transport wrapper) exactly
@@ -171,7 +227,7 @@ func (t *bftTransport) Multicast(tos []int, m *clbft.Message) {
 	inner := wire.GetWriter(256)
 	m.EncodeTo(inner)
 	outer := wire.GetWriter(inner.Len() + 8)
-	(&Message{Kind: KindBFT, BFT: inner.Bytes()}).EncodeTo(outer)
+	(&Message{Kind: KindBFT, BFT: inner.Bytes(), Epoch: v.memEpoch.Load()}).EncodeTo(outer)
 	if len(tos) == 1 {
 		if err := v.adapter.Send(auth.VoterID(v.svc.Name, tos[0]), outer.Bytes()); err != nil {
 			v.logf("bft send to %d: %v", tos[0], err)
@@ -229,7 +285,8 @@ func (v *voter) validateOp(opID string, op []byte) bool {
 		if err != nil {
 			return false
 		}
-		b := &ReplyBundle{ReqID: o.ReqID, Target: o.Target, Payload: o.Payload, Shares: o.Shares}
+		b := &ReplyBundle{ReqID: o.ReqID, Target: o.Target, Payload: o.Payload, Shares: o.Shares,
+			Epoch: o.Epoch, GroupN: o.GroupN}
 		return VerifyBundle(v.ks, target, b) == nil
 	case OpAbort:
 		// Aborts carry no certificate: any single replica of the group
@@ -305,6 +362,29 @@ func (v *voter) validateOp(opID string, op []byte) bool {
 			}
 		}
 		return true
+	case OpMembership:
+		// A membership change must target this very group and advance its
+		// installed epoch by exactly one — every correct replica refuses
+		// anything else before ordering, so a faction below the *current*
+		// quorum can never install an epoch, and a replayed change from an
+		// earlier epoch is rejected as stale. Groups without an install
+		// hook (no deployment orchestrator wired) refuse all changes: a
+		// group nobody can rebuild must not halt itself at a barrier.
+		if v.membershipHook == nil {
+			return false
+		}
+		mc, err := DecodeMembershipChange(o.Payload)
+		if err != nil {
+			return false
+		}
+		if opID != MembershipOpID(mc.Group, mc.NewEpoch) {
+			return false
+		}
+		if err := mc.Validate(v.svc.Name, v.memEpoch.Load(), v.curInfo().N); err != nil {
+			v.logf("membership change rejected: %v", err)
+			return false
+		}
+		return true
 	default:
 		return false
 	}
@@ -317,6 +397,21 @@ func (v *voter) handleTransport(from auth.NodeID, payload []byte) {
 		v.logf("malformed message from %s: %v", from, err)
 		return
 	}
+	// Epoch gate: intra-group protocol traffic must carry this voter's
+	// installed membership epoch. A departed incarnation (whose keys no
+	// longer verify) or a replayed pre-flip frame is rejected here
+	// deterministically instead of corrupting protocol state. Driver-
+	// originated kinds stay epoch-free: a caller with a stale roster
+	// view must still reach the group to learn the new epoch.
+	if from.Service == v.svc.Name && from.Role == auth.RoleVoter {
+		switch m.Kind {
+		case KindBFT, KindReplyShare, KindPayloadFetch:
+			if m.Epoch != v.memEpoch.Load() {
+				v.staleEpochDrops.Add(1)
+				return
+			}
+		}
+	}
 	switch m.Kind {
 	case KindBFT:
 		if from.Service != v.svc.Name || from.Role != auth.RoleVoter {
@@ -326,7 +421,7 @@ func (v *voter) handleTransport(from auth.NodeID, payload []byte) {
 		if err != nil {
 			return
 		}
-		v.bft.Receive(from.Index, bm)
+		v.bft().Receive(from.Index, bm)
 	case KindRequest:
 		v.handleExternalRequest(from, m.Request)
 	case KindReadRequest:
@@ -358,7 +453,7 @@ func (v *voter) handleExternalRequest(from auth.NodeID, req *Request) {
 	if err != nil || from.Index < 0 || from.Index >= caller.N {
 		return
 	}
-	if req.Responder < 0 || req.Responder >= v.svc.N {
+	if req.Responder < 0 || req.Responder >= v.curInfo().N {
 		return
 	}
 	digest := req.Digest()
@@ -378,7 +473,12 @@ func (v *voter) handleExternalRequest(from auth.NodeID, req *Request) {
 	// reply that stalled below the tentative quorum tier.
 	if rec, ok := v.replies.Get(req.ReqID); ok {
 		v.mu.Unlock()
-		if rec.tentative && v.bft.CommittedSeq() >= rec.seq {
+		// Re-mint when the tier can upgrade (tentative -> stable) or the
+		// membership epoch flipped since minting: a pre-flip share can
+		// never enter a post-flip bundle (the MAC'd roster would not
+		// match). Post-flip the commit floor is the install barrier, which
+		// is >= every pre-flip sequence, so the re-mint is always stable.
+		if (rec.tentative && v.bft().CommittedSeq() >= rec.seq) || rec.epoch != v.memEpoch.Load() {
 			rec = v.upgradeShare(req.ReqID, rec)
 		}
 		v.sendShareTo(req.ReqID, rec, req.Responder)
@@ -433,7 +533,7 @@ func (v *voter) handleExternalRequest(from auth.NodeID, req *Request) {
 		// clbft forwards the proposal, so a correct voter suffices to
 		// get the request ordered regardless of which replica the
 		// caller contacted.
-		v.bft.Submit(RequestOpID(req.ReqID), propose.Encode())
+		v.bft().Submit(RequestOpID(req.ReqID), propose.Encode())
 	}
 }
 
@@ -488,7 +588,7 @@ func (v *voter) onDeliver(d clbft.Delivery) {
 		}
 		v.delivered.Put(o.ReqID, struct{}{})
 		v.mu.Unlock()
-		v.driver.deliverReply(Reply{ReqID: o.ReqID, Payload: o.Payload}, o.Shares)
+		v.driver.deliverReply(Reply{ReqID: o.ReqID, Payload: o.Payload}, o.Shares, o.Epoch, o.GroupN)
 	case OpAbort:
 		v.mu.Lock()
 		if v.delivered.Contains(o.ReqID) {
@@ -497,12 +597,49 @@ func (v *voter) onDeliver(d clbft.Delivery) {
 		}
 		v.delivered.Put(o.ReqID, struct{}{})
 		v.mu.Unlock()
-		v.driver.deliverReply(Reply{ReqID: o.ReqID, Aborted: true}, nil)
+		v.driver.deliverReply(Reply{ReqID: o.ReqID, Aborted: true}, nil, 0, 0)
 	case OpUtil:
 		v.driver.deliverUtil(o.K, o.Value)
 	case OpTxnDecision:
 		v.driver.deliverTxnDecision(o.TxnID, o.Commit)
+	case OpMembership:
+		// The barrier predicate has already halted execution at this very
+		// sequence; stash the change and wait for the halt hook — the
+		// change only installs once its own ordering is *committed*, so a
+		// view change can still revoke it (see onRollback).
+		mc, err := DecodeMembershipChange(o.Payload)
+		if err != nil {
+			v.logf("agreed membership change undecodable: %v", err)
+			return
+		}
+		if mc.NewEpoch <= v.memEpoch.Load() {
+			// Catch-up replay of an already-installed epoch (the barrier
+			// predicate let it through): a no-op for this incarnation.
+			return
+		}
+		v.mu.Lock()
+		v.pendingMC = mc
+		v.mu.Unlock()
+		v.logf("membership change agreed at seq %d: %s slot %d, epoch %d, n=%d",
+			d.Seq, mc.Kind, mc.Slot, mc.NewEpoch, mc.NewN)
 	}
+}
+
+// onHalt is the CLBFT halt hook: the barrier sequence of an agreed
+// membership change has committed, every certificate below it is final,
+// and execution is parked exactly at the install point. Hand the change
+// to the deployment's installer on a fresh goroutine — the install
+// stops this very CLBFT instance, which must not happen from its own
+// event loop.
+func (v *voter) onHalt(seq uint64, state clbft.Digest) {
+	v.mu.Lock()
+	mc := v.pendingMC
+	v.pendingMC = nil
+	v.mu.Unlock()
+	if mc == nil || v.membershipHook == nil {
+		return
+	}
+	go v.membershipHook(mc, seq, state)
 }
 
 // handleLocalResult implements stages 4-5: the co-located driver passes
@@ -554,8 +691,9 @@ func (v *voter) handleLocalResult(reqID string, payload []byte) {
 	// commit horizon: a result executed ahead of the horizon (tentative
 	// execution) is endorsed tentatively — callers then need a full
 	// quorum of matching shares instead of f_t+1 (see VerifyBundle).
-	tentative := v.bft.CommittedSeq() < info.seq
-	a, err := v.authenticateReply(reqID, info.caller, payload, digest, tentative)
+	tentative := v.bft().CommittedSeq() < info.seq
+	epoch := v.memEpoch.Load()
+	a, err := v.authenticateReply(reqID, info.caller, payload, digest, tentative, epoch)
 	if err != nil {
 		v.logf("result for %s: authenticator: %v", reqID, err)
 		return
@@ -567,6 +705,7 @@ func (v *voter) handleLocalResult(reqID string, payload []byte) {
 		share:     Share{Replica: v.index, Tentative: tentative, Auth: a},
 		seq:       info.seq,
 		tentative: tentative,
+		epoch:     epoch,
 	}
 	v.mu.Lock()
 	v.replies.Put(reqID, rec)
@@ -575,8 +714,10 @@ func (v *voter) handleLocalResult(reqID string, payload []byte) {
 }
 
 // authenticateReply MACs a reply-digest endorsement toward every
-// principal that may need to verify it.
-func (v *voter) authenticateReply(reqID, callerName string, payload []byte, digest [sha256.Size]byte, tentative bool) (auth.Authenticator, error) {
+// principal that may need to verify it. The MAC'd content includes the
+// membership epoch the share is minted under and the group's current
+// size (the roster attestation; see replyAuthMsg).
+func (v *voter) authenticateReply(reqID, callerName string, payload []byte, digest [sha256.Size]byte, tentative bool, epoch uint64) (auth.Authenticator, error) {
 	caller, err := v.registry.Lookup(callerName)
 	if err != nil {
 		return auth.Authenticator{}, err
@@ -594,19 +735,23 @@ func (v *voter) authenticateReply(reqID, callerName string, payload []byte, dige
 			receivers = append(receivers, dg.DriverIDs()...)
 		}
 	}
-	return auth.NewAuthenticator(v.ks, replyAuthMsg(reqID, digest, tentative), receivers)
+	return auth.NewAuthenticator(v.ks, replyAuthMsg(reqID, digest, tentative, epoch, v.curInfo().N), receivers)
 }
 
-// upgradeShare re-mints a cached tentative share as stable after the
-// agreement committed past its sequence, and re-caches the result.
+// upgradeShare re-mints a cached share as stable under the current
+// membership epoch — after the agreement committed past its sequence,
+// or after an epoch flip invalidated the original mint — and re-caches
+// the result.
 func (v *voter) upgradeShare(reqID string, rec replyRecord) replyRecord {
-	a, err := v.authenticateReply(reqID, rec.caller, rec.payload, rec.digest, false)
+	epoch := v.memEpoch.Load()
+	a, err := v.authenticateReply(reqID, rec.caller, rec.payload, rec.digest, false, epoch)
 	if err != nil {
 		v.logf("upgrading share for %s: %v", reqID, err)
 		return rec
 	}
 	rec.share = Share{Replica: v.index, Auth: a}
 	rec.tentative = false
+	rec.epoch = epoch
 	v.mu.Lock()
 	v.replies.Put(reqID, rec)
 	v.mu.Unlock()
@@ -625,6 +770,18 @@ func (v *voter) upgradeShare(reqID string, rec replyRecord) replyRecord {
 // whose rolled-back suffix diverges from the re-agreed order can at
 // worst endorse minority results afterwards and is outvoted.
 func (v *voter) onRollback(d clbft.Delivery) bool {
+	if strings.HasPrefix(d.OpID, MembershipOpPrefix) {
+		// A membership change has no application side effects before its
+		// install, and the install waits for the commit (onHalt) that this
+		// rollback just revoked — so undoing is trivial: forget the
+		// pending change and let clbft re-buffer the operation. The halt
+		// lifts with the rollback and re-arms if the change is re-agreed.
+		v.mu.Lock()
+		v.pendingMC = nil
+		v.mu.Unlock()
+		v.logf("membership change %s rolled back by view change; re-buffered", d.OpID)
+		return true
+	}
 	v.logf("tentative delivery %s at seq %d rolled back by view change", d.OpID, d.Seq)
 	return false
 }
@@ -661,7 +818,7 @@ func (v *voter) sendShare(reqID string, rec replyRecord, to int, withPayload boo
 	if withPayload {
 		rs.Payload = rec.payload
 	}
-	msg := &Message{Kind: KindReplyShare, ReplyShare: rs}
+	msg := &Message{Kind: KindReplyShare, ReplyShare: rs, Epoch: v.memEpoch.Load()}
 	w := wire.GetWriter(msg.SizeHint())
 	msg.EncodeTo(w)
 	if err := v.adapter.Send(auth.VoterID(v.svc.Name, to), w.Bytes()); err != nil {
@@ -799,7 +956,7 @@ func (v *voter) answerRead(from auth.NodeID, rr *ReadRequest, behind bool) {
 			}
 		}
 	}
-	msg := &Message{Kind: KindReadReply, ReadReply: rp}
+	msg := &Message{Kind: KindReadReply, ReadReply: rp, Epoch: v.memEpoch.Load()}
 	w := wire.GetWriter(msg.SizeHint())
 	msg.EncodeTo(w)
 	if err := v.adapter.Send(from, w.Bytes()); err != nil {
@@ -906,6 +1063,7 @@ func (v *voter) acceptShare(fromIndex int, rs *ReplyShare) {
 	if err != nil {
 		return
 	}
+	info := v.curInfo() // thresholds follow the installed membership size
 	v.mu.Lock()
 	sc, ok := v.shareBuf.Get(rs.ReqID)
 	if !ok {
@@ -944,7 +1102,7 @@ func (v *voter) acceptShare(fromIndex int, rs *ReplyShare) {
 		if !sc.shares[idx].Tentative {
 			stables[d]++
 		}
-		if stables[d] >= v.svc.F()+1 || counts[d] >= v.svc.Quorum() {
+		if stables[d] >= info.F()+1 || counts[d] >= info.Quorum() {
 			winner = d
 			found = true
 		}
@@ -973,7 +1131,8 @@ func (v *voter) acceptShare(fromIndex int, rs *ReplyShare) {
 		}
 		v.mu.Unlock()
 		v.logf("reply %s: local result diverged from endorsed digest; fetching payload", rs.ReqID)
-		pf := &Message{Kind: KindPayloadFetch, PayloadFetch: &PayloadFetch{ReqID: rs.ReqID, Digest: winner}}
+		pf := &Message{Kind: KindPayloadFetch, PayloadFetch: &PayloadFetch{ReqID: rs.ReqID, Digest: winner},
+			Epoch: v.memEpoch.Load()}
 		w := wire.GetWriter(pf.SizeHint())
 		pf.EncodeTo(w)
 		for _, idx := range fetchFrom {
@@ -994,17 +1153,20 @@ func (v *voter) acceptShare(fromIndex int, rs *ReplyShare) {
 	v.mu.Unlock()
 
 	primary := 0
-	if v.bft != nil {
-		primary = v.bft.Primary() // advisory routing hint for the callers
+	if b := v.bft(); b != nil {
+		primary = b.Primary() // advisory routing hint for the callers
 	}
+	epoch := v.memEpoch.Load()
 	bundle := &ReplyBundle{
 		ReqID:   rs.ReqID,
 		Target:  v.svc.Name,
 		Payload: payload,
 		Shares:  shares,
 		Primary: primary,
+		Epoch:   epoch,
+		GroupN:  info.N,
 	}
-	msg := &Message{Kind: KindReplyBundle, ReplyBundle: bundle}
+	msg := &Message{Kind: KindReplyBundle, ReplyBundle: bundle, Epoch: epoch}
 	w := wire.GetWriter(msg.SizeHint())
 	msg.EncodeTo(w)
 	if err := v.adapter.SendMulti(caller.DriverIDs(), w.Bytes()); err != nil {
@@ -1034,8 +1196,9 @@ func (v *voter) handleResultForward(from auth.NodeID, b *ReplyBundle) {
 		v.logf("forwarded bundle for %s rejected: %v", b.ReqID, err)
 		return
 	}
-	op := &Op{Kind: OpReply, ReqID: b.ReqID, Target: b.Target, Payload: b.Payload, Shares: b.Shares}
-	v.bft.Submit(ReplyOpID(b.ReqID), op.Encode())
+	op := &Op{Kind: OpReply, ReqID: b.ReqID, Target: b.Target, Payload: b.Payload, Shares: b.Shares,
+		Epoch: b.Epoch, GroupN: b.GroupN}
+	v.bft().Submit(ReplyOpID(b.ReqID), op.Encode())
 }
 
 // handleUtilForward makes the primary propose an agreed utility value.
@@ -1051,7 +1214,7 @@ func (v *voter) handleUtilForward(from auth.NodeID, u *UtilForward) {
 // deduplicated by OpID.
 func (v *voter) proposeUtil(k uint64) {
 	op := &Op{Kind: OpUtil, K: k, Value: time.Now().UnixMilli()}
-	v.bft.Submit(UtilOpID(k), op.Encode())
+	v.bft().Submit(UtilOpID(k), op.Encode())
 }
 
 // handleAbortForward proposes a deterministic abort.
@@ -1070,14 +1233,36 @@ func (v *voter) proposeAbort(reqID string) {
 		return
 	}
 	op := &Op{Kind: OpAbort, ReqID: reqID}
-	v.bft.Submit(AbortOpID(reqID), op.Encode())
+	v.bft().Submit(AbortOpID(reqID), op.Encode())
 }
 
 // proposeTxnDecision submits the co-located driver's transaction
 // decision for agreement; every correct replica of the coordinator
 // group proposes identical bytes, deduplicated by OpID.
 func (v *voter) proposeTxnDecision(op *Op) {
-	v.bft.Submit(TxnOpID(op.TxnID), op.Encode())
+	v.bft().Submit(TxnOpID(op.TxnID), op.Encode())
+}
+
+// membershipBarrier is the CLBFT barrier predicate: execution halts at
+// a membership change that advances past this voter's installed epoch.
+// The epoch qualifier matters for joiners and late members: a replica
+// bootstrapped from a checkpoint below the install point replays the
+// very operation that created its epoch during catch-up, and must
+// execute it as a no-op rather than halt at it a second time.
+func (v *voter) membershipBarrier(opID string) bool {
+	epoch, ok := parseMembershipOpID(opID)
+	return ok && epoch > v.memEpoch.Load()
+}
+
+// proposeMembership submits a membership change for agreement through
+// the current epoch's quorum. The change validates at every correct
+// voter (validateOp), halts execution at its own sequence number
+// (membershipBarrier), and triggers the deployment's install
+// hook once that sequence commits. Multiple survivors proposing the
+// same change deduplicate by operation id.
+func (v *voter) proposeMembership(mc *MembershipChange) {
+	op := &Op{Kind: OpMembership, Payload: mc.Encode()}
+	v.bft().Submit(MembershipOpID(mc.Group, mc.NewEpoch), op.Encode())
 }
 
 // onStableCheckpoint records the group's latest stable checkpoint

@@ -76,7 +76,14 @@ func (n *Network) Port(id auth.NodeID) *Port {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if p, ok := n.ports[id]; ok {
-		return p
+		p.mu.Lock()
+		closed := p.closed
+		p.mu.Unlock()
+		if !closed {
+			return p
+		}
+		// A closed port belongs to a departed incarnation (membership
+		// replace); its successor under the same id gets a fresh port.
 	}
 	p := &Port{
 		net:   n,
