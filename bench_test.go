@@ -57,7 +57,7 @@ func BenchmarkFigure7Scalability(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		fig, err := bench.RunFigure7(bench.Figure7Config{
 			Degrees: []int{1, 4, 7},
-			Calls:   60,
+			RunOpts: bench.RunOpts{Calls: 60},
 		})
 		if err != nil {
 			b.Fatal(err)
@@ -83,7 +83,7 @@ func BenchmarkFigure7TCP(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		for _, n := range []int{1, 4} {
 			tput, err := bench.MeasureNullThroughput(bench.NullConfig{
-				N: n, Calls: 60, Transport: perpetual.TransportTCP,
+				RunOpts: bench.RunOpts{N: n, Calls: 60, Transport: perpetual.TransportTCP},
 			})
 			if err != nil {
 				b.Fatal(err)
@@ -104,9 +104,11 @@ func BenchmarkFigure7TCP(b *testing.B) {
 func BenchmarkFigure7Pipelined(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		res, err := bench.MeasureNull(bench.NullConfig{
-			N: 4, Calls: 120, MaxBatch: bench.DefaultPipelineBatch,
-			Inflight:  bench.DefaultPipelineInflight,
-			Transport: perpetual.TransportTCP,
+			RunOpts: bench.RunOpts{
+				N: 4, Calls: 120, MaxBatch: bench.DefaultPipelineBatch,
+				Inflight:  bench.DefaultPipelineInflight,
+				Transport: perpetual.TransportTCP,
+			},
 		})
 		if err != nil {
 			b.Fatal(err)
@@ -128,13 +130,14 @@ func BenchmarkFigure7Pipelined(b *testing.B) {
 func BenchmarkReadMix(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		fast, err := bench.MeasureReadMix(bench.ReadMixConfig{
-			N: 4, Calls: 200, Transport: perpetual.TransportMem,
+			RunOpts: bench.RunOpts{N: 4, Calls: 200, Transport: perpetual.TransportMem},
 		})
 		if err != nil {
 			b.Fatal(err)
 		}
 		forced, err := bench.MeasureReadMix(bench.ReadMixConfig{
-			N: 4, Calls: 200, Transport: perpetual.TransportMem, ForceAgreement: true,
+			RunOpts:        bench.RunOpts{N: 4, Calls: 200, Transport: perpetual.TransportMem},
+			ForceAgreement: true,
 		})
 		if err != nil {
 			b.Fatal(err)
@@ -155,7 +158,7 @@ func BenchmarkReadMix(b *testing.B) {
 func BenchmarkReadMixTCP(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		fast, err := bench.MeasureReadMix(bench.ReadMixConfig{
-			N: 4, Calls: 200, Transport: perpetual.TransportTCP,
+			RunOpts: bench.RunOpts{N: 4, Calls: 200, Transport: perpetual.TransportTCP},
 		})
 		if err != nil {
 			b.Fatal(err)

@@ -14,7 +14,8 @@
 //	perpetualctl reshard [-quick] [-n 4] [-from 2] [-to 4] [-customers 96]
 //	perpetualctl membership [-quick] [-n 4] [-rotations 1] [-transport mem|tcp]
 //	perpetualctl readmix [-quick] [-n 4] [-calls 400] [-sessions 4] [-readpct 95] [-transport mem|tcp]
-//	perpetualctl bench [-quick] [-json] [-out FILE] [-commit REV] [-transport mem,tcp] [-batch N] [-readmix] [-chaos]
+//	perpetualctl matrix [-quick] [-cores 1,4] [-shards 1,4] [-transport mem,tcp] [-n 4] [-calls 400]
+//	perpetualctl bench [-quick] [-json] [-out FILE] [-commit REV] [-transport mem,tcp] [-batch N] [-readmix] [-chaos] [-cores 1,4]
 //	perpetualctl benchgate -old FILE -new FILE [-max-regress 15]
 //	perpetualctl all  [-quick]
 //
@@ -29,6 +30,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -67,6 +69,8 @@ func main() {
 		err = runMembership(args)
 	case "readmix":
 		err = runReadMix(args)
+	case "matrix":
+		err = runMatrix(args)
 	case "bench":
 		err = runBench(args)
 	case "benchgate":
@@ -88,7 +92,7 @@ func main() {
 }
 
 func usage(w io.Writer) {
-	fmt.Fprintln(w, `usage: perpetualctl <properties|fig6|fig7|fig8|fig9|shards|txn|reshard|membership|readmix|bench|benchgate|all> [flags]
+	fmt.Fprintln(w, `usage: perpetualctl <properties|fig6|fig7|fig8|fig9|shards|txn|reshard|membership|readmix|matrix|bench|benchgate|all> [flags]
   properties  print the paper's Figure 2 property matrix
   fig6        TPC-W WIPS vs RBE count (payment-tier replication sweep)
   fig7        replica scalability, null requests (-transport tcp runs the
@@ -104,16 +108,25 @@ func usage(w io.Writer) {
   readmix     browse-heavy TPC-W mix through the session-tier read fast
               path vs the same mix forced through agreement (-transport
               mem|tcp, -sessions N concurrent emulated browsers)
+  matrix      multi-core scalability matrix: aggregate sharded null
+              throughput over {GOMAXPROCS} x {shards} x {transport},
+              with the runtime mutex-contention profile's top lock
+              sites (-mutexprofile 0 disables sampling)
   bench       headline figure summary; -json emits the machine-readable
               report (use -out FILE to write e.g. BENCH_pr6.json and
               -commit REV to stamp the measured revision); -transport
               selects the null-cell wires, -batch the batched variant,
               -readmix=false skips the two-tier read-mix cells,
-              -chaos=false the rotation-recovery cells
+              -chaos=false the rotation-recovery cells, -cores 1,4
+              adds the schema-6 scalability matrix
   benchgate   compare two 'go test -bench' outputs and fail on a
-              throughput regression beyond -max-regress percent
+              throughput regression beyond -max-regress percent;
+              benchmark names keep their -<GOMAXPROCS> suffix, so only
+              cells measured at matching core counts compare
   all         fig7, fig8, fig9, then fig6
-common flags: -quick (reduced grids), plus per-figure tuning flags`)
+common flags: -quick (reduced grids), plus the shared bench knobs
+  -n, -calls, -runs, -batch, -inflight, -transport (bench, readmix,
+  matrix, and fig7 accept the identical set)`)
 }
 
 func runBench(args []string) error {
@@ -122,18 +135,27 @@ func runBench(args []string) error {
 	asJSON := fs.Bool("json", false, "emit the machine-readable JSON report")
 	out := fs.String("out", "", "write the report to this file instead of stdout")
 	commit := fs.String("commit", "", "git revision to stamp into the report")
-	transports := fs.String("transport", "mem,tcp", "comma-separated transports for the null cells: mem, tcp")
-	batch := fs.Int("batch", 8, "CLBFT batch size of the batched Figure-7 variant (<=1 disables it)")
 	readmix := fs.Bool("readmix", true, "measure the two-tier read-mix cells (fast path vs agreement)")
 	chaos := fs.Bool("chaos", true, "measure the rotation-recovery cells (crash/restart chaos soak)")
+	cores := fs.String("cores", "", "comma-separated GOMAXPROCS values for the scalability matrix (empty skips it)")
+	resolve := runOptsFlags(fs, bench.RunOpts{MaxBatch: 8}, "mem,tcp")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	opts, transports, err := resolve()
+	if err != nil {
+		return err
+	}
+	coreList, err := splitInts(*cores)
+	if err != nil {
 		return err
 	}
 	fmt.Fprintln(os.Stderr, "running bench report (null throughput mem+tcp, WIPS, txn, reply path, read mix, chaos, micro)...")
 	rep, err := bench.RunReport(bench.ReportConfig{
 		Quick: *quick, Commit: *commit,
-		Transports: splitList(*transports), Batch: *batch,
+		Transports: transports, Opts: opts,
 		SkipReadMix: !*readmix, SkipChaos: !*chaos,
+		Cores: coreList,
 	})
 	if err != nil {
 		return err
@@ -363,25 +385,23 @@ func runMembership(args []string) error {
 func runReadMix(args []string) error {
 	fs := flag.NewFlagSet("readmix", flag.ExitOnError)
 	quick := fs.Bool("quick", false, "reduced measurement sizes")
-	n := fs.Int("n", 4, "store replicas (N = 3f+1)")
-	calls := fs.Int("calls", 400, "interactions per cell")
 	sessions := fs.Int("sessions", 4, "concurrent emulated-browser sessions")
 	readPct := fs.Int("readpct", 95, "percentage of interactions declared read-only")
-	transport := fs.String("transport", "mem", "transport the cell runs over: mem or tcp")
+	resolve := runOptsFlags(fs, bench.RunOpts{N: 4, Calls: 400}, "mem")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	kind, err := bench.TransportKindOf(*transport)
+	opts, transports, err := resolve()
 	if err != nil {
 		return err
 	}
 	if *quick {
-		*calls = 150
+		opts.Calls = 150
 	}
 	fmt.Printf("running read mix (%d/%d, n=%d, %d sessions, transport=%s)...\n",
-		*readPct, 100-*readPct, *n, *sessions, *transport)
+		*readPct, 100-*readPct, opts.N, *sessions, strings.Join(transports, ","))
 	cfg := bench.ReadMixConfig{
-		N: *n, ReadPct: *readPct, Calls: *calls, Sessions: *sessions, Transport: kind,
+		RunOpts: opts, ReadPct: *readPct, Sessions: *sessions,
 	}
 	fast, err := bench.MeasureReadMix(cfg)
 	if err != nil {
@@ -430,24 +450,21 @@ func runFig6(args []string) error {
 func runFig7(args []string) error {
 	fs := flag.NewFlagSet("fig7", flag.ExitOnError)
 	quick := fs.Bool("quick", false, "reduced grid")
-	calls := fs.Int("calls", 1000, "requests per cell (paper: 1000)")
-	runs := fs.Int("runs", 3, "runs averaged per cell (paper: 3)")
-	transport := fs.String("transport", "mem", "transport the sweep runs over: mem or tcp")
-	batch := fs.Int("batch", 0, "CLBFT request batching (0/1 off, the paper-faithful default)")
+	resolve := runOptsFlags(fs, bench.RunOpts{Calls: 1000, Runs: 3}, "mem")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	kind, err := bench.TransportKindOf(*transport)
+	opts, transports, err := resolve()
 	if err != nil {
 		return err
 	}
-	cfg := bench.Figure7Config{Calls: *calls, Runs: *runs, Transport: kind, MaxBatch: *batch}
+	cfg := bench.Figure7Config{RunOpts: opts}
 	if *quick {
 		cfg.Degrees = []int{1, 4, 7}
 		cfg.Calls = 80
 		cfg.Runs = 1
 	}
-	fmt.Printf("running figure 7 (replica scalability, transport=%s)...\n", *transport)
+	fmt.Printf("running figure 7 (replica scalability, transport=%s)...\n", strings.Join(transports, ","))
 	fig, err := bench.RunFigure7(cfg)
 	if err != nil {
 		return err
@@ -465,6 +482,83 @@ func splitList(s string) []string {
 		}
 	}
 	return out
+}
+
+// splitInts parses a comma-separated integer list.
+func splitInts(s string) ([]int, error) {
+	var out []int
+	for _, p := range splitList(s) {
+		v, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, fmt.Errorf("bad integer list entry %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// runOptsFlags registers the shared bench.RunOpts knobs — the one flag
+// surface bench, readmix, matrix, and fig7 accept identically — on fs,
+// seeded with def, and returns a resolver to call after Parse. The
+// -transport flag accepts a comma list for the subcommands that sweep
+// several wires; the resolved RunOpts.Transport is the first entry.
+func runOptsFlags(fs *flag.FlagSet, def bench.RunOpts, transportDef string) func() (bench.RunOpts, []string, error) {
+	n := fs.Int("n", def.N, "replica group size (N = 3f+1)")
+	calls := fs.Int("calls", def.Calls, "requests (or interactions) per cell")
+	runs := fs.Int("runs", def.Runs, "runs averaged per cell")
+	batch := fs.Int("batch", def.MaxBatch, "CLBFT request batch size (<=1 disables batching)")
+	inflight := fs.Int("inflight", def.Inflight, "outstanding requests per caller (<=1 closed loop)")
+	transport := fs.String("transport", transportDef, "transport(s), comma-separated: mem, tcp")
+	return func() (bench.RunOpts, []string, error) {
+		opts := bench.RunOpts{N: *n, Calls: *calls, Runs: *runs, MaxBatch: *batch, Inflight: *inflight}
+		names := splitList(*transport)
+		if len(names) > 0 {
+			kind, err := bench.TransportKindOf(names[0])
+			if err != nil {
+				return opts, nil, err
+			}
+			opts.Transport = kind
+		}
+		return opts, names, nil
+	}
+}
+
+func runMatrix(args []string) error {
+	fs := flag.NewFlagSet("matrix", flag.ExitOnError)
+	quick := fs.Bool("quick", false, "reduced measurement sizes")
+	cores := fs.String("cores", "1,4", "comma-separated GOMAXPROCS values to sweep")
+	shards := fs.String("shards", "1,4", "comma-separated shard counts to sweep")
+	mutexFrac := fs.Int("mutexprofile", 1, "mutex contention sampling rate (0 disables)")
+	resolve := runOptsFlags(fs, bench.RunOpts{N: 4, Calls: 400, Runs: 2}, "mem")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	opts, transports, err := resolve()
+	if err != nil {
+		return err
+	}
+	coreList, err := splitInts(*cores)
+	if err != nil {
+		return err
+	}
+	shardList, err := splitInts(*shards)
+	if err != nil {
+		return err
+	}
+	if *quick {
+		opts.Calls = 120
+		opts.Runs = 1
+	}
+	fmt.Printf("running scalability matrix (cores=%s, shards=%s, transport=%s)...\n", *cores, *shards, strings.Join(transports, ","))
+	res, err := bench.RunMatrix(bench.MatrixConfig{
+		Cores: coreList, Shards: shardList, Transports: transports,
+		RunOpts: opts, MutexFraction: *mutexFrac,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Format())
+	return nil
 }
 
 func runFig8(args []string) error {

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -84,6 +85,47 @@ func main() {
 		fmt.Printf("asynchronous reply: %s (for %s)\n",
 			reply.Envelope.Body, reply.Envelope.Header.RelatesTo)
 	}
+
+	// Context-first invocation: Driver.Do is the unified entry point at
+	// the driver tier — one Request struct covers keyed calls, fast-path
+	// reads, shard fan-outs, and transactions, with cancellation and
+	// deadlines carried by a context instead of bare timeout parameters.
+	// (Under a core cluster the engine issues through Do in NoWait mode
+	// and the event pump consumes the reply; here we drive a raw
+	// perpetual deployment so Do's blocking wait is ours.)
+	dep := perpetual.NewDeployment([]byte("quickstart-do"),
+		perpetual.ServiceInfo{Name: "cli", N: 1},
+		perpetual.ServiceInfo{Name: "echo", N: 4},
+	)
+	if err := dep.Build(); err != nil {
+		log.Fatal(err)
+	}
+	dep.Start()
+	defer dep.Stop()
+	for _, d := range dep.Drivers("echo") {
+		d := d
+		go func() {
+			for {
+				req, err := d.NextRequest()
+				if err != nil {
+					return
+				}
+				if err := d.Reply(req, append([]byte("echo:"), req.Payload...)); err != nil {
+					return
+				}
+			}
+		}()
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	res, err := dep.Drivers("cli")[0].Do(ctx, perpetual.Request{
+		Target:  "echo",
+		Payload: []byte("hello"),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Driver.Do call:     %s (reqID=%s)\n", res.Payload, res.ReqID)
 }
 
 func tuning() perpetual.ServiceOptions {

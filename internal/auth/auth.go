@@ -368,21 +368,34 @@ var (
 // KeyStore holds the pairwise keys of one principal, with the HMAC pad
 // states of each key precomputed (see macState). It is safe for
 // concurrent use.
+//
+// Like the intern cache above, the key table is copy-on-write: every
+// frame signed or verified reads it, and concurrent MAC computations
+// (the adapter's parallel multicast signing) must not serialize on a
+// shared read lock. Readers load an immutable snapshot via one atomic;
+// SetKey clones under the mutex. Keys change only at bring-up and
+// membership provisioning, so clones are rare.
 type KeyStore struct {
 	self NodeID
 
-	mu     sync.RWMutex
+	mu   sync.Mutex // serializes SetKey; readers never take it
+	snap atomic.Pointer[keyStoreState]
+}
+
+// keyStoreState is one immutable key-table snapshot.
+type keyStoreState struct {
 	keys   map[NodeID]Key
 	states map[NodeID]macState
 }
 
 // NewKeyStore creates an empty key store for principal self.
 func NewKeyStore(self NodeID) *KeyStore {
-	return &KeyStore{
-		self:   self,
+	ks := &KeyStore{self: self}
+	ks.snap.Store(&keyStoreState{
 		keys:   make(map[NodeID]Key),
 		states: make(map[NodeID]macState),
-	}
+	})
+	return ks
 }
 
 // NewDerivedKeyStore creates a key store for self with pairwise keys,
@@ -405,15 +418,25 @@ func (ks *KeyStore) Self() NodeID { return ks.self }
 func (ks *KeyStore) SetKey(peer NodeID, key Key) {
 	ks.mu.Lock()
 	defer ks.mu.Unlock()
-	ks.keys[peer] = key
-	ks.states[peer] = newMACState(key)
+	cur := ks.snap.Load()
+	next := &keyStoreState{
+		keys:   make(map[NodeID]Key, len(cur.keys)+1),
+		states: make(map[NodeID]macState, len(cur.states)+1),
+	}
+	for k, v := range cur.keys {
+		next.keys[k] = v
+	}
+	for k, v := range cur.states {
+		next.states[k] = v
+	}
+	next.keys[peer] = key
+	next.states[peer] = newMACState(key)
+	ks.snap.Store(next)
 }
 
 // Key returns the pairwise key shared with peer.
 func (ks *KeyStore) Key(peer NodeID) (Key, error) {
-	ks.mu.RLock()
-	defer ks.mu.RUnlock()
-	k, ok := ks.keys[peer]
+	k, ok := ks.snap.Load().keys[peer]
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrUnknownPrincipal, peer)
 	}
@@ -422,10 +445,9 @@ func (ks *KeyStore) Key(peer NodeID) (Key, error) {
 
 // Peers returns the sorted list of principals the store has keys for.
 func (ks *KeyStore) Peers() []NodeID {
-	ks.mu.RLock()
-	defer ks.mu.RUnlock()
-	out := make([]NodeID, 0, len(ks.keys))
-	for p := range ks.keys {
+	st := ks.snap.Load()
+	out := make([]NodeID, 0, len(st.keys))
+	for p := range st.keys {
 		out = append(out, p)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
@@ -446,9 +468,7 @@ func (ks *KeyStore) SignDomain(receiver NodeID, domain byte, msg []byte) ([]byte
 // AppendSignDomain is SignDomain appending the MAC to dst, letting
 // frame encoders write signatures in place (always MACSize bytes).
 func (ks *KeyStore) AppendSignDomain(dst []byte, receiver NodeID, domain byte, msg []byte) ([]byte, error) {
-	ks.mu.RLock()
-	st, ok := ks.states[receiver]
-	ks.mu.RUnlock()
+	st, ok := ks.snap.Load().states[receiver]
 	if ok && st.valid() {
 		if m := st.appendMAC(dst, domain, msg); m != nil {
 			return m, nil

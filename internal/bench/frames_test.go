@@ -16,7 +16,7 @@ import (
 func TestTCPFramesPerRequestCeiling(t *testing.T) {
 	const calls = 80
 	res, err := MeasureNull(NullConfig{
-		N: 4, Calls: calls, Transport: perpetual.TransportTCP,
+		RunOpts: RunOpts{N: 4, Calls: calls, Transport: perpetual.TransportTCP},
 	})
 	if err != nil {
 		t.Fatalf("MeasureNull: %v", err)
@@ -41,8 +41,10 @@ func TestTCPFramesPerRequestCeiling(t *testing.T) {
 func TestTCPPipelinedCoalescing(t *testing.T) {
 	const calls = 300
 	res, err := MeasureNull(NullConfig{
-		N: 4, Calls: calls, Transport: perpetual.TransportTCP,
-		MaxBatch: DefaultPipelineBatch, Inflight: DefaultPipelineInflight,
+		RunOpts: RunOpts{
+			N: 4, Calls: calls, Transport: perpetual.TransportTCP,
+			MaxBatch: DefaultPipelineBatch, Inflight: DefaultPipelineInflight,
+		},
 	})
 	if err != nil {
 		t.Fatalf("MeasureNull: %v", err)

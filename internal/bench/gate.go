@@ -25,8 +25,11 @@ import (
 type benchSeries map[string]map[string][]float64
 
 // ParseBenchOutput extracts benchmark result lines from `go test -bench`
-// output: per benchmark name (GOMAXPROCS suffix stripped) and metric
-// unit, the values across runs.
+// output: per benchmark name and metric unit, the values across runs.
+// The name keeps its -<GOMAXPROCS> suffix: a 1-core and a 4-core run of
+// the same benchmark are different cells (multi-core parallelism is
+// exactly what changes between them), so the gate compares only cells
+// measured at matching core counts.
 func ParseBenchOutput(data []byte) benchSeries {
 	out := make(benchSeries)
 	sc := bufio.NewScanner(bytes.NewReader(data))
@@ -37,11 +40,6 @@ func ParseBenchOutput(data []byte) benchSeries {
 			continue
 		}
 		name := fields[0]
-		if i := strings.LastIndexByte(name, '-'); i > 0 {
-			if _, err := strconv.Atoi(name[i+1:]); err == nil {
-				name = name[:i]
-			}
-		}
 		if _, err := strconv.Atoi(fields[1]); err != nil {
 			continue // not an iteration count: not a result line
 		}

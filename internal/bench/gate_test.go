@@ -22,7 +22,9 @@ func benchLines(base1, base7 float64) []byte {
 
 func TestGateParsesBenchOutput(t *testing.T) {
 	s := ParseBenchOutput(benchLines(930, 260))
-	series, ok := s["BenchmarkFigure7Scalability"]
+	// The -<GOMAXPROCS> suffix is part of the key: core counts are
+	// distinct cells.
+	series, ok := s["BenchmarkFigure7Scalability-2"]
 	if !ok {
 		t.Fatalf("benchmark name not parsed: %v", s)
 	}
@@ -153,6 +155,25 @@ func TestGateErrorsWithoutCommonThroughputMetric(t *testing.T) {
 	renamed := strings.ReplaceAll(string(benchLines(930, 260)), "BenchmarkFigure7Scalability", "BenchmarkSomethingElse")
 	if _, err := CompareBenchOutputs(benchLines(930, 260), []byte(renamed), 15); err == nil {
 		t.Fatal("gate passed vacuously with no shared throughput metric")
+	}
+}
+
+// TestGateSeparatesCoreCounts: a baseline measured at GOMAXPROCS=2 must
+// not be compared against a candidate measured at GOMAXPROCS=4 — the
+// numbers differ by parallelism, not by the change under test. With no
+// matching core count the gate errors rather than passing vacuously.
+func TestGateSeparatesCoreCounts(t *testing.T) {
+	fourCore := strings.ReplaceAll(string(benchLines(1800, 520)), "Scalability-2", "Scalability-4")
+	if _, err := CompareBenchOutputs(benchLines(930, 260), []byte(fourCore), 15); err == nil {
+		t.Fatal("gate compared cells from different GOMAXPROCS")
+	}
+	// Same core count still compares (and catches the regression).
+	rep, err := CompareBenchOutputs(benchLines(930, 260), benchLines(930*0.8, 260*0.8), 15)
+	if err != nil {
+		t.Fatalf("CompareBenchOutputs at matching cores: %v", err)
+	}
+	if !rep.Failed {
+		t.Fatalf("matching-core regression passed:\n%s", rep.Format())
 	}
 }
 

@@ -1,0 +1,270 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// The multi-core scalability matrix: the Figure-7 sweep's missing axis.
+// Every replica of every voter group in a deployment runs in one
+// process, so GOMAXPROCS is the knob that decides whether independent
+// shard groups actually execute on separate cores or merely interleave
+// on one. The matrix measures aggregate sharded null throughput over
+// {GOMAXPROCS} x {shards} x {transport} and, alongside it, samples the
+// runtime mutex-contention profile so a lock that re-serializes the
+// groups shows up as a named code site, not a hunch.
+
+// MatrixConfig parameterizes the scalability matrix.
+type MatrixConfig struct {
+	// Cores are the GOMAXPROCS values swept (restored afterwards);
+	// default {1, 4}. Values above runtime.NumCPU() still run — the
+	// result records NumCPU so a 1-vCPU machine's flat matrix reads as
+	// "no cores to scale onto", not as a scaling failure.
+	Cores []int
+	// Shards are the voter-group counts swept; default {1, 4}.
+	Shards []int
+	// Transports are the wires swept; default {TransportMem}.
+	Transports []string
+	// RunOpts supplies N (replicas per group), Calls per cell, and Runs
+	// (medianed). MaxBatch/Inflight/Transport are ignored: the cells are
+	// closed-loop over the Transports list above.
+	RunOpts
+	// MutexFraction is the runtime.SetMutexProfileFraction sampling rate
+	// while the matrix runs (1 samples every contention event); 0
+	// disables contention profiling.
+	MutexFraction int
+}
+
+// MatrixCell is one measured cell of the matrix.
+type MatrixCell struct {
+	Transport string  `json:"transport"`
+	Cores     int     `json:"cores"`
+	Shards    int     `json:"shards"`
+	ReqPerSec float64 `json:"req_per_sec"`
+}
+
+// Key names the cell the way the report and CI smoke grep for it.
+func (c MatrixCell) Key() string {
+	return fmt.Sprintf("%s/c=%d/s=%d", c.Transport, c.Cores, c.Shards)
+}
+
+// MutexHotspot is one contended lock site from the runtime mutex
+// profile, attributed to the innermost non-runtime frame.
+type MutexHotspot struct {
+	// Site is "function (file:line)" of the contended acquisition.
+	Site string `json:"site"`
+	// Cycles is the total contention (cpu cycles spent blocked) sampled
+	// at this site, Count the number of sampled contention events.
+	Cycles int64 `json:"cycles"`
+	Count  int64 `json:"count"`
+}
+
+// MatrixResult is the full matrix plus the contention profile observed
+// while it ran.
+type MatrixResult struct {
+	// NumCPU is runtime.NumCPU() on the measuring machine: cells with
+	// Cores > NumCPU cannot exhibit real parallel speedup.
+	NumCPU int          `json:"num_cpu"`
+	Cells  []MatrixCell `json:"cells"`
+	// Hotspots are the top contended lock sites (by cycles) sampled over
+	// the whole matrix run; empty when MutexFraction was 0.
+	Hotspots []MutexHotspot `json:"hotspots,omitempty"`
+}
+
+// Cell returns the measured cell for (transport, cores, shards), or nil.
+func (r *MatrixResult) Cell(transport string, cores, shards int) *MatrixCell {
+	for i := range r.Cells {
+		c := &r.Cells[i]
+		if c.Transport == transport && c.Cores == cores && c.Shards == shards {
+			return c
+		}
+	}
+	return nil
+}
+
+// Format renders the matrix as one table per transport plus the
+// hotspot list.
+func (r *MatrixResult) Format() string {
+	var b strings.Builder
+	byTransport := make(map[string][]MatrixCell)
+	var order []string
+	coreSet := make(map[int]bool)
+	shardSet := make(map[int]bool)
+	for _, c := range r.Cells {
+		if _, ok := byTransport[c.Transport]; !ok {
+			order = append(order, c.Transport)
+		}
+		byTransport[c.Transport] = append(byTransport[c.Transport], c)
+		coreSet[c.Cores] = true
+		shardSet[c.Shards] = true
+	}
+	cores := sortedKeys(coreSet)
+	shards := sortedKeys(shardSet)
+	fmt.Fprintf(&b, "machine: %d CPU(s)\n", r.NumCPU)
+	for _, tr := range order {
+		fmt.Fprintf(&b, "%s null req/s (rows: shards, cols: GOMAXPROCS)\n", tr)
+		fmt.Fprintf(&b, "%-8s", "shards")
+		for _, c := range cores {
+			fmt.Fprintf(&b, " %11s", fmt.Sprintf("cores=%d", c))
+		}
+		b.WriteByte('\n')
+		for _, s := range shards {
+			fmt.Fprintf(&b, "%-8d", s)
+			for _, c := range cores {
+				if cell := r.Cell(tr, c, s); cell != nil {
+					fmt.Fprintf(&b, " %11.0f", cell.ReqPerSec)
+				} else {
+					fmt.Fprintf(&b, " %11s", "-")
+				}
+			}
+			b.WriteByte('\n')
+		}
+	}
+	if len(r.Hotspots) > 0 {
+		fmt.Fprintf(&b, "top contended locks (runtime mutex profile):\n")
+		for _, h := range r.Hotspots {
+			fmt.Fprintf(&b, "  %12d cycles %8d events  %s\n", h.Cycles, h.Count, h.Site)
+		}
+	}
+	return b.String()
+}
+
+func sortedKeys(set map[int]bool) []int {
+	out := make([]int, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// RunMatrix measures the scalability matrix. It mutates GOMAXPROCS
+// while sweeping the Cores axis and restores the previous value (and
+// mutex profile fraction) before returning; do not run it concurrently
+// with other measurements.
+func RunMatrix(cfg MatrixConfig) (MatrixResult, error) {
+	if len(cfg.Cores) == 0 {
+		cfg.Cores = []int{1, 4}
+	}
+	if len(cfg.Shards) == 0 {
+		cfg.Shards = []int{1, 4}
+	}
+	if len(cfg.Transports) == 0 {
+		cfg.Transports = []string{"mem"}
+	}
+	if cfg.N <= 0 {
+		cfg.N = 4
+	}
+	if cfg.Calls <= 0 {
+		cfg.Calls = 400
+	}
+	if cfg.Runs <= 0 {
+		cfg.Runs = 1
+	}
+	res := MatrixResult{NumCPU: runtime.NumCPU()}
+	prevProcs := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prevProcs)
+	if cfg.MutexFraction > 0 {
+		prevFrac := runtime.SetMutexProfileFraction(cfg.MutexFraction)
+		defer runtime.SetMutexProfileFraction(prevFrac)
+	}
+	for _, trName := range cfg.Transports {
+		kind, err := TransportKindOf(trName)
+		if err != nil {
+			return res, err
+		}
+		for _, c := range cfg.Cores {
+			runtime.GOMAXPROCS(c)
+			for _, s := range cfg.Shards {
+				vals := make([]float64, 0, cfg.Runs)
+				for r := 0; r < cfg.Runs; r++ {
+					v, err := MeasureShardedNull(ShardConfig{
+						Shards: s, N: cfg.N, Calls: cfg.Calls, Transport: kind,
+					})
+					if err != nil {
+						runtime.GOMAXPROCS(prevProcs)
+						return res, fmt.Errorf("bench: matrix cell %s/c=%d/s=%d: %w", trName, c, s, err)
+					}
+					vals = append(vals, v)
+				}
+				res.Cells = append(res.Cells, MatrixCell{
+					Transport: trName, Cores: c, Shards: s, ReqPerSec: median(vals),
+				})
+			}
+		}
+	}
+	runtime.GOMAXPROCS(prevProcs)
+	if cfg.MutexFraction > 0 {
+		res.Hotspots = TopMutexHotspots(5)
+	}
+	return res, nil
+}
+
+// TopMutexHotspots reads the runtime mutex-contention profile and
+// returns the n most contended sites by cycles. The profile accumulates
+// from the moment SetMutexProfileFraction enables sampling, so call it
+// after the measured workload.
+func TopMutexHotspots(n int) []MutexHotspot {
+	var recs []runtime.BlockProfileRecord
+	// Two-call pattern: the profile can grow between sizing and filling.
+	for {
+		sz, _ := runtime.MutexProfile(nil)
+		recs = make([]runtime.BlockProfileRecord, sz+32)
+		if got, ok := runtime.MutexProfile(recs); ok {
+			recs = recs[:got]
+			break
+		}
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].Cycles > recs[j].Cycles })
+	if len(recs) > n {
+		recs = recs[:n]
+	}
+	out := make([]MutexHotspot, 0, len(recs))
+	for _, r := range recs {
+		out = append(out, MutexHotspot{
+			Site:   mutexSite(r.Stack()),
+			Cycles: r.Cycles,
+			Count:  r.Count,
+		})
+	}
+	return out
+}
+
+// mutexSite symbolizes the innermost frame of a contention stack that
+// is not runtime/sync plumbing — the code that held or wanted the lock.
+func mutexSite(stack []uintptr) string {
+	if len(stack) == 0 {
+		return "unknown"
+	}
+	frames := runtime.CallersFrames(stack)
+	first := ""
+	for {
+		f, more := frames.Next()
+		if f.Function != "" && first == "" {
+			first = frameSite(f)
+		}
+		if f.Function != "" &&
+			!strings.HasPrefix(f.Function, "runtime.") &&
+			!strings.HasPrefix(f.Function, "sync.") &&
+			!strings.HasPrefix(f.Function, "sync/") {
+			return frameSite(f)
+		}
+		if !more {
+			break
+		}
+	}
+	if first == "" {
+		return "unknown"
+	}
+	return first
+}
+
+func frameSite(f runtime.Frame) string {
+	file := f.File
+	if i := strings.LastIndexByte(file, '/'); i >= 0 {
+		file = file[i+1:]
+	}
+	return fmt.Sprintf("%s (%s:%d)", f.Function, file, f.Line)
+}

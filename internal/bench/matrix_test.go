@@ -1,0 +1,74 @@
+package bench
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestMatrixRunsAndRecordsCells is the cheap correctness check: the
+// matrix sweeps every requested cell, restores GOMAXPROCS, and (with
+// profiling enabled) attributes contention to named sites.
+func TestMatrixRunsAndRecordsCells(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measurement test")
+	}
+	before := runtime.GOMAXPROCS(0)
+	res, err := RunMatrix(MatrixConfig{
+		Cores:         []int{1, 2},
+		Shards:        []int{1, 2},
+		RunOpts:       RunOpts{N: 4, Calls: 60},
+		MutexFraction: 1,
+	})
+	if err != nil {
+		t.Fatalf("RunMatrix: %v", err)
+	}
+	if got := runtime.GOMAXPROCS(0); got != before {
+		t.Fatalf("GOMAXPROCS not restored: %d, want %d", got, before)
+	}
+	if len(res.Cells) != 4 {
+		t.Fatalf("recorded %d cells, want 4: %+v", len(res.Cells), res.Cells)
+	}
+	for _, c := range res.Cells {
+		if c.ReqPerSec <= 0 {
+			t.Errorf("cell %s measured %.1f req/s", c.Key(), c.ReqPerSec)
+		}
+	}
+	if res.NumCPU != runtime.NumCPU() {
+		t.Errorf("NumCPU = %d, want %d", res.NumCPU, runtime.NumCPU())
+	}
+}
+
+// TestMatrixMultiCoreSpeedup gates the tentpole claim where the
+// hardware can express it: on a machine with >= 4 CPUs, the
+// GOMAXPROCS=4 4-shard memnet cell must deliver at least 2x the
+// aggregate throughput of the same-tree GOMAXPROCS=1 cell — four
+// independent voter groups on four cores are four agreement pipelines,
+// not one interleaved. On fewer CPUs the cell cannot physically
+// parallelize, so the test skips rather than asserting fiction.
+func TestMatrixMultiCoreSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measurement test")
+	}
+	if n := runtime.NumCPU(); n < 4 {
+		t.Skipf("need >= 4 CPUs for a real parallel speedup gate (have %d)", n)
+	}
+	res, err := RunMatrix(MatrixConfig{
+		Cores:   []int{1, 4},
+		Shards:  []int{4},
+		RunOpts: RunOpts{N: 4, Calls: 600, Runs: 3},
+	})
+	if err != nil {
+		t.Fatalf("RunMatrix: %v", err)
+	}
+	one := res.Cell("mem", 1, 4)
+	four := res.Cell("mem", 4, 4)
+	if one == nil || four == nil {
+		t.Fatalf("cells missing: %+v", res.Cells)
+	}
+	t.Logf("4-shard memnet: %.0f req/s at 1 core, %.0f req/s at 4 cores (%.2fx)",
+		one.ReqPerSec, four.ReqPerSec, four.ReqPerSec/one.ReqPerSec)
+	if four.ReqPerSec < 2*one.ReqPerSec {
+		t.Fatalf("GOMAXPROCS=4 4-shard cell %.0f req/s < 2x the 1-core cell %.0f req/s",
+			four.ReqPerSec, one.ReqPerSec)
+	}
+}

@@ -1,0 +1,31 @@
+package bench
+
+import "perpetualws/internal/perpetual"
+
+// RunOpts are the measurement knobs shared by the bench cells — the six
+// parameters that were previously duplicated (with identical meaning)
+// across NullConfig, Figure7Config, and ReadMixConfig, extracted so one
+// flag surface in perpetualctl drives them all. Each cell config embeds
+// RunOpts; knobs a particular cell has no use for are documented as
+// ignored there rather than re-declared with a different name.
+type RunOpts struct {
+	// N is the replica-group size (nc = nt for the null cells, the store
+	// group for the read mix). Figure7Config ignores it: the sweep's
+	// Degrees field governs group sizes there.
+	N int
+	// Calls is the number of requests per calling replica (null cells)
+	// or interactions per run (read mix).
+	Calls int
+	// Runs averages this many fresh-cluster runs; default 1.
+	Runs int
+	// MaxBatch enables CLBFT request batching (>1); 0/1 is the
+	// paper-faithful unbatched configuration.
+	MaxBatch int
+	// Inflight keeps this many requests outstanding per calling replica
+	// (the open-loop pipelined client); 0/1 is the synchronous closed
+	// loop. The read mix ignores it: its sessions are closed-loop by
+	// construction.
+	Inflight int
+	// Transport selects memnet (default) or loopback TCP.
+	Transport perpetual.TransportKind
+}

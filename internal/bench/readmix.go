@@ -17,26 +17,21 @@ import (
 // and measures what the session-tier read fast path buys over forcing
 // the identical mix through full CLBFT agreement.
 
-// ReadMixConfig parameterizes one read-mix cell.
+// ReadMixConfig parameterizes one read-mix cell. The shared knobs live
+// in the embedded RunOpts (N is the store group size, Calls the
+// interactions per run split across sessions; MaxBatch applies to the
+// store group, Inflight is ignored — sessions are closed-loop).
 type ReadMixConfig struct {
-	// N is the store group size; default 4.
-	N int
+	RunOpts
 	// ReadPct is the percentage of interactions that are declared
 	// reads; default 95 (the browse-heavy mix).
 	ReadPct int
-	// Calls is the number of interactions per run, split across the
-	// sessions; default 400.
-	Calls int
 	// Sessions is how many concurrent emulated-browser sessions (each
 	// its own customer, sharing the one client replica) drive the mix;
 	// default 4. Concurrency is where the fast path pulls away from
 	// agreement: independent sessions' reads certify in parallel while
 	// agreement totally orders every interaction through the primary.
 	Sessions int
-	// Runs averages this many fresh-cluster runs; default 1.
-	Runs int
-	// Transport selects memnet (default) or loopback TCP.
-	Transport perpetual.TransportKind
 	// ForceAgreement routes the declared reads through full agreement —
 	// the baseline the fast path is compared against.
 	ForceAgreement bool
@@ -104,6 +99,7 @@ func MeasureReadMix(cfg ReadMixConfig) (ReadMixResult, error) {
 func measureReadMixOnce(cfg ReadMixConfig) (float64, []time.Duration, perpetual.ReadStats, error) {
 	opts := benchOpts()
 	opts.ReadFallback = cfg.ReadFallback
+	opts.MaxBatch = cfg.MaxBatch
 	cluster, err := core.NewClusterOver([]byte("bench-readmix"), cfg.Transport,
 		core.ServiceDef{Name: "client", N: 1, Options: opts},
 		core.ServiceDef{Name: "store", N: cfg.N,

@@ -43,7 +43,13 @@ type MicroResult struct {
 // chaos_stray_events): every slot of an n=4 group crashed and replaced
 // through an agreement-installed membership epoch under closed-loop
 // load.
-const ReportSchema = 5
+// Schema 6 adds the multi-core scalability matrix (matrix_cells keyed
+// "transport/c=<GOMAXPROCS>/s=<shards>", matrix_cores,
+// matrix_mutex_hotspots): aggregate sharded null throughput swept over
+// GOMAXPROCS, with the runtime mutex-contention profile sampled while
+// the matrix ran. num_cpu qualifies the matrix — cells with more cores
+// than CPUs cannot show real parallel speedup.
+const ReportSchema = 6
 
 type Report struct {
 	// Schema and Commit make checked-in artifacts comparable across
@@ -152,6 +158,15 @@ type Report struct {
 	ChaosStrayEvents      int     `json:"chaos_stray_events"`
 	ChaosFinalEpoch       uint64  `json:"chaos_final_epoch,omitempty"`
 
+	// Multi-core scalability matrix (schema 6): aggregate sharded null
+	// throughput keyed "transport/c=<GOMAXPROCS>/s=<shards>", plus the
+	// top contended lock sites sampled while the matrix ran. MatrixCores
+	// records the swept GOMAXPROCS values; NumCPU (above) says how many
+	// of them the machine could actually run in parallel.
+	MatrixCells         map[string]float64 `json:"matrix_cells,omitempty"`
+	MatrixCores         []int              `json:"matrix_cores,omitempty"`
+	MatrixMutexHotspots []MutexHotspot     `json:"matrix_mutex_hotspots,omitempty"`
+
 	Micro map[string]MicroResult `json:"micro"`
 }
 
@@ -162,15 +177,23 @@ type ReportConfig struct {
 	// Transports selects the wires the null-throughput cells run over
 	// ("mem", "tcp"); nil measures both.
 	Transports []string
-	// Batch sets the CLBFT batch size of the batched Figure-7 variant;
-	// 0 uses 8. The unbatched cells are always measured (gate key).
-	Batch int
+	// Opts carries the shared RunOpts flag surface (perpetualctl's
+	// common bench flags): Calls and Runs override the report's 200/3
+	// (quick 60/1) per-cell defaults where nonzero, MaxBatch sets the
+	// batched-variant batch size (0 uses 8; the unbatched cells are
+	// always measured — they are the gate key). N and Inflight are fixed
+	// per cell by the report's definitions, and Transport is governed by
+	// Transports above.
+	Opts RunOpts
 	// SkipReadMix drops the schema-3 read-mix cells (perpetualctl bench
 	// -readmix=false).
 	SkipReadMix bool
 	// SkipChaos drops the schema-5 rotation-recovery cells
 	// (perpetualctl bench -chaos=false).
 	SkipChaos bool
+	// Cores are the GOMAXPROCS values the schema-6 scalability matrix
+	// sweeps (perpetualctl bench -cores); empty skips the matrix.
+	Cores []int
 }
 
 // TransportKindOf maps a -transport selector word to the deployment
@@ -204,15 +227,22 @@ func RunReport(cfg ReportConfig) (*Report, error) {
 		calls, runs = 60, 1
 		measure = 1 * time.Second
 	}
-	if cfg.Batch == 0 {
-		cfg.Batch = 8
+	if cfg.Opts.Calls > 0 {
+		calls = cfg.Opts.Calls
+	}
+	if cfg.Opts.Runs > 0 {
+		runs = cfg.Opts.Runs
+	}
+	batch := cfg.Opts.MaxBatch
+	if batch == 0 {
+		batch = 8
 	}
 	// Batch 1 (or negative) explicitly disables the batched variant —
 	// batching off is the paper-faithful configuration, so there is no
 	// distinct cell to record.
-	measureBatched := cfg.Batch > 1
+	measureBatched := batch > 1
 	if measureBatched {
-		r.BatchMax = cfg.Batch
+		r.BatchMax = batch
 	}
 	transports := cfg.Transports
 	if len(transports) == 0 {
@@ -230,7 +260,7 @@ func RunReport(cfg ReportConfig) (*Report, error) {
 			r.NullReqPerSecTCP = cells
 		}
 		tput, _, err := MeasureNullThroughputStats(NullConfig{
-			N: 1, Calls: calls, Runs: runs, Transport: kind,
+			RunOpts: RunOpts{N: 1, Calls: calls, Runs: runs, Transport: kind},
 		})
 		if err != nil {
 			return nil, fmt.Errorf("bench: over %s: %w", tr, err)
@@ -244,12 +274,13 @@ func RunReport(cfg ReportConfig) (*Report, error) {
 		var tentSum, oldSum float64
 		var tentLast, oldLast NullResult
 		for i := 0; i < runs; i++ {
-			a, err := MeasureNull(NullConfig{N: 4, Calls: calls, Transport: kind})
+			a, err := MeasureNull(NullConfig{RunOpts: RunOpts{N: 4, Calls: calls, Transport: kind}})
 			if err != nil {
 				return nil, fmt.Errorf("bench: over %s: %w", tr, err)
 			}
 			b, err := MeasureNull(NullConfig{
-				N: 4, Calls: calls, Transport: kind, DisableTentative: true,
+				RunOpts:          RunOpts{N: 4, Calls: calls, Transport: kind},
+				DisableTentative: true,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("bench: committed-only over %s: %w", tr, err)
@@ -277,7 +308,7 @@ func RunReport(cfg ReportConfig) (*Report, error) {
 		// The batched Figure-7 variant (informational; the gate's key
 		// stays the unbatched memnet cell above).
 		batched, err := MeasureNullThroughput(NullConfig{
-			N: 4, Calls: calls, Runs: runs, Transport: kind, MaxBatch: cfg.Batch,
+			RunOpts: RunOpts{N: 4, Calls: calls, Runs: runs, Transport: kind, MaxBatch: batch},
 		})
 		if err != nil {
 			return nil, fmt.Errorf("bench: batched over %s: %w", tr, err)
@@ -293,8 +324,10 @@ func RunReport(cfg ReportConfig) (*Report, error) {
 		// call count so the measured window is many pipeline depths and
 		// ramp-up/drain amortize out.
 		pipe, err := MeasureNull(NullConfig{
-			N: 4, Calls: 3 * calls, Runs: runs, Transport: kind,
-			MaxBatch: DefaultPipelineBatch, Inflight: DefaultPipelineInflight,
+			RunOpts: RunOpts{
+				N: 4, Calls: 3 * calls, Runs: runs, Transport: kind,
+				MaxBatch: DefaultPipelineBatch, Inflight: DefaultPipelineInflight,
+			},
 		})
 		if err != nil {
 			return nil, fmt.Errorf("bench: pipelined over %s: %w", tr, err)
@@ -350,7 +383,7 @@ func RunReport(cfg ReportConfig) (*Report, error) {
 				return nil, err
 			}
 			fast, err := MeasureReadMix(ReadMixConfig{
-				N: 4, Calls: readCalls, Runs: readRuns, Transport: kind,
+				RunOpts: RunOpts{N: 4, Calls: readCalls, Runs: readRuns, Transport: kind},
 			})
 			if err != nil {
 				return nil, fmt.Errorf("bench: read mix over %s: %w", tr, err)
@@ -367,7 +400,8 @@ func RunReport(cfg ReportConfig) (*Report, error) {
 			// The agreement-forced baseline (memnet only — the speedup
 			// claim's denominator).
 			forced, err := MeasureReadMix(ReadMixConfig{
-				N: 4, Calls: readCalls, Runs: readRuns, Transport: kind, ForceAgreement: true,
+				RunOpts:        RunOpts{N: 4, Calls: readCalls, Runs: readRuns, Transport: kind},
+				ForceAgreement: true,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("bench: forced read mix: %w", err)
@@ -395,6 +429,27 @@ func RunReport(cfg ReportConfig) (*Report, error) {
 		r.ChaosMinCycleTput = chaos.MinCycleTput
 		r.ChaosStrayEvents = chaos.StrayEvents
 		r.ChaosFinalEpoch = chaos.FinalEpoch
+	}
+
+	if len(cfg.Cores) > 0 {
+		matrixCalls, matrixRuns := 400, 2
+		if cfg.Quick {
+			matrixCalls, matrixRuns = 120, 1
+		}
+		mx, err := RunMatrix(MatrixConfig{
+			Cores: cfg.Cores, Transports: transports,
+			RunOpts:       RunOpts{N: 4, Calls: matrixCalls, Runs: matrixRuns},
+			MutexFraction: 1,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("bench: scalability matrix: %w", err)
+		}
+		r.MatrixCells = make(map[string]float64, len(mx.Cells))
+		for _, c := range mx.Cells {
+			r.MatrixCells[c.Key()] = c.ReqPerSec
+		}
+		r.MatrixCores = append([]int(nil), cfg.Cores...)
+		r.MatrixMutexHotspots = mx.Hotspots
 	}
 
 	micros := map[string]func(*testing.B){

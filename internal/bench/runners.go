@@ -213,21 +213,15 @@ const (
 )
 
 // NullConfig parameterizes one Figure-7 null-request throughput cell
-// (nc = nt = N callers invoking a same-sized target group).
+// (nc = nt = N callers invoking a same-sized target group). The shared
+// knobs live in the embedded RunOpts; Inflight > 1 switches the cell to
+// the open-loop pipelined client (each calling replica issues the next
+// request as soon as any reply lands instead of waiting out the full
+// round trip), which also records per-request latency matched through
+// the reply's wsa:RelatesTo header, since completions may arrive out of
+// submission order under batching.
 type NullConfig struct {
-	N         int
-	Calls     int // requests per calling replica; default 100
-	Runs      int // averaged runs; default 1
-	MaxBatch  int // CLBFT request batching; 0/1 off (the gate's cell)
-	Transport perpetual.TransportKind
-	// Inflight switches the cell to the open-loop pipelined client: each
-	// calling replica keeps this many requests outstanding (issuing the
-	// next as soon as any reply lands) instead of waiting out each
-	// request's full round trip. 0/1 is the classic closed-loop cell.
-	// Pipelined cells also record per-request latency, matched through
-	// the reply's wsa:RelatesTo header rather than call order, since
-	// completions may arrive out of submission order under batching.
-	Inflight int
+	RunOpts
 	// DisableTentative pins both groups to committed-only execution —
 	// the pre-tentative protocol — for interleaved A/B comparison on
 	// one tree.
@@ -428,20 +422,12 @@ func LatencyPercentiles(samples []time.Duration) (p50, p99, p999 float64) {
 	return at(0.50), at(0.99), at(0.999)
 }
 
-// Figure7Config parameterizes the replica-scalability experiment.
+// Figure7Config parameterizes the replica-scalability experiment. The
+// shared knobs live in the embedded RunOpts (N is ignored — the sweep
+// runs every Degrees × Degrees combination).
 type Figure7Config struct {
+	RunOpts
 	Degrees []int // calling and target group sizes; default {1,4,7,10}
-	Calls   int   // per cell; paper used 1000
-	Runs    int   // averaged runs per cell; paper used 3
-	// MaxBatch turns CLBFT request batching on for every cell (0/1 off,
-	// the paper-faithful configuration and the benchgate's key).
-	MaxBatch int
-	// Inflight keeps that many requests outstanding per calling replica
-	// (the open-loop pipelined client); 0/1 is the paper's synchronous
-	// closed loop.
-	Inflight int
-	// Transport selects memnet (default) or loopback TCP.
-	Transport perpetual.TransportKind
 }
 
 // RunFigure7 reproduces Figure 7: request throughput of null operations

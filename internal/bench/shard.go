@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"perpetualws/internal/core"
+	"perpetualws/internal/perpetual"
 	"perpetualws/internal/soap"
 	"perpetualws/internal/tpcw"
 	"perpetualws/internal/wsengine"
@@ -45,6 +46,8 @@ type ShardConfig struct {
 	// shards multiply executor capacity even on one core. Zero runs the
 	// pure null request, whose scaling is CPU-parallelism-bound instead.
 	Processing time.Duration
+	// Transport selects memnet (default) or loopback TCP.
+	Transport perpetual.TransportKind
 }
 
 func (c *ShardConfig) defaults() {
@@ -80,7 +83,7 @@ func MeasureShardedNull(cfg ShardConfig) (reqsPerSec float64, err error) {
 	for c := 0; c < cfg.Callers; c++ {
 		defs = append(defs, core.ServiceDef{Name: fmt.Sprintf("caller%d", c), N: 1, Options: benchOpts()})
 	}
-	cluster, err := core.NewCluster([]byte("bench-shard"), defs...)
+	cluster, err := core.NewClusterOver([]byte("bench-shard"), cfg.Transport, defs...)
 	if err != nil {
 		return 0, err
 	}

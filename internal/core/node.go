@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
@@ -439,19 +440,25 @@ func (s *perpetualSender) Send(mc *wsengine.MessageContext) error {
 	if err != nil {
 		return fmt.Errorf("perpetualws: marshal request: %w", err)
 	}
-	var reqID string
-	if mc.Options.ReadOnly {
-		// Declared reads take the session-tier fast path: multicast to
-		// the owning shard group, answered by f+1 matching speculative
-		// endorsements, with deterministic fallback to agreement.
-		reqID, err = drv.CallRead(target, []byte(mc.Options.RoutingKey), payload, mc.Options.Timeout())
-	} else {
-		reqID, err = drv.CallKey(target, []byte(mc.Options.RoutingKey), payload, mc.Options.Timeout())
-	}
+	// Everything funnels through the driver's unified Do entry point in
+	// issue-only mode: the agreed reply flows back through the event pump
+	// (the PerpetualListener), which is what keeps the agreed request/
+	// reply interleaving intact for deterministic executors. Declared
+	// reads take the session-tier fast path: multicast to the owning
+	// shard group, answered by f+1 matching speculative endorsements,
+	// with deterministic fallback to agreement.
+	res, err := drv.Do(context.Background(), perpetual.Request{
+		Target:  target,
+		Key:     []byte(mc.Options.RoutingKey),
+		Payload: payload,
+		Read:    mc.Options.ReadOnly,
+		Timeout: mc.Options.Timeout(),
+		NoWait:  true,
+	})
 	if err != nil {
 		return err
 	}
-	mc.SetProperty(PropReqID, reqID)
+	mc.SetProperty(PropReqID, res.ReqID)
 	return nil
 }
 

@@ -1,0 +1,251 @@
+package perpetual
+
+import (
+	"context"
+	"crypto/sha256"
+	"errors"
+	"time"
+)
+
+// The unified call surface. Call/CallKey/CallRead/CallAllShards/CallTxn
+// predate context support and survive as thin wrappers; Do is the one
+// entry point every request flavor — keyed agreement calls, session-tier
+// reads, shard fan-outs, cross-shard transactions — issues through, with
+// cancellation and deadlines carried by a context.Context instead of a
+// bare timeout parameter.
+
+// errRequestCanceled refuses to (re)start a request whose caller already
+// canceled it — the read fast path's deterministic fallback re-enters
+// startRequest asynchronously, so without this check a cancel racing the
+// fallback would resurrect the request it just settled.
+var errRequestCanceled = errors.New("perpetual: request canceled by caller")
+
+// Request describes one call issued through Do.
+type Request struct {
+	// Target is the logical service name ("store"), or a concrete shard
+	// group name ("store#2") to pin a specific group.
+	Target string
+	// Key routes a sharded target: every replica maps the same key to the
+	// same shard group. Empty falls back to the payload digest. Ignored
+	// for unsharded targets.
+	Key []byte
+	// Payload is the application request body.
+	Payload []byte
+	// Class optionally overrides the transport stats class of the
+	// request's frames; zero derives the class from the payload.
+	Class uint8
+	// Read routes the request through the session-tier read fast path
+	// (see the CallRead wrapper for its semantics). The request must be
+	// read-only; divergence deterministically falls back to agreement.
+	Read bool
+	// Txn runs a cross-shard atomic transaction: TxnKeys/TxnPayloads
+	// supply one (key, PREPARE payload) pair per operation, and the
+	// result carries the agreed decision and per-key votes. Target, Key,
+	// Payload, Read, and NoWait are ignored for transactions.
+	Txn         bool
+	TxnKeys     [][]byte
+	TxnPayloads [][]byte
+	// AllShards fans the request out to every shard of a sharded target
+	// (one independent request per shard, in shard order). The Result
+	// carries the per-shard request ids, plus the per-shard replies
+	// unless NoWait is set.
+	AllShards bool
+	// NoWait issues the request without waiting: the Result carries only
+	// the request id(s), and the agreed reply is delivered through the
+	// driver's event queue (NextEvent/WaitReply) as before. This is the
+	// mode the asynchronous engine pump uses.
+	NoWait bool
+	// Timeout, when non-zero, deterministically aborts the request
+	// group-wide if no reply is agreed in time (the pre-context abort
+	// knob). When zero and the context carries a deadline, the deadline
+	// is adopted as the timeout so the group-wide abort tracks the
+	// caller's cancellation instead of leaving the group retrying.
+	Timeout time.Duration
+}
+
+// Result is the outcome of one Do call.
+type Result struct {
+	// ReqID is the issued request id (the transaction id for Txn).
+	ReqID string
+	// Payload and Aborted mirror the agreed Reply (blocking, non-txn,
+	// non-fan-out calls only).
+	Payload []byte
+	Aborted bool
+	// Txn is the transaction outcome for Txn requests.
+	Txn *TxnResult
+	// ShardIDs are the per-shard request ids of an AllShards fan-out.
+	ShardIDs []string
+	// Shards are the per-shard agreed replies of a blocking AllShards
+	// fan-out, in shard order.
+	Shards []Reply
+}
+
+// Do issues one request and, unless req.NoWait (or req.Txn, which always
+// blocks for the agreed decision), waits for its agreed reply. It is the
+// single entry point behind every Call* wrapper.
+//
+// Cancellation: when ctx is canceled mid-call, Do returns ctx.Err() and
+// settles the request so nothing leaks — the outstanding entry is
+// suppressed and deterministically aborted group-wide, a fast-path read
+// wait is torn down, and a late agreed reply is swallowed instead of
+// surfacing as an orphan event (the same leak class as a failed
+// authenticator build). A replicated caller must drive Do from its
+// deterministic executor with a non-cancelable context: a cancel is a
+// local decision, and replicas that disagree about it diverge.
+//
+// Transactions run each phase under ctx during vote collection, but once
+// the commit/abort decision is proposed the protocol runs to completion
+// regardless of ctx — the decision is group-agreed state and every
+// participant must learn it. Bound phases with Timeout instead.
+func (d *Driver) Do(ctx context.Context, req Request) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	timeout := req.Timeout
+	if timeout == 0 {
+		if dl, ok := ctx.Deadline(); ok {
+			if remain := time.Until(dl); remain > 0 {
+				timeout = remain
+			}
+		}
+	}
+	switch {
+	case req.Txn:
+		tr, err := d.runTxn(ctx, req.Target, req.TxnKeys, req.TxnPayloads, timeout)
+		res := Result{Txn: tr}
+		if tr != nil {
+			res.ReqID = tr.TxnID
+		}
+		return res, err
+	case req.AllShards:
+		ids, err := d.fanAllShards(req.Target, req.Payload, timeout)
+		if err != nil {
+			return Result{}, err
+		}
+		res := Result{ShardIDs: ids}
+		if req.NoWait {
+			return res, nil
+		}
+		res.Shards = make([]Reply, len(ids))
+		for i, id := range ids {
+			r, err := d.waitReplyCtx(ctx, id)
+			if err != nil {
+				// waitReplyCtx settled id on a ctx error; settle the legs
+				// not yet waited on the same way.
+				for _, rest := range ids[i+1:] {
+					d.cancelRequest(rest)
+				}
+				return res, err
+			}
+			res.Shards[i] = r
+		}
+		return res, nil
+	default:
+		var id string
+		var err error
+		if req.Read {
+			id, err = d.issueRead(req.Target, req.Key, req.Payload, timeout)
+		} else {
+			id, err = d.issueCall(req.Target, req.Key, req.Payload, timeout, req.Class)
+		}
+		if err != nil {
+			return Result{}, err
+		}
+		if req.NoWait {
+			return Result{ReqID: id}, nil
+		}
+		r, err := d.waitReplyCtx(ctx, id)
+		if err != nil {
+			return Result{ReqID: id}, err
+		}
+		return Result{ReqID: id, Payload: r.Payload, Aborted: r.Aborted}, nil
+	}
+}
+
+// issueCall resolves the target (routing a sharded one by key) and
+// issues one agreement-path request, returning its id without waiting.
+func (d *Driver) issueCall(target string, key, payload []byte, timeout time.Duration, class uint8) (string, error) {
+	tinfo, err := d.registry.Lookup(target)
+	if err != nil {
+		return "", err
+	}
+	if tinfo.IsSharded() {
+		if len(key) == 0 {
+			digest := sha256.Sum256(payload)
+			key = digest[:]
+		}
+		tinfo = tinfo.Shard(ShardFor(key, tinfo.Shards))
+	}
+	return d.call(tinfo, payload, timeout, false, class)
+}
+
+// waitReplyCtx blocks until the reply for reqID arrives, honoring ctx:
+// on cancellation it settles the request (see cancelRequest) and returns
+// ctx.Err().
+func (d *Driver) waitReplyCtx(ctx context.Context, reqID string) (Reply, error) {
+	if ctx.Done() == nil {
+		return d.WaitReply(reqID)
+	}
+	stop := context.AfterFunc(ctx, func() {
+		d.mu.Lock()
+		d.cond.Broadcast()
+		d.mu.Unlock()
+	})
+	defer stop()
+	d.mu.Lock()
+	for {
+		if d.closed {
+			d.mu.Unlock()
+			return Reply{}, ErrClosed
+		}
+		for i := range d.events {
+			if d.events[i].Kind == EventReply && d.events[i].Reply.ReqID == reqID {
+				r := d.popAt(i).Reply
+				d.mu.Unlock()
+				return r, nil
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			d.mu.Unlock()
+			d.cancelRequest(reqID)
+			return Reply{}, err
+		}
+		d.cond.Wait()
+	}
+}
+
+// cancelRequest settles a request whose caller gave up on it: the
+// outstanding entry (if any) is marked suppressed and deterministically
+// aborted group-wide, a fast-path read wait is torn down, and any reply
+// already queued is removed. The id is also recorded in the canceled
+// window so a reply (or the read fallback's re-issue) racing the cancel
+// cannot resurrect it.
+func (d *Driver) cancelRequest(reqID string) {
+	d.mu.Lock()
+	d.canceled.Put(reqID, struct{}{})
+	abort := false
+	if o, ok := d.outstanding[reqID]; ok {
+		o.suppressReply = true
+		abort = true
+	}
+	if rw, ok := d.readWaits[reqID]; ok && !rw.settled {
+		rw.settled = true
+		if rw.tmr != nil {
+			rw.tmr.Stop()
+		}
+		delete(d.readWaits, reqID)
+		d.readStats.canceled.Add(1)
+	}
+	for i := len(d.events) - 1; i >= 0; i-- {
+		if d.events[i].Kind == EventReply && d.events[i].Reply.ReqID == reqID {
+			d.events = append(d.events[:i], d.events[i+1:]...)
+		}
+	}
+	d.mu.Unlock()
+	if abort {
+		d.voter.requestAbort(reqID)
+	}
+}

@@ -46,6 +46,23 @@
 // (via the CLBFT operation validator), so fewer than f_c+1 faulty
 // calling replicas cannot inject a fabricated reply.
 //
+// Call surface: Driver.Do(ctx, Request) is the single entry point for
+// every request flavor — keyed agreement calls, session-tier reads,
+// shard fan-outs, cross-shard transactions — with cancellation and
+// deadlines carried by a context.Context. Call, CallKey, CallRead,
+// CallAllShards, and CallTxn survive as thin wrappers over Do. A
+// canceled call is settled, not abandoned: the outstanding entry is
+// suppressed and deterministically aborted group-wide, and a late
+// agreed reply is swallowed instead of surfacing as an orphan event.
+//
+// Execution parallelism: independent voter groups share no locks on the
+// per-frame path, so at GOMAXPROCS>1 shard groups run as parallel
+// agreement pipelines. The registry and key store publish copy-on-write
+// snapshots read lock-free by routing, delivery, and MAC signing;
+// transport counters are striped across padded cache lines; multicast
+// MAC signing fans out across cores. See DESIGN.md "Execution
+// parallelism (PR 9)" for the lock inventory.
+//
 // Membership epochs: a voter group changes its own composition
 // (replace/grow/shrink, see MembershipChange) by agreeing an
 // OpMembership operation through the current epoch's quorum. The

@@ -1,12 +1,14 @@
 package perpetual
 
 import (
+	"context"
 	"crypto/sha256"
 	"errors"
 	"fmt"
 	"log"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"perpetualws/internal/auth"
@@ -126,7 +128,13 @@ type Driver struct {
 	readWaits map[string]*readWait
 	readFloor map[string]uint64
 	readAfter map[string]uint64
-	readStats ReadStats
+	readStats readStatsCounters
+
+	// canceled records request ids settled by a ctx cancel (see
+	// Do/cancelRequest): a late agreed reply, or the read fallback's
+	// asynchronous re-issue, consults it so a canceled request can never
+	// resurface.
+	canceled *boundedCache[struct{}]
 
 	// txnReplies feeds CallTxn: replies to transaction requests bypass
 	// the application event queue (see deliverReply).
@@ -173,7 +181,8 @@ type outstandingReq struct {
 // ReadStats counts session-tier read fast-path outcomes at one driver.
 // The fast path is an optimization, never a correctness lever: every
 // fallback re-issues the identical request through full agreement, so
-// Attempts == Certified + Fallbacks + still-in-flight at all times.
+// Attempts == Certified + Fallbacks + Canceled + still-in-flight at all
+// times.
 type ReadStats struct {
 	// Attempts is the number of reads issued through the fast path.
 	Attempts uint64
@@ -187,6 +196,30 @@ type ReadStats struct {
 	// FallbackDiverged counts fallbacks forced by conflicting digests,
 	// stale endorsements, behind replicas, or an unobtainable payload.
 	FallbackDiverged uint64
+	// Canceled counts reads settled by a ctx cancel before either
+	// certification or fallback (see Driver.Do).
+	Canceled uint64
+}
+
+// paddedUint64 is an atomic counter alone on its cache line, so two hot
+// counters incremented by different goroutines never invalidate each
+// other's line (the false-sharing half of multi-core stats cost).
+type paddedUint64 struct {
+	atomic.Uint64
+	_ [56]byte
+}
+
+// readStatsCounters is the driver's live form of ReadStats: padded
+// atomics, updated outside d.mu, so the read fast path's bookkeeping
+// neither lengthens the driver's critical sections nor bounces one
+// shared cache line between the transport goroutines settling reads.
+type readStatsCounters struct {
+	attempts         paddedUint64
+	certified        paddedUint64
+	fallbacks        paddedUint64
+	fallbackTimeout  paddedUint64
+	fallbackDiverged paddedUint64
+	canceled         paddedUint64
 }
 
 // readEndorse is one replica's speculative read endorsement.
@@ -241,6 +274,7 @@ func newDriver(svc ServiceInfo, index int, reg *Registry, adapter *transport.Cha
 		readWaits:          make(map[string]*readWait),
 		readFloor:          make(map[string]uint64),
 		readAfter:          make(map[string]uint64),
+		canceled:           newBoundedCache[struct{}](replySeenCacheSize),
 		txnReplies:         newBoundedCache[txnReply](inFlightCacheSize),
 		txnPending:         make(map[string]*txnDecision),
 		txnEarly:           newBoundedCache[bool](deliveredCacheSize),
@@ -337,13 +371,16 @@ func (d *Driver) handleBundle(from auth.NodeID, b *ReplyBundle) {
 }
 
 // Call issues a request to a target service (stage 1) and returns its
-// request ID without blocking. A timeout of zero means never abort (the
-// paper's default); otherwise the request is deterministically aborted
-// group-wide if no reply is agreed in time. A sharded target is routed
-// by the request's payload digest; use CallKey to route by an explicit
-// key (e.g. a customer ID) so related requests share a shard.
+// request ID without blocking. A sharded target is routed by the
+// request's payload digest; use CallKey to route by an explicit key
+// (e.g. a customer ID) so related requests share a shard. Call is a
+// thin wrapper over Do; its bare timeout parameter is deprecated in
+// favor of Do's context (zero means never abort, the paper's default;
+// otherwise the request is deterministically aborted group-wide if no
+// reply is agreed in time).
 func (d *Driver) Call(target string, payload []byte, timeout time.Duration) (string, error) {
-	return d.CallKey(target, nil, payload, timeout)
+	res, err := d.Do(context.Background(), Request{Target: target, Payload: payload, Timeout: timeout, NoWait: true})
+	return res.ReqID, err
 }
 
 // CallKey issues a request routed by an explicit routing key: for a
@@ -351,19 +388,11 @@ func (d *Driver) Call(target string, payload []byte, timeout time.Duration) (str
 // shard group (ShardFor is replica-consistent), so state partitioned by
 // key stays on one shard across calls. A nil/empty key falls back to
 // the payload digest. For an unsharded target the key is ignored.
+// CallKey is a thin wrapper over Do; its bare timeout parameter is
+// deprecated in favor of Do's context.
 func (d *Driver) CallKey(target string, key, payload []byte, timeout time.Duration) (string, error) {
-	tinfo, err := d.registry.Lookup(target)
-	if err != nil {
-		return "", err
-	}
-	if tinfo.IsSharded() {
-		if len(key) == 0 {
-			digest := sha256.Sum256(payload)
-			key = digest[:]
-		}
-		tinfo = tinfo.Shard(ShardFor(key, tinfo.Shards))
-	}
-	return d.call(tinfo, payload, timeout, false, 0)
+	res, err := d.Do(context.Background(), Request{Target: target, Key: key, Payload: payload, Timeout: timeout, NoWait: true})
+	return res.ReqID, err
 }
 
 // CallAllShards fans a broadcast-style request out to every shard of a
@@ -378,8 +407,17 @@ func (d *Driver) CallKey(target string, key, payload []byte, timeout time.Durati
 // way), so no request is left outstanding with timers running. The
 // aborts never surface as application events: the application only
 // receives the error, so replies to ids it never learned would sit in
-// the event queue unconsumable.
+// the event queue unconsumable. CallAllShards is a thin wrapper over Do
+// (AllShards + NoWait); its bare timeout parameter is deprecated in
+// favor of Do's context.
 func (d *Driver) CallAllShards(target string, payload []byte, timeout time.Duration) ([]string, error) {
+	res, err := d.Do(context.Background(), Request{Target: target, Payload: payload, Timeout: timeout, AllShards: true, NoWait: true})
+	return res.ShardIDs, err
+}
+
+// fanAllShards issues one independent request per shard of a sharded
+// target, in shard order (the AllShards arm of Do).
+func (d *Driver) fanAllShards(target string, payload []byte, timeout time.Duration) ([]string, error) {
 	tinfo, err := d.registry.Lookup(target)
 	if err != nil {
 		return nil, err
@@ -451,6 +489,12 @@ func (d *Driver) startRequest(reqID string, tinfo ServiceInfo, payload []byte, r
 		d.mu.Unlock()
 		return ErrClosed
 	}
+	if d.canceled.Contains(reqID) {
+		// A ctx cancel settled this id while the read fallback (the only
+		// re-entrant) was in flight; re-issuing would resurrect it.
+		d.mu.Unlock()
+		return errRequestCanceled
+	}
 	o := &outstandingReq{
 		target:    target,
 		payload:   payload,
@@ -509,8 +553,17 @@ func (d *Driver) startRequest(reqID string, tinfo ServiceInfo, payload []byte, r
 // and never an uncertified one. A replicated caller (N > 1) degrades to
 // the agreement path: fast replies arrive outside agreement and so
 // could not reach its replicas deterministically; the session tier is
-// unreplicated by design.
+// unreplicated by design. CallRead is a thin wrapper over Do (Read +
+// NoWait); its bare timeout parameter is deprecated in favor of Do's
+// context.
 func (d *Driver) CallRead(target string, key, payload []byte, timeout time.Duration) (string, error) {
+	res, err := d.Do(context.Background(), Request{Target: target, Key: key, Payload: payload, Timeout: timeout, Read: true, NoWait: true})
+	return res.ReqID, err
+}
+
+// issueRead resolves and issues one fast-path read (the Read arm of
+// Do), returning its id without waiting.
+func (d *Driver) issueRead(target string, key, payload []byte, timeout time.Duration) (string, error) {
 	tinfo, err := d.registry.Lookup(target)
 	if err != nil {
 		return "", err
@@ -549,7 +602,7 @@ func (d *Driver) CallRead(target string, key, payload []byte, timeout time.Durat
 	}
 	afterReq := d.readAfter[tinfo.Name]
 	d.readWaits[reqID] = rw
-	d.readStats.Attempts++
+	d.readStats.attempts.Add(1)
 	rw.tmr = time.AfterFunc(d.readFallback, func() { d.readFallbackFor(reqID, true) })
 	d.mu.Unlock()
 
@@ -635,7 +688,7 @@ func (d *Driver) handleReadReply(from auth.NodeID, rp *ReadReply) {
 			if certSeq > d.readFloor[rw.target] {
 				d.readFloor[rw.target] = certSeq
 			}
-			d.readStats.Certified++
+			d.readStats.certified.Add(1)
 			d.mu.Unlock()
 			d.deliverReply(Reply{ReqID: rp.ReqID, Payload: payload}, nil, 0, 0)
 			return
@@ -678,11 +731,11 @@ func (d *Driver) readFallbackFor(reqID string, timedOut bool) {
 		rw.tmr.Stop()
 	}
 	delete(d.readWaits, reqID)
-	d.readStats.Fallbacks++
+	d.readStats.fallbacks.Add(1)
 	if timedOut {
-		d.readStats.FallbackTimeout++
+		d.readStats.fallbackTimeout.Add(1)
 	} else {
-		d.readStats.FallbackDiverged++
+		d.readStats.fallbackDiverged.Add(1)
 	}
 	d.mu.Unlock()
 
@@ -698,9 +751,14 @@ func (d *Driver) readFallbackFor(reqID string, timedOut bool) {
 
 // ReadStats reports the driver's session-read fast-path counters.
 func (d *Driver) ReadStats() ReadStats {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.readStats
+	return ReadStats{
+		Attempts:         d.readStats.attempts.Load(),
+		Certified:        d.readStats.certified.Load(),
+		Fallbacks:        d.readStats.fallbacks.Load(),
+		FallbackTimeout:  d.readStats.fallbackTimeout.Load(),
+		FallbackDiverged: d.readStats.fallbackDiverged.Load(),
+		Canceled:         d.readStats.canceled.Load(),
+	}
 }
 
 // sendRequest encodes a request message once and transmits it to the
@@ -709,7 +767,7 @@ func (d *Driver) ReadStats() ReadStats {
 // Protocol-internal requests carry a reserved stats class (ClassTxn,
 // ClassHandoff) so 2PC and migration bandwidth are separable from
 // ordinary request traffic; class zero derives from the payload.
-func (d *Driver) sendRequest(req *Request, tos []auth.NodeID, class uint8) error {
+func (d *Driver) sendRequest(req *RequestMsg, tos []auth.NodeID, class uint8) error {
 	msg := &Message{Kind: KindRequest, Request: req}
 	w := wire.GetWriter(msg.SizeHint())
 	msg.EncodeTo(w)
@@ -722,8 +780,8 @@ func (d *Driver) sendRequest(req *Request, tos []auth.NodeID, class uint8) error
 }
 
 // buildRequest assembles an authenticated request message.
-func (d *Driver) buildRequest(reqID string, tinfo ServiceInfo, payload []byte, responder, attempt int) (*Request, error) {
-	req := &Request{
+func (d *Driver) buildRequest(reqID string, tinfo ServiceInfo, payload []byte, responder, attempt int) (*RequestMsg, error) {
+	req := &RequestMsg{
 		ReqID:     reqID,
 		Caller:    d.svc.Name,
 		Target:    tinfo.Name,
@@ -830,9 +888,9 @@ func (d *Driver) deliverReply(r Reply, shares []Share, epoch uint64, groupN int)
 			d.readAfter[o.target] = n
 		}
 	}
-	if ok && o.suppressReply {
-		// Settled internally (failed fan-out): the application never
-		// learned this id, so nothing may surface.
+	if (ok && o.suppressReply) || d.canceled.Contains(r.ReqID) {
+		// Settled internally (failed fan-out or ctx cancel): the caller
+		// gave up on this id or never learned it, so nothing may surface.
 		return
 	}
 	if ok && o.txn {

@@ -82,10 +82,11 @@ func (k Kind) String() string {
 	}
 }
 
-// Request is an external request as sent by calling drivers (stage 1).
-// Retransmissions carry an incremented Attempt, which rotates the
-// responder choice at the target.
-type Request struct {
+// RequestMsg is an external request as sent by calling drivers
+// (stage 1) — the wire message behind the Request struct callers pass
+// to Driver.Do. Retransmissions carry an incremented Attempt, which
+// rotates the responder choice at the target.
+type RequestMsg struct {
 	ReqID     string // globally unique: "<caller>:<n>"
 	Caller    string // calling service name
 	Target    string // target service name
@@ -102,7 +103,7 @@ type Request struct {
 // Digest identifies the request content for f_c+1 matching at the
 // target primary. Attempt and Responder are excluded: retransmissions
 // count toward the same request.
-func (r *Request) Digest() [sha256.Size]byte {
+func (r *RequestMsg) Digest() [sha256.Size]byte {
 	h := sha256.New()
 	w := wire.GetWriter(64 + len(r.ReqID) + len(r.Caller) + len(r.Target) + len(r.Payload))
 	w.PutString(r.ReqID)
@@ -287,7 +288,7 @@ type Message struct {
 	// any epoch: a caller with a stale view of the roster must still be
 	// able to reach the group and learn the new epoch from its reply.
 	Epoch         uint64
-	Request       *Request
+	Request       *RequestMsg
 	BFT           []byte // encoded clbft.Message
 	ReplyShare    *ReplyShare
 	ReplyBundle   *ReplyBundle
@@ -470,7 +471,7 @@ func DecodeMessage(buf []byte) (*Message, error) {
 	return m, nil
 }
 
-func encodeRequest(w *wire.Writer, req *Request) {
+func encodeRequest(w *wire.Writer, req *RequestMsg) {
 	w.PutString(req.ReqID)
 	w.PutString(req.Caller)
 	w.PutString(req.Target)
@@ -480,8 +481,8 @@ func encodeRequest(w *wire.Writer, req *Request) {
 	encodeAuthenticator(w, &req.Auth)
 }
 
-func decodeRequest(r *wire.Reader) *Request {
-	req := &Request{
+func decodeRequest(r *wire.Reader) *RequestMsg {
+	req := &RequestMsg{
 		ReqID:     r.String(),
 		Caller:    r.String(),
 		Target:    r.String(),

@@ -25,7 +25,7 @@ func TestRequestMessageRoundTrip(t *testing.T) {
 	voters := []auth.NodeID{auth.VoterID("t", 0), auth.VoterID("t", 1)}
 	ks := testKeyStores(t, master, append([]auth.NodeID{driver}, voters...)...)
 
-	req := &Request{
+	req := &RequestMsg{
 		ReqID: "c:7", Caller: "c", Target: "t",
 		Responder: 1, Attempt: 2, Payload: []byte("<body/>"),
 	}
@@ -178,7 +178,7 @@ func TestOpIDsDistinct(t *testing.T) {
 }
 
 func TestRequestDigestExcludesRoutingFields(t *testing.T) {
-	a := Request{ReqID: "c:1", Caller: "c", Target: "t", Payload: []byte("p"), Responder: 0, Attempt: 0}
+	a := RequestMsg{ReqID: "c:1", Caller: "c", Target: "t", Payload: []byte("p"), Responder: 0, Attempt: 0}
 	b := a
 	b.Responder, b.Attempt = 3, 5
 	if a.Digest() != b.Digest() {

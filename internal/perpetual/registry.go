@@ -1,9 +1,11 @@
 package perpetual
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"perpetualws/internal/auth"
 )
@@ -87,8 +89,23 @@ func (s ServiceInfo) DriverIDs() []auth.NodeID {
 // Section 5.2 (Perpetual-WS resolves endpoint references statically; a
 // UDDI-based dynamic directory is future work). It is safe for
 // concurrent use.
+//
+// Every request issued by every driver resolves its target here, so the
+// directory sits on the hot path of all cross-group traffic. Reads go
+// through an immutable copy-on-write snapshot behind an atomic pointer:
+// Lookup and friends never take a lock (a shared RWMutex read-locked per
+// call bounces its cache line across cores, serializing independent
+// shard groups). Mutators — setup, reshard epoch flips, membership
+// commits — are rare; they serialize on mu, clone the snapshot, and
+// publish the successor atomically.
 type Registry struct {
-	mu       sync.RWMutex
+	mu   sync.Mutex // serializes mutators; readers never take it
+	snap atomic.Pointer[registryState]
+}
+
+// registryState is one immutable directory snapshot. Maps are never
+// modified after publication; mutators clone before writing.
+type registryState struct {
 	services map[string]ServiceInfo
 	// deployed tracks, per sharded service, how many shard groups are
 	// materialized (deployed replicas, resolvable by wire name). Outside a
@@ -111,24 +128,58 @@ type groupMembership struct {
 	n     int
 }
 
+func (st *registryState) clone() *registryState {
+	next := &registryState{
+		services:   make(map[string]ServiceInfo, len(st.services)),
+		deployed:   make(map[string]int, len(st.deployed)),
+		membership: make(map[string]groupMembership, len(st.membership)),
+	}
+	for k, v := range st.services {
+		next.services[k] = v
+	}
+	for k, v := range st.deployed {
+		next.deployed[k] = v
+	}
+	for k, v := range st.membership {
+		next.membership[k] = v
+	}
+	return next
+}
+
 // NewRegistry creates a registry holding the given services.
 func NewRegistry(services ...ServiceInfo) *Registry {
-	r := &Registry{
+	st := &registryState{
 		services:   make(map[string]ServiceInfo, len(services)),
 		deployed:   make(map[string]int),
 		membership: make(map[string]groupMembership),
 	}
 	for _, s := range services {
-		r.services[s.Name] = s
+		st.services[s.Name] = s
 	}
+	r := &Registry{}
+	r.snap.Store(st)
 	return r
+}
+
+// mutate runs f against a private clone of the current snapshot and, if
+// f succeeds, publishes the clone as the new directory.
+func (r *Registry) mutate(f func(st *registryState) error) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := r.snap.Load().clone()
+	if err := f(st); err != nil {
+		return err
+	}
+	r.snap.Store(st)
+	return nil
 }
 
 // Add registers (or replaces) a service.
 func (r *Registry) Add(s ServiceInfo) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.services[s.Name] = s
+	r.mutate(func(st *registryState) error {
+		st.services[s.Name] = s
+		return nil
+	})
 }
 
 // Lookup resolves a service or shard group by name: "store" yields the
@@ -136,27 +187,30 @@ func (r *Registry) Add(s ServiceInfo) {
 // group descriptor of its third shard. During a reshard, shard groups
 // beyond the routing table's Shards (new groups warming up, or old
 // groups draining) remain resolvable until the transition ends.
+// Lock-free: reads one immutable snapshot.
 func (r *Registry) Lookup(name string) (ServiceInfo, error) {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	if s, ok := r.services[name]; ok {
+	return r.snap.Load().lookup(name)
+}
+
+func (st *registryState) lookup(name string) (ServiceInfo, error) {
+	if s, ok := st.services[name]; ok {
 		if !s.IsSharded() {
-			return r.withMembershipLocked(name, s), nil
+			return st.withMembership(name, s), nil
 		}
 		return s, nil
 	}
 	if base, k, ok := splitShardGroupName(name); ok {
-		if s, found := r.services[base]; found && s.IsSharded() && k < r.deployedLocked(s) {
-			return r.withMembershipLocked(name, s.Shard(k)), nil
+		if s, found := st.services[base]; found && s.IsSharded() && k < st.deployedOf(s) {
+			return st.withMembership(name, s.Shard(k)), nil
 		}
 	}
 	return ServiceInfo{}, fmt.Errorf("perpetual: unknown service %q", name)
 }
 
-// withMembershipLocked applies a concrete group's membership overlay to
-// its descriptor (caller holds r.mu).
-func (r *Registry) withMembershipLocked(name string, s ServiceInfo) ServiceInfo {
-	if gm, ok := r.membership[name]; ok {
+// withMembership applies a concrete group's membership overlay to its
+// descriptor.
+func (st *registryState) withMembership(name string, s ServiceInfo) ServiceInfo {
+	if gm, ok := st.membership[name]; ok {
 		s.N = gm.n
 	}
 	return s
@@ -166,13 +220,11 @@ func (r *Registry) withMembershipLocked(name string, s ServiceInfo) ServiceInfo 
 // and size (epoch 0 at the declared N when no change was ever
 // installed).
 func (r *Registry) GroupMembership(group string) (epoch uint64, n int) {
-	r.mu.RLock()
-	if gm, ok := r.membership[group]; ok {
-		r.mu.RUnlock()
+	st := r.snap.Load()
+	if gm, ok := st.membership[group]; ok {
 		return gm.epoch, gm.n
 	}
-	r.mu.RUnlock()
-	s, err := r.Lookup(group)
+	s, err := st.lookup(group)
 	if err != nil {
 		return 0, 0
 	}
@@ -188,26 +240,28 @@ func (r *Registry) CommitGroupMembership(group string, newEpoch uint64, newN int
 	if newN < 1 {
 		return fmt.Errorf("perpetual: membership of %s with %d replicas", group, newN)
 	}
-	cur, curN := r.GroupMembership(group)
-	if curN == 0 {
-		return fmt.Errorf("perpetual: unknown group %q", group)
-	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if gm, ok := r.membership[group]; ok {
-		cur, curN = gm.epoch, gm.n
-	}
-	if newEpoch <= cur {
-		if newEpoch == cur && newN == curN {
-			return nil
+	return r.mutate(func(st *registryState) error {
+		cur, curN := uint64(0), 0
+		if gm, ok := st.membership[group]; ok {
+			cur, curN = gm.epoch, gm.n
+		} else if s, err := st.lookup(group); err == nil {
+			curN = s.N
 		}
-		return fmt.Errorf("perpetual: membership epoch %d of %s already installed", cur, group)
-	}
-	if newEpoch != cur+1 {
-		return fmt.Errorf("perpetual: membership epoch flip %d -> %d of %s skips epochs", cur, newEpoch, group)
-	}
-	r.membership[group] = groupMembership{epoch: newEpoch, n: newN}
-	return nil
+		if curN == 0 {
+			return fmt.Errorf("perpetual: unknown group %q", group)
+		}
+		if newEpoch <= cur {
+			if newEpoch == cur && newN == curN {
+				return nil
+			}
+			return fmt.Errorf("perpetual: membership epoch %d of %s already installed", cur, group)
+		}
+		if newEpoch != cur+1 {
+			return fmt.Errorf("perpetual: membership epoch flip %d -> %d of %s skips epochs", cur, newEpoch, group)
+		}
+		st.membership[group] = groupMembership{epoch: newEpoch, n: newN}
+		return nil
+	})
 }
 
 // ObserveGroupMembership adopts a group's membership state learned from
@@ -219,22 +273,29 @@ func (r *Registry) ObserveGroupMembership(group string, epoch uint64, n int) boo
 	if epoch == 0 || n < 1 {
 		return false
 	}
-	if _, err := r.Lookup(group); err != nil {
-		return false
-	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if gm, ok := r.membership[group]; ok && gm.epoch >= epoch {
-		return false
-	}
-	r.membership[group] = groupMembership{epoch: epoch, n: n}
-	return true
+	changed := false
+	r.mutate(func(st *registryState) error {
+		if _, err := st.lookup(group); err != nil {
+			return err
+		}
+		if gm, ok := st.membership[group]; ok && gm.epoch >= epoch {
+			return errObserveStale
+		}
+		st.membership[group] = groupMembership{epoch: epoch, n: n}
+		changed = true
+		return nil
+	})
+	return changed
 }
 
-// deployedLocked returns the number of addressable shard groups of a
-// service (caller holds r.mu).
-func (r *Registry) deployedLocked(s ServiceInfo) int {
-	if d := r.deployed[s.Name]; d > s.ShardCount() {
+// errObserveStale aborts an ObserveGroupMembership mutation that would
+// move a group's epoch backwards (not an error surfaced to callers).
+var errObserveStale = errors.New("stale membership observation")
+
+// deployedOf returns the number of addressable shard groups of a
+// service.
+func (st *registryState) deployedOf(s ServiceInfo) int {
+	if d := st.deployed[s.Name]; d > s.ShardCount() {
 		return d
 	}
 	return s.ShardCount()
@@ -243,24 +304,24 @@ func (r *Registry) deployedLocked(s ServiceInfo) int {
 // DeployedShards returns the number of addressable shard groups of a
 // service: ShardCount outside a reshard, max(old, new) during one.
 func (r *Registry) DeployedShards(service string) int {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	s, ok := r.services[service]
+	st := r.snap.Load()
+	s, ok := st.services[service]
 	if !ok {
 		return 0
 	}
-	return r.deployedLocked(s)
+	return st.deployedOf(s)
 }
 
 // SetDeployedShards marks n shard groups of a service as materialized
 // (resolvable by wire name), without touching the routing table. Called
 // by Deployment.ProvisionShards before a reshard starts.
 func (r *Registry) SetDeployedShards(service string, n int) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if _, ok := r.services[service]; ok && n > 0 {
-		r.deployed[service] = n
-	}
+	r.mutate(func(st *registryState) error {
+		if _, ok := st.services[service]; ok && n > 0 {
+			st.deployed[service] = n
+		}
+		return nil
+	})
 }
 
 // CommitEpoch atomically flips a service's routing table to (newShards,
@@ -269,52 +330,52 @@ func (r *Registry) SetDeployedShards(service string, n int) {
 // replicated reshard coordinator commits the same flip — and refuses to
 // move the epoch backwards.
 func (r *Registry) CommitEpoch(service string, newShards int, newEpoch uint64) error {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	s, ok := r.services[service]
-	if !ok {
-		return fmt.Errorf("perpetual: unknown service %q", service)
-	}
-	if s.Epoch >= newEpoch {
-		// Re-commit of the same flip by another replica of the reshard
-		// coordinator is idempotent; the same epoch claimed for a
-		// *different* shard count means a concurrent reshard won the
-		// epoch — succeeding silently would let the loser run its drop
-		// phase against a topology that never flipped, losing keys.
-		if s.Epoch == newEpoch && s.Shards == newShards {
-			return nil
+	return r.mutate(func(st *registryState) error {
+		s, ok := st.services[service]
+		if !ok {
+			return fmt.Errorf("perpetual: unknown service %q", service)
 		}
-		return fmt.Errorf("perpetual: epoch %d of %s already committed with %d shards (concurrent reshard?)", s.Epoch, service, s.Shards)
-	}
-	if newEpoch != s.Epoch+1 {
-		return fmt.Errorf("perpetual: epoch flip %d -> %d skips epochs", s.Epoch, newEpoch)
-	}
-	if d := r.deployedLocked(s); newShards > d {
-		return fmt.Errorf("perpetual: cannot flip %s to %d shards, only %d deployed", service, newShards, d)
-	}
-	s.Shards = newShards
-	s.Epoch = newEpoch
-	r.services[service] = s
-	return nil
+		if s.Epoch >= newEpoch {
+			// Re-commit of the same flip by another replica of the reshard
+			// coordinator is idempotent; the same epoch claimed for a
+			// *different* shard count means a concurrent reshard won the
+			// epoch — succeeding silently would let the loser run its drop
+			// phase against a topology that never flipped, losing keys.
+			if s.Epoch == newEpoch && s.Shards == newShards {
+				return nil
+			}
+			return fmt.Errorf("perpetual: epoch %d of %s already committed with %d shards (concurrent reshard?)", s.Epoch, service, s.Shards)
+		}
+		if newEpoch != s.Epoch+1 {
+			return fmt.Errorf("perpetual: epoch flip %d -> %d skips epochs", s.Epoch, newEpoch)
+		}
+		if d := st.deployedOf(s); newShards > d {
+			return fmt.Errorf("perpetual: cannot flip %s to %d shards, only %d deployed", service, newShards, d)
+		}
+		s.Shards = newShards
+		s.Epoch = newEpoch
+		st.services[service] = s
+		return nil
+	})
 }
 
 // EndReshard retires the transitional shard-group namespace: addressable
 // groups shrink back to the routing table's ShardCount (drained old
 // groups on a shrink stop resolving). Idempotent.
 func (r *Registry) EndReshard(service string) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if s, ok := r.services[service]; ok {
-		r.deployed[service] = s.ShardCount()
-	}
+	r.mutate(func(st *registryState) error {
+		if s, ok := st.services[service]; ok {
+			st.deployed[service] = s.ShardCount()
+		}
+		return nil
+	})
 }
 
 // Services returns all registered services sorted by name.
 func (r *Registry) Services() []ServiceInfo {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	out := make([]ServiceInfo, 0, len(r.services))
-	for _, s := range r.services {
+	st := r.snap.Load()
+	out := make([]ServiceInfo, 0, len(st.services))
+	for _, s := range st.services {
 		out = append(out, s)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
@@ -326,13 +387,12 @@ func (r *Registry) Services() []ServiceInfo {
 // sharded service (including transitional groups mid-reshard). This is
 // what Deployment.Build materializes.
 func (r *Registry) Groups() []ServiceInfo {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
+	st := r.snap.Load()
 	var out []ServiceInfo
-	for _, s := range r.services {
-		for k := 0; k < r.deployedLocked(s); k++ {
+	for _, s := range st.services {
+		for k := 0; k < st.deployedOf(s); k++ {
 			g := s.Shard(k)
-			out = append(out, r.withMembershipLocked(g.Name, g))
+			out = append(out, st.withMembership(g.Name, g))
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })

@@ -23,6 +23,7 @@ package perpetual
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -256,8 +257,20 @@ type TxnResult struct {
 // tolerating f faulty coordinator replicas. A non-zero timeout bounds
 // each phase per request (an unresponsive shard then yields an abort
 // vote deterministically); a zero timeout waits forever, so use a
-// timeout whenever a participant shard may be compromised.
+// timeout whenever a participant shard may be compromised. CallTxn is a
+// thin wrapper over Do (Txn + TxnKeys/TxnPayloads); its bare timeout
+// parameter is deprecated in favor of Do's context deadline.
 func (d *Driver) CallTxn(target string, keys [][]byte, payloads [][]byte, timeout time.Duration) (*TxnResult, error) {
+	res, err := d.Do(context.Background(), Request{Target: target, Txn: true, TxnKeys: keys, TxnPayloads: payloads, Timeout: timeout})
+	return res.Txn, err
+}
+
+// runTxn is the transaction protocol behind Do/CallTxn. ctx is honored
+// during vote collection (a cancel aborts the outstanding PREPAREs and
+// releases the participants); once the decision is proposed the
+// protocol runs to completion regardless of ctx, because the decision
+// is group-agreed state every participant must learn.
+func (d *Driver) runTxn(ctx context.Context, target string, keys [][]byte, payloads [][]byte, timeout time.Duration) (*TxnResult, error) {
 	if len(keys) == 0 || len(keys) != len(payloads) {
 		return nil, fmt.Errorf("perpetual: CallTxn needs matching non-empty keys and payloads (%d keys, %d payloads)", len(keys), len(payloads))
 	}
@@ -328,8 +341,17 @@ func (d *Driver) CallTxn(target string, keys [][]byte, payloads [][]byte, timeou
 	commit := true
 	certs := make([]ReplyBundle, 0, len(keys))
 	for i := range prepIDs {
-		tr, err := d.waitTxnReply(prepIDs[i])
+		tr, err := d.waitTxnReplyCtx(ctx, prepIDs[i])
 		if err != nil {
+			if ctx.Err() != nil {
+				// Canceled mid-collection: settle every PREPARE with a
+				// deterministic abort and release the participants'
+				// reservations, exactly like a failed prepare fan-out.
+				for _, issued := range prepIDs {
+					d.voter.requestAbort(issued)
+				}
+				d.releaseParticipants(txnID, participants, len(keys), shards, timeout)
+			}
 			return nil, err
 		}
 		if tr.reply.Aborted {
@@ -442,6 +464,36 @@ func (d *Driver) waitTxnReply(reqID string) (txnReply, error) {
 		if tr, ok := d.txnReplies.Get(reqID); ok {
 			d.txnReplies.Delete(reqID)
 			return tr, nil
+		}
+		d.cond.Wait()
+	}
+}
+
+// waitTxnReplyCtx is waitTxnReply honoring ctx: on cancellation it
+// returns ctx.Err() without consuming anything (the caller settles the
+// transaction's outstanding legs).
+func (d *Driver) waitTxnReplyCtx(ctx context.Context, reqID string) (txnReply, error) {
+	if ctx.Done() == nil {
+		return d.waitTxnReply(reqID)
+	}
+	stop := context.AfterFunc(ctx, func() {
+		d.mu.Lock()
+		d.cond.Broadcast()
+		d.mu.Unlock()
+	})
+	defer stop()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for {
+		if d.closed {
+			return txnReply{}, ErrClosed
+		}
+		if tr, ok := d.txnReplies.Get(reqID); ok {
+			d.txnReplies.Delete(reqID)
+			return tr, nil
+		}
+		if err := ctx.Err(); err != nil {
+			return txnReply{}, err
 		}
 		d.cond.Wait()
 	}

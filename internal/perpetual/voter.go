@@ -147,7 +147,7 @@ type reqVote struct {
 }
 
 type digestVote struct {
-	req    *Request
+	req    *RequestMsg
 	shares []Share // caller-driver authenticators endorsing the request
 }
 
@@ -262,7 +262,7 @@ func (v *voter) validateOp(opID string, op []byte) bool {
 		if err != nil {
 			return false
 		}
-		req := Request{ReqID: o.ReqID, Caller: o.Caller, Target: v.svc.Name, Payload: o.Payload}
+		req := RequestMsg{ReqID: o.ReqID, Caller: o.Caller, Target: v.svc.Name, Payload: o.Payload}
 		msg := requestAuthMsg(o.ReqID, req.Digest())
 		need := caller.F() + 1
 		valid := make(map[int]struct{}, need)
@@ -442,7 +442,7 @@ func (v *voter) handleTransport(from auth.NodeID, payload []byte) {
 // handleExternalRequest implements stage 2: collect f_c+1 matching
 // request copies, then run agreement. Retransmissions of executed
 // requests are served from the reply cache.
-func (v *voter) handleExternalRequest(from auth.NodeID, req *Request) {
+func (v *voter) handleExternalRequest(from auth.NodeID, req *RequestMsg) {
 	if req == nil || req.ReqID == "" {
 		return
 	}

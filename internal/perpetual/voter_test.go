@@ -29,10 +29,10 @@ func newBareVoter(t *testing.T) (*voter, *Registry, map[auth.NodeID]*auth.KeySto
 	return v, reg, stores
 }
 
-func signedRequest(t *testing.T, stores map[auth.NodeID]*auth.KeyStore, driverIdx int, reqID string, payload []byte, responder int) *Request {
+func signedRequest(t *testing.T, stores map[auth.NodeID]*auth.KeyStore, driverIdx int, reqID string, payload []byte, responder int) *RequestMsg {
 	t.Helper()
 	driver := auth.DriverID("c", driverIdx)
-	req := &Request{
+	req := &RequestMsg{
 		ReqID: reqID, Caller: "c", Target: "t",
 		Responder: responder, Payload: payload,
 	}

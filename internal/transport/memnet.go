@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"perpetualws/internal/auth"
@@ -14,16 +15,54 @@ import (
 // it preserves message counts, ordering per link, and quorum-wait
 // behaviour while allowing deterministic injection of latency, loss, and
 // partitions.
+//
+// Every frame of every group crosses deliver, so the topology (ports,
+// partition, latency, drop) is published as an immutable copy-on-write
+// snapshot behind an atomic pointer: the per-frame path never takes a
+// lock. A shared RWMutex read-locked per frame — the previous design —
+// bounces one cache line across every core, serializing traffic of
+// voter groups that share nothing else. Mutators (port creation, fault
+// injection, close) are rare and serialize on mu.
 type Network struct {
-	mu      sync.RWMutex
+	mu   sync.Mutex // serializes mutators; deliver never takes it
+	snap atomic.Pointer[netState]
+}
+
+// netState is one immutable topology snapshot. Maps are never modified
+// after publication; mutators clone before writing.
+type netState struct {
 	ports   map[auth.NodeID]*Port
 	closed  bool
 	latency func(from, to auth.NodeID) time.Duration
 	drop    func(from, to auth.NodeID) bool
 
-	// partitioned holds the current partition assignment; principals in
+	// partition holds the current partition assignment; principals in
 	// different partitions cannot communicate. Empty means no partition.
 	partition map[auth.NodeID]int
+}
+
+func (st *netState) clone() *netState {
+	next := &netState{
+		closed:    st.closed,
+		latency:   st.latency,
+		drop:      st.drop,
+		partition: st.partition,
+		ports:     make(map[auth.NodeID]*Port, len(st.ports)),
+	}
+	for k, v := range st.ports {
+		next.ports[k] = v
+	}
+	return next
+}
+
+// mutate runs f against a private clone of the current topology and
+// publishes the clone as the new snapshot.
+func (n *Network) mutate(f func(st *netState)) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	st := n.snap.Load().clone()
+	f(st)
+	n.snap.Store(st)
 }
 
 // NetworkOption configures a Network.
@@ -33,7 +72,7 @@ type NetworkOption func(*Network)
 // after the returned delay. A nil function or zero duration delivers
 // immediately (still asynchronously).
 func WithLatency(f func(from, to auth.NodeID) time.Duration) NetworkOption {
-	return func(n *Network) { n.latency = f }
+	return func(n *Network) { n.SetLatency(f) }
 }
 
 // WithUniformLatency delays every frame by d.
@@ -43,7 +82,9 @@ func WithUniformLatency(d time.Duration) NetworkOption {
 
 // WithDrop installs a frame-drop predicate, evaluated per frame.
 func WithDrop(f func(from, to auth.NodeID) bool) NetworkOption {
-	return func(n *Network) { n.drop = f }
+	return func(n *Network) {
+		n.mutate(func(st *netState) { st.drop = f })
+	}
 }
 
 // WithLossRate drops each frame independently with probability p using
@@ -59,7 +100,8 @@ func WithLossRate(p float64, rng *rand.Rand) NetworkOption {
 
 // NewNetwork creates an empty in-process network.
 func NewNetwork(opts ...NetworkOption) *Network {
-	n := &Network{ports: make(map[auth.NodeID]*Port)}
+	n := &Network{}
+	n.snap.Store(&netState{ports: make(map[auth.NodeID]*Port)})
 	for _, o := range opts {
 		o(n)
 	}
@@ -75,34 +117,31 @@ const portQueueDepth = 8192
 func (n *Network) Port(id auth.NodeID) *Port {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	if p, ok := n.ports[id]; ok {
-		p.mu.Lock()
-		closed := p.closed
-		p.mu.Unlock()
-		if !closed {
-			return p
-		}
-		// A closed port belongs to a departed incarnation (membership
-		// replace); its successor under the same id gets a fresh port.
+	st := n.snap.Load()
+	if p, ok := st.ports[id]; ok && !p.closed.Load() {
+		return p
 	}
+	// Either no port yet, or the existing one belongs to a departed
+	// incarnation (membership replace); its successor under the same id
+	// gets a fresh port.
 	p := &Port{
 		net:   n,
 		id:    id,
 		inbox: make(chan []byte, portQueueDepth),
 		done:  make(chan struct{}),
+		ready: make(chan struct{}),
 	}
-	p.ready = make(chan struct{})
 	go p.pump()
-	n.ports[id] = p
+	next := st.clone()
+	next.ports[id] = p
+	n.snap.Store(next)
 	return p
 }
 
 // SetLatency replaces the per-link latency function at runtime (e.g. to
 // model a testbed's RTT for benchmarks).
 func (n *Network) SetLatency(f func(from, to auth.NodeID) time.Duration) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.latency = f
+	n.mutate(func(st *netState) { st.latency = f })
 }
 
 // SetUniformLatency delays every frame by d.
@@ -117,9 +156,7 @@ func (n *Network) SetUniformLatency(d time.Duration) {
 // SetPartition assigns principals to numbered partitions. Principals not
 // listed stay in partition 0. Passing nil heals all partitions.
 func (n *Network) SetPartition(assignment map[auth.NodeID]int) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.partition = assignment
+	n.mutate(func(st *netState) { st.partition = assignment })
 }
 
 // Isolate places the given principals in their own partition, cut off
@@ -137,13 +174,13 @@ func (n *Network) Heal() { n.SetPartition(nil) }
 
 // Close shuts down every port.
 func (n *Network) Close() error {
-	n.mu.Lock()
-	ports := make([]*Port, 0, len(n.ports))
-	for _, p := range n.ports {
-		ports = append(ports, p)
-	}
-	n.closed = true
-	n.mu.Unlock()
+	var ports []*Port
+	n.mutate(func(st *netState) {
+		st.closed = true
+		for _, p := range st.ports {
+			ports = append(ports, p)
+		}
+	})
 	for _, p := range ports {
 		_ = p.Close()
 	}
@@ -151,35 +188,25 @@ func (n *Network) Close() error {
 }
 
 func (n *Network) deliver(from, to auth.NodeID, frame []byte) error {
-	n.mu.RLock()
-	dst, ok := n.ports[to]
-	if ok {
-		if n.partition != nil && n.partition[from] != n.partition[to] {
-			ok = false // partitioned: silently drop, like a real partition
-			dst = nil
-		}
-	}
-	drop := n.drop
-	latency := n.latency
-	closed := n.closed
-	n.mu.RUnlock()
-
-	if closed {
+	st := n.snap.Load()
+	if st.closed {
 		return ErrClosed
 	}
-	if dst == nil {
-		if !ok {
-			// Unknown or partitioned destination: drop silently. BFT layers
-			// treat this as message loss.
-			return nil
-		}
+	dst, ok := st.ports[to]
+	if ok && st.partition != nil && st.partition[from] != st.partition[to] {
+		ok = false // partitioned: silently drop, like a real partition
 	}
-	if drop != nil && drop(from, to) {
+	if !ok {
+		// Unknown or partitioned destination: drop silently. BFT layers
+		// treat this as message loss.
+		return nil
+	}
+	if st.drop != nil && st.drop(from, to) {
 		return nil
 	}
 	var delay time.Duration
-	if latency != nil {
-		delay = latency(from, to)
+	if st.latency != nil {
+		delay = st.latency(from, to)
 	}
 	if delay > 0 {
 		time.AfterFunc(delay, func() { dst.enqueue(frame) })
@@ -190,17 +217,20 @@ func (n *Network) deliver(from, to auth.NodeID, frame []byte) error {
 }
 
 // Port is one principal's endpoint on a Network. It implements
-// Connection.
+// Connection. Send and the delivery pump read only atomics — the mutex
+// guards the ready-gate bookkeeping of SetHandler/Close.
 type Port struct {
 	net   *Network
 	id    auth.NodeID
 	inbox chan []byte
 
-	mu      sync.Mutex
-	handler func(frame []byte)
-	ready   chan struct{} // closed once handler is set
-	closed  bool
-	done    chan struct{}
+	closed  atomic.Bool
+	handler atomic.Pointer[func(frame []byte)]
+
+	mu        sync.Mutex
+	readyDone bool          // ready has been closed
+	ready     chan struct{} // closed once handler is set (or port closed)
+	done      chan struct{}
 }
 
 var _ Connection = (*Port)(nil)
@@ -210,10 +240,7 @@ func (p *Port) LocalID() auth.NodeID { return p.id }
 
 // Send transmits a frame to another principal on the same Network.
 func (p *Port) Send(to auth.NodeID, frame []byte) error {
-	p.mu.Lock()
-	closed := p.closed
-	p.mu.Unlock()
-	if closed {
+	if p.closed.Load() {
 		return ErrClosed
 	}
 	return p.net.deliver(p.id, to, frame)
@@ -221,25 +248,23 @@ func (p *Port) Send(to auth.NodeID, frame []byte) error {
 
 // SetHandler installs the inbound handler and starts delivery.
 func (p *Port) SetHandler(h func(frame []byte)) {
+	p.handler.Store(&h)
 	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.handler != nil {
-		p.handler = h
-		return
+	if !p.readyDone {
+		p.readyDone = true
+		close(p.ready)
 	}
-	p.handler = h
-	close(p.ready)
+	p.mu.Unlock()
 }
 
 // Close shuts the port down. Pending frames are discarded.
 func (p *Port) Close() error {
-	p.mu.Lock()
-	if p.closed {
-		p.mu.Unlock()
+	if !p.closed.CompareAndSwap(false, true) {
 		return nil
 	}
-	p.closed = true
-	if p.handler == nil {
+	p.mu.Lock()
+	if !p.readyDone {
+		p.readyDone = true
 		close(p.ready) // release the pump
 	}
 	p.mu.Unlock()
@@ -265,15 +290,11 @@ func (p *Port) pump() {
 	for {
 		select {
 		case frame := <-p.inbox:
-			p.mu.Lock()
-			h := p.handler
-			closed := p.closed
-			p.mu.Unlock()
-			if closed {
+			if p.closed.Load() {
 				return
 			}
-			if h != nil {
-				h(frame)
+			if h := p.handler.Load(); h != nil {
+				(*h)(frame)
 			}
 		case <-p.done:
 			return

@@ -19,6 +19,8 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"runtime"
+	"sync"
 
 	"perpetualws/internal/auth"
 )
@@ -326,6 +328,16 @@ func (ca *ChannelAdapter) SendMultiTagged(tos []auth.NodeID, payload []byte, cla
 		copy(body, payload)
 	}
 
+	// A wide fan-out on a multi-core box signs the per-receiver MACs in
+	// parallel: each head is independent (the key store is read-only on
+	// this path and large payloads were already reduced to one shared
+	// digest above). Sends stay serial — enqueueing is cheap and keeps
+	// per-link frame order deterministic. Narrow fan-outs and single-core
+	// runs keep the allocation-free serial loop.
+	if len(tos) >= parallelMACFanout && runtime.GOMAXPROCS(0) > 1 {
+		return ca.sendMultiParallel(tos, payload, class, domain, input, body)
+	}
+
 	var firstErr error
 	for _, to := range tos {
 		var buf []byte
@@ -349,6 +361,55 @@ func (ca *ChannelAdapter) SendMultiTagged(tos []auth.NodeID, payload []byte, cla
 			err = ca.parts.SendFrameParts(to, append(buf, payload...), nil)
 		default:
 			err = ca.conn.Send(to, append(buf, payload...))
+		}
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// parallelMACFanout is the receiver count at and above which
+// SendMultiTagged signs per-receiver MACs concurrently. Below it the
+// goroutine handoff costs more than the MACs.
+const parallelMACFanout = 4
+
+// sendMultiParallel is SendMultiTagged's wide-fan-out arm: heads are
+// signed concurrently, then sent serially in receiver order.
+func (ca *ChannelAdapter) sendMultiParallel(tos []auth.NodeID, payload []byte, class uint8, domain byte, input, body []byte) error {
+	headLen := len(payload)
+	if body != nil {
+		headLen = 0
+	}
+	heads := make([][]byte, len(tos))
+	errs := make([]error, len(tos))
+	var wg sync.WaitGroup
+	wg.Add(len(tos))
+	for i := range tos {
+		go func(i int) {
+			defer wg.Done()
+			heads[i], errs[i] = ca.appendSignedHead(ca.newFrameBuf(headLen), tos[i], domain, input, len(payload))
+		}(i)
+	}
+	wg.Wait()
+
+	var firstErr error
+	for i, to := range tos {
+		if errs[i] != nil {
+			if firstErr == nil {
+				firstErr = errs[i]
+			}
+			continue
+		}
+		ca.stats.addSent(len(payload), class)
+		var err error
+		switch {
+		case body != nil:
+			err = ca.parts.SendFrameParts(to, heads[i], body)
+		case ca.parts != nil:
+			err = ca.parts.SendFrameParts(to, append(heads[i], payload...), nil)
+		default:
+			err = ca.conn.Send(to, append(heads[i], payload...))
 		}
 		if err != nil && firstErr == nil {
 			firstErr = err
