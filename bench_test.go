@@ -167,6 +167,31 @@ func BenchmarkReadMixTCP(b *testing.B) {
 	}
 }
 
+// BenchmarkOverload is the overload-control cell: goodput against a
+// bounded-admission n=4 target at 1x and 2x the calibrated closed-loop
+// peak, every request carrying a deadline. The headline metric is the
+// 2x goodput ratio — a system that sheds excess load early holds it
+// near 1, congestion collapse drives it toward 0. The accounting
+// inside MeasureOverload asserts every non-admitted request drew a
+// deterministic typed refusal or deadline expiry, so a passing run is
+// also a correctness check. perpetualctl overload runs the full sweep.
+func BenchmarkOverload(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.MeasureOverload(bench.OverloadConfig{
+			Window: 500 * time.Millisecond,
+			Loads:  []float64{1, 2},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.PeakPerSec, "overload-peak-req/s")
+		for _, p := range res.Points {
+			b.ReportMetric(p.GoodputPerSec, fmt.Sprintf("overload-req/s@%gx", p.Load))
+		}
+		b.ReportMetric(res.GoodputRatioAt(2), "overload-ratio@2x")
+	}
+}
+
 // BenchmarkFigure8Processing regenerates Figure 8: completion time and
 // relative overhead as per-request processing cost grows.
 func BenchmarkFigure8Processing(b *testing.B) {

@@ -15,7 +15,8 @@
 //	perpetualctl membership [-quick] [-n 4] [-rotations 1] [-transport mem|tcp]
 //	perpetualctl readmix [-quick] [-n 4] [-calls 400] [-sessions 4] [-readpct 95] [-transport mem|tcp]
 //	perpetualctl matrix [-quick] [-cores 1,4] [-shards 1,4] [-transport mem,tcp] [-n 4] [-calls 400]
-//	perpetualctl bench [-quick] [-json] [-out FILE] [-commit REV] [-transport mem,tcp] [-batch N] [-readmix] [-chaos] [-cores 1,4]
+//	perpetualctl overload [-quick] [-n 4] [-intake 16] [-deadline 250ms] [-window 1s] [-loads 1,2,4] [-readpct 0] [-transport mem|tcp]
+//	perpetualctl bench [-quick] [-json] [-out FILE] [-commit REV] [-transport mem,tcp] [-batch N] [-readmix] [-chaos] [-overload] [-cores 1,4]
 //	perpetualctl benchgate -old FILE -new FILE [-max-regress 15]
 //	perpetualctl all  [-quick]
 //
@@ -30,6 +31,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -71,6 +73,8 @@ func main() {
 		err = runReadMix(args)
 	case "matrix":
 		err = runMatrix(args)
+	case "overload":
+		err = runOverload(args)
 	case "bench":
 		err = runBench(args)
 	case "benchgate":
@@ -92,7 +96,7 @@ func main() {
 }
 
 func usage(w io.Writer) {
-	fmt.Fprintln(w, `usage: perpetualctl <properties|fig6|fig7|fig8|fig9|shards|txn|reshard|membership|readmix|matrix|bench|benchgate|all> [flags]
+	fmt.Fprintln(w, `usage: perpetualctl <properties|fig6|fig7|fig8|fig9|shards|txn|reshard|membership|readmix|matrix|overload|bench|benchgate|all> [flags]
   properties  print the paper's Figure 2 property matrix
   fig6        TPC-W WIPS vs RBE count (payment-tier replication sweep)
   fig7        replica scalability, null requests (-transport tcp runs the
@@ -112,13 +116,21 @@ func usage(w io.Writer) {
               throughput over {GOMAXPROCS} x {shards} x {transport},
               with the runtime mutex-contention profile's top lock
               sites (-mutexprofile 0 disables sampling)
+  overload    goodput vs offered load against a bounded-admission target
+              with per-request deadlines: calibrates closed-loop peak,
+              sweeps -loads multipliers open-loop, and prints the
+              admitted/shed/expired accounting, the target voters'
+              overload counters, and (over TCP) per-peer send-queue
+              drop pressure; -readpct N makes N% of the sweep declared
+              reads (the graceful-degradation cell)
   bench       headline figure summary; -json emits the machine-readable
               report (use -out FILE to write e.g. BENCH_pr6.json and
               -commit REV to stamp the measured revision); -transport
               selects the null-cell wires, -batch the batched variant,
               -readmix=false skips the two-tier read-mix cells,
-              -chaos=false the rotation-recovery cells, -cores 1,4
-              adds the schema-6 scalability matrix
+              -chaos=false the rotation-recovery cells, -overload=false
+              the schema-7 overload cells, -cores 1,4 adds the schema-6
+              scalability matrix
   benchgate   compare two 'go test -bench' outputs and fail on a
               throughput regression beyond -max-regress percent;
               benchmark names keep their -<GOMAXPROCS> suffix, so only
@@ -137,6 +149,7 @@ func runBench(args []string) error {
 	commit := fs.String("commit", "", "git revision to stamp into the report")
 	readmix := fs.Bool("readmix", true, "measure the two-tier read-mix cells (fast path vs agreement)")
 	chaos := fs.Bool("chaos", true, "measure the rotation-recovery cells (crash/restart chaos soak)")
+	overload := fs.Bool("overload", true, "measure the overload cells (goodput vs offered load)")
 	cores := fs.String("cores", "", "comma-separated GOMAXPROCS values for the scalability matrix (empty skips it)")
 	resolve := runOptsFlags(fs, bench.RunOpts{MaxBatch: 8}, "mem,tcp")
 	if err := fs.Parse(args); err != nil {
@@ -154,7 +167,7 @@ func runBench(args []string) error {
 	rep, err := bench.RunReport(bench.ReportConfig{
 		Quick: *quick, Commit: *commit,
 		Transports: transports, Opts: opts,
-		SkipReadMix: !*readmix, SkipChaos: !*chaos,
+		SkipReadMix: !*readmix, SkipChaos: !*chaos, SkipOverload: !*overload,
 		Cores: coreList,
 	})
 	if err != nil {
@@ -195,6 +208,14 @@ func runBench(args []string) error {
 		if rep.ReadReqPerSecTCP > 0 {
 			fmt.Fprintf(&b, "read mix (95/5) tcp: %8.0f req/s (p50 %.2f ms, p99 %.2f ms)\n",
 				rep.ReadReqPerSecTCP, rep.ReadP50MsTCP, rep.ReadP99MsTCP)
+		}
+		if rep.OverloadPeakReqPerSec > 0 {
+			fmt.Fprintf(&b, "overload (n=4): peak %8.0f req/s; goodput x1 %8.0f  x2 %8.0f (%.0f%% of peak, p99 %.1f ms)\n",
+				rep.OverloadPeakReqPerSec, rep.OverloadGoodput["x=1"], rep.OverloadGoodput["x=2"],
+				100*rep.OverloadGoodputRatio2x, rep.OverloadP99Ms2x)
+			fmt.Fprintf(&b, "overload accounting: %d admitted, %d shed, %d expired; 95/5 mix at 2x commits %8.0f req/s (%d reads shed)\n",
+				rep.OverloadAdmitted, rep.OverloadShed, rep.OverloadExpired,
+				rep.OverloadReadCommitPerSec, rep.OverloadReadShed)
 		}
 		if rep.ChaosCycles > 0 {
 			fmt.Fprintf(&b, "rotation recovery (n=4, %d cycles): p50 %.0f ms, p99 %.0f ms; min cycle tput %.1f req/s, %d stray events\n",
@@ -484,6 +505,19 @@ func splitList(s string) []string {
 	return out
 }
 
+// splitFloats parses a comma-separated float list.
+func splitFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, p := range splitList(s) {
+		v, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad float list entry %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
 // splitInts parses a comma-separated integer list.
 func splitInts(s string) ([]int, error) {
 	var out []int
@@ -558,6 +592,68 @@ func runMatrix(args []string) error {
 		return err
 	}
 	fmt.Print(res.Format())
+	return nil
+}
+
+func runOverload(args []string) error {
+	fs := flag.NewFlagSet("overload", flag.ExitOnError)
+	quick := fs.Bool("quick", false, "reduced windows and load grid")
+	n := fs.Int("n", 4, "target voter group size (N = 3f+1)")
+	intake := fs.Int("intake", 16, "target intake bound (MaxIntake)")
+	deadline := fs.Duration("deadline", 250*time.Millisecond, "per-request deadline")
+	window := fs.Duration("window", time.Second, "measured window per load point")
+	loads := fs.String("loads", "1,2,4", "comma-separated offered-load multipliers")
+	readPct := fs.Int("readpct", 0, "percentage of requests declared read-only (graceful-degradation cell)")
+	transportName := fs.String("transport", "mem", "transport: mem or tcp")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	kind, err := bench.TransportKindOf(*transportName)
+	if err != nil {
+		return err
+	}
+	loadList, err := splitFloats(*loads)
+	if err != nil {
+		return err
+	}
+	if *quick {
+		*window = 400 * time.Millisecond
+		if *loads == "1,2,4" {
+			loadList = []float64{1, 2}
+		}
+	}
+	fmt.Printf("running overload sweep (n=%d, intake %d, deadline %v, %s)...\n", *n, *intake, *deadline, *transportName)
+	res, err := bench.MeasureOverload(bench.OverloadConfig{
+		RunOpts:   bench.RunOpts{N: *n, Transport: kind},
+		MaxIntake: *intake, Deadline: *deadline, Window: *window,
+		Loads: loadList, ReadPct: *readPct,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("calibrated peak: %.0f req/s\n", res.PeakPerSec)
+	fmt.Printf("%-6s %12s %12s %10s %8s %8s %10s %10s\n",
+		"load", "offered/s", "goodput/s", "admitted", "shed", "expired", "commits/s", "p99 ms")
+	for _, p := range res.Points {
+		fmt.Printf("%-6s %12.0f %12.0f %10d %8d %8d %10.0f %10.2f\n",
+			fmt.Sprintf("%gx", p.Load), p.OfferedPerSec, p.GoodputPerSec, p.Admitted, p.Shed, p.Expired,
+			p.CommitGoodputPerSec, p.P99Ms)
+	}
+	fmt.Printf("client window sheds: %d\n", res.ClientSheds)
+	fmt.Printf("target voters: %d intake sheds, %d proposer sheds, %d read sheds, %d expiry drops, %d suppressed replies\n",
+		res.Voter.ShedIntake, res.Voter.ShedProposer, res.Voter.ShedReads,
+		res.Voter.ExpiredDrops, res.Voter.SuppressedReplies)
+	if len(res.QueueDrops) > 0 {
+		fmt.Println("per-peer TCP send-queue drops:")
+		peers := make([]string, 0, len(res.QueueDrops))
+		for id := range res.QueueDrops {
+			peers = append(peers, id)
+		}
+		sort.Strings(peers)
+		for _, id := range peers {
+			fmt.Printf("  %-24s %8d\n", id, res.QueueDrops[id])
+		}
+	}
 	return nil
 }
 

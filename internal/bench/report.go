@@ -49,7 +49,13 @@ type MicroResult struct {
 // GOMAXPROCS, with the runtime mutex-contention profile sampled while
 // the matrix ran. num_cpu qualifies the matrix — cells with more cores
 // than CPUs cannot show real parallel speedup.
-const ReportSchema = 6
+// Schema 7 adds the overload cells (overload_*): goodput vs offered
+// load against a bounded-admission target with per-request deadlines
+// (overload_goodput_req_per_sec keyed "x=<multiplier>"), the
+// shed/expired accounting of every non-admitted request, the p99 of
+// admitted requests at 2x, and the read-heavy graceful-degradation
+// cell's surviving commit goodput.
+const ReportSchema = 7
 
 type Report struct {
 	// Schema and Commit make checked-in artifacts comparable across
@@ -158,6 +164,27 @@ type Report struct {
 	ChaosStrayEvents      int     `json:"chaos_stray_events"`
 	ChaosFinalEpoch       uint64  `json:"chaos_final_epoch,omitempty"`
 
+	// Overload cells (schema 7): the overload sweep against an n=4
+	// bounded-admission target (see MeasureOverload). Peak is the
+	// calibrated closed-loop capacity; Goodput is keyed "x=<multiplier>"
+	// over the offered-load sweep; Ratio2x is goodput at 2x divided by
+	// peak — the graceful-degradation headline, which must stay near 1
+	// rather than collapse. Admitted/Shed/Expired sum the sweep's
+	// client-observed classifications (every issued request lands in
+	// exactly one); P99 covers admitted requests at the 2x point. The
+	// ReadCommit fields are the 95/5 read-heavy cell at 2x: reads shed
+	// first (OverloadReadShed), commit goodput stays alive
+	// (OverloadReadCommitPerSec > 0).
+	OverloadPeakReqPerSec    float64            `json:"overload_peak_req_per_sec,omitempty"`
+	OverloadGoodput          map[string]float64 `json:"overload_goodput_req_per_sec,omitempty"`
+	OverloadGoodputRatio2x   float64            `json:"overload_goodput_ratio_2x,omitempty"`
+	OverloadAdmitted         uint64             `json:"overload_admitted,omitempty"`
+	OverloadShed             uint64             `json:"overload_shed,omitempty"`
+	OverloadExpired          uint64             `json:"overload_expired"`
+	OverloadP99Ms2x          float64            `json:"overload_admitted_p99_ms_2x,omitempty"`
+	OverloadReadCommitPerSec float64            `json:"overload_read_commit_req_per_sec,omitempty"`
+	OverloadReadShed         uint64             `json:"overload_read_shed"`
+
 	// Multi-core scalability matrix (schema 6): aggregate sharded null
 	// throughput keyed "transport/c=<GOMAXPROCS>/s=<shards>", plus the
 	// top contended lock sites sampled while the matrix ran. MatrixCores
@@ -191,6 +218,9 @@ type ReportConfig struct {
 	// SkipChaos drops the schema-5 rotation-recovery cells
 	// (perpetualctl bench -chaos=false).
 	SkipChaos bool
+	// SkipOverload drops the schema-7 overload cells
+	// (perpetualctl bench -overload=false).
+	SkipOverload bool
 	// Cores are the GOMAXPROCS values the schema-6 scalability matrix
 	// sweeps (perpetualctl bench -cores); empty skips the matrix.
 	Cores []int
@@ -429,6 +459,47 @@ func RunReport(cfg ReportConfig) (*Report, error) {
 		r.ChaosMinCycleTput = chaos.MinCycleTput
 		r.ChaosStrayEvents = chaos.StrayEvents
 		r.ChaosFinalEpoch = chaos.FinalEpoch
+	}
+
+	if !cfg.SkipOverload {
+		ovCfg := OverloadConfig{
+			RunOpts:  RunOpts{N: 4},
+			Window:   time.Second,
+			Deadline: 250 * time.Millisecond,
+			Loads:    []float64{1, 2, 4},
+		}
+		if cfg.Quick {
+			ovCfg.Window = 400 * time.Millisecond
+			ovCfg.Loads = []float64{1, 2}
+		}
+		ov, err := MeasureOverload(ovCfg)
+		if err != nil {
+			return nil, fmt.Errorf("bench: overload sweep: %w", err)
+		}
+		r.OverloadPeakReqPerSec = ov.PeakPerSec
+		r.OverloadGoodput = make(map[string]float64, len(ov.Points))
+		for _, p := range ov.Points {
+			r.OverloadGoodput[fmt.Sprintf("x=%g", p.Load)] = p.GoodputPerSec
+			r.OverloadAdmitted += p.Admitted
+			r.OverloadShed += p.Shed
+			r.OverloadExpired += p.Expired
+			if p.Load == 2 {
+				r.OverloadP99Ms2x = p.P99Ms
+			}
+		}
+		r.OverloadGoodputRatio2x = ov.GoodputRatioAt(2)
+		// The 95/5 graceful-degradation cell at 2x: reads shed first,
+		// commits keep landing.
+		ovCfg.Loads = []float64{2}
+		ovCfg.ReadPct = 95
+		rd, err := MeasureOverload(ovCfg)
+		if err != nil {
+			return nil, fmt.Errorf("bench: overload read mix: %w", err)
+		}
+		if len(rd.Points) == 1 {
+			r.OverloadReadCommitPerSec = rd.Points[0].CommitGoodputPerSec
+			r.OverloadReadShed = rd.Points[0].ShedReads
+		}
 	}
 
 	if len(cfg.Cores) > 0 {

@@ -189,6 +189,7 @@ func NewFromBootstrap(cfg Config, transport Transport, deliver func(Delivery), b
 		r.pending[req.OpID] = &req
 		r.pendingOrder = append(r.pendingOrder, req.OpID)
 	}
+	r.pubPendingLen()
 	return r, nil
 }
 

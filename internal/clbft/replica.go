@@ -153,6 +153,7 @@ type Replica struct {
 	piggyVotes atomic.Uint64
 	haltA      atomic.Uint64
 	joinA      atomic.Uint64
+	pendingA   atomic.Int64
 }
 
 // Option configures a Replica.
@@ -348,6 +349,17 @@ func (r *Replica) PiggybackedCommits() uint64 { return r.piggyVotes.Load() }
 // ViewChanges returns the number of view changes this replica has
 // entered (diagnostic).
 func (r *Replica) ViewChanges() uint64 { return r.vcCount.Load() }
+
+// PendingLen returns the number of accepted-but-not-yet-executed
+// operations buffered at this replica (the proposer backlog), published
+// atomically from the event loop so admission control can read it
+// lock-free on the request path without a DebugState round trip.
+func (r *Replica) PendingLen() int { return int(r.pendingA.Load()) }
+
+// pubPendingLen republishes len(r.pending) for the lock-free PendingLen
+// accessor; event-loop callers invoke it after every pending-map
+// mutation.
+func (r *Replica) pubPendingLen() { r.pendingA.Store(int64(len(r.pending))) }
 
 // Config returns the replica's configuration.
 func (r *Replica) Config() Config { return r.cfg }
@@ -560,6 +572,7 @@ func (r *Replica) onSubmit(req *Request) {
 	}
 	r.pending[req.OpID] = req
 	r.pendingOrder = append(r.pendingOrder, req.OpID)
+	r.pubPendingLen()
 	if r.isPrimaryLocked() && !r.inViewChange {
 		r.proposePending()
 	} else {
@@ -694,6 +707,7 @@ func (r *Replica) onRequest(from int, req *Request) {
 	if _, dup := r.pending[req.OpID]; !dup {
 		r.pending[req.OpID] = req
 		r.pendingOrder = append(r.pendingOrder, req.OpID)
+		r.pubPendingLen()
 	}
 	if r.isPrimaryLocked() && !r.inViewChange {
 		r.proposePending()
@@ -937,6 +951,7 @@ func (r *Replica) applyOp(seq uint64, req *Request, tentative bool) {
 				}
 				r.executedOps[in.OpID] = seq
 				delete(r.pending, in.OpID)
+				r.pubPendingLen()
 				r.execCount.Add(1)
 				if r.barrier != nil && r.haltAt == 0 && r.barrier(in.OpID) {
 					r.haltAt = seq
@@ -948,6 +963,7 @@ func (r *Replica) applyOp(seq uint64, req *Request, tentative bool) {
 			}
 		} else {
 			delete(r.pending, req.OpID)
+			r.pubPendingLen()
 			// Deliver at most once: a rolled-back-but-not-undone (or
 			// double-assigned) operation keeps its original mapping so
 			// re-agreement at a new sequence number does not re-apply it.

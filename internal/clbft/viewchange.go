@@ -410,6 +410,7 @@ func (r *Replica) undoOne(seq uint64, req *Request) {
 		cp := &Request{OpID: req.OpID, Op: req.Op}
 		r.pending[req.OpID] = cp
 		r.pendingOrder = append(r.pendingOrder, req.OpID)
+		r.pubPendingLen()
 	}
 }
 

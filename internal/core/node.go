@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"log"
 	"sync"
+	"time"
 
 	"perpetualws/internal/perpetual"
 	"perpetualws/internal/soap"
@@ -344,11 +345,20 @@ func (n *Node) pumpReply(r perpetual.Reply) {
 	if r.Aborted {
 		// Synthesized locally and deterministically: surface as a
 		// SOAP fault without traversing the IN-PIPE.
-		mc := wsengine.NewMessageContext()
-		mc.Envelope.Body = soap.FaultBody(soap.Fault{
+		f := soap.Fault{
 			Code:   "soap:Receiver",
 			Reason: "request aborted: timeout agreed by voter group",
-		})
+		}
+		if r.Overloaded {
+			// f_t+1 distinct target voters refused the request under
+			// overload. Only unreplicated callers (N == 1, the session
+			// tier) ever see this flag — a replicated caller observes
+			// overload as the plain agreed abort above — so the richer
+			// RETRY-AFTER fault is still deterministic for its consumer.
+			f = soap.RetryAfterFault(time.Duration(r.RetryAfterMillis) * time.Millisecond)
+		}
+		mc := wsengine.NewMessageContext()
+		mc.Envelope.Body = soap.FaultBody(f)
 		mc.SetProperty(PropAborted, true)
 		n.handler.deliverReply(r.ReqID, mc)
 		return

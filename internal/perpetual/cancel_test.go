@@ -69,6 +69,7 @@ func TestDoCancelLeavesNoOutstanding(t *testing.T) {
 	for _, kind := range []TransportKind{TransportMem, TransportTCP} {
 		kind := kind
 		t.Run(fmt.Sprintf("transport=%v", kind), func(t *testing.T) {
+			guardGoroutines(t)
 			dep := buildPairOver(t, kind, 1, 4, nil)
 			slowEchoApp(t, dep, "t", delay)
 			drv := dep.Driver("c", 0)
@@ -140,6 +141,7 @@ func TestDoCancelReadFastPath(t *testing.T) {
 	for _, kind := range []TransportKind{TransportMem, TransportTCP} {
 		kind := kind
 		t.Run(fmt.Sprintf("transport=%v", kind), func(t *testing.T) {
+			guardGoroutines(t)
 			dep := buildPairOver(t, kind, 1, 4, nil)
 			slowEchoApp(t, dep, "t", delay)
 			drv := dep.Driver("c", 0)

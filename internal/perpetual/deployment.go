@@ -3,6 +3,7 @@ package perpetual
 import (
 	"fmt"
 	"log"
+	"strings"
 	"sync"
 	"time"
 
@@ -29,6 +30,17 @@ type ServiceOptions struct {
 	// CommitFlushDelay tunes the piggybacked-commit idle heartbeat; zero
 	// uses the clbft default.
 	CommitFlushDelay time.Duration
+	// MaxIntake / MaxProposerQueue bound the voters' request admission
+	// (intake table and CLBFT pending backlog respectively); zero
+	// disables each bound. RetryAfterHint tunes the backoff hint busy
+	// replies carry. See ReplicaConfig and overload.go.
+	MaxIntake        int
+	MaxProposerQueue int
+	RetryAfterHint   time.Duration
+	// MaxOutstanding caps each driver's in-flight calls and reads per
+	// target group (client-edge admission); zero disables. See
+	// ReplicaConfig.MaxOutstanding.
+	MaxOutstanding int
 	// Behaviors optionally assigns Byzantine behaviors to replica
 	// indices.
 	Behaviors map[int]Behavior
@@ -187,6 +199,10 @@ func (d *Deployment) buildGroup(g ServiceInfo, opts ServiceOptions, principals [
 			MaxBatch:           opts.MaxBatch,
 			DisableTentative:   opts.DisableTentative,
 			CommitFlushDelay:   opts.CommitFlushDelay,
+			MaxIntake:          opts.MaxIntake,
+			MaxProposerQueue:   opts.MaxProposerQueue,
+			RetryAfterHint:     opts.RetryAfterHint,
+			MaxOutstanding:     opts.MaxOutstanding,
 			Logger:             opts.Logger,
 			MembershipHook:     d.onMembership,
 		}
@@ -348,6 +364,47 @@ func (d *Deployment) NetStats() transport.TCPStatsSnapshot {
 	var total transport.TCPStatsSnapshot
 	for _, c := range d.tcpConns {
 		total.Add(c.NetStats())
+	}
+	return total
+}
+
+// QueueDropsByPeer aggregates, across every TCP endpoint in the
+// deployment, the link-local frames dropped toward each peer (empty
+// under TransportMem). The per-peer breakdown is what distinguishes
+// one back-pressured (wedged, slow, or overloaded) principal from
+// diffuse congestion; perpetualctl's overload view prints it.
+func (d *Deployment) QueueDropsByPeer() map[auth.NodeID]uint64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make(map[auth.NodeID]uint64)
+	for _, c := range d.tcpConns {
+		for peer, n := range c.QueueDropsByPeer() {
+			out[peer] += n
+		}
+	}
+	return out
+}
+
+// OverloadStats aggregates the voter-side admission counters of every
+// replica of a service (all shard groups included) — the group-level
+// accounting the overload bench asserts against: offered = admitted +
+// shed + expired.
+func (d *Deployment) OverloadStats(service string) OverloadStats {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	var total OverloadStats
+	for name, group := range d.replicas {
+		if name != service && !strings.HasPrefix(name, service+"#") {
+			continue
+		}
+		for _, r := range group {
+			s := r.OverloadStats()
+			total.ShedIntake += s.ShedIntake
+			total.ShedProposer += s.ShedProposer
+			total.ShedReads += s.ShedReads
+			total.ExpiredDrops += s.ExpiredDrops
+			total.SuppressedReplies += s.SuppressedReplies
+		}
 	}
 	return total
 }

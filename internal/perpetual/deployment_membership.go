@@ -432,6 +432,10 @@ func (d *Deployment) buildIncarnation(mc *MembershipChange, seq uint64, state cl
 		MaxBatch:           opts.MaxBatch,
 		DisableTentative:   opts.DisableTentative,
 		CommitFlushDelay:   opts.CommitFlushDelay,
+		MaxIntake:          opts.MaxIntake,
+		MaxProposerQueue:   opts.MaxProposerQueue,
+		RetryAfterHint:     opts.RetryAfterHint,
+		MaxOutstanding:     opts.MaxOutstanding,
 		Logger:             opts.Logger,
 		Bootstrap:          bs,
 		MembershipEpoch:    mc.NewEpoch,

@@ -161,6 +161,15 @@ func (d *Driver) Do(ctx context.Context, req Request) (Result, error) {
 		if err != nil {
 			return Result{ReqID: id}, err
 		}
+		if r.Overloaded {
+			// f_t+1 distinct target voters refused the request (see
+			// Driver.handleBusy); surface the shed as a typed error so
+			// RetryPolicy (and callers) can back off deliberately.
+			return Result{ReqID: id, Aborted: true}, &OverloadError{
+				RetryAfter: time.Duration(r.RetryAfterMillis) * time.Millisecond,
+				Expired:    r.Expired,
+			}
+		}
 		return Result{ReqID: id, Payload: r.Payload, Aborted: r.Aborted}, nil
 	}
 }
@@ -184,36 +193,60 @@ func (d *Driver) issueCall(target string, key, payload []byte, timeout time.Dura
 
 // waitReplyCtx blocks until the reply for reqID arrives, honoring ctx:
 // on cancellation it settles the request (see cancelRequest) and returns
-// ctx.Err().
+// ctx.Err(). The wait registers a dedicated channel in d.replyCh rather
+// than polling the shared event queue, so each reply wakes exactly its
+// own waiter — thousands of concurrent Do calls (an open-loop client at
+// overload) would otherwise all rescan the queue under d.mu on every
+// broadcast.
 func (d *Driver) waitReplyCtx(ctx context.Context, reqID string) (Reply, error) {
 	if ctx.Done() == nil {
 		return d.WaitReply(reqID)
 	}
-	stop := context.AfterFunc(ctx, func() {
-		d.mu.Lock()
-		d.cond.Broadcast()
-		d.mu.Unlock()
-	})
-	defer stop()
 	d.mu.Lock()
-	for {
-		if d.closed {
+	if d.closed {
+		d.mu.Unlock()
+		return Reply{}, ErrClosed
+	}
+	// The reply may have been queued before this waiter registered
+	// (NoWait issue followed by a later wait, or an AllShards batch).
+	for i := range d.events {
+		if d.events[i].Kind == EventReply && d.events[i].Reply.ReqID == reqID {
+			r := d.popAt(i).Reply
 			d.mu.Unlock()
+			return r, nil
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		d.mu.Unlock()
+		d.cancelRequest(reqID)
+		return Reply{}, err
+	}
+	ch := make(chan Reply, 1)
+	d.replyCh[reqID] = ch
+	d.mu.Unlock()
+	select {
+	case r, ok := <-ch:
+		if !ok {
 			return Reply{}, ErrClosed
 		}
-		for i := range d.events {
-			if d.events[i].Kind == EventReply && d.events[i].Reply.ReqID == reqID {
-				r := d.popAt(i).Reply
-				d.mu.Unlock()
-				return r, nil
-			}
-		}
-		if err := ctx.Err(); err != nil {
+		return r, nil
+	case <-ctx.Done():
+		d.mu.Lock()
+		// The reply (or driver close) may have raced the cancellation;
+		// an outcome already handed over wins.
+		select {
+		case r, ok := <-ch:
 			d.mu.Unlock()
-			d.cancelRequest(reqID)
-			return Reply{}, err
+			if !ok {
+				return Reply{}, ErrClosed
+			}
+			return r, nil
+		default:
 		}
-		d.cond.Wait()
+		delete(d.replyCh, reqID)
+		d.mu.Unlock()
+		d.cancelRequest(reqID)
+		return Reply{}, ctx.Err()
 	}
 }
 
@@ -236,6 +269,7 @@ func (d *Driver) cancelRequest(reqID string) {
 		if rw.tmr != nil {
 			rw.tmr.Stop()
 		}
+		d.releaseSlot(rw.target, &rw.counted)
 		delete(d.readWaits, reqID)
 		d.readStats.canceled.Add(1)
 	}

@@ -63,6 +63,26 @@
 // MAC signing fans out across cores. See DESIGN.md "Execution
 // parallelism (PR 9)" for the lock inventory.
 //
+// Overload control: every stage of the request path is bounded, and
+// every refusal is deterministic. A ctx deadline is stamped into the
+// request envelope; voters drop expired work pre-admission,
+// pre-proposal, and pre-reply instead of ordering it. Intake is
+// bounded (MaxIntake, shedding eldest-first so the freshest request —
+// the one with deadline left — is the one admitted), the CLBFT
+// proposer queue is bounded (MaxProposerQueue), and session-tier
+// reads shed before agreement does (at half the intake bound). A
+// refusal is a busy frame carrying a RETRY-AFTER hint; a driver
+// settles a call as overloaded only on busys from f_t+1 distinct
+// voters, so a lying minority cannot abort a call the correct
+// majority is serving. OverloadError is the typed client-side result,
+// RetryPolicy the budgeted/backoff/limited retry wrapper, and
+// Options.MaxOutstanding the client-edge window that refuses excess
+// load for the cost of a map lookup before any frame is built —
+// the piece that prevents congestion collapse on saturated hosts.
+// Client frames ride a dedicated voter lane so request floods cannot
+// head-of-line block agreement traffic. See DESIGN.md "Overload
+// control & graceful degradation (PR 10)".
+//
 // Membership epochs: a voter group changes its own composition
 // (replace/grow/shrink, see MembershipChange) by agreeing an
 // OpMembership operation through the current epoch's quorum. The

@@ -53,6 +53,15 @@ type Reply struct {
 	ReqID   string
 	Payload []byte
 	Aborted bool
+	// Overloaded marks a reply synthesized locally after f_t+1 distinct
+	// target voters refused the request under overload; RetryAfterMillis
+	// carries their largest backoff hint and Expired whether any refusal
+	// was a deadline-expiry drop. Only unreplicated callers (N == 1)
+	// settle overload locally — a replicated caller observes overload as
+	// the agreed abort, so its event stream stays deterministic.
+	Overloaded       bool
+	Expired          bool
+	RetryAfterMillis uint64
 }
 
 // EventKind discriminates merged driver events.
@@ -108,9 +117,33 @@ type Driver struct {
 	// (like the voter's delivered cache) only ever reopens the window
 	// for the oldest ids, never for every in-flight request at once.
 	replySeen *boundedCache[struct{}]
+	// replyCh holds one buffered channel per Do waiter blocked in
+	// waitReplyCtx. Delivering a reply directly to its waiter wakes
+	// exactly one goroutine; funneling replies through the shared event
+	// queue + cond.Broadcast would wake EVERY concurrent waiter per
+	// reply (each rescanning the queue under d.mu), which collapses an
+	// open-loop client under overload — precisely when replies and busy
+	// settlements are most frequent. Channels are capacity 1 and receive
+	// at most one send, guarded by replySeen/settle dedup under d.mu.
+	replyCh map[string]chan Reply
 
 	outstanding map[string]*outstandingReq
 	utils       map[uint64]int64
+
+	// maxOutstanding caps the calls and fast-path reads this driver keeps
+	// in flight per target group (0 = unbounded); inflight is the gauge.
+	// The cap is the client edge of the admission pipeline: once the
+	// window to a target is full, further Dos fail fast with the same
+	// RETRY-AFTER fault a remote busy quorum produces — at the cost of a
+	// map lookup instead of a group-wide fan-out of authenticated frames
+	// and busy replies. Under an open-loop overload that difference is
+	// the goodput: shedding must stay far cheaper than serving, or the
+	// shed traffic itself starves the agreement pipeline it protects.
+	// The voter-side gates stay load-bearing regardless: a group serving
+	// many drivers cannot trust any one of them to self-limit.
+	maxOutstanding int
+	inflight       map[string]int
+	localSheds     atomic.Uint64
 
 	// primaryHint tracks, per target group, the advisory CLBFT primary
 	// index learned from verified reply bundles (ReplyBundle.Primary).
@@ -176,6 +209,24 @@ type outstandingReq struct {
 	// failed CallAllShards fan-out): the application never learned its
 	// id, so the agreed abort/reply must not surface as an event.
 	suppressReply bool
+	// expiry is the absolute unix-milli deadline stamped into the
+	// request envelope (0 = none): replicas drop the request at every
+	// pre-agreement stage once it passes, and retransmission stops.
+	expiry uint64
+	// busy collects distinct target voters that refused the request
+	// under overload (index -> their retry-after hint); at f_t+1 the
+	// request settles as overloaded. busyExpired counts refusals that
+	// reported the deadline expired.
+	busy        map[int]uint64
+	busyExpired int
+	// busyFanned records the one-shot whole-group retransmit triggered by
+	// the first below-quorum busy: first attempts are primary-routed, so
+	// without the fan-out only the primary could ever refuse and the
+	// f_t+1 busy quorum would never form under honest overload.
+	busyFanned bool
+	// counted marks a request holding one of the driver's in-flight
+	// window slots (see Driver.maxOutstanding); release is idempotent.
+	counted bool
 }
 
 // ReadStats counts session-tier read fast-path outcomes at one driver.
@@ -199,6 +250,10 @@ type ReadStats struct {
 	// Canceled counts reads settled by a ctx cancel before either
 	// certification or fallback (see Driver.Do).
 	Canceled uint64
+	// Shed counts reads settled as overloaded by f_t+1 busy-read
+	// refusals from the target group (no agreement fallback — see
+	// Driver.handleBusy).
+	Shed uint64
 }
 
 // paddedUint64 is an atomic counter alone on its cache line, so two hot
@@ -220,6 +275,7 @@ type readStatsCounters struct {
 	fallbackTimeout  paddedUint64
 	fallbackDiverged paddedUint64
 	canceled         paddedUint64
+	shed             paddedUint64
 }
 
 // readEndorse is one replica's speculative read endorsement.
@@ -240,10 +296,12 @@ type readWait struct {
 	minSeq    uint64
 	settled   bool
 	tmr       *time.Timer
+	counted   bool // holds an in-flight window slot (Driver.maxOutstanding)
 
 	endorse   map[int]readEndorse // replica index -> current endorsement
 	payloads  map[[sha256.Size]byte][]byte
 	responded map[int]bool // replicas heard from, incl. Behind declines
+	busy      int          // busy-read refusals among responded (f_t+1 settle as shed)
 }
 
 // txnReply is the agreed outcome of a transaction request, with the
@@ -268,7 +326,9 @@ func newDriver(svc ServiceInfo, index int, reg *Registry, adapter *transport.Cha
 		retransmitInterval: DefaultRetransmitInterval,
 		readFallback:       DefaultReadFallback,
 		replySeen:          newBoundedCache[struct{}](replySeenCacheSize),
+		replyCh:            make(map[string]chan Reply),
 		outstanding:        make(map[string]*outstandingReq),
+		inflight:           make(map[string]int),
 		utils:              make(map[uint64]int64),
 		primaryHint:        make(map[string]int),
 		readWaits:          make(map[string]*readWait),
@@ -282,6 +342,40 @@ func newDriver(svc ServiceInfo, index int, reg *Registry, adapter *transport.Cha
 	d.cond = sync.NewCond(&d.mu)
 	return d
 }
+
+// acquireSlot claims an in-flight window slot toward target, failing
+// when the window is full (caller holds d.mu). With no window configured
+// it reports success without accounting, so the gauge costs nothing.
+func (d *Driver) acquireSlot(target string) bool {
+	if d.maxOutstanding <= 0 {
+		return true
+	}
+	if d.inflight[target] >= d.maxOutstanding {
+		d.localSheds.Add(1)
+		return false
+	}
+	d.inflight[target]++
+	return true
+}
+
+// releaseSlot returns a held window slot (caller holds d.mu). counted
+// makes the release idempotent across the several settle paths that can
+// race to remove the same entry.
+func (d *Driver) releaseSlot(target string, counted *bool) {
+	if !*counted {
+		return
+	}
+	*counted = false
+	if n := d.inflight[target]; n > 1 {
+		d.inflight[target] = n - 1
+	} else {
+		delete(d.inflight, target)
+	}
+}
+
+// LocalSheds reports how many calls and reads this driver refused at
+// its own in-flight window, before any frame was built or sent.
+func (d *Driver) LocalSheds() uint64 { return d.localSheds.Load() }
 
 func (d *Driver) logf(format string, args ...any) {
 	if d.logger != nil {
@@ -310,7 +404,154 @@ func (d *Driver) handleTransport(from auth.NodeID, payload []byte) {
 		}
 	case KindReadReply:
 		d.handleReadReply(from, m.ReadReply)
+	case KindBusy:
+		d.handleBusy(from, m.Busy)
 	}
+}
+
+// handleBusy collects overload refusals from target voters. One busy
+// frame proves nothing — up to f voters are Byzantine and may lie about
+// overload — so a request (or fast-path read) settles as shed only once
+// f_t+1 DISTINCT voters refused it: that quorum contains a correct
+// voter, so the group really is refusing work (or really saw the
+// deadline pass). Below the quorum the request simply keeps waiting
+// (retransmission re-attempts admission), and a busy-read counts as a
+// non-endorsing response toward the read's impossibility check.
+//
+// Only unreplicated callers (d.svc.N == 1: the session tier, bench
+// clients) settle overload locally — each replica of a replicated
+// caller would collect its own busy quorum at its own time with its own
+// hints, so surfacing a locally synthesized reply would diverge the
+// replicated event stream. A replicated caller instead proposes the
+// deterministic group-wide abort and observes overload as the agreed
+// abort every replica delivers identically.
+func (d *Driver) handleBusy(from auth.NodeID, bz *BusyReply) {
+	if bz == nil || from.Role != auth.RoleVoter || bz.Replica != from.Index || from.Index < 0 {
+		return
+	}
+	if bz.Read {
+		d.handleBusyRead(from, bz)
+		return
+	}
+	d.mu.Lock()
+	o, ok := d.outstanding[bz.ReqID]
+	if !ok || from.Service != o.target || o.txn {
+		d.mu.Unlock()
+		return
+	}
+	tinfo, err := d.registry.Lookup(o.target)
+	if err != nil || from.Index >= tinfo.N {
+		d.mu.Unlock()
+		return
+	}
+	if o.busy == nil {
+		o.busy = make(map[int]uint64)
+	}
+	o.busy[from.Index] = bz.RetryAfterMillis
+	if bz.Expired {
+		o.busyExpired++
+	}
+	if len(o.busy) < tinfo.F()+1 {
+		// Below the quorum a single busy is unverifiable — but if the
+		// refusal is honest, the rest of the group is overloaded too and
+		// only the primary has seen the request (first attempts are
+		// primary-routed). Fan the request to the whole group once, so
+		// correct overloaded voters can join the quorum promptly; a lying
+		// voter's lone busy is instead outvoted by admission elsewhere.
+		fan := !o.busyFanned
+		o.busyFanned = true
+		d.mu.Unlock()
+		if fan {
+			d.retransmit(bz.ReqID)
+		}
+		return
+	}
+	if d.svc.N > 1 {
+		// Replicated caller: settle through the agreed abort only.
+		d.mu.Unlock()
+		d.voter.requestAbort(bz.ReqID)
+		return
+	}
+	var hint uint64
+	for _, h := range o.busy {
+		if h > hint {
+			hint = h
+		}
+	}
+	expired := o.busyExpired > 0
+	if o.retryTmr != nil {
+		o.retryTmr.Stop()
+	}
+	if o.abortTmr != nil {
+		o.abortTmr.Stop()
+	}
+	d.releaseSlot(o.target, &o.counted)
+	delete(d.outstanding, bz.ReqID)
+	// Mark the id settled before proposing the cleanup abort: the agreed
+	// abort (or a racing late reply) must not surface a second outcome.
+	d.replySeen.Put(bz.ReqID, struct{}{})
+	d.canceled.Put(bz.ReqID, struct{}{})
+	if !o.suppressReply {
+		d.postReply(Reply{
+			ReqID: bz.ReqID, Aborted: true,
+			Overloaded: true, Expired: expired, RetryAfterMillis: hint,
+		})
+	}
+	d.mu.Unlock()
+	// Group-wide cleanup: voters that admitted the request (short of the
+	// refusing quorum) drop their vote state through the agreed abort.
+	d.voter.requestAbort(bz.ReqID)
+}
+
+// handleBusyRead folds a busy-read refusal into the read's wait: f_t+1
+// refusals settle the read as overloaded WITHOUT the agreement fallback
+// (falling back would add agreement load exactly when the target shed
+// the read to protect it); fewer behave like Behind declines, feeding
+// the existing certification-impossibility check.
+func (d *Driver) handleBusyRead(from auth.NodeID, bz *BusyReply) {
+	d.mu.Lock()
+	rw, ok := d.readWaits[bz.ReqID]
+	if !ok || rw.settled || from.Service != rw.target ||
+		from.Index >= rw.group || rw.responded[from.Index] {
+		d.mu.Unlock()
+		return
+	}
+	rw.responded[from.Index] = true
+	rw.busy++
+	if rw.busy >= rw.need {
+		rw.settled = true
+		if rw.tmr != nil {
+			rw.tmr.Stop()
+		}
+		d.releaseSlot(rw.target, &rw.counted)
+		delete(d.readWaits, bz.ReqID)
+		d.readStats.shed.Add(1)
+		// Block the fallback timer's re-issue and a late duplicate alike.
+		d.replySeen.Put(bz.ReqID, struct{}{})
+		d.canceled.Put(bz.ReqID, struct{}{})
+		d.postReply(Reply{
+			ReqID: bz.ReqID, Aborted: true,
+			Overloaded: true, RetryAfterMillis: bz.RetryAfterMillis,
+		})
+		d.mu.Unlock()
+		return
+	}
+	// Below the busy quorum: like a Behind decline, check whether
+	// certification is still possible with the replicas yet to answer.
+	best := 0
+	counts := make(map[[sha256.Size]byte]int, len(rw.endorse))
+	for _, e := range rw.endorse {
+		counts[e.digest]++
+		if counts[e.digest] > best {
+			best = counts[e.digest]
+		}
+	}
+	if best+(rw.group-len(rw.responded)) < rw.need {
+		d.mu.Unlock()
+		d.readFallbackFor(bz.ReqID, false)
+		return
+	}
+	d.mu.Unlock()
 }
 
 // handleBundle verifies a stage-6 reply bundle and forwards it to the
@@ -495,6 +736,14 @@ func (d *Driver) startRequest(reqID string, tinfo ServiceInfo, payload []byte, r
 		d.mu.Unlock()
 		return errRequestCanceled
 	}
+	if !txn && !d.acquireSlot(target) {
+		// Client-edge admission: the in-flight window to this target is
+		// full, so refuse with the deterministic RETRY-AFTER fault before
+		// building or sending anything (txn traffic is protocol-internal
+		// 2PC/handoff machinery and is never shed here).
+		d.mu.Unlock()
+		return &OverloadError{RetryAfter: DefaultRetryAfterHint}
+	}
 	o := &outstandingReq{
 		target:    target,
 		payload:   payload,
@@ -502,6 +751,14 @@ func (d *Driver) startRequest(reqID string, tinfo ServiceInfo, payload []byte, r
 		timeout:   timeout,
 		txn:       txn,
 		class:     class,
+		counted:   !txn && d.maxOutstanding > 0,
+	}
+	if timeout > 0 && !txn {
+		// Deadline propagation: stamp the caller's deadline (ctx deadline
+		// or explicit Timeout, both already folded into timeout) into the
+		// request envelope so replicas can drop expired work at every
+		// pre-agreement stage instead of ordering it.
+		o.expiry = uint64(time.Now().Add(timeout).UnixMilli())
 	}
 	d.outstanding[reqID] = o
 	hint := d.primaryHint[target]
@@ -510,11 +767,12 @@ func (d *Driver) startRequest(reqID string, tinfo ServiceInfo, payload []byte, r
 		hint = 0
 	}
 
-	req, err := d.buildRequest(reqID, tinfo, payload, responder, 0)
+	req, err := d.buildRequest(reqID, tinfo, payload, responder, 0, o.expiry)
 	if err != nil {
 		// The entry has no timers yet; without this removal it would
 		// never be reaped and Outstanding() would over-count forever.
 		d.mu.Lock()
+		d.releaseSlot(target, &o.counted)
 		delete(d.outstanding, reqID)
 		d.mu.Unlock()
 		return err
@@ -584,11 +842,19 @@ func (d *Driver) issueRead(target string, key, payload []byte, timeout time.Dura
 		d.mu.Unlock()
 		return "", ErrClosed
 	}
+	if !d.acquireSlot(tinfo.Name) {
+		// Reads respect the same client-edge window as calls: a read
+		// flood would otherwise fan authenticated frames at the whole
+		// group exactly when it is shedding to protect agreement.
+		d.mu.Unlock()
+		return "", &OverloadError{RetryAfter: DefaultRetryAfterHint}
+	}
 	d.reqSeq++
 	n := d.reqSeq
 	reqID := fmt.Sprintf("%s:%d", d.svc.Name, n)
 	responder := int(n % uint64(tinfo.N))
 	rw := &readWait{
+		counted:   d.maxOutstanding > 0,
 		target:    tinfo.Name,
 		payload:   payload,
 		timeout:   timeout,
@@ -674,6 +940,7 @@ func (d *Driver) handleReadReply(from auth.NodeID, rp *ReadReply) {
 			if rw.tmr != nil {
 				rw.tmr.Stop()
 			}
+			d.releaseSlot(rw.target, &rw.counted)
 			delete(d.readWaits, rp.ReqID)
 			// The certified sequence is the *minimum* over the matching
 			// endorsers: at least one of them is correct, so a faulty
@@ -730,6 +997,7 @@ func (d *Driver) readFallbackFor(reqID string, timedOut bool) {
 	if rw.tmr != nil {
 		rw.tmr.Stop()
 	}
+	d.releaseSlot(rw.target, &rw.counted)
 	delete(d.readWaits, reqID)
 	d.readStats.fallbacks.Add(1)
 	if timedOut {
@@ -745,6 +1013,24 @@ func (d *Driver) readFallbackFor(reqID string, timedOut bool) {
 		return
 	}
 	if err := d.startRequest(reqID, tinfo, rw.payload, rw.responder, rw.timeout, false, 0); err != nil {
+		if hint, is := IsOverload(err); is {
+			// The window refilled between releasing the read's slot and
+			// re-issuing through agreement: the caller is already waiting
+			// on this id, so settle it as shed rather than stranding it
+			// until its deadline.
+			d.mu.Lock()
+			if !d.closed && !d.canceled.Contains(reqID) {
+				d.readStats.shed.Add(1)
+				d.replySeen.Put(reqID, struct{}{})
+				d.canceled.Put(reqID, struct{}{})
+				d.postReply(Reply{
+					ReqID: reqID, Aborted: true,
+					Overloaded: true, RetryAfterMillis: uint64(hint.Milliseconds()),
+				})
+			}
+			d.mu.Unlock()
+			return
+		}
 		d.logf("read fallback %s: %v", reqID, err)
 	}
 }
@@ -758,6 +1044,7 @@ func (d *Driver) ReadStats() ReadStats {
 		FallbackTimeout:  d.readStats.fallbackTimeout.Load(),
 		FallbackDiverged: d.readStats.fallbackDiverged.Load(),
 		Canceled:         d.readStats.canceled.Load(),
+		Shed:             d.readStats.shed.Load(),
 	}
 }
 
@@ -779,14 +1066,17 @@ func (d *Driver) sendRequest(req *RequestMsg, tos []auth.NodeID, class uint8) er
 	return err
 }
 
-// buildRequest assembles an authenticated request message.
-func (d *Driver) buildRequest(reqID string, tinfo ServiceInfo, payload []byte, responder, attempt int) (*RequestMsg, error) {
+// buildRequest assembles an authenticated request message. expiry (0 =
+// none) rides outside the digest, like Attempt, so retransmissions
+// count toward the same f_c+1 vote regardless of their stamps.
+func (d *Driver) buildRequest(reqID string, tinfo ServiceInfo, payload []byte, responder, attempt int, expiry uint64) (*RequestMsg, error) {
 	req := &RequestMsg{
 		ReqID:     reqID,
 		Caller:    d.svc.Name,
 		Target:    tinfo.Name,
 		Responder: responder,
 		Attempt:   attempt,
+		Expiry:    expiry,
 		Payload:   payload,
 	}
 	a, err := auth.NewAuthenticator(d.ks, requestAuthMsg(reqID, req.Digest()), tinfo.VoterIDs())
@@ -803,6 +1093,12 @@ func (d *Driver) retransmit(reqID string) {
 	d.mu.Lock()
 	o, ok := d.outstanding[reqID]
 	if !ok || d.closed {
+		d.mu.Unlock()
+		return
+	}
+	if expiredStamp(o.expiry) {
+		// Past the caller's deadline nothing downstream will serve this
+		// request; stop probing and let the abort timer settle it.
 		d.mu.Unlock()
 		return
 	}
@@ -831,7 +1127,7 @@ func (d *Driver) retransmit(reqID string) {
 	o.retryTmr = time.AfterFunc(backoff, func() { d.retransmit(reqID) })
 	d.mu.Unlock()
 
-	req, err := d.buildRequest(reqID, tinfo, payload, responder, attempt)
+	req, err := d.buildRequest(reqID, tinfo, payload, responder, attempt, o.expiry)
 	if err != nil {
 		d.logf("retransmit %s: %v", reqID, err)
 		return
@@ -877,6 +1173,7 @@ func (d *Driver) deliverReply(r Reply, shares []Share, epoch uint64, groupN int)
 		if o.abortTmr != nil {
 			o.abortTmr.Stop()
 		}
+		d.releaseSlot(o.target, &o.counted)
 		delete(d.outstanding, r.ReqID)
 	}
 	if ok && !o.txn && !r.Aborted {
@@ -902,6 +1199,21 @@ func (d *Driver) deliverReply(r Reply, shares []Share, epoch uint64, groupN int)
 		}
 		d.txnReplies.Put(r.ReqID, tr)
 		d.cond.Broadcast()
+		return
+	}
+	d.postReply(r)
+}
+
+// postReply hands an application-visible reply to its consumer (caller
+// holds d.mu): a Do waiter registered in replyCh receives it directly —
+// waking exactly that goroutine — and anything else joins the shared
+// event queue for NextEvent/WaitReply consumers. At most one post ever
+// happens per request id (replySeen and the settle paths gate under
+// d.mu), so the capacity-1 send cannot block.
+func (d *Driver) postReply(r Reply) {
+	if ch, ok := d.replyCh[r.ReqID]; ok {
+		delete(d.replyCh, r.ReqID)
+		ch <- r
 		return
 	}
 	d.events = append(d.events, Event{Kind: EventReply, Reply: r})
@@ -1121,6 +1433,12 @@ func (d *Driver) close() {
 		if rw.tmr != nil {
 			rw.tmr.Stop()
 		}
+	}
+	// Closing each registered reply channel unblocks its waiter with
+	// ErrClosed (a closed-channel receive reports ok=false).
+	for id, ch := range d.replyCh {
+		delete(d.replyCh, id)
+		close(ch)
 	}
 	d.cond.Broadcast()
 }

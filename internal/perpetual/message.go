@@ -52,6 +52,14 @@ const (
 	// Only the read's designated responder attaches the payload; the
 	// client accepts once f_t+1 distinct voters endorse one digest.
 	KindReadReply
+	// KindBusy is a voter's overload signal back to the asking driver: the
+	// request (or read) was refused at admission — intake bound hit,
+	// proposer queue full, or deadline already expired on arrival — and
+	// carries a retry-after hint. One busy frame proves nothing (a
+	// Byzantine voter can cry overload forever); the driver settles a call
+	// as shed only once f_t+1 distinct voters of the target group refuse
+	// the same request.
+	KindBusy
 )
 
 // String returns the protocol name of the kind.
@@ -77,6 +85,8 @@ func (k Kind) String() string {
 		return "read-request"
 	case KindReadReply:
 		return "read-reply"
+	case KindBusy:
+		return "busy"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -92,7 +102,15 @@ type RequestMsg struct {
 	Target    string // target service name
 	Responder int    // target voter index chosen as responder
 	Attempt   int    // retransmission counter
-	Payload   []byte
+	// Expiry is the caller's deadline as absolute unix milliseconds
+	// (0 = none), stamped from Do's ctx. Voters drop expired work before
+	// admission and before proposing it for agreement, and suppress
+	// replies whose caller can no longer be waiting — but never skip
+	// *agreed* execution on a local clock, which would diverge replicated
+	// state. Excluded from Digest like Attempt: a retransmission carrying
+	// a refreshed stamp still counts toward the same request.
+	Expiry  uint64
+	Payload []byte
 	// Auth endorses the request digest with MAC entries for every
 	// target voter, so each voter (and the agreement validator) can
 	// check that this driver really issued this request — a faulty
@@ -237,6 +255,21 @@ type ReadReply struct {
 	Payload []byte // responder only; must hash to Digest
 }
 
+// BusyReply is a voter's deterministic overload refusal of one request
+// (see KindBusy): the refusing voter's index, a retry-after hint in
+// milliseconds, and whether the refusal was a shed (admission bound) or
+// an expiry drop (the request's deadline had already passed on
+// arrival). Read reports whether the refused request was a fast-path
+// read — read refusals steer the driver straight to the agreement
+// fallback instead of counting toward a shed quorum.
+type BusyReply struct {
+	ReqID            string
+	Replica          int
+	RetryAfterMillis uint64
+	Expired          bool
+	Read             bool
+}
+
 // ReplyBundle is the stage-6 message from the responder to every calling
 // driver: the reply payload plus the shares endorsing its digest —
 // either f_t+1 stable shares or a full agreement quorum of (possibly
@@ -298,6 +331,7 @@ type Message struct {
 	PayloadFetch  *PayloadFetch
 	ReadRequest   *ReadRequest
 	ReadReply     *ReadReply
+	Busy          *BusyReply
 }
 
 // Encode serializes the message.
@@ -358,6 +392,19 @@ func (m *Message) EncodeTo(w *wire.Writer) {
 		}
 		w.PutBytes(rp.Digest[:])
 		w.PutBytes(rp.Payload)
+	case KindBusy:
+		bz := m.Busy
+		w.PutString(bz.ReqID)
+		w.PutUvarint(uint64(bz.Replica))
+		w.PutUvarint(bz.RetryAfterMillis)
+		flags := uint8(0)
+		if bz.Expired {
+			flags |= 1
+		}
+		if bz.Read {
+			flags |= 2
+		}
+		w.PutUint8(flags)
 	}
 }
 
@@ -387,6 +434,8 @@ func (m *Message) SizeHint() int {
 	case KindReadReply:
 		rp := m.ReadReply
 		return base + len(rp.ReqID) + sha256.Size + len(rp.Payload) + 16
+	case KindBusy:
+		return base + len(m.Busy.ReqID) + 16
 	default:
 		return 64
 	}
@@ -462,6 +511,16 @@ func DecodeMessage(buf []byte) (*Message, error) {
 		copy(rp.Digest[:], r.Bytes())
 		rp.Payload = r.BytesCopy()
 		m.ReadReply = rp
+	case KindBusy:
+		bz := &BusyReply{
+			ReqID:            r.String(),
+			Replica:          int(r.Uvarint()),
+			RetryAfterMillis: r.Uvarint(),
+		}
+		flags := r.Uint8()
+		bz.Expired = flags&1 != 0
+		bz.Read = flags&2 != 0
+		m.Busy = bz
 	default:
 		return nil, fmt.Errorf("perpetual: unknown message kind %d", uint8(m.Kind))
 	}
@@ -477,6 +536,7 @@ func encodeRequest(w *wire.Writer, req *RequestMsg) {
 	w.PutString(req.Target)
 	w.PutUvarint(uint64(req.Responder))
 	w.PutUvarint(uint64(req.Attempt))
+	w.PutUvarint(req.Expiry)
 	w.PutBytes(req.Payload)
 	encodeAuthenticator(w, &req.Auth)
 }
@@ -488,6 +548,7 @@ func decodeRequest(r *wire.Reader) *RequestMsg {
 		Target:    r.String(),
 		Responder: int(r.Uvarint()),
 		Attempt:   int(r.Uvarint()),
+		Expiry:    r.Uvarint(),
 		Payload:   r.BytesCopy(),
 	}
 	req.Auth = decodeAuthenticator(r)

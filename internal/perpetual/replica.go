@@ -50,6 +50,23 @@ type ReplicaConfig struct {
 	// f_t+1 matching speculative endorsements before re-issuing through
 	// agreement; zero uses DefaultReadFallback.
 	ReadFallback time.Duration
+	// MaxIntake bounds the voter's request-intake table (distinct
+	// requests collecting admission votes); past it, requests are shed
+	// eldest-first with busy replies. Zero disables the bound. See
+	// overload.go.
+	MaxIntake int
+	// MaxProposerQueue bounds the CLBFT pending backlog a new proposal
+	// may join; at the bound the proposal is deferred with a busy reply
+	// until retransmission finds the backlog drained. Zero disables.
+	MaxProposerQueue int
+	// RetryAfterHint is the backoff hint the voter's busy replies carry;
+	// zero uses DefaultRetryAfterHint.
+	RetryAfterHint time.Duration
+	// MaxOutstanding caps the co-located driver's in-flight calls and
+	// fast-path reads per target group; past it Do fails fast with the
+	// RETRY-AFTER fault without sending anything. Zero disables. See
+	// Driver.maxOutstanding for why client-edge shedding must be cheap.
+	MaxOutstanding int
 	// Logger receives diagnostics; nil discards them.
 	Logger *log.Logger
 	// Behavior optionally injects Byzantine faults for testing; nil
@@ -122,9 +139,20 @@ func NewReplica(cfg ReplicaConfig) (*Replica, error) {
 	if cfg.ReadFallback > 0 {
 		d.readFallback = cfg.ReadFallback
 	}
+	d.maxOutstanding = cfg.MaxOutstanding
 	v.driver = d
 	v.membershipHook = cfg.MembershipHook
 	v.memEpoch.Store(cfg.MembershipEpoch)
+	v.maxIntake = cfg.MaxIntake
+	v.maxProposer = cfg.MaxProposerQueue
+	if cfg.MaxIntake > 0 {
+		// Reads shed at half the write bound, so the fast path gives way
+		// well before the agreement path starts refusing work.
+		v.readShedAt = max(1, cfg.MaxIntake/2)
+	}
+	if cfg.RetryAfterHint > 0 {
+		v.retryHint = cfg.RetryAfterHint
+	}
 
 	bftCfg := clbft.Config{
 		ID:                 cfg.Index,
@@ -231,6 +259,7 @@ func (r *Replica) rotateEpochKeys(master []byte, group string, epoch uint64, gro
 
 // Start wires transport handlers and launches the voter group member.
 func (r *Replica) Start() {
+	r.voter.startLane()
 	r.voterAdapter.SetHandler(r.voter.handleTransport)
 	r.driverAdapter.SetHandler(r.driver.handleTransport)
 	r.voter.bft().Start()
@@ -242,6 +271,7 @@ func (r *Replica) Stop() {
 		return
 	}
 	r.driver.close()
+	r.voter.stopLane()
 	r.voter.closeReads()
 	r.voter.bft().Stop()
 	_ = r.voterAdapter.Close()
@@ -295,6 +325,19 @@ func (r *Replica) MembershipEpoch() uint64 { return r.voter.memEpoch.Load() }
 // StaleEpochDrops returns how many same-group voter frames this replica
 // discarded for carrying a non-current membership epoch (diagnostic).
 func (r *Replica) StaleEpochDrops() uint64 { return r.voter.staleEpochDrops.Load() }
+
+// OverloadStats returns this replica's voter-side admission counters:
+// every request or read the voter refused (or whose reply send it
+// suppressed) is in exactly one bucket (diagnostic / bench surface).
+func (r *Replica) OverloadStats() OverloadStats {
+	return OverloadStats{
+		ShedIntake:        r.voter.shedIntake.Load(),
+		ShedProposer:      r.voter.shedProposer.Load(),
+		ShedReads:         r.voter.shedReads.Load(),
+		ExpiredDrops:      r.voter.expiredDrops.Load(),
+		SuppressedReplies: r.voter.replySuppress.Load(),
+	}
+}
 
 // CatchUpTarget returns the agreement sequence this replica must replay
 // to before its voter votes — nonzero while a joining or lagging

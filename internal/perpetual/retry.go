@@ -1,0 +1,128 @@
+package perpetual
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// RetryPolicy is the client-side half of the overload-control loop: a
+// budgeted retry wrapper around Driver.Do that honors the RETRY-AFTER
+// hints shed requests carry, backs off exponentially with jitter
+// between attempts, and can bound the caller's own concurrency so a
+// retrying client does not amplify the very overload it is retrying
+// against. The zero value is usable and applies the defaults below; a
+// policy is safe for concurrent use by any number of goroutines.
+type RetryPolicy struct {
+	// MaxAttempts is the total attempt budget per Do call, first attempt
+	// included (default 3). The last attempt's error is returned.
+	MaxAttempts int
+	// BaseBackoff is the first retry delay (default 10ms); it doubles
+	// per attempt up to MaxBackoff (default 2s). A RETRY-AFTER hint
+	// larger than the computed backoff replaces it — the target knows
+	// its own drain rate better than the client does.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// Jitter is the ± fraction applied to every delay (default 0.2;
+	// negative disables). Without it, every client shed on the same
+	// overload wave retries on the same beat and re-creates the wave.
+	Jitter float64
+	// MaxConcurrent, when positive, bounds how many Do calls run through
+	// this policy at once; excess callers wait (honoring ctx). This is
+	// the per-driver concurrency limiter of the resilience policy.
+	MaxConcurrent int
+
+	semOnce sync.Once
+	sem     chan struct{}
+}
+
+// Do runs d.Do under the policy: overload refusals are retried within
+// the attempt budget, every other outcome (success, abort, ctx error)
+// returns immediately.
+func (p *RetryPolicy) Do(ctx context.Context, d *Driver, req Request) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := p.acquire(ctx); err != nil {
+		return Result{}, err
+	}
+	defer p.release()
+
+	attempts := p.MaxAttempts
+	if attempts <= 0 {
+		attempts = 3
+	}
+	base := p.BaseBackoff
+	if base <= 0 {
+		base = 10 * time.Millisecond
+	}
+	maxB := p.MaxBackoff
+	if maxB <= 0 {
+		maxB = 2 * time.Second
+	}
+	var res Result
+	var err error
+	for attempt := 0; ; attempt++ {
+		res, err = d.Do(ctx, req)
+		var oe *OverloadError
+		if err == nil || !errors.As(err, &oe) {
+			return res, err
+		}
+		if attempt >= attempts-1 {
+			return res, err
+		}
+		delay := base << uint(min(attempt, 16))
+		if delay > maxB || delay <= 0 {
+			delay = maxB
+		}
+		if oe.RetryAfter > delay {
+			delay = oe.RetryAfter
+		}
+		delay = p.jittered(delay)
+		tmr := time.NewTimer(delay)
+		select {
+		case <-tmr.C:
+		case <-ctx.Done():
+			tmr.Stop()
+			return res, ctx.Err()
+		}
+	}
+}
+
+// jittered applies the policy's ± jitter fraction to a delay.
+func (p *RetryPolicy) jittered(d time.Duration) time.Duration {
+	f := p.Jitter
+	if f == 0 {
+		f = 0.2
+	}
+	if f < 0 {
+		return d
+	}
+	j := int64(float64(d) * f)
+	if j <= 0 {
+		return d
+	}
+	return d + time.Duration(rand.Int63n(2*j+1)-j)
+}
+
+// acquire takes a concurrency slot when MaxConcurrent is set.
+func (p *RetryPolicy) acquire(ctx context.Context) error {
+	if p.MaxConcurrent <= 0 {
+		return nil
+	}
+	p.semOnce.Do(func() { p.sem = make(chan struct{}, p.MaxConcurrent) })
+	select {
+	case p.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (p *RetryPolicy) release() {
+	if p.MaxConcurrent > 0 && p.sem != nil {
+		<-p.sem
+	}
+}

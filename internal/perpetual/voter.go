@@ -129,9 +129,37 @@ type voter struct {
 	// write it trails — bounded by readParkWindow.
 	parkedReads []*parkedRead
 
+	// Overload control (see overload.go and DESIGN.md). Zero bounds
+	// disable the corresponding gate, preserving unbounded-admission
+	// behavior. voteOrder tracks reqVotes insertion order for the
+	// eldest-first intake shed; intakeA mirrors len(reqVotes) so the
+	// read path can consult pressure without taking mu.
+	maxIntake   int           // bound on reqVotes entries (intake admission)
+	maxProposer int           // bound on the CLBFT pending backlog new proposals may join
+	readShedAt  int           // reqVotes size at which fast-path reads shed (reads shed first)
+	retryHint   time.Duration // backoff hint carried by busy replies
+	voteOrder   []string      // guarded by mu
+	intakeA     atomic.Int64
+
+	shedIntake    atomic.Uint64 // requests refused at the intake bound
+	shedProposer  atomic.Uint64 // proposals deferred at the proposer-queue gate
+	shedReads     atomic.Uint64 // fast-path reads refused under pressure
+	expiredDrops  atomic.Uint64 // requests dropped pre-agreement for an expired deadline
+	replySuppress atomic.Uint64 // executed replies whose share send was suppressed
+
+	// clientLane decouples the client plane (external requests,
+	// fast-path reads) from the protocol plane (CLBFT, reply shares):
+	// client frames queue here for a dedicated worker while protocol
+	// frames are handled inline on the transport pump, so a request
+	// flood cannot head-of-line block agreement traffic (see startLane).
+	clientLane chan laneItem
+	laneStop   chan struct{}
+	laneDrops  atomic.Uint64 // client frames refused at the lane bound (also counted as sheds)
+
 	mu sync.Mutex
 	// Target side.
-	reqVotes  map[string]*reqVote // collecting f_c+1 matching requests
+	reqVotes  map[string]*reqVote   // collecting f_c+1 matching requests
+	reqExpiry *boundedCache[uint64] // reqID -> deadline stamp, for pre-reply suppression
 	inFlight  *boundedCache[execInfo]
 	replies   *boundedCache[replyRecord]
 	shareBuf  *boundedCache[*shareCollect]
@@ -141,6 +169,7 @@ type voter struct {
 // reqVote collects request copies from distinct calling drivers, grouped
 // by content digest.
 type reqVote struct {
+	caller   string // calling service, for busy replies on eviction
 	byDriver map[int][sha256.Size]byte
 	byDigest map[[sha256.Size]byte]*digestVote
 	proposed bool
@@ -159,8 +188,10 @@ func newVoter(svc ServiceInfo, index int, reg *Registry, adapter *transport.Chan
 		adapter:   adapter,
 		ks:        ks,
 		logger:    logger,
+		retryHint: DefaultRetryAfterHint,
 		execHi:    make(map[string]uint64),
 		reqVotes:  make(map[string]*reqVote),
+		reqExpiry: newBoundedCache[uint64](reqExpiryCacheSize),
 		inFlight:  newBoundedCache[execInfo](inFlightCacheSize),
 		replies:   newBoundedCache[replyRecord](repliesCacheSize),
 		shareBuf:  newBoundedCache[*shareCollect](sharesCacheSize),
@@ -392,6 +423,16 @@ func (v *voter) validateOp(opID string, op []byte) bool {
 
 // handleTransport dispatches an authenticated inbound transport payload.
 func (v *voter) handleTransport(from auth.NodeID, payload []byte) {
+	// Classify on the leading kind byte BEFORE decoding: client-plane
+	// frames (requests, fast-path reads) are copied raw onto the bounded
+	// lane and decoded there, so a flood's decode cost never runs on the
+	// transport pump where it would delay the protocol frames queued
+	// behind it. Protocol kinds decode inline — KindBFT in particular
+	// aliases the frame buffer, which is only valid during this call.
+	if isClientKind(payload) {
+		v.enqueueClient(from, payload)
+		return
+	}
 	m, err := DecodeMessage(payload)
 	if err != nil {
 		v.logf("malformed message from %s: %v", from, err)
@@ -422,10 +463,6 @@ func (v *voter) handleTransport(from auth.NodeID, payload []byte) {
 			return
 		}
 		v.bft().Receive(from.Index, bm)
-	case KindRequest:
-		v.handleExternalRequest(from, m.Request)
-	case KindReadRequest:
-		v.handleReadRequest(from, m.ReadRequest)
 	case KindReplyShare:
 		v.handleReplyShare(from, m.ReplyShare)
 	case KindPayloadFetch:
@@ -463,6 +500,16 @@ func (v *voter) handleExternalRequest(from auth.NodeID, req *RequestMsg) {
 		v.logf("request %s from %s: bad authenticator: %v", req.ReqID, from, err)
 		return
 	}
+	// Pre-admission deadline gate: a request whose envelope deadline has
+	// already passed is answered with an expired busy instead of queued —
+	// the caller has (or is about to) give up, so ordering it is pure
+	// overhead. The stamp is outside the request digest, so this never
+	// splits the f_c+1 vote.
+	if expiredStamp(req.Expiry) {
+		v.expiredDrops.Add(1)
+		v.sendBusy(from, req.ReqID, true, false)
+		return
+	}
 
 	v.mu.Lock()
 	// Already executed? Serve the cached reply toward the requested
@@ -493,12 +540,34 @@ func (v *voter) handleExternalRequest(from auth.NodeID, req *RequestMsg) {
 		return
 	}
 	vote, ok := v.reqVotes[req.ReqID]
+	var evictedID string
+	var evicted *reqVote
 	if !ok {
+		// Intake admission: past the bound, shed eldest-first (CoDel
+		// style) — evict the oldest vote entry not yet in the agreement
+		// pipeline and admit the fresh request; when everything old is
+		// already proposed, refuse the new request instead.
+		if v.maxIntake > 0 && len(v.reqVotes) >= v.maxIntake {
+			evictedID, evicted = v.evictEldestVote()
+			if evicted == nil {
+				v.mu.Unlock()
+				v.shedIntake.Add(1)
+				v.sendBusy(from, req.ReqID, false, false)
+				return
+			}
+		}
 		vote = &reqVote{
+			caller:   req.Caller,
 			byDriver: make(map[int][sha256.Size]byte),
 			byDigest: make(map[[sha256.Size]byte]*digestVote),
 		}
 		v.reqVotes[req.ReqID] = vote
+		v.voteOrder = append(v.voteOrder, req.ReqID)
+		v.compactVoteOrder()
+		v.intakeA.Store(int64(len(v.reqVotes)))
+	}
+	if req.Expiry != 0 {
+		v.reqExpiry.Put(req.ReqID, req.Expiry)
 	}
 	if prev, voted := vote.byDriver[from.Index]; voted && prev == digest {
 		// Duplicate vote; nothing new. (A changed digest replaces the
@@ -515,19 +584,54 @@ func (v *voter) handleExternalRequest(from auth.NodeID, req *RequestMsg) {
 	dv.shares = append(dv.shares, Share{Replica: from.Index, Auth: req.Auth})
 
 	var propose *Op
+	var busyGated, busyExpired bool
 	if !vote.proposed && v.countVotes(vote, digest) >= caller.F()+1 {
-		vote.proposed = true
-		propose = &Op{
-			Kind:      OpRequest,
-			ReqID:     req.ReqID,
-			Caller:    req.Caller,
-			Responder: req.Responder,
-			Payload:   dv.req.Payload,
-			Shares:    dedupShares(dv.shares),
+		switch {
+		case expiredStamp(dv.req.Expiry):
+			// Pre-proposal deadline gate: the vote quorum formed after the
+			// caller's deadline passed. The request never entered
+			// agreement, so dropping the whole entry is a local decision.
+			delete(v.reqVotes, req.ReqID)
+			v.intakeA.Store(int64(len(v.reqVotes)))
+			v.expiredDrops.Add(1)
+			busyGated, busyExpired = true, true
+		case v.maxProposer > 0 && v.bft().PendingLen() >= v.maxProposer:
+			// Proposer-queue gate: the agreement backlog is at its bound.
+			// vote.proposed stays false so a retransmission re-attempts
+			// once the backlog drains.
+			v.shedProposer.Add(1)
+			busyGated = true
+		default:
+			vote.proposed = true
+			propose = &Op{
+				Kind:      OpRequest,
+				ReqID:     req.ReqID,
+				Caller:    req.Caller,
+				Responder: req.Responder,
+				Payload:   dv.req.Payload,
+				Shares:    dedupShares(dv.shares),
+			}
 		}
 	}
 	v.mu.Unlock()
 
+	if evicted != nil {
+		// Busy every driver that voted for the evicted request so its
+		// callers can settle it as shed instead of waiting out their
+		// retransmission timers.
+		if ecaller, err := v.registry.Lookup(evicted.caller); err == nil {
+			v.shedIntake.Add(1)
+			for idx := range evicted.byDriver {
+				if idx >= 0 && idx < ecaller.N {
+					v.sendBusy(auth.DriverID(ecaller.Name, idx), evictedID, false, false)
+				}
+			}
+		}
+	}
+	if busyGated {
+		v.sendBusy(from, req.ReqID, busyExpired, false)
+		return
+	}
 	if propose != nil {
 		// Submit via our own CLBFT replica: if we are not the primary,
 		// clbft forwards the proposal, so a correct voter suffices to
@@ -573,6 +677,7 @@ func (v *voter) onDeliver(d clbft.Delivery) {
 	case OpRequest:
 		v.mu.Lock()
 		delete(v.reqVotes, o.ReqID)
+		v.intakeA.Store(int64(len(v.reqVotes)))
 		responder := o.Responder
 		if info, ok := v.inFlight.Get(o.ReqID); ok {
 			responder = info.responder // retransmission moved it
@@ -709,7 +814,23 @@ func (v *voter) handleLocalResult(reqID string, payload []byte) {
 	}
 	v.mu.Lock()
 	v.replies.Put(reqID, rec)
+	stamp, stamped := v.reqExpiry.Get(reqID)
+	if stamped {
+		v.reqExpiry.Delete(reqID)
+	}
 	v.mu.Unlock()
+	// Pre-reply deadline gate: the agreed operation HAS executed (local
+	// clocks must never skip agreed execution — replicas would diverge),
+	// but if the caller's deadline passed, sending the share is wasted
+	// bandwidth. Only the send is suppressed: the minted reply stays
+	// cached above, so a late retransmission (a caller whose clock
+	// disagrees, or one that refreshed its deadline) is still served —
+	// without the cached record the re-proposal would be deduplicated by
+	// agreement and the caller would hang until its abort.
+	if stamped && expiredStamp(stamp) {
+		v.replySuppress.Add(1)
+		return
+	}
 	v.sendShareTo(reqID, rec, info.responder)
 }
 
@@ -906,6 +1027,17 @@ func (v *voter) handleReadRequest(from auth.NodeID, rr *ReadRequest) {
 	}
 	caller, err := v.registry.Lookup(rr.Caller)
 	if err != nil || from.Index < 0 || from.Index >= caller.N {
+		return
+	}
+	// Graceful degradation: the read fast path sheds *before* the
+	// agreement path (at half the intake bound) so commit goodput
+	// survives a read-heavy overload. A busy-read never triggers the
+	// caller's agreement fallback — falling back would add agreement
+	// load exactly when the group asked for less — it settles the read
+	// as overloaded once f_t+1 voters say so (see Driver.handleBusy).
+	if v.readShedAt > 0 && int(v.intakeA.Load()) >= v.readShedAt {
+		v.shedReads.Add(1)
+		v.sendBusy(from, rr.ReqID, false, true)
 		return
 	}
 	v.readMu.Lock()

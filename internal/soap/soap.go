@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"time"
 )
 
 // XML namespaces used by the envelope.
@@ -329,6 +330,37 @@ func DecodeRetryAtEpoch(f Fault) (uint64, bool) {
 		return 0, true
 	}
 	return epoch, true
+}
+
+// FaultCodeRetryAfter is the fault code of the deterministic overload
+// fault: a saturated voter group answers it instead of queuing work it
+// cannot serve within bounded latency. The reason names the backoff
+// hint in milliseconds; clients treat it as a bounded-latency rejection
+// and retry after the hint (see perpetual.RetryPolicy) rather than as a
+// failure.
+const FaultCodeRetryAfter = "perpetual:RetryAfter"
+
+// RetryAfterFault builds the deterministic overload fault carrying a
+// retry-after hint.
+func RetryAfterFault(after time.Duration) Fault {
+	return Fault{Code: FaultCodeRetryAfter, Reason: fmt.Sprintf("service overloaded; retry after ms %d", after.Milliseconds())}
+}
+
+// DecodeRetryAfter reports whether a fault is the overload fault and
+// extracts the backoff hint.
+func DecodeRetryAfter(f Fault) (time.Duration, bool) {
+	if f.Code != FaultCodeRetryAfter {
+		return 0, false
+	}
+	i := strings.LastIndexByte(f.Reason, ' ')
+	if i < 0 {
+		return 0, true // malformed reason still signals overload
+	}
+	var ms int64
+	if _, err := fmt.Sscanf(f.Reason[i+1:], "%d", &ms); err != nil {
+		return 0, true
+	}
+	return time.Duration(ms) * time.Millisecond, true
 }
 
 // IsFault reports whether a body is a SOAP fault and extracts the

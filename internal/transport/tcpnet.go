@@ -197,6 +197,23 @@ func (c *TCPConn) Addr() string { return c.ln.Addr().String() }
 // dial failures, severed links.
 func (c *TCPConn) NetStats() TCPStatsSnapshot { return c.stats.snapshot() }
 
+// QueueDropsByPeer returns the per-peer breakdown of the endpoint's
+// link-local drops (queue-full and oversized frames), keyed by the
+// destination principal. Peers with zero drops are omitted. This is the
+// operator's overload-pressure surface: one wedged or Byzantine-slow
+// peer shows up as one hot row, not an anonymous aggregate.
+func (c *TCPConn) QueueDropsByPeer() map[auth.NodeID]uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make(map[auth.NodeID]uint64, len(c.links))
+	for peer, l := range c.links {
+		if n := l.drops.Load(); n > 0 {
+			out[peer] = n
+		}
+	}
+	return out
+}
+
 // LocalID returns the connection's principal.
 func (c *TCPConn) LocalID() auth.NodeID { return c.id }
 
@@ -272,6 +289,7 @@ func (c *TCPConn) send(to auth.NodeID, head, body []byte, owned bool) error {
 		// Queue full: this link is slow or down. Drop link-locally so
 		// neither the sender nor healthy peers wait on it.
 		c.stats.queueDrops.Add(1)
+		l.drops.Add(1)
 		reclaim()
 	}
 	return nil
@@ -333,6 +351,12 @@ type tcpLink struct {
 	owner *TCPConn
 	peer  auth.NodeID
 	q     chan outFrame
+
+	// drops is this link's share of the endpoint's QueueDrops — the
+	// per-peer back-pressure breakdown (see QueueDropsByPeer): a single
+	// wedged or Byzantine-slow peer shows up as one hot row instead of
+	// an anonymous aggregate.
+	drops atomic.Uint64
 
 	// mu guards conn so Close can sever a connection the writer
 	// goroutine is blocked writing to.
@@ -499,6 +523,7 @@ func (l *tcpLink) writeFrame(bw *bufio.Writer, hdr []byte, f outFrame) error {
 		// Oversized: drop rather than poison the stream — counted, like
 		// every link-local loss.
 		l.owner.stats.queueDrops.Add(1)
+		l.drops.Add(1)
 		return nil
 	}
 	binary.BigEndian.PutUint32(hdr, uint32(n))

@@ -1,0 +1,70 @@
+package transport
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"perpetualws/internal/auth"
+)
+
+// TestTCPQueueDropsByPeerExact forces a per-link overflow against an
+// unreachable peer and asserts the exact per-peer drop accounting: with
+// a queue depth of 2 and no dialable destination, the first two frames
+// sit queued forever and every further send is dropped — counted on
+// that peer's row, with healthy peers reporting no drops at all.
+func TestTCPQueueDropsByPeerExact(t *testing.T) {
+	idA, idB, idC := auth.VoterID("q", 0), auth.VoterID("q", 1), auth.VoterID("q", 2)
+	book := NewAddressBook()
+
+	a, err := ListenTCP(idA, "127.0.0.1:0", book, WithQueueDepth(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	c, err := ListenTCP(idC, "127.0.0.1:0", book)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var recvd atomic.Int64
+	c.SetHandler(func([]byte) { recvd.Add(1) })
+	book.Set(idA, a.Addr())
+	book.Set(idC, c.Addr())
+	// B is addressable but never listening: the background dialer can
+	// never drain B's queue, so the overflow count is deterministic.
+	dead, err := ListenTCP(auth.VoterID("q", 3), "127.0.0.1:0", NewAddressBook())
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := dead.Addr()
+	_ = dead.Close()
+	book.Set(idB, deadAddr)
+
+	const sends = 10
+	for i := 0; i < sends; i++ {
+		if err := a.Send(idB, []byte("frame")); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	// Healthy-link traffic must not be charged to anyone's drop row.
+	// Two frames fit the depth-2 queue even before C's dial completes;
+	// waiting for delivery proves the link drained rather than dropped.
+	for i := 0; i < 2; i++ {
+		if err := a.Send(idC, []byte("ok")); err != nil {
+			t.Fatalf("send to C: %v", err)
+		}
+	}
+	waitUntil(t, 5*time.Second, func() bool { return recvd.Load() == 2 })
+
+	byPeer := a.QueueDropsByPeer()
+	if got, want := byPeer[idB], uint64(sends-2); got != want {
+		t.Fatalf("drops toward %s = %d, want exactly %d (depth 2, %d sends)", idB, got, want, sends)
+	}
+	if got, ok := byPeer[idC]; ok {
+		t.Fatalf("healthy peer %s charged %d drops", idC, got)
+	}
+	if st := a.NetStats(); st.QueueDrops != uint64(sends-2) {
+		t.Fatalf("aggregate QueueDrops = %d, want %d", st.QueueDrops, sends-2)
+	}
+}
